@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Ablation: the dirty-bit route-flap optimisation (Section 4.4.1).
+ *
+ * With retention, a withdraw that empties a group only clears its
+ * bit-vector; the flap that follows restores the group with one
+ * write.  Without it, the group leaves the Index Table and every
+ * flap pays a fresh Bloomier insert — usually a singleton write,
+ * occasionally a partition rebuild.  This bench replays a
+ * flap-heavy trace both ways and compares the Index-Table work.
+ */
+
+#include <cstdio>
+
+#include "core/engine.hh"
+#include "route/synth.hh"
+#include "route/updates.hh"
+#include "sim/report.hh"
+#include "sim/stats.hh"
+
+namespace {
+
+using namespace chisel;
+
+struct Outcome
+{
+    double updatesPerSec;
+    uint64_t flaps;
+    uint64_t singletonInserts;
+    uint64_t rebuilds;
+};
+
+Outcome
+run(bool retain)
+{
+    RoutingTable table = generateScaledTable(60000, 32, 0xD1B);
+    ChiselConfig cfg;
+    cfg.retainDirtyGroups = retain;
+    ChiselEngine engine2(table, cfg);
+
+    // Flap-heavy mix: the pathological pattern routers see in storms.
+    TraceProfile prof;
+    prof.withdraws = 0.45;
+    prof.routeFlaps = 0.45;
+    prof.nextHopChanges = 0.05;
+    prof.newPrefixes = 0.05;
+    UpdateTraceGenerator gen(table, prof, 32, 0xD1C);
+    auto updates = gen.generate(150000);
+
+    uint64_t base_singletons = 0, base_rebuilds = 0;
+    for (size_t i = 0; i < engine2.cellCount(); ++i) {
+        base_singletons +=
+            engine2.cell(i).indexStats().singletonInserts;
+        base_rebuilds += engine2.cell(i).indexStats().rebuilds;
+    }
+
+    StopWatch watch;
+    for (const auto &u : updates)
+        engine2.apply(u);
+    double secs = watch.seconds();
+
+    Outcome out;
+    out.updatesPerSec = static_cast<double>(updates.size()) / secs;
+    out.flaps = engine2.updateStats().count(UpdateClass::RouteFlap);
+    out.singletonInserts = 0;
+    out.rebuilds = 0;
+    for (size_t i = 0; i < engine2.cellCount(); ++i) {
+        out.singletonInserts +=
+            engine2.cell(i).indexStats().singletonInserts;
+        out.rebuilds += engine2.cell(i).indexStats().rebuilds;
+    }
+    out.singletonInserts -= base_singletons;
+    out.rebuilds -= base_rebuilds;
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    using namespace chisel;
+    Outcome with = run(true);
+    Outcome without = run(false);
+
+    Report report(
+        "Ablation: dirty-bit flap retention (150K flap-heavy updates)",
+        {"mode", "updates/sec", "flaps seen", "index inserts",
+         "index rebuilds"});
+    report.addRow({"dirty bit (paper)",
+                   Report::count(static_cast<uint64_t>(
+                       with.updatesPerSec)),
+                   Report::count(with.flaps),
+                   Report::count(with.singletonInserts),
+                   Report::count(with.rebuilds)});
+    report.addRow({"no retention",
+                   Report::count(static_cast<uint64_t>(
+                       without.updatesPerSec)),
+                   Report::count(without.flaps),
+                   Report::count(without.singletonInserts),
+                   Report::count(without.rebuilds)});
+    report.print();
+
+    std::printf("Dirty-bit retention turns flap-driven Index inserts "
+                "(%llu) into bit-vector restores (%llu), eliminating "
+                "their rebuild risk (Section 4.4.1).\n",
+                static_cast<unsigned long long>(
+                    without.singletonInserts),
+                static_cast<unsigned long long>(
+                    with.singletonInserts));
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 8: worst-case storage of EBF vs poor-EBF vs Chisel with no
+ * wildcard support, for 256K / 512K / 784K / 1M keys.
+ *
+ * Paper shape: Chisel ~8x smaller than EBF and ~4x smaller than
+ * poor-EBF in total; Chisel's total is small enough for on-chip
+ * implementation, within ~2x of just EBF's on-chip part.
+ */
+
+#include <cstdio>
+
+#include "core/storage_model.hh"
+#include "hashtable/ebf.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace chisel;
+    Report report(
+        "Figure 8: storage (Mbits), no wildcards",
+        {"keys", "EBF on-chip", "EBF off-chip", "EBF total",
+         "poorEBF total", "Chisel Index", "Chisel Filter",
+         "Chisel total", "EBF/Chisel", "poorEBF/Chisel"});
+
+    const size_t sizes[] = {256 * 1024, 512 * 1024, 784 * 1024,
+                            1024 * 1024};
+    double sum_ebf = 0, sum_poor = 0;
+    for (size_t n : sizes) {
+        auto [ebf_on, ebf_off] =
+            ExtendedBloomFilter::storageModel(n, ebfPaperConfig(32));
+        auto [poor_on, poor_off] =
+            ExtendedBloomFilter::storageModel(n,
+                                              poorEbfPaperConfig(32));
+        StorageParams p;
+        auto chisel = chiselNoWildcard(n, p);
+
+        double r_ebf = static_cast<double>(ebf_on + ebf_off) /
+                       static_cast<double>(chisel.totalBits());
+        double r_poor = static_cast<double>(poor_on + poor_off) /
+                        static_cast<double>(chisel.totalBits());
+        sum_ebf += r_ebf;
+        sum_poor += r_poor;
+
+        report.addRow({Report::count(n), Report::mbits(ebf_on),
+                       Report::mbits(ebf_off),
+                       Report::mbits(ebf_on + ebf_off),
+                       Report::mbits(poor_on + poor_off),
+                       Report::mbits(chisel.indexBits),
+                       Report::mbits(chisel.filterBits),
+                       Report::mbits(chisel.totalBits()),
+                       Report::num(r_ebf, 1) + "x",
+                       Report::num(r_poor, 1) + "x"});
+    }
+    report.print();
+    std::printf("Average EBF/Chisel ratio:     %.1fx (paper: ~8x)\n",
+                sum_ebf / 4);
+    std::printf("Average poorEBF/Chisel ratio: %.1fx (paper: ~4x)\n",
+                sum_poor / 4);
+    return 0;
+}

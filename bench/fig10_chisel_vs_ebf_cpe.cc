@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 10: worst-case Chisel storage versus average-case EBF+CPE
+ * storage over the seven BGP-table stand-ins, stride 4.
+ *
+ * Paper shape: Chisel worst-case total is 12-17x smaller than the
+ * EBF+CPE average-case total, and at most ~44% larger than just the
+ * on-chip (counting Bloom filter) part of EBF+CPE.
+ */
+
+#include <cstdio>
+
+#include "core/collapse.hh"
+#include "core/storage_model.hh"
+#include "cpe/cpe.hh"
+#include "hashtable/ebf.hh"
+#include "route/synth.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace chisel;
+    const unsigned stride = 4;
+    Report report(
+        "Figure 10: Chisel worst vs EBF+CPE average storage (Mbits)",
+        {"table", "prefixes", "EBF+CPE on-chip", "EBF+CPE total",
+         "Chisel worst", "ratio", "Chisel/on-chip"});
+
+    double sum_ratio = 0, max_onchip_ratio = 0;
+    auto profiles = standardAsProfiles();
+    for (const auto &prof : profiles) {
+        RoutingTable table = generateTable(prof);
+        size_t n = table.size();
+        StorageParams p;
+        p.stride = stride;
+
+        // EBF sized for the post-CPE prefix count (average case).
+        auto plan = makeCollapsePlan(table.populatedLengths(), stride,
+                                     32, false);
+        auto targets = optimalTargetLengths(
+            table, static_cast<unsigned>(plan.cells.size()));
+        auto cpe = expand(table, targets);
+        auto [ebf_on, ebf_off] = ExtendedBloomFilter::storageModel(
+            cpe.expandedCount, ebfPaperConfig(32));
+
+        auto chisel = chiselWorstCase(n, p);
+
+        double ratio = static_cast<double>(ebf_on + ebf_off) /
+                       static_cast<double>(chisel.totalBits());
+        double onchip_ratio =
+            static_cast<double>(chisel.totalBits()) /
+            static_cast<double>(ebf_on);
+        sum_ratio += ratio;
+        if (onchip_ratio > max_onchip_ratio)
+            max_onchip_ratio = onchip_ratio;
+
+        report.addRow({prof.name, Report::count(n),
+                       Report::mbits(ebf_on),
+                       Report::mbits(ebf_on + ebf_off),
+                       Report::mbits(chisel.totalBits()),
+                       Report::num(ratio, 1) + "x",
+                       Report::num(onchip_ratio, 2)});
+    }
+    report.print();
+    std::printf("Mean EBF+CPE / Chisel-worst ratio: %.1fx "
+                "(paper: 12-17x)\n",
+                sum_ratio / profiles.size());
+    std::printf("Max Chisel-worst / EBF-on-chip:    %.2f "
+                "(paper: at most ~1.44)\n",
+                max_onchip_ratio);
+    return 0;
+}

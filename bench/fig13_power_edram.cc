@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 13: worst-case Chisel power at 200 Msps on 130 nm embedded
+ * DRAM, for 256K to 1M IPv4 prefixes.
+ *
+ * Paper anchor: ~5.5 W at 512K.  Paper shape: sub-linear growth,
+ * because larger tables use larger (more efficient) eDRAM macros.
+ */
+
+#include <cstdio>
+
+#include "core/engine.hh"
+#include "core/power_model.hh"
+#include "mem/edram.hh"
+#include "route/synth.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace chisel;
+    ChiselPowerModel model;
+    StorageParams params;
+
+    EdramModel edram(model.technology().edram);
+    Report report(
+        "Figure 13: worst-case power at 200 Msps, 130nm eDRAM",
+        {"prefixes", "eDRAM dynamic (W)", "eDRAM static (W)",
+         "logic (W)", "total (W)", "die area (mm^2)"});
+
+    const size_t sizes[] = {256 * 1024, 512 * 1024, 784 * 1024,
+                            1024 * 1024};
+    double w256 = 0, w512 = 0, w1m = 0;
+    for (size_t n : sizes) {
+        auto b = model.worstCase(n, params, 200.0);
+        auto s = chiselWorstCase(n, params);
+        report.addRow({Report::count(n),
+                       Report::num(b.edramDynamicWatts, 2),
+                       Report::num(b.edramStaticWatts, 2),
+                       Report::num(b.logicWatts, 2),
+                       Report::num(b.totalWatts(), 2),
+                       Report::num(edram.areaMm2(s.totalBits()), 1)});
+        if (n == 256 * 1024)
+            w256 = b.totalWatts();
+        if (n == 512 * 1024)
+            w512 = b.totalWatts();
+        if (n == 1024 * 1024)
+            w1m = b.totalWatts();
+    }
+    report.print();
+
+    std::printf("512K anchor: %.2f W (paper: ~5.5 W)\n", w512);
+    std::printf("Growth 256K->1M: %.2fx for a 4x table "
+                "(paper: sub-linear)\n",
+                w1m / w256);
+
+    // Average case: a real 256K engine's per-cell tables, sized to
+    // the observed load, through the same macro model.
+    RoutingTable table = generateScaledTable(256 * 1024, 32, 0x13D);
+    ChiselConfig cfg;
+    cfg.capacityHeadroom = 1.0;   // Sized to fit.
+    ChiselEngine engine(table, cfg);
+    auto mb = model.measured(engine, 200.0);
+    std::printf("Measured average-case power for a built 256K "
+                "engine: %.2f W (worst-case model: %.2f W)\n",
+                mb.totalWatts(), w256);
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table 1: sustained update rates of the Chisel shadow-update engine
+ * for each of the five synthetic RIS traces.
+ *
+ * Paper numbers (3.0 GHz Pentium 4): ~230K-320K updates/s, average
+ * ~276K/s, with a projected ~5x slowdown on a line-card network
+ * processor.  Absolute rates shift with the host; the claim is
+ * "hundreds of thousands of updates per second".
+ */
+
+#include <cstdio>
+
+#include "core/engine.hh"
+#include "route/synth.hh"
+#include "route/updates.hh"
+#include "sim/report.hh"
+#include "sim/stats.hh"
+
+int
+main()
+{
+    using namespace chisel;
+    const size_t table_size = 60000;
+    const size_t updates_per_trace = 200000;
+
+    Report report("Table 1: update rates sustained per trace",
+                  {"trace", "updates", "seconds", "updates/sec"});
+
+    double total_rate = 0;
+    auto traces = standardTraceProfiles();
+    for (size_t t = 0; t < traces.size(); ++t) {
+        RoutingTable table =
+            generateScaledTable(table_size, 32, 0x160 + t);
+        ChiselEngine engine(table);
+        UpdateTraceGenerator gen(table, traces[t], 32, 0x170 + t);
+        auto updates = gen.generate(updates_per_trace);
+
+        StopWatch watch;
+        for (const auto &u : updates)
+            engine.apply(u);
+        double secs = watch.seconds();
+        double rate = static_cast<double>(updates.size()) / secs;
+        total_rate += rate;
+
+        report.addRow({traces[t].name, Report::count(updates.size()),
+                       Report::num(secs, 3),
+                       Report::count(static_cast<uint64_t>(rate))});
+    }
+    report.print();
+    std::printf("Average: %s updates/sec (paper: ~276K/s on a 3 GHz "
+                "P4; ~55K/s projected on a line-card NPU)\n",
+                Report::count(static_cast<uint64_t>(
+                    total_rate / traces.size())).c_str());
+    return 0;
+}

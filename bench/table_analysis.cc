@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Workload characterisation: structural fidelity of the synthetic
+ * BGP tables that stand in for the paper's potaroo.net snapshots
+ * (DESIGN.md, "Substitutions").
+ *
+ * Reference points for 2005-06 global BGP tables: /24 ≈ 50-60% of
+ * routes, /16 the secondary spike, ~8 as the shortest common
+ * length; roughly a quarter to half of all routes are covered by a
+ * shorter aggregate.
+ */
+
+#include <cstdio>
+
+#include "route/analysis.hh"
+#include "route/synth.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace chisel;
+    Report report(
+        "Synthetic BGP table characterisation (stride-4 groups)",
+        {"table", "routes", "/16 frac", "/24 frac", "nested frac",
+         "cover depth", "sibling frac", "routes/group"});
+
+    for (const auto &prof : standardAsProfiles()) {
+        RoutingTable table = generateTable(prof);
+        auto a = analyzeTable(table, 4);
+        report.addRow({prof.name, Report::count(a.routes),
+                       Report::num(a.lengthFraction[16], 3),
+                       Report::num(a.lengthFraction[24], 3),
+                       Report::num(a.nestedFraction, 3),
+                       Report::num(a.meanCoverDepth, 2),
+                       Report::num(a.siblingFraction, 3),
+                       Report::num(a.routesPerGroup, 2)});
+    }
+    report.print();
+
+    // One IPv6 synthesis for the Figure 12 workloads.
+    SynthProfile v6 = ipv6Profile(standardAsProfiles()[0]);
+    v6.prefixes = 50000;
+    auto a6 = analyzeTable(generateTable(v6), 4);
+    std::printf("IPv6 synthesis (%s): /32 %.3f, /48 %.3f, max /%u — "
+                "the doubled-length model of Section 6.4.2.\n",
+                v6.name.c_str(), a6.lengthFraction[32],
+                a6.lengthFraction[48], a6.maxLength);
+    return 0;
+}

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): software lookup and update
+ * throughput of the Chisel engine and every baseline, plus the raw
+ * Bloomier filter.  These quantify the simulator itself — the
+ * hardware rates are the Msps figures of Sections 6.5 and 7 — and
+ * demonstrate the O(1), key-width-independent lookup path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bloom/bloomier.hh"
+#include "core/engine.hh"
+#include "hashtable/ebf.hh"
+#include "lpm/bloom_lpm.hh"
+#include "lpm/ebf_cpe_lpm.hh"
+#include "lpm/waldvogel.hh"
+#include "route/synth.hh"
+#include "route/updates.hh"
+#include "tcam/tcam.hh"
+#include "trie/binary_trie.hh"
+#include "trie/tree_bitmap.hh"
+
+namespace {
+
+using namespace chisel;
+
+constexpr size_t kTableSize = 50000;
+constexpr unsigned kKeyCount = 4096;
+
+const RoutingTable &
+table32()
+{
+    static RoutingTable t = generateScaledTable(kTableSize, 32, 0xBE);
+    return t;
+}
+
+const std::vector<Key128> &
+keys32()
+{
+    static std::vector<Key128> k =
+        generateLookupKeys(table32(), kKeyCount, 32, 0.85, 0xBF);
+    return k;
+}
+
+void
+BM_ChiselLookup(benchmark::State &state)
+{
+    static ChiselEngine engine(table32());
+    const auto &keys = keys32();
+    size_t i = 0;
+    for (auto _ : state) {
+        auto r = engine.lookup(keys[i++ & (kKeyCount - 1)]);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChiselLookup);
+
+void
+BM_ChiselLookupIpv6(benchmark::State &state)
+{
+    SynthProfile prof;
+    prof.prefixes = kTableSize;
+    prof.keyWidth = 128;
+    prof.lengthWeights = defaultIpv4LengthWeights();
+    prof.seed = 0xC0;
+    static RoutingTable t6 = generateTable(prof);
+    ChiselConfig cfg;
+    cfg.keyWidth = 128;
+    static ChiselEngine engine(t6, cfg);
+    static std::vector<Key128> keys =
+        generateLookupKeys(t6, kKeyCount, 128, 0.85, 0xC1);
+    size_t i = 0;
+    for (auto _ : state) {
+        auto r = engine.lookup(keys[i++ & (kKeyCount - 1)]);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChiselLookupIpv6);
+
+void
+BM_BinaryTrieLookup(benchmark::State &state)
+{
+    static BinaryTrie trie(table32());
+    const auto &keys = keys32();
+    size_t i = 0;
+    for (auto _ : state) {
+        auto r = trie.lookup(keys[i++ & (kKeyCount - 1)], 32);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BinaryTrieLookup);
+
+void
+BM_TreeBitmapLookup(benchmark::State &state)
+{
+    static TreeBitmap tb(table32(), treeBitmapIpv4Config());
+    const auto &keys = keys32();
+    size_t i = 0;
+    for (auto _ : state) {
+        auto r = tb.lookup(keys[i++ & (kKeyCount - 1)]);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreeBitmapLookup);
+
+void
+BM_EbfLookup(benchmark::State &state)
+{
+    // EBF stores exact-length keys; exercise it as the paper does,
+    // on a single-length key set (no wildcards).
+    static ExtendedBloomFilter *ebf = [] {
+        auto *f = new ExtendedBloomFilter(kTableSize,
+                                          ebfPaperConfig(32));
+        Rng rng(0xC2);
+        for (size_t i = 0; i < kTableSize; ++i)
+            f->insert(Key128(rng.next64(), 0).masked(32),
+                      static_cast<uint32_t>(i));
+        return f;
+    }();
+    static std::vector<Key128> keys = [] {
+        Rng rng(0xC2);
+        std::vector<Key128> k;
+        for (unsigned i = 0; i < kKeyCount; ++i)
+            k.push_back(Key128(rng.next64(), 0).masked(32));
+        return k;
+    }();
+    size_t i = 0;
+    for (auto _ : state) {
+        auto r = ebf->find(keys[i++ & (kKeyCount - 1)]);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EbfLookup);
+
+void
+BM_BloomierLookup(benchmark::State &state)
+{
+    static BloomierFilter *filter = [] {
+        BloomierConfig cfg;
+        cfg.keyLen = 32;
+        auto *f = new BloomierFilter(kTableSize, cfg);
+        Rng rng(0xC3);
+        std::vector<std::pair<Key128, uint32_t>> entries;
+        for (size_t i = 0; i < kTableSize; ++i)
+            entries.emplace_back(Key128(rng.next64(), 0).masked(32),
+                                 static_cast<uint32_t>(i));
+        f->setup(entries);
+        return f;
+    }();
+    static std::vector<Key128> keys = [] {
+        Rng rng(0xC3);
+        std::vector<Key128> k;
+        for (unsigned i = 0; i < kKeyCount; ++i)
+            k.push_back(Key128(rng.next64(), 0).masked(32));
+        return k;
+    }();
+    size_t i = 0;
+    for (auto _ : state) {
+        auto r = filter->lookupCode(keys[i++ & (kKeyCount - 1)]);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomierLookup);
+
+void
+BM_BloomLpmLookup(benchmark::State &state)
+{
+    static BloomLpm lpm(table32());
+    const auto &keys = keys32();
+    size_t i = 0;
+    for (auto _ : state) {
+        auto r = lpm.lookup(keys[i++ & (kKeyCount - 1)]);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomLpmLookup);
+
+void
+BM_BinarySearchLengthsLookup(benchmark::State &state)
+{
+    static BinarySearchLengths bsl(table32());
+    const auto &keys = keys32();
+    size_t i = 0;
+    for (auto _ : state) {
+        auto r = bsl.lookup(keys[i++ & (kKeyCount - 1)]);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BinarySearchLengthsLookup);
+
+void
+BM_EbfCpeLookup(benchmark::State &state)
+{
+    static EbfCpeLpm lpm(table32());
+    const auto &keys = keys32();
+    size_t i = 0;
+    for (auto _ : state) {
+        auto r = lpm.lookup(keys[i++ & (kKeyCount - 1)]);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EbfCpeLookup);
+
+void
+BM_TreeBitmapUpdate(benchmark::State &state)
+{
+    static TreeBitmap tb(table32(), treeBitmapIpv4Config());
+    static UpdateTraceGenerator gen(table32(), TraceProfile{}, 32,
+                                    0xC7);
+    for (auto _ : state) {
+        Update u = gen.next();
+        if (u.kind == UpdateKind::Announce)
+            tb.insert(u.prefix, u.nextHop);
+        else
+            tb.erase(u.prefix);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreeBitmapUpdate);
+
+void
+BM_ChiselUpdate(benchmark::State &state)
+{
+    static ChiselEngine engine(table32());
+    static UpdateTraceGenerator gen(table32(), TraceProfile{}, 32,
+                                    0xC4);
+    for (auto _ : state) {
+        auto c = engine.apply(gen.next());
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChiselUpdate);
+
+void
+BM_TcamLookup(benchmark::State &state)
+{
+    // Linear-scan TCAM simulation on a small table (the hardware
+    // searches in parallel; this measures the simulator).
+    static Tcam *tcam = [] {
+        auto *t = new Tcam();
+        RoutingTable small = generateScaledTable(2000, 32, 0xC5);
+        for (const auto &r : small.routes())
+            t->insert(r.prefix, r.nextHop);
+        return t;
+    }();
+    static std::vector<Key128> keys =
+        generateLookupKeys(generateScaledTable(2000, 32, 0xC5),
+                           kKeyCount, 32, 0.85, 0xC6);
+    size_t i = 0;
+    for (auto _ : state) {
+        auto r = tcam->lookup(keys[i++ & (kKeyCount - 1)]);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TcamLookup);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

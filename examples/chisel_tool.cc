@@ -1,0 +1,180 @@
+/**
+ * @file
+ * chisel_tool: a small command-line utility around the library —
+ * generate synthetic tables and traces, inspect tables, and run a
+ * lookup benchmark, so downstream users can produce and exchange
+ * workload files without writing code.
+ *
+ * Usage:
+ *   example_chisel_tool gen-table  <prefixes> <out.txt> [seed] [v6]
+ *   example_chisel_tool gen-trace  <table.txt> <updates> <out.txt> [seed]
+ *   example_chisel_tool info       <table.txt>
+ *   example_chisel_tool lookup     <table.txt> <queries>
+ *   example_chisel_tool replay     <table.txt> <trace.txt>
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "core/engine.hh"
+#include "route/reader.hh"
+#include "route/synth.hh"
+#include "route/updates.hh"
+#include "sim/stats.hh"
+
+namespace {
+
+using namespace chisel;
+
+int
+usage()
+{
+    std::fprintf(stderr,
+        "usage:\n"
+        "  chisel_tool gen-table <prefixes> <out.txt> [seed] [v6]\n"
+        "  chisel_tool gen-trace <table.txt> <updates> <out.txt> [seed]\n"
+        "  chisel_tool info      <table.txt>\n"
+        "  chisel_tool lookup    <table.txt> <queries>\n"
+        "  chisel_tool replay    <table.txt> <trace.txt>\n");
+    return 2;
+}
+
+int
+genTable(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    size_t n = std::strtoull(argv[2], nullptr, 10);
+    uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+    bool v6 = argc > 5 && std::strcmp(argv[5], "v6") == 0;
+
+    RoutingTable table = generateScaledTable(n, v6 ? 128 : 32, seed);
+    std::ofstream out(argv[3]);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", argv[3]);
+        return 1;
+    }
+    writeTable(out, table);
+    std::printf("wrote %zu routes to %s\n", table.size(), argv[3]);
+    return 0;
+}
+
+int
+genTrace(int argc, char **argv)
+{
+    if (argc < 5)
+        return usage();
+    RoutingTable table = readTableFile(argv[2]);
+    size_t n = std::strtoull(argv[3], nullptr, 10);
+    uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+
+    unsigned width = table.maxLength() > 32 ? 128 : 32;
+    UpdateTraceGenerator gen(table, TraceProfile{}, width, seed);
+    auto trace = gen.generate(n);
+    std::ofstream out(argv[4]);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", argv[4]);
+        return 1;
+    }
+    writeTrace(out, trace);
+    std::printf("wrote %zu updates to %s\n", trace.size(), argv[4]);
+    return 0;
+}
+
+int
+info(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    RoutingTable table = readTableFile(argv[2]);
+    std::printf("%zu routes, max length %u\n", table.size(),
+                table.maxLength());
+    auto hist = table.lengthHistogram();
+    for (unsigned l = 0; l <= table.maxLength(); ++l) {
+        if (hist[l])
+            std::printf("  /%-3u %zu\n", l, hist[l]);
+    }
+    ChiselConfig cfg;
+    cfg.keyWidth = table.maxLength() > 32 ? 128 : 32;
+    ChiselEngine engine(table, cfg);
+    auto s = engine.storage();
+    std::printf("Chisel plan %s: %.2f Mbits on-chip, %zu spilled\n",
+                engine.plan().str().c_str(), s.totalMbits(),
+                engine.spillCount());
+    return 0;
+}
+
+int
+lookupBench(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    RoutingTable table = readTableFile(argv[2]);
+    size_t queries = std::strtoull(argv[3], nullptr, 10);
+
+    unsigned width = table.maxLength() > 32 ? 128 : 32;
+    ChiselConfig cfg;
+    cfg.keyWidth = width;
+    ChiselEngine engine(table, cfg);
+    auto keys = generateLookupKeys(table, 65536, width, 0.9, 7);
+
+    StopWatch watch;
+    uint64_t hits = 0;
+    for (size_t i = 0; i < queries; ++i)
+        hits += engine.lookup(keys[i & 65535]).found;
+    double secs = watch.seconds();
+    std::printf("%zu lookups in %.2f s: %.2f Mlps, %.1f%% hits\n",
+                queries, secs, queries / secs / 1e6,
+                100.0 * hits / queries);
+    return 0;
+}
+
+int
+replay(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    RoutingTable table = readTableFile(argv[2]);
+    std::ifstream in(argv[3]);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", argv[3]);
+        return 1;
+    }
+    auto trace = readTrace(in);
+
+    ChiselConfig cfg;
+    cfg.keyWidth = table.maxLength() > 32 ? 128 : 32;
+    ChiselEngine engine(table, cfg);
+    StopWatch watch;
+    for (const auto &u : trace)
+        engine.apply(u);
+    double secs = watch.seconds();
+    const auto &s = engine.updateStats();
+    std::printf("%zu updates in %.2f s (%.0f/s), incremental "
+                "%.3f%%\n",
+                trace.size(), secs, trace.size() / secs,
+                100.0 * s.incrementalFraction());
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    if (std::strcmp(argv[1], "gen-table") == 0)
+        return genTable(argc, argv);
+    if (std::strcmp(argv[1], "gen-trace") == 0)
+        return genTrace(argc, argv);
+    if (std::strcmp(argv[1], "info") == 0)
+        return info(argc, argv);
+    if (std::strcmp(argv[1], "lookup") == 0)
+        return lookupBench(argc, argv);
+    if (std::strcmp(argv[1], "replay") == 0)
+        return replay(argc, argv);
+    return usage();
+}

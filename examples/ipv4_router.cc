@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A full-scale IPv4 forwarding engine: load a BGP-sized table (from
+ * a file, or synthesised), build Chisel, and forward a stream of
+ * packets, reporting throughput, storage, power and a correctness
+ * audit against the binary-trie oracle.
+ *
+ * Usage:
+ *     example_ipv4_router [table.txt]
+ *
+ * The optional table file uses the reader format ("a.b.c.d/len nh"
+ * per line).  Without it, a 150K-prefix synthetic BGP table is used.
+ */
+
+#include <cstdio>
+
+#include "core/engine.hh"
+#include "core/power_model.hh"
+#include "route/reader.hh"
+#include "route/synth.hh"
+#include "sim/stats.hh"
+#include "trie/binary_trie.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace chisel;
+
+    RoutingTable table;
+    if (argc > 1) {
+        table = readTableFile(argv[1]);
+        std::printf("Loaded %zu routes from %s\n", table.size(),
+                    argv[1]);
+    } else {
+        SynthProfile prof;
+        prof.name = "router-demo";
+        prof.prefixes = 150000;
+        prof.lengthWeights = defaultIpv4LengthWeights();
+        prof.seed = 2006;
+        table = generateTable(prof);
+        std::printf("Synthesised a %zu-prefix BGP-style table\n",
+                    table.size());
+    }
+
+    StopWatch build_watch;
+    ChiselEngine engine(table);
+    std::printf("Chisel built in %.2f s: %zu sub-cells (%s), "
+                "%zu spilled to TCAM\n",
+                build_watch.seconds(), engine.cellCount(),
+                engine.plan().str().c_str(), engine.spillCount());
+
+    // Forward a packet stream.
+    const size_t packets = 2000000;
+    auto keys = generateLookupKeys(table, 65536, 32, 0.9, 99);
+    StopWatch fwd_watch;
+    uint64_t hits = 0;
+    for (size_t i = 0; i < packets; ++i)
+        hits += engine.lookup(keys[i & 65535]).found;
+    double secs = fwd_watch.seconds();
+    std::printf("Forwarded %zu packets in %.2f s: %.2f Mpps "
+                "(software simulation; the eDRAM design point is "
+                "200 Msps), hit rate %.1f%%\n",
+                packets, secs, packets / secs / 1e6,
+                100.0 * hits / packets);
+
+    // Audit a sample against the oracle.
+    BinaryTrie oracle(table);
+    size_t audited = 0, wrong = 0;
+    for (size_t i = 0; i < 65536; ++i) {
+        auto a = oracle.lookup(keys[i], 32);
+        auto b = engine.lookup(keys[i]);
+        ++audited;
+        if (a.has_value() != b.found ||
+            (a && a->nextHop != b.nextHop))
+            ++wrong;
+    }
+    std::printf("Oracle audit: %zu keys, %zu mismatches\n", audited,
+                wrong);
+
+    // Storage and power report.
+    auto s = engine.storage();
+    std::printf("On-chip storage: %.2f Mbits "
+                "(Index %.2f + Filter %.2f + Bit-vector %.2f)\n",
+                s.totalMbits(), s.indexBits / (1024.0 * 1024),
+                s.filterBits / (1024.0 * 1024),
+                s.bitvectorBits / (1024.0 * 1024));
+
+    ChiselPowerModel power;
+    StorageParams sp;
+    auto p = power.worstCase(table.size(), sp, 200.0);
+    std::printf("Worst-case power at 200 Msps (130nm eDRAM): "
+                "%.2f W\n", p.totalWatts());
+    return wrong == 0 ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * IPv6 scenario: the transition the paper motivates.  Builds Chisel
+ * over a synthetic IPv6 table and contrasts it with trie behaviour:
+ * storage roughly doubles while lookup latency stays at 4 accesses,
+ * whereas Tree Bitmap's access chain quadruples with the key width.
+ *
+ * Usage: example_ipv6_scaling [prefix_count]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/engine.hh"
+#include "core/storage_model.hh"
+#include "route/synth.hh"
+#include "sim/stats.hh"
+#include "trie/tree_bitmap.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace chisel;
+    size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50000;
+
+    SynthProfile prof;
+    prof.name = "v6-demo";
+    prof.prefixes = n;
+    prof.keyWidth = 128;
+    prof.lengthWeights = defaultIpv4LengthWeights();
+    prof.seed = 6;
+    RoutingTable v6 = generateTable(prof);
+    std::printf("Synthesised %zu IPv6 prefixes (lengths follow the "
+                "doubled-IPv4 model of Section 6.4.2)\n", v6.size());
+
+    ChiselConfig cfg;
+    cfg.keyWidth = 128;
+    StopWatch watch;
+    ChiselEngine engine(v6, cfg);
+    std::printf("Chisel/v6 built in %.2f s: %zu sub-cells, "
+                "4 memory accesses per lookup (width-independent)\n",
+                watch.seconds(), engine.cellCount());
+
+    TreeBitmap tb(v6, treeBitmapIpv6Config());
+    auto keys = generateLookupKeys(v6, 20000, 128, 0.85, 7);
+    ScalarStat tb_acc("tb-accesses");
+    size_t hits = 0;
+    for (const auto &k : keys) {
+        auto r = tb.lookup(k);
+        if (r.found) {
+            tb_acc.sample(r.memoryAccesses);
+            ++hits;
+        }
+        auto c = engine.lookup(k);
+        if (r.found != c.found ||
+            (r.found && r.nextHop != c.nextHop)) {
+            std::printf("DIVERGENCE from Tree Bitmap — bug!\n");
+            return 1;
+        }
+    }
+    std::printf("Cross-check vs Tree Bitmap: %zu keys agree "
+                "(%zu hits)\n", keys.size(), hits);
+    std::printf("Tree Bitmap accesses per hit: mean %.1f, worst %u "
+                "(paper: ~40 for IPv6) — Chisel stays at 4\n",
+                tb_acc.mean(), tb.maxAccesses());
+
+    StorageParams p4, p6;
+    p6.keyWidth = 128;
+    auto b4 = chiselWorstCase(n, p4);
+    auto b6 = chiselWorstCase(n, p6);
+    std::printf("Worst-case storage at n=%zu: IPv4 %.2f Mb vs IPv6 "
+                "%.2f Mb (%.2fx for a 4x wider key)\n",
+                n, b4.totalMbits(), b6.totalMbits(),
+                static_cast<double>(b6.totalBits()) / b4.totalBits());
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Packet-classification scenario: the extension Section 8 of the
+ * paper sketches — Chisel LPM engines as the per-field building
+ * blocks of a two-field (src, dst) classifier via cross-producting.
+ *
+ * Builds a synthetic firewall rule set, classifies a packet stream,
+ * and audits against a linear rule scan.
+ */
+
+#include <cstdio>
+
+#include "classify/classifier.hh"
+#include "common/random.hh"
+#include "sim/stats.hh"
+
+int
+main()
+{
+    using namespace chisel;
+    Rng rng(0xC1A55);
+
+    // Synthetic firewall: subnet pairs at mixed specificity.
+    std::vector<Rule> rules;
+    for (int i = 0; i < 200; ++i) {
+        Rule r;
+        r.src = Prefix(Key128(rng.next64(), 0),
+                       static_cast<unsigned>(rng.nextRange(8, 24)));
+        r.dst = Prefix(Key128(rng.next64(), 0),
+                       static_cast<unsigned>(rng.nextRange(8, 24)));
+        r.priority = static_cast<uint32_t>(rng.nextBelow(16));
+        r.action = static_cast<uint32_t>(i % 3);   // permit/deny/log.
+        rules.push_back(r);
+    }
+    rules.push_back(Rule{Prefix(), Prefix(), 255, 1});   // Default deny.
+
+    StopWatch build;
+    TwoFieldClassifier cls(rules);
+    std::printf("Classifier built in %.3f s: %zu rules, %zu src "
+                "prefixes, %zu dst prefixes, %zu cross-product "
+                "entries\n",
+                build.seconds(), cls.ruleCount(),
+                cls.srcPrefixCount(), cls.dstPrefixCount(),
+                cls.crossProductSize());
+
+    // Classify a stream; every packet costs two O(1) LPMs plus one
+    // hash probe, inheriting Chisel's deterministic lookup rate.
+    const size_t packets = 500000;
+    StopWatch run;
+    uint64_t actions[4] = {0, 0, 0, 0};
+    for (size_t i = 0; i < packets; ++i) {
+        Key128 src(rng.next64(), 0), dst(rng.next64(), 0);
+        auto r = cls.classify(src.masked(32), dst.masked(32));
+        ++actions[r.matched ? (r.action % 3) : 3];
+    }
+    double secs = run.seconds();
+    std::printf("Classified %zu packets in %.2f s (%.2f Mpps "
+                "software): permit %llu, deny %llu, log %llu, "
+                "no-match %llu\n",
+                packets, secs, packets / secs / 1e6,
+                static_cast<unsigned long long>(actions[0]),
+                static_cast<unsigned long long>(actions[1]),
+                static_cast<unsigned long long>(actions[2]),
+                static_cast<unsigned long long>(actions[3]));
+
+    // Audit a sample against the linear scan.
+    size_t wrong = 0;
+    for (int i = 0; i < 5000; ++i) {
+        Key128 src = Key128(rng.next64(), 0).masked(32);
+        Key128 dst = Key128(rng.next64(), 0).masked(32);
+        auto got = cls.classify(src, dst);
+        // Linear scan.
+        std::optional<size_t> want;
+        for (size_t j = 0; j < rules.size(); ++j) {
+            if (rules[j].src.matches(src) &&
+                rules[j].dst.matches(dst) &&
+                (!want || rules[j].priority < rules[*want].priority))
+                want = j;
+        }
+        if (want.has_value() != got.matched ||
+            (want && rules[*want].priority != got.priority))
+            ++wrong;
+    }
+    std::printf("Linear-scan audit: 5000 packets, %zu mismatches\n",
+                wrong);
+    return wrong == 0 ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Intrusion-detection scenario: the "generic content search" use of
+ * the Chisel building block (Sections 1 and 8).  Loads a signature
+ * dictionary, scans a synthetic traffic mix, and reports hit
+ * locations and the pre-filter's screening efficiency.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/random.hh"
+#include "match/dictionary.hh"
+#include "sim/stats.hh"
+
+int
+main()
+{
+    using namespace chisel;
+    const unsigned window = 8;
+    ChiselDictionary dict(window, 1024);
+
+    // A few recognisable "signatures" plus random binary ones.
+    const char *named[] = {"/bin/sh\0", "GET /adm", "\x90\x90\x90\x90\x90\x90\x90\x90"};
+    for (const char *s : named)
+        dict.add(std::string_view(s, window));
+    Rng rng(0x5CA7);
+    for (int i = 0; i < 500; ++i) {
+        std::string sig;
+        for (unsigned j = 0; j < window; ++j)
+            sig.push_back(static_cast<char>(rng.nextBelow(256)));
+        dict.add(sig);
+    }
+    std::printf("Dictionary: %zu signatures of %u bytes, %.2f Kb "
+                "on-chip\n",
+                dict.size(), window, dict.storageBits() / 1024.0);
+
+    // Synthetic traffic: mostly benign text, a few injected attacks.
+    std::string payload;
+    for (int i = 0; i < 4 * 1024 * 1024; ++i)
+        payload.push_back(static_cast<char>(' ' + rng.nextBelow(95)));
+    size_t attack1 = 1234567, attack2 = 3210000;
+    payload.replace(attack1, window, std::string_view(named[0], window));
+    payload.replace(attack2, window, std::string_view(named[2], window));
+
+    std::vector<DictionaryMatch> matches;
+    StopWatch watch;
+    auto stats = dict.scan(payload, matches);
+    double secs = watch.seconds();
+
+    std::printf("Scanned %.1f MB in %.2f s (%.1f MB/s software): "
+                "%llu matches, pre-filter passed %.4f%% of windows\n",
+                payload.size() / 1e6, secs,
+                payload.size() / 1e6 / secs,
+                static_cast<unsigned long long>(stats.matches),
+                100.0 * static_cast<double>(stats.bloomPositives) /
+                    static_cast<double>(stats.windows));
+    for (const auto &m : matches)
+        std::printf("  match at offset %zu (signature %u)\n",
+                    m.offset, m.patternId);
+
+    bool found1 = false, found2 = false;
+    for (const auto &m : matches) {
+        found1 = found1 || m.offset == attack1;
+        found2 = found2 || m.offset == attack2;
+    }
+    std::printf("Injected attacks detected: %s\n",
+                (found1 && found2) ? "both" : "MISSED");
+    return (found1 && found2) ? 0 : 1;
+}

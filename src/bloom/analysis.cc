@@ -1,0 +1,88 @@
+#include "bloom/analysis.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace chisel {
+
+namespace {
+
+/**
+ * log of one term of Equation 3:
+ *   s * [ (k/2 + 1) - (k/2) ln 2 ] + (s k / 2) * ln(s k / m)
+ * (natural log).
+ */
+double
+logTerm(double s, double m, double k)
+{
+    double coeff = (k / 2.0 + 1.0) - (k / 2.0) * std::log(2.0);
+    return s * coeff + (s * k / 2.0) * std::log(s * k / m);
+}
+
+/**
+ * Natural-log of the Equation 3 sum, computed by accumulating terms
+ * with log-sum-exp.  Terms initially decrease geometrically (for
+ * m > kn the log term is concave in s with negative slope at s=1),
+ * so the sum converges quickly; we stop once a term is 60 nats below
+ * the running total or the term index reaches n.
+ */
+double
+logSum(size_t n, size_t m, unsigned k)
+{
+    assert(n >= 1 && m >= 1 && k >= 1);
+    double md = static_cast<double>(m);
+    double kd = static_cast<double>(k);
+
+    double log_total = -std::numeric_limits<double>::infinity();
+    for (size_t s = 1; s <= n; ++s) {
+        double lt = logTerm(static_cast<double>(s), md, kd);
+        if (log_total == -std::numeric_limits<double>::infinity()) {
+            log_total = lt;
+        } else if (lt > log_total) {
+            log_total = lt + std::log1p(std::exp(log_total - lt));
+        } else {
+            log_total += std::log1p(std::exp(lt - log_total));
+        }
+        // Terms with sk >= m make the bound vacuous (> 1); they also
+        // grow, so once we are past the useful regime stop early when
+        // the term is negligible relative to the total.
+        if (lt < log_total - 60.0 && s > 8)
+            break;
+        if (log_total > 0.0)
+            break;  // Bound already exceeds 1; it is vacuous.
+    }
+    return log_total;
+}
+
+} // anonymous namespace
+
+double
+bloomierSetupFailureBound(size_t n, size_t m, unsigned k)
+{
+    double lt = logSum(n, m, k);
+    if (lt > 0.0)
+        return 1.0;
+    return std::exp(lt);
+}
+
+double
+bloomierSetupFailureBoundLog10(size_t n, size_t m, unsigned k)
+{
+    double lt = logSum(n, m, k);
+    return std::min(lt, 0.0) / std::log(10.0);
+}
+
+double
+repeatedFailureProbability(size_t n, size_t m, unsigned k,
+                           unsigned attempts)
+{
+    double log10_once = bloomierSetupFailureBoundLog10(n, m, k);
+    double log10_all = log10_once * attempts;
+    if (log10_all < -300.0)
+        return 0.0;
+    return std::pow(10.0, log10_all);
+}
+
+} // namespace chisel

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Analytic bounds for Bloomier-filter setup (paper Equation 3).
+ *
+ * The setup (peeling) algorithm fails when no singleton can be found;
+ * Chazelle et al. bound the failure probability for n keys, an Index
+ * Table of m >= kn slots and k hash functions by
+ *
+ *     P(fail) <= sum_{s=1..n} (e^{k/2+1} / 2^{k/2})^s (s k / m)^{s k / 2}
+ *
+ * Figures 2 and 3 of the paper plot exactly this bound; the functions
+ * here evaluate it in log space so the 1e-35-scale values those plots
+ * reach do not underflow.
+ */
+
+#ifndef CHISEL_BLOOM_ANALYSIS_HH
+#define CHISEL_BLOOM_ANALYSIS_HH
+
+#include <cstddef>
+
+namespace chisel {
+
+/**
+ * Upper bound on Bloomier setup-failure probability (Equation 3).
+ *
+ * @param n Number of keys.
+ * @param m Index Table slots (m >= k*n for the bound to be useful).
+ * @param k Number of hash functions.
+ * @return The bound, clamped to [0, 1].
+ */
+double bloomierSetupFailureBound(size_t n, size_t m, unsigned k);
+
+/**
+ * log10 of the bound; meaningful even when the bound itself
+ * underflows a double (e.g. k=7 at large m/n).
+ */
+double bloomierSetupFailureBoundLog10(size_t n, size_t m, unsigned k);
+
+/**
+ * Probability that the same setup fails @p attempts consecutive times
+ * with independent hash seeds (Section 4.1's 1e-14, 1e-21, ... series).
+ */
+double repeatedFailureProbability(size_t n, size_t m, unsigned k,
+                                  unsigned attempts);
+
+} // namespace chisel
+
+#endif // CHISEL_BLOOM_ANALYSIS_HH

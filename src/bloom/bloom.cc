@@ -1,0 +1,70 @@
+#include "bloom/bloom.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/bitops.hh"
+
+namespace chisel {
+
+BloomFilter::BloomFilter(size_t bits, unsigned k, uint64_t seed)
+    : bits_(divCeil(bits, 64) * 64),
+      family_(k, 64, seed),
+      words_(bits_ / 64, 0)
+{
+    assert(bits >= 1);
+    assert(k >= 1);
+}
+
+size_t
+BloomFilter::bitIndex(unsigned fn, const Key128 &key, unsigned len) const
+{
+    return static_cast<size_t>(family_.hash(fn, key, len) % bits_);
+}
+
+void
+BloomFilter::insert(const Key128 &key, unsigned len)
+{
+    for (unsigned i = 0; i < family_.size(); ++i) {
+        size_t b = bitIndex(i, key, len);
+        words_[b / 64] |= uint64_t(1) << (b % 64);
+    }
+    ++count_;
+}
+
+bool
+BloomFilter::query(const Key128 &key, unsigned len) const
+{
+    for (unsigned i = 0; i < family_.size(); ++i) {
+        size_t b = bitIndex(i, key, len);
+        if (!((words_[b / 64] >> (b % 64)) & 1))
+            return false;
+    }
+    return true;
+}
+
+double
+BloomFilter::fillRatio() const
+{
+    size_t set = 0;
+    for (uint64_t w : words_)
+        set += popcount64(w);
+    return static_cast<double>(set) / static_cast<double>(bits_);
+}
+
+double
+BloomFilter::theoreticalFpp(size_t bits, unsigned k, size_t n)
+{
+    double m = static_cast<double>(bits);
+    double fill = 1.0 - std::exp(-static_cast<double>(k) * n / m);
+    return std::pow(fill, k);
+}
+
+void
+BloomFilter::clear()
+{
+    std::fill(words_.begin(), words_.end(), 0);
+    count_ = 0;
+}
+
+} // namespace chisel

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Plain Bloom filter (Bloom, CACM 1970).
+ *
+ * Used as a substrate and as the ancestor of the Bloomier filter; the
+ * Dharmapurikar-style per-length membership scheme in the related-work
+ * comparison is built from these.
+ */
+
+#ifndef CHISEL_BLOOM_BLOOM_HH
+#define CHISEL_BLOOM_BLOOM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/key128.hh"
+#include "hash/h3.hh"
+
+namespace chisel {
+
+/**
+ * A Bloom filter over (key, length) pairs with k H3 hash functions.
+ */
+class BloomFilter
+{
+  public:
+    /**
+     * @param bits Number of filter bits (rounded up to a multiple of 64).
+     * @param k Number of hash functions.
+     * @param seed Hash-family seed.
+     */
+    BloomFilter(size_t bits, unsigned k, uint64_t seed);
+
+    /** Insert the top @p len bits of @p key. */
+    void insert(const Key128 &key, unsigned len);
+
+    /** Membership query; false positives possible, negatives exact. */
+    bool query(const Key128 &key, unsigned len) const;
+
+    /** Number of filter bits. */
+    size_t bits() const { return bits_; }
+
+    /** Number of hash functions. */
+    unsigned k() const { return family_.size(); }
+
+    /** Number of inserted elements. */
+    size_t count() const { return count_; }
+
+    /** Fraction of bits set. */
+    double fillRatio() const;
+
+    /** Theoretical false-positive probability for n inserted keys. */
+    static double theoreticalFpp(size_t bits, unsigned k, size_t n);
+
+    /** Reset to empty. */
+    void clear();
+
+  private:
+    size_t bitIndex(unsigned fn, const Key128 &key, unsigned len) const;
+
+    size_t bits_;
+    H3Family family_;
+    std::vector<uint64_t> words_;
+    size_t count_ = 0;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_BLOOM_BLOOM_HH

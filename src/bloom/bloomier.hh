@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Bloomier filter (Chazelle, Kilian, Rubinfeld, Tal; SODA 2004), with
+ * the Chisel extensions of Sections 4.1, 4.2 and 4.4:
+ *
+ *  - codes stored in the Index Table are *pointers* into an external
+ *    table of n locations (Equation 4), not the k-valued hτ of the
+ *    original construction;
+ *  - incremental insertion through singleton slots;
+ *  - d-way logical partitioning by a hash checksum, so that the rare
+ *    insert with no singleton rebuilds only 1/d of the keys;
+ *  - spillover handling: keys the peeling cannot place are reported
+ *    so the caller can park them in a small spillover TCAM.
+ *
+ * The Index Table is segmented: hash function i indexes only segment
+ * i of a partition, mirroring the FPGA prototype's "3-way segmented
+ * memory" and guaranteeing that a key's k slots are distinct (XOR
+ * recovery breaks if two of a key's slots coincide).
+ *
+ * Lookup evaluates Equation 2: XOR of the k slot values yields the
+ * encoded code for any key that was inserted.  For absent keys the
+ * XOR is arbitrary — the caller must verify against the stored key
+ * (the Filter Table) to eliminate false positives, per Section 4.2.
+ */
+
+#ifndef CHISEL_BLOOM_BLOOMIER_HH
+#define CHISEL_BLOOM_BLOOMIER_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/key128.hh"
+#include "hash/h3.hh"
+#include "hash/mix.hh"
+
+namespace chisel {
+
+/** Construction parameters for a Bloomier filter. */
+struct BloomierConfig
+{
+    /** Number of hash functions (paper design point: 3). */
+    unsigned k = 3;
+
+    /** Index-table slots per key, m/n (paper design point: 3). */
+    double ratio = 3.0;
+
+    /** Key length in bits; all keys of one filter share it. */
+    unsigned keyLen = 32;
+
+    /** Logical partitions d (Section 4.4.2); 1 disables partitioning. */
+    unsigned partitions = 1;
+
+    /** Hash-family seed. */
+    uint64_t seed = 0xC0FFEE;
+};
+
+/**
+ * A dynamic Bloomier filter mapping fixed-length keys to codes.
+ *
+ * Codes are arbitrary 32-bit values chosen by the caller (Chisel
+ * passes Filter/Result-table slot indices).  The filter maintains a
+ * software registry of its keys — the "shadow copy" of Section 4.4 —
+ * so that partitions can be rebuilt; the hardware image is the slot
+ * array returned by storage accessors.
+ */
+class BloomierFilter
+{
+  public:
+    /** How an insert was accomplished (Figure 14's categories). */
+    enum class InsertMethod
+    {
+        Singleton,   ///< Encoded directly into an empty slot, O(1).
+        Rebuild,     ///< Required re-running setup on one partition.
+        Failed,      ///< Could not be placed even after rebuild.
+        Duplicate,   ///< Key already present; nothing done.
+    };
+
+    /** Result of an insert. */
+    struct InsertResult
+    {
+        InsertMethod method = InsertMethod::Failed;
+        /**
+         * Keys (with their codes) evicted during a rebuild because
+         * peeling could not place them; the caller must park them in
+         * the spillover TCAM.  The inserted key itself appears here
+         * when method == Failed.
+         */
+        std::vector<std::pair<Key128, uint32_t>> spilled;
+    };
+
+    /** Cumulative operation counters. */
+    struct Stats
+    {
+        uint64_t singletonInserts = 0;
+        uint64_t rebuilds = 0;
+        uint64_t spilledKeys = 0;
+        uint64_t erases = 0;
+    };
+
+    /**
+     * @param capacity Number of keys the filter is provisioned for
+     *        (n); the Index Table gets ceil(ratio*n) slots, rounded
+     *        up so that every partition has k equal segments.
+     * @param config Construction parameters.
+     */
+    BloomierFilter(size_t capacity, const BloomierConfig &config);
+
+    /**
+     * Bulk setup: replaces the current content with @p entries and
+     * runs the peeling setup on every partition.
+     *
+     * @return Keys that could not be placed (for the spillover TCAM);
+     *         empty on full success.
+     */
+    std::vector<std::pair<Key128, uint32_t>>
+    setup(const std::vector<std::pair<Key128, uint32_t>> &entries);
+
+    /**
+     * Insert one key.  Tries the O(1) singleton encode first; if no
+     * slot of the key is unoccupied, rebuilds the key's partition.
+     */
+    InsertResult insert(const Key128 &key, uint32_t code);
+
+    /**
+     * Remove a key's occupancy.  Its stale encoding remains in the
+     * slot array — harmless, since lookups of other keys never XOR
+     * it, and the Filter Table check rejects the removed key.
+     *
+     * @return true if the key was present.
+     */
+    bool erase(const Key128 &key);
+
+    /**
+     * Equation 2: XOR of the key's k slots.  For inserted keys this
+     * is the code passed to insert(); for absent keys it is garbage
+     * that the caller must filter (Section 4.2).
+     */
+    uint32_t lookupCode(const Key128 &key) const;
+
+    /** Software registry membership (exact; no false positives). */
+    bool contains(const Key128 &key) const;
+
+    /** Code of a key per the software registry, if present. */
+    std::optional<uint32_t> findCode(const Key128 &key) const;
+
+    /**
+     * True if inserting @p key now would find a singleton slot, i.e.
+     * would be O(1).  Used by tests and by the update classifier.
+     */
+    bool hasSingletonSlot(const Key128 &key) const;
+
+    /** Number of keys currently placed (excluding spilled). */
+    size_t size() const { return size_; }
+
+    /** Provisioned capacity n. */
+    size_t capacity() const { return capacity_; }
+
+    /** Total Index Table slots m. */
+    size_t slots() const { return slots_.size(); }
+
+    /** Number of logical partitions. */
+    unsigned partitions() const { return partitions_; }
+
+    /** Slots per partition (a rebuild rewrites this many). */
+    size_t partitionSlots() const { return partitionSlots_; }
+
+    /** Width of one Index Table slot in bits (storage model). */
+    unsigned slotWidthBits() const { return slotWidthBits_; }
+
+    /** Total Index Table storage in bits: m * slot width. */
+    uint64_t storageBits() const;
+
+    /** Operation counters. */
+    const Stats &stats() const { return stats_; }
+
+    /** Remove everything. */
+    void clear();
+
+    /**
+     * Consistency check (tests): every registered key's lookupCode
+     * equals its registered code.  O(n).
+     */
+    bool selfCheck() const;
+
+  private:
+    using Registry =
+        std::unordered_map<Key128, uint32_t, Key128Hasher>;
+
+    /** Partition index of a key (the hash checksum of Section 4.4.2). */
+    unsigned partitionOf(const Key128 &key) const;
+
+    /** The k slot indices of a key, one per segment of its partition. */
+    void slotsOf(const Key128 &key, unsigned partition,
+                 size_t out[]) const;
+
+    /** Write the encoding of (key, code) into slot @p target. */
+    void encodeAt(const Key128 &key, unsigned partition, uint32_t code,
+                  size_t target);
+
+    /**
+     * Re-run the peeling setup on partition @p p.  Keys that cannot
+     * be placed are removed from the registry and appended to
+     * @p spilled with their codes.
+     */
+    void rebuildPartition(unsigned p,
+                          std::vector<std::pair<Key128, uint32_t>>
+                              &spilled);
+
+    size_t capacity_;
+    BloomierConfig config_;
+    unsigned partitions_;
+    size_t partitionSlots_;   ///< Slots per partition (k segments).
+    size_t segmentSlots_;     ///< Slots per segment.
+    unsigned slotWidthBits_;
+
+    H3Family family_;
+    H3Hash checksum_;         ///< Partition selector.
+
+    std::vector<uint32_t> slots_;     ///< The Index Table D[].
+    std::vector<uint32_t> counts_;    ///< Occupancy per slot.
+    std::vector<Registry> registry_;  ///< Per-partition key registry.
+    size_t size_ = 0;
+    Stats stats_;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_BLOOM_BLOOMIER_HH

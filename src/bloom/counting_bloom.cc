@@ -1,0 +1,76 @@
+#include "bloom/counting_bloom.hh"
+
+#include <cassert>
+
+#include "common/bitops.hh"
+
+namespace chisel {
+
+CountingBloomFilter::CountingBloomFilter(size_t counters, unsigned k,
+                                         unsigned counter_bits,
+                                         uint64_t seed)
+    : family_(k, 64, seed),
+      counters_(counters, 0),
+      counterBits_(counter_bits),
+      maxCount_(static_cast<uint32_t>(lowMask(counter_bits)))
+{
+    assert(counters >= 1);
+    assert(k >= 1);
+    assert(counter_bits >= 1 && counter_bits <= 32);
+}
+
+std::vector<size_t>
+CountingBloomFilter::locations(const Key128 &key, unsigned len) const
+{
+    std::vector<size_t> locs(family_.size());
+    for (unsigned i = 0; i < family_.size(); ++i)
+        locs[i] = static_cast<size_t>(
+            family_.hash(i, key, len) % counters_.size());
+    return locs;
+}
+
+void
+CountingBloomFilter::insert(const Key128 &key, unsigned len)
+{
+    for (size_t loc : locations(key, len)) {
+        if (counters_[loc] >= maxCount_) {
+            ++saturations_;
+            continue;
+        }
+        ++counters_[loc];
+    }
+}
+
+void
+CountingBloomFilter::remove(const Key128 &key, unsigned len)
+{
+    for (size_t loc : locations(key, len)) {
+        if (counters_[loc] > 0 && counters_[loc] < maxCount_)
+            --counters_[loc];
+    }
+}
+
+bool
+CountingBloomFilter::query(const Key128 &key, unsigned len) const
+{
+    for (size_t loc : locations(key, len)) {
+        if (counters_[loc] == 0)
+            return false;
+    }
+    return true;
+}
+
+uint64_t
+CountingBloomFilter::storageBits() const
+{
+    return static_cast<uint64_t>(counters_.size()) * counterBits_;
+}
+
+void
+CountingBloomFilter::clear()
+{
+    std::fill(counters_.begin(), counters_.end(), 0);
+    saturations_ = 0;
+}
+
+} // namespace chisel

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Counting Bloom filter (Fan et al., SIGCOMM 1998).
+ *
+ * The on-chip first level of the Extended Bloom Filter baseline
+ * (Song et al., SIGCOMM 2005) is a counting Bloom filter whose
+ * counter values steer lookups to the least-loaded hash bucket.
+ */
+
+#ifndef CHISEL_BLOOM_COUNTING_BLOOM_HH
+#define CHISEL_BLOOM_COUNTING_BLOOM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/key128.hh"
+#include "hash/h3.hh"
+
+namespace chisel {
+
+/**
+ * Counting Bloom filter with saturating counters.
+ */
+class CountingBloomFilter
+{
+  public:
+    /**
+     * @param counters Number of counters.
+     * @param k Number of hash functions.
+     * @param counter_bits Width of each counter (for storage modelling
+     *        and saturation; typical hardware value is 4).
+     * @param seed Hash-family seed.
+     */
+    CountingBloomFilter(size_t counters, unsigned k,
+                        unsigned counter_bits, uint64_t seed);
+
+    /** Increment the k counters of a key. */
+    void insert(const Key128 &key, unsigned len);
+
+    /** Decrement the k counters of a key (assumes it was inserted). */
+    void remove(const Key128 &key, unsigned len);
+
+    /** Membership: all k counters non-zero. */
+    bool query(const Key128 &key, unsigned len) const;
+
+    /** The k counter locations of a key, in hash-function order. */
+    std::vector<size_t> locations(const Key128 &key, unsigned len) const;
+
+    /** Counter value at a location. */
+    uint32_t counterAt(size_t location) const { return counters_[location]; }
+
+    /** Number of counters. */
+    size_t size() const { return counters_.size(); }
+
+    /** Counter width in bits (storage model). */
+    unsigned counterBits() const { return counterBits_; }
+
+    /** Total on-chip bits: counters * width. */
+    uint64_t storageBits() const;
+
+    /** Number of saturated counters so far (diagnostic). */
+    size_t saturations() const { return saturations_; }
+
+    void clear();
+
+  private:
+    H3Family family_;
+    std::vector<uint32_t> counters_;
+    unsigned counterBits_;
+    uint32_t maxCount_;
+    size_t saturations_ = 0;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_BLOOM_COUNTING_BLOOM_HH

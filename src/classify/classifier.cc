@@ -1,0 +1,75 @@
+#include "classify/classifier.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "route/table.hh"
+
+namespace chisel {
+
+TwoFieldClassifier::TwoFieldClassifier(const std::vector<Rule> &rules,
+                                       const ChiselConfig &config)
+    : rules_(rules)
+{
+    // Collect the distinct per-field prefixes.
+    RoutingTable src_table, dst_table;
+    std::vector<Prefix> src_prefixes, dst_prefixes;
+    for (const auto &r : rules_) {
+        if (src_table.add(r.src, 0))
+            src_prefixes.push_back(r.src);
+        if (dst_table.add(r.dst, 0))
+            dst_prefixes.push_back(r.dst);
+    }
+    srcCount_ = src_prefixes.size();
+    dstCount_ = dst_prefixes.size();
+
+    srcEngine_ = std::make_unique<ChiselEngine>(src_table, config);
+    dstEngine_ = std::make_unique<ChiselEngine>(dst_table, config);
+
+    // Materialise the cross-product: for every (s, d) pair that a
+    // lookup can produce, the winning rule is the highest-priority
+    // rule whose source covers s and destination covers d.
+    for (const auto &s : src_prefixes) {
+        for (const auto &d : dst_prefixes) {
+            size_t best = SIZE_MAX;
+            for (size_t i = 0; i < rules_.size(); ++i) {
+                const Rule &r = rules_[i];
+                if (!r.src.covers(s) || !r.dst.covers(d))
+                    continue;
+                if (best == SIZE_MAX ||
+                    r.priority < rules_[best].priority ||
+                    (r.priority == rules_[best].priority && i < best))
+                    best = i;
+            }
+            if (best != SIZE_MAX)
+                cross_.emplace(std::make_pair(s, d), best);
+        }
+    }
+}
+
+ClassifyResult
+TwoFieldClassifier::classify(const Key128 &src,
+                             const Key128 &dst) const
+{
+    ClassifyResult out;
+
+    auto s = srcEngine_->lookup(src);
+    auto d = dstEngine_->lookup(dst);
+    if (!s.found || !d.found)
+        return out;   // Some field has no covering rule prefix.
+
+    Prefix sp(src, s.matchedLength);
+    Prefix dp(dst, d.matchedLength);
+    auto it = cross_.find(std::make_pair(sp, dp));
+    if (it == cross_.end())
+        return out;   // The pair exists but no rule covers both.
+
+    const Rule &r = rules_[it->second];
+    out.matched = true;
+    out.action = r.action;
+    out.priority = r.priority;
+    out.ruleIndex = it->second;
+    return out;
+}
+
+} // namespace chisel

@@ -1,0 +1,129 @@
+#include "common/key128.hh"
+
+#include <cassert>
+
+namespace chisel {
+
+void
+Key128::setBit(unsigned pos, bool value)
+{
+    assert(pos < maxBits);
+    if (pos < 64) {
+        uint64_t mask = uint64_t(1) << (63 - pos);
+        hi_ = value ? (hi_ | mask) : (hi_ & ~mask);
+    } else {
+        uint64_t mask = uint64_t(1) << (127 - pos);
+        lo_ = value ? (lo_ | mask) : (lo_ & ~mask);
+    }
+}
+
+uint64_t
+Key128::extract(unsigned pos, unsigned count) const
+{
+    assert(count <= 64);
+    assert(pos + count <= maxBits);
+    if (count == 0)
+        return 0;
+
+    // Fast paths when the range lies entirely in one half.
+    if (pos + count <= 64) {
+        unsigned shift = 64 - pos - count;
+        uint64_t mask = (count == 64) ? ~uint64_t(0)
+                                      : ((uint64_t(1) << count) - 1);
+        return (hi_ >> shift) & mask;
+    }
+    if (pos >= 64) {
+        unsigned p = pos - 64;
+        unsigned shift = 64 - p - count;
+        uint64_t mask = (count == 64) ? ~uint64_t(0)
+                                      : ((uint64_t(1) << count) - 1);
+        return (lo_ >> shift) & mask;
+    }
+
+    // Straddling case: take the tail of hi_ and the head of lo_.
+    unsigned hi_bits = 64 - pos;
+    unsigned lo_bits = count - hi_bits;
+    uint64_t high_part = hi_ & ((uint64_t(1) << hi_bits) - 1);
+    uint64_t low_part = lo_ >> (64 - lo_bits);
+    return (high_part << lo_bits) | low_part;
+}
+
+void
+Key128::deposit(unsigned pos, unsigned count, uint64_t value)
+{
+    assert(count <= 64);
+    assert(pos + count <= maxBits);
+    if (count == 0)
+        return;
+
+    uint64_t vmask = (count == 64) ? ~uint64_t(0)
+                                   : ((uint64_t(1) << count) - 1);
+    value &= vmask;
+
+    if (pos + count <= 64) {
+        unsigned shift = 64 - pos - count;
+        hi_ = (hi_ & ~(vmask << shift)) | (value << shift);
+        return;
+    }
+    if (pos >= 64) {
+        unsigned p = pos - 64;
+        unsigned shift = 64 - p - count;
+        lo_ = (lo_ & ~(vmask << shift)) | (value << shift);
+        return;
+    }
+
+    unsigned hi_bits = 64 - pos;
+    unsigned lo_bits = count - hi_bits;
+    uint64_t hi_mask = (uint64_t(1) << hi_bits) - 1;
+    hi_ = (hi_ & ~hi_mask) | (value >> lo_bits);
+    uint64_t lo_val = value & ((lo_bits == 64) ? ~uint64_t(0)
+                                               : ((uint64_t(1) << lo_bits) - 1));
+    uint64_t lo_mask = ~uint64_t(0) << (64 - lo_bits);
+    lo_ = (lo_ & ~lo_mask) | (lo_val << (64 - lo_bits));
+}
+
+Key128
+Key128::masked(unsigned len) const
+{
+    assert(len <= maxBits);
+    if (len == 0)
+        return Key128();
+    if (len <= 64) {
+        uint64_t mask = (len == 64) ? ~uint64_t(0)
+                                    : (~uint64_t(0) << (64 - len));
+        return Key128(hi_ & mask, 0);
+    }
+    unsigned low_len = len - 64;
+    uint64_t mask = (low_len == 64) ? ~uint64_t(0)
+                                    : (~uint64_t(0) << (64 - low_len));
+    return Key128(hi_, lo_ & mask);
+}
+
+bool
+Key128::matchesPrefix(const Key128 &other, unsigned len) const
+{
+    return masked(len) == other.masked(len);
+}
+
+std::string
+Key128::toBitString(unsigned len) const
+{
+    assert(len <= maxBits);
+    std::string s;
+    s.reserve(len);
+    for (unsigned i = 0; i < len; ++i)
+        s.push_back(bit(i) ? '1' : '0');
+    return s;
+}
+
+std::string
+Key128::toIpv4String() const
+{
+    uint32_t a = toIpv4();
+    return std::to_string((a >> 24) & 0xff) + "." +
+           std::to_string((a >> 16) & 0xff) + "." +
+           std::to_string((a >> 8) & 0xff) + "." +
+           std::to_string(a & 0xff);
+}
+
+} // namespace chisel

@@ -1,0 +1,35 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace chisel {
+
+void
+fatalError(const std::string &msg)
+{
+    throw ChiselError(msg);
+}
+
+void
+panicIf(bool condition, const char *msg)
+{
+    if (condition) {
+        std::fprintf(stderr, "chisel: panic: %s\n", msg);
+        std::abort();
+    }
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "chisel: warn: %s\n", msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "chisel: info: %s\n", msg.c_str());
+}
+
+} // namespace chisel

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Error reporting helpers, in the spirit of gem5's logging.hh.
+ *
+ * - panicIf(cond, msg):  internal invariant violated -> abort.
+ * - fatalError(msg):     unrecoverable user error -> ChiselError thrown.
+ * - warnOnce / inform:   advisory messages on stderr.
+ */
+
+#ifndef CHISEL_COMMON_LOGGING_HH
+#define CHISEL_COMMON_LOGGING_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace chisel {
+
+/**
+ * Exception thrown for unrecoverable user errors (bad configuration,
+ * malformed input, capacity exceeded).  Library invariant violations
+ * use panicIf/abort instead.
+ */
+class ChiselError : public std::runtime_error
+{
+  public:
+    explicit ChiselError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Throw a ChiselError carrying @p msg. */
+[[noreturn]] void fatalError(const std::string &msg);
+
+/** Abort with @p msg if @p condition holds (library bug). */
+void panicIf(bool condition, const char *msg);
+
+/** Print an advisory message to stderr. */
+void warn(const std::string &msg);
+
+/** Print a status message to stderr. */
+void inform(const std::string &msg);
+
+} // namespace chisel
+
+#endif // CHISEL_COMMON_LOGGING_HH

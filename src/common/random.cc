@@ -1,0 +1,98 @@
+#include "common/random.hh"
+
+#include <cassert>
+#include <numeric>
+
+namespace chisel {
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(uint64_t seed)
+{
+    // Seed the four xoshiro words from SplitMix64, per the authors'
+    // recommendation; guarantees a non-zero state.
+    uint64_t sm = seed;
+    for (auto &w : s_)
+        w = splitmix64(sm);
+}
+
+uint64_t
+Rng::next64()
+{
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+uint64_t
+Rng::nextRange(uint64_t lo, uint64_t hi)
+{
+    assert(lo <= hi);
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return (next64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+size_t
+Rng::nextWeighted(const std::vector<double> &weights)
+{
+    assert(!weights.empty());
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    assert(total > 0.0);
+    double r = nextDouble() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace chisel

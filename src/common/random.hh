@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything in this library that needs randomness (hash-function
+ * seeds, synthetic table generation, update traces) draws from an
+ * explicitly seeded Rng so that experiments are exactly reproducible.
+ * The generator is xoshiro256**, seeded via SplitMix64, which is fast,
+ * high quality, and has no global state.
+ */
+
+#ifndef CHISEL_COMMON_RANDOM_HH
+#define CHISEL_COMMON_RANDOM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace chisel {
+
+/** SplitMix64 step: turns any 64-bit state into a well-mixed output. */
+uint64_t splitmix64(uint64_t &state);
+
+/**
+ * A small, deterministic, explicitly seeded PRNG (xoshiro256**).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next64();
+
+    /** Uniform value in [0, bound); bound must be > 0. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    uint64_t nextRange(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with success probability @p p. */
+    bool nextBool(double p = 0.5);
+
+    /**
+     * Sample an index from a discrete distribution given by
+     * non-negative @p weights (need not be normalised).
+     */
+    size_t nextWeighted(const std::vector<double> &weights);
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace chisel
+
+#endif // CHISEL_COMMON_RANDOM_HH

@@ -1,0 +1,85 @@
+#include "core/bitvector_table.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hh"
+
+namespace chisel {
+
+BitVectorTable::BitVectorTable(size_t capacity, unsigned stride,
+                               unsigned pointer_bits)
+    : capacity_(capacity),
+      vectorBits_(1u << stride),
+      wordsPerVector_(std::max(1u, vectorBits_ / 64)),
+      pointerBits_(pointer_bits),
+      words_(capacity * wordsPerVector_, 0),
+      pointers_(capacity, 0)
+{
+    panicIf(stride > 16, "BitVectorTable stride too large");
+}
+
+void
+BitVectorTable::setVector(uint32_t slot,
+                          const std::vector<uint64_t> &bits,
+                          uint32_t pointer)
+{
+    panicIf(slot >= capacity_, "BitVectorTable set out of range");
+    panicIf(bits.size() != wordsPerVector_,
+            "BitVectorTable vector word-count mismatch");
+    std::copy(bits.begin(), bits.end(),
+              words_.begin() + static_cast<size_t>(slot) * wordsPerVector_);
+    pointers_[slot] = pointer;
+}
+
+void
+BitVectorTable::clearVector(uint32_t slot)
+{
+    panicIf(slot >= capacity_, "BitVectorTable clear out of range");
+    auto begin = words_.begin() + static_cast<size_t>(slot) * wordsPerVector_;
+    std::fill(begin, begin + wordsPerVector_, 0);
+    pointers_[slot] = 0;
+}
+
+bool
+BitVectorTable::bit(uint32_t slot, uint64_t index) const
+{
+    panicIf(slot >= capacity_ || index >= vectorBits_,
+            "BitVectorTable bit out of range");
+    const uint64_t *v = &words_[static_cast<size_t>(slot) * wordsPerVector_];
+    return (v[index / 64] >> (index % 64)) & 1;
+}
+
+unsigned
+BitVectorTable::onesCount(uint32_t slot) const
+{
+    const uint64_t *v = &words_[static_cast<size_t>(slot) * wordsPerVector_];
+    unsigned total = 0;
+    for (unsigned w = 0; w < wordsPerVector_; ++w)
+        total += popcount64(v[w]);
+    return total;
+}
+
+unsigned
+BitVectorTable::onesUpTo(uint32_t slot, uint64_t index) const
+{
+    panicIf(slot >= capacity_ || index >= vectorBits_,
+            "BitVectorTable rank out of range");
+    const uint64_t *v = &words_[static_cast<size_t>(slot) * wordsPerVector_];
+    unsigned total = 0;
+    uint64_t word = index / 64;
+    for (uint64_t w = 0; w < word; ++w)
+        total += popcount64(v[w]);
+    unsigned rem = static_cast<unsigned>(index % 64) + 1;
+    total += popcount64(v[word] &
+                        (rem == 64 ? ~uint64_t(0) : lowMask(rem)));
+    return total;
+}
+
+uint64_t
+BitVectorTable::storageBits() const
+{
+    return static_cast<uint64_t>(capacity_) * slotWidthBits();
+}
+
+} // namespace chisel

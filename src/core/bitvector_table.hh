@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bit-vector Table: wildcard disambiguation for collapsed prefixes.
+ *
+ * Prefix collapsing merges up to O(2^stride) original prefixes into
+ * one collapsed prefix; the Bit-vector Table stores, per collapsed
+ * group, one bit per possible collapsed-suffix value plus a pointer
+ * to the group's region of the Result Table.  The lookup indexes the
+ * bit with the collapsed bits of the key; the popcount of the vector
+ * up to that bit is the offset added to the pointer (Section 4.3.2,
+ * Figure 5d).  This resolves the collapse collisions without
+ * chaining, keeping the worst-case lookup at O(1).
+ */
+
+#ifndef CHISEL_CORE_BITVECTOR_TABLE_HH
+#define CHISEL_CORE_BITVECTOR_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hh"
+
+namespace chisel {
+
+/**
+ * Fixed-capacity table of 2^stride-bit vectors with result pointers.
+ */
+class BitVectorTable
+{
+  public:
+    /**
+     * @param capacity Number of entries (same depth as the Filter
+     *        Table).
+     * @param stride Collapse stride; vectors have 2^stride bits.
+     * @param pointer_bits Width of the result pointer for the
+     *        storage model.
+     */
+    BitVectorTable(size_t capacity, unsigned stride,
+                   unsigned pointer_bits);
+
+    /** Bits per vector (2^stride). */
+    unsigned vectorBits() const { return vectorBits_; }
+
+    /** Replace the vector at @p slot. */
+    void setVector(uint32_t slot, const std::vector<uint64_t> &bits,
+                   uint32_t pointer);
+
+    /** Zero the vector at @p slot (withdrawn group). */
+    void clearVector(uint32_t slot);
+
+    /** Bit @p index of the vector at @p slot. */
+    bool bit(uint32_t slot, uint64_t index) const;
+
+    /** Number of ones in the vector at @p slot. */
+    unsigned onesCount(uint32_t slot) const;
+
+    /**
+     * Number of ones up to and including @p index — the 1-based
+     * result offset of Figure 5(d).  Only meaningful when
+     * bit(slot, index) is set.
+     */
+    unsigned onesUpTo(uint32_t slot, uint64_t index) const;
+
+    /** Result-region pointer of @p slot. */
+    uint32_t pointer(uint32_t slot) const { return pointers_[slot]; }
+
+    size_t capacity() const { return capacity_; }
+
+    /** Entry width in bits: vector plus pointer. */
+    unsigned slotWidthBits() const { return vectorBits_ + pointerBits_; }
+
+    /** Total storage in bits. */
+    uint64_t storageBits() const;
+
+  private:
+    size_t capacity_;
+    unsigned vectorBits_;
+    unsigned wordsPerVector_;
+    unsigned pointerBits_;
+    std::vector<uint64_t> words_;
+    std::vector<uint32_t> pointers_;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_CORE_BITVECTOR_TABLE_HH

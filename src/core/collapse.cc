@@ -1,0 +1,122 @@
+#include "core/collapse.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "hash/mix.hh"
+
+namespace chisel {
+
+int
+CollapsePlan::cellFor(unsigned len) const
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i].covers(len))
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::string
+CollapsePlan::str() const
+{
+    std::string s;
+    for (const auto &c : cells) {
+        s += "[" + std::to_string(c.base) + "-" +
+             std::to_string(c.top) + (c.filler ? "f]" : "]");
+    }
+    return s;
+}
+
+CollapsePlan
+makeCollapsePlan(const std::vector<unsigned> &populated,
+                 unsigned stride, unsigned key_width,
+                 bool cover_all_lengths)
+{
+    if (stride < 1 || stride > 16)
+        fatalError("collapse stride must be in [1, 16]");
+    if (key_width < 1 || key_width > 128)
+        fatalError("key width must be in [1, 128]");
+
+    std::vector<unsigned> lens;
+    for (unsigned l : populated) {
+        if (l == 0)
+            continue;   // Default route lives in a register.
+        if (l > key_width)
+            fatalError("populated length exceeds key width");
+        lens.push_back(l);
+    }
+    std::sort(lens.begin(), lens.end());
+    lens.erase(std::unique(lens.begin(), lens.end()), lens.end());
+
+    CollapsePlan plan;
+
+    // Greedy pass over populated lengths (Section 4.3.3).
+    size_t i = 0;
+    while (i < lens.size()) {
+        CellRange cell;
+        cell.base = lens[i];
+        cell.top = lens[i];
+        while (i < lens.size() && lens[i] <= cell.base + stride) {
+            cell.top = lens[i];
+            ++i;
+        }
+        plan.cells.push_back(cell);
+    }
+
+    if (!cover_all_lengths)
+        return plan;
+
+    // Fill every uncovered length in [1, key_width] with filler
+    // cells so any future announce has a home.
+    CollapsePlan full;
+    unsigned next = 1;
+    for (const auto &cell : plan.cells) {
+        while (next < cell.base) {
+            CellRange filler;
+            filler.base = next;
+            filler.top = std::min(next + stride, cell.base - 1);
+            filler.filler = true;
+            full.cells.push_back(filler);
+            next = filler.top + 1;
+        }
+        full.cells.push_back(cell);
+        // The greedy cell's reach extends to base+stride even if no
+        // populated length sits there; let updates use that space.
+        CellRange &placed = full.cells.back();
+        placed.top = std::min(placed.base + stride, key_width);
+        next = placed.top + 1;
+    }
+    while (next <= key_width) {
+        CellRange filler;
+        filler.base = next;
+        filler.top = std::min(next + stride, key_width);
+        filler.filler = true;
+        full.cells.push_back(filler);
+        next = filler.top + 1;
+    }
+    return full;
+}
+
+std::vector<size_t>
+countGroupsPerCell(const RoutingTable &table, const CollapsePlan &plan)
+{
+    std::vector<std::unordered_set<Key128, Key128Hasher>> groups(
+        plan.cells.size());
+    for (const auto &r : table.routes()) {
+        if (r.prefix.length() == 0)
+            continue;
+        int c = plan.cellFor(r.prefix.length());
+        if (c < 0)
+            continue;
+        groups[c].insert(
+            r.prefix.bits().masked(plan.cells[c].base));
+    }
+    std::vector<size_t> out(plan.cells.size());
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = groups[i].size();
+    return out;
+}
+
+} // namespace chisel

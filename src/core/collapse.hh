@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Prefix-collapse planning (Section 4.3.3).
+ *
+ * The greedy algorithm walks the populated prefix lengths in
+ * ascending order: it opens a sub-cell at the shortest uncovered
+ * populated length l and assigns every populated length in
+ * [l, l + stride] to it.  Each sub-cell therefore stores prefixes of
+ * up to stride+1 distinct lengths, disambiguated by its 2^stride
+ * bit-vectors; the number of unique hash tables drops from one per
+ * length to one per sub-cell.
+ *
+ * For a live router the plan must also cover lengths that are not in
+ * the initial table — a later announce may use any length — so the
+ * planner optionally fills the gaps between the greedy cells with
+ * small filler cells, keeping every length in [1, key width]
+ * serviceable without a TCAM detour.
+ */
+
+#ifndef CHISEL_CORE_COLLAPSE_HH
+#define CHISEL_CORE_COLLAPSE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "route/table.hh"
+
+namespace chisel {
+
+/** One sub-cell's length interval. */
+struct CellRange
+{
+    /** Collapsed (base) length: prefixes are shortened to this. */
+    unsigned base = 0;
+
+    /** Longest original length assigned to this cell (inclusive). */
+    unsigned top = 0;
+
+    /** True if the range was added only to cover a gap for updates. */
+    bool filler = false;
+
+    bool
+    covers(unsigned len) const
+    {
+        return len >= base && len <= top;
+    }
+
+    bool operator==(const CellRange &other) const = default;
+};
+
+/** A complete collapse plan: disjoint ranges in ascending order. */
+struct CollapsePlan
+{
+    std::vector<CellRange> cells;
+
+    /** Index of the cell covering @p len, or -1. */
+    int cellFor(unsigned len) const;
+
+    /** Human-readable form, e.g. "[8-12][13-17]...". */
+    std::string str() const;
+};
+
+/**
+ * Build a collapse plan.
+ *
+ * @param populated Ascending populated prefix lengths (length 0 — the
+ *        default route — is held in a register, not a sub-cell, and
+ *        is ignored here).
+ * @param stride Maximum number of collapsed bits (so each cell covers
+ *        stride+1 lengths).
+ * @param key_width Key width in bits; with @p cover_all_lengths the
+ *        plan covers every length in [1, key_width].
+ * @param cover_all_lengths Add filler cells over unpopulated gaps so
+ *        dynamic updates can announce any length.
+ */
+CollapsePlan makeCollapsePlan(const std::vector<unsigned> &populated,
+                              unsigned stride, unsigned key_width,
+                              bool cover_all_lengths = true);
+
+/**
+ * Count the distinct collapsed groups each cell of @p plan would
+ * hold for @p table — the sizing input for average-case storage
+ * (chiselSizedToFit) without building an engine.
+ */
+std::vector<size_t> countGroupsPerCell(const RoutingTable &table,
+                                       const CollapsePlan &plan);
+
+} // namespace chisel
+
+#endif // CHISEL_CORE_COLLAPSE_HH

@@ -1,0 +1,308 @@
+#include "core/engine.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "hash/mix.hh"
+
+namespace chisel {
+
+uint64_t
+UpdateStats::total() const
+{
+    uint64_t t = 0;
+    for (uint64_t c : counts)
+        t += c;
+    return t;
+}
+
+double
+UpdateStats::fraction(UpdateClass c) const
+{
+    uint64_t t = total();
+    if (t == 0)
+        return 0.0;
+    return static_cast<double>(count(c)) / static_cast<double>(t);
+}
+
+double
+UpdateStats::incrementalFraction() const
+{
+    uint64_t t = total();
+    if (t == 0)
+        return 1.0;
+    uint64_t slow = count(UpdateClass::Resetup);
+    return 1.0 - static_cast<double>(slow) / static_cast<double>(t);
+}
+
+ChiselEngine::ChiselEngine(const RoutingTable &initial,
+                           const ChiselConfig &config)
+    : config_(config), spill_(0)
+{
+    if (config_.keyWidth < 1 || config_.keyWidth > Key128::maxBits)
+        fatalError("ChiselEngine key width must be in [1, 128]");
+
+    plan_ = makeCollapsePlan(initial.populatedLengths(), config_.stride,
+                             config_.keyWidth,
+                             config_.coverAllLengths);
+    if (plan_.cells.empty()) {
+        // Empty table and coverage disabled: a single cell over
+        // [1, stride+1] so the engine is still usable.
+        CellRange r;
+        r.base = 1;
+        r.top = std::min(config_.stride + 1, config_.keyWidth);
+        plan_.cells.push_back(r);
+    }
+
+    // Partition the initial routes per cell.
+    std::vector<std::vector<Route>> per_cell(plan_.cells.size());
+
+    for (const auto &r : initial.routes()) {
+        unsigned len = r.prefix.length();
+        if (len == 0) {
+            defaultRoute_ = r.nextHop;
+            continue;
+        }
+        int c = plan_.cellFor(len);
+        panicIf(c < 0, "collapse plan does not cover an initial route");
+        per_cell[c].push_back(r);
+    }
+
+    std::vector<Route> displaced;
+    for (size_t i = 0; i < plan_.cells.size(); ++i) {
+        SubCell::Config cc;
+        cc.range = plan_.cells[i];
+        cc.stride = config_.stride;
+        // The paper's worst-case paradigm: provision each cell for
+        // its *route* count (one group per prefix in the worst
+        // case), times the headroom for future announces.  Groups
+        // never outnumber routes, so cells run at low load and
+        // singleton insertion stays the overwhelmingly common case.
+        cc.capacity = std::max<size_t>(
+            config_.minCellCapacity,
+            static_cast<size_t>(std::ceil(
+                config_.capacityHeadroom *
+                static_cast<double>(per_cell[i].size()))));
+        cc.keyWidth = config_.keyWidth;
+        cc.k = config_.k;
+        cc.ratio = config_.ratio;
+        // Partitions only help once a cell is large enough that a
+        // full re-setup would be slow; small cells peel in one shot.
+        cc.partitions = static_cast<unsigned>(std::clamp<size_t>(
+            cc.capacity / 2048, 1, config_.partitions));
+        cc.retainDirtyGroups = config_.retainDirtyGroups;
+        cc.resultPointerBits =
+            addressBits(4ull * std::max<size_t>(initial.size(), 1024));
+        cc.seed = mix64(config_.seed + 0x9e3779b97f4a7c15ULL *
+                        (plan_.cells[i].base + 1));
+
+        cells_.push_back(std::make_unique<SubCell>(cc, &results_));
+        cells_.back()->buildFrom(per_cell[i], displaced);
+    }
+    absorbDisplaced(displaced);
+}
+
+void
+ChiselEngine::absorbDisplaced(std::vector<Route> &displaced)
+{
+    bool was_over = spillOverCapacity();
+    for (const auto &r : displaced)
+        spill_.insert(r.prefix, r.nextHop);
+    if (!was_over && spillOverCapacity()) {
+        // Warn once per crossing, not per displaced route.
+        warn("spillover TCAM above design capacity: " +
+             std::to_string(spill_.size()) + " entries");
+    }
+    displaced.clear();
+}
+
+LookupResult
+ChiselEngine::lookup(const Key128 &key) const
+{
+    LookupResult out;
+    out.memoryAccesses = kLookupAccesses;
+
+    // Access accounting: every cell's Index segments, Filter and
+    // Bit-vector are read on every lookup (the probes run in
+    // parallel across cells, but each is a real memory access).
+    ++access_.lookups;
+    access_.indexSegmentReads += cells_.size() * config_.k;
+    access_.filterReads += cells_.size();
+    access_.bitvectorReads += cells_.size();
+
+    // All sub-cells probe in parallel; the priority encoder picks the
+    // hit with the longest base.  Scanning in descending base order,
+    // the first hit is that winner (cell ranges are disjoint).
+    for (auto it = cells_.rbegin(); it != cells_.rend(); ++it) {
+        SubCell::Hit h = (*it)->lookup(key);
+        if (h.hit) {
+            out.found = true;
+            out.nextHop = h.nextHop;
+            out.matchedLength = h.matchedLength;
+            break;
+        }
+    }
+
+    // The spillover TCAM is searched in parallel with the cells; a
+    // longer TCAM match overrides.
+    if (auto t = spill_.lookup(key)) {
+        if (!out.found || t->prefix.length() > out.matchedLength) {
+            out.found = true;
+            out.nextHop = t->nextHop;
+            out.matchedLength = t->prefix.length();
+            out.fromSpill = true;
+        }
+    }
+
+    if (!out.found && defaultRoute_) {
+        out.found = true;
+        out.nextHop = *defaultRoute_;
+        out.matchedLength = 0;
+        out.fromDefault = true;
+    }
+    if (out.found && !out.fromDefault)
+        ++access_.resultReads;
+    return out;
+}
+
+UpdateClass
+ChiselEngine::announce(const Prefix &prefix, NextHop next_hop)
+{
+    if (prefix.length() > config_.keyWidth) {
+        fatalError("announce: prefix longer than the engine's key "
+                   "width");
+    }
+    UpdateClass cls;
+    if (prefix.length() == 0) {
+        cls = defaultRoute_ ? UpdateClass::NextHopChange
+                            : UpdateClass::AddCollapsed;
+        defaultRoute_ = next_hop;
+        updateStats_.record(cls);
+        return cls;
+    }
+
+    // A prefix already parked in the TCAM is updated there.
+    if (spill_.setNextHop(prefix, next_hop)) {
+        updateStats_.record(UpdateClass::NextHopChange);
+        return UpdateClass::NextHopChange;
+    }
+
+    int c = plan_.cellFor(prefix.length());
+    if (c < 0) {
+        spill_.insert(prefix, next_hop);
+        updateStats_.record(UpdateClass::Spill);
+        return UpdateClass::Spill;
+    }
+
+    std::vector<Route> displaced;
+    cls = cells_[c]->announce(prefix, next_hop, displaced);
+    absorbDisplaced(displaced);
+    updateStats_.record(cls);
+    return cls;
+}
+
+UpdateClass
+ChiselEngine::withdraw(const Prefix &prefix)
+{
+    UpdateClass cls = UpdateClass::NoOp;
+    if (prefix.length() == 0) {
+        cls = defaultRoute_ ? UpdateClass::Withdraw : UpdateClass::NoOp;
+        defaultRoute_.reset();
+        updateStats_.record(cls);
+        return cls;
+    }
+
+    if (spill_.erase(prefix)) {
+        updateStats_.record(UpdateClass::Withdraw);
+        return UpdateClass::Withdraw;
+    }
+
+    int c = plan_.cellFor(prefix.length());
+    if (c >= 0)
+        cls = cells_[c]->withdraw(prefix);
+    updateStats_.record(cls);
+    return cls;
+}
+
+UpdateClass
+ChiselEngine::apply(const Update &update)
+{
+    if (update.kind == UpdateKind::Announce)
+        return announce(update.prefix, update.nextHop);
+    return withdraw(update.prefix);
+}
+
+std::optional<NextHop>
+ChiselEngine::find(const Prefix &prefix) const
+{
+    if (prefix.length() == 0)
+        return defaultRoute_;
+    if (auto t = spill_.find(prefix))
+        return t;
+    int c = plan_.cellFor(prefix.length());
+    if (c < 0)
+        return std::nullopt;
+    return cells_[c]->find(prefix);
+}
+
+size_t
+ChiselEngine::routeCount() const
+{
+    size_t n = spill_.size() + (defaultRoute_ ? 1 : 0);
+    for (const auto &cell : cells_)
+        n += cell->routeCount();
+    return n;
+}
+
+RoutingTable
+ChiselEngine::exportTable() const
+{
+    RoutingTable out;
+    std::vector<Route> routes;
+    for (const auto &cell : cells_)
+        cell->exportRoutes(routes);
+    for (const auto &r : routes)
+        out.add(r.prefix, r.nextHop);
+    for (const auto &e : spill_.entries())
+        out.add(e.prefix, e.nextHop);
+    if (defaultRoute_)
+        out.add(Prefix(), *defaultRoute_);
+    return out;
+}
+
+StorageBreakdown
+ChiselEngine::storage() const
+{
+    StorageBreakdown b;
+    for (const auto &cell : cells_) {
+        b.indexBits += cell->indexBits();
+        b.filterBits += cell->filterBits();
+        b.bitvectorBits += cell->bitvectorBits();
+    }
+    return b;
+}
+
+size_t
+ChiselEngine::purgeDirty()
+{
+    size_t purged = 0;
+    for (auto &cell : cells_)
+        purged += cell->purgeDirty();
+    return purged;
+}
+
+bool
+ChiselEngine::selfCheck() const
+{
+    for (const auto &cell : cells_) {
+        if (!cell->selfCheck())
+            return false;
+    }
+    return true;
+}
+
+} // namespace chisel

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * ChiselEngine: the complete LPM architecture (Section 4).
+ *
+ * The engine composes one SubCell per collapse-plan interval, a
+ * shared off-chip Result Table, a register for the default route,
+ * and the small spillover TCAM of Section 4.1.  A lookup probes all
+ * sub-cells (and the spillover TCAM) in parallel; a priority encoder
+ * selects the hit from the sub-cell with the longest base — the
+ * longest-prefix match, because the cells' length intervals are
+ * disjoint and ascending.
+ *
+ * Updates follow Section 4.4: the shadow copies inside the sub-cells
+ * are modified first and the changed hardware words (bit-vectors,
+ * result blocks, occasionally Index/Filter entries) re-written.  The
+ * engine classifies every update into the categories of Figure 14
+ * and accumulates them in UpdateStats.
+ */
+
+#ifndef CHISEL_CORE_ENGINE_HH
+#define CHISEL_CORE_ENGINE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/collapse.hh"
+#include "core/result_table.hh"
+#include "core/storage_model.hh"
+#include "core/subcell.hh"
+#include "route/table.hh"
+#include "route/updates.hh"
+#include "tcam/tcam.hh"
+
+namespace chisel {
+
+/** Engine construction parameters (paper design points as defaults). */
+struct ChiselConfig
+{
+    /** Key width: 32 for IPv4, 128 for IPv6. */
+    unsigned keyWidth = 32;
+
+    /** Maximum collapsed bits per prefix (Section 4.3). */
+    unsigned stride = 4;
+
+    /** Bloomier hash functions (Section 4.1). */
+    unsigned k = 3;
+
+    /** Index Table slots per group, m/n (Section 4.1). */
+    double ratio = 3.0;
+
+    /** Logical Index Table partitions d (Section 4.4.2). */
+    unsigned partitions = 16;
+
+    /** Spillover TCAM design capacity (soft limit, Section 4.1). */
+    size_t spillCapacity = 32;
+
+    /** Sub-cell group capacity = observed groups x this headroom. */
+    double capacityHeadroom = 2.0;
+
+    /** Minimum sub-cell capacity (filler cells use exactly this). */
+    size_t minCellCapacity = 1024;
+
+    /** Cover all lengths in [1, keyWidth] so any update is legal. */
+    bool coverAllLengths = true;
+
+    /** Dirty-bit route-flap retention (Section 4.4.1). */
+    bool retainDirtyGroups = true;
+
+    /** Seed for every hash family in the engine. */
+    uint64_t seed = 0xC415E1;
+};
+
+/** Outcome of an engine lookup. */
+struct LookupResult
+{
+    bool found = false;
+    NextHop nextHop = kNoRoute;
+    unsigned matchedLength = 0;
+
+    /**
+     * Sequential memory accesses on the hit path: Index, Filter,
+     * Bit-vector, Result — constant, key-width independent.
+     */
+    unsigned memoryAccesses = 0;
+
+    /** True if the match came from the spillover TCAM. */
+    bool fromSpill = false;
+
+    /** True if only the default route matched. */
+    bool fromDefault = false;
+};
+
+/**
+ * Memory-access counters accumulated across lookups — the measured
+ * input to the power model (every sub-cell's tables are touched on
+ * every lookup; the Result Table only on a hit).
+ */
+struct AccessCounters
+{
+    uint64_t lookups = 0;
+    uint64_t indexSegmentReads = 0;   ///< k per sub-cell per lookup.
+    uint64_t filterReads = 0;         ///< 1 per sub-cell per lookup.
+    uint64_t bitvectorReads = 0;      ///< 1 per sub-cell per lookup.
+    uint64_t resultReads = 0;         ///< 1 per hit (off-chip).
+
+    uint64_t
+    onChipTotal() const
+    {
+        return indexSegmentReads + filterReads + bitvectorReads;
+    }
+};
+
+/** Counters over the Figure 14 update categories. */
+struct UpdateStats
+{
+    std::array<uint64_t, 8> counts{};
+
+    void
+    record(UpdateClass c)
+    {
+        ++counts[static_cast<size_t>(c)];
+    }
+
+    uint64_t
+    count(UpdateClass c) const
+    {
+        return counts[static_cast<size_t>(c)];
+    }
+
+    uint64_t total() const;
+
+    /** Fraction of updates in category @p c. */
+    double fraction(UpdateClass c) const;
+
+    /**
+     * Fraction of updates applied incrementally, i.e. without a
+     * partition re-setup (the paper's 99.9% claim counts everything
+     * except Resetups).
+     */
+    double incrementalFraction() const;
+};
+
+/**
+ * The complete Chisel LPM engine.
+ */
+class ChiselEngine
+{
+  public:
+    /** Constant lookup cost (Section 6.7.1). */
+    static constexpr unsigned kLookupAccesses = 4;
+
+    /**
+     * Build an engine over an initial routing table.
+     *
+     * @param initial The initial routes (may be empty).
+     * @param config Design parameters.
+     */
+    explicit ChiselEngine(const RoutingTable &initial,
+                          const ChiselConfig &config = {});
+
+    /** Longest-prefix match. */
+    LookupResult lookup(const Key128 &key) const;
+
+    /** BGP announce(p, l, h) (Section 4.4.2). */
+    UpdateClass announce(const Prefix &prefix, NextHop next_hop);
+
+    /** BGP withdraw(p, l) (Section 4.4.1). */
+    UpdateClass withdraw(const Prefix &prefix);
+
+    /** Apply one trace update. */
+    UpdateClass apply(const Update &update);
+
+    /** Exact-prefix query across cells, TCAM and default register. */
+    std::optional<NextHop> find(const Prefix &prefix) const;
+
+    /** Routes currently stored (cells + spill TCAM + default). */
+    size_t routeCount() const;
+
+    /**
+     * Dump the complete routing state (cells + spill TCAM + default
+     * route) as a table — for inspection, persistence, or rebuilding
+     * a fresh engine ("resetup") with capacities re-sized to the
+     * current load.
+     */
+    RoutingTable exportTable() const;
+
+    /** Entries parked in the spillover TCAM. */
+    size_t spillCount() const { return spill_.size(); }
+
+    /** True if the spill TCAM exceeded its design capacity. */
+    bool
+    spillOverCapacity() const
+    {
+        return spill_.size() > config_.spillCapacity;
+    }
+
+    /** The collapse plan in use. */
+    const CollapsePlan &plan() const { return plan_; }
+
+    const ChiselConfig &config() const { return config_; }
+
+    /** Measured (average-case) on-chip storage. */
+    StorageBreakdown storage() const;
+
+    /** Figure 14 counters since construction / last reset. */
+    const UpdateStats &updateStats() const { return updateStats_; }
+    void resetUpdateStats() { updateStats_ = UpdateStats{}; }
+
+    /** Memory-access counters since construction / last reset. */
+    const AccessCounters &accessCounters() const { return access_; }
+    void resetAccessCounters() { access_ = AccessCounters{}; }
+
+    /** Purge dirty groups in every cell (a "resetup" housekeeping). */
+    size_t purgeDirty();
+
+    size_t cellCount() const { return cells_.size(); }
+    const SubCell &cell(size_t i) const { return *cells_[i]; }
+
+    /** The shared off-chip Result Table (diagnostics). */
+    const ResultTable &resultTable() const { return results_; }
+
+    /** Deep consistency check across all sub-cells (tests). */
+    bool selfCheck() const;
+
+  private:
+    /** Move displaced routes into the spillover TCAM. */
+    void absorbDisplaced(std::vector<Route> &displaced);
+
+    ChiselConfig config_;
+    CollapsePlan plan_;
+    ResultTable results_;
+    std::vector<std::unique_ptr<SubCell>> cells_;
+    Tcam spill_;
+    std::optional<NextHop> defaultRoute_;
+    UpdateStats updateStats_;
+    mutable AccessCounters access_;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_CORE_ENGINE_HH

@@ -1,0 +1,74 @@
+#include "core/filter_table.hh"
+
+#include <cassert>
+
+#include "common/logging.hh"
+
+namespace chisel {
+
+FilterTable::FilterTable(size_t capacity, unsigned key_bits)
+    : keyBits_(key_bits), entries_(capacity)
+{
+    freeList_.reserve(capacity);
+    // Hand out low slot numbers first: push high indices first.
+    for (size_t i = capacity; i-- > 0;)
+        freeList_.push_back(static_cast<uint32_t>(i));
+}
+
+int64_t
+FilterTable::allocate()
+{
+    if (freeList_.empty())
+        return -1;
+    uint32_t slot = freeList_.back();
+    freeList_.pop_back();
+    return slot;
+}
+
+void
+FilterTable::release(uint32_t slot)
+{
+    panicIf(slot >= entries_.size(), "FilterTable release out of range");
+    if (entries_[slot].valid) {
+        entries_[slot].valid = false;
+        entries_[slot].dirty = false;
+        --used_;
+    }
+    freeList_.push_back(slot);
+}
+
+void
+FilterTable::set(uint32_t slot, const Key128 &key)
+{
+    panicIf(slot >= entries_.size(), "FilterTable set out of range");
+    Entry &e = entries_[slot];
+    if (!e.valid)
+        ++used_;
+    e.key = key;
+    e.valid = true;
+    e.dirty = false;
+}
+
+bool
+FilterTable::matches(uint32_t slot, const Key128 &key) const
+{
+    if (slot >= entries_.size())
+        return false;
+    const Entry &e = entries_[slot];
+    return e.valid && e.key == key;
+}
+
+void
+FilterTable::setDirty(uint32_t slot, bool dirty)
+{
+    panicIf(slot >= entries_.size(), "FilterTable setDirty out of range");
+    entries_[slot].dirty = dirty;
+}
+
+uint64_t
+FilterTable::storageBits() const
+{
+    return static_cast<uint64_t>(entries_.size()) * slotWidthBits();
+}
+
+} // namespace chisel

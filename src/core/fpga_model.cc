@@ -1,0 +1,63 @@
+#include "core/fpga_model.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+
+namespace chisel {
+
+FpgaResourceModel::FpgaResourceModel(const FpgaDevice &device)
+    : device_(device), sram_(SramParams{})
+{
+}
+
+double
+FpgaResourceModel::utilisation(uint64_t used, uint64_t available)
+{
+    if (available == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(used) /
+           static_cast<double>(available);
+}
+
+FpgaResources
+FpgaResourceModel::estimate(size_t prefixes, unsigned cells,
+                            unsigned key_width, unsigned stride) const
+{
+    FpgaResources r;
+
+    // Prototype geometry: ~2 prefixes per collapsed group, so each
+    // sub-cell provisions groups = prefixes / (2 * cells); the Index
+    // Table uses m/n = 3 across k = 3 segments (one group-count of
+    // slots per segment); the Filter Table is double-banked for
+    // concurrent lookup and update.
+    size_t groups = std::max<size_t>(prefixes / (2 * cells), 1);
+    unsigned code_bits = addressBits(2 * groups);   // 14 b at 8K.
+    unsigned bv_width = (1u << stride) + code_bits; // 30 b at stride 4.
+
+    uint64_t brams_per_cell =
+        3 * sram_.blocksFor(groups, code_bits) +          // Index segs.
+        sram_.blocksFor(2 * groups, key_width) +          // Filter.
+        sram_.blocksFor(groups, bv_width);                // Bit-vector.
+
+    // Fixed infrastructure: DDR controller FIFOs, PCI interface
+    // buffers, spillover TCAM emulation.
+    const uint64_t fixed_brams = 36;
+    r.blockRams = cells * brams_per_cell + fixed_brams;
+
+    // Logic estimates calibrated to the prototype totals: per cell,
+    // three H3 XOR trees, the key comparator, the popcount/adder and
+    // pipeline registers; plus the top-level (priority encoder, host
+    // interface, DDR control).
+    r.luts = cells * (1500ull + 25ull * key_width) + 1500;
+    r.flipFlops = cells * (2000ull + 40ull * key_width) + 1000;
+    r.slices = (r.luts + r.flipFlops) * 3 / 7;
+
+    // IO: PCI + DDR buses dominate; key/result ports scale with the
+    // key width.
+    r.iobs = 606 + 4ull * key_width;
+
+    return r;
+}
+
+} // namespace chisel

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * FPGA resource estimator (Section 7, Table 2).
+ *
+ * The paper's prototype maps a 4-sub-cell, 64K-prefix Chisel onto a
+ * Xilinx Virtex-II Pro XC2VP100.  We cannot synthesise RTL here, so
+ * this model regenerates Table 2's utilisation numbers from the
+ * architecture's table geometry: block RAMs follow directly from the
+ * table dimensions and the device's block-RAM aspect ratios (see
+ * SramModel::blocksFor), while LUT/flip-flop counts use per-sub-cell
+ * estimates (hash XOR trees, comparators, popcount, pipeline
+ * registers) calibrated to the prototype's reported totals.  The
+ * per-table dimensions below reproduce the prototype's: Index
+ * segments 8KW x 14 b (x3), Filter 16KW x 32 b, Bit-vector
+ * 8KW x 30 b per sub-cell.
+ */
+
+#ifndef CHISEL_CORE_FPGA_MODEL_HH
+#define CHISEL_CORE_FPGA_MODEL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mem/sram.hh"
+
+namespace chisel {
+
+/** Device capacity of the XC2VP100. */
+struct FpgaDevice
+{
+    const char *name = "XC2VP100";
+    uint64_t flipFlops = 88192;
+    uint64_t slices = 44096;
+    uint64_t luts = 88192;
+    uint64_t iobs = 1040;
+    uint64_t blockRams = 444;
+};
+
+/** Estimated resource usage for one configuration. */
+struct FpgaResources
+{
+    uint64_t flipFlops = 0;
+    uint64_t slices = 0;
+    uint64_t luts = 0;
+    uint64_t iobs = 0;
+    uint64_t blockRams = 0;
+};
+
+/**
+ * Maps a Chisel configuration onto FPGA resources.
+ */
+class FpgaResourceModel
+{
+  public:
+    explicit FpgaResourceModel(const FpgaDevice &device = {});
+
+    /**
+     * @param prefixes Total prefixes supported (prototype: 64K).
+     * @param cells Number of sub-cells (prototype: 4).
+     * @param key_width Key width in bits (prototype: 32).
+     * @param stride Collapse stride (prototype: 4).
+     */
+    FpgaResources estimate(size_t prefixes, unsigned cells,
+                           unsigned key_width, unsigned stride) const;
+
+    const FpgaDevice &device() const { return device_; }
+
+    /** Utilisation percentage of a used/available pair. */
+    static double utilisation(uint64_t used, uint64_t available);
+
+  private:
+    FpgaDevice device_;
+    SramModel sram_;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_CORE_FPGA_MODEL_HH

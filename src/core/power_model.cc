@@ -1,0 +1,89 @@
+#include "core/power_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "core/engine.hh"
+
+namespace chisel {
+
+ChiselPowerModel::ChiselPowerModel(const Technology &tech)
+    : tech_(tech), edram_(tech.edram)
+{
+}
+
+unsigned
+ChiselPowerModel::defaultCellCount(unsigned key_width, unsigned stride)
+{
+    return static_cast<unsigned>(
+        divCeil(key_width, stride + 1));
+}
+
+PowerBreakdown
+ChiselPowerModel::worstCase(size_t n, const StorageParams &params,
+                            double msps) const
+{
+    PowerBreakdown out;
+    const double rate = msps * 1e6;
+    unsigned cells = defaultCellCount(params.keyWidth, params.stride);
+    size_t n_c = divCeil(n, cells);
+
+    // Per-cell macro sizes, using the worst-case table widths.
+    unsigned idx_width = addressBits(n_c);
+    uint64_t seg_bits =
+        static_cast<uint64_t>(std::ceil(
+            params.ratio * static_cast<double>(n_c) / params.k)) *
+        idx_width;
+    uint64_t filter_bits =
+        static_cast<uint64_t>(n_c) * (params.keyWidth + 2);
+    unsigned ptr_bits = addressBits(4ull * std::max<size_t>(n, 1));
+    uint64_t bv_bits = static_cast<uint64_t>(n_c) *
+                       ((uint64_t(1) << params.stride) + ptr_bits);
+
+    // Every lookup touches all cells in parallel: k segment reads,
+    // one Filter read, one Bit-vector read per cell.
+    double energy_per_lookup_nj =
+        cells * (params.k * edram_.accessEnergyNj(seg_bits) +
+                 edram_.accessEnergyNj(filter_bits) +
+                 edram_.accessEnergyNj(bv_bits));
+    out.edramDynamicWatts = rate * energy_per_lookup_nj * 1e-9;
+
+    uint64_t total_bits =
+        cells * (params.k * seg_bits + filter_bits + bv_bits);
+    out.edramStaticWatts = edram_.staticWatts(total_bits);
+
+    out.logicWatts = tech_.logicFraction *
+                     (out.edramDynamicWatts + out.edramStaticWatts);
+    return out;
+}
+
+PowerBreakdown
+ChiselPowerModel::measured(const ChiselEngine &engine,
+                           double msps) const
+{
+    PowerBreakdown out;
+    const double rate = msps * 1e6;
+    const unsigned k = engine.config().k;
+
+    uint64_t total_bits = 0;
+    double energy_per_lookup_nj = 0.0;
+    for (size_t i = 0; i < engine.cellCount(); ++i) {
+        const SubCell &cell = engine.cell(i);
+        uint64_t seg_bits = cell.indexBits() / k;
+        energy_per_lookup_nj +=
+            k * edram_.accessEnergyNj(seg_bits) +
+            edram_.accessEnergyNj(cell.filterBits()) +
+            edram_.accessEnergyNj(cell.bitvectorBits());
+        total_bits += cell.indexBits() + cell.filterBits() +
+                      cell.bitvectorBits();
+    }
+
+    out.edramDynamicWatts = rate * energy_per_lookup_nj * 1e-9;
+    out.edramStaticWatts = edram_.staticWatts(total_bits);
+    out.logicWatts = tech_.logicFraction *
+                     (out.edramDynamicWatts + out.edramStaticWatts);
+    return out;
+}
+
+} // namespace chisel

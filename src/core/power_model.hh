@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Chisel power model (Sections 6.5, 6.7.2; Figures 13 and 16).
+ *
+ * Power = eDRAM dynamic + eDRAM static + logic.  Each lookup (at the
+ * configured search rate) touches, in every sub-cell: the k Index
+ * Table segments, the Filter Table and the Bit-vector Table; dynamic
+ * energy per access follows the macro-size model of mem/edram.hh.
+ * Logic contributes a fixed fraction of the eDRAM power ("around
+ * 5-7%", Section 6.5).  The calibration of the underlying constants
+ * to the paper's published anchor points is described in
+ * mem/tech.hh.
+ */
+
+#ifndef CHISEL_CORE_POWER_MODEL_HH
+#define CHISEL_CORE_POWER_MODEL_HH
+
+#include <cstddef>
+
+#include "core/storage_model.hh"
+#include "mem/edram.hh"
+#include "mem/tech.hh"
+
+namespace chisel {
+
+/** Power result split by contributor. */
+struct PowerBreakdown
+{
+    double edramDynamicWatts = 0.0;
+    double edramStaticWatts = 0.0;
+    double logicWatts = 0.0;
+
+    double
+    totalWatts() const
+    {
+        return edramDynamicWatts + edramStaticWatts + logicWatts;
+    }
+};
+
+/**
+ * Worst-case Chisel power at a given search rate.
+ */
+class ChiselPowerModel
+{
+  public:
+    explicit ChiselPowerModel(
+        const Technology &tech = Technology::nec130nm());
+
+    /**
+     * Number of sub-cells a worst-case design provisions: the key
+     * width divided by the lengths one cell covers (stride + 1).
+     */
+    static unsigned defaultCellCount(unsigned key_width,
+                                     unsigned stride);
+
+    /**
+     * Worst-case power for @p n prefixes searched at @p msps million
+     * searches per second.
+     */
+    PowerBreakdown worstCase(size_t n, const StorageParams &params,
+                             double msps) const;
+
+    /**
+     * Measured (average-case) power for a built engine: uses the
+     * engine's actual per-cell table sizes and its access pattern
+     * (k segment reads + Filter + Bit-vector per cell per lookup).
+     */
+    PowerBreakdown measured(const class ChiselEngine &engine,
+                            double msps) const;
+
+    const Technology &technology() const { return tech_; }
+
+  private:
+    Technology tech_;
+    EdramModel edram_;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_CORE_POWER_MODEL_HH

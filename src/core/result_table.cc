@@ -1,0 +1,67 @@
+#include "core/result_table.hh"
+
+#include <cassert>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace chisel {
+
+uint32_t
+ResultTable::grantedSize(uint32_t entries)
+{
+    if (entries <= 1)
+        return 1;
+    return static_cast<uint32_t>(nextPow2(entries));
+}
+
+uint32_t
+ResultTable::allocate(uint32_t entries)
+{
+    uint32_t size = grantedSize(entries);
+    unsigned cls = ceilLog2(size);
+    if (freeLists_.size() <= cls)
+        freeLists_.resize(cls + 1);
+
+    ++allocations_;
+    allocated_ += size;
+
+    auto &list = freeLists_[cls];
+    if (!list.empty()) {
+        uint32_t base = list.back();
+        list.pop_back();
+        return base;
+    }
+    uint32_t base = static_cast<uint32_t>(slots_.size());
+    slots_.resize(slots_.size() + size, kNoRoute);
+    return base;
+}
+
+void
+ResultTable::free(uint32_t base, uint32_t entries)
+{
+    uint32_t size = grantedSize(entries);
+    unsigned cls = ceilLog2(size);
+    panicIf(freeLists_.size() <= cls,
+            "ResultTable::free of a never-allocated size class");
+    panicIf(allocated_ < size, "ResultTable::free accounting underflow");
+    freeLists_[cls].push_back(base);
+    allocated_ -= size;
+    ++frees_;
+}
+
+NextHop
+ResultTable::read(uint32_t addr) const
+{
+    panicIf(addr >= slots_.size(), "ResultTable read out of range");
+    return slots_[addr];
+}
+
+void
+ResultTable::write(uint32_t addr, NextHop next_hop)
+{
+    panicIf(addr >= slots_.size(), "ResultTable write out of range");
+    slots_[addr] = next_hop;
+}
+
+} // namespace chisel

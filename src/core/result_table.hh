@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Result Table: off-chip next-hop storage with block allocation.
+ *
+ * Each collapsed-prefix group owns a contiguous region of the Result
+ * Table sized for the ones in its bit-vector, slightly
+ * over-provisioned to absorb future announces (Section 4.3.2).  The
+ * allocator is a segregated power-of-two free-list — the same style
+ * of variable-block management trie schemes use for their nodes,
+ * which is the comparison the paper makes for update cost.
+ *
+ * The Result Table is commodity DRAM in the paper's design and is
+ * excluded from every scheme's storage totals (Section 5); it is
+ * fully modelled here because lookups and updates must exercise it.
+ */
+
+#ifndef CHISEL_CORE_RESULT_TABLE_HH
+#define CHISEL_CORE_RESULT_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "route/prefix.hh"
+
+namespace chisel {
+
+/**
+ * Next-hop array with power-of-two block allocation.
+ */
+class ResultTable
+{
+  public:
+    ResultTable() = default;
+
+    /**
+     * Allocate a block of at least @p entries slots; the granted size
+     * is the next power of two (the over-provisioning policy).
+     * @return Base address of the block.
+     */
+    uint32_t allocate(uint32_t entries);
+
+    /** Return a block obtained from allocate(). */
+    void free(uint32_t base, uint32_t entries);
+
+    /** Granted size for a request (next power of two, min 1). */
+    static uint32_t grantedSize(uint32_t entries);
+
+    /** Read the next hop at @p addr. */
+    NextHop read(uint32_t addr) const;
+
+    /** Write the next hop at @p addr. */
+    void write(uint32_t addr, NextHop next_hop);
+
+    /** Slots currently inside allocated blocks. */
+    uint64_t allocatedSlots() const { return allocated_; }
+
+    /** Highest table address ever provisioned + 1. */
+    uint64_t highWater() const { return slots_.size(); }
+
+    /** Allocations performed (update-cost statistic). */
+    uint64_t allocations() const { return allocations_; }
+
+    /** Frees performed. */
+    uint64_t frees() const { return frees_; }
+
+  private:
+    std::vector<NextHop> slots_;
+    /** freeLists_[c] holds bases of free blocks of size 2^c. */
+    std::vector<std::vector<uint32_t>> freeLists_;
+    uint64_t allocated_ = 0;
+    uint64_t allocations_ = 0;
+    uint64_t frees_ = 0;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_CORE_RESULT_TABLE_HH

@@ -1,0 +1,84 @@
+#include "core/storage_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.hh"
+
+namespace chisel {
+
+namespace {
+
+uint64_t
+indexSlots(size_t n, const StorageParams &p)
+{
+    return static_cast<uint64_t>(
+        std::ceil(p.ratio * static_cast<double>(n)));
+}
+
+} // anonymous namespace
+
+StorageBreakdown
+chiselWorstCase(size_t n, const StorageParams &p)
+{
+    StorageBreakdown b;
+    b.indexBits = indexSlots(n, p) * addressBits(n);
+    b.filterBits = static_cast<uint64_t>(n) * (p.keyWidth + 2);
+    // Result pointers address a 4x over-provisioned next-hop space.
+    unsigned ptr_bits = addressBits(4ull * n);
+    b.bitvectorBits = static_cast<uint64_t>(n) *
+                      ((uint64_t(1) << p.stride) + ptr_bits);
+    return b;
+}
+
+StorageBreakdown
+chiselNoWildcard(size_t n, const StorageParams &p)
+{
+    StorageBreakdown b;
+    b.indexBits = indexSlots(n, p) * addressBits(n);
+    b.filterBits = static_cast<uint64_t>(n) * (p.keyWidth + 2);
+    b.bitvectorBits = 0;
+    return b;
+}
+
+uint64_t
+naiveNoIndirectionBits(size_t n, const StorageParams &p)
+{
+    // Index slots hold only h-tau (log2 k bits) but the key+result
+    // table must have m locations instead of n (Section 4.2).
+    uint64_t m = indexSlots(n, p);
+    uint64_t index = m * std::max(1u, ceilLog2(p.k));
+    uint64_t keys = m * (p.keyWidth + 2);
+    return index + keys;
+}
+
+StorageBreakdown
+chiselSizedToFit(const std::vector<size_t> &groups_per_cell,
+                 const StorageParams &p)
+{
+    StorageBreakdown b;
+    size_t total_groups = 0;
+    for (size_t g : groups_per_cell)
+        total_groups += g;
+    unsigned ptr_bits = addressBits(
+        4ull * std::max<size_t>(total_groups, 1));
+    for (size_t g : groups_per_cell) {
+        if (g == 0)
+            continue;
+        b.indexBits += indexSlots(g, p) * addressBits(g);
+        b.filterBits += static_cast<uint64_t>(g) * (p.keyWidth + 2);
+        b.bitvectorBits += static_cast<uint64_t>(g) *
+                           ((uint64_t(1) << p.stride) + ptr_bits);
+    }
+    return b;
+}
+
+StorageBreakdown
+chiselWithCpe(size_t expanded_n, const StorageParams &p)
+{
+    // Same structure as the no-wildcard engine, sized for the
+    // post-expansion prefix count; no Bit-vector Table.
+    return chiselNoWildcard(expanded_n, p);
+}
+
+} // namespace chisel

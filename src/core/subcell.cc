@@ -1,0 +1,378 @@
+#include "core/subcell.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hh"
+
+namespace chisel {
+
+const char *
+updateClassName(UpdateClass c)
+{
+    switch (c) {
+      case UpdateClass::Withdraw: return "Withdraws";
+      case UpdateClass::RouteFlap: return "Route Flaps";
+      case UpdateClass::NextHopChange: return "Next-hops";
+      case UpdateClass::AddCollapsed: return "Add PC";
+      case UpdateClass::SingletonInsert: return "Singletons";
+      case UpdateClass::Resetup: return "Resetups";
+      case UpdateClass::Spill: return "Spills";
+      case UpdateClass::NoOp: return "No-ops";
+    }
+    return "?";
+}
+
+SubCell::SubCell(const Config &config, ResultTable *results)
+    : config_(config),
+      results_(results),
+      index_(config.capacity,
+             BloomierConfig{config.k, config.ratio, config.range.base,
+                            config.partitions, config.seed}),
+      filter_(config.capacity,
+              std::min(config.range.base, config.keyWidth)),
+      bitvec_(config.capacity, config.stride, config.resultPointerBits)
+{
+    panicIf(results == nullptr, "SubCell requires a ResultTable");
+    panicIf(config.range.base == 0,
+            "SubCell cannot serve length 0 (default route)");
+    panicIf(config.range.top > config.range.base + config.stride,
+            "SubCell range wider than the stride allows");
+}
+
+void
+SubCell::refreshImage(const Key128 &ckey, Group &group)
+{
+    (void)ckey;
+    GroupImage image = group.shadow.computeImage();
+    bool was_dirty = filter_.dirty(group.slot);
+
+    if (image.empty()) {
+        // Withdrawn group: clear the vector and mark the entry dirty
+        // but retain the Index/Filter entries *and* the result block
+        // (Section 4.4.1) — a route flap restores everything with a
+        // handful of writes.  The block is reclaimed when the group
+        // is purged or dismantled.
+        bitvec_.clearVector(group.slot);
+        ++writes_.bitvectorWrites;
+        if (!was_dirty) {
+            filter_.setDirty(group.slot, true);
+            ++writes_.filterWrites;
+            ++dirtyCount_;
+        }
+        return;
+    }
+
+    if (was_dirty) {
+        filter_.setDirty(group.slot, false);
+        ++writes_.filterWrites;
+        --dirtyCount_;
+    }
+
+    uint32_t needed = static_cast<uint32_t>(image.hops.size());
+    bool fresh_block =
+        group.resultSize == 0 || needed > group.resultSize;
+    if (fresh_block) {
+        // Over-provisioned growth; the old block returns to the
+        // allocator (Section 4.3.2).
+        if (group.resultSize > 0)
+            results_->free(group.resultBase, group.resultSize);
+        group.resultBase = results_->allocate(needed);
+        group.resultSize = ResultTable::grantedSize(needed);
+    }
+    // Write only the slots that changed — the shadow copy transfers
+    // just the modified words to hardware (Section 4.4).
+    for (uint32_t i = 0; i < needed; ++i) {
+        if (fresh_block ||
+            results_->read(group.resultBase + i) != image.hops[i]) {
+            results_->write(group.resultBase + i, image.hops[i]);
+            ++writes_.resultWrites;
+        }
+    }
+    bitvec_.setVector(group.slot, image.bits, group.resultBase);
+    ++writes_.bitvectorWrites;
+}
+
+void
+SubCell::dismantleGroup(const Key128 &ckey,
+                        std::vector<Route> *displaced)
+{
+    auto it = groups_.find(ckey);
+    panicIf(it == groups_.end(), "dismantleGroup: unknown group");
+    Group &g = it->second;
+
+    if (displaced) {
+        for (const auto &[p, nh] : g.shadow.members())
+            displaced->push_back(Route{p, nh});
+    }
+    routes_ -= g.shadow.memberCount();
+    if (filter_.dirty(g.slot))
+        --dirtyCount_;
+    if (g.resultSize > 0)
+        results_->free(g.resultBase, g.resultSize);
+    bitvec_.clearVector(g.slot);
+    filter_.release(g.slot);
+    index_.erase(ckey);   // No-op if a rebuild already evicted it.
+    groups_.erase(it);
+}
+
+void
+SubCell::noteRemoved(const Prefix &prefix)
+{
+    // Bounded memory for flap classification; on overflow the window
+    // simply restarts (mis-classifying a flap as Add PC is harmless).
+    if (recentlyRemoved_.size() >= (1u << 16))
+        recentlyRemoved_.clear();
+    recentlyRemoved_.insert(prefix);
+}
+
+void
+SubCell::buildFrom(const std::vector<Route> &routes,
+                   std::vector<Route> &displaced)
+{
+    // Group the routes by collapsed prefix.
+    std::unordered_map<Key128, std::vector<Route>, Key128Hasher> bins;
+    for (const auto &r : routes) {
+        panicIf(!coversLength(r.prefix.length()),
+                "SubCell::buildFrom route with uncovered length");
+        bins[collapsedKey(r.prefix)].push_back(r);
+    }
+
+    std::vector<std::pair<Key128, uint32_t>> entries;
+    entries.reserve(bins.size());
+
+    for (auto &[ckey, members] : bins) {
+        int64_t slot = filter_.allocate();
+        if (slot < 0) {
+            // Capacity exceeded: these members go to the TCAM.
+            for (const auto &r : members)
+                displaced.push_back(r);
+            continue;
+        }
+        auto [it, inserted] = groups_.emplace(
+            ckey, Group(static_cast<uint32_t>(slot),
+                        config_.range.base, config_.stride));
+        panicIf(!inserted, "buildFrom: duplicate group");
+        for (const auto &r : members) {
+            it->second.shadow.announce(r.prefix, r.nextHop);
+            ++routes_;
+        }
+        filter_.set(static_cast<uint32_t>(slot), ckey);
+        entries.emplace_back(ckey, static_cast<uint32_t>(slot));
+    }
+
+    // One bulk Bloomier setup over all groups.
+    auto spilled = index_.setup(entries);
+    for (const auto &[ckey, code] : spilled) {
+        (void)code;
+        dismantleGroup(ckey, &displaced);
+    }
+
+    for (auto &[ckey, group] : groups_)
+        refreshImage(ckey, group);
+}
+
+SubCell::Hit
+SubCell::lookup(const Key128 &key) const
+{
+    Hit out;
+    const unsigned base = config_.range.base;
+
+    // Access 1: Index Table (k segments read in parallel).
+    Key128 ckey = key.masked(base);
+    uint32_t code = index_.lookupCode(ckey);
+    if (code >= config_.capacity)
+        return out;   // Garbage code for an absent key.
+
+    // Access 2: Filter Table — the false-positive check.
+    if (!filter_.matches(code, ckey))
+        return out;
+
+    // Access 3: Bit-vector Table.
+    unsigned avail = std::min(config_.stride,
+                              Key128::maxBits - base);
+    uint64_t v = key.extract(base, avail)
+                 << (config_.stride - avail);
+    if (!bitvec_.bit(code, v))
+        return out;
+
+    // Access 4: Result Table (off-chip), pointer + popcount offset.
+    unsigned offset = bitvec_.onesUpTo(code, v);
+    NextHop nh = results_->read(bitvec_.pointer(code) + offset - 1);
+
+    out.hit = true;
+    out.nextHop = nh;
+
+    // Matched length comes from the shadow state (reporting only;
+    // the hardware result is the next hop itself).
+    auto it = groups_.find(ckey);
+    panicIf(it == groups_.end(),
+            "filter matched a key with no shadow group");
+    auto cover = it->second.shadow.longestCover(v);
+    panicIf(!cover.has_value(),
+            "bit-vector hit with no covering shadow member");
+    out.matchedLength = cover->prefix.length();
+    return out;
+}
+
+UpdateClass
+SubCell::announce(const Prefix &prefix, NextHop next_hop,
+                  std::vector<Route> &displaced)
+{
+    panicIf(!coversLength(prefix.length()),
+            "SubCell::announce uncovered length");
+    Key128 ckey = collapsedKey(prefix);
+
+    auto it = groups_.find(ckey);
+    if (it != groups_.end()) {
+        Group &g = it->second;
+        bool was_dirty = filter_.dirty(g.slot);
+
+        UpdateClass cls;
+        if (g.shadow.find(prefix)) {
+            cls = UpdateClass::NextHopChange;
+        } else if (was_dirty || recentlyRemoved_.contains(prefix)) {
+            cls = UpdateClass::RouteFlap;
+            recentlyRemoved_.erase(prefix);
+        } else {
+            cls = UpdateClass::AddCollapsed;
+        }
+
+        if (g.shadow.announce(prefix, next_hop))
+            ++routes_;
+        refreshImage(ckey, g);
+        return cls;
+    }
+
+    // New collapsed prefix: needs a Filter slot and an Index insert.
+    int64_t slot = filter_.allocate();
+    if (slot < 0) {
+        purgeDirty();
+        slot = filter_.allocate();
+    }
+    if (slot < 0) {
+        displaced.push_back(Route{prefix, next_hop});
+        return UpdateClass::Spill;
+    }
+
+    auto result = index_.insert(ckey, static_cast<uint32_t>(slot));
+    panicIf(result.method == BloomierFilter::InsertMethod::Duplicate,
+            "Index Table and shadow groups out of sync");
+
+    // A rebuild may have evicted other groups; dismantle them.
+    bool self_failed =
+        result.method == BloomierFilter::InsertMethod::Failed;
+    for (const auto &[k2, c2] : result.spilled) {
+        (void)c2;
+        if (k2 == ckey)
+            continue;   // Self handled below.
+        dismantleGroup(k2, &displaced);
+    }
+    if (self_failed) {
+        filter_.release(static_cast<uint32_t>(slot));
+        displaced.push_back(Route{prefix, next_hop});
+        return UpdateClass::Spill;
+    }
+
+    auto [git, inserted] = groups_.emplace(
+        ckey, Group(static_cast<uint32_t>(slot),
+                    config_.range.base, config_.stride));
+    panicIf(!inserted, "announce: duplicate group emplace");
+    filter_.set(static_cast<uint32_t>(slot), ckey);
+    ++writes_.filterWrites;
+    git->second.shadow.announce(prefix, next_hop);
+    ++routes_;
+    refreshImage(ckey, git->second);
+
+    return result.method == BloomierFilter::InsertMethod::Singleton
+               ? UpdateClass::SingletonInsert
+               : UpdateClass::Resetup;
+}
+
+UpdateClass
+SubCell::withdraw(const Prefix &prefix)
+{
+    if (!coversLength(prefix.length()))
+        return UpdateClass::NoOp;
+    Key128 ckey = collapsedKey(prefix);
+    auto it = groups_.find(ckey);
+    if (it == groups_.end())
+        return UpdateClass::NoOp;
+
+    auto removed = it->second.shadow.withdraw(prefix);
+    if (!removed)
+        return UpdateClass::NoOp;
+
+    --routes_;
+    noteRemoved(prefix);
+    if (!config_.retainDirtyGroups && it->second.shadow.empty()) {
+        // Ablation mode: no dirty bit — the emptied group leaves the
+        // Index Table immediately, so a flap pays a full re-insert.
+        dismantleGroup(ckey, nullptr);
+        return UpdateClass::Withdraw;
+    }
+    refreshImage(ckey, it->second);
+    return UpdateClass::Withdraw;
+}
+
+std::optional<NextHop>
+SubCell::find(const Prefix &prefix) const
+{
+    if (!coversLength(prefix.length()))
+        return std::nullopt;
+    auto it = groups_.find(collapsedKey(prefix));
+    if (it == groups_.end())
+        return std::nullopt;
+    return it->second.shadow.find(prefix);
+}
+
+void
+SubCell::exportRoutes(std::vector<Route> &out) const
+{
+    for (const auto &[ckey, g] : groups_) {
+        (void)ckey;
+        for (const auto &[p, nh] : g.shadow.members())
+            out.push_back(Route{p, nh});
+    }
+}
+
+size_t
+SubCell::purgeDirty()
+{
+    std::vector<Key128> dirty;
+    for (const auto &[ckey, g] : groups_) {
+        if (filter_.dirty(g.slot))
+            dirty.push_back(ckey);
+    }
+    for (const auto &ckey : dirty)
+        dismantleGroup(ckey, nullptr);
+    return dirty.size();
+}
+
+bool
+SubCell::selfCheck() const
+{
+    if (!index_.selfCheck())
+        return false;
+    const unsigned base = config_.range.base;
+    unsigned avail = std::min(config_.stride, Key128::maxBits - base);
+
+    for (const auto &[ckey, g] : groups_) {
+        GroupImage image = g.shadow.computeImage();
+        size_t hop = 0;
+        for (uint64_t v = 0; v < (uint64_t(1) << config_.stride); ++v) {
+            bool set = (image.bits[v / 64] >> (v % 64)) & 1;
+            if (!set)
+                continue;
+            Key128 key = ckey;
+            key.deposit(base, avail, v >> (config_.stride - avail));
+            Hit h = lookup(key);
+            if (!h.hit || h.nextHop != image.hops[hop])
+                return false;
+            ++hop;
+        }
+    }
+    return true;
+}
+
+} // namespace chisel

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Chisel sub-cell: one collapsed-length lookup engine (Figure 6).
+ *
+ * A sub-cell serves the prefixes whose lengths fall in one interval
+ * [base, top] of the collapse plan.  It owns:
+ *
+ *  - an Index Table (BloomierFilter) keyed by collapsed prefixes,
+ *    whose encoded codes are Filter/Bit-vector slot indices;
+ *  - a Filter Table holding the collapsed prefixes themselves, which
+ *    eliminates false positives and carries the dirty bits;
+ *  - a Bit-vector Table holding each group's 2^stride suffix bits
+ *    and Result Table pointer;
+ *  - the shadow state (per-group member sets) that drives updates.
+ *
+ * The Result Table is shared across sub-cells and passed in by the
+ * engine.  A lookup makes exactly four table accesses: Index, Filter,
+ * Bit-vector, Result — independent of key width.
+ */
+
+#ifndef CHISEL_CORE_SUBCELL_HH
+#define CHISEL_CORE_SUBCELL_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bloom/bloomier.hh"
+#include "core/bitvector_table.hh"
+#include "core/collapse.hh"
+#include "core/filter_table.hh"
+#include "core/result_table.hh"
+#include "core/shadow.hh"
+#include "route/table.hh"
+
+namespace chisel {
+
+/**
+ * How an update was applied — the categories of Figure 14.
+ */
+enum class UpdateClass : uint8_t
+{
+    Withdraw,        ///< withdraw(p, l).
+    RouteFlap,       ///< Announce restoring a recently withdrawn prefix.
+    NextHopChange,   ///< Announce of an already-present prefix.
+    AddCollapsed,    ///< New prefix landing on an existing group
+                     ///  ("Add PC": bit-vector update only).
+    SingletonInsert, ///< New group encoded via a singleton slot, O(1).
+    Resetup,         ///< New group forcing a partition re-setup.
+    Spill,           ///< Handled by the spillover TCAM.
+    NoOp,            ///< Withdraw of an absent prefix, etc.
+};
+
+/** Human-readable category name. */
+const char *updateClassName(UpdateClass c);
+
+/**
+ * One sub-cell of the Chisel LPM engine.
+ */
+class SubCell
+{
+  public:
+    /** Construction parameters. */
+    struct Config
+    {
+        CellRange range;         ///< Lengths served: [base, top].
+        unsigned stride = 4;     ///< Global collapse stride.
+        size_t capacity = 1024;  ///< Groups provisioned.
+        unsigned keyWidth = 32;  ///< For storage accounting.
+        unsigned k = 3;
+        double ratio = 3.0;
+        unsigned partitions = 1;
+        unsigned resultPointerBits = 22;
+        uint64_t seed = 1;
+        /**
+         * Retain emptied groups dirty for flap restoration
+         * (Section 4.4.1).  Disabled only by the ablation that
+         * quantifies what the dirty bit buys.
+         */
+        bool retainDirtyGroups = true;
+    };
+
+    /** Result of a sub-cell probe. */
+    struct Hit
+    {
+        bool hit = false;
+        NextHop nextHop = kNoRoute;
+        unsigned matchedLength = 0;
+    };
+
+    SubCell(const Config &config, ResultTable *results);
+
+    /** True if this cell serves prefixes of @p len. */
+    bool
+    coversLength(unsigned len) const
+    {
+        return config_.range.covers(len);
+    }
+
+    /**
+     * Bulk-load routes (all with covered lengths).  Routes whose
+     * groups could not be placed are appended to @p displaced for
+     * the engine's spillover TCAM.
+     */
+    void buildFrom(const std::vector<Route> &routes,
+                   std::vector<Route> &displaced);
+
+    /**
+     * Probe the cell: the hardware four-access lookup sequence.
+     */
+    Hit lookup(const Key128 &key) const;
+
+    /**
+     * Announce a prefix with a covered length.  Groups displaced by
+     * a Bloomier rebuild (or by capacity exhaustion) are dismantled
+     * and their member routes appended to @p displaced.
+     */
+    UpdateClass announce(const Prefix &prefix, NextHop next_hop,
+                         std::vector<Route> &displaced);
+
+    /** Withdraw a prefix.  @return NoOp if it was not present. */
+    UpdateClass withdraw(const Prefix &prefix);
+
+    /** Exact-prefix membership (via shadow state). */
+    std::optional<NextHop> find(const Prefix &prefix) const;
+
+    /** Append every live route (dirty groups excluded) to @p out. */
+    void exportRoutes(std::vector<Route> &out) const;
+
+    /**
+     * Purge all dirty (withdrawn-but-retained) groups, freeing their
+     * Index and Filter slots.  Invoked by the engine and internally
+     * when the Filter free list runs dry — the paper purges on
+     * resetups (Section 4.4.1).
+     */
+    size_t purgeDirty();
+
+    /** Live (non-dirty) collapsed groups. */
+    size_t groupCount() const { return groups_.size() - dirtyCount_; }
+
+    /** Original prefixes stored (excludes displaced ones). */
+    size_t routeCount() const { return routes_; }
+
+    /** Number of dirty groups currently retained. */
+    size_t dirtyCount() const { return dirtyCount_; }
+
+    unsigned base() const { return config_.range.base; }
+    unsigned top() const { return config_.range.top; }
+    size_t capacity() const { return config_.capacity; }
+
+    /** Index Table storage in bits. */
+    uint64_t indexBits() const { return index_.storageBits(); }
+
+    /** Filter Table storage in bits. */
+    uint64_t filterBits() const { return filter_.storageBits(); }
+
+    /** Bit-vector Table storage in bits. */
+    uint64_t bitvectorBits() const { return bitvec_.storageBits(); }
+
+    /** Bloomier operation counters. */
+    const BloomierFilter::Stats &indexStats() const
+    {
+        return index_.stats();
+    }
+
+    /**
+     * Hardware words written by updates — what the shadow copy
+     * transfers to the engine (Section 4.4: "the changed bit-vectors
+     * alone need to be written").  One bit-vector entry, one Result
+     * Table slot, one Index slot and one Filter entry each count as
+     * one word.
+     */
+    struct WriteCounters
+    {
+        uint64_t bitvectorWrites = 0;
+        uint64_t resultWrites = 0;
+        uint64_t filterWrites = 0;
+
+        uint64_t
+        total() const
+        {
+            return bitvectorWrites + resultWrites + filterWrites;
+        }
+    };
+
+    const WriteCounters &writeCounters() const { return writes_; }
+    void resetWriteCounters() { writes_ = WriteCounters{}; }
+
+    /** Index slots one partition rebuild rewrites. */
+    size_t
+    indexPartitionSlots() const
+    {
+        return index_.partitionSlots();
+    }
+
+    /**
+     * Deep consistency check (tests): every shadow member is
+     * retrievable through the hardware lookup path.
+     */
+    bool selfCheck() const;
+
+  private:
+    /** Per-group state: the filter slot plus shadow members. */
+    struct Group
+    {
+        uint32_t slot = 0;
+        ShadowGroup shadow;
+        uint32_t resultBase = 0;
+        uint32_t resultSize = 0;   ///< Granted block size (0 = none).
+
+        Group(uint32_t s, unsigned base, unsigned stride)
+            : slot(s), shadow(base, stride)
+        {}
+    };
+
+    using GroupMap =
+        std::unordered_map<Key128, Group, Key128Hasher>;
+
+    /** Collapsed key (Key128 of the group) for a covered prefix. */
+    Key128
+    collapsedKey(const Prefix &prefix) const
+    {
+        return prefix.bits().masked(config_.range.base);
+    }
+
+    /** Re-derive and write a group's hardware image. */
+    void refreshImage(const Key128 &ckey, Group &group);
+
+    /** Dismantle a group, releasing all hardware resources. */
+    void dismantleGroup(const Key128 &ckey,
+                        std::vector<Route> *displaced);
+
+    /** Record a withdrawal for route-flap classification. */
+    void noteRemoved(const Prefix &prefix);
+
+    Config config_;
+    ResultTable *results_;
+    BloomierFilter index_;
+    FilterTable filter_;
+    BitVectorTable bitvec_;
+    GroupMap groups_;
+    std::unordered_set<Prefix, PrefixHasher> recentlyRemoved_;
+    size_t routes_ = 0;
+    size_t dirtyCount_ = 0;
+    WriteCounters writes_;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_CORE_SUBCELL_HH

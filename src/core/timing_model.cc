@@ -1,0 +1,30 @@
+#include "core/timing_model.hh"
+
+namespace chisel {
+
+ChiselTimingModel::ChiselTimingModel(const TimingParams &params)
+    : params_(params)
+{
+}
+
+TimingReport
+ChiselTimingModel::report(const StorageParams &sp) const
+{
+    (void)sp;   // The pipeline shape is parameter-independent.
+    TimingReport out;
+
+    // Three sequential on-chip stages (Index; Filter || Bit-vector;
+    // plus the hash/encode logic), then the off-chip Result fetch.
+    // The Filter and Bit-vector reads are concurrent banks, so they
+    // share a stage but count as distinct accesses (the paper's 4).
+    out.pipelineStages = 4;
+    out.onChipLatencyNs = params_.logicNs + 2 * params_.edramAccessNs;
+    out.totalLatencyNs = out.onChipLatencyNs + params_.offChipNs;
+
+    // Pipelined throughput: one lookup completes per slowest stage.
+    double stage_ns = params_.edramAccessNs;
+    out.throughputMsps = 1000.0 / stage_ns;
+    return out;
+}
+
+} // namespace chisel

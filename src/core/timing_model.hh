@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Lookup timing model.
+ *
+ * Chisel's datapath is a short pipeline: hash, Index read (k
+ * segments in parallel), Filter + Bit-vector reads (parallel
+ * banks), Result read.  With each table in its own eDRAM bank the
+ * stages overlap across consecutive lookups, so sustained throughput
+ * is set by the *slowest single access*, not the end-to-end latency
+ * — that is how 4 sequential accesses of a few nanoseconds each
+ * sustain 200 Msps (Section 6.5), and how the FPGA prototype's
+ * 100 MHz clock yields 100 Msps once its DDR bottleneck is removed
+ * (Section 7).
+ */
+
+#ifndef CHISEL_CORE_TIMING_MODEL_HH
+#define CHISEL_CORE_TIMING_MODEL_HH
+
+#include <cstddef>
+
+#include "core/storage_model.hh"
+#include "mem/tech.hh"
+
+namespace chisel {
+
+/** Timing parameters of the on-chip memories. */
+struct TimingParams
+{
+    /** Random-access time of an eDRAM macro, nanoseconds. */
+    double edramAccessNs = 5.0;
+
+    /** Hash / priority-encode logic latency, nanoseconds. */
+    double logicNs = 2.0;
+
+    /** Off-chip (Result Table) access time, nanoseconds. */
+    double offChipNs = 40.0;
+};
+
+/** Latency/throughput summary for one configuration. */
+struct TimingReport
+{
+    /** On-chip pipeline latency per lookup, nanoseconds. */
+    double onChipLatencyNs = 0.0;
+
+    /** Total latency including the off-chip next-hop fetch. */
+    double totalLatencyNs = 0.0;
+
+    /** Sustained throughput, million searches per second. */
+    double throughputMsps = 0.0;
+
+    /** Pipeline stages (one per sequential memory access + logic). */
+    unsigned pipelineStages = 0;
+};
+
+/**
+ * Derives latency and sustained throughput for a Chisel design.
+ */
+class ChiselTimingModel
+{
+  public:
+    explicit ChiselTimingModel(const TimingParams &params = {});
+
+    /**
+     * Timing for a design with the given storage parameters.  The
+     * key width does not appear: the pipeline is the same for IPv4
+     * and IPv6 (Section 6.4.2).
+     */
+    TimingReport report(const StorageParams &params) const;
+
+    const TimingParams &params() const { return params_; }
+
+  private:
+    TimingParams params_;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_CORE_TIMING_MODEL_HH

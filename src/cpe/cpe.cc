@@ -1,0 +1,187 @@
+#include "cpe/cpe.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace chisel {
+
+double
+CpeResult::expansionFactor() const
+{
+    if (originalCount == 0)
+        return 1.0;
+    return static_cast<double>(expandedCount) /
+           static_cast<double>(originalCount);
+}
+
+std::vector<unsigned>
+uniformTargetLengths(unsigned stride, unsigned max_length)
+{
+    if (stride == 0)
+        fatalError("CPE stride must be >= 1");
+    std::vector<unsigned> targets;
+    for (unsigned l = stride; l < max_length; l += stride)
+        targets.push_back(l);
+    if (targets.empty() || targets.back() != max_length)
+        targets.push_back(max_length);
+    return targets;
+}
+
+std::vector<unsigned>
+targetsForPopulatedLengths(const std::vector<unsigned> &populated,
+                           unsigned stride)
+{
+    if (stride == 0)
+        fatalError("CPE stride must be >= 1");
+    std::vector<unsigned> targets;
+    size_t i = 0;
+    while (i < populated.size()) {
+        unsigned base = populated[i];
+        unsigned top = base;
+        while (i < populated.size() && populated[i] <= base + stride) {
+            top = populated[i];
+            ++i;
+        }
+        targets.push_back(top);
+    }
+    return targets;
+}
+
+std::vector<unsigned>
+optimalTargetLengths(const RoutingTable &table, unsigned levels)
+{
+    if (levels == 0)
+        fatalError("CPE needs at least one target level");
+    auto hist = table.lengthHistogram();
+    unsigned max_len = table.maxLength();
+    if (max_len == 0)
+        return {1};
+
+    // cost(s, t): prefixes created by raising lengths (s, t] to t.
+    // Prefixes longer than ~20 levels of expansion are clamped; the
+    // DP never picks such gaps when better options exist.
+    auto seg_cost = [&](unsigned s, unsigned t) -> double {
+        double c = 0.0;
+        for (unsigned l = s + 1; l <= t; ++l) {
+            unsigned gap = t - l;
+            double factor = gap >= 40 ? 1e12
+                                      : static_cast<double>(
+                                            uint64_t(1) << gap);
+            c += static_cast<double>(hist[l]) * factor;
+        }
+        return c;
+    };
+
+    const double inf = 1e300;
+    // f[i][t]: min cost covering lengths 1..t with i targets, the
+    // last at t.  choice[i][t]: previous target.
+    std::vector<std::vector<double>> f(
+        levels + 1, std::vector<double>(max_len + 1, inf));
+    std::vector<std::vector<unsigned>> choice(
+        levels + 1, std::vector<unsigned>(max_len + 1, 0));
+
+    for (unsigned t = 1; t <= max_len; ++t)
+        f[1][t] = seg_cost(0, t);
+    for (unsigned i = 2; i <= levels; ++i) {
+        for (unsigned t = i; t <= max_len; ++t) {
+            for (unsigned s = i - 1; s < t; ++s) {
+                if (f[i - 1][s] >= inf)
+                    continue;
+                double c = f[i - 1][s] + seg_cost(s, t);
+                if (c < f[i][t]) {
+                    f[i][t] = c;
+                    choice[i][t] = s;
+                }
+            }
+        }
+    }
+
+    // Fewer levels than requested may already be optimal (e.g. a
+    // table with few populated lengths); pick the best level count
+    // whose last target is max_len.
+    unsigned best_i = 1;
+    for (unsigned i = 1; i <= levels; ++i) {
+        if (f[i][max_len] <= f[best_i][max_len])
+            best_i = i;
+    }
+
+    std::vector<unsigned> targets;
+    unsigned t = max_len;
+    for (unsigned i = best_i; i >= 1; --i) {
+        targets.push_back(t);
+        t = choice[i][t];
+    }
+    std::sort(targets.begin(), targets.end());
+    return targets;
+}
+
+CpeResult
+expand(const RoutingTable &table,
+       const std::vector<unsigned> &target_lengths)
+{
+    std::vector<unsigned> targets = target_lengths;
+    std::sort(targets.begin(), targets.end());
+    if (targets.empty())
+        fatalError("CPE requires at least one target length");
+
+    CpeResult result;
+    result.originalCount = table.size();
+
+    // Expanded prefixes can collide; LPM semantics say the entry
+    // descending from the *longest* original prefix wins.  Track the
+    // originating length per expanded prefix to arbitrate.
+    std::unordered_map<Prefix, std::pair<unsigned, NextHop>,
+                       PrefixHasher> winners;
+
+    for (const auto &route : table.routes()) {
+        unsigned len = route.prefix.length();
+        auto it = std::lower_bound(targets.begin(), targets.end(), len);
+        if (it == targets.end()) {
+            fatalError("CPE: prefix longer than largest target length");
+        }
+        unsigned target = *it;
+        unsigned extra = target - len;
+        if (extra > 30)
+            fatalError("CPE: expansion of 2^" + std::to_string(extra) +
+                       " is impractical; choose closer targets");
+
+        uint64_t count = uint64_t(1) << extra;
+        for (uint64_t suffix = 0; suffix < count; ++suffix) {
+            Prefix expanded = route.prefix.extended(suffix, extra);
+            auto [wit, inserted] = winners.try_emplace(
+                expanded, std::make_pair(len, route.nextHop));
+            if (!inserted && wit->second.first < len)
+                wit->second = std::make_pair(len, route.nextHop);
+        }
+    }
+
+    for (const auto &[prefix, lennh] : winners)
+        result.expanded.add(prefix, lennh.second);
+    result.expandedCount = result.expanded.size();
+    return result;
+}
+
+uint64_t
+worstCaseExpansionFactor(const std::vector<unsigned> &target_lengths,
+                         unsigned max_length)
+{
+    std::vector<unsigned> targets = target_lengths;
+    std::sort(targets.begin(), targets.end());
+    if (targets.empty())
+        fatalError("CPE requires at least one target length");
+
+    // A prefix of length l expands by 2^(next_target - l); the worst
+    // length is one past the previous target (or length 1).
+    unsigned worst_gap = targets[0] >= 1 ? targets[0] - 1 : 0;
+    for (size_t i = 1; i < targets.size(); ++i) {
+        unsigned gap = targets[i] - targets[i - 1] - 1;
+        worst_gap = std::max(worst_gap, gap);
+    }
+    (void)max_length;
+    return uint64_t(1) << std::min(worst_gap, 63u);
+}
+
+} // namespace chisel

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Controlled Prefix Expansion (Srinivasan & Varghese, SIGMETRICS 1998)
+ * — the prior-art wildcard solution Chisel's prefix collapsing is
+ * evaluated against (Sections 2, 4.3, 6.2).
+ *
+ * CPE converts a prefix of length x into 2^l prefixes of length x+l
+ * (the next length in a chosen target set), replacing l wildcard bits
+ * by all their possible values.  Expansion multiplies the number of
+ * prefixes — worst case 2^(distance to the next target length) — and
+ * that inflation is exactly what the Figure 9/10/11 experiments
+ * measure.  When expanded prefixes collide (a host of an expanded
+ * short prefix equals a longer original prefix), longest-prefix-match
+ * semantics keep the entry descending from the longest original.
+ */
+
+#ifndef CHISEL_CPE_CPE_HH
+#define CHISEL_CPE_CPE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "route/table.hh"
+
+namespace chisel {
+
+/** Outcome of expanding a table. */
+struct CpeResult
+{
+    /** The expanded table (unique prefixes, LPM-resolved next hops). */
+    RoutingTable expanded;
+
+    /** Number of prefixes before expansion. */
+    size_t originalCount = 0;
+
+    /** Number of prefixes after expansion and deduplication. */
+    size_t expandedCount = 0;
+
+    /** expandedCount / originalCount. */
+    double expansionFactor() const;
+};
+
+/**
+ * Build the target length set for a uniform stride: lengths
+ * {stride, 2*stride, ...} up to @p max_length, plus max_length.
+ * Length 0 (default route) is never a target.
+ */
+std::vector<unsigned> uniformTargetLengths(unsigned stride,
+                                           unsigned max_length);
+
+/**
+ * Target lengths that mirror a Chisel collapse plan over the same
+ * table: one target at the *top* of each collapse interval, so both
+ * schemes reduce to the same number of unique lengths.  Used by the
+ * like-for-like comparison of Section 6.2.
+ */
+std::vector<unsigned> targetsForPopulatedLengths(
+    const std::vector<unsigned> &populated, unsigned stride);
+
+/**
+ * Optimal target-length selection by dynamic programming, as in the
+ * original CPE paper: choose @p levels target lengths minimising the
+ * total number of expanded prefixes for this table's length
+ * histogram.  The longest populated length is always a target.
+ */
+std::vector<unsigned> optimalTargetLengths(const RoutingTable &table,
+                                           unsigned levels);
+
+/**
+ * Expand @p table so every prefix length lands in @p target_lengths
+ * (each original length is raised to the smallest target >= it).
+ * Lengths above the largest target are a configuration error.
+ */
+CpeResult expand(const RoutingTable &table,
+                 const std::vector<unsigned> &target_lengths);
+
+/**
+ * Worst-case expansion factor of a target set: 2^(largest gap), the
+ * factor a deterministic design must provision for (Section 4.3).
+ */
+uint64_t worstCaseExpansionFactor(
+    const std::vector<unsigned> &target_lengths, unsigned max_length);
+
+} // namespace chisel
+
+#endif // CHISEL_CPE_CPE_HH

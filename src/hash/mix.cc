@@ -1,0 +1,5 @@
+#include "hash/mix.hh"
+
+// All of mix.hh is inline; this translation unit exists so the module
+// has a home for future out-of-line additions and so the build lists
+// every module uniformly.

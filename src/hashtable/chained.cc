@@ -1,0 +1,90 @@
+#include "hashtable/chained.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace chisel {
+
+ChainedHashTable::ChainedHashTable(size_t buckets, unsigned key_len,
+                                   uint64_t seed)
+    : keyLen_(key_len), hash_(64, seed), table_(std::max<size_t>(buckets, 1))
+{
+}
+
+size_t
+ChainedHashTable::bucketOf(const Key128 &key) const
+{
+    return static_cast<size_t>(hash_.hash(key, keyLen_) % table_.size());
+}
+
+bool
+ChainedHashTable::insert(const Key128 &key, uint32_t value)
+{
+    auto &chain = table_[bucketOf(key)];
+    for (auto &e : chain) {
+        if (e.key == key) {
+            e.value = value;
+            return false;
+        }
+    }
+    chain.push_back(Entry{key, value});
+    ++size_;
+    return true;
+}
+
+bool
+ChainedHashTable::erase(const Key128 &key)
+{
+    auto &chain = table_[bucketOf(key)];
+    for (size_t i = 0; i < chain.size(); ++i) {
+        if (chain[i].key == key) {
+            chain[i] = chain.back();
+            chain.pop_back();
+            --size_;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<uint32_t>
+ChainedHashTable::find(const Key128 &key, size_t *probes) const
+{
+    const auto &chain = table_[bucketOf(key)];
+    size_t n = 0;
+    for (const auto &e : chain) {
+        ++n;
+        if (e.key == key) {
+            if (probes)
+                *probes = n;
+            return e.value;
+        }
+    }
+    if (probes)
+        *probes = std::max<size_t>(chain.size(), 1);
+    return std::nullopt;
+}
+
+size_t
+ChainedHashTable::maxChainLength() const
+{
+    size_t mx = 0;
+    for (const auto &chain : table_)
+        mx = std::max(mx, chain.size());
+    return mx;
+}
+
+double
+ChainedHashTable::averageProbes() const
+{
+    if (size_ == 0)
+        return 0.0;
+    // A key at chain position i costs i+1 probes; summing over chains
+    // gives sum_len (len*(len+1)/2).
+    uint64_t total = 0;
+    for (const auto &chain : table_)
+        total += chain.size() * (chain.size() + 1) / 2;
+    return static_cast<double>(total) / static_cast<double>(size_);
+}
+
+} // namespace chisel

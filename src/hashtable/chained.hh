@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Naive chained hash table — the strawman of Section 1.
+ *
+ * Collisions are resolved by chaining, so the worst-case probe count
+ * is unbounded; the probe statistics this class exposes quantify the
+ * non-determinism the paper argues routers cannot tolerate.
+ */
+
+#ifndef CHISEL_HASHTABLE_CHAINED_HH
+#define CHISEL_HASHTABLE_CHAINED_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/key128.hh"
+#include "hash/h3.hh"
+
+namespace chisel {
+
+/**
+ * A chained hash table from fixed-length keys to 32-bit values.
+ */
+class ChainedHashTable
+{
+  public:
+    /**
+     * @param buckets Number of buckets.
+     * @param key_len Key length in bits.
+     * @param seed Hash seed.
+     */
+    ChainedHashTable(size_t buckets, unsigned key_len, uint64_t seed);
+
+    /** Insert or overwrite.  @return true if newly inserted. */
+    bool insert(const Key128 &key, uint32_t value);
+
+    /** Remove.  @return true if present. */
+    bool erase(const Key128 &key);
+
+    /**
+     * Lookup; also reports via @p probes (if non-null) how many chain
+     * entries were examined — the lookup-time variability measure.
+     */
+    std::optional<uint32_t> find(const Key128 &key,
+                                 size_t *probes = nullptr) const;
+
+    /** Number of stored keys. */
+    size_t size() const { return size_; }
+
+    /** Length of the longest chain (worst-case lookup cost). */
+    size_t maxChainLength() const;
+
+    /** Average probes over all stored keys. */
+    double averageProbes() const;
+
+    /** Number of buckets. */
+    size_t buckets() const { return table_.size(); }
+
+  private:
+    struct Entry
+    {
+        Key128 key;
+        uint32_t value;
+    };
+
+    size_t bucketOf(const Key128 &key) const;
+
+    unsigned keyLen_;
+    H3Hash hash_;
+    std::vector<std::vector<Entry>> table_;
+    size_t size_ = 0;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_HASHTABLE_CHAINED_HH

@@ -1,0 +1,117 @@
+#include "hashtable/dleft.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitops.hh"
+
+namespace chisel {
+
+MultiChoiceHashTable::MultiChoiceHashTable(size_t buckets, unsigned d,
+                                           unsigned bucket_capacity,
+                                           Mode mode, unsigned key_len,
+                                           uint64_t seed)
+    : mode_(mode),
+      d_(d),
+      bucketCapacity_(bucket_capacity),
+      keyLen_(key_len),
+      subTableSize_(divCeil(std::max<size_t>(buckets, d), d)),
+      family_(d, 64, seed),
+      rng_(seed ^ 0x7ea5eedULL),
+      table_(mode == Mode::DLeft ? subTableSize_ * d
+                                 : std::max<size_t>(buckets, 1))
+{
+    assert(d >= 1);
+    assert(bucket_capacity >= 1);
+}
+
+size_t
+MultiChoiceHashTable::bucketOf(unsigned i, const Key128 &key) const
+{
+    uint64_t h = family_.hash(i, key, keyLen_);
+    if (mode_ == Mode::DLeft)
+        return static_cast<size_t>(i) * subTableSize_ +
+               static_cast<size_t>(h % subTableSize_);
+    return static_cast<size_t>(h % table_.size());
+}
+
+bool
+MultiChoiceHashTable::insert(const Key128 &key, uint32_t value)
+{
+    // Overwrite if already present.
+    for (unsigned i = 0; i < d_; ++i) {
+        auto &bucket = table_[bucketOf(i, key)];
+        for (auto &e : bucket) {
+            if (e.key == key) {
+                e.value = value;
+                return true;
+            }
+        }
+    }
+
+    // Choose the least-loaded candidate bucket.
+    size_t best = SIZE_MAX;
+    size_t best_load = 0;
+    for (unsigned i = 0; i < d_; ++i) {
+        size_t b = bucketOf(i, key);
+        size_t load = table_[b].size();
+        bool better;
+        if (best == SIZE_MAX) {
+            better = true;
+        } else if (load < best_load) {
+            better = true;
+        } else if (load == best_load && mode_ == Mode::DRandom) {
+            // d-random breaks ties uniformly at random.
+            better = rng_.nextBool(0.5);
+        } else {
+            better = false;   // d-left keeps the leftmost.
+        }
+        if (better) {
+            best = b;
+            best_load = load;
+        }
+    }
+
+    if (best_load >= bucketCapacity_) {
+        ++overflows_;
+        return false;
+    }
+    table_[best].push_back(Entry{key, value});
+    ++size_;
+    return true;
+}
+
+std::optional<uint32_t>
+MultiChoiceHashTable::find(const Key128 &key) const
+{
+    for (unsigned i = 0; i < d_; ++i) {
+        const auto &bucket = table_[bucketOf(i, key)];
+        for (const auto &e : bucket) {
+            if (e.key == key)
+                return e.value;
+        }
+    }
+    return std::nullopt;
+}
+
+size_t
+MultiChoiceHashTable::maxLoad() const
+{
+    size_t mx = 0;
+    for (const auto &b : table_)
+        mx = std::max(mx, b.size());
+    return mx;
+}
+
+size_t
+MultiChoiceHashTable::collidedBuckets() const
+{
+    size_t n = 0;
+    for (const auto &b : table_) {
+        if (b.size() > 1)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace chisel

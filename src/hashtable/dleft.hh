@@ -1,0 +1,93 @@
+/**
+ * @file
+ * d-random and d-left multiple-choice hash tables (Section 2).
+ *
+ * d-random (Azar et al.): d hash functions into one table; insert
+ * into the least-loaded of the d buckets, ties broken randomly.
+ * d-left (Broder & Mitzenmacher): d sub-tables, one per function;
+ * ties broken towards the leftmost sub-table, allowing the d probes
+ * to proceed in parallel.  Both reduce, but do not eliminate,
+ * collisions — the overflow statistics exposed here are the point of
+ * comparison with Chisel's collision-free guarantee.
+ */
+
+#ifndef CHISEL_HASHTABLE_DLEFT_HH
+#define CHISEL_HASHTABLE_DLEFT_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/key128.hh"
+#include "common/random.hh"
+#include "hash/h3.hh"
+
+namespace chisel {
+
+/**
+ * Multiple-choice hash table in either d-random or d-left mode.
+ */
+class MultiChoiceHashTable
+{
+  public:
+    enum class Mode { DRandom, DLeft };
+
+    /**
+     * @param buckets Total buckets (split across sub-tables in d-left
+     *        mode; rounded up to a multiple of d).
+     * @param d Number of choices.
+     * @param bucket_capacity Entries per bucket before overflow.
+     * @param mode Tie-break / layout policy.
+     * @param key_len Key length in bits.
+     * @param seed Hash and tie-break seed.
+     */
+    MultiChoiceHashTable(size_t buckets, unsigned d,
+                         unsigned bucket_capacity, Mode mode,
+                         unsigned key_len, uint64_t seed);
+
+    /**
+     * Insert a key.  @return false when every candidate bucket is
+     * full (an overflow — counted in overflows()).
+     */
+    bool insert(const Key128 &key, uint32_t value);
+
+    /** Lookup; examines all d buckets (they can be read in parallel). */
+    std::optional<uint32_t> find(const Key128 &key) const;
+
+    /** Keys stored. */
+    size_t size() const { return size_; }
+
+    /** Inserts rejected because all candidate buckets were full. */
+    size_t overflows() const { return overflows_; }
+
+    /** Maximum bucket load reached. */
+    size_t maxLoad() const;
+
+    /** Number of buckets holding more than one key (collisions). */
+    size_t collidedBuckets() const;
+
+  private:
+    struct Entry
+    {
+        Key128 key;
+        uint32_t value;
+    };
+
+    /** Candidate bucket of function @p i. */
+    size_t bucketOf(unsigned i, const Key128 &key) const;
+
+    Mode mode_;
+    unsigned d_;
+    unsigned bucketCapacity_;
+    unsigned keyLen_;
+    size_t subTableSize_;
+    H3Family family_;
+    mutable Rng rng_;
+    std::vector<std::vector<Entry>> table_;
+    size_t size_ = 0;
+    size_t overflows_ = 0;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_HASHTABLE_DLEFT_HH

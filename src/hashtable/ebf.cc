@@ -1,0 +1,203 @@
+#include "hashtable/ebf.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/bitops.hh"
+
+namespace chisel {
+
+EbfConfig
+ebfPaperConfig(unsigned key_len)
+{
+    EbfConfig c;
+    c.sizeFactor = 12.8;
+    c.keyLen = key_len;
+    return c;
+}
+
+EbfConfig
+poorEbfPaperConfig(unsigned key_len)
+{
+    EbfConfig c;
+    c.sizeFactor = 6.0;
+    c.keyLen = key_len;
+    return c;
+}
+
+ExtendedBloomFilter::ExtendedBloomFilter(size_t capacity,
+                                         const EbfConfig &config)
+    : config_(config),
+      capacity_(std::max<size_t>(capacity, 1)),
+      cbf_(static_cast<size_t>(std::ceil(
+               config.sizeFactor * static_cast<double>(capacity_))),
+           config.k, config.counterBits, config.seed),
+      buckets_(cbf_.size())
+{
+}
+
+size_t
+ExtendedBloomFilter::chooseBucket(const Key128 &key) const
+{
+    auto locs = cbf_.locations(key, config_.keyLen);
+    size_t best = locs[0];
+    uint32_t best_count = cbf_.counterAt(locs[0]);
+    for (size_t i = 1; i < locs.size(); ++i) {
+        uint32_t c = cbf_.counterAt(locs[i]);
+        if (c < best_count) {   // strict: leftmost wins ties (d-left)
+            best = locs[i];
+            best_count = c;
+        }
+    }
+    return best;
+}
+
+void
+ExtendedBloomFilter::bulkBuild(
+    const std::vector<std::pair<Key128, uint32_t>> &entries)
+{
+    cbf_.clear();
+    for (auto &b : buckets_)
+        b.clear();
+    size_ = 0;
+
+    // Phase 1: hash every key into the counting Bloom filter.
+    for (const auto &[key, value] : entries) {
+        (void)value;
+        cbf_.insert(key, config_.keyLen);
+    }
+    // Phase 2: place each key in its minimum-counter bucket.
+    for (const auto &[key, value] : entries) {
+        buckets_[chooseBucket(key)].push_back(Entry{key, value});
+        ++size_;
+    }
+}
+
+void
+ExtendedBloomFilter::insert(const Key128 &key, uint32_t value)
+{
+    // Overwrite when present: search all candidate buckets, since the
+    // counters may steer differently now than at the original insert.
+    for (size_t loc : cbf_.locations(key, config_.keyLen)) {
+        for (auto &e : buckets_[loc]) {
+            if (e.key == key) {
+                e.value = value;
+                return;
+            }
+        }
+    }
+
+    cbf_.insert(key, config_.keyLen);
+    buckets_[chooseBucket(key)].push_back(Entry{key, value});
+    ++size_;
+}
+
+bool
+ExtendedBloomFilter::erase(const Key128 &key)
+{
+    for (size_t loc : cbf_.locations(key, config_.keyLen)) {
+        auto &bucket = buckets_[loc];
+        for (size_t i = 0; i < bucket.size(); ++i) {
+            if (bucket[i].key == key) {
+                bucket[i] = bucket.back();
+                bucket.pop_back();
+                cbf_.remove(key, config_.keyLen);
+                --size_;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+std::optional<uint32_t>
+ExtendedBloomFilter::find(const Key128 &key,
+                          size_t *off_chip_probes) const
+{
+    if (!cbf_.query(key, config_.keyLen)) {
+        if (off_chip_probes)
+            *off_chip_probes = 0;   // Filtered on-chip; no DRAM touch.
+        return std::nullopt;
+    }
+
+    size_t chosen = chooseBucket(key);
+    size_t probes = 0;
+    for (const auto &e : buckets_[chosen]) {
+        ++probes;
+        if (e.key == key) {
+            if (off_chip_probes)
+                *off_chip_probes = probes;
+            return e.value;
+        }
+    }
+    probes = std::max<size_t>(probes, 1);
+
+    // Fallback for online-inserted keys whose min-counter location
+    // has since shifted: probe the remaining candidate buckets.
+    for (size_t loc : cbf_.locations(key, config_.keyLen)) {
+        if (loc == chosen)
+            continue;
+        for (const auto &e : buckets_[loc]) {
+            ++probes;
+            if (e.key == key) {
+                if (off_chip_probes)
+                    *off_chip_probes = probes;
+                return e.value;
+            }
+        }
+    }
+    if (off_chip_probes)
+        *off_chip_probes = probes;
+    return std::nullopt;
+}
+
+size_t
+ExtendedBloomFilter::collidedBuckets() const
+{
+    size_t n = 0;
+    for (const auto &b : buckets_) {
+        if (b.size() > 1)
+            ++n;
+    }
+    return n;
+}
+
+double
+ExtendedBloomFilter::collisionRate() const
+{
+    if (size_ == 0)
+        return 0.0;
+    size_t keys_in_collided = 0;
+    for (const auto &b : buckets_) {
+        if (b.size() > 1)
+            keys_in_collided += b.size();
+    }
+    return static_cast<double>(keys_in_collided) /
+           static_cast<double>(size_);
+}
+
+uint64_t
+ExtendedBloomFilter::onChipBits() const
+{
+    return cbf_.storageBits();
+}
+
+uint64_t
+ExtendedBloomFilter::offChipBits() const
+{
+    uint64_t entry_bits = config_.keyLen + addressBits(capacity_);
+    return static_cast<uint64_t>(buckets_.size()) * entry_bits;
+}
+
+std::pair<uint64_t, uint64_t>
+ExtendedBloomFilter::storageModel(size_t n, const EbfConfig &config)
+{
+    auto slots = static_cast<uint64_t>(
+        std::ceil(config.sizeFactor * static_cast<double>(n)));
+    uint64_t on_chip = slots * config.counterBits;
+    uint64_t off_chip = slots * (config.keyLen + addressBits(n));
+    return {on_chip, off_chip};
+}
+
+} // namespace chisel

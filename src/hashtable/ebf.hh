@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Extended Bloom Filter (Song, Dharmapurikar, Turner, Lockwood;
+ * SIGCOMM 2005) — the hash-based baseline of Sections 2 and 6.1.
+ *
+ * EBF is a two-level structure: an on-chip counting Bloom filter with
+ * m' counters and an off-chip hash table with m' buckets.  Every key
+ * is hashed to k counter locations; it is stored in the bucket whose
+ * counter is smallest (leftmost tie-break, d-left style).  A lookup
+ * reads the k counters and probes only the minimum-counter bucket, so
+ * the expected off-chip access count is one — but collisions are only
+ * made rare, not impossible, which is the property Chisel improves on.
+ *
+ * Storage model (Figure 8): the paper quotes collision probabilities
+ * of 1 in 50 / 1,000 / 2,500,000 for table sizes 3N / 6N / 12N and
+ * evaluates "EBF" at the 1-in-2M design point (~12.8N) and
+ * "poor-EBF" at 1-in-1000 (6N).  Off-chip entries hold the key plus
+ * a next-hop pointer; on-chip counters are 4 bits.
+ */
+
+#ifndef CHISEL_HASHTABLE_EBF_HH
+#define CHISEL_HASHTABLE_EBF_HH
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "bloom/counting_bloom.hh"
+#include "common/key128.hh"
+
+namespace chisel {
+
+/** Parameters of an EBF instance. */
+struct EbfConfig
+{
+    /** Table size factor c: buckets = counters = c * n. */
+    double sizeFactor = 12.8;
+
+    /** Number of hash functions. */
+    unsigned k = 3;
+
+    /** On-chip counter width in bits. */
+    unsigned counterBits = 4;
+
+    /** Key length in bits. */
+    unsigned keyLen = 32;
+
+    /** Hash seed. */
+    uint64_t seed = 0xEBF0;
+};
+
+/** The two design points the paper evaluates. */
+EbfConfig ebfPaperConfig(unsigned key_len);       ///< 1-in-2M collisions.
+EbfConfig poorEbfPaperConfig(unsigned key_len);   ///< 1-in-1000.
+
+/**
+ * Functional EBF over fixed-length keys.
+ */
+class ExtendedBloomFilter
+{
+  public:
+    /**
+     * @param capacity Number of keys provisioned for (n).
+     * @param config Design parameters.
+     */
+    ExtendedBloomFilter(size_t capacity, const EbfConfig &config);
+
+    /**
+     * Bulk build, exactly as in [21]: first hash *all* keys into the
+     * counting Bloom filter, then place each key in its
+     * minimum-counter bucket.  The min-counter choice is stable for
+     * later lookups because the counters no longer change.
+     */
+    void
+    bulkBuild(const std::vector<std::pair<Key128, uint32_t>> &entries);
+
+    /**
+     * Online insert (counters first, then bucket choice).  Later
+     * inserts can shift other keys' minimum-counter location, so
+     * lookups fall back to the remaining candidate buckets on a miss
+     * — extra off-chip probes that the bulk build avoids and that
+     * find() reports.
+     */
+    void insert(const Key128 &key, uint32_t value);
+
+    /** Remove a key.  @return true if present. */
+    bool erase(const Key128 &key);
+
+    /**
+     * Lookup.  @p off_chip_probes (if non-null) receives the number
+     * of off-chip bucket entries examined — >1 means a collision was
+     * encountered, the event Chisel eliminates.
+     */
+    std::optional<uint32_t> find(const Key128 &key,
+                                 size_t *off_chip_probes = nullptr) const;
+
+    /** Number of keys stored. */
+    size_t size() const { return size_; }
+
+    /** Buckets whose load exceeds one (collisions present). */
+    size_t collidedBuckets() const;
+
+    /** Fraction of stored keys residing in a collided bucket. */
+    double collisionRate() const;
+
+    /** On-chip storage in bits (the counting Bloom filter). */
+    uint64_t onChipBits() const;
+
+    /** Off-chip storage in bits (key + next-hop pointer per slot). */
+    uint64_t offChipBits() const;
+
+    /**
+     * Worst-case storage model without building a table — used by the
+     * Figure 8 sweep.  Returns {on-chip bits, off-chip bits}.
+     */
+    static std::pair<uint64_t, uint64_t>
+    storageModel(size_t n, const EbfConfig &config);
+
+  private:
+    struct Entry
+    {
+        Key128 key;
+        uint32_t value;
+    };
+
+    /** Bucket the key would be placed in (min counter, leftmost). */
+    size_t chooseBucket(const Key128 &key) const;
+
+    EbfConfig config_;
+    size_t capacity_;
+    CountingBloomFilter cbf_;
+    std::vector<std::vector<Entry>> buckets_;
+    size_t size_ = 0;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_HASHTABLE_EBF_HH

@@ -1,0 +1,115 @@
+#include "lpm/bloom_lpm.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.hh"
+
+namespace chisel {
+
+BloomLpm::BloomLpm(const RoutingTable &table,
+                   const BloomLpmConfig &config)
+    : config_(config)
+{
+    keyWidth_ = std::max(32u, table.maxLength());
+
+    // Group routes by length.
+    auto hist = table.lengthHistogram();
+    for (unsigned l = Key128::maxBits + 1; l-- > 1;) {
+        if (l <= Key128::maxBits && hist[l] > 0)
+            lengths_.push_back(l);
+    }
+
+    uint64_t seed = config.seed;
+    for (unsigned l : lengths_) {
+        size_t n = hist[l];
+        Level level;
+        level.length = l;
+        level.filter = std::make_unique<BloomFilter>(
+            static_cast<size_t>(std::ceil(config.bitsPerKey * n)),
+            config.k, splitmix64(seed));
+        level.table = std::make_unique<ChainedHashTable>(
+            static_cast<size_t>(std::ceil(config.bucketsPerKey * n)),
+            l, splitmix64(seed));
+        levels_.push_back(std::move(level));
+    }
+
+    for (const auto &r : table.routes()) {
+        if (r.prefix.length() == 0) {
+            defaultRoute_ = r.nextHop;
+            continue;
+        }
+        for (auto &level : levels_) {
+            if (level.length == r.prefix.length()) {
+                level.filter->insert(r.prefix.bits(), level.length);
+                level.table->insert(r.prefix.bits(), r.nextHop);
+                ++size_;
+                break;
+            }
+        }
+    }
+    if (defaultRoute_)
+        ++size_;
+}
+
+BloomLpmLookup
+BloomLpm::lookup(const Key128 &key) const
+{
+    BloomLpmLookup out;
+
+    // Phase 1: query every Bloom filter (hardware does this in
+    // parallel); collect the candidate lengths.
+    std::vector<const Level *> candidates;
+    for (const auto &level : levels_) {
+        if (level.filter->query(key.masked(level.length),
+                                level.length)) {
+            candidates.push_back(&level);
+            ++out.bloomPositives;
+        }
+    }
+
+    // Phase 2: probe candidate tables longest-first; the first real
+    // hit is the LPM answer (levels_ is already descending).
+    for (const Level *level : candidates) {
+        ++out.tableProbes;
+        size_t chain = 0;
+        auto hit = level->table->find(key.masked(level->length),
+                                      &chain);
+        out.chainSteps += static_cast<unsigned>(chain);
+        if (hit) {
+            out.found = true;
+            out.nextHop = *hit;
+            out.matchedLength = level->length;
+            return out;
+        }
+    }
+
+    if (defaultRoute_) {
+        out.found = true;
+        out.nextHop = *defaultRoute_;
+        out.matchedLength = 0;
+    }
+    return out;
+}
+
+uint64_t
+BloomLpm::onChipBits() const
+{
+    uint64_t bits = 0;
+    for (const auto &level : levels_)
+        bits += level.filter->bits();
+    return bits;
+}
+
+uint64_t
+BloomLpm::offChipBits() const
+{
+    uint64_t bits = 0;
+    for (const auto &level : levels_) {
+        bits += static_cast<uint64_t>(level.table->buckets()) *
+                (keyWidth_ + 32);
+    }
+    return bits;
+}
+
+} // namespace chisel

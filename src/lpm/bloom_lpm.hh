@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Bloom-filter-assisted LPM (Dharmapurikar, Krishnamurthy, Taylor;
+ * SIGCOMM 2003) — reference [8] of the paper (Section 2).
+ *
+ * One hash table per distinct prefix length, each guarded by an
+ * on-chip Bloom filter.  All filters are queried in parallel; only
+ * lengths whose filter answers "maybe" probe their (off-chip) hash
+ * table, longest first, stopping at the first real hit.  The
+ * *expected* number of off-chip probes is close to one, but false
+ * positives make the worst case unbounded in principle — and neither
+ * collisions inside the tables nor wildcard storage are addressed,
+ * which is the contrast with Chisel the paper draws.
+ */
+
+#ifndef CHISEL_LPM_BLOOM_LPM_HH
+#define CHISEL_LPM_BLOOM_LPM_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bloom/bloom.hh"
+#include "hashtable/chained.hh"
+#include "route/table.hh"
+
+namespace chisel {
+
+/** Build parameters for the per-length Bloom LPM. */
+struct BloomLpmConfig
+{
+    /** Bloom filter bits per stored prefix. */
+    double bitsPerKey = 16.0;
+
+    /** Bloom hash functions. */
+    unsigned k = 4;
+
+    /** Hash-table buckets per stored prefix (load factor 1/x). */
+    double bucketsPerKey = 1.5;
+
+    uint64_t seed = 0xB100;
+};
+
+/** Per-lookup cost accounting. */
+struct BloomLpmLookup
+{
+    bool found = false;
+    NextHop nextHop = kNoRoute;
+    unsigned matchedLength = 0;
+
+    /** Lengths whose Bloom filter passed (candidate set size). */
+    unsigned bloomPositives = 0;
+
+    /** Off-chip hash tables actually probed (paper: expect ~1-2). */
+    unsigned tableProbes = 0;
+
+    /** Chain entries examined across those probes. */
+    unsigned chainSteps = 0;
+};
+
+/**
+ * The per-length Bloom-filter LPM engine.
+ */
+class BloomLpm
+{
+  public:
+    BloomLpm(const RoutingTable &table,
+             const BloomLpmConfig &config = {});
+
+    /** Longest-prefix match with probe accounting. */
+    BloomLpmLookup lookup(const Key128 &key) const;
+
+    /** Distinct prefix lengths = number of tables implemented. */
+    size_t tableCount() const { return lengths_.size(); }
+
+    /** Routes stored. */
+    size_t size() const { return size_; }
+
+    /** On-chip storage: all Bloom filters. */
+    uint64_t onChipBits() const;
+
+    /** Off-chip storage: hash-table buckets (key + next hop). */
+    uint64_t offChipBits() const;
+
+  private:
+    struct Level
+    {
+        unsigned length;
+        std::unique_ptr<BloomFilter> filter;
+        std::unique_ptr<ChainedHashTable> table;
+    };
+
+    BloomLpmConfig config_;
+    std::vector<unsigned> lengths_;   ///< Descending.
+    std::vector<Level> levels_;       ///< Same order as lengths_.
+    std::optional<NextHop> defaultRoute_;
+    size_t size_ = 0;
+    unsigned keyWidth_ = 32;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_LPM_BLOOM_LPM_HH

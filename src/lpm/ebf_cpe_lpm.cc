@@ -1,0 +1,106 @@
+#include "lpm/ebf_cpe_lpm.hh"
+
+#include <algorithm>
+
+#include "common/random.hh"
+
+namespace chisel {
+
+EbfCpeLpm::EbfCpeLpm(const RoutingTable &table,
+                     const EbfCpeConfig &config)
+    : config_(config)
+{
+    // Split off the default route, expand the rest.
+    RoutingTable body;
+    for (const auto &r : table.routes()) {
+        if (r.prefix.length() == 0)
+            defaultRoute_ = r.nextHop;
+        else
+            body.add(r.prefix, r.nextHop);
+    }
+
+    if (body.empty())
+        return;
+
+    targets_ = optimalTargetLengths(body, config.levels);
+    CpeResult cpe = expand(body, targets_);
+    expanded_ = cpe.expandedCount;
+    expansionFactor_ = cpe.expansionFactor();
+
+    // One EBF per target length, sized for its share of the
+    // expanded prefixes.
+    auto hist = cpe.expanded.lengthHistogram();
+    uint64_t seed = config.ebf.seed;
+    for (auto it = targets_.rbegin(); it != targets_.rend(); ++it) {
+        unsigned l = *it;
+        size_t n = std::max<size_t>(hist[l], 1);
+        Level level;
+        level.length = l;
+        level.capacity = n;
+        EbfConfig ec = config.ebf;
+        ec.keyLen = l;
+        ec.seed = splitmix64(seed);
+        level.ebf = std::make_unique<ExtendedBloomFilter>(n, ec);
+        levels_.push_back(std::move(level));
+    }
+
+    // Two-pass bulk build per level, exactly as [21] constructs the
+    // EBF (all counters first, then min-counter placement).
+    std::vector<std::vector<std::pair<Key128, uint32_t>>> per_level(
+        levels_.size());
+    for (const auto &r : cpe.expanded.routes()) {
+        for (size_t i = 0; i < levels_.size(); ++i) {
+            if (levels_[i].length == r.prefix.length()) {
+                per_level[i].emplace_back(r.prefix.bits(), r.nextHop);
+                break;
+            }
+        }
+    }
+    for (size_t i = 0; i < levels_.size(); ++i)
+        levels_[i].ebf->bulkBuild(per_level[i]);
+}
+
+EbfCpeLookup
+EbfCpeLpm::lookup(const Key128 &key) const
+{
+    EbfCpeLookup out;
+    for (const auto &level : levels_) {
+        size_t probes = 0;
+        auto hit = level.ebf->find(key.masked(level.length), &probes);
+        out.offChipProbes += static_cast<unsigned>(probes);
+        if (probes > 0)
+            ++out.cbfPositives;
+        if (hit) {
+            out.found = true;
+            out.nextHop = *hit;
+            out.matchedLength = level.length;
+            return out;
+        }
+    }
+    if (defaultRoute_) {
+        out.found = true;
+        out.nextHop = *defaultRoute_;
+        out.matchedLength = 0;
+    }
+    return out;
+}
+
+uint64_t
+EbfCpeLpm::onChipBits() const
+{
+    uint64_t bits = 0;
+    for (const auto &level : levels_)
+        bits += level.ebf->onChipBits();
+    return bits;
+}
+
+uint64_t
+EbfCpeLpm::offChipBits() const
+{
+    uint64_t bits = 0;
+    for (const auto &level : levels_)
+        bits += level.ebf->offChipBits();
+    return bits;
+}
+
+} // namespace chisel

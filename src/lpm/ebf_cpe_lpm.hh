@@ -1,0 +1,102 @@
+/**
+ * @file
+ * EBF+CPE: the paper's composite baseline (Sections 2, 6.3).
+ *
+ * Controlled Prefix Expansion reduces the table to a few unique
+ * lengths; one Extended Bloom Filter per target length stores the
+ * expanded prefixes.  A lookup probes the target lengths longest
+ * first; each EBF screens misses with its on-chip counting Bloom
+ * filter and resolves hits with (usually) one off-chip bucket read.
+ * This is the strongest prior hash-based configuration and the one
+ * Figure 10 compares Chisel against: functional here, with full
+ * probe and storage accounting.
+ */
+
+#ifndef CHISEL_LPM_EBF_CPE_LPM_HH
+#define CHISEL_LPM_EBF_CPE_LPM_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cpe/cpe.hh"
+#include "hashtable/ebf.hh"
+#include "route/table.hh"
+
+namespace chisel {
+
+/** Build parameters. */
+struct EbfCpeConfig
+{
+    /** Number of CPE target lengths (DP-optimised placement). */
+    unsigned levels = 5;
+
+    /** EBF design point per level. */
+    EbfConfig ebf = ebfPaperConfig(32);
+};
+
+/** Per-lookup accounting. */
+struct EbfCpeLookup
+{
+    bool found = false;
+    NextHop nextHop = kNoRoute;
+    /** Matched *expanded* length (originals are erased by CPE). */
+    unsigned matchedLength = 0;
+
+    /** Levels whose counting Bloom filter passed. */
+    unsigned cbfPositives = 0;
+
+    /** Off-chip bucket entries examined. */
+    unsigned offChipProbes = 0;
+};
+
+/**
+ * The EBF+CPE LPM engine.
+ */
+class EbfCpeLpm
+{
+  public:
+    EbfCpeLpm(const RoutingTable &table,
+              const EbfCpeConfig &config = {});
+
+    /** Longest-prefix match (on the expanded table — same answers). */
+    EbfCpeLookup lookup(const Key128 &key) const;
+
+    /** The chosen target lengths. */
+    const std::vector<unsigned> &targetLengths() const
+    {
+        return targets_;
+    }
+
+    /** Prefix count after expansion. */
+    size_t expandedSize() const { return expanded_; }
+
+    /** CPE expansion factor actually incurred. */
+    double expansionFactor() const { return expansionFactor_; }
+
+    /** On-chip storage (counting Bloom filters). */
+    uint64_t onChipBits() const;
+
+    /** Off-chip storage (hash-table slots). */
+    uint64_t offChipBits() const;
+
+  private:
+    struct Level
+    {
+        unsigned length;
+        std::unique_ptr<ExtendedBloomFilter> ebf;
+        size_t capacity;
+    };
+
+    EbfCpeConfig config_;
+    std::vector<unsigned> targets_;
+    std::vector<Level> levels_;   ///< Descending by length.
+    std::optional<NextHop> defaultRoute_;
+    size_t expanded_ = 0;
+    double expansionFactor_ = 1.0;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_LPM_EBF_CPE_LPM_HH

@@ -1,0 +1,126 @@
+#include "lpm/waldvogel.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "trie/binary_trie.hh"
+
+namespace chisel {
+
+BinarySearchLengths::BinarySearchLengths(const RoutingTable &table)
+{
+    for (unsigned l : table.populatedLengths()) {
+        if (l > 0)
+            lengths_.push_back(l);
+    }
+    tables_.resize(lengths_.size());
+
+    // The trie provides each marker's best matching prefix (bmp).
+    BinaryTrie trie(table);
+
+    auto level_of = [&](unsigned len) -> size_t {
+        return static_cast<size_t>(
+            std::lower_bound(lengths_.begin(), lengths_.end(), len) -
+            lengths_.begin());
+    };
+
+    for (const auto &r : table.routes()) {
+        unsigned l = r.prefix.length();
+        if (l == 0) {
+            defaultRoute_ = r.nextHop;
+            ++size_;
+            continue;
+        }
+        ++size_;
+
+        // Walk the binary-search path towards l, planting markers at
+        // every level the search visits before reaching it.
+        size_t target = level_of(l);
+        size_t lo = 0, hi = lengths_.size();   // [lo, hi).
+        while (lo < hi) {
+            size_t mid = (lo + hi) / 2;
+            unsigned m = lengths_[mid];
+            if (mid == target) {
+                Entry &e = tables_[mid][r.prefix.bits()];
+                e.isPrefix = true;
+                e.nextHop = r.nextHop;
+                break;
+            }
+            if (m < l) {
+                // The search goes right through this level: plant a
+                // marker so it knows longer matches may exist.
+                Key128 mk = r.prefix.bits().masked(m);
+                Entry &e = tables_[mid][mk];
+                if (!e.isMarker && !e.isPrefix)
+                    ++markers_;
+                e.isMarker = true;
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+
+    // Fill each entry's bmp: the longest real prefix matching its
+    // bit string at or below its own length.
+    for (size_t i = 0; i < tables_.size(); ++i) {
+        for (auto &[bits, e] : tables_[i]) {
+            auto best = trie.lookup(bits, lengths_[i]);
+            if (best) {
+                e.hasBmp = true;
+                e.bmpNextHop = best->nextHop;
+                e.bmpLength = best->prefix.length();
+            }
+        }
+    }
+}
+
+BslLookup
+BinarySearchLengths::lookup(const Key128 &key) const
+{
+    BslLookup out;
+    if (defaultRoute_) {
+        out.found = true;
+        out.nextHop = *defaultRoute_;
+        out.matchedLength = 0;
+    }
+
+    size_t lo = 0, hi = lengths_.size();
+    while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        unsigned m = lengths_[mid];
+        ++out.tableProbes;
+        auto it = tables_[mid].find(key.masked(m));
+        if (it != tables_[mid].end()) {
+            const Entry &e = it->second;
+            if (e.hasBmp) {
+                out.found = true;
+                out.nextHop = e.bmpNextHop;
+                out.matchedLength = e.bmpLength;
+            }
+            lo = mid + 1;   // Longer matches may exist.
+        } else {
+            hi = mid;       // Nothing at or beyond this length here.
+        }
+    }
+    return out;
+}
+
+unsigned
+BinarySearchLengths::maxProbes() const
+{
+    if (lengths_.empty())
+        return 0;
+    return ceilLog2(lengths_.size()) + 1;
+}
+
+size_t
+BinarySearchLengths::entryCount() const
+{
+    size_t n = 0;
+    for (const auto &t : tables_)
+        n += t.size();
+    return n;
+}
+
+} // namespace chisel

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Binary search on prefix lengths (Waldvogel, Varghese, Turner,
+ * Plattner; SIGCOMM 1997) — reference [25] of the paper (Section 2).
+ *
+ * One hash table per distinct prefix length; a lookup binary-searches
+ * the length set.  *Markers* (truncations of longer prefixes) are
+ * planted on the search path so a miss at some length proves nothing
+ * longer exists there; every marker carries its best-matching prefix
+ * ("bmp") so backtracking is never needed.  O(log W) probes, but the
+ * scheme neither bounds per-table collisions nor avoids implementing
+ * a table per length — the two gaps Chisel closes.
+ */
+
+#ifndef CHISEL_LPM_WALDVOGEL_HH
+#define CHISEL_LPM_WALDVOGEL_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hash/mix.hh"
+#include "route/table.hh"
+
+namespace chisel {
+
+/** Per-lookup accounting for the binary search. */
+struct BslLookup
+{
+    bool found = false;
+    NextHop nextHop = kNoRoute;
+    unsigned matchedLength = 0;
+
+    /** Hash tables probed: <= ceil(log2(#lengths)) + 1. */
+    unsigned tableProbes = 0;
+};
+
+/**
+ * Binary-search-on-lengths LPM engine.
+ */
+class BinarySearchLengths
+{
+  public:
+    explicit BinarySearchLengths(const RoutingTable &table);
+
+    /** Longest-prefix match. */
+    BslLookup lookup(const Key128 &key) const;
+
+    /** Distinct lengths = tables implemented. */
+    size_t tableCount() const { return lengths_.size(); }
+
+    /** Worst-case probes for this length set. */
+    unsigned maxProbes() const;
+
+    /** Real routes stored (markers excluded). */
+    size_t size() const { return size_; }
+
+    /** Marker entries planted (the scheme's storage overhead). */
+    size_t markerCount() const { return markers_; }
+
+    /** Total hash-table entries (prefixes + pure markers). */
+    size_t entryCount() const;
+
+  private:
+    struct Entry
+    {
+        bool isPrefix = false;
+        bool isMarker = false;
+        NextHop nextHop = kNoRoute;       ///< When isPrefix.
+        /** Best matching prefix of this bit string (inclusive). */
+        NextHop bmpNextHop = kNoRoute;
+        unsigned bmpLength = 0;
+        bool hasBmp = false;
+    };
+
+    using Table = std::unordered_map<Key128, Entry, Key128Hasher>;
+
+    std::vector<unsigned> lengths_;   ///< Ascending distinct lengths.
+    std::vector<Table> tables_;       ///< Parallel to lengths_.
+    std::optional<NextHop> defaultRoute_;
+    size_t size_ = 0;
+    size_t markers_ = 0;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_LPM_WALDVOGEL_HH

@@ -1,0 +1,137 @@
+#include "match/dictionary.hh"
+
+#include <cassert>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace chisel {
+
+ChiselDictionary::ChiselDictionary(unsigned window, size_t capacity,
+                                   uint64_t seed)
+    : window_(window),
+      capacity_(std::max<size_t>(capacity, 1)),
+      prefilter_(std::max<size_t>(16 * capacity_, 1024), 4,
+                 seed ^ 0xB100F11Cull),
+      index_(capacity_,
+             BloomierConfig{3, 3.0, window * 8, 1, seed}),
+      stored_(capacity_)
+{
+    if (window_ < 1 || window_ > 16)
+        fatalError("ChiselDictionary window must be 1..16 bytes");
+    freeSlots_.reserve(capacity_);
+    for (size_t i = capacity_; i-- > 0;)
+        freeSlots_.push_back(static_cast<uint32_t>(i));
+}
+
+Key128
+ChiselDictionary::keyOf(std::string_view bytes) const
+{
+    assert(bytes.size() == window_);
+    Key128 key;
+    for (unsigned i = 0; i < window_; ++i) {
+        key.deposit(i * 8, 8,
+                    static_cast<uint8_t>(bytes[i]));
+    }
+    return key;
+}
+
+std::optional<uint32_t>
+ChiselDictionary::add(std::string_view pattern)
+{
+    if (pattern.size() != window_)
+        fatalError("pattern length != dictionary window");
+    Key128 key = keyOf(pattern);
+    if (index_.contains(key))
+        return std::nullopt;
+    if (freeSlots_.empty())
+        return std::nullopt;
+
+    uint32_t slot = freeSlots_.back();
+    auto result = index_.insert(key, slot);
+    if (result.method == BloomierFilter::InsertMethod::Failed)
+        return std::nullopt;
+    // Single-partition spills can evict other keys only on rebuild
+    // failure; with the LPM-grade design point this is vanishingly
+    // rare, but honour it.
+    for (const auto &[k2, c2] : result.spilled) {
+        if (!(k2 == key)) {
+            stored_[c2].valid = false;
+            freeSlots_.push_back(c2);
+            --patterns_;
+        }
+    }
+
+    freeSlots_.pop_back();
+    stored_[slot].key = key;
+    stored_[slot].valid = true;
+    prefilter_.insert(key, window_ * 8);
+    ++patterns_;
+    return slot;
+}
+
+bool
+ChiselDictionary::remove(std::string_view pattern)
+{
+    if (pattern.size() != window_)
+        return false;
+    Key128 key = keyOf(pattern);
+    auto code = index_.findCode(key);
+    if (!code)
+        return false;
+    index_.erase(key);
+    stored_[*code].valid = false;
+    freeSlots_.push_back(*code);
+    --patterns_;
+    // The plain Bloom pre-filter cannot delete; it coarsens until a
+    // rebuild, which only costs extra (filtered) probes — never
+    // correctness.
+    return true;
+}
+
+std::optional<uint32_t>
+ChiselDictionary::query(std::string_view window) const
+{
+    if (window.size() != window_)
+        return std::nullopt;
+    Key128 key = keyOf(window);
+    uint32_t code = index_.lookupCode(key);
+    if (code >= capacity_ || !stored_[code].valid ||
+        !(stored_[code].key == key))
+        return std::nullopt;
+    return code;
+}
+
+ScanStats
+ChiselDictionary::scan(std::string_view payload,
+                       std::vector<DictionaryMatch> &out) const
+{
+    ScanStats stats;
+    if (payload.size() < window_)
+        return stats;
+
+    for (size_t pos = 0; pos + window_ <= payload.size(); ++pos) {
+        ++stats.windows;
+        std::string_view w = payload.substr(pos, window_);
+        Key128 key = keyOf(w);
+        if (!prefilter_.query(key, window_ * 8))
+            continue;
+        ++stats.bloomPositives;
+        uint32_t code = index_.lookupCode(key);
+        if (code < capacity_ && stored_[code].valid &&
+            stored_[code].key == key) {
+            out.push_back(DictionaryMatch{pos, code});
+            ++stats.matches;
+        }
+    }
+    return stats;
+}
+
+uint64_t
+ChiselDictionary::storageBits() const
+{
+    return prefilter_.bits() + index_.storageBits() +
+           static_cast<uint64_t>(capacity_) * (window_ * 8 + 1);
+}
+
+} // namespace chisel

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Content-search dictionary on the Chisel building block.
+ *
+ * Sections 1 and 8 position Chisel as a building block for
+ * "intrusion detection ... as well as generic content searches":
+ * the same collision-free Bloomier Index + stored-key Filter pair
+ * that resolves prefixes can answer "is this w-byte window one of N
+ * signatures?" in O(1), which is the inner loop of dictionary-based
+ * payload scanning (Aho-Corasick-class IDS engines specialise
+ * exactly this).
+ *
+ * ChiselDictionary stores fixed-length byte patterns; scan() slides
+ * a window over a payload and reports every match.  A cheap Bloom
+ * pre-filter in front of the Bloomier lookup keeps the per-byte cost
+ * at one on-chip probe for the (overwhelmingly common) non-matching
+ * positions, mirroring how the LPM engine keeps misses cheap.
+ */
+
+#ifndef CHISEL_MATCH_DICTIONARY_HH
+#define CHISEL_MATCH_DICTIONARY_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom.hh"
+#include "bloom/bloomier.hh"
+#include "common/key128.hh"
+
+namespace chisel {
+
+/** One match: where, and which pattern (by id). */
+struct DictionaryMatch
+{
+    size_t offset = 0;
+    uint32_t patternId = 0;
+
+    bool operator==(const DictionaryMatch &other) const = default;
+};
+
+/** Scan statistics: the cost story. */
+struct ScanStats
+{
+    uint64_t windows = 0;         ///< Positions examined.
+    uint64_t bloomPositives = 0;  ///< Survived the pre-filter.
+    uint64_t matches = 0;
+};
+
+/**
+ * A fixed-window exact-match dictionary.
+ */
+class ChiselDictionary
+{
+  public:
+    /**
+     * @param window Pattern length in bytes (1..16 — one Key128).
+     * @param capacity Patterns provisioned for.
+     * @param seed Hash seed.
+     */
+    ChiselDictionary(unsigned window, size_t capacity,
+                     uint64_t seed = 0xD1C7);
+
+    /**
+     * Add a pattern of exactly window() bytes.
+     * @return Its pattern id, or nullopt if it could not be placed
+     *         (duplicate, or capacity exhausted).
+     */
+    std::optional<uint32_t> add(std::string_view pattern);
+
+    /** Remove a pattern.  @return true if present. */
+    bool remove(std::string_view pattern);
+
+    /** Exact query of one window. */
+    std::optional<uint32_t> query(std::string_view window) const;
+
+    /**
+     * Scan @p payload, appending every match to @p out.
+     * @return Per-scan statistics.
+     */
+    ScanStats scan(std::string_view payload,
+                   std::vector<DictionaryMatch> &out) const;
+
+    unsigned window() const { return window_; }
+    size_t size() const { return patterns_; }
+    size_t capacity() const { return capacity_; }
+
+    /** On-chip bits: pre-filter + Index + stored patterns. */
+    uint64_t storageBits() const;
+
+  private:
+    /** Pack @p bytes (window_ long) into a left-aligned key. */
+    Key128 keyOf(std::string_view bytes) const;
+
+    unsigned window_;
+    size_t capacity_;
+    BloomFilter prefilter_;
+    BloomierFilter index_;
+
+    struct Slot
+    {
+        Key128 key;
+        bool valid = false;
+    };
+    std::vector<Slot> stored_;      ///< The Filter Table.
+    std::vector<uint32_t> freeSlots_;
+    size_t patterns_ = 0;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_MATCH_DICTIONARY_HH

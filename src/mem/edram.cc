@@ -1,0 +1,58 @@
+#include "mem/edram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.hh"
+
+namespace chisel {
+
+EdramModel::EdramModel(const EdramParams &params) : params_(params)
+{
+}
+
+double
+EdramModel::accessEnergyNj(uint64_t bits) const
+{
+    uint64_t b = std::max(bits, params_.minMacroBits);
+    return params_.accessEnergyBaseNj +
+           params_.accessEnergySqrtNj * std::sqrt(static_cast<double>(b));
+}
+
+double
+EdramModel::staticWatts(uint64_t bits) const
+{
+    return params_.staticWattsPerBit * static_cast<double>(bits);
+}
+
+double
+EdramModel::watts(uint64_t bits, double accesses_per_sec) const
+{
+    return staticWatts(bits) +
+           accesses_per_sec * accessEnergyNj(bits) * 1e-9;
+}
+
+uint64_t
+EdramModel::macroCount(uint64_t bits) const
+{
+    return divCeil(std::max<uint64_t>(bits, 1), params_.minMacroBits);
+}
+
+double
+EdramModel::areaMm2(uint64_t bits) const
+{
+    double array = static_cast<double>(bits) / (1024.0 * 1024.0) *
+                   params_.mm2PerMbit;
+    double periphery = static_cast<double>(macroCount(bits)) *
+                       params_.macroOverheadMm2;
+    return array + periphery;
+}
+
+double
+EdramModel::njPerBit(uint64_t bits) const
+{
+    uint64_t b = std::max(bits, params_.minMacroBits);
+    return accessEnergyNj(bits) / static_cast<double>(b);
+}
+
+} // namespace chisel

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Embedded-DRAM macro model.
+ *
+ * Chisel's tables live in on-chip eDRAM macros of a few megabits
+ * (Section 6.5).  This model answers the two questions the power
+ * experiments need: the dynamic energy of one access to a macro of a
+ * given size, and the static power of holding it.  See tech.hh for
+ * the calibration story.
+ */
+
+#ifndef CHISEL_MEM_EDRAM_HH
+#define CHISEL_MEM_EDRAM_HH
+
+#include <cstdint>
+
+#include "mem/tech.hh"
+
+namespace chisel {
+
+/**
+ * Power/energy model of on-chip embedded DRAM macros.
+ */
+class EdramModel
+{
+  public:
+    explicit EdramModel(const EdramParams &params);
+
+    /** Dynamic energy of one access to a macro of @p bits, in nJ. */
+    double accessEnergyNj(uint64_t bits) const;
+
+    /** Static (leakage + refresh) power of @p bits, in watts. */
+    double staticWatts(uint64_t bits) const;
+
+    /**
+     * Total power of a macro of @p bits accessed @p accesses_per_sec
+     * times per second.
+     */
+    double watts(uint64_t bits, double accesses_per_sec) const;
+
+    /** Number of macros needed for @p bits (area reporting). */
+    uint64_t macroCount(uint64_t bits) const;
+
+    /**
+     * Die area of @p bits of eDRAM in mm^2 (cell array plus a fixed
+     * per-macro periphery overhead) — the "amenable to single-chip
+     * implementation" check of Sections 1 and 8.
+     */
+    double areaMm2(uint64_t bits) const;
+
+    /** Energy efficiency in nJ per bit per access (diagnostic). */
+    double njPerBit(uint64_t bits) const;
+
+    const EdramParams &params() const { return params_; }
+
+  private:
+    EdramParams params_;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_MEM_EDRAM_HH

@@ -1,0 +1,74 @@
+#include "mem/sram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.hh"
+
+namespace chisel {
+
+SramModel::SramModel(const SramParams &params) : params_(params)
+{
+}
+
+double
+SramModel::accessEnergyNj(uint64_t bits) const
+{
+    uint64_t b = std::max<uint64_t>(bits, 1024);
+    return params_.accessEnergyBaseNj +
+           params_.accessEnergySqrtNj * std::sqrt(static_cast<double>(b));
+}
+
+double
+SramModel::staticWatts(uint64_t bits) const
+{
+    return params_.staticWattsPerBit * static_cast<double>(bits);
+}
+
+double
+SramModel::watts(uint64_t bits, double accesses_per_sec) const
+{
+    return staticWatts(bits) +
+           accesses_per_sec * accessEnergyNj(bits) * 1e-9;
+}
+
+uint64_t
+SramModel::blocksFor(uint64_t depth, unsigned width_bits) const
+{
+    if (depth == 0 || width_bits == 0)
+        return 0;
+    // An 18 Kb block provides up to 36 bits of width at 512 words,
+    // reconfigurable to narrower/deeper aspect ratios down to 1 bit
+    // at 16K words.  Model: slices of 36-bit width, each slice
+    // covering 512 words per block, with narrow tables using deeper
+    // aspect ratios when beneficial.
+    const uint64_t block_bits = params_.blockBits;
+    // Best aspect ratio: words per block for a given width is
+    // block_bits / rounded-width, where width rounds to a power of
+    // two times 9 (1,2,4,9,18,36-bit ports).
+    static const unsigned widths[] = {1, 2, 4, 9, 18, 36};
+    unsigned remaining = width_bits;
+    // Greedy: cover the width with the widest ports, computing blocks
+    // for each slice at its own depth.  Port geometries follow the
+    // Virtex-II Pro block RAM aspect ratios (16Kx1 ... 512x36).
+    uint64_t total = 0;
+    while (remaining > 0) {
+        unsigned port = 1;
+        for (unsigned w : widths) {
+            if (w <= remaining)
+                port = w;
+        }
+        uint64_t words_per_block;
+        switch (port) {
+          case 36: words_per_block = 512; break;
+          case 18: words_per_block = 1024; break;
+          case 9:  words_per_block = 2048; break;
+          default: words_per_block = block_bits / port; break;
+        }
+        total += divCeil(depth, words_per_block);
+        remaining -= port;
+    }
+    return total;
+}
+
+} // namespace chisel

@@ -1,0 +1,11 @@
+#include "mem/tech.hh"
+
+namespace chisel {
+
+Technology
+Technology::nec130nm()
+{
+    return Technology{};
+}
+
+} // namespace chisel

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Technology parameters for the memory and power models.
+ *
+ * The paper's absolute power numbers come from proprietary NEC 130 nm
+ * embedded-DRAM models plus Synopsys gate-level logic estimates
+ * (Section 6.5).  We replace them with a small parametric model whose
+ * constants are *calibrated to the data points the paper publishes*:
+ *
+ *   - 5.5 W total for 512K IPv4 prefixes at 200 Msps (Fig. 13), and
+ *   - "43% less than TCAM" at 128K prefixes (Fig. 16), where the
+ *     TCAM reference is the linear extrapolation of 15 W / 18 Mb /
+ *     100 Msps, i.e. ~7.5 W at 128K x 36 b x 200 Msps,
+ *
+ * with the logic block contributing ~6% of the eDRAM power ("5-7%",
+ * Section 6.5).  The access-energy form e0 + e1*sqrt(bits) captures
+ * the wordline/bitline scaling that makes large macros cheaper per
+ * bit — the property the paper invokes to explain Figure 13's
+ * sub-linear growth.
+ */
+
+#ifndef CHISEL_MEM_TECH_HH
+#define CHISEL_MEM_TECH_HH
+
+#include <cstdint>
+
+namespace chisel {
+
+/** Embedded-DRAM macro model constants. */
+struct EdramParams
+{
+    /** Fixed energy per access in nanojoules (sense/IO/decode). */
+    double accessEnergyBaseNj = 0.44;
+
+    /** Energy per access per sqrt(bit): array line scaling. */
+    double accessEnergySqrtNj = 1.96e-4;
+
+    /** Static (leakage + refresh) watts per bit. */
+    double staticWattsPerBit = 4.0e-9;
+
+    /** Smallest macro the library provisions, in bits. */
+    uint64_t minMacroBits = 512 * 1024;
+
+    /**
+     * Cell-array density: mm^2 per Mbit.  130 nm trench-cell eDRAM
+     * arrays ran ~0.3 um^2/bit -> ~0.3 mm^2/Mb.
+     */
+    double mm2PerMbit = 0.3;
+
+    /** Periphery (sense amps, decode, IO) per macro, mm^2. */
+    double macroOverheadMm2 = 0.15;
+};
+
+/** On-chip SRAM model constants (FPGA block RAM-like). */
+struct SramParams
+{
+    double accessEnergyBaseNj = 0.05;
+    double accessEnergySqrtNj = 8.0e-5;
+    double staticWattsPerBit = 2.0e-8;
+    uint64_t blockBits = 18 * 1024;   ///< Virtex-II Pro block RAM.
+};
+
+/** A process node's full parameter set. */
+struct Technology
+{
+    const char *name = "nec-130nm";
+    EdramParams edram;
+    SramParams sram;
+
+    /** Logic power as a fraction of eDRAM power (Section 6.5: 5-7%). */
+    double logicFraction = 0.06;
+
+    /** The 130 nm technology used throughout the paper. */
+    static Technology nec130nm();
+};
+
+} // namespace chisel
+
+#endif // CHISEL_MEM_TECH_HH

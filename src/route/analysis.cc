@@ -1,0 +1,76 @@
+#include "route/analysis.hh"
+
+#include <unordered_set>
+
+#include "core/collapse.hh"
+#include "hash/mix.hh"
+#include "trie/binary_trie.hh"
+
+namespace chisel {
+
+TableAnalysis
+analyzeTable(const RoutingTable &table, unsigned stride)
+{
+    TableAnalysis a;
+    a.routes = table.size();
+    if (a.routes == 0)
+        return a;
+
+    auto hist = table.lengthHistogram();
+    bool first = true;
+    for (unsigned l = 0; l <= Key128::maxBits; ++l) {
+        a.lengthFraction[l] = static_cast<double>(hist[l]) /
+                              static_cast<double>(a.routes);
+        if (hist[l] > 0) {
+            if (first) {
+                a.minLength = l;
+                first = false;
+            }
+            a.maxLength = l;
+        }
+    }
+
+    // Nesting: walk each route's ancestor chain in a trie.
+    BinaryTrie trie(table);
+    size_t nested = 0;
+    uint64_t cover_depth = 0;
+    size_t siblings = 0;
+    for (const auto &r : table.routes()) {
+        unsigned covers = 0;
+        for (unsigned l = 0; l < r.prefix.length(); ++l) {
+            if (trie.find(Prefix(r.prefix.bits(), l)))
+                ++covers;
+        }
+        nested += covers > 0;
+        cover_depth += covers;
+
+        if (r.prefix.length() >= 1) {
+            Key128 sib = r.prefix.bits();
+            sib.setBit(r.prefix.length() - 1,
+                       !sib.bit(r.prefix.length() - 1));
+            siblings +=
+                trie.find(Prefix(sib, r.prefix.length())).has_value();
+        }
+    }
+    a.nestedFraction =
+        static_cast<double>(nested) / static_cast<double>(a.routes);
+    a.meanCoverDepth = static_cast<double>(cover_depth) /
+                       static_cast<double>(a.routes);
+    a.siblingFraction =
+        static_cast<double>(siblings) / static_cast<double>(a.routes);
+
+    // Group density under the greedy collapse plan.
+    auto plan = makeCollapsePlan(table.populatedLengths(), stride,
+                                 std::max(32u, a.maxLength), false);
+    auto groups = countGroupsPerCell(table, plan);
+    size_t total_groups = 0;
+    for (size_t g : groups)
+        total_groups += g;
+    if (total_groups > 0) {
+        a.routesPerGroup = static_cast<double>(a.routes) /
+                           static_cast<double>(total_groups);
+    }
+    return a;
+}
+
+} // namespace chisel

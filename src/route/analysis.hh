@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Routing-table analytics.
+ *
+ * The experiments' fidelity rests on the synthetic tables having the
+ * structural properties of real BGP snapshots (DESIGN.md,
+ * "Substitutions").  This module measures those properties — length
+ * distribution, prefix nesting, and collapsed-group density — so the
+ * claim is checkable rather than asserted; the `table_analysis`
+ * bench prints them for every generated workload.
+ */
+
+#ifndef CHISEL_ROUTE_ANALYSIS_HH
+#define CHISEL_ROUTE_ANALYSIS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "route/table.hh"
+
+namespace chisel {
+
+/** Structural summary of a routing table. */
+struct TableAnalysis
+{
+    size_t routes = 0;
+    unsigned minLength = 0;
+    unsigned maxLength = 0;
+
+    /** Fraction of routes at each length. */
+    std::array<double, Key128::maxBits + 1> lengthFraction{};
+
+    /** Fraction of routes covered by some shorter route (nesting). */
+    double nestedFraction = 0.0;
+
+    /** Mean number of strictly-shorter covering routes per route. */
+    double meanCoverDepth = 0.0;
+
+    /**
+     * Routes per collapsed group at the given stride, using the
+     * greedy collapse plan — the quantity that drives prefix
+     * collapsing's average-case storage advantage (Figure 9).
+     */
+    double routesPerGroup = 0.0;
+
+    /** Fraction of routes whose sibling (last bit flipped) exists. */
+    double siblingFraction = 0.0;
+};
+
+/**
+ * Analyse @p table; @p stride selects the collapse plan used for
+ * the group-density statistic.
+ */
+TableAnalysis analyzeTable(const RoutingTable &table,
+                           unsigned stride = 4);
+
+} // namespace chisel
+
+#endif // CHISEL_ROUTE_ANALYSIS_HH

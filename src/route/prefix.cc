@@ -1,0 +1,282 @@
+#include "route/prefix.hh"
+
+#include <cassert>
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hh"
+#include "hash/mix.hh"
+
+namespace chisel {
+
+Prefix::Prefix(const Key128 &bits, unsigned length)
+    : bits_(bits.masked(length)), length_(length)
+{
+    assert(length <= Key128::maxBits);
+}
+
+Prefix
+Prefix::ipv4(uint32_t addr, unsigned length)
+{
+    assert(length <= 32);
+    return Prefix(Key128::fromIpv4(addr), length);
+}
+
+Prefix
+Prefix::fromBitString(std::string_view s)
+{
+    if (!s.empty() && s.back() == '*')
+        s.remove_suffix(1);
+    if (s.size() > Key128::maxBits)
+        fatalError("prefix bit string longer than 128 bits");
+    Key128 bits;
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '1')
+            bits.setBit(static_cast<unsigned>(i), true);
+        else if (s[i] != '0')
+            fatalError("prefix bit string contains non-binary character");
+    }
+    return Prefix(bits, static_cast<unsigned>(s.size()));
+}
+
+Prefix
+Prefix::fromCidr(std::string_view s)
+{
+    uint32_t octets[4] = {0, 0, 0, 0};
+    unsigned oct = 0;
+    size_t i = 0;
+    unsigned len = 32;
+    bool have_len = false;
+
+    unsigned cur = 0;
+    bool any_digit = false;
+    for (; i <= s.size(); ++i) {
+        char c = (i < s.size()) ? s[i] : '\0';
+        if (c >= '0' && c <= '9') {
+            cur = cur * 10 + static_cast<unsigned>(c - '0');
+            any_digit = true;
+            if (cur > 255 && !have_len)
+                fatalError("IPv4 octet out of range in: " + std::string(s));
+        } else if (c == '.') {
+            if (!any_digit || oct >= 3 || have_len)
+                fatalError("malformed CIDR: " + std::string(s));
+            octets[oct++] = cur;
+            cur = 0;
+            any_digit = false;
+        } else if (c == '/') {
+            if (!any_digit || have_len)
+                fatalError("malformed CIDR: " + std::string(s));
+            octets[oct] = cur;
+            cur = 0;
+            any_digit = false;
+            have_len = true;
+        } else if (c == '\0') {
+            if (!any_digit)
+                fatalError("malformed CIDR: " + std::string(s));
+            if (have_len)
+                len = cur;
+            else
+                octets[oct] = cur;
+        } else {
+            fatalError("malformed CIDR: " + std::string(s));
+        }
+    }
+    if (len > 32)
+        fatalError("IPv4 prefix length out of range in: " + std::string(s));
+    uint32_t addr = (octets[0] << 24) | (octets[1] << 16) |
+                    (octets[2] << 8) | octets[3];
+    return ipv4(addr, len);
+}
+
+Prefix
+Prefix::fromCidr6(std::string_view s)
+{
+    // Split off "/len".
+    size_t slash = s.find('/');
+    if (slash == std::string_view::npos)
+        fatalError("IPv6 CIDR missing /length: " + std::string(s));
+    std::string_view addr = s.substr(0, slash);
+    std::string_view lenstr = s.substr(slash + 1);
+
+    unsigned len = 0;
+    if (lenstr.empty() || lenstr.size() > 3)
+        fatalError("malformed IPv6 prefix length: " + std::string(s));
+    for (char c : lenstr) {
+        if (c < '0' || c > '9')
+            fatalError("malformed IPv6 prefix length: " +
+                       std::string(s));
+        len = len * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (len > 128)
+        fatalError("IPv6 prefix length out of range: " +
+                    std::string(s));
+
+    // Parse the hextets, honouring one "::" zero-run.
+    std::vector<uint32_t> head, tail;
+    bool seen_gap = false;
+    std::vector<uint32_t> *cur = &head;
+
+    size_t i = 0;
+    if (addr.size() >= 2 && addr[0] == ':' && addr[1] == ':') {
+        seen_gap = true;
+        cur = &tail;
+        i = 2;
+    }
+    uint32_t hex = 0;
+    unsigned digits = 0;
+    for (; i <= addr.size(); ++i) {
+        char c = (i < addr.size()) ? addr[i] : '\0';
+        int v = -1;
+        if (c >= '0' && c <= '9')
+            v = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            v = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            v = c - 'A' + 10;
+
+        if (v >= 0) {
+            hex = (hex << 4) | static_cast<uint32_t>(v);
+            if (++digits > 4)
+                fatalError("IPv6 hextet too long: " + std::string(s));
+        } else if (c == ':' || c == '\0') {
+            if (digits > 0) {
+                cur->push_back(hex);
+                hex = 0;
+                digits = 0;
+            }
+            if (c == ':') {
+                if (i + 1 < addr.size() && addr[i + 1] == ':') {
+                    if (seen_gap)
+                        fatalError("IPv6 address has two '::': " +
+                                   std::string(s));
+                    seen_gap = true;
+                    cur = &tail;
+                    ++i;
+                } else if (i + 1 >= addr.size() || digits == 0) {
+                    // Trailing single ':' or '::' handled above;
+                    // a lone trailing colon is malformed.
+                    if (i + 1 >= addr.size())
+                        fatalError("malformed IPv6 address: " +
+                                   std::string(s));
+                }
+            }
+        } else {
+            fatalError("malformed IPv6 address: " + std::string(s));
+        }
+    }
+
+    size_t total = head.size() + tail.size();
+    if (total > 8 || (!seen_gap && total != 8))
+        fatalError("malformed IPv6 address: " + std::string(s));
+
+    Key128 bits;
+    unsigned pos = 0;
+    for (uint32_t h : head) {
+        bits.deposit(pos, 16, h);
+        pos += 16;
+    }
+    pos = 128 - static_cast<unsigned>(tail.size()) * 16;
+    for (uint32_t h : tail) {
+        bits.deposit(pos, 16, h);
+        pos += 16;
+    }
+    return Prefix(bits, len);
+}
+
+bool
+Prefix::covers(const Prefix &other) const
+{
+    return length_ <= other.length_ &&
+           other.bits_.masked(length_) == bits_;
+}
+
+Prefix
+Prefix::collapsed(unsigned new_length) const
+{
+    assert(new_length <= length_);
+    return Prefix(bits_, new_length);
+}
+
+uint64_t
+Prefix::suffixBits(unsigned from) const
+{
+    assert(from <= length_);
+    assert(length_ - from <= 64);
+    return bits_.extract(from, length_ - from);
+}
+
+Prefix
+Prefix::extended(uint64_t suffix, unsigned count) const
+{
+    assert(length_ + count <= Key128::maxBits);
+    Key128 b = bits_;
+    b.deposit(length_, count, suffix);
+    return Prefix(b, length_ + count);
+}
+
+std::string
+Prefix::str() const
+{
+    return bits_.toBitString(length_) + "*";
+}
+
+std::string
+Prefix::cidr() const
+{
+    return bits_.toIpv4String() + "/" + std::to_string(length_);
+}
+
+std::string
+Prefix::cidr6() const
+{
+    // Hextets of the address.
+    uint32_t hx[8];
+    for (unsigned i = 0; i < 8; ++i)
+        hx[i] = static_cast<uint32_t>(bits_.extract(i * 16, 16));
+
+    // Longest zero run (length >= 2) becomes "::".
+    int best_start = -1, best_len = 0;
+    for (int i = 0; i < 8;) {
+        if (hx[i] != 0) {
+            ++i;
+            continue;
+        }
+        int j = i;
+        while (j < 8 && hx[j] == 0)
+            ++j;
+        if (j - i > best_len) {
+            best_start = i;
+            best_len = j - i;
+        }
+        i = j;
+    }
+    if (best_len < 2)
+        best_start = -1;
+
+    char buf[8];
+    std::string out;
+    for (int i = 0; i < 8;) {
+        if (i == best_start) {
+            out += "::";
+            i += best_len;
+            continue;
+        }
+        if (!out.empty() && out.back() != ':')
+            out += ":";
+        std::snprintf(buf, sizeof(buf), "%x", hx[i]);
+        out += buf;
+        ++i;
+    }
+    if (out.empty())
+        out = "::";
+    return out + "/" + std::to_string(length_);
+}
+
+size_t
+PrefixHasher::operator()(const Prefix &p) const
+{
+    return static_cast<size_t>(
+        mix64(hashKey128(p.bits()) + p.length()));
+}
+
+} // namespace chisel

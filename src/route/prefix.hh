@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Prefix: a routing-table prefix (bit string followed by wildcards).
+ *
+ * A prefix of length L matches every key whose top L bits equal its
+ * defined bits.  Prefixes are value types; the bits beyond the length
+ * are always zero, so equality and hashing are structural.
+ */
+
+#ifndef CHISEL_ROUTE_PREFIX_HH
+#define CHISEL_ROUTE_PREFIX_HH
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/key128.hh"
+
+namespace chisel {
+
+/** Next-hop identifier.  The paper stores these off-chip. */
+using NextHop = uint32_t;
+
+/** Sentinel meaning "no route". */
+constexpr NextHop kNoRoute = 0xffffffffu;
+
+/**
+ * A prefix: @p length defined bits, left-aligned in a Key128,
+ * followed by wildcard bits.
+ */
+class Prefix
+{
+  public:
+    /** The zero-length (default-route) prefix. */
+    constexpr Prefix() = default;
+
+    /**
+     * Construct from raw bits; bits beyond @p length are masked off.
+     */
+    Prefix(const Key128 &bits, unsigned length);
+
+    /** Construct an IPv4 prefix, e.g. ipv4(0x0a000000, 8) = 10/8. */
+    static Prefix ipv4(uint32_t addr, unsigned length);
+
+    /**
+     * Parse a binary-string form such as "10110" (length 5).  The
+     * trailing '*' of the paper's notation is accepted and ignored.
+     * Throws ChiselError on malformed input.
+     */
+    static Prefix fromBitString(std::string_view s);
+
+    /**
+     * Parse dotted-quad IPv4 CIDR notation, e.g. "192.168.0.0/16".
+     * Throws ChiselError on malformed input.
+     */
+    static Prefix fromCidr(std::string_view s);
+
+    /**
+     * Parse IPv6 CIDR notation, e.g. "2001:db8::/32", including the
+     * "::" zero-run shorthand.  Throws ChiselError on malformed
+     * input (embedded IPv4 tails are not supported).
+     */
+    static Prefix fromCidr6(std::string_view s);
+
+    /** The defined bits (left-aligned, trailing bits zero). */
+    const Key128 &bits() const { return bits_; }
+
+    /** Number of defined bits. */
+    unsigned length() const { return length_; }
+
+    /** True if this prefix matches @p key. */
+    bool
+    matches(const Key128 &key) const
+    {
+        return key.masked(length_) == bits_;
+    }
+
+    /**
+     * True if this prefix covers @p other, i.e. every key matched by
+     * @p other is also matched by this prefix.  Requires this to be
+     * no longer than @p other and to agree on the defined bits.
+     */
+    bool covers(const Prefix &other) const;
+
+    /**
+     * The prefix collapsed to @p new_length <= length(): the trailing
+     * length() - new_length bits become wildcards (Section 4.3.1).
+     */
+    Prefix collapsed(unsigned new_length) const;
+
+    /**
+     * The value of bits [from, length()) of this prefix,
+     * right-aligned; used to index bit-vectors.  @pre from <= length()
+     * and length() - from <= 64.
+     */
+    uint64_t suffixBits(unsigned from) const;
+
+    /**
+     * Extend this prefix by the @p count right-aligned bits of
+     * @p suffix, producing a prefix of length length() + count.
+     */
+    Prefix extended(uint64_t suffix, unsigned count) const;
+
+    /** Total order: by bits, then by length.  Equal iff identical. */
+    auto
+    operator<=>(const Prefix &other) const
+    {
+        if (auto c = bits_ <=> other.bits_; c != 0)
+            return c;
+        return length_ <=> other.length_;
+    }
+
+    bool operator==(const Prefix &other) const = default;
+
+    /** Render as a bit string, e.g. "10110*". */
+    std::string str() const;
+
+    /** Render as IPv4 CIDR, e.g. "10.0.0.0/8". */
+    std::string cidr() const;
+
+    /** Render as IPv6 CIDR, e.g. "2001:db8::/32". */
+    std::string cidr6() const;
+
+  private:
+    Key128 bits_;
+    unsigned length_ = 0;
+};
+
+/** std::hash-compatible functor for Prefix. */
+struct PrefixHasher
+{
+    size_t operator()(const Prefix &p) const;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_ROUTE_PREFIX_HH

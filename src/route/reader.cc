@@ -1,0 +1,128 @@
+#include "route/reader.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace chisel {
+
+namespace {
+
+/**
+ * Parse IPv6 CIDR ("2001:db8::/32"), IPv4 CIDR ("10.0.0.0/8") or
+ * bit-string ("10110*") forms.
+ */
+Prefix
+parsePrefixToken(const std::string &token)
+{
+    if (token.find(':') != std::string::npos)
+        return Prefix::fromCidr6(token);
+    if (token.find('.') != std::string::npos ||
+        token.find('/') != std::string::npos) {
+        return Prefix::fromCidr(token);
+    }
+    return Prefix::fromBitString(token);
+}
+
+} // anonymous namespace
+
+RoutingTable
+readTable(std::istream &in)
+{
+    RoutingTable table;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::istringstream ls(line);
+        std::string ptoken;
+        if (!(ls >> ptoken) || ptoken[0] == '#')
+            continue;
+        uint64_t nh;
+        if (!(ls >> nh)) {
+            fatalError("table line " + std::to_string(lineno) +
+                       ": missing next hop");
+        }
+        table.add(parsePrefixToken(ptoken),
+                  static_cast<NextHop>(nh));
+    }
+    return table;
+}
+
+RoutingTable
+readTableFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatalError("cannot open table file: " + path);
+    return readTable(in);
+}
+
+void
+writeTable(std::ostream &out, const RoutingTable &table)
+{
+    for (const auto &r : table.routes()) {
+        if (r.prefix.length() <= 32)
+            out << r.prefix.cidr();
+        else
+            out << r.prefix.str();
+        out << ' ' << r.nextHop << '\n';
+    }
+}
+
+std::vector<Update>
+readTrace(std::istream &in)
+{
+    std::vector<Update> trace;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::istringstream ls(line);
+        std::string op, ptoken;
+        if (!(ls >> op) || op[0] == '#')
+            continue;
+        if (!(ls >> ptoken)) {
+            fatalError("trace line " + std::to_string(lineno) +
+                       ": missing prefix");
+        }
+        Update u;
+        u.prefix = parsePrefixToken(ptoken);
+        if (op == "A" || op == "a") {
+            u.kind = UpdateKind::Announce;
+            uint64_t nh;
+            if (!(ls >> nh)) {
+                fatalError("trace line " + std::to_string(lineno) +
+                           ": announce missing next hop");
+            }
+            u.nextHop = static_cast<NextHop>(nh);
+        } else if (op == "W" || op == "w") {
+            u.kind = UpdateKind::Withdraw;
+        } else {
+            fatalError("trace line " + std::to_string(lineno) +
+                       ": unknown op '" + op + "'");
+        }
+        trace.push_back(u);
+    }
+    return trace;
+}
+
+void
+writeTrace(std::ostream &out, const std::vector<Update> &trace)
+{
+    for (const auto &u : trace) {
+        out << (u.kind == UpdateKind::Announce ? 'A' : 'W') << ' ';
+        if (u.prefix.length() <= 32)
+            out << u.prefix.cidr();
+        else
+            out << u.prefix.str();
+        if (u.kind == UpdateKind::Announce)
+            out << ' ' << u.nextHop;
+        out << '\n';
+    }
+}
+
+} // namespace chisel

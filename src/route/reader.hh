@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Text serialisation of routing tables and update traces.
+ *
+ * Table format, one route per line:
+ *     192.168.0.0/16 7        (IPv4 CIDR and a next hop)
+ *     10110* 3                 (binary prefix form, any width)
+ * Blank lines and lines starting with '#' are ignored.
+ *
+ * Trace format, one update per line:
+ *     A 10.1.0.0/16 12         (announce with next hop)
+ *     W 10.1.0.0/16            (withdraw)
+ */
+
+#ifndef CHISEL_ROUTE_READER_HH
+#define CHISEL_ROUTE_READER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "route/table.hh"
+#include "route/updates.hh"
+
+namespace chisel {
+
+/** Parse a table from a stream.  Throws ChiselError on bad input. */
+RoutingTable readTable(std::istream &in);
+
+/** Parse a table from a file path. */
+RoutingTable readTableFile(const std::string &path);
+
+/** Write a table, one route per line, in CIDR form when length<=32. */
+void writeTable(std::ostream &out, const RoutingTable &table);
+
+/** Parse an update trace from a stream. */
+std::vector<Update> readTrace(std::istream &in);
+
+/** Write an update trace. */
+void writeTrace(std::ostream &out, const std::vector<Update> &trace);
+
+} // namespace chisel
+
+#endif // CHISEL_ROUTE_READER_HH

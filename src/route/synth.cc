@@ -1,0 +1,236 @@
+#include "route/synth.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace chisel {
+
+std::vector<double>
+defaultIpv4LengthWeights()
+{
+    // Approximate global BGP table length histogram (fractions of the
+    // table).  Dominated by /24; mass between /16 and /23; a thin tail
+    // of short aggregates; almost nothing longer than /24.
+    std::vector<double> w(33, 0.0);
+    w[8] = 0.3;
+    w[9] = 0.2;
+    w[10] = 0.35;
+    w[11] = 0.7;
+    w[12] = 1.2;
+    w[13] = 2.0;
+    w[14] = 3.0;
+    w[15] = 3.2;
+    w[16] = 13.0;
+    w[17] = 4.0;
+    w[18] = 6.0;
+    w[19] = 8.5;
+    w[20] = 9.0;
+    w[21] = 7.5;
+    w[22] = 10.0;
+    w[23] = 9.0;
+    w[24] = 55.0;
+    w[25] = 0.3;
+    w[26] = 0.25;
+    w[27] = 0.2;
+    w[28] = 0.15;
+    w[29] = 0.15;
+    w[30] = 0.2;
+    w[31] = 0.02;
+    w[32] = 0.3;
+    return w;
+}
+
+std::vector<SynthProfile>
+standardAsProfiles()
+{
+    struct Spec { const char *name; size_t n; double clustering; };
+    // Sizes chosen in the paper's reported range (>140K prefixes),
+    // varying per AS as real tables do.
+    static const Spec specs[] = {
+        {"AS1221", 180000, 0.72},
+        {"AS12956", 152000, 0.68},
+        {"AS286", 160000, 0.70},
+        {"AS293", 165000, 0.74},
+        {"AS4637", 158000, 0.66},
+        {"AS701", 175000, 0.71},
+        {"AS7660", 148000, 0.69},
+    };
+
+    std::vector<SynthProfile> out;
+    uint64_t seed = 0xA5A5;
+    for (const auto &s : specs) {
+        SynthProfile p;
+        p.name = s.name;
+        p.prefixes = s.n;
+        p.clustering = s.clustering;
+        p.lengthWeights = defaultIpv4LengthWeights();
+        p.seed = splitmix64(seed);
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+SynthProfile
+ipv6Profile(const SynthProfile &v4)
+{
+    SynthProfile p = v4;
+    p.name = v4.name + "-v6";
+    p.keyWidth = 128;
+    p.seed = v4.seed ^ 0x6b8b4567327b23c6ULL;
+    return p;
+}
+
+RoutingTable
+generateTable(const SynthProfile &profile)
+{
+    if (profile.prefixes == 0)
+        return RoutingTable();
+
+    std::vector<double> weights = profile.lengthWeights.empty()
+        ? defaultIpv4LengthWeights() : profile.lengthWeights;
+
+    unsigned max_len = profile.keyWidth;
+
+    // For IPv6, remap the IPv4-scale weights: length l becomes 2l
+    // (capped at /64), modelling the paper's "IPv4 tables as
+    // distribution models" synthesis.
+    if (profile.keyWidth > 32) {
+        std::vector<double> v6(max_len + 1, 0.0);
+        for (size_t l = 0; l < weights.size(); ++l) {
+            unsigned nl = std::min<unsigned>(
+                static_cast<unsigned>(2 * l), 64);
+            v6[nl] += weights[l];
+        }
+        weights = std::move(v6);
+    }
+    // Clamp to the key width: mass beyond it moves onto the widest
+    // legal length so narrow-key configurations stay well-formed.
+    if (weights.size() > max_len + 1) {
+        for (size_t l = max_len + 1; l < weights.size(); ++l)
+            weights[max_len] += weights[l];
+        weights.resize(max_len + 1);
+    }
+    if (weights.size() < max_len + 1)
+        weights.resize(max_len + 1, 0.0);
+
+    uint64_t seed = profile.seed;
+    for (char c : profile.name)
+        seed = seed * 131 + static_cast<unsigned char>(c);
+    Rng rng(seed);
+
+    RoutingTable table;
+    std::vector<Prefix> generated;
+    generated.reserve(profile.prefixes);
+
+    auto emit = [&](const Prefix &candidate) {
+        if (candidate.length() == 0 || table.contains(candidate))
+            return;
+        NextHop nh = static_cast<NextHop>(
+            rng.nextBelow(profile.nextHopCount));
+        table.add(candidate, nh);
+        generated.push_back(candidate);
+    };
+
+    while (table.size() < profile.prefixes) {
+        unsigned len = static_cast<unsigned>(rng.nextWeighted(weights));
+        if (len == 0)
+            continue;
+
+        if (!generated.empty() && rng.nextBool(profile.clustering)) {
+            // Cluster: derive from an existing prefix.  Real tables
+            // show two patterns: sub-allocations (a /24 carved from
+            // someone's /16) and *deaggregation runs* — a block
+            // announced as a burst of consecutive same-length
+            // more-specifics (e.g. a /20 announced as 8-16 /24s).
+            // The runs are what makes prefix collapsing merge
+            // groups, and they dominate real deaggregation.
+            const Prefix &base =
+                generated[rng.nextBelow(generated.size())];
+            if (len > base.length() && len - base.length() <= 64 &&
+                rng.nextBool(0.3)) {
+                // Single sub-allocation of base, randomised low bits.
+                unsigned extra = len - base.length();
+                uint64_t suffix = (extra >= 64)
+                    ? rng.next64()
+                    : rng.nextBelow(uint64_t(1) << extra);
+                emit(base.extended(suffix, extra));
+            } else {
+                // Burst of consecutive blocks out of one allocation:
+                // vary the last 1..4 bits of an aligned start.
+                unsigned vary = 1 + static_cast<unsigned>(
+                    rng.nextBelow(4));
+                vary = std::min(vary, len);
+                Key128 bits = base.bits();
+                if (base.length() < len) {
+                    unsigned extra = std::min(len - base.length(),
+                                              64u);
+                    bits.deposit(base.length(), extra, rng.next64());
+                }
+                bits.deposit(len - vary, vary, 0);   // Align.
+                uint64_t span = uint64_t(1) << vary;
+                uint64_t run = 2 + rng.nextBelow(span - 1 > 0
+                                                     ? span - 1
+                                                     : 1);
+                run = std::min(run, span);
+                for (uint64_t i = 0;
+                     i < run && table.size() < profile.prefixes;
+                     ++i) {
+                    Key128 b = bits;
+                    b.deposit(len - vary, vary, i);
+                    emit(Prefix(b, len));
+                }
+            }
+        } else {
+            // Fresh random block.
+            emit(Prefix(Key128(rng.next64(), rng.next64()), len));
+        }
+    }
+    return table;
+}
+
+RoutingTable
+generateScaledTable(size_t n, unsigned key_width, uint64_t seed)
+{
+    SynthProfile p;
+    p.name = "scaled";
+    p.prefixes = n;
+    p.keyWidth = key_width;
+    p.lengthWeights = defaultIpv4LengthWeights();
+    p.seed = seed;
+    return generateTable(p);
+}
+
+std::vector<Key128>
+generateLookupKeys(const RoutingTable &table, size_t count,
+                   unsigned key_width, double hit_fraction,
+                   uint64_t seed)
+{
+    Rng rng(seed);
+    auto routes = table.routes();
+    std::vector<Key128> keys;
+    keys.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        if (!routes.empty() && rng.nextBool(hit_fraction)) {
+            // A key matching some route: take the prefix and fill the
+            // wildcard bits randomly.
+            const Route &r = routes[rng.nextBelow(routes.size())];
+            Key128 bits(rng.next64(), rng.next64());
+            Key128 key = r.prefix.bits();
+            unsigned len = r.prefix.length();
+            if (len < key_width) {
+                unsigned fill = std::min(key_width - len, 64u);
+                key.deposit(len, fill, bits.hi());
+            }
+            keys.push_back(key.masked(key_width));
+        } else {
+            keys.push_back(
+                Key128(rng.next64(), rng.next64()).masked(key_width));
+        }
+    }
+    return keys;
+}
+
+} // namespace chisel

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Synthetic routing-table generation.
+ *
+ * The paper's benchmarks are real BGP tables (bgp.potaroo.net) of
+ * 140K+ prefixes from seven autonomous systems, plus synthetic scaled
+ * and IPv6 tables derived from them (Section 5).  Real tables are not
+ * available offline, so this module generates tables that reproduce
+ * the two properties every experiment in the paper depends on:
+ *
+ *  1. the prefix-*length* distribution of global BGP tables (a heavy
+ *     spike at /24, secondary mass at /16..,/22, a thin tail of short
+ *     prefixes and very few longer than /24), and
+ *  2. address-space *clustering*: many prefixes are sub-allocations or
+ *     siblings of others, which is what makes prefix collapsing merge
+ *     groups and makes most announced prefixes land on existing
+ *     collapsed groups.
+ *
+ * IPv6 tables are synthesised from the IPv4 model exactly as the
+ * paper does: the IPv4 length distribution is mapped into the longer
+ * key (lengths roughly doubled, capped at /64), preserving shape.
+ */
+
+#ifndef CHISEL_ROUTE_SYNTH_HH
+#define CHISEL_ROUTE_SYNTH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "route/table.hh"
+
+namespace chisel {
+
+/** Parameters of the synthetic BGP model. */
+struct SynthProfile
+{
+    std::string name = "synthetic";
+
+    /** Number of prefixes to generate. */
+    size_t prefixes = 150000;
+
+    /** 32 for IPv4, 128 for IPv6. */
+    unsigned keyWidth = 32;
+
+    /**
+     * Relative weight of each prefix length 0..32 (IPv4 scale).  The
+     * default models the global BGP table.  For IPv6 the lengths are
+     * remapped by ipv6Profile().
+     */
+    std::vector<double> lengthWeights;
+
+    /**
+     * Probability that a new prefix is generated as a sub-allocation
+     * or sibling of an already generated prefix rather than from a
+     * fresh random address.
+     */
+    double clustering = 0.7;
+
+    /** Number of distinct next-hop values. */
+    unsigned nextHopCount = 64;
+
+    /** PRNG seed; also perturbed by the profile name. */
+    uint64_t seed = 1;
+};
+
+/** The default IPv4 BGP length weights (index = length 0..32). */
+std::vector<double> defaultIpv4LengthWeights();
+
+/**
+ * Profiles standing in for the paper's seven BGP tables
+ * (AS1221, AS12956, AS286, AS293, AS4637, AS701, AS7660), each with
+ * a slightly different size and length mix, all >= 140K prefixes.
+ */
+std::vector<SynthProfile> standardAsProfiles();
+
+/** Derive an IPv6 profile from an IPv4 one (paper Section 6.4.2). */
+SynthProfile ipv6Profile(const SynthProfile &v4);
+
+/** Generate a table from a profile. */
+RoutingTable generateTable(const SynthProfile &profile);
+
+/**
+ * Generate a table of exactly @p n prefixes with the default IPv4
+ * model — convenience for the scaling experiments (Figures 8/11/13).
+ */
+RoutingTable generateScaledTable(size_t n, unsigned key_width,
+                                 uint64_t seed);
+
+/**
+ * Generate @p count random lookup keys, biased so that most hit some
+ * route of @p table (traffic goes where routes exist) with a fraction
+ * of uniformly random misses.
+ */
+std::vector<Key128> generateLookupKeys(const RoutingTable &table,
+                                       size_t count, unsigned key_width,
+                                       double hit_fraction, uint64_t seed);
+
+} // namespace chisel
+
+#endif // CHISEL_ROUTE_SYNTH_HH

@@ -1,0 +1,92 @@
+#include "route/table.hh"
+
+#include <algorithm>
+
+namespace chisel {
+
+bool
+RoutingTable::add(const Prefix &prefix, NextHop next_hop)
+{
+    auto [it, inserted] = routes_.insert_or_assign(prefix, next_hop);
+    (void)it;
+    return inserted;
+}
+
+bool
+RoutingTable::remove(const Prefix &prefix)
+{
+    return routes_.erase(prefix) > 0;
+}
+
+std::optional<NextHop>
+RoutingTable::find(const Prefix &prefix) const
+{
+    auto it = routes_.find(prefix);
+    if (it == routes_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+RoutingTable::contains(const Prefix &prefix) const
+{
+    return routes_.contains(prefix);
+}
+
+std::vector<Route>
+RoutingTable::routes() const
+{
+    std::vector<Route> out;
+    out.reserve(routes_.size());
+    for (const auto &[p, nh] : routes_)
+        out.push_back(Route{p, nh});
+    return out;
+}
+
+std::array<size_t, Key128::maxBits + 1>
+RoutingTable::lengthHistogram() const
+{
+    std::array<size_t, Key128::maxBits + 1> hist{};
+    for (const auto &[p, nh] : routes_)
+        ++hist[p.length()];
+    return hist;
+}
+
+std::vector<unsigned>
+RoutingTable::populatedLengths() const
+{
+    auto hist = lengthHistogram();
+    std::vector<unsigned> out;
+    for (unsigned l = 0; l <= Key128::maxBits; ++l) {
+        if (hist[l] > 0)
+            out.push_back(l);
+    }
+    return out;
+}
+
+unsigned
+RoutingTable::maxLength() const
+{
+    auto lengths = populatedLengths();
+    return lengths.empty() ? 0 : lengths.back();
+}
+
+void
+RoutingTable::clear()
+{
+    routes_.clear();
+}
+
+std::optional<Route>
+RoutingTable::lookupLinear(const Key128 &key) const
+{
+    for (int len = Key128::maxBits; len >= 0; --len) {
+        Prefix candidate(key, static_cast<unsigned>(len));
+        auto it = routes_.find(candidate);
+        if (it != routes_.end())
+            return Route{candidate, it->second};
+    }
+    return std::nullopt;
+}
+
+} // namespace chisel

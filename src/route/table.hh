@@ -1,0 +1,89 @@
+/**
+ * @file
+ * RoutingTable: an in-memory set of (prefix, next hop) routes.
+ *
+ * This is the workload container every LPM scheme in the library is
+ * built from: Chisel, EBF, CPE, Tree Bitmap and the TCAM all take a
+ * RoutingTable as input.  It also provides the distribution statistics
+ * (length histogram, populated lengths) that drive prefix collapsing
+ * and the synthetic-table generator.
+ */
+
+#ifndef CHISEL_ROUTE_TABLE_HH
+#define CHISEL_ROUTE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "route/prefix.hh"
+
+namespace chisel {
+
+/** One route: a prefix and its next hop. */
+struct Route
+{
+    Prefix prefix;
+    NextHop nextHop = kNoRoute;
+
+    bool operator==(const Route &other) const = default;
+};
+
+/**
+ * A set of routes with exact-prefix lookup and distribution queries.
+ * At most one route per distinct prefix; announcing an existing
+ * prefix overwrites its next hop (BGP announce semantics).
+ */
+class RoutingTable
+{
+  public:
+    RoutingTable() = default;
+
+    /** Insert or overwrite a route.  @return true if newly inserted. */
+    bool add(const Prefix &prefix, NextHop next_hop);
+
+    /** Remove a route.  @return true if it was present. */
+    bool remove(const Prefix &prefix);
+
+    /** Next hop of an exact prefix, if present. */
+    std::optional<NextHop> find(const Prefix &prefix) const;
+
+    /** True if the exact prefix is present. */
+    bool contains(const Prefix &prefix) const;
+
+    /** Number of routes. */
+    size_t size() const { return routes_.size(); }
+
+    bool empty() const { return routes_.empty(); }
+
+    /** All routes in unspecified order. */
+    std::vector<Route> routes() const;
+
+    /** Histogram of prefix lengths: index L = count of length-L routes. */
+    std::array<size_t, Key128::maxBits + 1> lengthHistogram() const;
+
+    /** Sorted list of lengths with at least one route. */
+    std::vector<unsigned> populatedLengths() const;
+
+    /** The longest prefix length present (0 if empty). */
+    unsigned maxLength() const;
+
+    /** Remove all routes. */
+    void clear();
+
+    /**
+     * Reference longest-prefix-match by linear scan over lengths;
+     * O(maxLength) map probes.  Slow but obviously correct — used as
+     * a secondary oracle in tests.
+     */
+    std::optional<Route> lookupLinear(const Key128 &key) const;
+
+  private:
+    std::unordered_map<Prefix, NextHop, PrefixHasher> routes_;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_ROUTE_TABLE_HH

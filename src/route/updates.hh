@@ -1,0 +1,136 @@
+/**
+ * @file
+ * BGP-style update streams and the synthetic trace generator.
+ *
+ * The paper evaluates incremental updates on RIPE RIS traces (rrc00,
+ * rrc01, rrc11, rrc08, rrc06; Section 6.6).  Those traces are not
+ * publicly redistributable here, so UpdateTraceGenerator synthesises
+ * streams whose *category mix* — withdraws, route flaps (re-announce
+ * of a recently withdrawn prefix), next-hop changes, and new-prefix
+ * announces — matches the breakdown the paper reports in Figure 14.
+ * The Chisel update engine's behaviour depends only on that mix, so
+ * the substitution preserves the measured quantities (fraction of
+ * incremental updates, update rate).
+ */
+
+#ifndef CHISEL_ROUTE_UPDATES_HH
+#define CHISEL_ROUTE_UPDATES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "route/table.hh"
+
+namespace chisel {
+
+/** The two BGP update operations (Section 4.4). */
+enum class UpdateKind : uint8_t { Announce, Withdraw };
+
+/** One update: announce(p, l, h) or withdraw(p, l). */
+struct Update
+{
+    UpdateKind kind = UpdateKind::Announce;
+    Prefix prefix;
+    NextHop nextHop = kNoRoute;   ///< Meaningful for announces only.
+
+    bool operator==(const Update &other) const = default;
+};
+
+/**
+ * Knobs controlling the synthetic update mix.  The fractions need not
+ * sum to one; they are sampled as relative weights per update.
+ */
+struct TraceProfile
+{
+    std::string name = "synthetic";
+
+    /** Weight of withdrawals of currently present prefixes. */
+    double withdraws = 0.35;
+    /** Weight of re-announces of recently withdrawn prefixes (flaps). */
+    double routeFlaps = 0.20;
+    /** Weight of next-hop changes for present prefixes. */
+    double nextHopChanges = 0.35;
+    /**
+     * Weight of announces of brand-new prefixes.  Most new prefixes
+     * are drawn adjacent to existing ones (sharing their collapsed
+     * prefix), mirroring the paper's observation that 99.9% of adds
+     * land on a group already in the Index Table.
+     */
+    double newPrefixes = 0.10;
+    /**
+     * Among new prefixes, the probability that the new prefix is a
+     * neighbour of an existing route (same group after collapsing)
+     * rather than a fresh random prefix.
+     */
+    double newPrefixLocality = 0.995;
+
+    /** Number of distinct next-hop values used by announces. */
+    unsigned nextHopCount = 64;
+};
+
+/**
+ * The five trace profiles used in Section 6.6, named after the RIS
+ * collectors.  The mixes differ slightly per collector, as in Fig 14.
+ */
+std::vector<TraceProfile> standardTraceProfiles();
+
+/**
+ * Generates an update stream against a routing table.
+ *
+ * The generator tracks the evolving table state so that withdraws
+ * always name present prefixes, flaps re-announce genuinely withdrawn
+ * ones, and new-prefix announces are genuinely new.  The table passed
+ * in is *copied*; the caller's table is not modified.
+ */
+class UpdateTraceGenerator
+{
+  public:
+    /**
+     * @param table Initial routing table the trace runs against.
+     * @param profile Category mix.
+     * @param key_width 32 for IPv4 tables, 128 for IPv6.
+     * @param seed PRNG seed.
+     */
+    UpdateTraceGenerator(const RoutingTable &table,
+                         const TraceProfile &profile,
+                         unsigned key_width,
+                         uint64_t seed);
+
+    /** Produce the next update. */
+    Update next();
+
+    /** Produce a vector of @p count updates. */
+    std::vector<Update> generate(size_t count);
+
+  private:
+    Update makeWithdraw();
+    Update makeFlap();
+    Update makeNextHopChange();
+    Update makeNewPrefix();
+
+    /** Pick a present route uniformly at random. */
+    const Route &randomRoute();
+
+    void applyAnnounce(const Prefix &p, NextHop nh);
+    void applyWithdraw(const Prefix &p);
+
+    TraceProfile profile_;
+    unsigned keyWidth_;
+    Rng rng_;
+
+    /**
+     * Present routes as a vector for O(1) random choice, with an index
+     * map for O(1) removal (swap-with-last).
+     */
+    std::vector<Route> live_;
+    std::unordered_map<Prefix, size_t, PrefixHasher> index_;
+
+    /** Recently withdrawn routes, eligible to flap back. */
+    std::vector<Route> withdrawn_;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_ROUTE_UPDATES_HH

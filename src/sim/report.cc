@@ -1,0 +1,93 @@
+#include "sim/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+namespace chisel {
+
+Report::Report(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns))
+{
+}
+
+void
+Report::addRow(std::vector<std::string> cells)
+{
+    cells.resize(columns_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Report::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Report::count(uint64_t v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    int pos = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (pos && pos % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++pos;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+Report::mbits(uint64_t bits, int precision)
+{
+    return num(static_cast<double>(bits) / (1024.0 * 1024.0),
+               precision);
+}
+
+void
+Report::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c)
+        widths[c] = columns_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size()) {
+                for (size_t pad = cells[c].size(); pad <= widths[c];
+                     ++pad) {
+                    os << ' ';
+                }
+                os << ' ';
+            }
+        }
+        os << '\n';
+    };
+    emit(columns_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+    os << '\n';
+}
+
+void
+Report::print() const
+{
+    print(std::cout);
+}
+
+} // namespace chisel

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fixed-width table reporting for the benchmark harnesses.
+ *
+ * Every figure/table reproduction prints its rows through this
+ * formatter so bench output is uniform and diff-friendly.
+ */
+
+#ifndef CHISEL_SIM_REPORT_HH
+#define CHISEL_SIM_REPORT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace chisel {
+
+/**
+ * A simple column-aligned text table.
+ */
+class Report
+{
+  public:
+    /**
+     * @param title Heading printed above the table.
+     * @param columns Column headers.
+     */
+    Report(std::string title, std::vector<std::string> columns);
+
+    /** Append a row (cells already formatted). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format an integer with thousands separators. */
+    static std::string count(uint64_t v);
+
+    /** Format bits as Mbits. */
+    static std::string mbits(uint64_t bits, int precision = 2);
+
+    /** Render to a stream with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_SIM_REPORT_HH

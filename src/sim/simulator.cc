@@ -1,0 +1,130 @@
+#include "sim/simulator.hh"
+
+#include <ostream>
+
+#include "sim/stats.hh"
+
+namespace chisel {
+
+ChiselSimulator::ChiselSimulator(const RoutingTable &table,
+                                 const ChiselConfig &config,
+                                 const Technology &tech, double msps)
+    : config_(config),
+      tech_(tech),
+      msps_(msps),
+      engine_(std::make_unique<ChiselEngine>(table, config)),
+      oracle_(table)
+{
+}
+
+void
+ChiselSimulator::runLookups(const std::vector<Key128> &keys)
+{
+    StopWatch watch;
+    for (const auto &key : keys) {
+        auto got = engine_->lookup(key);
+        ++lookups_;
+        hits_ += got.found;
+
+        auto want = oracle_.lookup(key, config_.keyWidth);
+        bool agree = want.has_value() == got.found &&
+                     (!want || want->nextHop == got.nextHop);
+        mismatches_ += !agree;
+    }
+    lookupSeconds_ += watch.seconds();
+}
+
+void
+ChiselSimulator::runUpdates(const std::vector<Update> &updates)
+{
+    StopWatch watch;
+    for (const auto &u : updates) {
+        engine_->apply(u);
+        ++updates_;
+        if (u.kind == UpdateKind::Announce)
+            oracle_.insert(u.prefix, u.nextHop);
+        else
+            oracle_.erase(u.prefix);
+    }
+    updateSeconds_ += watch.seconds();
+}
+
+SimulationReport
+ChiselSimulator::report() const
+{
+    SimulationReport r;
+    r.lookups = lookups_;
+    r.hits = hits_;
+    r.mismatches = mismatches_;
+    r.updatesApplied = updates_;
+    r.updatesPerSecond =
+        updateSeconds_ > 0 ? static_cast<double>(updates_) /
+                                 updateSeconds_
+                           : 0.0;
+    r.lookupsPerSecond =
+        lookupSeconds_ > 0 ? static_cast<double>(lookups_) /
+                                 lookupSeconds_
+                           : 0.0;
+    r.updateBreakdown = engine_->updateStats();
+
+    r.routes = engine_->routeCount();
+    r.subCells = engine_->cellCount();
+    r.spilled = engine_->spillCount();
+    r.measuredStorage = engine_->storage();
+
+    StorageParams sp;
+    sp.keyWidth = config_.keyWidth;
+    sp.stride = config_.stride;
+    sp.k = config_.k;
+    sp.ratio = config_.ratio;
+    r.worstCaseStorage = chiselWorstCase(r.routes ? r.routes : 1, sp);
+
+    ChiselPowerModel power(tech_);
+    r.measuredPower = power.measured(*engine_, msps_);
+    r.worstCasePower =
+        power.worstCase(r.routes ? r.routes : 1, sp, msps_);
+
+    EdramModel edram(tech_.edram);
+    r.dieAreaMm2 = edram.areaMm2(r.measuredStorage.totalBits());
+
+    ChiselTimingModel timing;
+    r.timing = timing.report(sp);
+    return r;
+}
+
+void
+SimulationReport::print(std::ostream &os) const
+{
+    os << "Chisel simulation report\n"
+       << "  routes: " << routes << "  sub-cells: " << subCells
+       << "  spilled: " << spilled << "\n"
+       << "  lookups: " << lookups << " (" << hits << " hits, "
+       << mismatches << " oracle mismatches)\n";
+    if (lookupsPerSecond > 0) {
+        os << "  software lookup rate: "
+           << static_cast<uint64_t>(lookupsPerSecond) << "/s\n";
+    }
+    if (updatesApplied > 0) {
+        os << "  updates: " << updatesApplied << " at "
+           << static_cast<uint64_t>(updatesPerSecond)
+           << "/s, incremental fraction "
+           << updateBreakdown.incrementalFraction() << "\n";
+    }
+    // "Provisioned" includes the engine's update headroom; the
+    // worst-case model is the paper's deterministic sizing for
+    // exactly the current route count.
+    os << "  storage provisioned: " << measuredStorage.totalMbits()
+       << " Mb; worst-case model at n=routes: "
+       << worstCaseStorage.totalMbits() << " Mb\n"
+       << "  power (provisioned tables): "
+       << measuredPower.totalWatts()
+       << " W; worst-case model: " << worstCasePower.totalWatts()
+       << " W\n"
+       << "  die area: " << dieAreaMm2 << " mm^2\n"
+       << "  timing: " << timing.pipelineStages
+       << " accesses/lookup, " << timing.totalLatencyNs
+       << " ns latency, " << timing.throughputMsps
+       << " Msps sustained\n";
+}
+
+} // namespace chisel

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The Chisel architectural simulator (Section 5).
+ *
+ * "We built an architectural simulator for Chisel which incorporates
+ *  130nm embedded DRAM models ... In addition to functional
+ *  operation and verification, the simulator reports storage sizes
+ *  and power dissipation estimates."
+ *
+ * ChiselSimulator is that tool: it wraps a ChiselEngine together
+ * with the eDRAM storage/power/area/timing models and a built-in
+ * oracle, drives lookup and update workloads through it, and emits
+ * one consolidated report.  The bench harnesses use the underlying
+ * pieces directly; this facade is the one-call API for users who
+ * want the paper's Section-6-style numbers for their own tables.
+ */
+
+#ifndef CHISEL_SIM_SIMULATOR_HH
+#define CHISEL_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hh"
+#include "core/power_model.hh"
+#include "core/storage_model.hh"
+#include "core/timing_model.hh"
+#include "mem/edram.hh"
+#include "route/updates.hh"
+#include "trie/binary_trie.hh"
+
+namespace chisel {
+
+/** Everything the simulator measured. */
+struct SimulationReport
+{
+    // Functional.
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t mismatches = 0;      ///< Oracle disagreements (0!).
+    uint64_t updatesApplied = 0;
+    double updatesPerSecond = 0.0;
+    double lookupsPerSecond = 0.0;
+    UpdateStats updateBreakdown;
+
+    // Architecture.
+    size_t routes = 0;
+    size_t subCells = 0;
+    size_t spilled = 0;
+    StorageBreakdown measuredStorage;
+    StorageBreakdown worstCaseStorage;
+    PowerBreakdown measuredPower;      ///< At the configured rate.
+    PowerBreakdown worstCasePower;
+    double dieAreaMm2 = 0.0;
+    TimingReport timing;
+
+    /** Render a human-readable summary. */
+    void print(std::ostream &os) const;
+};
+
+/**
+ * One-stop simulation driver around a ChiselEngine.
+ */
+class ChiselSimulator
+{
+  public:
+    /**
+     * @param table Initial routing table.
+     * @param config Engine parameters.
+     * @param tech Memory technology (default: the paper's 130 nm).
+     * @param msps Search rate assumed by the power model.
+     */
+    ChiselSimulator(const RoutingTable &table,
+                    const ChiselConfig &config = {},
+                    const Technology &tech = Technology::nec130nm(),
+                    double msps = 200.0);
+
+    /**
+     * Run @p keys through the engine, verifying each answer against
+     * the oracle.  Accumulates into the report.
+     */
+    void runLookups(const std::vector<Key128> &keys);
+
+    /** Apply an update stream (also mirrored into the oracle). */
+    void runUpdates(const std::vector<Update> &updates);
+
+    /** The consolidated report so far. */
+    SimulationReport report() const;
+
+    /** Direct engine access. */
+    ChiselEngine &engine() { return *engine_; }
+    const ChiselEngine &engine() const { return *engine_; }
+
+  private:
+    ChiselConfig config_;
+    Technology tech_;
+    double msps_;
+    std::unique_ptr<ChiselEngine> engine_;
+    BinaryTrie oracle_;
+
+    uint64_t lookups_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t mismatches_ = 0;
+    uint64_t updates_ = 0;
+    double lookupSeconds_ = 0.0;
+    double updateSeconds_ = 0.0;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_SIM_SIMULATOR_HH

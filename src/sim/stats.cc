@@ -1,0 +1,128 @@
+#include "sim/stats.hh"
+
+#include <chrono>
+#include <cstdio>
+
+namespace chisel {
+
+ScalarStat::ScalarStat(std::string name) : name_(std::move(name))
+{
+}
+
+void
+ScalarStat::sample(double value)
+{
+    ++count_;
+    sum_ += value;
+    if (value < min_)
+        min_ = value;
+    if (value > max_)
+        max_ = value;
+}
+
+double
+ScalarStat::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return sum_ / static_cast<double>(count_);
+}
+
+std::string
+ScalarStat::str() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s: mean=%.4g min=%.4g max=%.4g n=%llu",
+                  name_.c_str(), mean(),
+                  count_ ? min_ : 0.0, count_ ? max_ : 0.0,
+                  static_cast<unsigned long long>(count_));
+    return buf;
+}
+
+void
+ScalarStat::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+Histogram::Histogram(std::string name, size_t buckets)
+    : name_(std::move(name)), buckets_(buckets, 0)
+{
+}
+
+void
+Histogram::sample(uint64_t value)
+{
+    ++total_;
+    if (value >= buckets_.size())
+        ++overflow_;
+    else
+        ++buckets_[value];
+}
+
+uint64_t
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0;
+    uint64_t want = static_cast<uint64_t>(q * static_cast<double>(total_));
+    uint64_t acc = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        acc += buckets_[i];
+        if (acc >= want)
+            return i;
+    }
+    return buckets_.size();
+}
+
+std::string
+Histogram::str() const
+{
+    std::string s = name_ + ":";
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        s += " " + std::to_string(i) + ":" + std::to_string(buckets_[i]);
+    }
+    if (overflow_ > 0)
+        s += " overflow:" + std::to_string(overflow_);
+    return s;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    total_ = 0;
+}
+
+StopWatch::StopWatch()
+{
+    reset();
+}
+
+void
+StopWatch::reset()
+{
+    startNs_ = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+double
+StopWatch::seconds() const
+{
+    uint64_t now = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    return static_cast<double>(now - startNs_) * 1e-9;
+}
+
+} // namespace chisel

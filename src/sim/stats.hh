@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Lightweight statistics for experiments: counters, means, and
+ * histograms with formatted output, in the spirit of a simulator's
+ * stats package.
+ */
+
+#ifndef CHISEL_SIM_STATS_HH
+#define CHISEL_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace chisel {
+
+/**
+ * Running scalar statistic: count, sum, min, max, mean.
+ */
+class ScalarStat
+{
+  public:
+    explicit ScalarStat(std::string name = "");
+
+    void sample(double value);
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    const std::string &name() const { return name_; }
+
+    /** "name: mean=... min=... max=... n=..." */
+    std::string str() const;
+
+    void reset();
+
+  private:
+    std::string name_;
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bucket histogram over [0, buckets); values at or beyond the
+ * last bucket land in the overflow bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::string name, size_t buckets);
+
+    void sample(uint64_t value);
+
+    uint64_t bucket(size_t i) const { return buckets_[i]; }
+    uint64_t overflow() const { return overflow_; }
+    uint64_t total() const { return total_; }
+    size_t size() const { return buckets_.size(); }
+
+    /** Smallest i such that at least q of the mass is at <= i. */
+    uint64_t quantile(double q) const;
+
+    std::string str() const;
+
+    void reset();
+
+  private:
+    std::string name_;
+    std::vector<uint64_t> buckets_;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+/** Wall-clock interval timer for throughput measurements. */
+class StopWatch
+{
+  public:
+    StopWatch();
+
+    /** Restart the interval. */
+    void reset();
+
+    /** Seconds since construction or the last reset(). */
+    double seconds() const;
+
+  private:
+    uint64_t startNs_;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_SIM_STATS_HH

@@ -1,0 +1,79 @@
+#include "tcam/tcam.hh"
+
+#include <algorithm>
+
+namespace chisel {
+
+Tcam::Tcam(size_t capacity) : capacity_(capacity)
+{
+}
+
+bool
+Tcam::insert(const Prefix &prefix, NextHop next_hop)
+{
+    // Overwrite in place if present.
+    for (auto &e : entries_) {
+        if (e.prefix == prefix) {
+            e.nextHop = next_hop;
+            return true;
+        }
+    }
+    if (full())
+        return false;
+
+    // Keep decreasing-length order so index order = priority order.
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+                           [&](const Route &e) {
+                               return e.prefix.length() < prefix.length();
+                           });
+    entries_.insert(it, Route{prefix, next_hop});
+    return true;
+}
+
+bool
+Tcam::erase(const Prefix &prefix)
+{
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+                           [&](const Route &e) {
+                               return e.prefix == prefix;
+                           });
+    if (it == entries_.end())
+        return false;
+    entries_.erase(it);
+    return true;
+}
+
+bool
+Tcam::setNextHop(const Prefix &prefix, NextHop next_hop)
+{
+    for (auto &e : entries_) {
+        if (e.prefix == prefix) {
+            e.nextHop = next_hop;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<Route>
+Tcam::lookup(const Key128 &key) const
+{
+    // Simulates the parallel compare: first match in priority order.
+    for (const auto &e : entries_) {
+        if (e.prefix.matches(key))
+            return e;
+    }
+    return std::nullopt;
+}
+
+std::optional<NextHop>
+Tcam::find(const Prefix &prefix) const
+{
+    for (const auto &e : entries_) {
+        if (e.prefix == prefix)
+            return e.nextHop;
+    }
+    return std::nullopt;
+}
+
+} // namespace chisel

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Functional ternary CAM.
+ *
+ * A TCAM compares a query against every stored (value, mask) entry in
+ * parallel and returns the highest-priority match.  This model serves
+ * two roles in the library: (1) the baseline LPM family of Section
+ * 6.7.2, and (2) Chisel's small *spillover* TCAM that absorbs the
+ * handful of keys a failed Bloomier setup cannot place (Section 4.1).
+ *
+ * For LPM, entries are kept sorted by decreasing prefix length, so
+ * the first match (lowest index) is the longest prefix — the standard
+ * TCAM LPM arrangement.
+ */
+
+#ifndef CHISEL_TCAM_TCAM_HH
+#define CHISEL_TCAM_TCAM_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "route/table.hh"
+
+namespace chisel {
+
+/**
+ * A priority-ordered ternary CAM storing prefixes.
+ */
+class Tcam
+{
+  public:
+    /**
+     * @param capacity Maximum entries (0 = unbounded, for the LPM
+     *        baseline; Chisel's spillover uses a small fixed size).
+     */
+    explicit Tcam(size_t capacity = 0);
+
+    /**
+     * Insert a prefix, keeping entries sorted by decreasing length.
+     * @return false if the TCAM is full.
+     */
+    bool insert(const Prefix &prefix, NextHop next_hop);
+
+    /** Remove a prefix.  @return true if present. */
+    bool erase(const Prefix &prefix);
+
+    /** Update the next hop of an existing entry. */
+    bool setNextHop(const Prefix &prefix, NextHop next_hop);
+
+    /** Highest-priority (longest-prefix) match. */
+    std::optional<Route> lookup(const Key128 &key) const;
+
+    /** Exact-match search. */
+    std::optional<NextHop> find(const Prefix &prefix) const;
+
+    size_t size() const { return entries_.size(); }
+    size_t capacity() const { return capacity_; }
+    bool full() const { return capacity_ != 0 && size() >= capacity_; }
+
+    /** All entries in priority order. */
+    const std::vector<Route> &entries() const { return entries_; }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    size_t capacity_;
+    std::vector<Route> entries_;   ///< Sorted by decreasing length.
+};
+
+} // namespace chisel
+
+#endif // CHISEL_TCAM_TCAM_HH

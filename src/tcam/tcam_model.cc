@@ -1,0 +1,28 @@
+#include "tcam/tcam_model.hh"
+
+namespace chisel {
+
+TcamPowerModel::TcamPowerModel(const TcamModelParams &params)
+    : params_(params)
+{
+}
+
+uint64_t
+TcamPowerModel::storageBits(size_t entries, unsigned key_width) const
+{
+    unsigned slot = key_width > 32 ? params_.ipv6SlotBits
+                                   : params_.ipv4SlotBits;
+    return static_cast<uint64_t>(entries) * slot;
+}
+
+double
+TcamPowerModel::watts(size_t entries, unsigned key_width,
+                      double msps) const
+{
+    double mbits = static_cast<double>(storageBits(entries, key_width)) /
+                   (1024.0 * 1024.0);
+    return params_.anchorWatts * (mbits / params_.anchorMbits) *
+           (msps / params_.anchorMsps);
+}
+
+} // namespace chisel

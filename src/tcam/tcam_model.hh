@@ -1,0 +1,65 @@
+/**
+ * @file
+ * TCAM power and storage model (Section 6.7.2).
+ *
+ * The paper anchors every TCAM power figure to one datasheet point —
+ * an 18 Mb device dissipating ~15 W at 100 Msps (SiberCore SCT1842) —
+ * and extrapolates linearly in capacity and search rate.  This module
+ * implements exactly that extrapolation, plus the standard slot
+ * geometry: a 36-bit ternary slot holds an IPv4 prefix, a 144-bit
+ * slot (4 x 36) holds IPv6.
+ */
+
+#ifndef CHISEL_TCAM_TCAM_MODEL_HH
+#define CHISEL_TCAM_TCAM_MODEL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace chisel {
+
+/** Parameters of the TCAM extrapolation model. */
+struct TcamModelParams
+{
+    /** Anchor device capacity in megabits. */
+    double anchorMbits = 18.0;
+
+    /** Anchor device power in watts. */
+    double anchorWatts = 15.0;
+
+    /** Anchor search rate in million searches per second. */
+    double anchorMsps = 100.0;
+
+    /** Ternary slot width for IPv4 prefixes. */
+    unsigned ipv4SlotBits = 36;
+
+    /** Ternary slot width for IPv6 prefixes. */
+    unsigned ipv6SlotBits = 144;
+};
+
+/**
+ * Linear TCAM power/storage extrapolation.
+ */
+class TcamPowerModel
+{
+  public:
+    explicit TcamPowerModel(const TcamModelParams &params = {});
+
+    /** Ternary bits needed for @p entries prefixes of @p key_width. */
+    uint64_t storageBits(size_t entries, unsigned key_width) const;
+
+    /**
+     * Power in watts for a table of @p entries prefixes searched at
+     * @p msps million searches per second.
+     */
+    double watts(size_t entries, unsigned key_width, double msps) const;
+
+    const TcamModelParams &params() const { return params_; }
+
+  private:
+    TcamModelParams params_;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_TCAM_TCAM_MODEL_HH

@@ -1,0 +1,115 @@
+#include "trie/binary_trie.hh"
+
+#include <cassert>
+#include <functional>
+
+namespace chisel {
+
+BinaryTrie::BinaryTrie()
+{
+    nodes_.emplace_back();   // Root.
+}
+
+BinaryTrie::BinaryTrie(const RoutingTable &table) : BinaryTrie()
+{
+    for (const auto &r : table.routes())
+        insert(r.prefix, r.nextHop);
+}
+
+void
+BinaryTrie::insert(const Prefix &prefix, NextHop next_hop)
+{
+    int32_t cur = 0;
+    for (unsigned i = 0; i < prefix.length(); ++i) {
+        unsigned b = prefix.bits().bit(i) ? 1 : 0;
+        if (nodes_[cur].child[b] < 0) {
+            nodes_[cur].child[b] = static_cast<int32_t>(nodes_.size());
+            nodes_.emplace_back();
+        }
+        cur = nodes_[cur].child[b];
+    }
+    if (!nodes_[cur].hasRoute) {
+        nodes_[cur].hasRoute = true;
+        ++routes_;
+    }
+    nodes_[cur].nextHop = next_hop;
+}
+
+int32_t
+BinaryTrie::walk(const Prefix &prefix) const
+{
+    int32_t cur = 0;
+    for (unsigned i = 0; i < prefix.length(); ++i) {
+        unsigned b = prefix.bits().bit(i) ? 1 : 0;
+        cur = nodes_[cur].child[b];
+        if (cur < 0)
+            return -1;
+    }
+    return cur;
+}
+
+bool
+BinaryTrie::erase(const Prefix &prefix)
+{
+    int32_t node = walk(prefix);
+    if (node < 0 || !nodes_[node].hasRoute)
+        return false;
+    nodes_[node].hasRoute = false;
+    nodes_[node].nextHop = kNoRoute;
+    --routes_;
+    return true;
+}
+
+std::optional<Route>
+BinaryTrie::lookup(const Key128 &key, unsigned max_len) const
+{
+    std::optional<Route> best;
+    int32_t cur = 0;
+    if (nodes_[0].hasRoute)
+        best = Route{Prefix(), nodes_[0].nextHop};
+    for (unsigned i = 0; i < max_len; ++i) {
+        unsigned b = key.bit(i) ? 1 : 0;
+        cur = nodes_[cur].child[b];
+        if (cur < 0)
+            break;
+        if (nodes_[cur].hasRoute)
+            best = Route{Prefix(key, i + 1), nodes_[cur].nextHop};
+    }
+    return best;
+}
+
+std::optional<NextHop>
+BinaryTrie::find(const Prefix &prefix) const
+{
+    int32_t node = walk(prefix);
+    if (node < 0 || !nodes_[node].hasRoute)
+        return std::nullopt;
+    return nodes_[node].nextHop;
+}
+
+std::vector<Route>
+BinaryTrie::enumerate() const
+{
+    std::vector<Route> out;
+    // Iterative DFS carrying the path prefix.
+    struct Frame { int32_t node; Prefix path; };
+    std::vector<Frame> stack;
+    stack.push_back(Frame{0, Prefix()});
+    while (!stack.empty()) {
+        Frame f = stack.back();
+        stack.pop_back();
+        const Node &n = nodes_[f.node];
+        if (n.hasRoute)
+            out.push_back(Route{f.path, n.nextHop});
+        for (int b = 1; b >= 0; --b) {
+            if (n.child[b] >= 0) {
+                stack.push_back(Frame{
+                    n.child[b],
+                    f.path.extended(static_cast<uint64_t>(b), 1)});
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace chisel

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Binary (unibit) trie — the reference LPM oracle.
+ *
+ * Every other LPM structure in this library is validated against this
+ * trie: it is the simplest possible correct longest-prefix-match, one
+ * node per bit.  It also serves as the build source for Tree Bitmap.
+ */
+
+#ifndef CHISEL_TRIE_BINARY_TRIE_HH
+#define CHISEL_TRIE_BINARY_TRIE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "route/table.hh"
+
+namespace chisel {
+
+/**
+ * A pointer-free binary trie (nodes in a vector, indices as links).
+ */
+class BinaryTrie
+{
+  public:
+    BinaryTrie();
+
+    /** Build from a routing table. */
+    explicit BinaryTrie(const RoutingTable &table);
+
+    /** Insert or overwrite a route. */
+    void insert(const Prefix &prefix, NextHop next_hop);
+
+    /** Remove a route.  @return true if present. */
+    bool erase(const Prefix &prefix);
+
+    /** Longest-prefix match for @p key (searching up to @p max_len). */
+    std::optional<Route> lookup(const Key128 &key,
+                                unsigned max_len = Key128::maxBits) const;
+
+    /** Exact-prefix lookup. */
+    std::optional<NextHop> find(const Prefix &prefix) const;
+
+    /** Number of routes stored. */
+    size_t size() const { return routes_; }
+
+    /** Number of trie nodes (storage-cost driver for tries). */
+    size_t nodeCount() const { return nodes_.size(); }
+
+    /** All routes, in trie (lexicographic) order. */
+    std::vector<Route> enumerate() const;
+
+  private:
+    struct Node
+    {
+        int32_t child[2] = {-1, -1};
+        NextHop nextHop = kNoRoute;
+        bool hasRoute = false;
+    };
+
+    /** Walk to the node of @p prefix, or -1. */
+    int32_t walk(const Prefix &prefix) const;
+
+    std::vector<Node> nodes_;
+    size_t routes_ = 0;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_TRIE_BINARY_TRIE_HH

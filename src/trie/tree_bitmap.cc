@@ -1,0 +1,340 @@
+#include "trie/tree_bitmap.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace chisel {
+
+TreeBitmapConfig
+treeBitmapIpv4Config()
+{
+    // Sums to 33 so a /32 lands as the length-0 internal prefix of a
+    // depth-32 child (a node's internal bitmap covers relative
+    // lengths 0..s-1).
+    TreeBitmapConfig c;
+    c.strides = {8, 4, 4, 4, 4, 4, 5};
+    return c;
+}
+
+TreeBitmapConfig
+treeBitmapIpv6Config()
+{
+    // Sums to 129, likewise one bit past the longest key.
+    TreeBitmapConfig c;
+    c.strides.push_back(8);
+    for (unsigned i = 0; i < 29; ++i)
+        c.strides.push_back(4);
+    c.strides.push_back(5);
+    return c;
+}
+
+bool
+TreeBitmap::testBit(const std::vector<uint64_t> &bits, size_t i)
+{
+    return (bits[i / 64] >> (i % 64)) & 1;
+}
+
+void
+TreeBitmap::setBit(std::vector<uint64_t> &bits, size_t i)
+{
+    bits[i / 64] |= uint64_t(1) << (i % 64);
+}
+
+void
+TreeBitmap::clearBit(std::vector<uint64_t> &bits, size_t i)
+{
+    bits[i / 64] &= ~(uint64_t(1) << (i % 64));
+}
+
+size_t
+TreeBitmap::rankBefore(const std::vector<uint64_t> &bits, size_t i)
+{
+    size_t rank = 0;
+    size_t word = i / 64;
+    for (size_t w = 0; w < word; ++w)
+        rank += popcount64(bits[w]);
+    if (i % 64)
+        rank += popcount64(bits[word] &
+                           lowMask(static_cast<unsigned>(i % 64)));
+    return rank;
+}
+
+void
+TreeBitmap::initNode(Node &n, unsigned level)
+{
+    unsigned s = config_.strides[level];
+    n.internal.assign(divCeil((uint64_t(1) << s) - 1, 64), 0);
+    n.external.assign(divCeil(uint64_t(1) << s, 64), 0);
+    n.children.clear();
+    n.results.clear();
+    n.level = static_cast<uint8_t>(level);
+    n.free = false;
+}
+
+uint32_t
+TreeBitmap::allocNode(unsigned level)
+{
+    ++liveNodes_;
+    if (!freeList_.empty()) {
+        uint32_t id = freeList_.back();
+        freeList_.pop_back();
+        initNode(nodes_[id], level);
+        return id;
+    }
+    nodes_.emplace_back();
+    initNode(nodes_.back(), level);
+    return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+void
+TreeBitmap::freeNode(uint32_t id)
+{
+    panicIf(id == 0, "TreeBitmap cannot free the root");
+    nodes_[id].free = true;
+    nodes_[id].children.clear();
+    nodes_[id].results.clear();
+    freeList_.push_back(id);
+    --liveNodes_;
+}
+
+TreeBitmap::TreeBitmap(const TreeBitmapConfig &config)
+    : config_(config)
+{
+    if (config_.strides.empty())
+        fatalError("TreeBitmap requires at least one stride");
+    unsigned total = 0;
+    depthOfLevel_.push_back(0);
+    for (unsigned s : config_.strides) {
+        if (s == 0 || s > 16)
+            fatalError("TreeBitmap strides must be in [1, 16]");
+        total += s;
+        depthOfLevel_.push_back(total);
+    }
+    allocNode(0);   // The root (id 0).
+}
+
+TreeBitmap::TreeBitmap(const RoutingTable &table,
+                       const TreeBitmapConfig &config)
+    : TreeBitmap(config)
+{
+    unsigned total = depthOfLevel_.back();
+    // A prefix of length exactly "total" would need a child past the
+    // last level, so the strides must strictly exceed the longest
+    // prefix in the table.
+    if (total <= table.maxLength())
+        fatalError("TreeBitmap strides too short for table");
+    for (const auto &r : table.routes())
+        insert(r.prefix, r.nextHop);
+    resetUpdateStats();   // Bulk build is not "updates".
+}
+
+void
+TreeBitmap::insert(const Prefix &prefix, NextHop next_hop)
+{
+    if (prefix.length() + 1 > depthOfLevel_.back())
+        fatalError("TreeBitmap: prefix longer than the stride plan");
+
+    ++updateStats_.inserts;
+    uint32_t cur = 0;
+    unsigned depth = 0;
+    unsigned level = 0;
+
+    // Descend while the prefix extends beyond this node's strides,
+    // creating children as needed.
+    while (prefix.length() >= depth + config_.strides[level]) {
+        Node &n = nodes_[cur];
+        ++updateStats_.nodesTouched;
+        unsigned s = config_.strides[level];
+        uint64_t bits = prefix.bits().extract(depth, s);
+        size_t rank = rankBefore(n.external, bits);
+        if (!testBit(n.external, bits)) {
+            uint32_t child = allocNode(level + 1);
+            ++updateStats_.nodesCreated;
+            // Re-take the reference: allocNode may reallocate.
+            Node &n2 = nodes_[cur];
+            setBit(n2.external, bits);
+            n2.children.insert(n2.children.begin() +
+                                   static_cast<long>(rank), child);
+            ++updateStats_.blockReallocs;
+            cur = child;
+        } else {
+            cur = n.children[rank];
+        }
+        depth += s;
+        ++level;
+    }
+
+    // Set the internal bit at the final node.
+    Node &n = nodes_[cur];
+    ++updateStats_.nodesTouched;
+    unsigned j = prefix.length() - depth;
+    uint64_t value = (j == 0) ? 0 : prefix.bits().extract(depth, j);
+    size_t bit = (size_t(1) << j) - 1 + value;
+    size_t rank = rankBefore(n.internal, bit);
+    if (testBit(n.internal, bit)) {
+        n.results[rank] = next_hop;   // Overwrite.
+    } else {
+        setBit(n.internal, bit);
+        n.results.insert(n.results.begin() + static_cast<long>(rank),
+                         next_hop);
+        ++updateStats_.blockReallocs;
+        ++routes_;
+    }
+}
+
+bool
+TreeBitmap::eraseRec(uint32_t id, const Prefix &prefix,
+                     unsigned depth, unsigned level)
+{
+    Node &n = nodes_[id];
+    ++updateStats_.nodesTouched;
+    unsigned s = config_.strides[level];
+
+    if (prefix.length() < depth + s) {
+        unsigned j = prefix.length() - depth;
+        uint64_t value =
+            (j == 0) ? 0 : prefix.bits().extract(depth, j);
+        size_t bit = (size_t(1) << j) - 1 + value;
+        if (!testBit(n.internal, bit))
+            return false;
+        size_t rank = rankBefore(n.internal, bit);
+        clearBit(n.internal, bit);
+        n.results.erase(n.results.begin() + static_cast<long>(rank));
+        ++updateStats_.blockReallocs;
+        --routes_;
+        return true;
+    }
+
+    uint64_t bits = prefix.bits().extract(depth, s);
+    if (!testBit(n.external, bits))
+        return false;
+    size_t rank = rankBefore(n.external, bits);
+    uint32_t child = n.children[rank];
+    if (!eraseRec(child, prefix, depth + s, level + 1))
+        return false;
+
+    // Prune the child if it became empty.  (References into nodes_
+    // are re-taken: the recursion may not reallocate, but be safe.)
+    if (nodes_[child].empty()) {
+        Node &n2 = nodes_[id];
+        clearBit(n2.external, bits);
+        n2.children.erase(n2.children.begin() +
+                          static_cast<long>(rank));
+        ++updateStats_.blockReallocs;
+        freeNode(child);
+        ++updateStats_.nodesPruned;
+    }
+    return true;
+}
+
+bool
+TreeBitmap::erase(const Prefix &prefix)
+{
+    if (prefix.length() + 1 > depthOfLevel_.back())
+        return false;
+    ++updateStats_.erases;
+    return eraseRec(0, prefix, 0, 0);
+}
+
+std::optional<NextHop>
+TreeBitmap::find(const Prefix &prefix) const
+{
+    uint32_t cur = 0;
+    unsigned depth = 0;
+    unsigned level = 0;
+    while (prefix.length() >= depth + config_.strides[level]) {
+        const Node &n = nodes_[cur];
+        unsigned s = config_.strides[level];
+        uint64_t bits = prefix.bits().extract(depth, s);
+        if (!testBit(n.external, bits))
+            return std::nullopt;
+        cur = n.children[rankBefore(n.external, bits)];
+        depth += s;
+        ++level;
+    }
+    const Node &n = nodes_[cur];
+    unsigned j = prefix.length() - depth;
+    uint64_t value = (j == 0) ? 0 : prefix.bits().extract(depth, j);
+    size_t bit = (size_t(1) << j) - 1 + value;
+    if (!testBit(n.internal, bit))
+        return std::nullopt;
+    return n.results[rankBefore(n.internal, bit)];
+}
+
+TbLookup
+TreeBitmap::lookup(const Key128 &key) const
+{
+    TbLookup out;
+    std::optional<NextHop> best;
+    unsigned best_len = 0;
+
+    uint32_t cur = 0;
+    unsigned depth = 0;
+    for (unsigned level = 0; level < config_.strides.size(); ++level) {
+        const Node &n = nodes_[cur];
+        ++out.memoryAccesses;
+        unsigned s = config_.strides[level];
+        uint64_t bits = key.extract(depth, std::min(s, 128 - depth));
+        if (depth + s > 128)
+            bits <<= (depth + s - 128);
+
+        // Longest internal match within this node.
+        for (int j = static_cast<int>(s) - 1; j >= 0; --j) {
+            uint64_t value = bits >> (s - static_cast<unsigned>(j));
+            size_t bit = (size_t(1) << j) - 1 + value;
+            if (testBit(n.internal, bit)) {
+                best = n.results[rankBefore(n.internal, bit)];
+                best_len = depth + static_cast<unsigned>(j);
+                break;
+            }
+        }
+
+        if (!testBit(n.external, bits))
+            break;
+        cur = n.children[rankBefore(n.external, bits)];
+        depth += s;
+    }
+
+    if (best) {
+        ++out.memoryAccesses;   // Next-hop fetch.
+        out.found = true;
+        out.nextHop = *best;
+        out.matchedLength = best_len;
+    }
+    return out;
+}
+
+uint64_t
+TreeBitmap::storageBits() const
+{
+    uint64_t total = 0;
+    for (const auto &n : nodes_) {
+        if (n.free)
+            continue;
+        unsigned s = config_.strides[n.level];
+        total += (uint64_t(1) << s) - 1;        // Internal bitmap.
+        total += uint64_t(1) << s;              // External bitmap.
+        total += 2ull * config_.pointerBits;    // Child + result ptrs.
+    }
+    return total;
+}
+
+double
+TreeBitmap::bytesPerPrefix() const
+{
+    if (routes_ == 0)
+        return 0.0;
+    return static_cast<double>(storageBits()) / 8.0 /
+           static_cast<double>(routes_);
+}
+
+unsigned
+TreeBitmap::maxAccesses() const
+{
+    return static_cast<unsigned>(config_.strides.size()) + 1;
+}
+
+} // namespace chisel

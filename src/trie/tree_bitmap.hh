@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tree Bitmap (Eatherton, Varghese, Dittia; CCR 2004) — the trie
+ * baseline of Section 6.7.1, including the incremental updates of
+ * its title.
+ *
+ * Tree Bitmap is a multibit trie in which each node of stride s packs
+ * an *internal bitmap* of 2^s - 1 bits (one per prefix of length
+ * 0..s-1 inside the node) and an *external bitmap* of 2^s bits (one
+ * per child).  A node's children are stored as one contiguous block,
+ * as are its next-hop results, found by popcount-ranking the
+ * bitmaps; the software representation here keeps per-node blocks so
+ * updates can grow/shrink them, and counts every such block
+ * reallocation — the variable-sized-node management cost the paper
+ * attributes to trie schemes on updates (Section 4.4.2, refs [9] and
+ * [18]).  Lookup visits one node per level, so latency grows with
+ * the key width — the property Chisel's constant 4 accesses is
+ * compared against.
+ */
+
+#ifndef CHISEL_TRIE_TREE_BITMAP_HH
+#define CHISEL_TRIE_TREE_BITMAP_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "route/table.hh"
+
+namespace chisel {
+
+/** Tree Bitmap build parameters. */
+struct TreeBitmapConfig
+{
+    /**
+     * Stride per level; must sum to *more than* the longest prefix
+     * length (a maximum-length prefix lives as the length-0 internal
+     * prefix of a deepest-level child).  The defaults follow the
+     * storage-efficient configurations of Taylor et al. [23] cited
+     * by the paper.
+     */
+    std::vector<unsigned> strides;
+
+    /** Pointer width in bits used by the storage model. */
+    unsigned pointerBits = 20;
+};
+
+/** Default strides for IPv4 (8 + 5x4 + 5 = 33). */
+TreeBitmapConfig treeBitmapIpv4Config();
+
+/** Default strides for IPv6-scale keys (8 + 29x4 + 5 = 129). */
+TreeBitmapConfig treeBitmapIpv6Config();
+
+/** Result of a Tree Bitmap lookup, with its memory-access count. */
+struct TbLookup
+{
+    bool found = false;
+    NextHop nextHop = kNoRoute;
+    unsigned matchedLength = 0;
+    /** Sequential memory accesses: nodes visited + 1 result fetch. */
+    unsigned memoryAccesses = 0;
+};
+
+/** Cumulative update-cost counters. */
+struct TbUpdateStats
+{
+    uint64_t inserts = 0;
+    uint64_t erases = 0;
+    /** Trie nodes visited by updates. */
+    uint64_t nodesTouched = 0;
+    /**
+     * Child-array or result-array size changes: each is a
+     * variable-sized block (re)allocation in the hardware layout.
+     */
+    uint64_t blockReallocs = 0;
+    /** Nodes created / pruned. */
+    uint64_t nodesCreated = 0;
+    uint64_t nodesPruned = 0;
+};
+
+/**
+ * A Tree Bitmap with incremental updates.
+ */
+class TreeBitmap
+{
+  public:
+    /** Build empty. */
+    explicit TreeBitmap(const TreeBitmapConfig &config);
+
+    /** Build from a routing table. */
+    TreeBitmap(const RoutingTable &table, const TreeBitmapConfig &config);
+
+    /** Longest-prefix match with access accounting. */
+    TbLookup lookup(const Key128 &key) const;
+
+    /** Insert or overwrite a route. */
+    void insert(const Prefix &prefix, NextHop next_hop);
+
+    /** Remove a route, pruning emptied nodes.  @return found. */
+    bool erase(const Prefix &prefix);
+
+    /** Exact-prefix query. */
+    std::optional<NextHop> find(const Prefix &prefix) const;
+
+    /** Number of multibit nodes. */
+    size_t nodeCount() const { return liveNodes_; }
+
+    /** Number of routes represented. */
+    size_t routeCount() const { return routes_; }
+
+    /**
+     * Total node-structure storage in bits: per node, the two bitmaps
+     * plus a child and a result pointer.  Next hops themselves are
+     * excluded, as for every scheme in the paper's comparison.
+     */
+    uint64_t storageBits() const;
+
+    /** storageBits() / routes, in bytes. */
+    double bytesPerPrefix() const;
+
+    /** Worst-case accesses: one per level plus the result fetch. */
+    unsigned maxAccesses() const;
+
+    /** Update-cost counters. */
+    const TbUpdateStats &updateStats() const { return updateStats_; }
+    void resetUpdateStats() { updateStats_ = TbUpdateStats{}; }
+
+  private:
+    struct Node
+    {
+        /** Internal bitmap: 2^s - 1 bits, index (1<<j)-1 + value. */
+        std::vector<uint64_t> internal;
+        /** External bitmap: 2^s bits, one per possible child. */
+        std::vector<uint64_t> external;
+        /** Child node ids, packed in external-bit rank order. */
+        std::vector<uint32_t> children;
+        /** Next hops, packed in internal-bit rank order. */
+        std::vector<NextHop> results;
+        uint8_t level = 0;
+        bool free = false;
+
+        bool
+        empty() const
+        {
+            return children.empty() && results.empty();
+        }
+    };
+
+    static bool testBit(const std::vector<uint64_t> &bits, size_t i);
+    static void setBit(std::vector<uint64_t> &bits, size_t i);
+    static void clearBit(std::vector<uint64_t> &bits, size_t i);
+    static size_t rankBefore(const std::vector<uint64_t> &bits,
+                             size_t i);
+
+    /** Allocate a node at @p level (reusing freed slots). */
+    uint32_t allocNode(unsigned level);
+    void freeNode(uint32_t id);
+    void initNode(Node &n, unsigned level);
+
+    /** Recursive erase; returns true if @p prefix was removed. */
+    bool eraseRec(uint32_t id, const Prefix &prefix, unsigned depth,
+                  unsigned level);
+
+    TreeBitmapConfig config_;
+    std::vector<Node> nodes_;
+    std::vector<uint32_t> freeList_;
+    std::vector<unsigned> depthOfLevel_;
+    size_t routes_ = 0;
+    size_t liveNodes_ = 0;
+    TbUpdateStats updateStats_;
+};
+
+} // namespace chisel
+
+#endif // CHISEL_TRIE_TREE_BITMAP_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tests for the routing-table analytics, plus the structural-
+ * fidelity assertions the synthetic workloads must satisfy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "route/analysis.hh"
+#include "route/synth.hh"
+
+namespace chisel {
+namespace {
+
+TEST(Analysis2, EmptyTable)
+{
+    RoutingTable t;
+    auto a = analyzeTable(t);
+    EXPECT_EQ(a.routes, 0u);
+    EXPECT_EQ(a.routesPerGroup, 0.0);
+}
+
+TEST(Analysis2, HandComputedExample)
+{
+    RoutingTable t;
+    t.add(Prefix::fromCidr("10.0.0.0/8"), 1);       // Not nested.
+    t.add(Prefix::fromCidr("10.1.0.0/16"), 2);      // Nested (1).
+    t.add(Prefix::fromCidr("10.1.2.0/24"), 3);      // Nested (2).
+    t.add(Prefix::fromCidr("11.0.0.0/8"), 4);       // Sibling of 10/8.
+
+    auto a = analyzeTable(t, 4);
+    EXPECT_EQ(a.routes, 4u);
+    EXPECT_EQ(a.minLength, 8u);
+    EXPECT_EQ(a.maxLength, 24u);
+    EXPECT_DOUBLE_EQ(a.lengthFraction[8], 0.5);
+    EXPECT_DOUBLE_EQ(a.nestedFraction, 0.5);
+    EXPECT_DOUBLE_EQ(a.meanCoverDepth, (0 + 1 + 2 + 0) / 4.0);
+    // 10/8 and 11/8 differ only in the last bit: both have siblings.
+    EXPECT_DOUBLE_EQ(a.siblingFraction, 0.5);
+    // Groups (stride 4, plan [8-12][16-20][24-28]... from populated
+    // 8,16,24): /8s -> 2 groups, /16 -> 1, /24 -> 1; 4 routes / 4.
+    EXPECT_DOUBLE_EQ(a.routesPerGroup, 1.0);
+}
+
+TEST(Analysis2, SyntheticTablesLookLikeBgp)
+{
+    // The fidelity gates for the substitution argument: these are
+    // the published properties of mid-2000s global BGP tables.
+    RoutingTable t = generateScaledTable(60000, 32, 0xA11);
+    auto a = analyzeTable(t, 4);
+    EXPECT_GT(a.lengthFraction[24], 0.35);   // /24 dominates.
+    EXPECT_GT(a.lengthFraction[16], 0.04);   // /16 secondary spike.
+    EXPECT_EQ(a.minLength, 8u);
+    EXPECT_GT(a.nestedFraction, 0.15);       // Deaggregation exists.
+    EXPECT_GT(a.siblingFraction, 0.15);      // Allocation runs exist.
+    EXPECT_GT(a.routesPerGroup, 1.2);        // Collapsing merges.
+}
+
+} // anonymous namespace
+} // namespace chisel

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the Bloom filter, counting Bloom filter, and the
+ * Equation 3 setup-failure analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bloom/analysis.hh"
+#include "bloom/bloom.hh"
+#include "bloom/counting_bloom.hh"
+#include "common/random.hh"
+
+namespace chisel {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives)
+{
+    BloomFilter f(4096, 3, 1);
+    Rng rng(1);
+    std::vector<Key128> keys;
+    for (int i = 0; i < 300; ++i) {
+        keys.emplace_back(rng.next64(), rng.next64());
+        f.insert(keys.back(), 64);
+    }
+    for (const auto &k : keys)
+        EXPECT_TRUE(f.query(k, 64));
+}
+
+TEST(BloomFilter, FewFalsePositivesWhenSized)
+{
+    BloomFilter f(16384, 4, 2);   // ~16 bits per key at n=1000.
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i)
+        f.insert(Key128(rng.next64(), rng.next64()), 64);
+    int fp = 0;
+    for (int i = 0; i < 10000; ++i)
+        fp += f.query(Key128(rng.next64(), rng.next64()), 64);
+    // Theoretical fpp at these parameters is ~2e-3.
+    EXPECT_LT(fp, 100);
+}
+
+TEST(BloomFilter, TheoreticalFppSanity)
+{
+    double p1 = BloomFilter::theoreticalFpp(10000, 3, 1000);
+    double p2 = BloomFilter::theoreticalFpp(20000, 3, 1000);
+    EXPECT_GT(p1, 0.0);
+    EXPECT_LT(p1, 1.0);
+    EXPECT_LT(p2, p1);   // More bits, fewer false positives.
+}
+
+TEST(BloomFilter, FillRatioGrows)
+{
+    BloomFilter f(1024, 3, 3);
+    EXPECT_EQ(f.fillRatio(), 0.0);
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        f.insert(Key128(rng.next64(), rng.next64()), 64);
+    EXPECT_GT(f.fillRatio(), 0.1);
+    f.clear();
+    EXPECT_EQ(f.fillRatio(), 0.0);
+    EXPECT_EQ(f.count(), 0u);
+}
+
+TEST(CountingBloom, InsertRemoveRestoresState)
+{
+    CountingBloomFilter f(2048, 3, 4, 4);
+    Key128 k = Key128::fromIpv4(0x0A000001);
+    EXPECT_FALSE(f.query(k, 32));
+    f.insert(k, 32);
+    EXPECT_TRUE(f.query(k, 32));
+    f.remove(k, 32);
+    EXPECT_FALSE(f.query(k, 32));
+}
+
+TEST(CountingBloom, CountersTrackMultiplicity)
+{
+    CountingBloomFilter f(64, 2, 4, 5);
+    Key128 k = Key128::fromIpv4(42);
+    f.insert(k, 32);
+    f.insert(k, 32);
+    auto locs = f.locations(k, 32);
+    for (size_t loc : locs)
+        EXPECT_GE(f.counterAt(loc), 2u);
+    f.remove(k, 32);
+    EXPECT_TRUE(f.query(k, 32));
+}
+
+TEST(CountingBloom, SaturationIsCountedNotWrapped)
+{
+    CountingBloomFilter f(8, 1, 2, 6);   // 2-bit counters: max 3.
+    Key128 k = Key128::fromIpv4(1);
+    for (int i = 0; i < 10; ++i)
+        f.insert(k, 32);
+    EXPECT_GT(f.saturations(), 0u);
+    auto locs = f.locations(k, 32);
+    EXPECT_LE(f.counterAt(locs[0]), 3u);
+}
+
+TEST(CountingBloom, StorageBits)
+{
+    CountingBloomFilter f(1000, 3, 4, 7);
+    EXPECT_EQ(f.storageBits(), 4000u);
+}
+
+// ---- Equation 3 analysis ------------------------------------------------
+
+TEST(Analysis, PaperDesignPointIsTiny)
+{
+    // Section 4.1: k=3, m/n=3 at LPM scales gives P(fail) of about
+    // 1-in-10-million or smaller.
+    double p = bloomierSetupFailureBound(256 * 1024, 3 * 256 * 1024, 3);
+    EXPECT_LT(p, 1e-6);
+    EXPECT_GT(p, 1e-12);
+}
+
+TEST(Analysis, FailureDecreasesWithK)
+{
+    size_t n = 256 * 1024, m = 3 * n;
+    double prev = 1.0;
+    for (unsigned k = 2; k <= 7; ++k) {
+        double p = bloomierSetupFailureBound(n, m, k);
+        EXPECT_LT(p, prev) << "k=" << k;
+        prev = p;
+    }
+}
+
+TEST(Analysis, FailureDecreasesWithN)
+{
+    // Figure 3's key observation: P(fail) falls as n grows.
+    double prev = 1.0;
+    for (size_t n = 1 << 16; n <= (1 << 21); n <<= 1) {
+        double p = bloomierSetupFailureBound(n, 3 * n, 3);
+        EXPECT_LT(p, prev) << "n=" << n;
+        prev = p;
+    }
+}
+
+TEST(Analysis, FailureDecreasesWithRatio)
+{
+    size_t n = 256 * 1024;
+    double p3 = bloomierSetupFailureBound(n, 3 * n, 3);
+    double p6 = bloomierSetupFailureBound(n, 6 * n, 3);
+    EXPECT_LT(p6, p3);
+}
+
+TEST(Analysis, Log10MatchesLinearWhereRepresentable)
+{
+    size_t n = 100000, m = 3 * n;
+    double p = bloomierSetupFailureBound(n, m, 3);
+    double lg = bloomierSetupFailureBoundLog10(n, m, 3);
+    EXPECT_NEAR(std::log10(p), lg, 1e-6);
+}
+
+TEST(Analysis, RepeatedFailureCompounds)
+{
+    // Section 4.1: failing 1,2,3,4 consecutive times is ~1e-14,
+    // 1e-21, 1e-28, 1e-35 — each attempt multiplies the exponent.
+    size_t n = 256 * 1024, m = 3 * n;
+    double l1 = bloomierSetupFailureBoundLog10(n, m, 3);
+    double p2 = repeatedFailureProbability(n, m, 3, 2);
+    EXPECT_NEAR(std::log10(p2), 2 * l1, 1e-6);
+}
+
+} // anonymous namespace
+} // namespace chisel

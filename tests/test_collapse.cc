@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the prefix-collapse planner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/collapse.hh"
+
+namespace chisel {
+namespace {
+
+TEST(Collapse, GreedyFromShortestPopulated)
+{
+    // Section 4.3.3's algorithm: open a cell at the shortest
+    // populated length; absorb lengths within the stride.
+    auto plan = makeCollapsePlan({8, 9, 10, 11, 12, 16, 24},
+                                 4, 32, false);
+    ASSERT_EQ(plan.cells.size(), 3u);
+    EXPECT_EQ(plan.cells[0], (CellRange{8, 12, false}));
+    EXPECT_EQ(plan.cells[1], (CellRange{16, 16, false}));
+    EXPECT_EQ(plan.cells[2], (CellRange{24, 24, false}));
+}
+
+TEST(Collapse, FullBgpTableGetsPaperCellCount)
+{
+    // A real BGP table populates every length 8..32: with stride 4
+    // that is 5 greedy cells — plus short filler, the 7-sub-cell
+    // arrangement of the paper's experiments.
+    std::vector<unsigned> populated;
+    for (unsigned l = 8; l <= 32; ++l)
+        populated.push_back(l);
+    auto plan = makeCollapsePlan(populated, 4, 32, true);
+    size_t greedy = 0;
+    for (const auto &c : plan.cells)
+        greedy += !c.filler;
+    EXPECT_EQ(greedy, 5u);
+    EXPECT_EQ(plan.cells.size(), 7u);   // + [1-5] and [6-7] filler.
+}
+
+TEST(Collapse, CoverAllLengthsLeavesNoGaps)
+{
+    auto plan = makeCollapsePlan({8, 24}, 4, 32, true);
+    for (unsigned l = 1; l <= 32; ++l)
+        EXPECT_GE(plan.cellFor(l), 0) << "uncovered length " << l;
+    EXPECT_EQ(plan.cellFor(0), -1);
+    EXPECT_EQ(plan.cellFor(33), -1);
+}
+
+TEST(Collapse, RangesDisjointAndOrdered)
+{
+    auto plan = makeCollapsePlan({3, 9, 10, 17, 30}, 4, 32, true);
+    for (size_t i = 1; i < plan.cells.size(); ++i) {
+        EXPECT_GT(plan.cells[i].base, plan.cells[i - 1].top);
+        EXPECT_EQ(plan.cells[i].base, plan.cells[i - 1].top + 1);
+    }
+    EXPECT_EQ(plan.cells.front().base, 1u);
+    EXPECT_EQ(plan.cells.back().top, 32u);
+}
+
+TEST(Collapse, CellWidthBoundedByStride)
+{
+    for (unsigned stride = 1; stride <= 8; ++stride) {
+        auto plan = makeCollapsePlan({1, 5, 9, 12, 20, 32}, stride,
+                                     32, true);
+        for (const auto &c : plan.cells) {
+            EXPECT_LE(c.top - c.base, stride)
+                << "stride=" << stride << " " << plan.str();
+        }
+    }
+}
+
+TEST(Collapse, Ipv6Coverage)
+{
+    std::vector<unsigned> populated = {16, 32, 48, 64};
+    auto plan = makeCollapsePlan(populated, 4, 128, true);
+    for (unsigned l = 1; l <= 128; ++l)
+        EXPECT_GE(plan.cellFor(l), 0) << l;
+    for (unsigned l : populated) {
+        int c = plan.cellFor(l);
+        ASSERT_GE(c, 0);
+        EXPECT_FALSE(plan.cells[c].filler);
+    }
+}
+
+TEST(Collapse, IgnoresDefaultRouteLength)
+{
+    auto plan = makeCollapsePlan({0, 8}, 4, 32, false);
+    ASSERT_EQ(plan.cells.size(), 1u);
+    EXPECT_EQ(plan.cells[0].base, 8u);
+}
+
+TEST(Collapse, RejectsBadParameters)
+{
+    EXPECT_THROW(makeCollapsePlan({8}, 0, 32, true), ChiselError);
+    EXPECT_THROW(makeCollapsePlan({8}, 17, 32, true), ChiselError);
+    EXPECT_THROW(makeCollapsePlan({40}, 4, 32, true), ChiselError);
+}
+
+TEST(Collapse, StrPrintsRanges)
+{
+    auto plan = makeCollapsePlan({8, 12}, 4, 32, false);
+    EXPECT_EQ(plan.str(), "[8-12]");
+}
+
+} // anonymous namespace
+} // namespace chisel

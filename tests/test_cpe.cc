@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit tests for Controlled Prefix Expansion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "cpe/cpe.hh"
+#include "trie/binary_trie.hh"
+
+namespace chisel {
+namespace {
+
+TEST(Cpe, UniformTargets)
+{
+    auto t = uniformTargetLengths(8, 32);
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0], 8u);
+    EXPECT_EQ(t[3], 32u);
+
+    auto odd = uniformTargetLengths(5, 32);
+    EXPECT_EQ(odd.back(), 32u);
+}
+
+TEST(Cpe, TargetsForPopulatedLengthsMirrorCollapse)
+{
+    std::vector<unsigned> populated = {8, 9, 10, 16, 17, 24};
+    auto t = targetsForPopulatedLengths(populated, 4);
+    // Greedy intervals: [8..12] -> top 10; [16..20] -> 17; [24..] -> 24.
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[0], 10u);
+    EXPECT_EQ(t[1], 17u);
+    EXPECT_EQ(t[2], 24u);
+}
+
+TEST(Cpe, ExpansionCountIsPowerOfTwoPerPrefix)
+{
+    RoutingTable t;
+    t.add(Prefix::fromBitString("1011"), 7);   // Length 4 -> 8: x16.
+    auto r = expand(t, {8});
+    EXPECT_EQ(r.originalCount, 1u);
+    EXPECT_EQ(r.expandedCount, 16u);
+    EXPECT_DOUBLE_EQ(r.expansionFactor(), 16.0);
+    for (const auto &route : r.expanded.routes()) {
+        EXPECT_EQ(route.prefix.length(), 8u);
+        EXPECT_EQ(route.nextHop, 7u);
+        EXPECT_TRUE(Prefix::fromBitString("1011").covers(route.prefix));
+    }
+}
+
+TEST(Cpe, TargetLengthPrefixNotExpanded)
+{
+    RoutingTable t;
+    t.add(Prefix::fromBitString("10110101"), 3);
+    auto r = expand(t, {8});
+    EXPECT_EQ(r.expandedCount, 1u);
+}
+
+TEST(Cpe, LongerOriginalWinsCollisions)
+{
+    // 10* (nh 1) expands over 1011*'s host space (nh 2): the entries
+    // under 1011 must keep next hop 2 (LPM semantics).
+    RoutingTable t;
+    t.add(Prefix::fromBitString("10"), 1);
+    t.add(Prefix::fromBitString("1011"), 2);
+    auto r = expand(t, {4});
+    EXPECT_EQ(*r.expanded.find(Prefix::fromBitString("1011")), 2u);
+    EXPECT_EQ(*r.expanded.find(Prefix::fromBitString("1010")), 1u);
+    EXPECT_EQ(*r.expanded.find(Prefix::fromBitString("1000")), 1u);
+}
+
+TEST(Cpe, ExpansionPreservesLpmSemantics)
+{
+    // Expanded table must route every key exactly like the original.
+    RoutingTable t;
+    t.add(Prefix::fromBitString("1"), 1);
+    t.add(Prefix::fromBitString("101"), 2);
+    t.add(Prefix::fromBitString("10110"), 3);
+    t.add(Prefix::fromBitString("0110"), 4);
+    t.add(Prefix::fromBitString("011010"), 5);
+
+    auto r = expand(t, {3, 6});
+    BinaryTrie original(t), expanded(r.expanded);
+
+    for (uint32_t v = 0; v < 64; ++v) {
+        Key128 key;
+        key.deposit(0, 6, v);
+        auto a = original.lookup(key, 6);
+        auto b = expanded.lookup(key, 6);
+        ASSERT_EQ(a.has_value(), b.has_value()) << v;
+        if (a)
+            EXPECT_EQ(a->nextHop, b->nextHop) << v;
+    }
+}
+
+TEST(Cpe, WorstCaseFactor)
+{
+    EXPECT_EQ(worstCaseExpansionFactor({8, 16, 24, 32}, 32),
+              uint64_t(1) << 7);
+    EXPECT_EQ(worstCaseExpansionFactor({4, 8}, 8), uint64_t(1) << 3);
+    EXPECT_EQ(worstCaseExpansionFactor({1, 2, 3}, 3), 1u);
+}
+
+TEST(Cpe, RejectsPrefixBeyondTargets)
+{
+    RoutingTable t;
+    t.add(Prefix::fromCidr("10.0.0.0/24"), 1);
+    EXPECT_THROW(expand(t, {16}), ChiselError);
+}
+
+namespace {
+
+/** Brute-force optimal expansion cost over all target subsets. */
+double
+bruteForceBestCost(const RoutingTable &table, unsigned levels)
+{
+    auto hist = table.lengthHistogram();
+    unsigned max_len = table.maxLength();
+    double best = 1e300;
+
+    // Enumerate subsets of {1..max_len} of size <= levels that
+    // include max_len (only feasible for small max_len).
+    std::vector<unsigned> lens;
+    for (unsigned l = 1; l <= max_len; ++l)
+        lens.push_back(l);
+
+    for (uint32_t mask = 0; mask < (1u << lens.size()); ++mask) {
+        if (!(mask & (1u << (max_len - 1))))
+            continue;
+        std::vector<unsigned> targets;
+        for (size_t i = 0; i < lens.size(); ++i) {
+            if (mask & (1u << i))
+                targets.push_back(lens[i]);
+        }
+        if (targets.empty() || targets.size() > levels)
+            continue;
+        double cost = 0;
+        for (unsigned l = 1; l <= max_len; ++l) {
+            auto it = std::lower_bound(targets.begin(),
+                                       targets.end(), l);
+            cost += static_cast<double>(hist[l]) *
+                    static_cast<double>(uint64_t(1) << (*it - l));
+        }
+        best = std::min(best, cost);
+    }
+    return best;
+}
+
+double
+costOf(const RoutingTable &table,
+       const std::vector<unsigned> &targets)
+{
+    auto hist = table.lengthHistogram();
+    double cost = 0;
+    for (unsigned l = 1; l <= table.maxLength(); ++l) {
+        auto it = std::lower_bound(targets.begin(), targets.end(), l);
+        cost += static_cast<double>(hist[l]) *
+                static_cast<double>(uint64_t(1) << (*it - l));
+    }
+    return cost;
+}
+
+} // anonymous namespace
+
+TEST(CpeOptimal, MatchesBruteForceOnSmallTables)
+{
+    // Exhaustive check: the DP must equal the brute-force optimum
+    // over all target subsets (max length 8 keeps 2^8 subsets).
+    Rng rng(61);
+    for (int trial = 0; trial < 10; ++trial) {
+        RoutingTable t;
+        for (int i = 0; i < 40; ++i) {
+            unsigned len = static_cast<unsigned>(rng.nextRange(1, 8));
+            t.add(Prefix(Key128(rng.next64(), 0), len), 1);
+        }
+        for (unsigned levels = 1; levels <= 4; ++levels) {
+            auto targets = optimalTargetLengths(t, levels);
+            ASSERT_LE(targets.size(), levels);
+            ASSERT_EQ(targets.back(), t.maxLength());
+            EXPECT_DOUBLE_EQ(costOf(t, targets),
+                             bruteForceBestCost(t, levels))
+                << "trial " << trial << " levels " << levels;
+        }
+    }
+}
+
+TEST(CpeOptimal, PicksTheMassiveLength)
+{
+    // A table dominated by /24s: any optimal target set includes 24.
+    RoutingTable t;
+    for (uint32_t i = 0; i < 200; ++i)
+        t.add(Prefix::ipv4(i << 8, 24), 1);
+    t.add(Prefix::ipv4(0x0A000000, 8), 2);
+    t.add(Prefix::ipv4(0xC0000000, 32), 3);
+    auto targets = optimalTargetLengths(t, 3);
+    EXPECT_NE(std::find(targets.begin(), targets.end(), 24u),
+              targets.end());
+    EXPECT_EQ(targets.back(), 32u);
+}
+
+TEST(CpeOptimal, MoreLevelsNeverWorse)
+{
+    RoutingTable t = [] {
+        RoutingTable x;
+        Rng rng(62);
+        for (int i = 0; i < 200; ++i) {
+            unsigned len = static_cast<unsigned>(rng.nextRange(4, 24));
+            x.add(Prefix(Key128(rng.next64(), 0), len), 1);
+        }
+        return x;
+    }();
+    double prev = 1e300;
+    for (unsigned levels = 1; levels <= 8; ++levels) {
+        auto targets = optimalTargetLengths(t, levels);
+        double c = costOf(t, targets);
+        EXPECT_LE(c, prev + 1e-9) << levels;
+        prev = c;
+    }
+}
+
+TEST(Cpe, AverageFactorOnRealisticMix)
+{
+    // A /16-heavy table expanded to {16, 24, 32} style targets should
+    // expand only modestly — the paper's ~2.5x average observation.
+    RoutingTable t;
+    for (uint32_t i = 0; i < 64; ++i) {
+        t.add(Prefix::ipv4(i << 16, 16), 1);
+        t.add(Prefix::ipv4((i << 16) | (i << 8), 24), 2);
+    }
+    for (uint32_t i = 0; i < 16; ++i)
+        t.add(Prefix::ipv4(0x0A000000 + (i << 10), 22), 3);
+
+    auto r = expand(t, uniformTargetLengths(8, 32));
+    EXPECT_LT(r.expansionFactor(), 4.0);
+    EXPECT_GE(r.expansionFactor(), 1.0);
+}
+
+} // anonymous namespace
+} // namespace chisel

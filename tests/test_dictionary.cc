@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the content-search dictionary (the Section 8 "generic
+ * content searches" extension), including a naive-scan oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "match/dictionary.hh"
+
+namespace chisel {
+namespace {
+
+TEST(Dictionary, AddQueryRemove)
+{
+    ChiselDictionary d(4, 64);
+    auto id = d.add("EVIL");
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(d.size(), 1u);
+
+    auto q = d.query("EVIL");
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(*q, *id);
+    EXPECT_FALSE(d.query("GOOD").has_value());
+    EXPECT_FALSE(d.query("EVI").has_value());   // Wrong length.
+
+    EXPECT_TRUE(d.remove("EVIL"));
+    EXPECT_FALSE(d.query("EVIL").has_value());
+    EXPECT_FALSE(d.remove("EVIL"));
+    EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(Dictionary, DuplicateAddRejected)
+{
+    ChiselDictionary d(4, 64);
+    ASSERT_TRUE(d.add("ABCD").has_value());
+    EXPECT_FALSE(d.add("ABCD").has_value());
+    EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(Dictionary, CapacityExhaustion)
+{
+    ChiselDictionary d(4, 4);
+    int placed = 0;
+    for (char c = 'a'; c < 'a' + 8; ++c) {
+        std::string p = {c, c, c, c};
+        placed += d.add(p).has_value();
+    }
+    EXPECT_EQ(placed, 4);
+    EXPECT_EQ(d.size(), 4u);
+}
+
+TEST(Dictionary, ScanFindsAllOccurrences)
+{
+    ChiselDictionary d(4, 64);
+    d.add("ROOT");
+    d.add("PASS");
+
+    std::string payload =
+        "xxROOTyyPASSzzROOT and PASSword but not PAS.";
+    std::vector<DictionaryMatch> matches;
+    auto stats = d.scan(payload, matches);
+
+    // Naive oracle.
+    std::vector<DictionaryMatch> expected;
+    for (size_t i = 0; i + 4 <= payload.size(); ++i) {
+        std::string w = payload.substr(i, 4);
+        if (w == "ROOT")
+            expected.push_back({i, *d.query("ROOT")});
+        else if (w == "PASS")
+            expected.push_back({i, *d.query("PASS")});
+    }
+    EXPECT_EQ(matches, expected);
+    EXPECT_EQ(stats.matches, expected.size());
+    EXPECT_EQ(stats.windows, payload.size() - 3);
+}
+
+TEST(Dictionary, ScanMatchesNaiveOracleOnRandomData)
+{
+    const unsigned w = 8;
+    ChiselDictionary d(w, 256);
+    Rng rng(0xD1C);
+
+    // 100 random printable patterns.
+    std::vector<std::string> patterns;
+    for (int i = 0; i < 100; ++i) {
+        std::string p;
+        for (unsigned j = 0; j < w; ++j)
+            p.push_back(static_cast<char>('A' + rng.nextBelow(26)));
+        if (d.add(p).has_value())
+            patterns.push_back(p);
+    }
+
+    // Random payload with some patterns spliced in.
+    std::string payload;
+    for (int i = 0; i < 5000; ++i)
+        payload.push_back(static_cast<char>('A' + rng.nextBelow(26)));
+    for (int i = 0; i < 40; ++i) {
+        size_t pos = rng.nextBelow(payload.size() - w);
+        const std::string &p =
+            patterns[rng.nextBelow(patterns.size())];
+        payload.replace(pos, w, p);
+    }
+
+    std::vector<DictionaryMatch> matches;
+    auto stats = d.scan(payload, matches);
+
+    // Naive oracle.
+    size_t expected = 0;
+    for (size_t i = 0; i + w <= payload.size(); ++i) {
+        std::string win = payload.substr(i, w);
+        bool hit = false;
+        for (const auto &p : patterns)
+            hit = hit || p == win;
+        if (hit) {
+            ++expected;
+            // Must appear in matches at this offset.
+            bool found = false;
+            for (const auto &m : matches)
+                found = found || m.offset == i;
+            EXPECT_TRUE(found) << i;
+        }
+    }
+    EXPECT_EQ(stats.matches, expected);
+    EXPECT_GE(matches.size(), 40u);   // At least the spliced ones.
+}
+
+TEST(Dictionary, PreFilterScreensMostWindows)
+{
+    // The cost claim: on benign traffic nearly every window dies at
+    // the on-chip pre-filter, like LPM misses.
+    ChiselDictionary d(8, 128);
+    Rng rng(0xD1D);
+    for (int i = 0; i < 100; ++i) {
+        std::string p;
+        for (int j = 0; j < 8; ++j)
+            p.push_back(static_cast<char>(rng.nextBelow(256)));
+        d.add(p);
+    }
+    std::string payload;
+    for (int i = 0; i < 20000; ++i)
+        payload.push_back(static_cast<char>('a' + rng.nextBelow(26)));
+
+    std::vector<DictionaryMatch> matches;
+    auto stats = d.scan(payload, matches);
+    EXPECT_EQ(stats.matches, 0u);
+    EXPECT_LT(static_cast<double>(stats.bloomPositives),
+              0.01 * static_cast<double>(stats.windows));
+}
+
+TEST(Dictionary, BinaryPatternsSupported)
+{
+    ChiselDictionary d(4, 16);
+    std::string p1 = {'\x00', '\xff', '\x00', '\xff'};
+    std::string p2 = {'\x90', '\x90', '\x90', '\x90'};   // NOP sled.
+    ASSERT_TRUE(d.add(p1).has_value());
+    ASSERT_TRUE(d.add(p2).has_value());
+    std::string payload = std::string("ab") + p2 + p1;
+    std::vector<DictionaryMatch> matches;
+    d.scan(payload, matches);
+    ASSERT_EQ(matches.size(), 2u);
+    EXPECT_EQ(matches[0].offset, 2u);
+    EXPECT_EQ(matches[1].offset, 6u);
+}
+
+TEST(Dictionary, RejectsBadWindow)
+{
+    EXPECT_THROW(ChiselDictionary(0, 16), ChiselError);
+    EXPECT_THROW(ChiselDictionary(17, 16), ChiselError);
+    ChiselDictionary d(4, 16);
+    EXPECT_THROW(d.add("TOOLONG"), ChiselError);
+}
+
+TEST(Dictionary, StorageAccounted)
+{
+    ChiselDictionary d(8, 1024);
+    EXPECT_GT(d.storageBits(), 0u);
+    // Dominated by Index + stored patterns, both linear in capacity.
+    EXPECT_LT(d.storageBits(), 1024ull * 1000);
+}
+
+} // anonymous namespace
+} // namespace chisel

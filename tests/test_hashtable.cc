@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit tests for the hash-table baselines: chained, d-random/d-left,
+ * and the Extended Bloom Filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "hashtable/chained.hh"
+#include "hashtable/dleft.hh"
+#include "hashtable/ebf.hh"
+
+namespace chisel {
+namespace {
+
+TEST(Chained, InsertFindErase)
+{
+    ChainedHashTable t(64, 32, 1);
+    Key128 k = Key128::fromIpv4(0x0A000001);
+    EXPECT_TRUE(t.insert(k, 5));
+    EXPECT_FALSE(t.insert(k, 6));   // Overwrite.
+    ASSERT_TRUE(t.find(k).has_value());
+    EXPECT_EQ(*t.find(k), 6u);
+    EXPECT_TRUE(t.erase(k));
+    EXPECT_FALSE(t.erase(k));
+    EXPECT_FALSE(t.find(k).has_value());
+}
+
+TEST(Chained, ChainsFormUnderLoad)
+{
+    // 4x overload: chains must appear — the unpredictability Chisel
+    // eliminates.
+    ChainedHashTable t(64, 32, 2);
+    for (uint32_t i = 0; i < 256; ++i)
+        t.insert(Key128::fromIpv4(i), i);
+    EXPECT_EQ(t.size(), 256u);
+    EXPECT_GT(t.maxChainLength(), 1u);
+    EXPECT_GT(t.averageProbes(), 1.0);
+    for (uint32_t i = 0; i < 256; ++i)
+        EXPECT_EQ(*t.find(Key128::fromIpv4(i)), i);
+}
+
+TEST(Chained, ProbeCountReported)
+{
+    ChainedHashTable t(1, 32, 3);   // Everything in one bucket.
+    for (uint32_t i = 0; i < 10; ++i)
+        t.insert(Key128::fromIpv4(i), i);
+    size_t probes = 0;
+    t.find(Key128::fromIpv4(9), &probes);
+    EXPECT_GE(probes, 1u);
+    EXPECT_LE(probes, 10u);
+    EXPECT_EQ(t.maxChainLength(), 10u);
+}
+
+TEST(MultiChoice, DLeftBalancesLoad)
+{
+    MultiChoiceHashTable d(256, 3, 4,
+                           MultiChoiceHashTable::Mode::DLeft, 32, 4);
+    MultiChoiceHashTable naive(256, 1, 4,
+                               MultiChoiceHashTable::Mode::DLeft, 32, 4);
+    for (uint32_t i = 0; i < 200; ++i) {
+        d.insert(Key128::fromIpv4(i), i);
+        naive.insert(Key128::fromIpv4(i), i);
+    }
+    // d choices give a visibly flatter load profile.
+    EXPECT_LE(d.maxLoad(), naive.maxLoad());
+    for (uint32_t i = 0; i < 200; ++i)
+        EXPECT_EQ(*d.find(Key128::fromIpv4(i)), i);
+}
+
+TEST(MultiChoice, DRandomAlsoWorks)
+{
+    MultiChoiceHashTable t(128, 2, 4,
+                           MultiChoiceHashTable::Mode::DRandom, 32, 5);
+    for (uint32_t i = 0; i < 100; ++i)
+        EXPECT_TRUE(t.insert(Key128::fromIpv4(i), i));
+    for (uint32_t i = 0; i < 100; ++i)
+        EXPECT_EQ(*t.find(Key128::fromIpv4(i)), i);
+    EXPECT_EQ(t.overflows(), 0u);
+}
+
+TEST(MultiChoice, OverflowDetected)
+{
+    MultiChoiceHashTable t(2, 1, 1,
+                           MultiChoiceHashTable::Mode::DLeft, 32, 6);
+    int inserted = 0;
+    for (uint32_t i = 0; i < 10; ++i)
+        inserted += t.insert(Key128::fromIpv4(i), i);
+    EXPECT_LE(inserted, 2);
+    EXPECT_GT(t.overflows(), 0u);
+}
+
+TEST(MultiChoice, InsertOverwritesExisting)
+{
+    MultiChoiceHashTable t(64, 2, 4,
+                           MultiChoiceHashTable::Mode::DLeft, 32, 7);
+    Key128 k = Key128::fromIpv4(99);
+    t.insert(k, 1);
+    t.insert(k, 2);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(*t.find(k), 2u);
+}
+
+// ---- Extended Bloom Filter ----------------------------------------------
+
+TEST(Ebf, InsertFindErase)
+{
+    ExtendedBloomFilter f(256, ebfPaperConfig(32));
+    Key128 k = Key128::fromIpv4(0xC0A80001);
+    f.insert(k, 9);
+    ASSERT_TRUE(f.find(k).has_value());
+    EXPECT_EQ(*f.find(k), 9u);
+    EXPECT_TRUE(f.erase(k));
+    EXPECT_FALSE(f.find(k).has_value());
+    EXPECT_FALSE(f.erase(k));
+}
+
+TEST(Ebf, OnChipFilterScreensMisses)
+{
+    ExtendedBloomFilter f(512, ebfPaperConfig(32));
+    Rng rng(8);
+    for (int i = 0; i < 400; ++i)
+        f.insert(Key128(rng.next64(), 0).masked(32), i);
+    // A miss should usually be answered by the CBF with zero
+    // off-chip probes.
+    size_t zero_probe_misses = 0;
+    int misses = 0;
+    for (int i = 0; i < 1000; ++i) {
+        Key128 k = Key128(rng.next64(), 0).masked(32);
+        size_t probes = 99;
+        if (!f.find(k, &probes).has_value()) {
+            ++misses;
+            zero_probe_misses += probes == 0;
+        }
+    }
+    ASSERT_GT(misses, 900);
+    EXPECT_GT(zero_probe_misses, misses * 9 / 10);
+}
+
+TEST(Ebf, PaperDesignPointHasRareCollisions)
+{
+    // At 12.8N the paper quotes ~1-in-2M key collisions; with 4K keys
+    // we should essentially never see a collided bucket.
+    ExtendedBloomFilter f(4096, ebfPaperConfig(32));
+    Rng rng(9);
+    for (int i = 0; i < 4096; ++i)
+        f.insert(Key128(rng.next64(), rng.next64()).masked(32), i);
+    EXPECT_LT(f.collisionRate(), 0.01);
+}
+
+TEST(Ebf, PoorConfigCollidesMore)
+{
+    EbfConfig poor = poorEbfPaperConfig(32);
+    EbfConfig good = ebfPaperConfig(32);
+    ExtendedBloomFilter fp(8192, poor), fg(8192, good);
+    Rng rng(10);
+    for (int i = 0; i < 8192; ++i) {
+        Key128 k(rng.next64(), rng.next64());
+        fp.insert(k.masked(32), i);
+        fg.insert(k.masked(32), i);
+    }
+    EXPECT_GE(fp.collisionRate(), fg.collisionRate());
+}
+
+TEST(Ebf, StorageModelMatchesPaperRatios)
+{
+    // Figure 8's claim: Chisel total (86n bits at 256K) is ~8x
+    // smaller than EBF total and ~4x smaller than poor-EBF.
+    size_t n = 256 * 1024;
+    auto [on_e, off_e] =
+        ExtendedBloomFilter::storageModel(n, ebfPaperConfig(32));
+    auto [on_p, off_p] =
+        ExtendedBloomFilter::storageModel(n, poorEbfPaperConfig(32));
+    uint64_t chisel_bits =
+        3ull * n * 18 + static_cast<uint64_t>(n) * 34;
+    double ebf_ratio =
+        static_cast<double>(on_e + off_e) / chisel_bits;
+    double poor_ratio =
+        static_cast<double>(on_p + off_p) / chisel_bits;
+    EXPECT_GT(ebf_ratio, 6.0);
+    EXPECT_LT(ebf_ratio, 10.0);
+    EXPECT_GT(poor_ratio, 3.0);
+    EXPECT_LT(poor_ratio, 5.0);
+}
+
+TEST(Ebf, BulkBuildFindsEveryKey)
+{
+    // The paper's two-pass construction: counters for all keys
+    // first, then min-counter placement.  Every key must then be
+    // found in its min-counter bucket with no fallback probing.
+    ExtendedBloomFilter f(4096, ebfPaperConfig(64));
+    Rng rng(11);
+    std::vector<std::pair<Key128, uint32_t>> entries;
+    for (uint32_t i = 0; i < 4096; ++i)
+        entries.emplace_back(Key128(rng.next64(), rng.next64()),
+                             i);
+    f.bulkBuild(entries);
+    EXPECT_EQ(f.size(), entries.size());
+    for (const auto &[k, v] : entries) {
+        size_t probes = 0;
+        auto hit = f.find(k, &probes);
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_EQ(*hit, v);
+        // Stable min-counter choice: the first probed bucket holds
+        // the key, and almost always as its only occupant.
+        EXPECT_LE(probes, 4u);
+    }
+}
+
+TEST(Ebf, OnlineInsertStillFoundViaFallback)
+{
+    // Online inserts can shift other keys' min-counter location;
+    // the fallback path must still find every key.
+    ExtendedBloomFilter f(2048, ebfPaperConfig(64));
+    Rng rng(12);
+    std::vector<std::pair<Key128, uint32_t>> entries;
+    for (uint32_t i = 0; i < 2048; ++i) {
+        Key128 k(rng.next64(), rng.next64());
+        f.insert(k, i);
+        entries.emplace_back(k, i);
+    }
+    for (const auto &[k, v] : entries) {
+        auto hit = f.find(k);
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_EQ(*hit, v);
+    }
+}
+
+TEST(Ebf, BulkBuildReplacesPriorContent)
+{
+    ExtendedBloomFilter f(64, ebfPaperConfig(32));
+    f.insert(Key128::fromIpv4(1), 100);
+    f.bulkBuild({{Key128::fromIpv4(2), 200}});
+    EXPECT_EQ(f.size(), 1u);
+    EXPECT_FALSE(f.find(Key128::fromIpv4(1)).has_value());
+    ASSERT_TRUE(f.find(Key128::fromIpv4(2)).has_value());
+    EXPECT_EQ(*f.find(Key128::fromIpv4(2)), 200u);
+}
+
+TEST(Ebf, InstanceStorageMatchesModel)
+{
+    ExtendedBloomFilter f(1000, ebfPaperConfig(32));
+    auto [on, off] =
+        ExtendedBloomFilter::storageModel(1000, ebfPaperConfig(32));
+    EXPECT_EQ(f.onChipBits(), on);
+    EXPECT_EQ(f.offChipBits(), off);
+}
+
+} // anonymous namespace
+} // namespace chisel

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * End-to-end integration tests: long update-trace replays against
+ * the oracle, failure injection (forced spills and resetups), cross
+ * verification of every LPM engine on the same workload, and IPv6
+ * churn.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/engine.hh"
+#include "lpm/bloom_lpm.hh"
+#include "lpm/ebf_cpe_lpm.hh"
+#include "lpm/waldvogel.hh"
+#include "route/synth.hh"
+#include "route/updates.hh"
+#include "tcam/tcam.hh"
+#include "trie/binary_trie.hh"
+#include "trie/tree_bitmap.hh"
+
+namespace chisel {
+namespace {
+
+TEST(Integration, FullTraceReplayStaysOracleEquivalent)
+{
+    RoutingTable table = generateScaledTable(30000, 32, 301);
+    ChiselEngine engine(table);
+    RoutingTable truth = table;
+
+    auto prof = standardTraceProfiles()[2];   // rrc11.
+    UpdateTraceGenerator gen(table, prof, 32, 302);
+
+    // Interleave updates with spot lookups and periodic deep checks.
+    Rng rng(303);
+    for (int round = 0; round < 20; ++round) {
+        for (int i = 0; i < 2500; ++i) {
+            Update u = gen.next();
+            engine.apply(u);
+            if (u.kind == UpdateKind::Announce)
+                truth.add(u.prefix, u.nextHop);
+            else
+                truth.remove(u.prefix);
+        }
+        ASSERT_EQ(engine.routeCount(), truth.size())
+            << "round " << round;
+
+        BinaryTrie oracle(truth);
+        auto keys = generateLookupKeys(truth, 500, 32, 0.7,
+                                       rng.next64());
+        for (const auto &key : keys) {
+            auto a = oracle.lookup(key, 32);
+            auto b = engine.lookup(key);
+            ASSERT_EQ(a.has_value(), b.found);
+            if (a)
+                ASSERT_EQ(a->nextHop, b.nextHop);
+        }
+    }
+    EXPECT_TRUE(engine.selfCheck());
+    EXPECT_GT(engine.updateStats().incrementalFraction(), 0.999);
+}
+
+TEST(Integration, AllEnginesAgreeOnNextHops)
+{
+    RoutingTable table = generateScaledTable(8000, 32, 304);
+    BinaryTrie oracle(table);
+    ChiselEngine chisel(table);
+    TreeBitmap tb(table, treeBitmapIpv4Config());
+    BloomLpm bloom(table);
+    BinarySearchLengths bsl(table);
+    EbfCpeLpm ebfcpe(table);
+    Tcam tcam;
+    for (const auto &r : table.routes())
+        tcam.insert(r.prefix, r.nextHop);
+
+    auto keys = generateLookupKeys(table, 4000, 32, 0.6, 305);
+    for (const auto &key : keys) {
+        auto o = oracle.lookup(key, 32);
+        bool found = o.has_value();
+        NextHop nh = found ? o->nextHop : kNoRoute;
+
+        auto c = chisel.lookup(key);
+        ASSERT_EQ(c.found, found);
+        if (found)
+            ASSERT_EQ(c.nextHop, nh);
+
+        auto t = tb.lookup(key);
+        ASSERT_EQ(t.found, found);
+        if (found)
+            ASSERT_EQ(t.nextHop, nh);
+
+        auto b = bloom.lookup(key);
+        ASSERT_EQ(b.found, found);
+        if (found)
+            ASSERT_EQ(b.nextHop, nh);
+
+        auto w = bsl.lookup(key);
+        ASSERT_EQ(w.found, found);
+        if (found)
+            ASSERT_EQ(w.nextHop, nh);
+
+        auto e = ebfcpe.lookup(key);
+        ASSERT_EQ(e.found, found);
+        if (found)
+            ASSERT_EQ(e.nextHop, nh);
+
+        auto m = tcam.lookup(key);
+        ASSERT_EQ(m.has_value(), found);
+        if (found)
+            ASSERT_EQ(m->nextHop, nh);
+    }
+}
+
+TEST(Integration, SpillStressStaysCorrect)
+{
+    // Deliberately starve the cells so groups constantly spill to
+    // the TCAM, then verify LPM answers and withdraw handling.
+    ChiselConfig cfg;
+    cfg.minCellCapacity = 8;
+    cfg.capacityHeadroom = 0.01;
+    RoutingTable table = generateScaledTable(3000, 32, 306);
+    ChiselEngine engine(table, cfg);
+    EXPECT_GT(engine.spillCount(), 0u);
+    EXPECT_TRUE(engine.spillOverCapacity());
+
+    BinaryTrie oracle(table);
+    auto keys = generateLookupKeys(table, 3000, 32, 0.7, 307);
+    for (const auto &key : keys) {
+        auto a = oracle.lookup(key, 32);
+        auto b = engine.lookup(key);
+        ASSERT_EQ(a.has_value(), b.found);
+        if (a)
+            ASSERT_EQ(a->nextHop, b.nextHop);
+    }
+
+    // Withdraw spilled routes too: both paths must work.
+    RoutingTable truth = table;
+    Rng rng(308);
+    auto routes = table.routes();
+    for (int i = 0; i < 1000; ++i) {
+        const Route &r = routes[rng.nextBelow(routes.size())];
+        engine.withdraw(r.prefix);
+        truth.remove(r.prefix);
+    }
+    BinaryTrie oracle2(truth);
+    for (const auto &key : keys) {
+        auto a = oracle2.lookup(key, 32);
+        auto b = engine.lookup(key);
+        ASSERT_EQ(a.has_value(), b.found);
+        if (a)
+            ASSERT_EQ(a->nextHop, b.nextHop);
+    }
+}
+
+TEST(Integration, AdversarialSameGroupChurn)
+{
+    // Hammer a single collapsed group with announce/withdraw of all
+    // its members, repeatedly — exercises dirty marking, result-block
+    // realloc and the flap path.
+    RoutingTable empty;
+    ChiselEngine engine(empty);
+    RoutingTable truth;
+
+    std::vector<Prefix> members;
+    for (uint64_t suffix = 0; suffix < 16; ++suffix)
+        members.push_back(
+            Prefix::fromCidr("10.0.0.0/24").extended(suffix, 4));
+    members.push_back(Prefix::fromCidr("10.0.0.0/24"));
+
+    Rng rng(309);
+    for (int step = 0; step < 5000; ++step) {
+        const Prefix &p = members[rng.nextBelow(members.size())];
+        if (rng.nextBool(0.55)) {
+            NextHop nh = static_cast<NextHop>(rng.nextBelow(50));
+            engine.announce(p, nh);
+            truth.add(p, nh);
+        } else {
+            engine.withdraw(p);
+            truth.remove(p);
+        }
+    }
+    EXPECT_TRUE(engine.selfCheck());
+    BinaryTrie oracle(truth);
+    for (uint32_t host = 0; host < 256; ++host) {
+        Key128 key = Key128::fromIpv4(0x0A000000 | host);
+        auto a = oracle.lookup(key, 32);
+        auto b = engine.lookup(key);
+        ASSERT_EQ(a.has_value(), b.found) << host;
+        if (a)
+            ASSERT_EQ(a->nextHop, b.nextHop) << host;
+    }
+}
+
+TEST(Integration, Ipv6ChurnAgainstOracle)
+{
+    SynthProfile prof;
+    prof.prefixes = 8000;
+    prof.keyWidth = 128;
+    prof.lengthWeights = defaultIpv4LengthWeights();
+    prof.seed = 310;
+    RoutingTable table = generateTable(prof);
+
+    ChiselConfig cfg;
+    cfg.keyWidth = 128;
+    ChiselEngine engine(table, cfg);
+    RoutingTable truth = table;
+
+    TraceProfile tp;
+    UpdateTraceGenerator gen(table, tp, 128, 311);
+    for (int i = 0; i < 20000; ++i) {
+        Update u = gen.next();
+        engine.apply(u);
+        if (u.kind == UpdateKind::Announce)
+            truth.add(u.prefix, u.nextHop);
+        else
+            truth.remove(u.prefix);
+    }
+    EXPECT_EQ(engine.routeCount(), truth.size());
+    EXPECT_TRUE(engine.selfCheck());
+
+    BinaryTrie oracle(truth);
+    auto keys = generateLookupKeys(truth, 3000, 128, 0.7, 312);
+    for (const auto &key : keys) {
+        auto a = oracle.lookup(key, 128);
+        auto b = engine.lookup(key);
+        ASSERT_EQ(a.has_value(), b.found);
+        if (a)
+            ASSERT_EQ(a->nextHop, b.nextHop);
+    }
+}
+
+TEST(Integration, RebuildInjectionKeepsEngineConsistent)
+{
+    // Tiny cells with zero headroom force frequent Bloomier
+    // rebuilds (Resetup class); the engine must stay consistent
+    // throughout.
+    ChiselConfig cfg;
+    cfg.minCellCapacity = 64;
+    cfg.capacityHeadroom = 1.0;
+    cfg.partitions = 4;
+    RoutingTable empty;
+    ChiselEngine engine(empty, cfg);
+    RoutingTable truth;
+    Rng rng(313);
+
+    for (int i = 0; i < 4000; ++i) {
+        unsigned len = static_cast<unsigned>(rng.nextRange(8, 28));
+        Prefix p(Key128(rng.next64(), 0), len);
+        NextHop nh = static_cast<NextHop>(rng.nextBelow(100));
+        engine.announce(p, nh);
+        truth.add(p, nh);
+    }
+    const auto &s = engine.updateStats();
+    EXPECT_GT(s.count(UpdateClass::Resetup) +
+                  s.count(UpdateClass::Spill), 0u);
+    EXPECT_EQ(engine.routeCount(), truth.size());
+    EXPECT_TRUE(engine.selfCheck());
+
+    BinaryTrie oracle(truth);
+    auto keys = generateLookupKeys(truth, 4000, 32, 0.7, 314);
+    for (const auto &key : keys) {
+        auto a = oracle.lookup(key, 32);
+        auto b = engine.lookup(key);
+        ASSERT_EQ(a.has_value(), b.found);
+        if (a)
+            ASSERT_EQ(a->nextHop, b.nextHop);
+    }
+}
+
+} // anonymous namespace
+} // namespace chisel

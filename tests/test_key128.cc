@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for Key128 bit addressing, extraction and masking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/key128.hh"
+#include "common/random.hh"
+
+namespace chisel {
+namespace {
+
+TEST(Key128, DefaultIsZero)
+{
+    Key128 k;
+    EXPECT_EQ(k.hi(), 0u);
+    EXPECT_EQ(k.lo(), 0u);
+    for (unsigned i = 0; i < 128; ++i)
+        EXPECT_FALSE(k.bit(i));
+}
+
+TEST(Key128, Ipv4RoundTrip)
+{
+    Key128 k = Key128::fromIpv4(0xC0A80001);   // 192.168.0.1
+    EXPECT_EQ(k.toIpv4(), 0xC0A80001u);
+    EXPECT_EQ(k.toIpv4String(), "192.168.0.1");
+    // The address occupies the top 32 bits.
+    EXPECT_TRUE(k.bit(0));    // 0xC0... starts with 1.
+    EXPECT_TRUE(k.bit(1));
+    EXPECT_FALSE(k.bit(2));
+    for (unsigned i = 32; i < 128; ++i)
+        EXPECT_FALSE(k.bit(i)) << i;
+}
+
+TEST(Key128, SetBitEveryPosition)
+{
+    for (unsigned pos = 0; pos < 128; ++pos) {
+        Key128 k;
+        k.setBit(pos, true);
+        for (unsigned i = 0; i < 128; ++i)
+            EXPECT_EQ(k.bit(i), i == pos) << "pos=" << pos << " i=" << i;
+        k.setBit(pos, false);
+        EXPECT_EQ(k, Key128());
+    }
+}
+
+TEST(Key128, ExtractWithinHigh)
+{
+    Key128 k(0xAABBCCDDEEFF0011ULL, 0x2233445566778899ULL);
+    EXPECT_EQ(k.extract(0, 8), 0xAAu);
+    EXPECT_EQ(k.extract(8, 8), 0xBBu);
+    EXPECT_EQ(k.extract(0, 64), 0xAABBCCDDEEFF0011ULL);
+    EXPECT_EQ(k.extract(4, 8), 0xABu);
+}
+
+TEST(Key128, ExtractWithinLow)
+{
+    Key128 k(0, 0x2233445566778899ULL);
+    EXPECT_EQ(k.extract(64, 8), 0x22u);
+    EXPECT_EQ(k.extract(120, 8), 0x99u);
+    EXPECT_EQ(k.extract(64, 64), 0x2233445566778899ULL);
+}
+
+TEST(Key128, ExtractStraddling)
+{
+    Key128 k(0x00000000000000FFULL, 0xF000000000000000ULL);
+    // Bits 56..71 are 0xFF 0xF0 -> 0xFFF0.
+    EXPECT_EQ(k.extract(56, 16), 0xFFF0u);
+    EXPECT_EQ(k.extract(60, 8), 0xFFu);
+}
+
+TEST(Key128, ExtractZeroCount)
+{
+    Key128 k(~0ULL, ~0ULL);
+    EXPECT_EQ(k.extract(13, 0), 0u);
+}
+
+TEST(Key128, DepositExtractRoundTripRandom)
+{
+    Rng rng(42);
+    for (int iter = 0; iter < 2000; ++iter) {
+        Key128 k(rng.next64(), rng.next64());
+        unsigned count = static_cast<unsigned>(rng.nextRange(1, 64));
+        unsigned pos = static_cast<unsigned>(
+            rng.nextBelow(128 - count + 1));
+        uint64_t value = rng.next64() &
+                         (count == 64 ? ~0ULL : ((1ULL << count) - 1));
+        Key128 before = k;
+        k.deposit(pos, count, value);
+        EXPECT_EQ(k.extract(pos, count), value);
+        // Bits outside the window are untouched.
+        if (pos > 0) {
+            EXPECT_EQ(k.extract(0, std::min(pos, 64u)),
+                      before.extract(0, std::min(pos, 64u)));
+        }
+        unsigned after = pos + count;
+        if (after < 128) {
+            unsigned tail = std::min(128 - after, 64u);
+            EXPECT_EQ(k.extract(after, tail),
+                      before.extract(after, tail));
+        }
+    }
+}
+
+TEST(Key128, MaskedKeepsTopBits)
+{
+    Key128 k(~0ULL, ~0ULL);
+    EXPECT_EQ(k.masked(0), Key128());
+    EXPECT_EQ(k.masked(128), k);
+    Key128 m = k.masked(65);
+    EXPECT_EQ(m.hi(), ~0ULL);
+    EXPECT_EQ(m.lo(), 0x8000000000000000ULL);
+    m = k.masked(1);
+    EXPECT_EQ(m.hi(), 0x8000000000000000ULL);
+    EXPECT_EQ(m.lo(), 0u);
+}
+
+TEST(Key128, MaskedIdempotentRandom)
+{
+    Rng rng(7);
+    for (int iter = 0; iter < 500; ++iter) {
+        Key128 k(rng.next64(), rng.next64());
+        unsigned len = static_cast<unsigned>(rng.nextBelow(129));
+        Key128 m = k.masked(len);
+        EXPECT_EQ(m.masked(len), m);
+        EXPECT_TRUE(m.matchesPrefix(k, len));
+    }
+}
+
+TEST(Key128, OrderingIsNumeric)
+{
+    EXPECT_LT(Key128(0, 1), Key128(0, 2));
+    EXPECT_LT(Key128(0, ~0ULL), Key128(1, 0));
+    EXPECT_LT(Key128(5, 9), Key128(6, 0));
+    EXPECT_EQ(Key128(3, 4), Key128(3, 4));
+}
+
+TEST(Key128, BitStringRendering)
+{
+    Key128 k;
+    k.setBit(1, true);
+    k.setBit(4, true);
+    EXPECT_EQ(k.toBitString(5), "01001");
+    EXPECT_EQ(k.toBitString(0), "");
+}
+
+TEST(Key128, XorOperator)
+{
+    Key128 a(0xF0F0, 0x1111);
+    Key128 b(0x0F0F, 0x1111);
+    Key128 c = a ^ b;
+    EXPECT_EQ(c.hi(), 0xFFFFull);
+    EXPECT_EQ(c.lo(), 0u);
+}
+
+} // anonymous namespace
+} // namespace chisel

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the storage, power, eDRAM and FPGA models — including the
+ * calibration assertions that tie them to the paper's published
+ * numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fpga_model.hh"
+#include "core/power_model.hh"
+#include "core/storage_model.hh"
+#include "mem/edram.hh"
+#include "mem/sram.hh"
+
+namespace chisel {
+namespace {
+
+// ---- Storage model -------------------------------------------------------
+
+TEST(StorageModel, WorstCaseFormulas)
+{
+    StorageParams p;   // IPv4, stride 4, k=3, ratio 3.
+    auto b = chiselWorstCase(1 << 18, p);   // 256K.
+    EXPECT_EQ(b.indexBits, 3ull * (1 << 18) * 18);
+    EXPECT_EQ(b.filterBits, uint64_t(1 << 18) * 34);
+    EXPECT_EQ(b.bitvectorBits, uint64_t(1 << 18) * (16 + 20));
+    EXPECT_EQ(b.totalBits(),
+              b.indexBits + b.filterBits + b.bitvectorBits);
+}
+
+TEST(StorageModel, BytesPerPrefixNearPaperFigure)
+{
+    // Section 4.1: "total storage requirement of only 8 bytes per
+    // IPv4 prefix" for the Index+Filter core at 256K.  Our accounting
+    // includes flags and the Bit-vector Table; the Index+Filter core
+    // should be near 10 bytes and the full engine under 14.
+    StorageParams p;
+    size_t n = 1 << 18;
+    auto core = chiselNoWildcard(n, p);
+    double core_bpp = static_cast<double>(core.totalBits()) / 8 / n;
+    EXPECT_GT(core_bpp, 7.0);
+    EXPECT_LT(core_bpp, 12.0);
+    auto full = chiselWorstCase(n, p);
+    double full_bpp = static_cast<double>(full.totalBits()) / 8 / n;
+    EXPECT_LT(full_bpp, 16.0);
+}
+
+TEST(StorageModel, IndirectionBeatsNaive)
+{
+    // Section 4.2: up to 20% (IPv4) and 49% (IPv6) smaller than the
+    // naive keys-in-the-result-table approach.
+    StorageParams v4;
+    size_t n = 1 << 18;
+    double chisel4 =
+        static_cast<double>(chiselNoWildcard(n, v4).totalBits());
+    double naive4 = static_cast<double>(naiveNoIndirectionBits(n, v4));
+    double saving4 = 1.0 - chisel4 / naive4;
+    EXPECT_GT(saving4, 0.10);
+    EXPECT_LT(saving4, 0.30);
+
+    StorageParams v6 = v4;
+    v6.keyWidth = 128;
+    double chisel6 =
+        static_cast<double>(chiselNoWildcard(n, v6).totalBits());
+    double naive6 = static_cast<double>(naiveNoIndirectionBits(n, v6));
+    double saving6 = 1.0 - chisel6 / naive6;
+    EXPECT_GT(saving6, 0.40);
+    EXPECT_LT(saving6, 0.60);
+    // IPv6 saves more than IPv4, as the paper reports.
+    EXPECT_GT(saving6, saving4);
+}
+
+TEST(StorageModel, Ipv6RoughlyDoublesIpv4)
+{
+    // Figure 12: quadrupling the key width only ~doubles storage,
+    // because only the Filter Table widens.
+    StorageParams v4, v6;
+    v6.keyWidth = 128;
+    size_t n = 1 << 19;
+    double r = static_cast<double>(chiselWorstCase(n, v6).totalBits()) /
+               static_cast<double>(chiselWorstCase(n, v4).totalBits());
+    EXPECT_GT(r, 1.5);
+    EXPECT_LT(r, 2.5);
+}
+
+TEST(StorageModel, CpeVariantScalesWithExpansion)
+{
+    StorageParams p;
+    size_t n = 100000;
+    auto pc = chiselWorstCase(n, p);
+    auto cpe_avg = chiselWithCpe(n * 25 / 10, p);   // ~2.5x average.
+    auto cpe_worst = chiselWithCpe(n * 16, p);      // 2^stride worst.
+    EXPECT_GT(cpe_avg.totalBits(), pc.totalBits() / 2);
+    EXPECT_GT(cpe_worst.totalBits(), 4 * pc.totalBits());
+}
+
+// ---- eDRAM model ---------------------------------------------------------
+
+TEST(Edram, LargerMacrosCheaperPerBit)
+{
+    EdramModel m(EdramParams{});
+    EXPECT_LT(m.njPerBit(8 << 20), m.njPerBit(1 << 20));
+    EXPECT_GT(m.accessEnergyNj(8 << 20), m.accessEnergyNj(1 << 20));
+}
+
+TEST(Edram, PowerComponentsPositive)
+{
+    EdramModel m(EdramParams{});
+    double w = m.watts(4 << 20, 200e6);
+    EXPECT_GT(w, 0.0);
+    EXPECT_GT(w, m.staticWatts(4 << 20));
+}
+
+TEST(Edram, MacroCount)
+{
+    EdramModel m(EdramParams{});
+    EXPECT_EQ(m.macroCount(1), 1u);
+    EXPECT_EQ(m.macroCount(512 * 1024), 1u);
+    EXPECT_EQ(m.macroCount(512 * 1024 + 1), 2u);
+}
+
+// ---- Power model ---------------------------------------------------------
+
+TEST(PowerModel, PaperAnchor512K)
+{
+    // Figure 13: ~5.5 W at 512K IPv4 prefixes, 200 Msps.
+    ChiselPowerModel m;
+    StorageParams p;
+    double w = m.worstCase(512 * 1024, p, 200.0).totalWatts();
+    EXPECT_NEAR(w, 5.5, 0.5);
+}
+
+TEST(PowerModel, PaperAnchor128KVsTcam)
+{
+    // Figure 16: ~43% below the 7.5 W TCAM at 128K, 200 Msps.
+    ChiselPowerModel m;
+    StorageParams p;
+    double w = m.worstCase(128 * 1024, p, 200.0).totalWatts();
+    EXPECT_NEAR(w, 7.5 * 0.57, 0.6);
+}
+
+TEST(PowerModel, SubLinearGrowth)
+{
+    // Figure 13's shape: doubling the table must far-less-than-double
+    // the power.
+    ChiselPowerModel m;
+    StorageParams p;
+    double w256 = m.worstCase(256 * 1024, p, 200.0).totalWatts();
+    double w512 = m.worstCase(512 * 1024, p, 200.0).totalWatts();
+    double w1m = m.worstCase(1024 * 1024, p, 200.0).totalWatts();
+    EXPECT_GT(w512, w256);
+    EXPECT_GT(w1m, w512);
+    EXPECT_LT(w512 / w256, 1.5);
+    EXPECT_LT(w1m / w512, 1.5);
+}
+
+TEST(PowerModel, LogicFractionSmall)
+{
+    // Section 6.5: logic is "around only 5-7%" of the eDRAM power.
+    ChiselPowerModel m;
+    StorageParams p;
+    auto b = m.worstCase(512 * 1024, p, 200.0);
+    double edram = b.edramDynamicWatts + b.edramStaticWatts;
+    EXPECT_NEAR(b.logicWatts / edram, 0.06, 0.02);
+}
+
+TEST(PowerModel, ScalesWithRate)
+{
+    ChiselPowerModel m;
+    StorageParams p;
+    double w100 = m.worstCase(512 * 1024, p, 100.0).totalWatts();
+    double w200 = m.worstCase(512 * 1024, p, 200.0).totalWatts();
+    EXPECT_GT(w200, 1.5 * w100);
+}
+
+TEST(PowerModel, DefaultCellCount)
+{
+    EXPECT_EQ(ChiselPowerModel::defaultCellCount(32, 4), 7u);
+    EXPECT_EQ(ChiselPowerModel::defaultCellCount(128, 4), 26u);
+}
+
+// ---- SRAM / FPGA ---------------------------------------------------------
+
+TEST(Sram, BlockCountGeometry)
+{
+    SramModel m(SramParams{});
+    // 512 x 36 fits one block; 16K x 1 fits one block.
+    EXPECT_EQ(m.blocksFor(512, 36), 1u);
+    EXPECT_EQ(m.blocksFor(16 * 1024, 1), 1u);
+    EXPECT_EQ(m.blocksFor(1024, 36), 2u);
+    EXPECT_EQ(m.blocksFor(0, 36), 0u);
+    // 8K x 14 = 9-bit + 4-bit + 1-bit slices: 4 + 2 + 1 = 7.
+    EXPECT_EQ(m.blocksFor(8 * 1024, 14), 7u);
+}
+
+TEST(Fpga, Table2Reproduction)
+{
+    // Section 7 / Table 2: the 64K-prefix, 4-sub-cell prototype on a
+    // XC2VP100: 14,138 FFs, 10,680 slices, 10,746 LUTs, 734 IOBs,
+    // 292 block RAMs.  The model must land within ~15% of each.
+    FpgaResourceModel m;
+    auto r = m.estimate(64 * 1024, 4, 32, 4);
+    EXPECT_NEAR(static_cast<double>(r.flipFlops), 14138, 14138 * 0.15);
+    EXPECT_NEAR(static_cast<double>(r.luts), 10746, 10746 * 0.15);
+    EXPECT_NEAR(static_cast<double>(r.slices), 10680, 10680 * 0.20);
+    EXPECT_NEAR(static_cast<double>(r.iobs), 734, 734 * 0.10);
+    EXPECT_NEAR(static_cast<double>(r.blockRams), 292, 292 * 0.15);
+}
+
+TEST(Fpga, FitsOnDevice)
+{
+    FpgaResourceModel m;
+    auto r = m.estimate(64 * 1024, 4, 32, 4);
+    const auto &d = m.device();
+    EXPECT_LT(r.flipFlops, d.flipFlops);
+    EXPECT_LT(r.luts, d.luts);
+    EXPECT_LT(r.slices, d.slices);
+    EXPECT_LT(r.iobs, d.iobs);
+    EXPECT_LT(r.blockRams, d.blockRams);
+    // Memory-dominated, as the paper notes: block RAM utilisation is
+    // the highest category.
+    double bram_u = FpgaResourceModel::utilisation(r.blockRams,
+                                                   d.blockRams);
+    double lut_u = FpgaResourceModel::utilisation(r.luts, d.luts);
+    EXPECT_GT(bram_u, lut_u);
+}
+
+} // anonymous namespace
+} // namespace chisel

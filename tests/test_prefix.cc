@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for Prefix: construction, parsing, collapsing, coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "route/prefix.hh"
+
+namespace chisel {
+namespace {
+
+TEST(Prefix, DefaultIsZeroLength)
+{
+    Prefix p;
+    EXPECT_EQ(p.length(), 0u);
+    EXPECT_TRUE(p.matches(Key128(123, 456)));   // Matches everything.
+}
+
+TEST(Prefix, MasksTrailingBits)
+{
+    Key128 bits(~0ULL, ~0ULL);
+    Prefix p(bits, 10);
+    EXPECT_EQ(p.bits(), bits.masked(10));
+    EXPECT_EQ(p.length(), 10u);
+}
+
+TEST(Prefix, FromBitString)
+{
+    Prefix p = Prefix::fromBitString("10110");
+    EXPECT_EQ(p.length(), 5u);
+    EXPECT_TRUE(p.bits().bit(0));
+    EXPECT_FALSE(p.bits().bit(1));
+    EXPECT_TRUE(p.bits().bit(2));
+    EXPECT_TRUE(p.bits().bit(3));
+    EXPECT_FALSE(p.bits().bit(4));
+    EXPECT_EQ(p.str(), "10110*");
+}
+
+TEST(Prefix, FromBitStringAcceptsStar)
+{
+    EXPECT_EQ(Prefix::fromBitString("101*"),
+              Prefix::fromBitString("101"));
+}
+
+TEST(Prefix, FromBitStringRejectsGarbage)
+{
+    EXPECT_THROW(Prefix::fromBitString("10x1"), ChiselError);
+}
+
+TEST(Prefix, FromCidr)
+{
+    Prefix p = Prefix::fromCidr("10.0.0.0/8");
+    EXPECT_EQ(p, Prefix::ipv4(0x0A000000, 8));
+    EXPECT_EQ(p.cidr(), "10.0.0.0/8");
+
+    Prefix q = Prefix::fromCidr("192.168.128.0/18");
+    EXPECT_EQ(q, Prefix::ipv4(0xC0A88000, 18));
+}
+
+TEST(Prefix, FromCidrMasksHostBits)
+{
+    EXPECT_EQ(Prefix::fromCidr("10.1.2.3/8"),
+              Prefix::fromCidr("10.0.0.0/8"));
+}
+
+TEST(Prefix, FromCidrRejectsMalformed)
+{
+    EXPECT_THROW(Prefix::fromCidr("10.0.0/33"), ChiselError);
+    EXPECT_THROW(Prefix::fromCidr("300.0.0.0/8"), ChiselError);
+    EXPECT_THROW(Prefix::fromCidr("abc"), ChiselError);
+    EXPECT_THROW(Prefix::fromCidr("10.0.0.0/"), ChiselError);
+}
+
+TEST(Prefix, Matches)
+{
+    Prefix p = Prefix::fromCidr("10.0.0.0/8");
+    EXPECT_TRUE(p.matches(Key128::fromIpv4(0x0A010203)));
+    EXPECT_FALSE(p.matches(Key128::fromIpv4(0x0B010203)));
+}
+
+TEST(Prefix, Covers)
+{
+    Prefix p8 = Prefix::fromCidr("10.0.0.0/8");
+    Prefix p16 = Prefix::fromCidr("10.1.0.0/16");
+    Prefix other = Prefix::fromCidr("11.0.0.0/8");
+    EXPECT_TRUE(p8.covers(p16));
+    EXPECT_FALSE(p16.covers(p8));
+    EXPECT_TRUE(p8.covers(p8));
+    EXPECT_FALSE(p8.covers(other));
+    EXPECT_TRUE(Prefix().covers(p8));   // Default covers everything.
+}
+
+TEST(Prefix, Collapsed)
+{
+    // The paper's example: P3 = 1001101 collapsed by 3 -> 1001.
+    Prefix p3 = Prefix::fromBitString("1001101");
+    Prefix c = p3.collapsed(4);
+    EXPECT_EQ(c, Prefix::fromBitString("1001"));
+}
+
+TEST(Prefix, SuffixBits)
+{
+    Prefix p3 = Prefix::fromBitString("1001101");
+    EXPECT_EQ(p3.suffixBits(4), 0b101u);
+    EXPECT_EQ(p3.suffixBits(7), 0u);
+    EXPECT_EQ(p3.suffixBits(0), 0b1001101u);
+}
+
+TEST(Prefix, Extended)
+{
+    Prefix p = Prefix::fromBitString("10");
+    Prefix e = p.extended(0b01, 2);
+    EXPECT_EQ(e, Prefix::fromBitString("1001"));
+}
+
+TEST(Prefix, ExtendCollapseRoundTrip)
+{
+    Prefix p = Prefix::fromCidr("172.16.0.0/12");
+    for (uint64_t suffix = 0; suffix < 16; ++suffix) {
+        Prefix e = p.extended(suffix, 4);
+        EXPECT_EQ(e.length(), 16u);
+        EXPECT_EQ(e.collapsed(12), p);
+        EXPECT_EQ(e.suffixBits(12), suffix);
+    }
+}
+
+TEST(Prefix, OrderingAndHashing)
+{
+    Prefix a = Prefix::fromBitString("10");
+    Prefix b = Prefix::fromBitString("101");
+    Prefix c = Prefix::fromBitString("11");
+    EXPECT_LT(a, b);   // Same bits, shorter first.
+    EXPECT_LT(b, c);
+    PrefixHasher h;
+    EXPECT_NE(h(a), h(b));   // Length participates in the hash.
+}
+
+TEST(Prefix, DistinctLengthsAreDistinct)
+{
+    Prefix a = Prefix::fromBitString("1000");
+    Prefix b = Prefix::fromBitString("10000");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a.bits(), b.bits());
+}
+
+} // anonymous namespace
+} // namespace chisel

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for ShadowGroup image derivation — the in-group LPM that
+ * builds the bit-vectors of Figure 5.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/shadow.hh"
+
+namespace chisel {
+namespace {
+
+/** The paper's Figure 5 example: base 4, stride 3. */
+class PaperExample : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Group 1001: P1 = 10011*, P3 = 1001101.
+        g1001 = std::make_unique<ShadowGroup>(4, 3);
+        g1001->announce(Prefix::fromBitString("10011"), 1);
+        g1001->announce(Prefix::fromBitString("1001101"), 3);
+
+        // Group 1010: P2 = 101011*.
+        g1010 = std::make_unique<ShadowGroup>(4, 3);
+        g1010->announce(Prefix::fromBitString("101011"), 2);
+    }
+
+    std::unique_ptr<ShadowGroup> g1001;
+    std::unique_ptr<ShadowGroup> g1010;
+};
+
+TEST_F(PaperExample, BitVector1001Is00001111)
+{
+    GroupImage img = g1001->computeImage();
+    // Slots 4..7 covered (P1 = suffix 1xx); figure: 00001111.
+    EXPECT_EQ(img.bits[0], 0b11110000u);
+    ASSERT_EQ(img.hops.size(), 4u);
+    // Slot order 4,5,6,7: P1, P3 (longer wins at 101), P1, P1.
+    EXPECT_EQ(img.hops[0], 1u);
+    EXPECT_EQ(img.hops[1], 3u);
+    EXPECT_EQ(img.hops[2], 1u);
+    EXPECT_EQ(img.hops[3], 1u);
+}
+
+TEST_F(PaperExample, BitVector1010Is00000011)
+{
+    GroupImage img = g1010->computeImage();
+    // P2 = 1010 11* covers suffixes 110 and 111 -> slots 6,7.
+    EXPECT_EQ(img.bits[0], 0b11000000u);
+    ASSERT_EQ(img.hops.size(), 2u);
+    EXPECT_EQ(img.hops[0], 2u);
+    EXPECT_EQ(img.hops[1], 2u);
+}
+
+TEST_F(PaperExample, LongestCoverPerSlot)
+{
+    auto c4 = g1001->longestCover(4);   // 100 -> P1 only.
+    ASSERT_TRUE(c4.has_value());
+    EXPECT_EQ(c4->nextHop, 1u);
+    EXPECT_EQ(c4->prefix.length(), 5u);
+
+    auto c5 = g1001->longestCover(5);   // 101 -> P3 over P1.
+    ASSERT_TRUE(c5.has_value());
+    EXPECT_EQ(c5->nextHop, 3u);
+    EXPECT_EQ(c5->prefix.length(), 7u);
+
+    EXPECT_FALSE(g1001->longestCover(0).has_value());
+}
+
+TEST(ShadowGroup, BaseLengthMemberCoversAllSlots)
+{
+    ShadowGroup g(8, 4);
+    g.announce(Prefix::fromCidr("10.0.0.0/8"), 7);
+    GroupImage img = g.computeImage();
+    EXPECT_EQ(img.bits[0], 0xFFFFull);
+    EXPECT_EQ(img.hops.size(), 16u);
+    for (NextHop h : img.hops)
+        EXPECT_EQ(h, 7u);
+}
+
+TEST(ShadowGroup, WithdrawRestoresShorterCover)
+{
+    ShadowGroup g(8, 4);
+    g.announce(Prefix::fromCidr("10.0.0.0/8"), 1);
+    g.announce(Prefix::fromCidr("10.128.0.0/12"), 2);   // Suffix 1000.
+
+    GroupImage img = g.computeImage();
+    EXPECT_EQ(img.hops[0b1000], 2u);
+
+    // Withdrawing the /12 re-exposes the /8 underneath — Figure 7's
+    // p''' case.
+    ASSERT_TRUE(g.withdraw(Prefix::fromCidr("10.128.0.0/12")));
+    img = g.computeImage();
+    EXPECT_EQ(img.bits[0], 0xFFFFull);
+    EXPECT_EQ(img.hops[0b1000], 1u);
+}
+
+TEST(ShadowGroup, EmptyAfterWithdrawals)
+{
+    ShadowGroup g(8, 4);
+    g.announce(Prefix::fromCidr("10.64.0.0/10"), 1);
+    ASSERT_TRUE(g.withdraw(Prefix::fromCidr("10.64.0.0/10")));
+    EXPECT_TRUE(g.empty());
+    GroupImage img = g.computeImage();
+    EXPECT_TRUE(img.empty());
+    EXPECT_EQ(img.bits[0], 0u);
+}
+
+TEST(ShadowGroup, AnnounceOverwritesNextHop)
+{
+    ShadowGroup g(8, 4);
+    EXPECT_TRUE(g.announce(Prefix::fromCidr("10.16.0.0/12"), 1));
+    EXPECT_FALSE(g.announce(Prefix::fromCidr("10.16.0.0/12"), 9));
+    GroupImage img = g.computeImage();
+    EXPECT_EQ(img.hops[0], 9u);
+    EXPECT_EQ(*g.find(Prefix::fromCidr("10.16.0.0/12")), 9u);
+}
+
+TEST(ShadowGroup, WithdrawMissingReturnsNullopt)
+{
+    ShadowGroup g(8, 4);
+    EXPECT_FALSE(g.withdraw(Prefix::fromCidr("10.0.0.0/9")));
+}
+
+TEST(ShadowGroup, StrideEightImageHasFourWords)
+{
+    ShadowGroup g(8, 8);
+    g.announce(Prefix::fromCidr("10.255.0.0/16"), 3);   // Slot 255.
+    GroupImage img = g.computeImage();
+    ASSERT_EQ(img.bits.size(), 4u);
+    EXPECT_EQ(img.bits[3], 0x8000000000000000ull);
+    ASSERT_EQ(img.hops.size(), 1u);
+    EXPECT_EQ(img.hops[0], 3u);
+}
+
+TEST(ShadowGroup, NestedMembersLayerCorrectly)
+{
+    // /8 under everything, /10 over a quarter, /12 over a sliver.
+    ShadowGroup g(8, 4);
+    g.announce(Prefix::fromCidr("10.0.0.0/8"), 1);
+    g.announce(Prefix::fromCidr("10.192.0.0/10"), 2);   // Suffix 11xx.
+    g.announce(Prefix::fromCidr("10.240.0.0/12"), 3);   // Suffix 1111.
+    GroupImage img = g.computeImage();
+    EXPECT_EQ(img.hops[0b0000], 1u);
+    EXPECT_EQ(img.hops[0b1100], 2u);
+    EXPECT_EQ(img.hops[0b1110], 2u);
+    EXPECT_EQ(img.hops[0b1111], 3u);
+}
+
+} // anonymous namespace
+} // namespace chisel

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the architectural-simulator facade and timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/timing_model.hh"
+#include "route/synth.hh"
+#include "route/updates.hh"
+#include "sim/simulator.hh"
+
+namespace chisel {
+namespace {
+
+TEST(TimingModel, PaperDesignPoints)
+{
+    ChiselTimingModel m;
+    StorageParams sp;
+    auto t = m.report(sp);
+    EXPECT_EQ(t.pipelineStages, 4u);
+    // 5 ns eDRAM -> 200 Msps sustained (Section 6.5's rate).
+    EXPECT_NEAR(t.throughputMsps, 200.0, 1.0);
+    EXPECT_GT(t.totalLatencyNs, t.onChipLatencyNs);
+    // Key-width independence: IPv6 parameters give identical timing.
+    StorageParams v6 = sp;
+    v6.keyWidth = 128;
+    auto t6 = m.report(v6);
+    EXPECT_EQ(t6.throughputMsps, t.throughputMsps);
+    EXPECT_EQ(t6.totalLatencyNs, t.totalLatencyNs);
+}
+
+TEST(TimingModel, FpgaClassParameters)
+{
+    // The 100 MHz FPGA prototype: 10 ns SRAM-ish stage -> 100 Msps.
+    TimingParams p;
+    p.edramAccessNs = 10.0;
+    ChiselTimingModel m(p);
+    StorageParams sp;
+    EXPECT_NEAR(m.report(sp).throughputMsps, 100.0, 1.0);
+}
+
+TEST(Simulator, EndToEndReport)
+{
+    RoutingTable table = generateScaledTable(10000, 32, 0x51A);
+    ChiselSimulator sim(table);
+
+    auto keys = generateLookupKeys(table, 5000, 32, 0.8, 0x51B);
+    sim.runLookups(keys);
+
+    UpdateTraceGenerator gen(table, TraceProfile{}, 32, 0x51C);
+    sim.runUpdates(gen.generate(20000));
+
+    // Lookups after updates still verify against the (mirrored)
+    // oracle.
+    sim.runLookups(keys);
+
+    auto r = sim.report();
+    EXPECT_EQ(r.lookups, 10000u);
+    EXPECT_EQ(r.mismatches, 0u);
+    EXPECT_EQ(r.updatesApplied, 20000u);
+    EXPECT_GT(r.updatesPerSecond, 0.0);
+    EXPECT_GT(r.lookupsPerSecond, 0.0);
+    EXPECT_GT(r.updateBreakdown.incrementalFraction(), 0.99);
+    EXPECT_EQ(r.subCells, sim.engine().cellCount());
+    EXPECT_GT(r.measuredStorage.totalBits(), 0u);
+    EXPECT_GT(r.worstCasePower.totalWatts(), 0.0);
+    EXPECT_GT(r.dieAreaMm2, 0.0);
+    EXPECT_EQ(r.timing.pipelineStages, 4u);
+
+    std::ostringstream os;
+    r.print(os);
+    EXPECT_NE(os.str().find("oracle mismatches"), std::string::npos);
+    EXPECT_NE(os.str().find("Msps"), std::string::npos);
+}
+
+TEST(Simulator, DetectsNothingOnCleanEngine)
+{
+    RoutingTable table = generateScaledTable(2000, 32, 0x51D);
+    ChiselSimulator sim(table);
+    auto keys = generateLookupKeys(table, 2000, 32, 0.5, 0x51E);
+    sim.runLookups(keys);
+    EXPECT_EQ(sim.report().mismatches, 0u);
+}
+
+} // anonymous namespace
+} // namespace chisel

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the synthetic table and update-trace generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "route/synth.hh"
+#include "route/updates.hh"
+
+namespace chisel {
+namespace {
+
+TEST(Synth, GeneratesRequestedSize)
+{
+    RoutingTable t = generateScaledTable(5000, 32, 1);
+    EXPECT_EQ(t.size(), 5000u);
+}
+
+TEST(Synth, Deterministic)
+{
+    RoutingTable a = generateScaledTable(1000, 32, 7);
+    RoutingTable b = generateScaledTable(1000, 32, 7);
+    for (const auto &r : a.routes())
+        EXPECT_EQ(b.find(r.prefix), r.nextHop);
+}
+
+TEST(Synth, SeedChangesTable)
+{
+    RoutingTable a = generateScaledTable(1000, 32, 8);
+    RoutingTable b = generateScaledTable(1000, 32, 9);
+    size_t common = 0;
+    for (const auto &r : a.routes())
+        common += b.contains(r.prefix);
+    EXPECT_LT(common, 500u);
+}
+
+TEST(Synth, LengthDistributionLooksLikeBgp)
+{
+    RoutingTable t = generateScaledTable(50000, 32, 2);
+    auto hist = t.lengthHistogram();
+    // /24 dominates the global table (roughly half).
+    EXPECT_GT(hist[24], t.size() / 3);
+    // /16 is the secondary spike.
+    EXPECT_GT(hist[16], t.size() / 25);
+    // Nothing shorter than /8 or longer than /32.
+    for (unsigned l = 1; l < 8; ++l)
+        EXPECT_EQ(hist[l], 0u) << l;
+    // Lengths beyond 24 are a thin tail.
+    size_t tail = 0;
+    for (unsigned l = 25; l <= 32; ++l)
+        tail += hist[l];
+    EXPECT_LT(tail, t.size() / 20);
+}
+
+TEST(Synth, StandardAsProfilesMatchPaperScale)
+{
+    auto profiles = standardAsProfiles();
+    ASSERT_EQ(profiles.size(), 7u);
+    std::set<std::string> names;
+    for (const auto &p : profiles) {
+        EXPECT_GE(p.prefixes, 140000u);   // ">140K prefixes" (§5).
+        names.insert(p.name);
+    }
+    EXPECT_EQ(names.size(), 7u);
+    EXPECT_TRUE(names.contains("AS1221"));
+    EXPECT_TRUE(names.contains("AS7660"));
+}
+
+TEST(Synth, Ipv6ProfileDoublesLengths)
+{
+    SynthProfile v4;
+    v4.prefixes = 3000;
+    v4.lengthWeights = defaultIpv4LengthWeights();
+    v4.seed = 3;
+    SynthProfile v6 = ipv6Profile(v4);
+    EXPECT_EQ(v6.keyWidth, 128u);
+
+    RoutingTable t = generateTable(v6);
+    EXPECT_EQ(t.size(), 3000u);
+    auto hist = t.lengthHistogram();
+    // The /24 spike maps to /48; nothing beyond /64.
+    EXPECT_GT(hist[48], t.size() / 4);
+    for (unsigned l = 65; l <= 128; ++l)
+        EXPECT_EQ(hist[l], 0u) << l;
+}
+
+TEST(Synth, LookupKeysMostlyHit)
+{
+    RoutingTable t = generateScaledTable(2000, 32, 4);
+    auto keys = generateLookupKeys(t, 4000, 32, 0.9, 5);
+    ASSERT_EQ(keys.size(), 4000u);
+    size_t hits = 0;
+    for (const auto &k : keys)
+        hits += t.lookupLinear(k).has_value();
+    EXPECT_GT(hits, 3000u);
+}
+
+TEST(Synth, ClusteringProducesNesting)
+{
+    RoutingTable t = generateScaledTable(20000, 32, 6);
+    // Count routes that are covered by some shorter route: clustering
+    // should make this common, as in real BGP tables.
+    size_t nested = 0;
+    for (const auto &r : t.routes()) {
+        for (unsigned l = 8; l < r.prefix.length(); ++l) {
+            if (t.contains(Prefix(r.prefix.bits(), l))) {
+                ++nested;
+                break;
+            }
+        }
+    }
+    EXPECT_GT(nested, t.size() / 10);
+}
+
+// ---- Update traces -------------------------------------------------------
+
+TEST(Traces, StandardProfilesPresent)
+{
+    auto profs = standardTraceProfiles();
+    ASSERT_EQ(profs.size(), 5u);
+    EXPECT_EQ(profs[0].name, "rrc00");
+    EXPECT_EQ(profs[4].name, "rrc06");
+}
+
+TEST(Traces, WithdrawsNameLivePrefixes)
+{
+    RoutingTable t = generateScaledTable(3000, 32, 10);
+    TraceProfile prof;
+    UpdateTraceGenerator gen(t, prof, 32, 11);
+
+    // Replay against a shadow table: a withdraw must always name a
+    // prefix that is currently present.
+    RoutingTable shadow = t;
+    auto updates = gen.generate(20000);
+    for (const auto &u : updates) {
+        if (u.kind == UpdateKind::Withdraw) {
+            EXPECT_TRUE(shadow.contains(u.prefix));
+            shadow.remove(u.prefix);
+        } else {
+            shadow.add(u.prefix, u.nextHop);
+        }
+    }
+}
+
+TEST(Traces, MixRoughlyMatchesProfile)
+{
+    RoutingTable t = generateScaledTable(5000, 32, 12);
+    TraceProfile prof;   // Defaults: 35/20/35/10.
+    UpdateTraceGenerator gen(t, prof, 32, 13);
+    auto updates = gen.generate(50000);
+
+    RoutingTable shadow = t;
+    size_t withdraws = 0, readds = 0, changes = 0, news = 0;
+    for (const auto &u : updates) {
+        if (u.kind == UpdateKind::Withdraw) {
+            ++withdraws;
+            shadow.remove(u.prefix);
+        } else if (shadow.contains(u.prefix)) {
+            ++changes;
+            shadow.add(u.prefix, u.nextHop);
+        } else {
+            // Either a flap (recently withdrawn) or a new prefix.
+            if (t.contains(u.prefix))
+                ++readds;
+            else
+                ++news;
+            shadow.add(u.prefix, u.nextHop);
+        }
+    }
+    double n = static_cast<double>(updates.size());
+    EXPECT_NEAR(withdraws / n, 0.35, 0.08);
+    EXPECT_GT(readds / n, 0.05);    // Flaps happen.
+    EXPECT_GT(changes / n, 0.20);
+    EXPECT_GT(news / n, 0.03);
+}
+
+TEST(Traces, DeterministicBySeed)
+{
+    RoutingTable t = generateScaledTable(500, 32, 14);
+    TraceProfile prof;
+    UpdateTraceGenerator a(t, prof, 32, 15), b(t, prof, 32, 15);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Traces, NewPrefixesFavourLocality)
+{
+    RoutingTable t = generateScaledTable(3000, 32, 16);
+    TraceProfile prof;
+    prof.withdraws = 0;
+    prof.routeFlaps = 0;
+    prof.nextHopChanges = 0;
+    prof.newPrefixes = 1.0;
+    UpdateTraceGenerator gen(t, prof, 32, 17);
+
+    // Collapsed to /|p|-4, a local new prefix shares a group with an
+    // existing route; count how many do.
+    auto updates = gen.generate(2000);
+    size_t local = 0;
+    for (const auto &u : updates) {
+        ASSERT_EQ(u.kind, UpdateKind::Announce);
+        bool shares = false;
+        unsigned base = u.prefix.length() > 4 ? u.prefix.length() - 4
+                                              : 1;
+        for (unsigned l = base; l <= u.prefix.length() + 4 && !shares;
+             ++l) {
+            if (l > 32)
+                break;
+            // Any existing route in the same collapsed neighbourhood?
+            for (unsigned probe = base; probe <= 32; ++probe) {
+                Prefix cand(u.prefix.bits(), probe);
+                if (t.contains(cand)) {
+                    shares = true;
+                    break;
+                }
+            }
+        }
+        local += shares;
+    }
+    EXPECT_GT(local, updates.size() / 2);
+}
+
+} // anonymous namespace
+} // namespace chisel

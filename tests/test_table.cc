@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for RoutingTable and the text reader/writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "route/reader.hh"
+#include "route/table.hh"
+
+namespace chisel {
+namespace {
+
+TEST(RoutingTable, AddFindRemove)
+{
+    RoutingTable t;
+    Prefix p = Prefix::fromCidr("10.0.0.0/8");
+    EXPECT_TRUE(t.add(p, 7));
+    EXPECT_FALSE(t.add(p, 8));   // Overwrite, not new.
+    ASSERT_TRUE(t.find(p).has_value());
+    EXPECT_EQ(*t.find(p), 8u);
+    EXPECT_TRUE(t.remove(p));
+    EXPECT_FALSE(t.remove(p));
+    EXPECT_FALSE(t.find(p).has_value());
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(RoutingTable, DistinctLengthsAreDistinctRoutes)
+{
+    RoutingTable t;
+    t.add(Prefix::fromCidr("10.0.0.0/8"), 1);
+    t.add(Prefix::fromCidr("10.0.0.0/16"), 2);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(*t.find(Prefix::fromCidr("10.0.0.0/8")), 1u);
+    EXPECT_EQ(*t.find(Prefix::fromCidr("10.0.0.0/16")), 2u);
+}
+
+TEST(RoutingTable, LengthHistogramAndPopulated)
+{
+    RoutingTable t;
+    t.add(Prefix::fromCidr("10.0.0.0/8"), 1);
+    t.add(Prefix::fromCidr("11.0.0.0/8"), 1);
+    t.add(Prefix::fromCidr("10.1.0.0/16"), 2);
+    auto hist = t.lengthHistogram();
+    EXPECT_EQ(hist[8], 2u);
+    EXPECT_EQ(hist[16], 1u);
+    EXPECT_EQ(hist[24], 0u);
+    auto pop = t.populatedLengths();
+    ASSERT_EQ(pop.size(), 2u);
+    EXPECT_EQ(pop[0], 8u);
+    EXPECT_EQ(pop[1], 16u);
+    EXPECT_EQ(t.maxLength(), 16u);
+}
+
+TEST(RoutingTable, LookupLinearFindsLongest)
+{
+    RoutingTable t;
+    t.add(Prefix::fromCidr("10.0.0.0/8"), 1);
+    t.add(Prefix::fromCidr("10.1.0.0/16"), 2);
+    t.add(Prefix::fromCidr("10.1.2.0/24"), 3);
+
+    auto r = t.lookupLinear(Key128::fromIpv4(0x0A010203));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->nextHop, 3u);
+    EXPECT_EQ(r->prefix.length(), 24u);
+
+    r = t.lookupLinear(Key128::fromIpv4(0x0A020304));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->nextHop, 1u);
+
+    r = t.lookupLinear(Key128::fromIpv4(0x0B000000));
+    EXPECT_FALSE(r.has_value());
+}
+
+TEST(RoutingTable, DefaultRouteMatchesEverything)
+{
+    RoutingTable t;
+    t.add(Prefix(), 42);
+    auto r = t.lookupLinear(Key128::fromIpv4(0xFFFFFFFF));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->nextHop, 42u);
+    EXPECT_EQ(r->prefix.length(), 0u);
+}
+
+TEST(Reader, ParsesCidrAndBitStringLines)
+{
+    std::istringstream in(
+        "# comment line\n"
+        "10.0.0.0/8 7\n"
+        "\n"
+        "10110* 3\n"
+        "192.168.0.0/16 9\n");
+    RoutingTable t = readTable(in);
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(*t.find(Prefix::fromCidr("10.0.0.0/8")), 7u);
+    EXPECT_EQ(*t.find(Prefix::fromBitString("10110")), 3u);
+    EXPECT_EQ(*t.find(Prefix::fromCidr("192.168.0.0/16")), 9u);
+}
+
+TEST(Reader, RejectsMissingNextHop)
+{
+    std::istringstream in("10.0.0.0/8\n");
+    EXPECT_THROW(readTable(in), ChiselError);
+}
+
+TEST(Reader, TableRoundTrip)
+{
+    RoutingTable t;
+    t.add(Prefix::fromCidr("10.0.0.0/8"), 1);
+    t.add(Prefix::fromCidr("172.16.0.0/12"), 2);
+    t.add(Prefix::fromCidr("192.168.5.0/24"), 3);
+
+    std::ostringstream out;
+    writeTable(out, t);
+    std::istringstream in(out.str());
+    RoutingTable t2 = readTable(in);
+    EXPECT_EQ(t2.size(), t.size());
+    for (const auto &r : t.routes())
+        EXPECT_EQ(t2.find(r.prefix), r.nextHop);
+}
+
+TEST(Reader, TraceRoundTrip)
+{
+    std::vector<Update> trace = {
+        {UpdateKind::Announce, Prefix::fromCidr("10.0.0.0/8"), 4},
+        {UpdateKind::Withdraw, Prefix::fromCidr("10.0.0.0/8"), kNoRoute},
+        {UpdateKind::Announce, Prefix::fromCidr("192.0.2.0/24"), 11},
+    };
+    std::ostringstream out;
+    writeTrace(out, trace);
+    std::istringstream in(out.str());
+    auto trace2 = readTrace(in);
+    ASSERT_EQ(trace2.size(), trace.size());
+    for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(trace2[i].kind, trace[i].kind);
+        EXPECT_EQ(trace2[i].prefix, trace[i].prefix);
+        if (trace[i].kind == UpdateKind::Announce)
+            EXPECT_EQ(trace2[i].nextHop, trace[i].nextHop);
+    }
+}
+
+TEST(Reader, HandlesCrlfAndWhitespace)
+{
+    std::istringstream in("10.0.0.0/8 7\r\n   \n\t192.168.0.0/16 9\r\n");
+    RoutingTable t = readTable(in);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(*t.find(Prefix::fromCidr("10.0.0.0/8")), 7u);
+}
+
+TEST(Reader, EmptyInputGivesEmptyTable)
+{
+    std::istringstream in("");
+    EXPECT_TRUE(readTable(in).empty());
+    std::istringstream in2("# only comments\n\n");
+    EXPECT_TRUE(readTable(in2).empty());
+}
+
+TEST(Reader, ParsesIpv6Lines)
+{
+    std::istringstream in("2001:db8::/32 5\nfe80::/10 6\n");
+    RoutingTable t = readTable(in);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(*t.find(Prefix::fromCidr6("2001:db8::/32")), 5u);
+    EXPECT_EQ(*t.find(Prefix::fromCidr6("fe80::/10")), 6u);
+}
+
+TEST(Reader, MissingTableFileThrows)
+{
+    EXPECT_THROW(readTableFile("/nonexistent/nope.txt"), ChiselError);
+}
+
+TEST(Reader, RejectsUnknownTraceOp)
+{
+    std::istringstream in("X 10.0.0.0/8\n");
+    EXPECT_THROW(readTrace(in), ChiselError);
+}
+
+} // anonymous namespace
+} // namespace chisel

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the functional TCAM and its power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "route/synth.hh"
+#include "tcam/tcam.hh"
+#include "tcam/tcam_model.hh"
+#include "trie/binary_trie.hh"
+
+namespace chisel {
+namespace {
+
+TEST(Tcam, LongestPrefixWins)
+{
+    Tcam t;
+    t.insert(Prefix::fromCidr("10.0.0.0/8"), 1);
+    t.insert(Prefix::fromCidr("10.1.0.0/16"), 2);
+    t.insert(Prefix::fromCidr("10.1.2.0/24"), 3);
+
+    auto r = t.lookup(Key128::fromIpv4(0x0A010203));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->nextHop, 3u);
+
+    r = t.lookup(Key128::fromIpv4(0x0A018888));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->nextHop, 2u);
+}
+
+TEST(Tcam, InsertionOrderIrrelevant)
+{
+    // Insert short-to-long; the sort-by-length must still give LPM.
+    Tcam t;
+    t.insert(Prefix::fromCidr("10.0.0.0/8"), 1);
+    t.insert(Prefix::fromCidr("10.1.2.0/24"), 3);
+    t.insert(Prefix::fromCidr("10.1.0.0/16"), 2);
+    auto r = t.lookup(Key128::fromIpv4(0x0A010299));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->nextHop, 3u);
+}
+
+TEST(Tcam, CapacityEnforced)
+{
+    Tcam t(2);
+    EXPECT_TRUE(t.insert(Prefix::fromCidr("10.0.0.0/8"), 1));
+    EXPECT_TRUE(t.insert(Prefix::fromCidr("11.0.0.0/8"), 2));
+    EXPECT_TRUE(t.full());
+    EXPECT_FALSE(t.insert(Prefix::fromCidr("12.0.0.0/8"), 3));
+    // Overwrite of an existing entry still allowed at capacity.
+    EXPECT_TRUE(t.insert(Prefix::fromCidr("10.0.0.0/8"), 9));
+    EXPECT_EQ(*t.find(Prefix::fromCidr("10.0.0.0/8")), 9u);
+}
+
+TEST(Tcam, EraseAndSetNextHop)
+{
+    Tcam t;
+    Prefix p = Prefix::fromCidr("172.16.0.0/12");
+    t.insert(p, 4);
+    EXPECT_TRUE(t.setNextHop(p, 5));
+    EXPECT_EQ(*t.find(p), 5u);
+    EXPECT_TRUE(t.erase(p));
+    EXPECT_FALSE(t.erase(p));
+    EXPECT_FALSE(t.setNextHop(p, 6));
+    EXPECT_FALSE(t.lookup(Key128::fromIpv4(0xAC100001)).has_value());
+}
+
+TEST(Tcam, MatchesOracleOnRandomTable)
+{
+    RoutingTable table = generateScaledTable(800, 32, 90);
+    BinaryTrie oracle(table);
+    Tcam t;
+    for (const auto &r : table.routes())
+        t.insert(r.prefix, r.nextHop);
+
+    auto keys = generateLookupKeys(table, 800, 32, 0.7, 91);
+    for (const auto &key : keys) {
+        auto a = oracle.lookup(key, 32);
+        auto b = t.lookup(key);
+        ASSERT_EQ(a.has_value(), b.has_value());
+        if (a)
+            EXPECT_EQ(a->nextHop, b->nextHop);
+    }
+}
+
+TEST(TcamModel, AnchorPointReproduced)
+{
+    // 18 Mb at 100 Msps = 15 W (SiberCore SCT1842, Section 6.7.2).
+    TcamPowerModel m;
+    size_t entries_18mb = 18 * 1024 * 1024 / 36;
+    EXPECT_NEAR(m.watts(entries_18mb, 32, 100.0), 15.0, 0.01);
+}
+
+TEST(TcamModel, LinearInRateAndSize)
+{
+    TcamPowerModel m;
+    double w1 = m.watts(128 * 1024, 32, 100.0);
+    EXPECT_NEAR(m.watts(128 * 1024, 32, 200.0), 2 * w1, 1e-9);
+    EXPECT_NEAR(m.watts(256 * 1024, 32, 100.0), 2 * w1, 1e-9);
+}
+
+TEST(TcamModel, Ipv6SlotsCostFourX)
+{
+    TcamPowerModel m;
+    EXPECT_EQ(m.storageBits(1000, 128), 4 * m.storageBits(1000, 32));
+}
+
+TEST(TcamModel, PaperFigure16Endpoints)
+{
+    // Figure 16 at 200 Msps: ~7.5 W at 128K, 30 W at 512K.
+    TcamPowerModel m;
+    EXPECT_NEAR(m.watts(128 * 1024, 32, 200.0), 7.5, 0.1);
+    EXPECT_NEAR(m.watts(512 * 1024, 32, 200.0), 30.0, 0.2);
+}
+
+} // anonymous namespace
+} // namespace chisel

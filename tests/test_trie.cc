@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Unit tests for the binary trie oracle and Tree Bitmap.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "route/synth.hh"
+#include "trie/binary_trie.hh"
+#include "trie/tree_bitmap.hh"
+
+namespace chisel {
+namespace {
+
+TEST(BinaryTrie, BasicLpm)
+{
+    BinaryTrie t;
+    t.insert(Prefix::fromCidr("10.0.0.0/8"), 1);
+    t.insert(Prefix::fromCidr("10.1.0.0/16"), 2);
+    t.insert(Prefix::fromCidr("10.1.2.0/24"), 3);
+
+    auto r = t.lookup(Key128::fromIpv4(0x0A010203), 32);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->nextHop, 3u);
+    EXPECT_EQ(r->prefix.length(), 24u);
+
+    r = t.lookup(Key128::fromIpv4(0x0A017777), 32);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->nextHop, 2u);
+
+    r = t.lookup(Key128::fromIpv4(0x0AFF0000), 32);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->nextHop, 1u);
+
+    EXPECT_FALSE(t.lookup(Key128::fromIpv4(0x0B000000), 32));
+}
+
+TEST(BinaryTrie, EraseAndFind)
+{
+    BinaryTrie t;
+    Prefix p = Prefix::fromCidr("192.168.0.0/16");
+    t.insert(p, 5);
+    ASSERT_TRUE(t.find(p).has_value());
+    EXPECT_TRUE(t.erase(p));
+    EXPECT_FALSE(t.erase(p));
+    EXPECT_FALSE(t.find(p).has_value());
+    EXPECT_FALSE(t.lookup(Key128::fromIpv4(0xC0A80001), 32));
+}
+
+TEST(BinaryTrie, DefaultRoute)
+{
+    BinaryTrie t;
+    t.insert(Prefix(), 9);
+    auto r = t.lookup(Key128::fromIpv4(0x01020304), 32);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->nextHop, 9u);
+}
+
+TEST(BinaryTrie, MatchesLinearOracleOnRandomTable)
+{
+    RoutingTable table = generateScaledTable(2000, 32, 77);
+    BinaryTrie trie(table);
+    EXPECT_EQ(trie.size(), table.size());
+
+    auto keys = generateLookupKeys(table, 2000, 32, 0.8, 78);
+    for (const auto &key : keys) {
+        auto a = trie.lookup(key, 32);
+        auto b = table.lookupLinear(key);
+        ASSERT_EQ(a.has_value(), b.has_value());
+        if (a) {
+            EXPECT_EQ(a->nextHop, b->nextHop);
+            EXPECT_EQ(a->prefix, b->prefix);
+        }
+    }
+}
+
+TEST(BinaryTrie, EnumerateReturnsAllRoutes)
+{
+    RoutingTable table = generateScaledTable(500, 32, 79);
+    BinaryTrie trie(table);
+    auto routes = trie.enumerate();
+    EXPECT_EQ(routes.size(), table.size());
+    for (const auto &r : routes)
+        EXPECT_EQ(table.find(r.prefix), r.nextHop);
+}
+
+// ---- Tree Bitmap ---------------------------------------------------------
+
+TEST(TreeBitmap, PaperExamplePrefixes)
+{
+    RoutingTable t;
+    t.add(Prefix::fromBitString("10011"), 1);     // P1
+    t.add(Prefix::fromBitString("101011"), 2);    // P2
+    t.add(Prefix::fromBitString("1001101"), 3);   // P3
+
+    TreeBitmapConfig cfg;
+    cfg.strides = {4, 4};
+    TreeBitmap tb(t, cfg);
+
+    // 1001100 -> P1 (the paper's worked example, Section 4.3.2).
+    Key128 key;
+    key.deposit(0, 7, 0b1001100);
+    auto r = tb.lookup(key);
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.nextHop, 1u);
+    EXPECT_EQ(r.matchedLength, 5u);
+
+    // 1001101 -> P3.
+    key = Key128();
+    key.deposit(0, 7, 0b1001101);
+    r = tb.lookup(key);
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.nextHop, 3u);
+    EXPECT_EQ(r.matchedLength, 7u);
+
+    // 1010110 -> P2.
+    key = Key128();
+    key.deposit(0, 7, 0b1010110);
+    r = tb.lookup(key);
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.nextHop, 2u);
+
+    // 1111111 -> no match.
+    key = Key128();
+    key.deposit(0, 7, 0b1111111);
+    EXPECT_FALSE(tb.lookup(key).found);
+}
+
+TEST(TreeBitmap, MatchesOracleOnRandomTable)
+{
+    RoutingTable table = generateScaledTable(3000, 32, 80);
+    BinaryTrie oracle(table);
+    TreeBitmap tb(table, treeBitmapIpv4Config());
+    EXPECT_EQ(tb.routeCount(), table.size());
+
+    auto keys = generateLookupKeys(table, 3000, 32, 0.75, 81);
+    for (const auto &key : keys) {
+        auto a = oracle.lookup(key, 32);
+        auto b = tb.lookup(key);
+        ASSERT_EQ(a.has_value(), b.found);
+        if (a) {
+            EXPECT_EQ(a->nextHop, b.nextHop);
+            EXPECT_EQ(a->prefix.length(), b.matchedLength);
+        }
+    }
+}
+
+TEST(TreeBitmap, AccessCountBounded)
+{
+    RoutingTable table = generateScaledTable(2000, 32, 82);
+    TreeBitmap tb(table, treeBitmapIpv4Config());
+    EXPECT_EQ(tb.maxAccesses(), 8u);   // 7 levels + result fetch.
+
+    auto keys = generateLookupKeys(table, 500, 32, 0.9, 83);
+    for (const auto &key : keys) {
+        auto r = tb.lookup(key);
+        EXPECT_GE(r.memoryAccesses, 1u);
+        EXPECT_LE(r.memoryAccesses, tb.maxAccesses());
+    }
+}
+
+TEST(TreeBitmap, Ipv6AccessesGrowWithKeyWidth)
+{
+    // The property Figure-comparison 6.7.1 relies on: latency scales
+    // with key width for tries.
+    auto v4 = treeBitmapIpv4Config();
+    auto v6 = treeBitmapIpv6Config();
+    unsigned sum4 = 0, sum6 = 0;
+    for (unsigned s : v4.strides)
+        sum4 += s;
+    for (unsigned s : v6.strides)
+        sum6 += s;
+    EXPECT_EQ(sum4, 33u);    // One past the longest IPv4 prefix.
+    EXPECT_EQ(sum6, 129u);
+    EXPECT_GT(v6.strides.size(), 3 * v4.strides.size());
+}
+
+TEST(TreeBitmap, StorageAccounting)
+{
+    RoutingTable table = generateScaledTable(5000, 32, 84);
+    TreeBitmap tb(table, treeBitmapIpv4Config());
+    EXPECT_GT(tb.storageBits(), 0u);
+    EXPECT_GT(tb.nodeCount(), 0u);
+    double bpp = tb.bytesPerPrefix();
+    // Healthy Tree Bitmap configurations land in single-digit to
+    // low-tens bytes per prefix.
+    EXPECT_GT(bpp, 1.0);
+    EXPECT_LT(bpp, 100.0);
+}
+
+TEST(TreeBitmap, RejectsShortStrides)
+{
+    RoutingTable table;
+    table.add(Prefix::fromCidr("10.0.0.0/24"), 1);
+    TreeBitmapConfig cfg;
+    cfg.strides = {8, 8};   // Only 16 bits < /24.
+    EXPECT_THROW(TreeBitmap(table, cfg), ChiselError);
+}
+
+TEST(TreeBitmap, IncrementalInsertEraseMatchesOracle)
+{
+    // Interleaved announce/withdraw churn: the dynamic Tree Bitmap
+    // must track the binary trie exactly.
+    TreeBitmap tb(treeBitmapIpv4Config());
+    RoutingTable truth;
+    Rng rng(85);
+
+    for (int step = 0; step < 4000; ++step) {
+        unsigned len = static_cast<unsigned>(rng.nextRange(0, 28));
+        Prefix p(Key128(rng.next64() & 0xFFFF000000000000ull, 0),
+                 len);
+        if (rng.nextBool(0.6)) {
+            NextHop nh = static_cast<NextHop>(rng.nextBelow(64));
+            tb.insert(p, nh);
+            truth.add(p, nh);
+        } else {
+            bool removed = tb.erase(p);
+            EXPECT_EQ(removed, truth.remove(p));
+        }
+    }
+    EXPECT_EQ(tb.routeCount(), truth.size());
+
+    BinaryTrie oracle(truth);
+    for (int i = 0; i < 3000; ++i) {
+        Key128 key(rng.next64() & 0xFFFF000000000000ull, 0);
+        auto a = oracle.lookup(key, 32);
+        auto b = tb.lookup(key);
+        ASSERT_EQ(a.has_value(), b.found);
+        if (a) {
+            EXPECT_EQ(a->nextHop, b.nextHop);
+            EXPECT_EQ(a->prefix.length(), b.matchedLength);
+        }
+    }
+}
+
+TEST(TreeBitmap, ErasePrunesEmptyNodes)
+{
+    TreeBitmap tb(treeBitmapIpv4Config());
+    size_t base_nodes = tb.nodeCount();
+    Prefix deep = Prefix::fromCidr("10.1.2.192/28");
+    tb.insert(deep, 7);
+    EXPECT_GT(tb.nodeCount(), base_nodes);
+    EXPECT_TRUE(tb.erase(deep));
+    EXPECT_EQ(tb.nodeCount(), base_nodes);   // All the way pruned.
+    EXPECT_GT(tb.updateStats().nodesPruned, 0u);
+    EXPECT_FALSE(tb.erase(deep));
+}
+
+TEST(TreeBitmap, UpdateStatsCountBlockReallocs)
+{
+    // The cost the paper cites for trie schemes ([9], [18]):
+    // variable-sized node blocks are reallocated on updates.
+    TreeBitmap tb(treeBitmapIpv4Config());
+    tb.insert(Prefix::fromCidr("10.0.0.0/8"), 1);
+    auto s1 = tb.updateStats();
+    EXPECT_GT(s1.blockReallocs, 0u);
+    EXPECT_GT(s1.nodesCreated, 0u);
+
+    // Overwriting an existing route touches no blocks.
+    uint64_t before = tb.updateStats().blockReallocs;
+    tb.insert(Prefix::fromCidr("10.0.0.0/8"), 2);
+    EXPECT_EQ(tb.updateStats().blockReallocs, before);
+    EXPECT_EQ(*tb.find(Prefix::fromCidr("10.0.0.0/8")), 2u);
+}
+
+TEST(TreeBitmap, FindExactPrefix)
+{
+    RoutingTable t;
+    t.add(Prefix::fromCidr("10.0.0.0/8"), 1);
+    t.add(Prefix::fromCidr("10.1.0.0/16"), 2);
+    TreeBitmap tb(t, treeBitmapIpv4Config());
+    EXPECT_EQ(*tb.find(Prefix::fromCidr("10.0.0.0/8")), 1u);
+    EXPECT_EQ(*tb.find(Prefix::fromCidr("10.1.0.0/16")), 2u);
+    EXPECT_FALSE(tb.find(Prefix::fromCidr("10.2.0.0/16")).has_value());
+}
+
+TEST(TreeBitmap, DefaultRouteAtRoot)
+{
+    RoutingTable table;
+    table.add(Prefix(), 42);
+    table.add(Prefix::fromCidr("10.0.0.0/8"), 7);
+    TreeBitmap tb(table, treeBitmapIpv4Config());
+    auto r = tb.lookup(Key128::fromIpv4(0xFFFFFFFF));
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.nextHop, 42u);
+    r = tb.lookup(Key128::fromIpv4(0x0A000001));
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.nextHop, 7u);
+}
+
+} // anonymous namespace
+} // namespace chisel
