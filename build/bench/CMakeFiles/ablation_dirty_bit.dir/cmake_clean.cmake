@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dirty_bit.dir/ablation_dirty_bit.cc.o"
+  "CMakeFiles/ablation_dirty_bit.dir/ablation_dirty_bit.cc.o.d"
+  "ablation_dirty_bit"
+  "ablation_dirty_bit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dirty_bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

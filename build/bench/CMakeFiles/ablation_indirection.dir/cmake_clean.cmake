@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_indirection.dir/ablation_indirection.cc.o"
+  "CMakeFiles/ablation_indirection.dir/ablation_indirection.cc.o.d"
+  "ablation_indirection"
+  "ablation_indirection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_indirection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_k_ratio.dir/ablation_k_ratio.cc.o"
+  "CMakeFiles/ablation_k_ratio.dir/ablation_k_ratio.cc.o.d"
+  "ablation_k_ratio"
+  "ablation_k_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_k_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

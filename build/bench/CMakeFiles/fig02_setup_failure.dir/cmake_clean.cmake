@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_setup_failure.dir/fig02_setup_failure.cc.o"
+  "CMakeFiles/fig02_setup_failure.dir/fig02_setup_failure.cc.o.d"
+  "fig02_setup_failure"
+  "fig02_setup_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_setup_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_setup_failure_vs_n.dir/fig03_setup_failure_vs_n.cc.o"
+  "CMakeFiles/fig03_setup_failure_vs_n.dir/fig03_setup_failure_vs_n.cc.o.d"
+  "fig03_setup_failure_vs_n"
+  "fig03_setup_failure_vs_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_setup_failure_vs_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_setup_failure_vs_n.
+# This may be replaced when dependencies are built.

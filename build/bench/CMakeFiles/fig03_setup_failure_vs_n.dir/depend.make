@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_setup_failure_vs_n.
+# This may be replaced when dependencies are built.

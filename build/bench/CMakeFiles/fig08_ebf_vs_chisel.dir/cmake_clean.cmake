@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ebf_vs_chisel.dir/fig08_ebf_vs_chisel.cc.o"
+  "CMakeFiles/fig08_ebf_vs_chisel.dir/fig08_ebf_vs_chisel.cc.o.d"
+  "fig08_ebf_vs_chisel"
+  "fig08_ebf_vs_chisel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ebf_vs_chisel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_ebf_vs_chisel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_cpe_vs_pc.dir/fig09_cpe_vs_pc.cc.o"
+  "CMakeFiles/fig09_cpe_vs_pc.dir/fig09_cpe_vs_pc.cc.o.d"
+  "fig09_cpe_vs_pc"
+  "fig09_cpe_vs_pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cpe_vs_pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_cpe_vs_pc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_chisel_vs_ebf_cpe.dir/fig10_chisel_vs_ebf_cpe.cc.o"
+  "CMakeFiles/fig10_chisel_vs_ebf_cpe.dir/fig10_chisel_vs_ebf_cpe.cc.o.d"
+  "fig10_chisel_vs_ebf_cpe"
+  "fig10_chisel_vs_ebf_cpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_chisel_vs_ebf_cpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

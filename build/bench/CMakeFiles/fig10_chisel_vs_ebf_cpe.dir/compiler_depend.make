@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_chisel_vs_ebf_cpe.
+# This may be replaced when dependencies are built.

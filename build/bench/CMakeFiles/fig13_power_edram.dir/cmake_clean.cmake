@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_power_edram.dir/fig13_power_edram.cc.o"
+  "CMakeFiles/fig13_power_edram.dir/fig13_power_edram.cc.o.d"
+  "fig13_power_edram"
+  "fig13_power_edram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_power_edram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

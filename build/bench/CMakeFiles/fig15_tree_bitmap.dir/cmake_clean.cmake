@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_tree_bitmap.dir/fig15_tree_bitmap.cc.o"
+  "CMakeFiles/fig15_tree_bitmap.dir/fig15_tree_bitmap.cc.o.d"
+  "fig15_tree_bitmap"
+  "fig15_tree_bitmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_tree_bitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_load_balance.dir/hash_load_balance.cc.o"
+  "CMakeFiles/hash_load_balance.dir/hash_load_balance.cc.o.d"
+  "hash_load_balance"
+  "hash_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_accesses.dir/latency_accesses.cc.o"
+  "CMakeFiles/latency_accesses.dir/latency_accesses.cc.o.d"
+  "latency_accesses"
+  "latency_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpm_comparison.dir/lpm_comparison.cc.o"
+  "CMakeFiles/lpm_comparison.dir/lpm_comparison.cc.o.d"
+  "lpm_comparison"
+  "lpm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

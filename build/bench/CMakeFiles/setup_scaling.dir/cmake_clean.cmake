@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setup_scaling.dir/setup_scaling.cc.o"
+  "CMakeFiles/setup_scaling.dir/setup_scaling.cc.o.d"
+  "setup_scaling"
+  "setup_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setup_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_update_rates.dir/table1_update_rates.cc.o"
+  "CMakeFiles/table1_update_rates.dir/table1_update_rates.cc.o.d"
+  "table1_update_rates"
+  "table1_update_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_update_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

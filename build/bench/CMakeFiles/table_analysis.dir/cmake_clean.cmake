@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_analysis.dir/table_analysis.cc.o"
+  "CMakeFiles/table_analysis.dir/table_analysis.cc.o.d"
+  "table_analysis"
+  "table_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

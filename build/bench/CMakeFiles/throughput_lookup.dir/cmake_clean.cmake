@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_lookup.dir/throughput_lookup.cc.o"
+  "CMakeFiles/throughput_lookup.dir/throughput_lookup.cc.o.d"
+  "throughput_lookup"
+  "throughput_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

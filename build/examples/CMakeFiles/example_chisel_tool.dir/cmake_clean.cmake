@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_chisel_tool.dir/chisel_tool.cc.o"
+  "CMakeFiles/example_chisel_tool.dir/chisel_tool.cc.o.d"
+  "example_chisel_tool"
+  "example_chisel_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_chisel_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

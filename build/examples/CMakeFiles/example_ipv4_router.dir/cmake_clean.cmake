@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ipv4_router.dir/ipv4_router.cc.o"
+  "CMakeFiles/example_ipv4_router.dir/ipv4_router.cc.o.d"
+  "example_ipv4_router"
+  "example_ipv4_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ipv4_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

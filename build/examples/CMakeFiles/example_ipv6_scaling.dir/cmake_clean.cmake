@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ipv6_scaling.dir/ipv6_scaling.cc.o"
+  "CMakeFiles/example_ipv6_scaling.dir/ipv6_scaling.cc.o.d"
+  "example_ipv6_scaling"
+  "example_ipv6_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ipv6_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

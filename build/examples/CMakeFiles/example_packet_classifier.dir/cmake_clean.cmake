@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_packet_classifier.dir/packet_classifier.cc.o"
+  "CMakeFiles/example_packet_classifier.dir/packet_classifier.cc.o.d"
+  "example_packet_classifier"
+  "example_packet_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_packet_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_payload_scan.dir/payload_scan.cc.o"
+  "CMakeFiles/example_payload_scan.dir/payload_scan.cc.o.d"
+  "example_payload_scan"
+  "example_payload_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_payload_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_update_replay.dir/update_replay.cc.o"
+  "CMakeFiles/example_update_replay.dir/update_replay.cc.o.d"
+  "example_update_replay"
+  "example_update_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_update_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

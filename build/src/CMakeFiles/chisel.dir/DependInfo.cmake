@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bloom/analysis.cc" "src/CMakeFiles/chisel.dir/bloom/analysis.cc.o" "gcc" "src/CMakeFiles/chisel.dir/bloom/analysis.cc.o.d"
+  "/root/repo/src/bloom/bloom.cc" "src/CMakeFiles/chisel.dir/bloom/bloom.cc.o" "gcc" "src/CMakeFiles/chisel.dir/bloom/bloom.cc.o.d"
+  "/root/repo/src/bloom/bloomier.cc" "src/CMakeFiles/chisel.dir/bloom/bloomier.cc.o" "gcc" "src/CMakeFiles/chisel.dir/bloom/bloomier.cc.o.d"
+  "/root/repo/src/bloom/counting_bloom.cc" "src/CMakeFiles/chisel.dir/bloom/counting_bloom.cc.o" "gcc" "src/CMakeFiles/chisel.dir/bloom/counting_bloom.cc.o.d"
+  "/root/repo/src/classify/classifier.cc" "src/CMakeFiles/chisel.dir/classify/classifier.cc.o" "gcc" "src/CMakeFiles/chisel.dir/classify/classifier.cc.o.d"
+  "/root/repo/src/common/key128.cc" "src/CMakeFiles/chisel.dir/common/key128.cc.o" "gcc" "src/CMakeFiles/chisel.dir/common/key128.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/chisel.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/chisel.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/chisel.dir/common/random.cc.o" "gcc" "src/CMakeFiles/chisel.dir/common/random.cc.o.d"
+  "/root/repo/src/core/bitvector_table.cc" "src/CMakeFiles/chisel.dir/core/bitvector_table.cc.o" "gcc" "src/CMakeFiles/chisel.dir/core/bitvector_table.cc.o.d"
+  "/root/repo/src/core/collapse.cc" "src/CMakeFiles/chisel.dir/core/collapse.cc.o" "gcc" "src/CMakeFiles/chisel.dir/core/collapse.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/chisel.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/chisel.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/filter_table.cc" "src/CMakeFiles/chisel.dir/core/filter_table.cc.o" "gcc" "src/CMakeFiles/chisel.dir/core/filter_table.cc.o.d"
+  "/root/repo/src/core/fpga_model.cc" "src/CMakeFiles/chisel.dir/core/fpga_model.cc.o" "gcc" "src/CMakeFiles/chisel.dir/core/fpga_model.cc.o.d"
+  "/root/repo/src/core/power_model.cc" "src/CMakeFiles/chisel.dir/core/power_model.cc.o" "gcc" "src/CMakeFiles/chisel.dir/core/power_model.cc.o.d"
+  "/root/repo/src/core/result_table.cc" "src/CMakeFiles/chisel.dir/core/result_table.cc.o" "gcc" "src/CMakeFiles/chisel.dir/core/result_table.cc.o.d"
+  "/root/repo/src/core/shadow.cc" "src/CMakeFiles/chisel.dir/core/shadow.cc.o" "gcc" "src/CMakeFiles/chisel.dir/core/shadow.cc.o.d"
+  "/root/repo/src/core/storage_model.cc" "src/CMakeFiles/chisel.dir/core/storage_model.cc.o" "gcc" "src/CMakeFiles/chisel.dir/core/storage_model.cc.o.d"
+  "/root/repo/src/core/subcell.cc" "src/CMakeFiles/chisel.dir/core/subcell.cc.o" "gcc" "src/CMakeFiles/chisel.dir/core/subcell.cc.o.d"
+  "/root/repo/src/core/timing_model.cc" "src/CMakeFiles/chisel.dir/core/timing_model.cc.o" "gcc" "src/CMakeFiles/chisel.dir/core/timing_model.cc.o.d"
+  "/root/repo/src/cpe/cpe.cc" "src/CMakeFiles/chisel.dir/cpe/cpe.cc.o" "gcc" "src/CMakeFiles/chisel.dir/cpe/cpe.cc.o.d"
+  "/root/repo/src/hash/h3.cc" "src/CMakeFiles/chisel.dir/hash/h3.cc.o" "gcc" "src/CMakeFiles/chisel.dir/hash/h3.cc.o.d"
+  "/root/repo/src/hash/mix.cc" "src/CMakeFiles/chisel.dir/hash/mix.cc.o" "gcc" "src/CMakeFiles/chisel.dir/hash/mix.cc.o.d"
+  "/root/repo/src/hashtable/chained.cc" "src/CMakeFiles/chisel.dir/hashtable/chained.cc.o" "gcc" "src/CMakeFiles/chisel.dir/hashtable/chained.cc.o.d"
+  "/root/repo/src/hashtable/dleft.cc" "src/CMakeFiles/chisel.dir/hashtable/dleft.cc.o" "gcc" "src/CMakeFiles/chisel.dir/hashtable/dleft.cc.o.d"
+  "/root/repo/src/hashtable/ebf.cc" "src/CMakeFiles/chisel.dir/hashtable/ebf.cc.o" "gcc" "src/CMakeFiles/chisel.dir/hashtable/ebf.cc.o.d"
+  "/root/repo/src/lpm/bloom_lpm.cc" "src/CMakeFiles/chisel.dir/lpm/bloom_lpm.cc.o" "gcc" "src/CMakeFiles/chisel.dir/lpm/bloom_lpm.cc.o.d"
+  "/root/repo/src/lpm/ebf_cpe_lpm.cc" "src/CMakeFiles/chisel.dir/lpm/ebf_cpe_lpm.cc.o" "gcc" "src/CMakeFiles/chisel.dir/lpm/ebf_cpe_lpm.cc.o.d"
+  "/root/repo/src/lpm/waldvogel.cc" "src/CMakeFiles/chisel.dir/lpm/waldvogel.cc.o" "gcc" "src/CMakeFiles/chisel.dir/lpm/waldvogel.cc.o.d"
+  "/root/repo/src/match/dictionary.cc" "src/CMakeFiles/chisel.dir/match/dictionary.cc.o" "gcc" "src/CMakeFiles/chisel.dir/match/dictionary.cc.o.d"
+  "/root/repo/src/mem/edram.cc" "src/CMakeFiles/chisel.dir/mem/edram.cc.o" "gcc" "src/CMakeFiles/chisel.dir/mem/edram.cc.o.d"
+  "/root/repo/src/mem/sram.cc" "src/CMakeFiles/chisel.dir/mem/sram.cc.o" "gcc" "src/CMakeFiles/chisel.dir/mem/sram.cc.o.d"
+  "/root/repo/src/mem/tech.cc" "src/CMakeFiles/chisel.dir/mem/tech.cc.o" "gcc" "src/CMakeFiles/chisel.dir/mem/tech.cc.o.d"
+  "/root/repo/src/route/analysis.cc" "src/CMakeFiles/chisel.dir/route/analysis.cc.o" "gcc" "src/CMakeFiles/chisel.dir/route/analysis.cc.o.d"
+  "/root/repo/src/route/prefix.cc" "src/CMakeFiles/chisel.dir/route/prefix.cc.o" "gcc" "src/CMakeFiles/chisel.dir/route/prefix.cc.o.d"
+  "/root/repo/src/route/reader.cc" "src/CMakeFiles/chisel.dir/route/reader.cc.o" "gcc" "src/CMakeFiles/chisel.dir/route/reader.cc.o.d"
+  "/root/repo/src/route/synth.cc" "src/CMakeFiles/chisel.dir/route/synth.cc.o" "gcc" "src/CMakeFiles/chisel.dir/route/synth.cc.o.d"
+  "/root/repo/src/route/table.cc" "src/CMakeFiles/chisel.dir/route/table.cc.o" "gcc" "src/CMakeFiles/chisel.dir/route/table.cc.o.d"
+  "/root/repo/src/route/updates.cc" "src/CMakeFiles/chisel.dir/route/updates.cc.o" "gcc" "src/CMakeFiles/chisel.dir/route/updates.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/chisel.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/chisel.dir/sim/report.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/chisel.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/chisel.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/chisel.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/chisel.dir/sim/stats.cc.o.d"
+  "/root/repo/src/tcam/tcam.cc" "src/CMakeFiles/chisel.dir/tcam/tcam.cc.o" "gcc" "src/CMakeFiles/chisel.dir/tcam/tcam.cc.o.d"
+  "/root/repo/src/tcam/tcam_model.cc" "src/CMakeFiles/chisel.dir/tcam/tcam_model.cc.o" "gcc" "src/CMakeFiles/chisel.dir/tcam/tcam_model.cc.o.d"
+  "/root/repo/src/trie/binary_trie.cc" "src/CMakeFiles/chisel.dir/trie/binary_trie.cc.o" "gcc" "src/CMakeFiles/chisel.dir/trie/binary_trie.cc.o.d"
+  "/root/repo/src/trie/tree_bitmap.cc" "src/CMakeFiles/chisel.dir/trie/tree_bitmap.cc.o" "gcc" "src/CMakeFiles/chisel.dir/trie/tree_bitmap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

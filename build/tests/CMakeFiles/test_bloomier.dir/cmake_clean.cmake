@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bloomier.dir/test_bloomier.cc.o"
+  "CMakeFiles/test_bloomier.dir/test_bloomier.cc.o.d"
+  "test_bloomier"
+  "test_bloomier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bloomier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpe.dir/test_cpe.cc.o"
+  "CMakeFiles/test_cpe.dir/test_cpe.cc.o.d"
+  "test_cpe"
+  "test_cpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

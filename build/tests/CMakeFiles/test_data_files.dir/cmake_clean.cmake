@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_files.dir/test_data_files.cc.o"
+  "CMakeFiles/test_data_files.dir/test_data_files.cc.o.d"
+  "test_data_files"
+  "test_data_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

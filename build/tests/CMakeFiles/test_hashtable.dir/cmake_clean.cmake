@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hashtable.dir/test_hashtable.cc.o"
+  "CMakeFiles/test_hashtable.dir/test_hashtable.cc.o.d"
+  "test_hashtable"
+  "test_hashtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_key128.dir/test_key128.cc.o"
+  "CMakeFiles/test_key128.dir/test_key128.cc.o.d"
+  "test_key128"
+  "test_key128.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_key128.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

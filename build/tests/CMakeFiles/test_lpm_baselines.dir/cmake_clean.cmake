@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lpm_baselines.dir/test_lpm_baselines.cc.o"
+  "CMakeFiles/test_lpm_baselines.dir/test_lpm_baselines.cc.o.d"
+  "test_lpm_baselines"
+  "test_lpm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lpm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow.dir/test_shadow.cc.o"
+  "CMakeFiles/test_shadow.dir/test_shadow.cc.o.d"
+  "test_shadow"
+  "test_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

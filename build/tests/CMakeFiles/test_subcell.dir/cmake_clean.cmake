@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subcell.dir/test_subcell.cc.o"
+  "CMakeFiles/test_subcell.dir/test_subcell.cc.o.d"
+  "test_subcell"
+  "test_subcell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subcell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

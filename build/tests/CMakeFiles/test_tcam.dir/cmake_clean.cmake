@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcam.dir/test_tcam.cc.o"
+  "CMakeFiles/test_tcam.dir/test_tcam.cc.o.d"
+  "test_tcam"
+  "test_tcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
