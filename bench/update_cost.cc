@@ -17,14 +17,20 @@
 #include "route/synth.hh"
 #include "route/updates.hh"
 #include "sim/report.hh"
+#include "telemetry/cli.hh"
 #include "trie/tree_bitmap.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chisel;
+    telemetry::TelemetryOptions opts =
+        telemetry::TelemetryOptions::parse(argc, argv);
+
     RoutingTable table = generateScaledTable(80000, 32, 0x0C7);
     ChiselEngine engine(table);
+    telemetry::TelemetrySession session(opts);
+    session.attach(engine);
     // Discard build-time writes; measure updates only.
     uint64_t base_singletons = 0, base_rebuilds = 0;
     for (size_t i = 0; i < engine.cellCount(); ++i) {
@@ -98,5 +104,11 @@ main()
                 "writes).\n",
                 static_cast<double>(ts.nodesTouched) / updates,
                 static_cast<double>(ts.blockReallocs) / updates);
+
+    if (session.enabled()) {
+        session.engineTelemetry()->snapshot(engine);
+        metricsReport(session.registry()).print();
+        session.finish();
+    }
     return 0;
 }

@@ -5,7 +5,14 @@
  * an update stream, and print the consolidated report — functional
  * verification, storage, power, area, and timing.
  *
- * Usage: example_simulate [table.txt]
+ * Usage: example_simulate [options] [table.txt]
+ *
+ * Options:
+ *   --metrics-json=<path>  write a telemetry snapshot (counters,
+ *                          gauges, per-lookup access histograms with
+ *                          p50/p95/p99) as JSON
+ *   --trace=<path>         write every traced memory access as a
+ *                          Chrome trace_event JSON file
  */
 
 #include <iostream>
@@ -13,12 +20,17 @@
 #include "route/reader.hh"
 #include "route/synth.hh"
 #include "route/updates.hh"
+#include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "telemetry/cli.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace chisel;
+
+    telemetry::TelemetryOptions opts =
+        telemetry::TelemetryOptions::parse(argc, argv);
 
     RoutingTable table;
     if (argc > 1)
@@ -27,6 +39,9 @@ main(int argc, char **argv)
         table = generateScaledTable(100000, 32, 5);
 
     ChiselSimulator sim(table);
+
+    telemetry::TelemetrySession session(opts);
+    session.attach(sim.engine());
 
     auto keys = generateLookupKeys(table, 200000, 32, 0.9, 6);
     sim.runLookups(keys);
@@ -37,5 +52,11 @@ main(int argc, char **argv)
 
     auto report = sim.report();
     report.print(std::cout);
+
+    if (session.enabled()) {
+        session.engineTelemetry()->snapshot(sim.engine());
+        metricsReport(session.registry()).print(std::cout);
+        session.finish();
+    }
     return report.mismatches == 0 ? 0 : 1;
 }

@@ -5,10 +5,13 @@
  * sustained rate, and a correctness audit afterwards.
  *
  * Usage:
- *     example_update_replay [trace.txt [table.txt]]
+ *     example_update_replay [options] [trace.txt [table.txt]]
  *
  * Without arguments a synthetic table and an rrc00-profile trace are
  * generated.  Trace format: "A prefix nexthop" / "W prefix" lines.
+ *
+ * Options: --metrics-json=<path> (telemetry snapshot with per-update
+ * write histograms), --trace=<path> (Chrome trace_event file).
  */
 
 #include <cstdio>
@@ -18,13 +21,18 @@
 #include "route/reader.hh"
 #include "route/synth.hh"
 #include "route/updates.hh"
+#include "sim/report.hh"
 #include "sim/stats.hh"
+#include "telemetry/cli.hh"
 #include "trie/binary_trie.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace chisel;
+
+    telemetry::TelemetryOptions opts =
+        telemetry::TelemetryOptions::parse(argc, argv);
 
     RoutingTable table;
     std::vector<Update> trace;
@@ -50,6 +58,9 @@ main(int argc, char **argv)
 
     ChiselEngine engine(table);
     RoutingTable truth = table;
+
+    telemetry::TelemetrySession session(opts);
+    session.attach(engine);
 
     StopWatch watch;
     for (const auto &u : trace) {
@@ -94,5 +105,11 @@ main(int argc, char **argv)
                 "route count %zu vs truth %zu\n",
                 keys.size(), wrong, engine.routeCount(),
                 truth.size());
+
+    if (session.enabled()) {
+        session.engineTelemetry()->snapshot(engine);
+        metricsReport(session.registry()).print();
+        session.finish();
+    }
     return wrong == 0 ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "telemetry/trace.hh"
 
 namespace chisel {
 
@@ -79,6 +80,7 @@ BloomierFilter::encodeAt(const Key128 &key, unsigned partition,
         v ^= slots_[locs[i]];
     }
     panicIf(!found, "encodeAt target not in key's hash neighborhood");
+    CHISEL_TRACE_WRITE(Index, target, (slotWidthBits_ + 7) / 8);
     slots_[target] = v;
 }
 
@@ -88,8 +90,12 @@ BloomierFilter::lookupCode(const Key128 &key) const
     size_t locs[8];
     slotsOf(key, partitionOf(key), locs);
     uint32_t v = 0;
-    for (unsigned i = 0; i < config_.k; ++i)
+    const uint32_t slot_bytes = (slotWidthBits_ + 7) / 8;
+    for (unsigned i = 0; i < config_.k; ++i) {
+        // One hardware access per segment probe (k per lookup).
+        CHISEL_TRACE_ACCESS(Index, locs[i], slot_bytes);
         v ^= slots_[locs[i]];
+    }
     return v;
 }
 

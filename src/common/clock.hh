@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Monotonic time source shared by StopWatch and the telemetry layer.
+ *
+ * All latency measurement in the library goes through this single
+ * function so every timestamp is on the same (monotonic, steady)
+ * clock — wall-clock adjustments can never produce negative
+ * intervals or skewed trace timestamps.
+ */
+
+#ifndef CHISEL_COMMON_CLOCK_HH
+#define CHISEL_COMMON_CLOCK_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace chisel {
+
+/** Nanoseconds on the monotonic clock (arbitrary epoch). */
+inline uint64_t
+monotonicNowNs()
+{
+    static_assert(std::chrono::steady_clock::is_steady,
+                  "steady_clock must be monotonic");
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace chisel
+
+#endif // CHISEL_COMMON_CLOCK_HH

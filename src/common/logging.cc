@@ -2,8 +2,90 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <utility>
 
 namespace chisel {
+
+namespace {
+
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("CHISEL_LOG_LEVEL");
+    if (env == nullptr)
+        return LogLevel::Info;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(env, "info") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "error") == 0)
+        return LogLevel::Error;
+    if (std::strcmp(env, "none") == 0)
+        return LogLevel::None;
+    std::fprintf(stderr,
+                 "chisel: warn: unknown CHISEL_LOG_LEVEL '%s' "
+                 "(expected debug|info|warn|error|none)\n",
+                 env);
+    return LogLevel::Info;
+}
+
+LogLevel g_level = levelFromEnv();
+LogSink g_sink = nullptr;
+
+void
+defaultSink(LogLevel level, const std::string &msg)
+{
+    std::fprintf(stderr, "chisel: %s: %s\n", logLevelName(level),
+                 msg.c_str());
+}
+
+} // anonymous namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+      case LogLevel::None: return "none";
+    }
+    return "?";
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogSink
+setLogSink(LogSink sink)
+{
+    LogSink prev = g_sink;
+    g_sink = sink;
+    return prev;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level < g_level || level == LogLevel::None)
+        return;
+    (g_sink != nullptr ? g_sink : defaultSink)(level, msg);
+}
 
 void
 fatalError(const std::string &msg)
@@ -21,15 +103,40 @@ panicIf(bool condition, const char *msg)
 }
 
 void
-warn(const std::string &msg)
+debug(const std::string &msg)
 {
-    std::fprintf(stderr, "chisel: warn: %s\n", msg.c_str());
+    logMessage(LogLevel::Debug, msg);
 }
 
 void
 inform(const std::string &msg)
 {
-    std::fprintf(stderr, "chisel: info: %s\n", msg.c_str());
+    logMessage(LogLevel::Info, msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    logMessage(LogLevel::Warn, msg);
+}
+
+void
+error(const std::string &msg)
+{
+    logMessage(LogLevel::Error, msg);
+}
+
+void
+warnOnce(const std::string &msg, std::source_location where)
+{
+    static std::mutex mutex;
+    static std::set<std::pair<std::string, unsigned>> seen;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!seen.emplace(where.file_name(), where.line()).second)
+            return;
+    }
+    warn(msg);
 }
 
 } // namespace chisel

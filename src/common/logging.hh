@@ -1,15 +1,28 @@
 /**
  * @file
- * Error reporting helpers, in the spirit of gem5's logging.hh.
+ * Error reporting and leveled logging, in the spirit of gem5's
+ * logging.hh.
  *
  * - panicIf(cond, msg):  internal invariant violated -> abort.
  * - fatalError(msg):     unrecoverable user error -> ChiselError thrown.
- * - warnOnce / inform:   advisory messages on stderr.
+ * - debug/inform/warn/error: leveled advisory messages.
+ * - warnOnce(msg):       like warn, but emits at most once per call
+ *                        site — for conditions that would otherwise
+ *                        flood the log (e.g. spillover capacity).
+ *
+ * The emission threshold defaults to Info and can be set either
+ * programmatically (setLogLevel) or through the CHISEL_LOG_LEVEL
+ * environment variable ("debug", "info", "warn", "error", "none"),
+ * read once at first use.  Messages below the threshold are
+ * suppressed.  All output goes through a replaceable sink (default:
+ * "chisel: <level>: <msg>" on stderr), which tests and embedders can
+ * swap to capture or redirect library chatter.
  */
 
 #ifndef CHISEL_COMMON_LOGGING_HH
 #define CHISEL_COMMON_LOGGING_HH
 
+#include <source_location>
 #include <stdexcept>
 #include <string>
 
@@ -28,17 +41,67 @@ class ChiselError : public std::runtime_error
     {}
 };
 
+/** Severity levels, least to most severe. */
+enum class LogLevel : uint8_t
+{
+    Debug = 0,
+    Info,
+    Warn,
+    Error,
+    None,   ///< Threshold-only value: suppress everything.
+};
+
+/** Short lower-case level name ("debug", "info", ...). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Current emission threshold.  First call initialises it from the
+ * CHISEL_LOG_LEVEL environment variable (default Info).
+ */
+LogLevel logLevel();
+
+/** Override the threshold programmatically. */
+void setLogLevel(LogLevel level);
+
+/** Destination for emitted messages. */
+using LogSink = void (*)(LogLevel level, const std::string &msg);
+
+/**
+ * Replace the output sink (tests, embedders).  @p sink == nullptr
+ * restores the default stderr sink.  @return the previous sink, or
+ * nullptr if the default was active.
+ */
+LogSink setLogSink(LogSink sink);
+
+/** Emit @p msg at @p level if it passes the threshold. */
+void logMessage(LogLevel level, const std::string &msg);
+
 /** Throw a ChiselError carrying @p msg. */
 [[noreturn]] void fatalError(const std::string &msg);
 
 /** Abort with @p msg if @p condition holds (library bug). */
 void panicIf(bool condition, const char *msg);
 
-/** Print an advisory message to stderr. */
+/** Diagnostic chatter (suppressed by default). */
+void debug(const std::string &msg);
+
+/** Print a status message. */
+void inform(const std::string &msg);
+
+/** Print an advisory message. */
 void warn(const std::string &msg);
 
-/** Print a status message to stderr. */
-void inform(const std::string &msg);
+/** Print an error message (does not throw; see fatalError). */
+void error(const std::string &msg);
+
+/**
+ * warn(), rate-limited to one emission per call site for the process
+ * lifetime.  The call site is identified by the (file, line) of the
+ * defaulted @p where argument.
+ */
+void warnOnce(const std::string &msg,
+              std::source_location where =
+                  std::source_location::current());
 
 } // namespace chisel
 

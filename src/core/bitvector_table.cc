@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.hh"
+#include "telemetry/trace.hh"
 
 namespace chisel {
 
@@ -27,6 +28,7 @@ BitVectorTable::setVector(uint32_t slot,
     panicIf(slot >= capacity_, "BitVectorTable set out of range");
     panicIf(bits.size() != wordsPerVector_,
             "BitVectorTable vector word-count mismatch");
+    CHISEL_TRACE_WRITE(BitVector, slot, (slotWidthBits() + 7) / 8);
     std::copy(bits.begin(), bits.end(),
               words_.begin() + static_cast<size_t>(slot) * wordsPerVector_);
     pointers_[slot] = pointer;
@@ -36,6 +38,7 @@ void
 BitVectorTable::clearVector(uint32_t slot)
 {
     panicIf(slot >= capacity_, "BitVectorTable clear out of range");
+    CHISEL_TRACE_WRITE(BitVector, slot, (slotWidthBits() + 7) / 8);
     auto begin = words_.begin() + static_cast<size_t>(slot) * wordsPerVector_;
     std::fill(begin, begin + wordsPerVector_, 0);
     pointers_[slot] = 0;
@@ -46,6 +49,10 @@ BitVectorTable::bit(uint32_t slot, uint64_t index) const
 {
     panicIf(slot >= capacity_ || index >= vectorBits_,
             "BitVectorTable bit out of range");
+    // One hardware access fetches the whole entry (vector + pointer);
+    // the subsequent onesUpTo()/pointer() calls of the lookup path
+    // reuse that word, so only this read is traced.
+    CHISEL_TRACE_ACCESS(BitVector, slot, (slotWidthBits() + 7) / 8);
     const uint64_t *v = &words_[static_cast<size_t>(slot) * wordsPerVector_];
     return (v[index / 64] >> (index % 64)) & 1;
 }

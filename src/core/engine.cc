@@ -8,6 +8,7 @@
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "hash/mix.hh"
+#include "telemetry/engine_telemetry.hh"
 
 namespace chisel {
 
@@ -113,15 +114,27 @@ ChiselEngine::absorbDisplaced(std::vector<Route> &displaced)
     for (const auto &r : displaced)
         spill_.insert(r.prefix, r.nextHop);
     if (!was_over && spillOverCapacity()) {
-        // Warn once per crossing, not per displaced route.
-        warn("spillover TCAM above design capacity: " +
-             std::to_string(spill_.size()) + " entries");
+        // One advisory per process: repeated crossings during long
+        // update replays would otherwise flood the log.
+        warnOnce("spillover TCAM above design capacity: " +
+                 std::to_string(spill_.size()) + " entries");
     }
     displaced.clear();
 }
 
 LookupResult
 ChiselEngine::lookup(const Key128 &key) const
+{
+    if (telemetry_ == nullptr)
+        return lookupImpl(key);
+    telemetry::LookupSpan span(*telemetry_);
+    LookupResult out = lookupImpl(key);
+    span.finish(out);
+    return out;
+}
+
+LookupResult
+ChiselEngine::lookupImpl(const Key128 &key) const
 {
     LookupResult out;
     out.memoryAccesses = kLookupAccesses;
@@ -172,6 +185,17 @@ ChiselEngine::lookup(const Key128 &key) const
 UpdateClass
 ChiselEngine::announce(const Prefix &prefix, NextHop next_hop)
 {
+    if (telemetry_ == nullptr)
+        return announceImpl(prefix, next_hop);
+    telemetry::UpdateSpan span(*telemetry_);
+    UpdateClass cls = announceImpl(prefix, next_hop);
+    span.finish(cls);
+    return cls;
+}
+
+UpdateClass
+ChiselEngine::announceImpl(const Prefix &prefix, NextHop next_hop)
+{
     if (prefix.length() > config_.keyWidth) {
         fatalError("announce: prefix longer than the engine's key "
                    "width");
@@ -207,6 +231,17 @@ ChiselEngine::announce(const Prefix &prefix, NextHop next_hop)
 
 UpdateClass
 ChiselEngine::withdraw(const Prefix &prefix)
+{
+    if (telemetry_ == nullptr)
+        return withdrawImpl(prefix);
+    telemetry::UpdateSpan span(*telemetry_);
+    UpdateClass cls = withdrawImpl(prefix);
+    span.finish(cls);
+    return cls;
+}
+
+UpdateClass
+ChiselEngine::withdrawImpl(const Prefix &prefix)
 {
     UpdateClass cls = UpdateClass::NoOp;
     if (prefix.length() == 0) {

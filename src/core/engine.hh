@@ -36,6 +36,8 @@
 
 namespace chisel {
 
+namespace telemetry { class EngineTelemetry; }
+
 /** Engine construction parameters (paper design points as defaults). */
 struct ChiselConfig
 {
@@ -225,7 +227,30 @@ class ChiselEngine
     /** Deep consistency check across all sub-cells (tests). */
     bool selfCheck() const;
 
+    /**
+     * Attach a telemetry binding (see telemetry/engine_telemetry.hh):
+     * every subsequent lookup and update runs under an access-tracer
+     * span feeding the binding's MetricRegistry.  Pass nullptr to
+     * detach.  The binding is borrowed and must outlive its
+     * attachment; with none attached the engine stays on the
+     * zero-overhead path.
+     */
+    void
+    attachTelemetry(telemetry::EngineTelemetry *telemetry)
+    {
+        telemetry_ = telemetry;
+    }
+
+    telemetry::EngineTelemetry *telemetry() const { return telemetry_; }
+
   private:
+    /** lookup() body; runs inside the telemetry span when attached. */
+    LookupResult lookupImpl(const Key128 &key) const;
+
+    /** announce()/withdraw() bodies, likewise. */
+    UpdateClass announceImpl(const Prefix &prefix, NextHop next_hop);
+    UpdateClass withdrawImpl(const Prefix &prefix);
+
     /** Move displaced routes into the spillover TCAM. */
     void absorbDisplaced(std::vector<Route> &displaced);
 
@@ -237,6 +262,7 @@ class ChiselEngine
     std::optional<NextHop> defaultRoute_;
     UpdateStats updateStats_;
     mutable AccessCounters access_;
+    telemetry::EngineTelemetry *telemetry_ = nullptr;
 };
 
 } // namespace chisel

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/logging.hh"
+#include "telemetry/trace.hh"
 
 namespace chisel {
 
@@ -41,6 +42,7 @@ void
 FilterTable::set(uint32_t slot, const Key128 &key)
 {
     panicIf(slot >= entries_.size(), "FilterTable set out of range");
+    CHISEL_TRACE_WRITE(Filter, slot, (slotWidthBits() + 7) / 8);
     Entry &e = entries_[slot];
     if (!e.valid)
         ++used_;
@@ -54,6 +56,8 @@ FilterTable::matches(uint32_t slot, const Key128 &key) const
 {
     if (slot >= entries_.size())
         return false;
+    // One hardware access: the whole slot (key + flags) is one word.
+    CHISEL_TRACE_ACCESS(Filter, slot, (slotWidthBits() + 7) / 8);
     const Entry &e = entries_[slot];
     return e.valid && e.key == key;
 }
@@ -62,6 +66,7 @@ void
 FilterTable::setDirty(uint32_t slot, bool dirty)
 {
     panicIf(slot >= entries_.size(), "FilterTable setDirty out of range");
+    CHISEL_TRACE_WRITE(Filter, slot, (slotWidthBits() + 7) / 8);
     entries_[slot].dirty = dirty;
 }
 

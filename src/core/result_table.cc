@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "telemetry/trace.hh"
 
 namespace chisel {
 
@@ -54,6 +55,7 @@ NextHop
 ResultTable::read(uint32_t addr) const
 {
     panicIf(addr >= slots_.size(), "ResultTable read out of range");
+    CHISEL_TRACE_ACCESS(Result, addr, sizeof(NextHop));
     return slots_[addr];
 }
 
@@ -61,6 +63,7 @@ void
 ResultTable::write(uint32_t addr, NextHop next_hop)
 {
     panicIf(addr >= slots_.size(), "ResultTable write out of range");
+    CHISEL_TRACE_WRITE(Result, addr, sizeof(NextHop));
     slots_[addr] = next_hop;
 }
 

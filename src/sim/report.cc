@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "telemetry/metrics.hh"
+
 namespace chisel {
 
 Report::Report(std::string title, std::vector<std::string> columns)
@@ -88,6 +90,29 @@ void
 Report::print() const
 {
     print(std::cout);
+}
+
+Report
+metricsReport(const telemetry::MetricRegistry &registry)
+{
+    Report report("Telemetry metrics",
+                  {"metric", "value", "count", "mean", "p50", "p95",
+                   "p99", "max"});
+    for (const std::string &name : registry.names()) {
+        if (const auto *c = registry.findCounter(name)) {
+            report.addRow({name, Report::count(c->value())});
+        } else if (const auto *g = registry.findGauge(name)) {
+            report.addRow({name, Report::num(g->value(), 2)});
+        } else if (const auto *h = registry.findHistogram(name)) {
+            report.addRow({name, "-", Report::count(h->count()),
+                           Report::num(h->mean(), 2),
+                           Report::count(h->quantile(0.50)),
+                           Report::count(h->quantile(0.95)),
+                           Report::count(h->quantile(0.99)),
+                           Report::count(h->max())});
+        }
+    }
+    return report;
 }
 
 } // namespace chisel

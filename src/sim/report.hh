@@ -16,6 +16,8 @@
 
 namespace chisel {
 
+namespace telemetry { class MetricRegistry; }
+
 /**
  * A simple column-aligned text table.
  */
@@ -51,6 +53,13 @@ class Report
     std::vector<std::string> columns_;
     std::vector<std::vector<std::string>> rows_;
 };
+
+/**
+ * Render a MetricRegistry snapshot as one Report table: one row per
+ * metric, with count/mean/quantile columns populated for histograms
+ * and the value column for counters and gauges.
+ */
+Report metricsReport(const telemetry::MetricRegistry &registry);
 
 } // namespace chisel
 

@@ -1,7 +1,10 @@
 #include "sim/stats.hh"
 
-#include <chrono>
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+
+#include "common/clock.hh"
 
 namespace chisel {
 
@@ -69,7 +72,13 @@ Histogram::quantile(double q) const
 {
     if (total_ == 0)
         return 0;
-    uint64_t want = static_cast<uint64_t>(q * static_cast<double>(total_));
+    // Rank of the sample we need, at least 1 so that q=0 yields the
+    // smallest sampled value (the old truncating q*total also made
+    // q=1 land one bucket short whenever q*total was fractional).
+    uint64_t want = static_cast<uint64_t>(
+        std::ceil(std::clamp(q, 0.0, 1.0) *
+                  static_cast<double>(total_)));
+    want = std::max<uint64_t>(want, 1);
     uint64_t acc = 0;
     for (size_t i = 0; i < buckets_.size(); ++i) {
         acc += buckets_[i];
@@ -109,20 +118,19 @@ StopWatch::StopWatch()
 void
 StopWatch::reset()
 {
-    startNs_ = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
+    startNs_ = monotonicNowNs();
+}
+
+uint64_t
+StopWatch::ns() const
+{
+    return monotonicNowNs() - startNs_;
 }
 
 double
 StopWatch::seconds() const
 {
-    uint64_t now = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
-    return static_cast<double>(now - startNs_) * 1e-9;
+    return static_cast<double>(ns()) * 1e-9;
 }
 
 } // namespace chisel

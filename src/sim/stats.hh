@@ -62,7 +62,12 @@ class Histogram
     uint64_t total() const { return total_; }
     size_t size() const { return buckets_.size(); }
 
-    /** Smallest i such that at least q of the mass is at <= i. */
+    /**
+     * Smallest i such that at least a fraction q of the mass is at
+     * values <= i.  Edge cases: with no samples, 0; q <= 0 returns
+     * the smallest sampled value; q >= 1 the largest (or size() if
+     * any sample overflowed).
+     */
     uint64_t quantile(double q) const;
 
     std::string str() const;
@@ -76,7 +81,14 @@ class Histogram
     uint64_t total_ = 0;
 };
 
-/** Wall-clock interval timer for throughput measurements. */
+/**
+ * Interval timer for throughput and latency measurements.
+ *
+ * Explicitly monotonic: both reset() and the readers sample
+ * monotonicNowNs() (steady_clock), so wall-clock adjustments can
+ * never yield negative or skewed intervals.  ns() is the full-
+ * precision reading; seconds() is a convenience for rates.
+ */
 class StopWatch
 {
   public:
@@ -84,6 +96,9 @@ class StopWatch
 
     /** Restart the interval. */
     void reset();
+
+    /** Nanoseconds since construction or the last reset(). */
+    uint64_t ns() const;
 
     /** Seconds since construction or the last reset(). */
     double seconds() const;

@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "telemetry/trace.hh"
+
 namespace chisel {
+
+namespace {
+/** Modeled entry width: 128-bit value + 128-bit mask + next hop. */
+constexpr uint32_t kTcamEntryBytes = 36;
+} // anonymous namespace
 
 Tcam::Tcam(size_t capacity) : capacity_(capacity)
 {
@@ -12,9 +19,10 @@ bool
 Tcam::insert(const Prefix &prefix, NextHop next_hop)
 {
     // Overwrite in place if present.
-    for (auto &e : entries_) {
-        if (e.prefix == prefix) {
-            e.nextHop = next_hop;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].prefix == prefix) {
+            CHISEL_TRACE_WRITE(Tcam, i, kTcamEntryBytes);
+            entries_[i].nextHop = next_hop;
             return true;
         }
     }
@@ -26,6 +34,9 @@ Tcam::insert(const Prefix &prefix, NextHop next_hop)
                            [&](const Route &e) {
                                return e.prefix.length() < prefix.length();
                            });
+    CHISEL_TRACE_WRITE(
+        Tcam, static_cast<uint64_t>(it - entries_.begin()),
+        kTcamEntryBytes);
     entries_.insert(it, Route{prefix, next_hop});
     return true;
 }
@@ -39,6 +50,9 @@ Tcam::erase(const Prefix &prefix)
                            });
     if (it == entries_.end())
         return false;
+    CHISEL_TRACE_WRITE(
+        Tcam, static_cast<uint64_t>(it - entries_.begin()),
+        kTcamEntryBytes);
     entries_.erase(it);
     return true;
 }
@@ -46,9 +60,10 @@ Tcam::erase(const Prefix &prefix)
 bool
 Tcam::setNextHop(const Prefix &prefix, NextHop next_hop)
 {
-    for (auto &e : entries_) {
-        if (e.prefix == prefix) {
-            e.nextHop = next_hop;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].prefix == prefix) {
+            CHISEL_TRACE_WRITE(Tcam, i, kTcamEntryBytes);
+            entries_[i].nextHop = next_hop;
             return true;
         }
     }
@@ -58,6 +73,14 @@ Tcam::setNextHop(const Prefix &prefix, NextHop next_hop)
 std::optional<Route>
 Tcam::lookup(const Key128 &key) const
 {
+    // A hardware TCAM compares all rows in parallel: one search is
+    // one access regardless of entry count (an empty TCAM activates
+    // nothing and is not counted).
+    if (!entries_.empty()) {
+        CHISEL_TRACE_ACCESS(
+            Tcam, 0,
+            static_cast<uint32_t>(entries_.size()) * kTcamEntryBytes);
+    }
     // Simulates the parallel compare: first match in priority order.
     for (const auto &e : entries_) {
         if (e.prefix.matches(key))

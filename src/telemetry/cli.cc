@@ -1,0 +1,80 @@
+#include "telemetry/cli.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "core/engine.hh"
+
+namespace chisel::telemetry {
+
+TelemetryOptions
+TelemetryOptions::parse(int &argc, char **argv)
+{
+    TelemetryOptions opts;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
+            opts.metricsJsonPath = arg + 15;
+        } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+            opts.tracePath = arg + 8;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return opts;
+}
+
+TelemetrySession::TelemetrySession(const TelemetryOptions &options)
+    : options_(options)
+{
+    if (!options_.enabled())
+        return;
+    engineTelemetry_ = std::make_unique<EngineTelemetry>(registry_);
+    if (!options_.tracePath.empty()) {
+        sink_ = std::make_unique<TraceSink>();
+        engineTelemetry_->setTraceSink(sink_.get());
+    }
+}
+
+void
+TelemetrySession::attach(ChiselEngine &engine)
+{
+    if (!enabled())
+        return;
+    engine_ = &engine;
+    engine.attachTelemetry(engineTelemetry_.get());
+}
+
+void
+TelemetrySession::detach()
+{
+    if (!enabled() || engine_ == nullptr)
+        return;
+    engineTelemetry_->snapshot(*engine_);
+    engine_->attachTelemetry(nullptr);
+    engine_ = nullptr;
+}
+
+void
+TelemetrySession::finish()
+{
+    if (!enabled())
+        return;
+    if (engine_)
+        engineTelemetry_->snapshot(*engine_);
+    if (!options_.metricsJsonPath.empty() &&
+        registry_.writeJsonFile(options_.metricsJsonPath)) {
+        inform("metrics snapshot written to " +
+               options_.metricsJsonPath);
+    }
+    if (sink_ &&
+        sink_->writeChromeTraceFile(options_.tracePath)) {
+        inform("access trace (" +
+               std::to_string(sink_->events().size()) +
+               " events) written to " + options_.tracePath);
+    }
+}
+
+} // namespace chisel::telemetry

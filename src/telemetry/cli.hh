@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Command-line wiring shared by the examples and bench harnesses:
+ * parse (and strip) the telemetry flags every tool supports —
+ *
+ *     --metrics-json=<path>   write a MetricRegistry JSON snapshot
+ *     --trace=<path>          write a Chrome trace_event JSON file
+ *
+ * — so harnesses keep their own positional arguments untouched.
+ * TelemetrySession bundles the registry / engine-telemetry / sink
+ * trio behind those options and writes the output files on finish().
+ */
+
+#ifndef CHISEL_TELEMETRY_CLI_HH
+#define CHISEL_TELEMETRY_CLI_HH
+
+#include <memory>
+#include <string>
+
+#include "telemetry/engine_telemetry.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+
+namespace chisel {
+
+class ChiselEngine;
+
+namespace telemetry {
+
+/** Parsed telemetry flags. */
+struct TelemetryOptions
+{
+    std::string metricsJsonPath;   ///< Empty = no metrics export.
+    std::string tracePath;         ///< Empty = no event trace.
+
+    bool
+    enabled() const
+    {
+        return !metricsJsonPath.empty() || !tracePath.empty();
+    }
+
+    /**
+     * Extract --metrics-json= / --trace= from @p argv, compacting the
+     * remaining arguments in place and updating @p argc.
+     */
+    static TelemetryOptions parse(int &argc, char **argv);
+};
+
+/**
+ * One observed run: attaches telemetry to an engine per the options
+ * and writes the requested files on finish().
+ */
+class TelemetrySession
+{
+  public:
+    explicit TelemetrySession(const TelemetryOptions &options);
+
+    /** No-op when the session is disabled. */
+    void attach(ChiselEngine &engine);
+
+    bool enabled() const { return engineTelemetry_ != nullptr; }
+
+    /** Valid only when enabled(). */
+    MetricRegistry &registry() { return registry_; }
+    EngineTelemetry *engineTelemetry()
+    {
+        return engineTelemetry_.get();
+    }
+
+    /**
+     * Snapshot gauges from the attached engine now and stop observing
+     * it.  Use when the engine's lifetime ends before finish() — the
+     * accumulated metrics stay in the registry.
+     */
+    void detach();
+
+    /**
+     * Snapshot gauges from the attached engine and write whichever
+     * of the metrics / trace files were requested.  Safe to call
+     * when disabled (does nothing).
+     */
+    void finish();
+
+  private:
+    TelemetryOptions options_;
+    MetricRegistry registry_;
+    std::unique_ptr<EngineTelemetry> engineTelemetry_;
+    std::unique_ptr<TraceSink> sink_;
+    ChiselEngine *engine_ = nullptr;
+};
+
+} // namespace telemetry
+} // namespace chisel
+
+#endif // CHISEL_TELEMETRY_CLI_HH

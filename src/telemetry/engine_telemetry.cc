@@ -1,0 +1,156 @@
+#include "telemetry/engine_telemetry.hh"
+
+#include "common/clock.hh"
+#include "core/engine.hh"
+
+namespace chisel::telemetry {
+
+const char *
+updateClassSlug(UpdateClass c)
+{
+    switch (c) {
+      case UpdateClass::Withdraw: return "withdraw";
+      case UpdateClass::RouteFlap: return "route_flap";
+      case UpdateClass::NextHopChange: return "next_hop_change";
+      case UpdateClass::AddCollapsed: return "add_collapsed";
+      case UpdateClass::SingletonInsert: return "singleton_insert";
+      case UpdateClass::Resetup: return "resetup";
+      case UpdateClass::Spill: return "spill";
+      case UpdateClass::NoOp: return "noop";
+    }
+    return "unknown";
+}
+
+EngineTelemetry::EngineTelemetry(MetricRegistry &registry,
+                                 const std::string &prefix)
+    : registry_(registry),
+      prefix_(prefix),
+      lookups_(registry.counter(prefix + ".lookup.count")),
+      hits_(registry.counter(prefix + ".lookup.hits")),
+      spillHits_(registry.counter(prefix + ".lookup.spill_hits")),
+      defaultHits_(registry.counter(prefix + ".lookup.default_hits")),
+      lookupAccesses_(registry.histogram(prefix + ".lookup.accesses")),
+      lookupLatencyNs_(
+          registry.histogram(prefix + ".lookup.latency_ns")),
+      updates_(registry.counter(prefix + ".update.count")),
+      updateWrites_(registry.histogram(prefix + ".update.writes"))
+{
+    for (size_t i = 0; i < kTableCount; ++i) {
+        const char *table = tableName(static_cast<Table>(i));
+        lookupTableAccesses_[i] = &registry.histogram(
+            prefix + ".lookup.accesses." + table);
+        updateTableWrites_[i] = &registry.histogram(
+            prefix + ".update.writes." + table);
+    }
+    // Pre-register every update category so exports always carry the
+    // full Figure-14 breakdown, including zero rows.
+    for (int c = 0; c < 8; ++c) {
+        updateClassCounters_[c] = &registry.counter(
+            prefix + ".update.class." +
+            updateClassSlug(static_cast<UpdateClass>(c)));
+    }
+}
+
+void
+EngineTelemetry::snapshot(const ChiselEngine &engine)
+{
+    registry_.gauge("tcam.spill.occupancy")
+        .set(static_cast<double>(engine.spillCount()));
+    registry_.gauge("tcam.spill.capacity")
+        .set(static_cast<double>(engine.config().spillCapacity));
+    registry_.gauge(prefix_ + ".routes")
+        .set(static_cast<double>(engine.routeCount()));
+    registry_.gauge(prefix_ + ".cells")
+        .set(static_cast<double>(engine.cellCount()));
+
+    StorageBreakdown storage = engine.storage();
+    registry_.gauge(prefix_ + ".storage.index_bits")
+        .set(static_cast<double>(storage.indexBits));
+    registry_.gauge(prefix_ + ".storage.filter_bits")
+        .set(static_cast<double>(storage.filterBits));
+    registry_.gauge(prefix_ + ".storage.bitvector_bits")
+        .set(static_cast<double>(storage.bitvectorBits));
+
+    for (size_t i = 0; i < engine.cellCount(); ++i) {
+        const SubCell &cell = engine.cell(i);
+        std::string base = "subcell." + std::to_string(i);
+        registry_.gauge(base + ".groups")
+            .set(static_cast<double>(cell.groupCount()));
+        registry_.gauge(base + ".routes")
+            .set(static_cast<double>(cell.routeCount()));
+        registry_.gauge(base + ".capacity")
+            .set(static_cast<double>(cell.capacity()));
+        registry_.gauge(base + ".dirty")
+            .set(static_cast<double>(cell.dirtyCount()));
+        const BloomierFilter::Stats &s = cell.indexStats();
+        registry_.gauge(base + ".index.singletons")
+            .set(static_cast<double>(s.singletonInserts));
+        registry_.gauge(base + ".index.rebuilds")
+            .set(static_cast<double>(s.rebuilds));
+        registry_.gauge(base + ".index.spilled")
+            .set(static_cast<double>(s.spilledKeys));
+    }
+}
+
+// ---- LookupSpan ------------------------------------------------------------
+
+LookupSpan::LookupSpan(EngineTelemetry &telemetry)
+    : t_(telemetry),
+      scoped_(&telemetry.tracer()),
+      startNs_(monotonicNowNs())
+{
+    for (size_t i = 0; i < kTableCount; ++i)
+        readsBefore_[i] =
+            t_.tracer_.counts(static_cast<Table>(i)).reads;
+}
+
+void
+LookupSpan::finish(const LookupResult &result)
+{
+    uint64_t total = 0;
+    for (size_t i = 0; i < kTableCount; ++i) {
+        uint64_t delta =
+            t_.tracer_.counts(static_cast<Table>(i)).reads -
+            readsBefore_[i];
+        t_.lookupTableAccesses_[i]->sample(delta);
+        total += delta;
+    }
+    t_.lookupAccesses_.sample(total);
+    t_.lookupLatencyNs_.sample(monotonicNowNs() - startNs_);
+
+    t_.lookups_.inc();
+    if (result.found)
+        t_.hits_.inc();
+    if (result.fromSpill)
+        t_.spillHits_.inc();
+    if (result.fromDefault)
+        t_.defaultHits_.inc();
+}
+
+// ---- UpdateSpan ------------------------------------------------------------
+
+UpdateSpan::UpdateSpan(EngineTelemetry &telemetry)
+    : t_(telemetry), scoped_(&telemetry.tracer())
+{
+    for (size_t i = 0; i < kTableCount; ++i)
+        writesBefore_[i] =
+            t_.tracer_.counts(static_cast<Table>(i)).writes;
+}
+
+void
+UpdateSpan::finish(UpdateClass cls)
+{
+    uint64_t total = 0;
+    for (size_t i = 0; i < kTableCount; ++i) {
+        uint64_t delta =
+            t_.tracer_.counts(static_cast<Table>(i)).writes -
+            writesBefore_[i];
+        t_.updateTableWrites_[i]->sample(delta);
+        total += delta;
+    }
+    t_.updateWrites_.sample(total);
+    t_.updates_.inc();
+    t_.updateClassCounters_[static_cast<size_t>(cls)]->inc();
+}
+
+} // namespace chisel::telemetry

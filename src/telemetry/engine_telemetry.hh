@@ -1,0 +1,130 @@
+/**
+ * @file
+ * EngineTelemetry: binds a ChiselEngine to a MetricRegistry.
+ *
+ * The engine itself stays telemetry-free by default; attaching an
+ * EngineTelemetry (ChiselEngine::attachTelemetry) makes every lookup
+ * and update run under an access-tracer span whose per-table deltas
+ * are folded into registry histograms:
+ *
+ *   engine.lookup.count / .hits / .spill_hits / .default_hits
+ *   engine.lookup.accesses            total accesses per lookup
+ *   engine.lookup.accesses.<table>    per-table breakdown
+ *   engine.lookup.latency_ns          software latency
+ *   engine.update.count, engine.update.class.<category>
+ *   engine.update.writes, engine.update.writes.<table>
+ *
+ * snapshot() additionally publishes point-in-time gauges
+ * (tcam.spill.occupancy, engine.routes, subcell.<i>.groups, ...);
+ * call it right before exporting the registry.
+ */
+
+#ifndef CHISEL_TELEMETRY_ENGINE_TELEMETRY_HH
+#define CHISEL_TELEMETRY_ENGINE_TELEMETRY_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+
+namespace chisel {
+
+class ChiselEngine;
+struct LookupResult;
+enum class UpdateClass : uint8_t;
+
+namespace telemetry {
+
+/** Dot-name-safe slug for an update category ("route_flap", ...). */
+const char *updateClassSlug(UpdateClass c);
+
+class EngineTelemetry
+{
+  public:
+    /**
+     * Registers the engine metric family into @p registry.  The
+     * registry must outlive this object.
+     *
+     * @param prefix Root of the metric names (default "engine") —
+     *        use distinct prefixes to observe several engines in one
+     *        registry.
+     */
+    explicit EngineTelemetry(MetricRegistry &registry,
+                             const std::string &prefix = "engine");
+
+    MetricRegistry &registry() { return registry_; }
+
+    /** The tracer engine spans install; usable standalone too. */
+    AccessTracer &tracer() { return tracer_; }
+
+    /**
+     * Record a per-event trace into @p sink while spans run
+     * (nullptr stops event recording; counters are unaffected).
+     */
+    void setTraceSink(TraceSink *sink) { tracer_.setSink(sink); }
+
+    /** Publish instantaneous gauges for @p engine. */
+    void snapshot(const ChiselEngine &engine);
+
+  private:
+    friend class LookupSpan;
+    friend class UpdateSpan;
+
+    MetricRegistry &registry_;
+    std::string prefix_;
+    AccessTracer tracer_;
+
+    // Lookup-side metrics (registered once; sampled per span).
+    Counter &lookups_;
+    Counter &hits_;
+    Counter &spillHits_;
+    Counter &defaultHits_;
+    Pow2Histogram &lookupAccesses_;
+    std::array<Pow2Histogram *, kTableCount> lookupTableAccesses_;
+    Pow2Histogram &lookupLatencyNs_;
+
+    // Update-side metrics.
+    Counter &updates_;
+    Pow2Histogram &updateWrites_;
+    std::array<Pow2Histogram *, kTableCount> updateTableWrites_;
+    std::array<Counter *, 8> updateClassCounters_;
+};
+
+/**
+ * RAII span around one engine lookup: installs the tracer, then
+ * finish() folds the access deltas into the lookup histograms.
+ */
+class LookupSpan
+{
+  public:
+    explicit LookupSpan(EngineTelemetry &telemetry);
+    void finish(const LookupResult &result);
+
+  private:
+    EngineTelemetry &t_;
+    ScopedTracer scoped_;
+    std::array<uint64_t, kTableCount> readsBefore_;
+    uint64_t startNs_;
+};
+
+/**
+ * RAII span around one engine update (announce/withdraw).
+ */
+class UpdateSpan
+{
+  public:
+    explicit UpdateSpan(EngineTelemetry &telemetry);
+    void finish(UpdateClass cls);
+
+  private:
+    EngineTelemetry &t_;
+    ScopedTracer scoped_;
+    std::array<uint64_t, kTableCount> writesBefore_;
+};
+
+} // namespace telemetry
+} // namespace chisel
+
+#endif // CHISEL_TELEMETRY_ENGINE_TELEMETRY_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for the telemetry exporters.
+ *
+ * Metrics snapshots and trace files are written through this one
+ * class so every emitter gets correct string escaping, comma
+ * placement and (optional) indentation without pulling in an
+ * external JSON dependency.  The writer is strictly sequential:
+ * callers open containers, emit key/value pairs, and close them in
+ * order; nesting is validated with panicIf because a malformed
+ * sequence is a library bug, not a user error.
+ */
+
+#ifndef CHISEL_TELEMETRY_JSON_HH
+#define CHISEL_TELEMETRY_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace chisel::telemetry {
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Sequential JSON emitter with automatic commas and indentation.
+ */
+class JsonWriter
+{
+  public:
+    /**
+     * @param os Destination stream.
+     * @param pretty Indent with two spaces per level; compact
+     *        single-line output otherwise.
+     */
+    explicit JsonWriter(std::ostream &os, bool pretty = true);
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key; the next emitted item is its value. */
+    void key(const std::string &name);
+
+    void value(const std::string &v);
+    void value(const char *v);
+    void value(double v);
+    void value(uint64_t v);
+    void value(int64_t v);
+    void value(bool v);
+    void value(unsigned v) { value(static_cast<uint64_t>(v)); }
+    void value(int v) { value(static_cast<int64_t>(v)); }
+
+    /** key() followed by value() in one call. */
+    template <typename T>
+    void
+    member(const std::string &name, const T &v)
+    {
+        key(name);
+        value(v);
+    }
+
+    /** True once every opened container has been closed. */
+    bool complete() const { return stack_.empty() && wroteRoot_; }
+
+  private:
+    enum class Frame : uint8_t { Object, Array };
+
+    /** Comma/indent bookkeeping before any value or key. */
+    void preValue();
+    void preKey();
+    void newline();
+
+    std::ostream &os_;
+    bool pretty_;
+    bool wroteRoot_ = false;
+    bool expectValue_ = false;   ///< A key was just written.
+    std::vector<Frame> stack_;
+    std::vector<bool> hasItems_; ///< Per frame: emitted anything yet.
+};
+
+} // namespace chisel::telemetry
+
+#endif // CHISEL_TELEMETRY_JSON_HH

@@ -1,0 +1,271 @@
+#include "telemetry/metrics.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "telemetry/json.hh"
+
+namespace chisel::telemetry {
+
+// ---- Pow2Histogram ---------------------------------------------------------
+
+size_t
+Pow2Histogram::bucketFor(uint64_t value)
+{
+    return static_cast<size_t>(std::bit_width(value));
+}
+
+uint64_t
+Pow2Histogram::bucketUpperBound(size_t i)
+{
+    if (i == 0)
+        return 0;
+    if (i >= 64)
+        return std::numeric_limits<uint64_t>::max();
+    return (uint64_t(1) << i) - 1;
+}
+
+void
+Pow2Histogram::sample(uint64_t value)
+{
+    ++buckets_[bucketFor(value)];
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+double
+Pow2Histogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t
+Pow2Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (q <= 0.0)
+        return min_;
+    if (q >= 1.0)
+        return max_;
+    // Smallest rank whose cumulative mass reaches q of the samples.
+    uint64_t want = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    want = std::max<uint64_t>(want, 1);
+    uint64_t acc = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        acc += buckets_[i];
+        if (acc >= want)
+            return std::clamp(bucketUpperBound(i), min_, max_);
+    }
+    return max_;   // Unreachable: acc == count_ after the loop.
+}
+
+void
+Pow2Histogram::reset()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = std::numeric_limits<uint64_t>::max();
+    max_ = 0;
+}
+
+// ---- MetricRegistry --------------------------------------------------------
+
+MetricRegistry::Slot &
+MetricRegistry::slot(const std::string &name, Kind kind)
+{
+    if (name.empty())
+        fatalError("MetricRegistry: empty metric name");
+    auto it = metrics_.find(name);
+    if (it != metrics_.end()) {
+        if (it->second.kind != kind) {
+            fatalError("MetricRegistry: metric '" + name +
+                       "' already registered as a different kind");
+        }
+        return it->second;
+    }
+    Slot s;
+    s.kind = kind;
+    switch (kind) {
+      case Kind::Counter:
+        s.counter = std::make_unique<Counter>();
+        break;
+      case Kind::Gauge:
+        s.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::Histogram:
+        s.histogram = std::make_unique<Pow2Histogram>();
+        break;
+    }
+    return metrics_.emplace(name, std::move(s)).first->second;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    return *slot(name, Kind::Counter).counter;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    return *slot(name, Kind::Gauge).gauge;
+}
+
+Pow2Histogram &
+MetricRegistry::histogram(const std::string &name)
+{
+    return *slot(name, Kind::Histogram).histogram;
+}
+
+bool
+MetricRegistry::contains(const std::string &name) const
+{
+    return metrics_.contains(name);
+}
+
+const Counter *
+MetricRegistry::findCounter(const std::string &name) const
+{
+    auto it = metrics_.find(name);
+    if (it == metrics_.end() || it->second.kind != Kind::Counter)
+        return nullptr;
+    return it->second.counter.get();
+}
+
+const Gauge *
+MetricRegistry::findGauge(const std::string &name) const
+{
+    auto it = metrics_.find(name);
+    if (it == metrics_.end() || it->second.kind != Kind::Gauge)
+        return nullptr;
+    return it->second.gauge.get();
+}
+
+const Pow2Histogram *
+MetricRegistry::findHistogram(const std::string &name) const
+{
+    auto it = metrics_.find(name);
+    if (it == metrics_.end() || it->second.kind != Kind::Histogram)
+        return nullptr;
+    return it->second.histogram.get();
+}
+
+void
+MetricRegistry::reset()
+{
+    for (auto &[name, s] : metrics_) {
+        (void)name;
+        switch (s.kind) {
+          case Kind::Counter: s.counter->reset(); break;
+          case Kind::Gauge: s.gauge->reset(); break;
+          case Kind::Histogram: s.histogram->reset(); break;
+        }
+    }
+}
+
+std::vector<std::string>
+MetricRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(metrics_.size());
+    for (const auto &[name, s] : metrics_) {
+        (void)s;
+        out.push_back(name);
+    }
+    return out;
+}
+
+void
+MetricRegistry::writeJson(std::ostream &os, bool pretty) const
+{
+    JsonWriter w(os, pretty);
+    w.beginObject();
+    w.member("schema", "chisel.metrics.v1");
+
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[name, s] : metrics_) {
+        if (s.kind == Kind::Counter)
+            w.member(name, s.counter->value());
+    }
+    w.endObject();
+
+    w.key("gauges");
+    w.beginObject();
+    for (const auto &[name, s] : metrics_) {
+        if (s.kind == Kind::Gauge)
+            w.member(name, s.gauge->value());
+    }
+    w.endObject();
+
+    w.key("histograms");
+    w.beginObject();
+    for (const auto &[name, s] : metrics_) {
+        if (s.kind != Kind::Histogram)
+            continue;
+        const Pow2Histogram &h = *s.histogram;
+        w.key(name);
+        w.beginObject();
+        w.member("count", h.count());
+        w.member("sum", h.sum());
+        w.member("min", h.min());
+        w.member("max", h.max());
+        w.member("mean", h.mean());
+        w.member("p50", h.quantile(0.50));
+        w.member("p95", h.quantile(0.95));
+        w.member("p99", h.quantile(0.99));
+        w.key("buckets");
+        w.beginArray();
+        for (size_t i = 0; i < Pow2Histogram::kBuckets; ++i) {
+            if (h.bucketCount(i) == 0)
+                continue;
+            w.beginObject();
+            w.member("le", Pow2Histogram::bucketUpperBound(i));
+            w.member("count", h.bucketCount(i));
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+
+    w.endObject();
+}
+
+std::string
+MetricRegistry::toJson(bool pretty) const
+{
+    std::ostringstream os;
+    writeJson(os, pretty);
+    return os.str();
+}
+
+bool
+MetricRegistry::writeJsonFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open metrics file for writing: " + path);
+        return false;
+    }
+    writeJson(out, true);
+    out.flush();
+    if (!out) {
+        warn("write failed for metrics file: " + path);
+        return false;
+    }
+    return true;
+}
+
+} // namespace chisel::telemetry

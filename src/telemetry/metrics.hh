@@ -1,0 +1,171 @@
+/**
+ * @file
+ * MetricRegistry: the library's runtime metrics layer.
+ *
+ * Components register named metrics — counters, gauges, and
+ * power-of-two-bucketed histograms — into a registry under
+ * hierarchical dot-separated names ("engine.lookup.accesses",
+ * "subcell.3.groups", "tcam.spill.occupancy").  The registry owns
+ * the metric objects, so call sites keep plain references and update
+ * them with no lookup cost on the hot path; exporters walk the
+ * registry by sorted name for deterministic output.
+ *
+ * The histograms use power-of-two bucketing (bucket i covers
+ * [2^(i-1), 2^i - 1], value 0 gets its own bucket), giving bounded
+ * memory for unbounded value ranges with at most 2x relative
+ * quantile error.  Exact min and max are tracked separately and
+ * quantiles are clamped to them, so q=0 and q=1 are always exact and
+ * constant distributions report exact quantiles at every q — the
+ * property the access-budget integration tests rely on.
+ */
+
+#ifndef CHISEL_TELEMETRY_METRICS_HH
+#define CHISEL_TELEMETRY_METRICS_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace chisel::telemetry {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void inc(uint64_t n = 1) { value_ += n; }
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Last-written instantaneous value (occupancy, sizes, ratios). */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Histogram with power-of-two buckets and quantile estimation.
+ */
+class Pow2Histogram
+{
+  public:
+    /** Bucket count: value 0 plus one bucket per bit of uint64_t. */
+    static constexpr size_t kBuckets = 65;
+
+    void sample(uint64_t value);
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return count_ ? max_ : 0; }
+    double mean() const;
+
+    /** Bucket index a value lands in (0 for value 0). */
+    static size_t bucketFor(uint64_t value);
+
+    /** Inclusive upper bound of bucket @p i. */
+    static uint64_t bucketUpperBound(size_t i);
+
+    uint64_t bucketCount(size_t i) const { return buckets_[i]; }
+
+    /**
+     * Value v such that at least a fraction @p q of the samples are
+     * <= v.  Estimated as the containing bucket's upper bound,
+     * clamped to the exact [min, max]; q <= 0 returns min, q >= 1
+     * returns max.
+     */
+    uint64_t quantile(double q) const;
+
+    void reset();
+
+  private:
+    std::array<uint64_t, kBuckets> buckets_{};
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = std::numeric_limits<uint64_t>::max();
+    uint64_t max_ = 0;
+};
+
+/**
+ * Owner of named metrics.
+ *
+ * Requesting a name that already exists returns the same object;
+ * requesting a name registered as a different metric kind throws
+ * ChiselError (a name collision across kinds is always a bug in the
+ * caller's naming scheme and would silently corrupt exports).
+ */
+class MetricRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Pow2Histogram &histogram(const std::string &name);
+
+    /** True if @p name is registered (any kind). */
+    bool contains(const std::string &name) const;
+
+    /** Read-only lookups; nullptr if absent or a different kind. */
+    const Counter *findCounter(const std::string &name) const;
+    const Gauge *findGauge(const std::string &name) const;
+    const Pow2Histogram *findHistogram(const std::string &name) const;
+
+    size_t size() const { return metrics_.size(); }
+
+    /** Reset every metric's value; registrations are kept. */
+    void reset();
+
+    /**
+     * Write the full snapshot as a JSON document:
+     * {"schema": ..., "counters": {...}, "gauges": {...},
+     *  "histograms": {name: {count, sum, min, max, mean, p50, p95,
+     *  p99, buckets: [{le, count}...]}}}.
+     */
+    void writeJson(std::ostream &os, bool pretty = true) const;
+
+    /** writeJson into a returned string. */
+    std::string toJson(bool pretty = true) const;
+
+    /**
+     * writeJson to @p path; returns false (with a warn) on I/O
+     * failure instead of throwing — metrics export must never take
+     * down the workload it observes.
+     */
+    bool writeJsonFile(const std::string &path) const;
+
+    /** Sorted names of all registered metrics (diagnostics, tests). */
+    std::vector<std::string> names() const;
+
+  private:
+    enum class Kind : uint8_t { Counter, Gauge, Histogram };
+
+    struct Slot
+    {
+        Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Pow2Histogram> histogram;
+    };
+
+    Slot &slot(const std::string &name, Kind kind);
+
+    /** Sorted map => deterministic, diff-friendly JSON exports. */
+    std::map<std::string, Slot> metrics_;
+};
+
+} // namespace chisel::telemetry
+
+#endif // CHISEL_TELEMETRY_METRICS_HH

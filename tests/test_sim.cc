@@ -73,6 +73,30 @@ TEST(Histogram, Quantile)
     EXPECT_EQ(h.quantile(1.0), 9u);
 }
 
+TEST(Histogram, QuantileEdges)
+{
+    Histogram h("edges", 10);
+    h.sample(2);
+    h.sample(5);
+    h.sample(7);
+    // q=0 is the smallest sampled bucket, q=1 the largest; out-of-
+    // range fractions clamp rather than misbehave.
+    EXPECT_EQ(h.quantile(0.0), 2u);
+    EXPECT_EQ(h.quantile(-1.0), 2u);
+    EXPECT_EQ(h.quantile(1.0), 7u);
+    EXPECT_EQ(h.quantile(1.5), 7u);
+
+    Histogram empty("e", 4);
+    EXPECT_EQ(empty.quantile(0.0), 0u);
+    EXPECT_EQ(empty.quantile(0.5), 0u);
+    EXPECT_EQ(empty.quantile(1.0), 0u);
+
+    Histogram one("one", 4);
+    one.sample(3);
+    for (double q : {0.0, 0.5, 1.0})
+        EXPECT_EQ(one.quantile(q), 3u) << q;
+}
+
 TEST(Histogram, Reset)
 {
     Histogram h("r", 4);
@@ -96,6 +120,18 @@ TEST(StopWatch, MeasuresElapsed)
     EXPECT_GE(t2, t1);
     w.reset();
     EXPECT_LT(w.seconds(), t2 + 1.0);
+}
+
+TEST(StopWatch, NanosecondsAreMonotonic)
+{
+    StopWatch w;
+    uint64_t a = w.ns();
+    uint64_t b = w.ns();
+    EXPECT_LE(a, b);   // Monotonic clock: never runs backwards.
+    // ns() and seconds() are the same reading in different units.
+    uint64_t n = w.ns();
+    double s = w.seconds();
+    EXPECT_GE(s, static_cast<double>(n) * 1e-9);
 }
 
 // ---- Report ----------------------------------------------------------------
