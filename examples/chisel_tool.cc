@@ -136,13 +136,19 @@ replay(int argc, char **argv)
 {
     if (argc < 4)
         return usage();
-    RoutingTable table = readTableFile(argv[2]);
+    // Lenient parse: malformed lines are reported and skipped so one
+    // bad byte in a long feed doesn't abort the replay.
+    ReadReport report;
+    RoutingTable table = readTableFile(argv[2], &report);
     std::ifstream in(argv[3]);
     if (!in) {
         std::fprintf(stderr, "cannot open %s\n", argv[3]);
         return 1;
     }
-    auto trace = readTrace(in);
+    auto trace = readTrace(in, &report);
+    if (!report.ok())
+        std::printf("input: %zu malformed line(s) skipped of %zu\n",
+                    report.skipped, report.lines);
 
     ChiselConfig cfg;
     cfg.keyWidth = table.maxLength() > 32 ? 128 : 32;

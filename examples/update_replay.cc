@@ -36,8 +36,9 @@ main(int argc, char **argv)
 
     RoutingTable table;
     std::vector<Update> trace;
+    ReadReport report;
     if (argc > 2)
-        table = readTableFile(argv[2]);
+        table = readTableFile(argv[2], &report);
     else
         table = generateScaledTable(80000, 32, 42);
 
@@ -47,7 +48,7 @@ main(int argc, char **argv)
             std::fprintf(stderr, "cannot open %s\n", argv[1]);
             return 1;
         }
-        trace = readTrace(in);
+        trace = readTrace(in, &report);
     } else {
         auto prof = standardTraceProfiles()[0];   // rrc00.
         UpdateTraceGenerator gen(table, prof, 32, 43);
@@ -55,6 +56,14 @@ main(int argc, char **argv)
     }
     std::printf("Table: %zu routes; trace: %zu updates\n",
                 table.size(), trace.size());
+    if (!report.ok()) {
+        // Lenient parse: the replay proceeds on what did parse, but
+        // every offending line is reported.
+        std::printf("Input: %zu malformed line(s) skipped of %zu\n",
+                    report.skipped, report.lines);
+        for (const auto &[lineno, reason] : report.errors)
+            std::printf("  line %zu: %s\n", lineno, reason.c_str());
+    }
 
     ChiselEngine engine(table);
     RoutingTable truth = table;
@@ -63,8 +72,13 @@ main(int argc, char **argv)
     session.attach(engine);
 
     StopWatch watch;
+    size_t rejected = 0;
     for (const auto &u : trace) {
-        engine.apply(u);
+        UpdateOutcome out = engine.apply(u);
+        if (!out.ok()) {
+            ++rejected;   // Refused updates don't enter the truth.
+            continue;
+        }
         if (u.kind == UpdateKind::Announce)
             truth.add(u.prefix, u.nextHop);
         else
@@ -101,15 +115,46 @@ main(int argc, char **argv)
             (a && a->nextHop != b.nextHop))
             ++wrong;
     }
+
+    // Full-state audit: every truth route must be in the engine and
+    // vice versa — a lost or phantom update fails the run.
+    size_t lost = 0, phantom = 0;
+    for (const auto &r : truth.routes()) {
+        auto nh = engine.find(r.prefix);
+        if (!nh || *nh != r.nextHop)
+            ++lost;
+    }
+    RoutingTable exported = engine.exportTable();
+    for (const auto &r : exported.routes()) {
+        auto nh = truth.find(r.prefix);
+        if (!nh || *nh != r.nextHop)
+            ++phantom;
+    }
+
+    RobustnessCounters rc = engine.robustness();
     std::printf("Post-replay oracle audit: %zu keys, %zu mismatches; "
-                "route count %zu vs truth %zu\n",
+                "route count %zu vs truth %zu (%zu lost, %zu "
+                "phantom)\n",
                 keys.size(), wrong, engine.routeCount(),
-                truth.size());
+                truth.size(), lost, phantom);
+    std::printf("Robustness: %llu rejected, %llu TCAM overflows, "
+                "%llu slow-path diversions (%zu resident), %llu "
+                "drains, %llu setup retries, %llu parity "
+                "recoveries\n",
+                static_cast<unsigned long long>(rc.rejectedUpdates),
+                static_cast<unsigned long long>(rc.tcamOverflows),
+                static_cast<unsigned long long>(rc.slowPathInserts),
+                engine.slowPathCount(),
+                static_cast<unsigned long long>(rc.slowPathDrains),
+                static_cast<unsigned long long>(rc.setupRetries),
+                static_cast<unsigned long long>(rc.parityRecoveries));
+    if (rejected > 0)
+        std::printf("Rejected updates during replay: %zu\n", rejected);
 
     if (session.enabled()) {
         session.engineTelemetry()->snapshot(engine);
         metricsReport(session.registry()).print();
         session.finish();
     }
-    return wrong == 0 ? 0 : 1;
+    return (wrong == 0 && lost == 0 && phantom == 0) ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "telemetry/trace.hh"
 
 namespace chisel {
@@ -36,6 +37,7 @@ BloomierFilter::BloomierFilter(size_t capacity,
 
     size_t m = partitionSlots_ * partitions_;
     slots_.assign(m, 0);
+    parity_.assign(m, 0);
     counts_.assign(m, 0);
     registry_.resize(partitions_);
 
@@ -81,11 +83,11 @@ BloomierFilter::encodeAt(const Key128 &key, unsigned partition,
     }
     panicIf(!found, "encodeAt target not in key's hash neighborhood");
     CHISEL_TRACE_WRITE(Index, target, (slotWidthBits_ + 7) / 8);
-    slots_[target] = v;
+    writeSlot(target, v);
 }
 
 uint32_t
-BloomierFilter::lookupCode(const Key128 &key) const
+BloomierFilter::lookupCode(const Key128 &key, bool *parity_ok) const
 {
     size_t locs[8];
     slotsOf(key, partitionOf(key), locs);
@@ -95,8 +97,29 @@ BloomierFilter::lookupCode(const Key128 &key) const
         // One hardware access per segment probe (k per lookup).
         CHISEL_TRACE_ACCESS(Index, locs[i], slot_bytes);
         v ^= slots_[locs[i]];
+        if (parity_ok && !parityOk(locs[i]))
+            *parity_ok = false;
     }
     return v;
+}
+
+void
+BloomierFilter::reseed(uint64_t seed)
+{
+    config_.seed = seed;
+    family_ = H3Family(config_.k, 64, seed);
+    checksum_ = H3Hash(
+        std::max(1u, ceilLog2(std::max(1u, config_.partitions))),
+        seed ^ 0x5eedc0deULL);
+    clear();
+    ++stats_.reseeds;
+}
+
+void
+BloomierFilter::flipSlotBit(size_t slot, unsigned bit)
+{
+    panicIf(slot >= slots_.size(), "flipSlotBit slot out of range");
+    slots_[slot] ^= uint32_t(1) << (bit % std::max(1u, slotWidthBits_));
 }
 
 bool
@@ -146,6 +169,10 @@ BloomierFilter::insert(const Key128 &key, uint32_t code)
             break;
         }
     }
+    // Injection point: pretend no singleton exists, forcing the rare
+    // partition-rebuild path (polled only when it changes behaviour).
+    if (singleton != SIZE_MAX && CHISEL_FAULT_FIRE(ForceNonSingleton))
+        singleton = SIZE_MAX;
 
     reg.emplace(key, code);
     for (unsigned i = 0; i < config_.k; ++i)
@@ -271,6 +298,21 @@ BloomierFilter::rebuildPartition(
     size_t peeled_count = 0;
     std::vector<bool> alive(n, true);
 
+    // Injection point: evict one entry up front, as if the hash
+    // functions had produced an unpeelable core containing it — the
+    // construction-failure event of "Bloomier Filters: A second look".
+    if (n > 0 && CHISEL_FAULT_FIRE(BloomierSetupFail)) {
+        size_t victim =
+            static_cast<size_t>(fault::activeInjector()->draw(n));
+        alive[victim] = false;
+        ++peeled_count;
+        remove_entry(victim);
+        for (unsigned j = 0; j < config_.k; ++j) {
+            if (cnt[locs[victim][j]] == 1)
+                work.push_back(locs[victim][j]);
+        }
+    }
+
     while (peeled_count < n) {
         bool progressed = false;
         while (!work.empty()) {
@@ -341,6 +383,8 @@ BloomierFilter::rebuildPartition(
     // in a slot no later write will read or touch.
     std::fill(slots_.begin() + base,
               slots_.begin() + base + partitionSlots_, 0);
+    std::fill(parity_.begin() + base,
+              parity_.begin() + base + partitionSlots_, 0);
     for (auto it = peel_order.rbegin(); it != peel_order.rend(); ++it) {
         size_t i = *it;
         encodeAt(entries[i].first, p, entries[i].second,
@@ -358,6 +402,7 @@ void
 BloomierFilter::clear()
 {
     std::fill(slots_.begin(), slots_.end(), 0);
+    std::fill(parity_.begin(), parity_.end(), 0);
     std::fill(counts_.begin(), counts_.end(), 0);
     for (auto &reg : registry_)
         reg.clear();

@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bitops.hh"
 #include "common/key128.hh"
 #include "hash/h3.hh"
 #include "hash/mix.hh"
@@ -97,6 +98,7 @@ class BloomierFilter
         uint64_t rebuilds = 0;
         uint64_t spilledKeys = 0;
         uint64_t erases = 0;
+        uint64_t reseeds = 0;
     };
 
     /**
@@ -136,8 +138,13 @@ class BloomierFilter
      * Equation 2: XOR of the key's k slots.  For inserted keys this
      * is the code passed to insert(); for absent keys it is garbage
      * that the caller must filter (Section 4.2).
+     *
+     * @param parity_ok When non-null, set to false if any of the k
+     *        slots read fails its parity check (soft-error detection;
+     *        the returned code must then not be trusted).
      */
-    uint32_t lookupCode(const Key128 &key) const;
+    uint32_t lookupCode(const Key128 &key,
+                        bool *parity_ok = nullptr) const;
 
     /** Software registry membership (exact; no false positives). */
     bool contains(const Key128 &key) const;
@@ -179,6 +186,32 @@ class BloomierFilter
     void clear();
 
     /**
+     * Replace the hash family with one derived from @p seed and clear
+     * the filter.  Used by the bounded-retry ladder when a setup
+     * cannot place every key: new hash functions give the peeling an
+     * independent chance.  The caller must re-setup() afterwards.
+     */
+    void reseed(uint64_t seed);
+
+    /** Seed currently in use (changes on reseed). */
+    uint64_t seed() const { return config_.seed; }
+
+    /**
+     * Soft-error model: flip bit @p bit of Index slot @p slot without
+     * updating its parity.  The corruption is detectable by the
+     * parity check in lookupCode() until the slot is legitimately
+     * rewritten.
+     */
+    void flipSlotBit(size_t slot, unsigned bit);
+
+    /** True if @p slot passes its parity check. */
+    bool
+    parityOk(size_t slot) const
+    {
+        return (popcount64(slots_[slot]) & 1u) == parity_[slot];
+    }
+
+    /**
      * Consistency check (tests): every registered key's lookupCode
      * equals its registered code.  O(n).
      */
@@ -198,6 +231,15 @@ class BloomierFilter
     /** Write the encoding of (key, code) into slot @p target. */
     void encodeAt(const Key128 &key, unsigned partition, uint32_t code,
                   size_t target);
+
+    /** Store @p value at @p slot, keeping its parity bit current. */
+    void
+    writeSlot(size_t slot, uint32_t value)
+    {
+        slots_[slot] = value;
+        parity_[slot] =
+            static_cast<uint8_t>(popcount64(value) & 1u);
+    }
 
     /**
      * Re-run the peeling setup on partition @p p.  Keys that cannot
@@ -219,6 +261,7 @@ class BloomierFilter
     H3Hash checksum_;         ///< Partition selector.
 
     std::vector<uint32_t> slots_;     ///< The Index Table D[].
+    std::vector<uint8_t> parity_;     ///< Even-parity bit per slot.
     std::vector<uint32_t> counts_;    ///< Occupancy per slot.
     std::vector<Registry> registry_;  ///< Per-partition key registry.
     size_t size_ = 0;

@@ -17,6 +17,7 @@
 #ifndef CHISEL_COMMON_KEY128_HH
 #define CHISEL_COMMON_KEY128_HH
 
+#include <bit>
 #include <compare>
 #include <cstdint>
 #include <string>
@@ -124,6 +125,14 @@ class Key128
     operator^(const Key128 &other) const
     {
         return Key128(hi_ ^ other.hi_, lo_ ^ other.lo_);
+    }
+
+    /** Number of set bits — used by the parity soft-error model. */
+    constexpr unsigned
+    popcount() const
+    {
+        return static_cast<unsigned>(std::popcount(hi_) +
+                                     std::popcount(lo_));
     }
 
     /**

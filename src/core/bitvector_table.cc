@@ -15,7 +15,8 @@ BitVectorTable::BitVectorTable(size_t capacity, unsigned stride,
       wordsPerVector_(std::max(1u, vectorBits_ / 64)),
       pointerBits_(pointer_bits),
       words_(capacity * wordsPerVector_, 0),
-      pointers_(capacity, 0)
+      pointers_(capacity, 0),
+      parity_(capacity, 0)
 {
     panicIf(stride > 16, "BitVectorTable stride too large");
 }
@@ -32,6 +33,7 @@ BitVectorTable::setVector(uint32_t slot,
     std::copy(bits.begin(), bits.end(),
               words_.begin() + static_cast<size_t>(slot) * wordsPerVector_);
     pointers_[slot] = pointer;
+    parity_[slot] = computeParity(slot);
 }
 
 void
@@ -42,6 +44,33 @@ BitVectorTable::clearVector(uint32_t slot)
     auto begin = words_.begin() + static_cast<size_t>(slot) * wordsPerVector_;
     std::fill(begin, begin + wordsPerVector_, 0);
     pointers_[slot] = 0;
+    parity_[slot] = 0;
+}
+
+uint8_t
+BitVectorTable::computeParity(uint32_t slot) const
+{
+    const uint64_t *v = &words_[static_cast<size_t>(slot) * wordsPerVector_];
+    unsigned ones = popcount64(pointers_[slot]);
+    for (unsigned w = 0; w < wordsPerVector_; ++w)
+        ones += popcount64(v[w]);
+    return static_cast<uint8_t>(ones & 1u);
+}
+
+bool
+BitVectorTable::parityOk(uint32_t slot) const
+{
+    panicIf(slot >= capacity_, "BitVectorTable parity out of range");
+    return computeParity(slot) == parity_[slot];
+}
+
+void
+BitVectorTable::flipBit(uint32_t slot, uint64_t bit)
+{
+    panicIf(slot >= capacity_, "BitVectorTable flip out of range");
+    uint64_t index = bit % vectorBits_;
+    uint64_t *v = &words_[static_cast<size_t>(slot) * wordsPerVector_];
+    v[index / 64] ^= uint64_t(1) << (index % 64);
 }
 
 bool

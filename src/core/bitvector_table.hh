@@ -64,6 +64,20 @@ class BitVectorTable
     /** Result-region pointer of @p slot. */
     uint32_t pointer(uint32_t slot) const { return pointers_[slot]; }
 
+    /**
+     * True if @p slot (vector words plus pointer) passes its parity
+     * check.  One even-parity bit per entry, maintained by
+     * setVector/clearVector; a soft error is detectable until the
+     * entry is rewritten.
+     */
+    bool parityOk(uint32_t slot) const;
+
+    /**
+     * Soft-error model: flip bit @p bit of the vector at @p slot
+     * without updating parity.
+     */
+    void flipBit(uint32_t slot, uint64_t bit);
+
     size_t capacity() const { return capacity_; }
 
     /** Entry width in bits: vector plus pointer. */
@@ -73,12 +87,16 @@ class BitVectorTable
     uint64_t storageBits() const;
 
   private:
+    /** Even parity over the slot's words and pointer. */
+    uint8_t computeParity(uint32_t slot) const;
+
     size_t capacity_;
     unsigned vectorBits_;
     unsigned wordsPerVector_;
     unsigned pointerBits_;
     std::vector<uint64_t> words_;
     std::vector<uint32_t> pointers_;
+    std::vector<uint8_t> parity_;
 };
 
 } // namespace chisel

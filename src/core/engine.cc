@@ -7,10 +7,22 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "hash/mix.hh"
 #include "telemetry/engine_telemetry.hh"
 
 namespace chisel {
+
+const char *
+updateStatusName(UpdateStatus s)
+{
+    switch (s) {
+      case UpdateStatus::Applied: return "applied";
+      case UpdateStatus::Degraded: return "degraded";
+      case UpdateStatus::Rejected: return "rejected";
+    }
+    return "?";
+}
 
 uint64_t
 UpdateStats::total() const
@@ -42,7 +54,7 @@ UpdateStats::incrementalFraction() const
 
 ChiselEngine::ChiselEngine(const RoutingTable &initial,
                            const ChiselConfig &config)
-    : config_(config), spill_(0)
+    : config_(config), spill_(config.spillCapacity)
 {
     if (config_.keyWidth < 1 || config_.keyWidth > Key128::maxBits)
         fatalError("ChiselEngine key width must be in [1, 128]");
@@ -104,22 +116,102 @@ ChiselEngine::ChiselEngine(const RoutingTable &initial,
         cells_.push_back(std::make_unique<SubCell>(cc, &results_));
         cells_.back()->buildFrom(per_cell[i], displaced);
     }
-    absorbDisplaced(displaced);
+    UpdateOutcome boot;
+    absorbDisplaced(displaced, boot);
 }
 
 void
-ChiselEngine::absorbDisplaced(std::vector<Route> &displaced)
+ChiselEngine::absorbDisplaced(std::vector<Route> &displaced,
+                              UpdateOutcome &out)
 {
-    bool was_over = spillOverCapacity();
-    for (const auto &r : displaced)
-        spill_.insert(r.prefix, r.nextHop);
-    if (!was_over && spillOverCapacity()) {
-        // One advisory per process: repeated crossings during long
+    for (const auto &r : displaced) {
+        if (spill_.insert(r.prefix, r.nextHop))
+            continue;
+        // TCAM full (or an injected overflow): degrade to the
+        // software slow path rather than drop the route.
+        ++out.tcamOverflows;
+        ++robust_.tcamOverflows;
+        if (slowPath_.insert(r.prefix, r.nextHop)) {
+            ++out.slowPathInserts;
+            ++robust_.slowPathInserts;
+        }
+        // One advisory per process: repeated overflows during long
         // update replays would otherwise flood the log.
-        warnOnce("spillover TCAM above design capacity: " +
-                 std::to_string(spill_.size()) + " entries");
+        warnOnce("spillover TCAM full: routes diverted to the "
+                 "software slow path");
     }
     displaced.clear();
+}
+
+void
+ChiselEngine::recoverPendingParity(UpdateOutcome &out)
+{
+    for (auto &cell : cells_) {
+        if (!cell->parityPending())
+            continue;
+        std::vector<Route> displaced;
+        cell->recoverParity(displaced);
+        absorbDisplaced(displaced, out);
+        ++out.parityRecoveries;
+    }
+}
+
+void
+ChiselEngine::applyInjectedFaults()
+{
+    fault::FaultInjector *inj = fault::activeInjector();
+    if (inj == nullptr || cells_.empty())
+        return;
+    auto pick = [&]() -> SubCell & {
+        return *cells_[inj->draw(cells_.size())];
+    };
+    if (inj->shouldFire(fault::FaultPoint::BitFlipIndex))
+        pick().corruptIndexBit(*inj);
+    if (inj->shouldFire(fault::FaultPoint::BitFlipFilter))
+        pick().corruptFilterBit(*inj);
+    if (inj->shouldFire(fault::FaultPoint::BitFlipBitVector))
+        pick().corruptBitVectorBit(*inj);
+    if (inj->shouldFire(fault::FaultPoint::BitFlipResult)) {
+        uint64_t high = results_.highWater();
+        if (high > 0) {
+            results_.flipBit(static_cast<uint32_t>(inj->draw(high)),
+                             static_cast<unsigned>(inj->draw(32)));
+        }
+    }
+}
+
+void
+ChiselEngine::drainSlowPath()
+{
+    while (!slowPath_.empty() && !spill_.full()) {
+        Route r = slowPath_.entries().front();   // Longest first.
+        if (!spill_.insert(r.prefix, r.nextHop))
+            break;   // Injected overflow; retry at the next update.
+        slowPath_.erase(r.prefix);
+        ++robust_.slowPathDrains;
+    }
+}
+
+uint64_t
+ChiselEngine::cellSetupRetries() const
+{
+    uint64_t n = 0;
+    for (const auto &cell : cells_)
+        n += cell->faultCounters().setupRetries;
+    return n;
+}
+
+RobustnessCounters
+ChiselEngine::robustness() const
+{
+    RobustnessCounters r = robust_;
+    for (const auto &cell : cells_) {
+        const auto &f = cell->faultCounters();
+        r.setupRetries += f.setupRetries;
+        r.parityDetected += f.parityDetected;
+        r.parityRecoveries += f.parityRecoveries;
+    }
+    return r;
 }
 
 LookupResult
@@ -171,6 +263,21 @@ ChiselEngine::lookupImpl(const Key128 &key) const
         }
     }
 
+    // Degraded mode: routes diverted past the TCAM live in the
+    // software slow path; a longer match there overrides.  Empty in
+    // normal operation, so this costs one branch.
+    if (!slowPath_.empty()) {
+        if (auto s = slowPath_.lookup(key)) {
+            if (!out.found || s->prefix.length() > out.matchedLength) {
+                out.found = true;
+                out.nextHop = s->nextHop;
+                out.matchedLength = s->prefix.length();
+                out.fromSpill = false;
+                out.fromSlowPath = true;
+            }
+        }
+    }
+
     if (!out.found && defaultRoute_) {
         out.found = true;
         out.nextHop = *defaultRoute_;
@@ -182,88 +289,142 @@ ChiselEngine::lookupImpl(const Key128 &key) const
     return out;
 }
 
-UpdateClass
+UpdateOutcome
 ChiselEngine::announce(const Prefix &prefix, NextHop next_hop)
 {
     if (telemetry_ == nullptr)
         return announceImpl(prefix, next_hop);
     telemetry::UpdateSpan span(*telemetry_);
-    UpdateClass cls = announceImpl(prefix, next_hop);
-    span.finish(cls);
-    return cls;
+    UpdateOutcome out = announceImpl(prefix, next_hop);
+    span.finish(out);
+    return out;
 }
 
-UpdateClass
+namespace {
+
+/** Derive the final status from the degradation counters. */
+void
+finalizeOutcome(UpdateOutcome &out)
+{
+    if (out.status == UpdateStatus::Rejected)
+        return;
+    if (out.tcamOverflows > 0 || out.slowPathInserts > 0 ||
+        out.parityRecoveries > 0) {
+        out.status = UpdateStatus::Degraded;
+    }
+}
+
+} // anonymous namespace
+
+UpdateOutcome
 ChiselEngine::announceImpl(const Prefix &prefix, NextHop next_hop)
 {
+    UpdateOutcome out;
     if (prefix.length() > config_.keyWidth) {
-        fatalError("announce: prefix longer than the engine's key "
-                   "width");
-    }
-    UpdateClass cls;
-    if (prefix.length() == 0) {
-        cls = defaultRoute_ ? UpdateClass::NextHopChange
-                            : UpdateClass::AddCollapsed;
-        defaultRoute_ = next_hop;
-        updateStats_.record(cls);
-        return cls;
+        // Malformed input is refused, not fatal: the engine keeps
+        // serving and the caller learns why from the outcome.
+        out.cls = UpdateClass::NoOp;
+        out.status = UpdateStatus::Rejected;
+        out.message = "announce: prefix longer than the engine's "
+                      "key width";
+        ++robust_.rejectedUpdates;
+        warnOnce(out.message);
+        return out;
     }
 
-    // A prefix already parked in the TCAM is updated there.
-    if (spill_.setNextHop(prefix, next_hop)) {
-        updateStats_.record(UpdateClass::NextHopChange);
-        return UpdateClass::NextHopChange;
+    // Any parity error flagged by earlier lookups is repaired before
+    // this update touches the tables.
+    recoverPendingParity(out);
+    applyInjectedFaults();
+
+    if (prefix.length() == 0) {
+        out.cls = defaultRoute_ ? UpdateClass::NextHopChange
+                                : UpdateClass::AddCollapsed;
+        defaultRoute_ = next_hop;
+        updateStats_.record(out.cls);
+        finalizeOutcome(out);
+        return out;
+    }
+
+    // A prefix already parked in the TCAM or the slow path is
+    // updated in place.
+    if (spill_.setNextHop(prefix, next_hop) ||
+        slowPath_.setNextHop(prefix, next_hop)) {
+        out.cls = UpdateClass::NextHopChange;
+        updateStats_.record(out.cls);
+        finalizeOutcome(out);
+        return out;
     }
 
     int c = plan_.cellFor(prefix.length());
     if (c < 0) {
-        spill_.insert(prefix, next_hop);
-        updateStats_.record(UpdateClass::Spill);
-        return UpdateClass::Spill;
+        std::vector<Route> one{Route{prefix, next_hop}};
+        absorbDisplaced(one, out);
+        out.cls = UpdateClass::Spill;
+        updateStats_.record(out.cls);
+        finalizeOutcome(out);
+        return out;
     }
 
+    uint64_t retries_before = cellSetupRetries();
     std::vector<Route> displaced;
-    cls = cells_[c]->announce(prefix, next_hop, displaced);
-    absorbDisplaced(displaced);
-    updateStats_.record(cls);
-    return cls;
+    out.cls = cells_[c]->announce(prefix, next_hop, displaced);
+    absorbDisplaced(displaced, out);
+    out.setupRetries =
+        static_cast<uint32_t>(cellSetupRetries() - retries_before);
+    updateStats_.record(out.cls);
+    drainSlowPath();
+    finalizeOutcome(out);
+    return out;
 }
 
-UpdateClass
+UpdateOutcome
 ChiselEngine::withdraw(const Prefix &prefix)
 {
     if (telemetry_ == nullptr)
         return withdrawImpl(prefix);
     telemetry::UpdateSpan span(*telemetry_);
-    UpdateClass cls = withdrawImpl(prefix);
-    span.finish(cls);
-    return cls;
+    UpdateOutcome out = withdrawImpl(prefix);
+    span.finish(out);
+    return out;
 }
 
-UpdateClass
+UpdateOutcome
 ChiselEngine::withdrawImpl(const Prefix &prefix)
 {
-    UpdateClass cls = UpdateClass::NoOp;
+    UpdateOutcome out;
+    out.cls = UpdateClass::NoOp;
+
+    recoverPendingParity(out);
+    applyInjectedFaults();
+
     if (prefix.length() == 0) {
-        cls = defaultRoute_ ? UpdateClass::Withdraw : UpdateClass::NoOp;
+        out.cls = defaultRoute_ ? UpdateClass::Withdraw
+                                : UpdateClass::NoOp;
         defaultRoute_.reset();
-        updateStats_.record(cls);
-        return cls;
+        updateStats_.record(out.cls);
+        finalizeOutcome(out);
+        return out;
     }
 
-    if (spill_.erase(prefix)) {
-        updateStats_.record(UpdateClass::Withdraw);
-        return UpdateClass::Withdraw;
+    if (spill_.erase(prefix) || slowPath_.erase(prefix)) {
+        out.cls = UpdateClass::Withdraw;
+        updateStats_.record(out.cls);
+        drainSlowPath();
+        finalizeOutcome(out);
+        return out;
     }
 
     int c = plan_.cellFor(prefix.length());
     if (c >= 0)
-        cls = cells_[c]->withdraw(prefix);
-    updateStats_.record(cls);
-    return cls;
+        out.cls = cells_[c]->withdraw(prefix);
+    updateStats_.record(out.cls);
+    drainSlowPath();
+    finalizeOutcome(out);
+    return out;
 }
 
-UpdateClass
+UpdateOutcome
 ChiselEngine::apply(const Update &update)
 {
     if (update.kind == UpdateKind::Announce)
@@ -278,6 +439,8 @@ ChiselEngine::find(const Prefix &prefix) const
         return defaultRoute_;
     if (auto t = spill_.find(prefix))
         return t;
+    if (auto s = slowPath_.find(prefix))
+        return s;
     int c = plan_.cellFor(prefix.length());
     if (c < 0)
         return std::nullopt;
@@ -287,7 +450,8 @@ ChiselEngine::find(const Prefix &prefix) const
 size_t
 ChiselEngine::routeCount() const
 {
-    size_t n = spill_.size() + (defaultRoute_ ? 1 : 0);
+    size_t n = spill_.size() + slowPath_.size() +
+               (defaultRoute_ ? 1 : 0);
     for (const auto &cell : cells_)
         n += cell->routeCount();
     return n;
@@ -304,6 +468,8 @@ ChiselEngine::exportTable() const
         out.add(r.prefix, r.nextHop);
     for (const auto &e : spill_.entries())
         out.add(e.prefix, e.nextHop);
+    for (const auto &e : slowPath_.entries())
+        out.add(e.prefix, e.nextHop);
     if (defaultRoute_)
         out.add(Prefix(), *defaultRoute_);
     return out;
@@ -317,7 +483,10 @@ ChiselEngine::storage() const
         b.indexBits += cell->indexBits();
         b.filterBits += cell->filterBits();
         b.bitvectorBits += cell->bitvectorBits();
+        b.parityBits += cell->parityBits();
     }
+    // One parity bit per Result Table slot (off-chip but protected).
+    b.parityBits += results_.highWater();
     return b;
 }
 

@@ -28,8 +28,10 @@
 
 #include "core/collapse.hh"
 #include "core/result_table.hh"
+#include "core/slowpath.hh"
 #include "core/storage_model.hh"
 #include "core/subcell.hh"
+#include "core/update_outcome.hh"
 #include "route/table.hh"
 #include "route/updates.hh"
 #include "tcam/tcam.hh"
@@ -56,7 +58,11 @@ struct ChiselConfig
     /** Logical Index Table partitions d (Section 4.4.2). */
     unsigned partitions = 16;
 
-    /** Spillover TCAM design capacity (soft limit, Section 4.1). */
+    /**
+     * Spillover TCAM capacity (Section 4.1).  A hard limit: routes
+     * displaced past it divert to the software slow path and drain
+     * back as TCAM space frees up (docs/robustness.md).
+     */
     size_t spillCapacity = 32;
 
     /** Sub-cell group capacity = observed groups x this headroom. */
@@ -91,8 +97,26 @@ struct LookupResult
     /** True if the match came from the spillover TCAM. */
     bool fromSpill = false;
 
+    /** True if the match came from the software slow path. */
+    bool fromSlowPath = false;
+
     /** True if only the default route matched. */
     bool fromDefault = false;
+};
+
+/**
+ * Engine-wide robustness counters (docs/robustness.md): how often
+ * each rung of the degradation ladder was exercised.
+ */
+struct RobustnessCounters
+{
+    uint64_t rejectedUpdates = 0;   ///< Malformed updates refused.
+    uint64_t tcamOverflows = 0;     ///< Spill TCAM inserts refused.
+    uint64_t slowPathInserts = 0;   ///< Routes diverted to software.
+    uint64_t slowPathDrains = 0;    ///< Routes drained back to TCAM.
+    uint64_t setupRetries = 0;      ///< Index reseed-retry attempts.
+    uint64_t parityDetected = 0;    ///< Lookups served soft.
+    uint64_t parityRecoveries = 0;  ///< Cell recover-by-resetup runs.
 };
 
 /**
@@ -166,14 +190,21 @@ class ChiselEngine
     /** Longest-prefix match. */
     LookupResult lookup(const Key128 &key) const;
 
-    /** BGP announce(p, l, h) (Section 4.4.2). */
-    UpdateClass announce(const Prefix &prefix, NextHop next_hop);
+    /**
+     * BGP announce(p, l, h) (Section 4.4.2).  The outcome converts
+     * implicitly to its UpdateClass; status/counters report whether
+     * the update was applied cleanly, degraded (slow path, parity
+     * recovery) or rejected.  The update path never half-applies: a
+     * route ends up in a cell, the TCAM, the slow path — or the
+     * outcome says Rejected.
+     */
+    UpdateOutcome announce(const Prefix &prefix, NextHop next_hop);
 
     /** BGP withdraw(p, l) (Section 4.4.1). */
-    UpdateClass withdraw(const Prefix &prefix);
+    UpdateOutcome withdraw(const Prefix &prefix);
 
     /** Apply one trace update. */
-    UpdateClass apply(const Update &update);
+    UpdateOutcome apply(const Update &update);
 
     /** Exact-prefix query across cells, TCAM and default register. */
     std::optional<NextHop> find(const Prefix &prefix) const;
@@ -192,12 +223,21 @@ class ChiselEngine
     /** Entries parked in the spillover TCAM. */
     size_t spillCount() const { return spill_.size(); }
 
-    /** True if the spill TCAM exceeded its design capacity. */
+    /** Routes diverted past the TCAM into the software slow path. */
+    size_t slowPathCount() const { return slowPath_.size(); }
+
+    /**
+     * True if routes overflowed the spill TCAM's design capacity
+     * (they are then held by the software slow path).
+     */
     bool
     spillOverCapacity() const
     {
-        return spill_.size() > config_.spillCapacity;
+        return !slowPath_.empty();
     }
+
+    /** Robustness counters (engine-level plus all sub-cells). */
+    RobustnessCounters robustness() const;
 
     /** The collapse plan in use. */
     const CollapsePlan &plan() const { return plan_; }
@@ -248,19 +288,37 @@ class ChiselEngine
     LookupResult lookupImpl(const Key128 &key) const;
 
     /** announce()/withdraw() bodies, likewise. */
-    UpdateClass announceImpl(const Prefix &prefix, NextHop next_hop);
-    UpdateClass withdrawImpl(const Prefix &prefix);
+    UpdateOutcome announceImpl(const Prefix &prefix, NextHop next_hop);
+    UpdateOutcome withdrawImpl(const Prefix &prefix);
 
-    /** Move displaced routes into the spillover TCAM. */
-    void absorbDisplaced(std::vector<Route> &displaced);
+    /**
+     * Move displaced routes into the spillover TCAM; on overflow,
+     * divert them to the software slow path (never drop a route).
+     */
+    void absorbDisplaced(std::vector<Route> &displaced,
+                         UpdateOutcome &out);
+
+    /** Run recover-by-resetup on cells flagged by lookups. */
+    void recoverPendingParity(UpdateOutcome &out);
+
+    /** Poll the soft-error injection points (no-op when disarmed). */
+    void applyInjectedFaults();
+
+    /** Migrate slow-path routes back into freed TCAM space. */
+    void drainSlowPath();
+
+    /** Sum of per-cell setup-retry counters (for outcome deltas). */
+    uint64_t cellSetupRetries() const;
 
     ChiselConfig config_;
     CollapsePlan plan_;
     ResultTable results_;
     std::vector<std::unique_ptr<SubCell>> cells_;
     Tcam spill_;
+    SlowPathMap slowPath_;
     std::optional<NextHop> defaultRoute_;
     UpdateStats updateStats_;
+    RobustnessCounters robust_;
     mutable AccessCounters access_;
     telemetry::EngineTelemetry *telemetry_ = nullptr;
 };

@@ -8,7 +8,7 @@
 namespace chisel {
 
 FilterTable::FilterTable(size_t capacity, unsigned key_bits)
-    : keyBits_(key_bits), entries_(capacity)
+    : keyBits_(key_bits), entries_(capacity), parity_(capacity, 0)
 {
     freeList_.reserve(capacity);
     // Hand out low slot numbers first: push high indices first.
@@ -34,6 +34,7 @@ FilterTable::release(uint32_t slot)
         entries_[slot].valid = false;
         entries_[slot].dirty = false;
         --used_;
+        refreshParity(slot);
     }
     freeList_.push_back(slot);
 }
@@ -49,6 +50,7 @@ FilterTable::set(uint32_t slot, const Key128 &key)
     e.key = key;
     e.valid = true;
     e.dirty = false;
+    refreshParity(slot);
 }
 
 bool
@@ -68,6 +70,28 @@ FilterTable::setDirty(uint32_t slot, bool dirty)
     panicIf(slot >= entries_.size(), "FilterTable setDirty out of range");
     CHISEL_TRACE_WRITE(Filter, slot, (slotWidthBits() + 7) / 8);
     entries_[slot].dirty = dirty;
+    refreshParity(slot);
+}
+
+void
+FilterTable::flipKeyBit(uint32_t slot, unsigned bit)
+{
+    panicIf(slot >= entries_.size(),
+            "FilterTable flipKeyBit out of range");
+    Key128 &key = entries_[slot].key;
+    unsigned pos = bit % Key128::maxBits;
+    key.setBit(pos, !key.bit(pos));
+}
+
+void
+FilterTable::resetSlot(uint32_t slot)
+{
+    panicIf(slot >= entries_.size(),
+            "FilterTable resetSlot out of range");
+    if (entries_[slot].valid)
+        --used_;
+    entries_[slot] = Entry{};
+    refreshParity(slot);
 }
 
 uint64_t

@@ -13,6 +13,11 @@
  * Each entry also carries the dirty bit of the route-flap
  * optimisation (Section 4.4.1): a withdrawn group is marked dirty and
  * retained so a flap can restore it without touching the Index Table.
+ *
+ * Every entry is protected by one even-parity bit over its key and
+ * flags, maintained on legitimate writes; a soft error (bit flip) is
+ * detectable until the entry is rewritten, and the lookup path falls
+ * back to the shadow copy when a check fails.
  */
 
 #ifndef CHISEL_CORE_FILTER_TABLE_HH
@@ -59,6 +64,26 @@ class FilterTable
     bool dirty(uint32_t slot) const { return entries_[slot].dirty; }
     void setDirty(uint32_t slot, bool dirty);
 
+    /** True if @p slot passes its parity check. */
+    bool
+    parityOk(uint32_t slot) const
+    {
+        return entryParity(entries_[slot]) == parity_[slot];
+    }
+
+    /**
+     * Soft-error model: flip bit @p bit of the key stored at @p slot
+     * without updating parity (detectable until rewritten).
+     */
+    void flipKeyBit(uint32_t slot, unsigned bit);
+
+    /**
+     * Restore @p slot to the pristine empty state (recovery path:
+     * scrubs any soft error in a slot no group owns).  Free-list
+     * membership is not affected.
+     */
+    void resetSlot(uint32_t slot);
+
     /** Slots in use (valid). */
     size_t used() const { return used_; }
 
@@ -81,8 +106,25 @@ class FilterTable
         bool dirty = false;
     };
 
+    /** Even parity over an entry's key bits and flags. */
+    static uint8_t
+    entryParity(const Entry &e)
+    {
+        return static_cast<uint8_t>(
+            (e.key.popcount() + (e.valid ? 1u : 0u) +
+             (e.dirty ? 1u : 0u)) & 1u);
+    }
+
+    /** Recompute the stored parity of @p slot after a legal write. */
+    void
+    refreshParity(uint32_t slot)
+    {
+        parity_[slot] = entryParity(entries_[slot]);
+    }
+
     unsigned keyBits_;
     std::vector<Entry> entries_;
+    std::vector<uint8_t> parity_;
     std::vector<uint32_t> freeList_;
     size_t used_ = 0;
 };

@@ -35,6 +35,10 @@ ResultTable::allocate(uint32_t entries)
     }
     uint32_t base = static_cast<uint32_t>(slots_.size());
     slots_.resize(slots_.size() + size, kNoRoute);
+    parity_.resize(slots_.size(),
+                   static_cast<uint8_t>(
+                       popcount64(static_cast<uint64_t>(kNoRoute)) &
+                       1u));
     return base;
 }
 
@@ -65,6 +69,24 @@ ResultTable::write(uint32_t addr, NextHop next_hop)
     panicIf(addr >= slots_.size(), "ResultTable write out of range");
     CHISEL_TRACE_WRITE(Result, addr, sizeof(NextHop));
     slots_[addr] = next_hop;
+    parity_[addr] = static_cast<uint8_t>(
+        popcount64(static_cast<uint64_t>(next_hop)) & 1u);
+}
+
+bool
+ResultTable::parityOk(uint32_t addr) const
+{
+    panicIf(addr >= slots_.size(), "ResultTable parity out of range");
+    return (popcount64(static_cast<uint64_t>(slots_[addr])) & 1u) ==
+           parity_[addr];
+}
+
+void
+ResultTable::flipBit(uint32_t addr, unsigned bit)
+{
+    panicIf(addr >= slots_.size(), "ResultTable flip out of range");
+    slots_[addr] ^= static_cast<NextHop>(
+        NextHop(1) << (bit % (8 * sizeof(NextHop))));
 }
 
 } // namespace chisel

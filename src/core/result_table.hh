@@ -51,6 +51,19 @@ class ResultTable
     /** Write the next hop at @p addr. */
     void write(uint32_t addr, NextHop next_hop);
 
+    /**
+     * True if @p addr passes its parity check.  One even-parity bit
+     * per slot, maintained by write(); a soft error is detectable
+     * until the slot is rewritten.
+     */
+    bool parityOk(uint32_t addr) const;
+
+    /**
+     * Soft-error model: flip bit @p bit of the next hop stored at
+     * @p addr without updating parity.
+     */
+    void flipBit(uint32_t addr, unsigned bit);
+
     /** Slots currently inside allocated blocks. */
     uint64_t allocatedSlots() const { return allocated_; }
 
@@ -65,6 +78,7 @@ class ResultTable
 
   private:
     std::vector<NextHop> slots_;
+    std::vector<uint8_t> parity_;   ///< Even-parity bit per slot.
     /** freeLists_[c] holds bases of free blocks of size 2^c. */
     std::vector<std::vector<uint32_t>> freeLists_;
     uint64_t allocated_ = 0;

@@ -1,0 +1,69 @@
+#include "core/slowpath.hh"
+
+#include <algorithm>
+
+namespace chisel {
+
+bool
+SlowPathMap::insert(const Prefix &prefix, NextHop next_hop)
+{
+    for (auto &e : entries_) {
+        if (e.prefix == prefix) {
+            e.nextHop = next_hop;
+            return false;
+        }
+    }
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+                           [&](const Route &e) {
+                               return e.prefix.length() < prefix.length();
+                           });
+    entries_.insert(it, Route{prefix, next_hop});
+    return true;
+}
+
+bool
+SlowPathMap::erase(const Prefix &prefix)
+{
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+                           [&](const Route &e) {
+                               return e.prefix == prefix;
+                           });
+    if (it == entries_.end())
+        return false;
+    entries_.erase(it);
+    return true;
+}
+
+bool
+SlowPathMap::setNextHop(const Prefix &prefix, NextHop next_hop)
+{
+    for (auto &e : entries_) {
+        if (e.prefix == prefix) {
+            e.nextHop = next_hop;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<Route>
+SlowPathMap::lookup(const Key128 &key) const
+{
+    for (const auto &e : entries_) {
+        if (e.prefix.matches(key))
+            return e;
+    }
+    return std::nullopt;
+}
+
+std::optional<NextHop>
+SlowPathMap::find(const Prefix &prefix) const
+{
+    for (const auto &e : entries_) {
+        if (e.prefix == prefix)
+            return e.nextHop;
+    }
+    return std::nullopt;
+}
+
+} // namespace chisel

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Software slow-path route store — the last rung of the degradation
+ * ladder (docs/robustness.md).
+ *
+ * When a route can enter neither a sub-cell (Bloomier setup failed
+ * past the retry budget) nor the spillover TCAM (full, §4.1 sizes it
+ * at 32 entries), dropping it would silently blackhole traffic.
+ * Instead the engine parks it here: a plain software LPM store the
+ * lookup path consults last.  Entries migrate back into the TCAM as
+ * capacity frees up (withdrawals, resetups).
+ *
+ * This is deliberately *not* a Tcam: it models no hardware, carries
+ * no trace hooks (a slow-path hit is a software detour, not a modeled
+ * memory access) and hosts no fault-injection points (it is the
+ * fallback of last resort and must stay dependable).
+ */
+
+#ifndef CHISEL_CORE_SLOWPATH_HH
+#define CHISEL_CORE_SLOWPATH_HH
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "route/table.hh"
+
+namespace chisel {
+
+/**
+ * Priority-ordered (decreasing prefix length) software route store.
+ */
+class SlowPathMap
+{
+  public:
+    /** Insert or overwrite.  @return true if the prefix was new. */
+    bool insert(const Prefix &prefix, NextHop next_hop);
+
+    /** Remove a prefix.  @return true if present. */
+    bool erase(const Prefix &prefix);
+
+    /** Update the next hop of an existing entry. */
+    bool setNextHop(const Prefix &prefix, NextHop next_hop);
+
+    /** Longest-prefix match. */
+    std::optional<Route> lookup(const Key128 &key) const;
+
+    /** Exact-match search. */
+    std::optional<NextHop> find(const Prefix &prefix) const;
+
+    size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /** All entries, longest prefix first (drain order). */
+    const std::vector<Route> &entries() const { return entries_; }
+
+  private:
+    std::vector<Route> entries_;   ///< Sorted by decreasing length.
+};
+
+} // namespace chisel
+
+#endif // CHISEL_CORE_SLOWPATH_HH

@@ -29,10 +29,27 @@ struct StorageBreakdown
     uint64_t filterBits = 0;
     uint64_t bitvectorBits = 0;
 
+    /**
+     * Soft-error protection overhead: one even-parity bit per
+     * protected word (docs/robustness.md).  Reported separately so
+     * the paper-comparable totals stay parity-free.
+     */
+    uint64_t parityBits = 0;
+
     uint64_t
     totalBits() const
     {
         return indexBits + filterBits + bitvectorBits;
+    }
+
+    /** Parity bits relative to the protected payload. */
+    double
+    parityOverheadFraction() const
+    {
+        uint64_t t = totalBits();
+        return t == 0 ? 0.0
+                      : static_cast<double>(parityBits) /
+                            static_cast<double>(t);
     }
 
     double

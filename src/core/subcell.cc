@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
+#include "hash/mix.hh"
 
 namespace chisel {
 
@@ -106,7 +108,9 @@ SubCell::dismantleGroup(const Key128 &ckey,
             displaced->push_back(Route{p, nh});
     }
     routes_ -= g.shadow.memberCount();
-    if (filter_.dirty(g.slot))
+    // The guard against dirtyCount_ == 0 matters during parity
+    // recovery: a corrupted dirty bit must not underflow the count.
+    if (filter_.dirty(g.slot) && dirtyCount_ > 0)
         --dirtyCount_;
     if (g.resultSize > 0)
         results_->free(g.resultBase, g.resultSize);
@@ -138,9 +142,6 @@ SubCell::buildFrom(const std::vector<Route> &routes,
         bins[collapsedKey(r.prefix)].push_back(r);
     }
 
-    std::vector<std::pair<Key128, uint32_t>> entries;
-    entries.reserve(bins.size());
-
     for (auto &[ckey, members] : bins) {
         int64_t slot = filter_.allocate();
         if (slot < 0) {
@@ -158,18 +159,134 @@ SubCell::buildFrom(const std::vector<Route> &routes,
             ++routes_;
         }
         filter_.set(static_cast<uint32_t>(slot), ckey);
-        entries.emplace_back(ckey, static_cast<uint32_t>(slot));
     }
 
-    // One bulk Bloomier setup over all groups.
-    auto spilled = index_.setup(entries);
-    for (const auto &[ckey, code] : spilled) {
-        (void)code;
-        dismantleGroup(ckey, &displaced);
-    }
+    // One bulk Bloomier setup over all groups, with the bounded
+    // reseed-retry ladder; stragglers leave through @p displaced.
+    resetupIndex(&displaced);
 
     for (auto &[ckey, group] : groups_)
         refreshImage(ckey, group);
+}
+
+size_t
+SubCell::resetupIndex(std::vector<Route> *displaced)
+{
+    std::vector<std::pair<Key128, uint32_t>> entries;
+    entries.reserve(groups_.size());
+    for (const auto &[ckey, g] : groups_)
+        entries.emplace_back(ckey, g.slot);
+
+    auto spilled = index_.setup(entries);
+    unsigned attempt = 0;
+    while (!spilled.empty() && attempt < config_.setupRetries) {
+        // Bounded retry: a fresh hash seed redraws the hypergraph, so
+        // a peeling failure is very unlikely to repeat (Section 4.2
+        // picks table sizes where setup "almost always" succeeds).
+        ++attempt;
+        ++faults_.setupRetries;
+        index_.reseed(
+            mix64(index_.seed() + 0x9e3779b97f4a7c15ULL * attempt));
+        spilled = index_.setup(entries);
+    }
+    for (const auto &[ckey, code] : spilled) {
+        (void)code;
+        dismantleGroup(ckey, displaced);
+    }
+    return spilled.size();
+}
+
+void
+SubCell::recoverParity(std::vector<Route> &displaced)
+{
+    parityPending_ = false;
+    ++faults_.parityRecoveries;
+
+    // Recover-by-resetup: every hardware word is re-derived from the
+    // shadow copy.  Stage 1 — the Index (slot codes are preserved, so
+    // surviving groups keep their Filter/Bit-vector locations).
+    resetupIndex(&displaced);
+
+    // Stage 2 — the Filter: rewrite owned slots (restoring key, valid,
+    // dirty and parity), wipe unowned ones.
+    std::vector<uint8_t> owned(config_.capacity, 0);
+    dirtyCount_ = 0;
+    for (auto &[ckey, g] : groups_) {
+        owned[g.slot] = 1;
+        filter_.set(g.slot, ckey);
+        ++writes_.filterWrites;
+        if (g.shadow.empty()) {
+            filter_.setDirty(g.slot, true);
+            ++dirtyCount_;
+        }
+    }
+    for (uint32_t s = 0; s < config_.capacity; ++s) {
+        if (!owned[s]) {
+            filter_.resetSlot(s);
+            bitvec_.clearVector(s);
+        }
+    }
+
+    // Stage 3 — Bit-vectors and Result blocks, written without the
+    // usual read-compare diff: a corrupted word that happens to equal
+    // its correct value would otherwise keep broken parity.
+    for (auto &[ckey, g] : groups_) {
+        (void)ckey;
+        GroupImage image = g.shadow.computeImage();
+        if (image.empty()) {
+            bitvec_.clearVector(g.slot);
+            ++writes_.bitvectorWrites;
+            // Scrub the retained result block too; a flap restore
+            // rewrites its contents, but parity must hold meanwhile.
+            for (uint32_t i = 0; i < g.resultSize; ++i)
+                results_->write(g.resultBase + i, kNoRoute);
+            continue;
+        }
+        uint32_t needed = static_cast<uint32_t>(image.hops.size());
+        if (g.resultSize == 0 || needed > g.resultSize) {
+            if (g.resultSize > 0)
+                results_->free(g.resultBase, g.resultSize);
+            g.resultBase = results_->allocate(needed);
+            g.resultSize = ResultTable::grantedSize(needed);
+        }
+        for (uint32_t i = 0; i < needed; ++i) {
+            results_->write(g.resultBase + i, image.hops[i]);
+            ++writes_.resultWrites;
+        }
+        bitvec_.setVector(g.slot, image.bits, g.resultBase);
+        ++writes_.bitvectorWrites;
+    }
+}
+
+void
+SubCell::corruptIndexBit(fault::FaultInjector &injector)
+{
+    if (index_.slots() == 0)
+        return;
+    index_.flipSlotBit(
+        static_cast<size_t>(injector.draw(index_.slots())),
+        static_cast<unsigned>(
+            injector.draw(std::max(1u, index_.slotWidthBits()))));
+}
+
+void
+SubCell::corruptFilterBit(fault::FaultInjector &injector)
+{
+    if (config_.capacity == 0)
+        return;
+    filter_.flipKeyBit(
+        static_cast<uint32_t>(injector.draw(config_.capacity)),
+        static_cast<unsigned>(injector.draw(Key128::maxBits)));
+}
+
+void
+SubCell::corruptBitVectorBit(fault::FaultInjector &injector)
+{
+    if (config_.capacity == 0)
+        return;
+    bitvec_.flipBit(
+        static_cast<uint32_t>(injector.draw(config_.capacity)),
+        injector.draw(uint64_t(1) << config_.stride));
 }
 
 SubCell::Hit
@@ -178,17 +295,27 @@ SubCell::lookup(const Key128 &key) const
     Hit out;
     const unsigned base = config_.range.base;
 
-    // Access 1: Index Table (k segments read in parallel).
+    // Access 1: Index Table (k segments read in parallel).  Each
+    // parity check below rides along with the access it guards — it
+    // adds no extra table reads, so traced access counts are
+    // unchanged from the fault-free pipeline.
     Key128 ckey = key.masked(base);
-    uint32_t code = index_.lookupCode(ckey);
+    bool parity = true;
+    uint32_t code = index_.lookupCode(ckey, &parity);
+    if (!parity)
+        return softLookup(key, ckey);
     if (code >= config_.capacity)
         return out;   // Garbage code for an absent key.
 
     // Access 2: Filter Table — the false-positive check.
+    if (!filter_.parityOk(code))
+        return softLookup(key, ckey);
     if (!filter_.matches(code, ckey))
         return out;
 
     // Access 3: Bit-vector Table.
+    if (!bitvec_.parityOk(code))
+        return softLookup(key, ckey);
     unsigned avail = std::min(config_.stride,
                               Key128::maxBits - base);
     uint64_t v = key.extract(base, avail)
@@ -198,7 +325,10 @@ SubCell::lookup(const Key128 &key) const
 
     // Access 4: Result Table (off-chip), pointer + popcount offset.
     unsigned offset = bitvec_.onesUpTo(code, v);
-    NextHop nh = results_->read(bitvec_.pointer(code) + offset - 1);
+    uint32_t addr = bitvec_.pointer(code) + offset - 1;
+    if (!results_->parityOk(addr))
+        return softLookup(key, ckey);
+    NextHop nh = results_->read(addr);
 
     out.hit = true;
     out.nextHop = nh;
@@ -211,6 +341,32 @@ SubCell::lookup(const Key128 &key) const
     auto cover = it->second.shadow.longestCover(v);
     panicIf(!cover.has_value(),
             "bit-vector hit with no covering shadow member");
+    out.matchedLength = cover->prefix.length();
+    return out;
+}
+
+SubCell::Hit
+SubCell::softLookup(const Key128 &key, const Key128 &ckey) const
+{
+    // A parity error was detected on the hardware path: serve the
+    // lookup from the shadow copy (correct by construction) and flag
+    // the cell so the engine runs recoverParity() before its next
+    // update.
+    ++faults_.parityDetected;
+    parityPending_ = true;
+
+    Hit out;
+    auto it = groups_.find(ckey);
+    if (it == groups_.end())
+        return out;
+    const unsigned base = config_.range.base;
+    unsigned avail = std::min(config_.stride, Key128::maxBits - base);
+    uint64_t v = key.extract(base, avail) << (config_.stride - avail);
+    auto cover = it->second.shadow.longestCover(v);
+    if (!cover.has_value())
+        return out;
+    out.hit = true;
+    out.nextHop = cover->nextHop;
     out.matchedLength = cover->prefix.length();
     return out;
 }
@@ -259,21 +415,10 @@ SubCell::announce(const Prefix &prefix, NextHop next_hop,
     panicIf(result.method == BloomierFilter::InsertMethod::Duplicate,
             "Index Table and shadow groups out of sync");
 
-    // A rebuild may have evicted other groups; dismantle them.
-    bool self_failed =
-        result.method == BloomierFilter::InsertMethod::Failed;
-    for (const auto &[k2, c2] : result.spilled) {
-        (void)c2;
-        if (k2 == ckey)
-            continue;   // Self handled below.
-        dismantleGroup(k2, &displaced);
-    }
-    if (self_failed) {
-        filter_.release(static_cast<uint32_t>(slot));
-        displaced.push_back(Route{prefix, next_hop});
-        return UpdateClass::Spill;
-    }
-
+    // Transactional commit: record the new route in the shadow state
+    // *first*, so that whatever the Index setup does below, every
+    // route is accounted for — either placed in this cell or handed
+    // back through @p displaced.  Nothing is half-applied.
     auto [git, inserted] = groups_.emplace(
         ckey, Group(static_cast<uint32_t>(slot),
                     config_.range.base, config_.stride));
@@ -282,8 +427,22 @@ SubCell::announce(const Prefix &prefix, NextHop next_hop,
     ++writes_.filterWrites;
     git->second.shadow.announce(prefix, next_hop);
     ++routes_;
-    refreshImage(ckey, git->second);
 
+    if (result.method == BloomierFilter::InsertMethod::Failed ||
+        !result.spilled.empty()) {
+        // The insert forced a rebuild that could not place every
+        // group.  Re-run the full setup with the bounded reseed-retry
+        // ladder; groups that still fail (possibly the new one) are
+        // dismantled into @p displaced.
+        resetupIndex(&displaced);
+        auto self = groups_.find(ckey);
+        if (self == groups_.end())
+            return UpdateClass::Spill;   // New route is in displaced.
+        refreshImage(ckey, self->second);
+        return UpdateClass::Resetup;
+    }
+
+    refreshImage(ckey, git->second);
     return result.method == BloomierFilter::InsertMethod::Singleton
                ? UpdateClass::SingletonInsert
                : UpdateClass::Resetup;

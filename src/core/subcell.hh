@@ -37,6 +37,8 @@
 
 namespace chisel {
 
+namespace fault { class FaultInjector; }
+
 /**
  * How an update was applied — the categories of Figure 14.
  */
@@ -74,6 +76,13 @@ class SubCell
         unsigned partitions = 1;
         unsigned resultPointerBits = 22;
         uint64_t seed = 1;
+        /**
+         * Bounded-retry budget: when an Index setup cannot place
+         * every key, retry with fresh hash seeds up to this many
+         * times before evicting the stragglers to the spillover
+         * path.
+         */
+        unsigned setupRetries = 3;
         /**
          * Retain emptied groups dirty for flap restoration
          * (Section 4.4.1).  Disabled only by the ablation that
@@ -159,6 +168,13 @@ class SubCell
     /** Bit-vector Table storage in bits. */
     uint64_t bitvectorBits() const { return bitvec_.storageBits(); }
 
+    /** Parity overhead: one bit per Index/Filter/Bit-vector word. */
+    uint64_t
+    parityBits() const
+    {
+        return index_.slots() + 2ull * config_.capacity;
+    }
+
     /** Bloomier operation counters. */
     const BloomierFilter::Stats &indexStats() const
     {
@@ -195,6 +211,39 @@ class SubCell
         return index_.partitionSlots();
     }
 
+    /** Robustness counters (soft errors, retries) since construction. */
+    struct FaultCounters
+    {
+        uint64_t parityDetected = 0;    ///< Lookups served soft.
+        uint64_t parityRecoveries = 0;  ///< recoverParity() runs.
+        uint64_t setupRetries = 0;      ///< Reseed-retry attempts.
+    };
+
+    const FaultCounters &faultCounters() const { return faults_; }
+
+    /**
+     * True if a lookup detected a parity error since the last
+     * recovery; the engine runs recoverParity() at its next update.
+     */
+    bool parityPending() const { return parityPending_; }
+
+    /**
+     * Recover-by-resetup: re-derive every hardware word (Index,
+     * Filter, Bit-vector, Result block) of this cell from the shadow
+     * copy, scrubbing any soft error.  Groups the retried Index
+     * setup still cannot place are dismantled into @p displaced.
+     */
+    void recoverParity(std::vector<Route> &displaced);
+
+    /** Soft-error injection: corrupt one random Index slot bit. */
+    void corruptIndexBit(fault::FaultInjector &injector);
+
+    /** Soft-error injection: corrupt one random Filter key bit. */
+    void corruptFilterBit(fault::FaultInjector &injector);
+
+    /** Soft-error injection: corrupt one random Bit-vector bit. */
+    void corruptBitVectorBit(fault::FaultInjector &injector);
+
     /**
      * Deep consistency check (tests): every shadow member is
      * retrievable through the hardware lookup path.
@@ -228,6 +277,20 @@ class SubCell
     /** Re-derive and write a group's hardware image. */
     void refreshImage(const Key128 &ckey, Group &group);
 
+    /**
+     * Shadow-copy fallback for a lookup that hit a parity error:
+     * correct by construction, and flags the cell for recovery.
+     */
+    Hit softLookup(const Key128 &key, const Key128 &ckey) const;
+
+    /**
+     * Rebuild the Index from the shadow state (slots preserved),
+     * retrying with fresh hash seeds up to Config::setupRetries
+     * times; groups that still cannot be placed are dismantled into
+     * @p displaced.  @return groups dismantled.
+     */
+    size_t resetupIndex(std::vector<Route> *displaced);
+
     /** Dismantle a group, releasing all hardware resources. */
     void dismantleGroup(const Key128 &ckey,
                         std::vector<Route> *displaced);
@@ -245,6 +308,9 @@ class SubCell
     size_t routes_ = 0;
     size_t dirtyCount_ = 0;
     WriteCounters writes_;
+    /** Mutable: lookups (const) detect soft errors and flag them. */
+    mutable FaultCounters faults_;
+    mutable bool parityPending_ = false;
 };
 
 } // namespace chisel

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Structured result of one engine update (announce/withdraw/apply).
+ *
+ * The update path is transactional: an update either applies, applies
+ * in a degraded form (routes parked in the spillover TCAM or the
+ * software slow path, recovery work performed), or is rejected with
+ * the engine state untouched.  The outcome reports which, plus the
+ * robustness work the update performed — retries, overflows, slow-path
+ * diversions, parity recoveries — so callers and telemetry can see
+ * every rare event instead of losing them to logs.
+ *
+ * UpdateOutcome converts implicitly to its UpdateClass so existing
+ * call sites comparing against Figure 14 categories keep working.
+ */
+
+#ifndef CHISEL_CORE_UPDATE_OUTCOME_HH
+#define CHISEL_CORE_UPDATE_OUTCOME_HH
+
+#include <cstdint>
+
+namespace chisel {
+
+enum class UpdateClass : uint8_t;
+
+/** How an update concluded. */
+enum class UpdateStatus : uint8_t
+{
+    /** Fully applied through the normal hardware path. */
+    Applied,
+
+    /**
+     * Applied, but correctness now depends on a fallback: routes were
+     * diverted to the spillover TCAM past design capacity or to the
+     * software slow path, or a recovery/resetup was needed.  Lookups
+     * remain correct.
+     */
+    Degraded,
+
+    /**
+     * Not applied; the engine state is unchanged.  @c message names
+     * the reason (e.g. a prefix wider than the engine's key width).
+     */
+    Rejected,
+};
+
+/** Short status name ("applied", "degraded", "rejected"). */
+const char *updateStatusName(UpdateStatus s);
+
+/**
+ * The full result of one announce/withdraw.
+ */
+struct UpdateOutcome
+{
+    /** Figure 14 category of the applied update. */
+    UpdateClass cls{};
+
+    UpdateStatus status = UpdateStatus::Applied;
+
+    /** Bounded reseed-retry attempts consumed by Index setups. */
+    uint32_t setupRetries = 0;
+
+    /** Routes that could not enter the spillover TCAM (full/faulted). */
+    uint32_t tcamOverflows = 0;
+
+    /** Routes diverted to the software slow-path map. */
+    uint32_t slowPathInserts = 0;
+
+    /** Parity-error recoveries (cell resetups) this update performed. */
+    uint32_t parityRecoveries = 0;
+
+    /** Reason for a rejection; empty otherwise.  Static storage. */
+    const char *message = "";
+
+    /** True unless the update was rejected. */
+    bool ok() const { return status != UpdateStatus::Rejected; }
+
+    /** True if any degradation machinery engaged. */
+    bool
+    degraded() const
+    {
+        return status == UpdateStatus::Degraded;
+    }
+
+    /**
+     * Backwards compatibility: an outcome compares and passes as its
+     * update class (`engine.announce(p, h) == UpdateClass::Spill`).
+     */
+    operator UpdateClass() const { return cls; }
+};
+
+} // namespace chisel
+
+#endif // CHISEL_CORE_UPDATE_OUTCOME_HH

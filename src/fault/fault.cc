@@ -1,0 +1,34 @@
+#include "fault/fault.hh"
+
+namespace chisel::fault {
+
+namespace detail {
+thread_local FaultInjector *g_activeInjector = nullptr;
+} // namespace detail
+
+const char *
+faultPointName(FaultPoint p)
+{
+    switch (p) {
+      case FaultPoint::BloomierSetupFail: return "bloomier_setup_fail";
+      case FaultPoint::ForceNonSingleton: return "force_non_singleton";
+      case FaultPoint::TcamOverflow: return "tcam_overflow";
+      case FaultPoint::BitFlipIndex: return "bit_flip_index";
+      case FaultPoint::BitFlipFilter: return "bit_flip_filter";
+      case FaultPoint::BitFlipBitVector: return "bit_flip_bitvector";
+      case FaultPoint::BitFlipResult: return "bit_flip_result";
+      case FaultPoint::kCount: break;
+    }
+    return "unknown";
+}
+
+uint64_t
+FaultInjector::totalFires() const
+{
+    uint64_t total = 0;
+    for (const State &s : states_)
+        total += s.fires;
+    return total;
+}
+
+} // namespace chisel::fault

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Deterministic, seedable fault injection.
+ *
+ * The robustness story of Section 4.4 rests on rare events — Bloomier
+ * setup failures, inserts with no singleton slot, spillover-TCAM
+ * overflow — plus the soft errors any SRAM/eDRAM deployment must
+ * survive.  None of these can be provoked reliably from the outside,
+ * so the hardened paths they trigger would otherwise ship untested.
+ * This header plants explicit injection points at each of them.
+ *
+ * The design mirrors the tracing hooks (telemetry/trace.hh):
+ *
+ *  - compiled out entirely when CHISEL_FAULT_INJECTION_ENABLED is 0
+ *    (CMake option CHISEL_ENABLE_FAULT_INJECTION=OFF), leaving zero
+ *    code at every injection point;
+ *  - when compiled in, each point is a thread-local pointer load and
+ *    predictable branch while no injector is installed — the default
+ *    state, so production behaviour is unchanged;
+ *  - an installed FaultInjector decides each firing from an
+ *    explicitly seeded Rng, so a failing fault scenario replays
+ *    exactly from its seed.
+ *
+ * Usage:
+ *
+ *     fault::FaultInjector inj(1234);
+ *     inj.arm(fault::FaultPoint::TcamOverflow, 1.0, 3);
+ *     fault::ScopedInjector scope(&inj);
+ *     engine.announce(...);   // next 3 TCAM inserts report "full"
+ */
+
+#ifndef CHISEL_FAULT_FAULT_HH
+#define CHISEL_FAULT_FAULT_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/random.hh"
+
+#ifndef CHISEL_FAULT_INJECTION_ENABLED
+#define CHISEL_FAULT_INJECTION_ENABLED 1
+#endif
+
+namespace chisel::fault {
+
+/**
+ * Where a fault can be injected — the taxonomy of
+ * docs/robustness.md.
+ */
+enum class FaultPoint : uint8_t
+{
+    /**
+     * Bloomier peeling failure: one extra entry is force-evicted
+     * during a partition rebuild/setup, as if the hash functions had
+     * produced an unpeelable core (exercises reseed-retry and the
+     * spillover TCAM).
+     */
+    BloomierSetupFail,
+
+    /**
+     * Suppress the singleton fast path of an Index insert, forcing
+     * the O(partition) rebuild (Figure 14's rare "Resetups" class).
+     */
+    ForceNonSingleton,
+
+    /**
+     * A bounded TCAM reports "full" on insert even when it has room
+     * (exercises the software slow-path degradation ladder).
+     */
+    TcamOverflow,
+
+    /** Soft error: flip one stored bit in an Index Table slot. */
+    BitFlipIndex,
+
+    /** Soft error: flip one stored bit in a Filter Table entry. */
+    BitFlipFilter,
+
+    /** Soft error: flip one stored bit in a Bit-vector Table entry. */
+    BitFlipBitVector,
+
+    /** Soft error: flip one stored bit in a Result Table slot. */
+    BitFlipResult,
+
+    kCount,
+};
+
+constexpr size_t kFaultPointCount =
+    static_cast<size_t>(FaultPoint::kCount);
+
+/** Lower-case point name used in logs and test diagnostics. */
+const char *faultPointName(FaultPoint p);
+
+/**
+ * Per-thread fault decision engine.
+ *
+ * Each point is disarmed until arm()ed with a firing probability and
+ * an optional budget of firings.  Decisions consume the injector's
+ * private Rng in poll order, so a fixed seed plus a fixed workload
+ * reproduces the exact same fault schedule.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+    /**
+     * Arm @p point: each poll fires with probability @p probability;
+     * after @p max_fires firings (0 = unlimited) the point reverts to
+     * inert.
+     */
+    void
+    arm(FaultPoint point, double probability, uint64_t max_fires = 0)
+    {
+        State &s = state(point);
+        s.armed = true;
+        s.probability = probability;
+        s.maxFires = max_fires;
+    }
+
+    /** Disarm @p point (counters are retained). */
+    void disarm(FaultPoint point) { state(point).armed = false; }
+
+    /**
+     * One poll of @p point: true if the fault fires now.  Called by
+     * the injection sites via CHISEL_FAULT_FIRE.
+     */
+    bool
+    shouldFire(FaultPoint point)
+    {
+        State &s = state(point);
+        ++s.polls;
+        if (!s.armed)
+            return false;
+        if (s.maxFires != 0 && s.fires >= s.maxFires)
+            return false;
+        if (!rng_.nextBool(s.probability))
+            return false;
+        ++s.fires;
+        return true;
+    }
+
+    /**
+     * Deterministic choice in [0, bound) for a firing fault's target
+     * (which slot, which bit).  @p bound must be > 0.
+     */
+    uint64_t draw(uint64_t bound) { return rng_.nextBelow(bound); }
+
+    /** Polls of @p point so far (armed or not). */
+    uint64_t polls(FaultPoint point) const
+    {
+        return stateOf(point).polls;
+    }
+
+    /** Firings of @p point so far. */
+    uint64_t fires(FaultPoint point) const
+    {
+        return stateOf(point).fires;
+    }
+
+    /** Firings across all points. */
+    uint64_t totalFires() const;
+
+  private:
+    struct State
+    {
+        bool armed = false;
+        double probability = 0.0;
+        uint64_t maxFires = 0;
+        uint64_t polls = 0;
+        uint64_t fires = 0;
+    };
+
+    State &state(FaultPoint p)
+    {
+        return states_[static_cast<size_t>(p)];
+    }
+    const State &stateOf(FaultPoint p) const
+    {
+        return states_[static_cast<size_t>(p)];
+    }
+
+    Rng rng_;
+    std::array<State, kFaultPointCount> states_{};
+};
+
+namespace detail {
+/** The thread's installed injector; nullptr disables every point. */
+extern thread_local FaultInjector *g_activeInjector;
+} // namespace detail
+
+/** Injector currently installed on this thread, or nullptr. */
+inline FaultInjector *
+activeInjector()
+{
+#if CHISEL_FAULT_INJECTION_ENABLED
+    return detail::g_activeInjector;
+#else
+    return nullptr;
+#endif
+}
+
+/**
+ * RAII install/restore of the thread's injector (nestable).  A no-op
+ * shell when injection is compiled out.
+ */
+class ScopedInjector
+{
+  public:
+#if CHISEL_FAULT_INJECTION_ENABLED
+    explicit ScopedInjector(FaultInjector *injector)
+        : prev_(detail::g_activeInjector)
+    {
+        detail::g_activeInjector = injector;
+    }
+
+    ~ScopedInjector() { detail::g_activeInjector = prev_; }
+#else
+    explicit ScopedInjector(FaultInjector *) {}
+#endif
+
+    ScopedInjector(const ScopedInjector &) = delete;
+    ScopedInjector &operator=(const ScopedInjector &) = delete;
+
+  private:
+#if CHISEL_FAULT_INJECTION_ENABLED
+    FaultInjector *prev_;
+#endif
+};
+
+} // namespace chisel::fault
+
+#if CHISEL_FAULT_INJECTION_ENABLED
+
+/**
+ * One poll of injection point @p point; evaluates to true when the
+ * fault fires.  Usable directly in a condition:
+ *
+ *     if (CHISEL_FAULT_FIRE(TcamOverflow))
+ *         return false;   // pretend the TCAM is full
+ */
+#define CHISEL_FAULT_FIRE(point)                                       \
+    (::chisel::fault::activeInjector() != nullptr &&                   \
+     ::chisel::fault::activeInjector()->shouldFire(                    \
+         ::chisel::fault::FaultPoint::point))
+
+#else
+
+#define CHISEL_FAULT_FIRE(point) (false)
+
+#endif // CHISEL_FAULT_INJECTION_ENABLED
+
+#endif // CHISEL_FAULT_FAULT_HH

@@ -27,10 +27,29 @@ parsePrefixToken(const std::string &token)
     return Prefix::fromBitString(token);
 }
 
+/**
+ * Strict mode (no report): throw, matching the historic contract.
+ * Lenient mode: count, retain the first few reasons, log and let the
+ * caller skip the line.
+ */
+void
+failLine(ReadReport *report, const char *what, size_t lineno,
+         const std::string &reason)
+{
+    std::string msg = std::string(what) + " line " +
+                      std::to_string(lineno) + ": " + reason;
+    if (report == nullptr)
+        fatalError(msg);
+    ++report->skipped;
+    if (report->errors.size() < ReadReport::kMaxErrors)
+        report->errors.emplace_back(lineno, reason);
+    error(msg + " (skipped)");
+}
+
 } // anonymous namespace
 
 RoutingTable
-readTable(std::istream &in)
+readTable(std::istream &in, ReadReport *report)
 {
     RoutingTable table;
     std::string line;
@@ -41,24 +60,33 @@ readTable(std::istream &in)
         std::string ptoken;
         if (!(ls >> ptoken) || ptoken[0] == '#')
             continue;
+        if (report)
+            ++report->lines;
         uint64_t nh;
         if (!(ls >> nh)) {
-            fatalError("table line " + std::to_string(lineno) +
-                       ": missing next hop");
+            failLine(report, "table", lineno, "missing next hop");
+            continue;
         }
-        table.add(parsePrefixToken(ptoken),
-                  static_cast<NextHop>(nh));
+        try {
+            table.add(parsePrefixToken(ptoken),
+                      static_cast<NextHop>(nh));
+        } catch (const ChiselError &e) {
+            failLine(report, "table", lineno, e.what());
+            continue;
+        }
+        if (report)
+            ++report->parsed;
     }
     return table;
 }
 
 RoutingTable
-readTableFile(const std::string &path)
+readTableFile(const std::string &path, ReadReport *report)
 {
     std::ifstream in(path);
     if (!in)
         fatalError("cannot open table file: " + path);
-    return readTable(in);
+    return readTable(in, report);
 }
 
 void
@@ -74,7 +102,7 @@ writeTable(std::ostream &out, const RoutingTable &table)
 }
 
 std::vector<Update>
-readTrace(std::istream &in)
+readTrace(std::istream &in, ReadReport *report)
 {
     std::vector<Update> trace;
     std::string line;
@@ -85,27 +113,38 @@ readTrace(std::istream &in)
         std::string op, ptoken;
         if (!(ls >> op) || op[0] == '#')
             continue;
+        if (report)
+            ++report->lines;
         if (!(ls >> ptoken)) {
-            fatalError("trace line " + std::to_string(lineno) +
-                       ": missing prefix");
+            failLine(report, "trace", lineno, "missing prefix");
+            continue;
         }
         Update u;
-        u.prefix = parsePrefixToken(ptoken);
+        try {
+            u.prefix = parsePrefixToken(ptoken);
+        } catch (const ChiselError &e) {
+            failLine(report, "trace", lineno, e.what());
+            continue;
+        }
         if (op == "A" || op == "a") {
             u.kind = UpdateKind::Announce;
             uint64_t nh;
             if (!(ls >> nh)) {
-                fatalError("trace line " + std::to_string(lineno) +
-                           ": announce missing next hop");
+                failLine(report, "trace", lineno,
+                         "announce missing next hop");
+                continue;
             }
             u.nextHop = static_cast<NextHop>(nh);
         } else if (op == "W" || op == "w") {
             u.kind = UpdateKind::Withdraw;
         } else {
-            fatalError("trace line " + std::to_string(lineno) +
-                       ": unknown op '" + op + "'");
+            failLine(report, "trace", lineno,
+                     "unknown op '" + op + "'");
+            continue;
         }
         trace.push_back(u);
+        if (report)
+            ++report->parsed;
     }
     return trace;
 }

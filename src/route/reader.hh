@@ -15,8 +15,10 @@
 #ifndef CHISEL_ROUTE_READER_HH
 #define CHISEL_ROUTE_READER_HH
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "route/table.hh"
@@ -24,17 +26,43 @@
 
 namespace chisel {
 
-/** Parse a table from a stream.  Throws ChiselError on bad input. */
-RoutingTable readTable(std::istream &in);
+/**
+ * Outcome of a lenient parse: pass one to readTable()/readTrace() to
+ * recover from malformed lines (they are logged, recorded here and
+ * skipped) instead of aborting the whole read on the first error.
+ */
+struct ReadReport
+{
+    /** Errors retained verbatim; the rest are only counted. */
+    static constexpr size_t kMaxErrors = 16;
 
-/** Parse a table from a file path. */
-RoutingTable readTableFile(const std::string &path);
+    size_t lines = 0;     ///< Non-blank, non-comment lines seen.
+    size_t parsed = 0;    ///< Records parsed successfully.
+    size_t skipped = 0;   ///< Malformed lines skipped.
+
+    /** First kMaxErrors (line number, reason) pairs. */
+    std::vector<std::pair<size_t, std::string>> errors;
+
+    bool ok() const { return skipped == 0; }
+};
+
+/**
+ * Parse a table from a stream.  Without @p report, the first
+ * malformed line throws ChiselError (strict mode); with one,
+ * malformed lines are recorded and skipped and parsing continues.
+ */
+RoutingTable readTable(std::istream &in, ReadReport *report = nullptr);
+
+/** Parse a table from a file path (missing file always throws). */
+RoutingTable readTableFile(const std::string &path,
+                           ReadReport *report = nullptr);
 
 /** Write a table, one route per line, in CIDR form when length<=32. */
 void writeTable(std::ostream &out, const RoutingTable &table);
 
-/** Parse an update trace from a stream. */
-std::vector<Update> readTrace(std::istream &in);
+/** Parse an update trace from a stream (same lenient contract). */
+std::vector<Update> readTrace(std::istream &in,
+                              ReadReport *report = nullptr);
 
 /** Write an update trace. */
 void writeTrace(std::ostream &out, const std::vector<Update> &trace);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.hh"
 #include "telemetry/trace.hh"
 
 namespace chisel {
@@ -27,6 +28,11 @@ Tcam::insert(const Prefix &prefix, NextHop next_hop)
         }
     }
     if (full())
+        return false;
+    // Injection point: a bounded TCAM reports "full" although it has
+    // room, exercising the caller's overflow degradation ladder.
+    // Unbounded TCAMs (capacity 0, the LPM baseline) are exempt.
+    if (capacity_ != 0 && CHISEL_FAULT_FIRE(TcamOverflow))
         return false;
 
     // Keep decreasing-length order so index order = priority order.

@@ -28,12 +28,24 @@ EngineTelemetry::EngineTelemetry(MetricRegistry &registry,
       lookups_(registry.counter(prefix + ".lookup.count")),
       hits_(registry.counter(prefix + ".lookup.hits")),
       spillHits_(registry.counter(prefix + ".lookup.spill_hits")),
+      slowPathHits_(
+          registry.counter(prefix + ".lookup.slowpath_hits")),
       defaultHits_(registry.counter(prefix + ".lookup.default_hits")),
       lookupAccesses_(registry.histogram(prefix + ".lookup.accesses")),
       lookupLatencyNs_(
           registry.histogram(prefix + ".lookup.latency_ns")),
       updates_(registry.counter(prefix + ".update.count")),
-      updateWrites_(registry.histogram(prefix + ".update.writes"))
+      updateWrites_(registry.histogram(prefix + ".update.writes")),
+      tcamOverflows_(
+          registry.counter(prefix + ".update.tcam_overflow_total")),
+      setupRetries_(
+          registry.counter(prefix + ".update.setup_retries_total")),
+      slowPathDiversions_(registry.counter(
+          prefix + ".update.slowpath_diversions_total")),
+      rejectedUpdates_(
+          registry.counter(prefix + ".update.rejected_total")),
+      parityRecoveries_(registry.counter(
+          prefix + ".fault.parity_recoveries_total"))
 {
     for (size_t i = 0; i < kTableCount; ++i) {
         const char *table = tableName(static_cast<Table>(i));
@@ -58,6 +70,24 @@ EngineTelemetry::snapshot(const ChiselEngine &engine)
         .set(static_cast<double>(engine.spillCount()));
     registry_.gauge("tcam.spill.capacity")
         .set(static_cast<double>(engine.config().spillCapacity));
+    registry_.gauge(prefix_ + ".slowpath.occupancy")
+        .set(static_cast<double>(engine.slowPathCount()));
+
+    RobustnessCounters rc = engine.robustness();
+    registry_.gauge(prefix_ + ".robustness.tcam_overflows")
+        .set(static_cast<double>(rc.tcamOverflows));
+    registry_.gauge(prefix_ + ".robustness.slowpath_inserts")
+        .set(static_cast<double>(rc.slowPathInserts));
+    registry_.gauge(prefix_ + ".robustness.slowpath_drains")
+        .set(static_cast<double>(rc.slowPathDrains));
+    registry_.gauge(prefix_ + ".robustness.setup_retries")
+        .set(static_cast<double>(rc.setupRetries));
+    registry_.gauge(prefix_ + ".robustness.parity_detected")
+        .set(static_cast<double>(rc.parityDetected));
+    registry_.gauge(prefix_ + ".robustness.parity_recovered")
+        .set(static_cast<double>(rc.parityRecoveries));
+    registry_.gauge(prefix_ + ".robustness.rejected_updates")
+        .set(static_cast<double>(rc.rejectedUpdates));
     registry_.gauge(prefix_ + ".routes")
         .set(static_cast<double>(engine.routeCount()));
     registry_.gauge(prefix_ + ".cells")
@@ -123,6 +153,8 @@ LookupSpan::finish(const LookupResult &result)
         t_.hits_.inc();
     if (result.fromSpill)
         t_.spillHits_.inc();
+    if (result.fromSlowPath)
+        t_.slowPathHits_.inc();
     if (result.fromDefault)
         t_.defaultHits_.inc();
 }
@@ -151,6 +183,18 @@ UpdateSpan::finish(UpdateClass cls)
     t_.updateWrites_.sample(total);
     t_.updates_.inc();
     t_.updateClassCounters_[static_cast<size_t>(cls)]->inc();
+}
+
+void
+UpdateSpan::finish(const UpdateOutcome &outcome)
+{
+    finish(outcome.cls);
+    t_.tcamOverflows_.inc(outcome.tcamOverflows);
+    t_.setupRetries_.inc(outcome.setupRetries);
+    t_.slowPathDiversions_.inc(outcome.slowPathInserts);
+    t_.parityRecoveries_.inc(outcome.parityRecoveries);
+    if (outcome.status == UpdateStatus::Rejected)
+        t_.rejectedUpdates_.inc();
 }
 
 } // namespace chisel::telemetry

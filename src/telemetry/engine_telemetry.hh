@@ -14,9 +14,18 @@
  *   engine.update.count, engine.update.class.<category>
  *   engine.update.writes, engine.update.writes.<table>
  *
+ * Robustness events (docs/robustness.md) are pre-registered counters
+ * so exports always carry them, zero or not:
+ *
+ *   engine.update.tcam_overflow_total / .setup_retries_total
+ *   engine.update.slowpath_diversions_total / .rejected_total
+ *   engine.fault.parity_recoveries_total
+ *   engine.lookup.slowpath_hits
+ *
  * snapshot() additionally publishes point-in-time gauges
- * (tcam.spill.occupancy, engine.routes, subcell.<i>.groups, ...);
- * call it right before exporting the registry.
+ * (tcam.spill.occupancy, engine.slowpath.occupancy, engine.routes,
+ * engine.robustness.*, subcell.<i>.groups, ...); call it right
+ * before exporting the registry.
  */
 
 #ifndef CHISEL_TELEMETRY_ENGINE_TELEMETRY_HH
@@ -33,6 +42,7 @@ namespace chisel {
 
 class ChiselEngine;
 struct LookupResult;
+struct UpdateOutcome;
 enum class UpdateClass : uint8_t;
 
 namespace telemetry {
@@ -80,6 +90,7 @@ class EngineTelemetry
     Counter &lookups_;
     Counter &hits_;
     Counter &spillHits_;
+    Counter &slowPathHits_;
     Counter &defaultHits_;
     Pow2Histogram &lookupAccesses_;
     std::array<Pow2Histogram *, kTableCount> lookupTableAccesses_;
@@ -90,6 +101,13 @@ class EngineTelemetry
     Pow2Histogram &updateWrites_;
     std::array<Pow2Histogram *, kTableCount> updateTableWrites_;
     std::array<Counter *, 8> updateClassCounters_;
+
+    // Robustness events (see docs/robustness.md).
+    Counter &tcamOverflows_;
+    Counter &setupRetries_;
+    Counter &slowPathDiversions_;
+    Counter &rejectedUpdates_;
+    Counter &parityRecoveries_;
 };
 
 /**
@@ -117,6 +135,9 @@ class UpdateSpan
   public:
     explicit UpdateSpan(EngineTelemetry &telemetry);
     void finish(UpdateClass cls);
+
+    /** Preferred: also folds the outcome's robustness counters. */
+    void finish(const UpdateOutcome &outcome);
 
   private:
     EngineTelemetry &t_;

@@ -367,7 +367,16 @@ TEST(Engine, RejectsOverlongAnnounce)
     cfg.keyWidth = 32;
     ChiselEngine e(empty, cfg);
     Prefix p40(Key128::fromIpv4(0x0A000000), 40);
-    EXPECT_THROW(e.announce(p40, 1), ChiselError);
+    // Malformed input is refused via the outcome, not by aborting;
+    // the engine stays usable afterwards.
+    UpdateOutcome out = e.announce(p40, 1);
+    EXPECT_EQ(out.status, UpdateStatus::Rejected);
+    EXPECT_FALSE(out.ok());
+    EXPECT_STRNE(out.message, "");
+    EXPECT_EQ(e.routeCount(), 0u);
+    EXPECT_EQ(e.robustness().rejectedUpdates, 1u);
+    EXPECT_EQ(e.announce(Prefix::fromCidr("10.0.0.0/8"), 1),
+              UpdateClass::SingletonInsert);
     // Withdraw of an impossible prefix is just a no-op.
     EXPECT_EQ(e.withdraw(p40), UpdateClass::NoOp);
 }

@@ -859,5 +859,63 @@ TEST(EngineTelemetry, PerEventTraceThroughEngine)
     EXPECT_EQ(sink.dropped(), 0u);
 }
 
+// ---- Robustness counters -----------------------------------------------------
+
+TEST(EngineTelemetry, RegistersRobustnessCounters)
+{
+    MetricRegistry registry;
+    EngineTelemetry telemetry(registry);
+    for (const char *name :
+         {"engine.lookup.slowpath_hits",
+          "engine.update.tcam_overflow_total",
+          "engine.update.setup_retries_total",
+          "engine.update.slowpath_diversions_total",
+          "engine.update.rejected_total",
+          "engine.fault.parity_recoveries_total"})
+        EXPECT_TRUE(registry.contains(name)) << name;
+}
+
+TEST(EngineTelemetry, RejectedUpdateCountedAndSnapshotted)
+{
+    RoutingTable table = flatTable(8, 16);
+    ChiselEngine engine(table, singleCellConfig());
+
+    MetricRegistry registry;
+    EngineTelemetry telemetry(registry);
+    engine.attachTelemetry(&telemetry);
+
+    // An announce wider than the configured key width is refused
+    // with a structured outcome, and telemetry records the refusal.
+    Key128 key;
+    key.deposit(0, 8, 3);
+    UpdateOutcome out = engine.announce(Prefix(key, 12), 5);
+    engine.attachTelemetry(nullptr);
+    EXPECT_EQ(out.status, UpdateStatus::Rejected);
+
+    EXPECT_EQ(
+        registry.findCounter("engine.update.rejected_total")->value(),
+        1u);
+    EXPECT_EQ(
+        registry.findCounter("engine.update.tcam_overflow_total")
+            ->value(),
+        0u);
+
+    telemetry.snapshot(engine);
+    EXPECT_EQ(registry.findGauge("engine.slowpath.occupancy")->value(),
+              0.0);
+    EXPECT_EQ(
+        registry.findGauge("engine.robustness.rejected_updates")
+            ->value(),
+        1.0);
+    for (const char *name :
+         {"engine.robustness.tcam_overflows",
+          "engine.robustness.slowpath_inserts",
+          "engine.robustness.slowpath_drains",
+          "engine.robustness.setup_retries",
+          "engine.robustness.parity_detected",
+          "engine.robustness.parity_recovered"})
+        ASSERT_NE(registry.findGauge(name), nullptr) << name;
+}
+
 } // anonymous namespace
 } // namespace chisel
