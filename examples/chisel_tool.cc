@@ -10,15 +10,21 @@
  *   example_chisel_tool gen-trace  <table.txt> <updates> <out.txt> [seed]
  *   example_chisel_tool info       <table.txt>
  *   example_chisel_tool lookup     <table.txt> <queries>
- *   example_chisel_tool replay     <table.txt> <trace.txt>
+ *   example_chisel_tool replay     <table.txt> <trace.txt> [journal]
+ *   example_chisel_tool snapshot   <table.txt> <image>
+ *   example_chisel_tool recover    <table.txt> <journal|-> [image]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 
 #include "core/engine.hh"
+#include "persist/journal.hh"
+#include "persist/recovery.hh"
+#include "persist/snapshot.hh"
 #include "route/reader.hh"
 #include "route/synth.hh"
 #include "route/updates.hh"
@@ -37,8 +43,18 @@ usage()
         "  chisel_tool gen-trace <table.txt> <updates> <out.txt> [seed]\n"
         "  chisel_tool info      <table.txt>\n"
         "  chisel_tool lookup    <table.txt> <queries>\n"
-        "  chisel_tool replay    <table.txt> <trace.txt>\n");
+        "  chisel_tool replay    <table.txt> <trace.txt> [journal]\n"
+        "  chisel_tool snapshot  <table.txt> <image>\n"
+        "  chisel_tool recover   <table.txt> <journal|-> [image]\n");
     return 2;
+}
+
+ChiselConfig
+configFor(const RoutingTable &table)
+{
+    ChiselConfig cfg;
+    cfg.keyWidth = table.maxLength() > 32 ? 128 : 32;
+    return cfg;
 }
 
 int
@@ -150,19 +166,96 @@ replay(int argc, char **argv)
         std::printf("input: %zu malformed line(s) skipped of %zu\n",
                     report.skipped, report.lines);
 
-    ChiselConfig cfg;
-    cfg.keyWidth = table.maxLength() > 32 ? 128 : 32;
+    ChiselConfig cfg = configFor(table);
     ChiselEngine engine(table, cfg);
+
+    // Optional write-ahead journal: each update is made durable
+    // before it mutates the engine, so "recover" can rebuild this
+    // exact state after a crash (docs/persistence.md).
+    std::unique_ptr<persist::UpdateJournal> journal;
+    if (argc > 4)
+        journal = std::make_unique<persist::UpdateJournal>(
+            argv[4], configFingerprint(cfg));
+
     StopWatch watch;
-    for (const auto &u : trace)
-        engine.apply(u);
+    for (const auto &u : trace) {
+        uint64_t seq = journal ? journal->append(u) : 0;
+        UpdateOutcome out = engine.apply(u);
+        if (journal)
+            journal->appendOutcome(seq, out);
+    }
+    if (journal)
+        journal->sync();
     double secs = watch.seconds();
     const auto &s = engine.updateStats();
     std::printf("%zu updates in %.2f s (%.0f/s), incremental "
                 "%.3f%%\n",
                 trace.size(), secs, trace.size() / secs,
                 100.0 * s.incrementalFraction());
+    if (journal)
+        std::printf("journaled %llu records to %s\n",
+                    static_cast<unsigned long long>(
+                        journal->recordsWritten()),
+                    argv[4]);
     return 0;
+}
+
+int
+snapshotCmd(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    RoutingTable table = readTableFile(argv[2]);
+    ChiselConfig cfg = configFor(table);
+    ChiselEngine engine(table, cfg);
+    size_t bytes = persist::saveSnapshot(argv[3], engine, 0);
+    std::printf("wrote %zu-byte snapshot of %zu routes to %s "
+                "(%llu Bloomier setups avoided on warm restart)\n",
+                bytes, engine.routeCount(), argv[3],
+                static_cast<unsigned long long>(
+                    engine.bloomierSetups()));
+    return 0;
+}
+
+int
+recoverCmd(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    persist::RecoveryOptions opts;
+    opts.initialTable = readTableFile(argv[2]);
+    opts.config = configFor(opts.initialTable);
+    if (std::strcmp(argv[3], "-") != 0)
+        opts.journalPath = argv[3];
+    if (argc > 4)
+        opts.snapshotPath = argv[4];
+
+    persist::RecoveryReport rec = persist::recoverEngine(opts);
+    std::printf("source=%s fallbacks=%llu journal-records=%llu "
+                "replayed=%llu last-seq=%llu torn-tail=%s\n",
+                persist::recoverySourceName(rec.source),
+                static_cast<unsigned long long>(rec.fallbacks),
+                static_cast<unsigned long long>(rec.journalRecords),
+                static_cast<unsigned long long>(rec.recordsReplayed),
+                static_cast<unsigned long long>(rec.lastSeq),
+                rec.journalTornTail ? "yes" : "no");
+    if (!rec.snapshotError.empty())
+        std::printf("snapshot unusable: %s\n",
+                    rec.snapshotError.c_str());
+    if (!rec.previousSnapshotError.empty())
+        std::printf("previous snapshot unusable: %s\n",
+                    rec.previousSnapshotError.c_str());
+    std::printf("%zu routes recovered, %llu Bloomier setups paid\n",
+                rec.engine->routeCount(),
+                static_cast<unsigned long long>(
+                    rec.engine->bloomierSetups()));
+    std::printf("audit: %s (%llu missing, %llu mismatched, %llu "
+                "phantom)\n",
+                rec.auditPassed ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(rec.auditMissing),
+                static_cast<unsigned long long>(rec.auditMismatched),
+                static_cast<unsigned long long>(rec.auditPhantom));
+    return rec.auditPassed ? 0 : 1;
 }
 
 } // anonymous namespace
@@ -182,5 +275,9 @@ main(int argc, char **argv)
         return lookupBench(argc, argv);
     if (std::strcmp(argv[1], "replay") == 0)
         return replay(argc, argv);
+    if (std::strcmp(argv[1], "snapshot") == 0)
+        return snapshotCmd(argc, argv);
+    if (std::strcmp(argv[1], "recover") == 0)
+        return recoverCmd(argc, argv);
     return usage();
 }

@@ -10,14 +10,35 @@
  * Without arguments a synthetic table and an rrc00-profile trace are
  * generated.  Trace format: "A prefix nexthop" / "W prefix" lines.
  *
- * Options: --metrics-json=<path> (telemetry snapshot with per-update
- * write histograms), --trace=<path> (Chrome trace_event file).
+ * Telemetry options: --metrics-json=<path> (telemetry snapshot with
+ * per-update write histograms), --trace=<path> (Chrome trace_event
+ * file).
+ *
+ * Persistence options (docs/persistence.md):
+ *     --journal=<path>      write-ahead journal every update
+ *     --snapshot=<path>     snapshot image path
+ *     --snapshot-every=<n>  snapshot after every n applied updates
+ *     --fsync-every=<n>     fsync the journal every n records (default 1)
+ *     --recover             recover from snapshot+journal, audit, then
+ *                           resume the trace where the journal ends
+ *     --crash-after=<n>     raise SIGKILL after n applied updates
+ *                           (crash-recovery drills; implies journaling
+ *                           is the only durable record of those updates)
+ *     --routes=<n>          synthetic table size (default 80000)
+ *     --updates=<n>         synthetic trace length (default 300000)
  */
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <memory>
 
 #include "core/engine.hh"
+#include "persist/journal.hh"
+#include "persist/recovery.hh"
+#include "persist/snapshot.hh"
 #include "route/reader.hh"
 #include "route/synth.hh"
 #include "route/updates.hh"
@@ -26,13 +47,92 @@
 #include "telemetry/cli.hh"
 #include "trie/binary_trie.hh"
 
+namespace {
+
+using namespace chisel;
+
+struct ReplayOptions
+{
+    std::string journalPath;
+    std::string snapshotPath;
+    uint64_t snapshotEvery = 0;   // 0 = never.
+    uint64_t fsyncEvery = 1;
+    uint64_t crashAfter = 0;      // 0 = never.
+    bool recover = false;
+    size_t routes = 80000;
+    size_t updates = 300000;
+
+    /** Strip the persistence flags from @p argv, like
+     *  TelemetryOptions::parse does for the telemetry ones. */
+    static ReplayOptions
+    parse(int &argc, char **argv)
+    {
+        ReplayOptions opts;
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto value = [&](const char *flag) -> const char * {
+                size_t n = std::strlen(flag);
+                return arg.compare(0, n, flag) == 0
+                           ? arg.c_str() + n
+                           : nullptr;
+            };
+            if (const char *v = value("--journal="))
+                opts.journalPath = v;
+            else if (const char *v = value("--snapshot="))
+                opts.snapshotPath = v;
+            else if (const char *v = value("--snapshot-every="))
+                opts.snapshotEvery = std::strtoull(v, nullptr, 10);
+            else if (const char *v = value("--fsync-every="))
+                opts.fsyncEvery = std::strtoull(v, nullptr, 10);
+            else if (const char *v = value("--crash-after="))
+                opts.crashAfter = std::strtoull(v, nullptr, 10);
+            else if (arg == "--recover")
+                opts.recover = true;
+            else if (const char *v = value("--routes="))
+                opts.routes = std::strtoull(v, nullptr, 10);
+            else if (const char *v = value("--updates="))
+                opts.updates = std::strtoull(v, nullptr, 10);
+            else
+                argv[out++] = argv[i];
+        }
+        argc = out;
+        return opts;
+    }
+};
+
+/**
+ * Flush every output channel.  Called on *all* exit paths — including
+ * the nonzero-exit audit failures — so a scripted caller never loses
+ * the metrics file or the tail of stdout to an unflushed stream.
+ */
+int
+finishRun(telemetry::TelemetrySession &session, ChiselEngine *engine,
+          int code)
+{
+    if (session.enabled()) {
+        if (engine != nullptr)
+            session.engineTelemetry()->snapshot(*engine);
+        metricsReport(session.registry()).print();
+        session.finish();
+    }
+    std::fflush(stdout);
+    std::fflush(stderr);
+    return code;
+}
+
+} // anonymous namespace
+
 int
 main(int argc, char **argv)
 {
     using namespace chisel;
 
-    telemetry::TelemetryOptions opts =
+    telemetry::TelemetryOptions topts =
         telemetry::TelemetryOptions::parse(argc, argv);
+    ReplayOptions popts = ReplayOptions::parse(argc, argv);
+
+    telemetry::TelemetrySession session(topts);
 
     RoutingTable table;
     std::vector<Update> trace;
@@ -40,19 +140,19 @@ main(int argc, char **argv)
     if (argc > 2)
         table = readTableFile(argv[2], &report);
     else
-        table = generateScaledTable(80000, 32, 42);
+        table = generateScaledTable(popts.routes, 32, 42);
 
     if (argc > 1) {
         std::ifstream in(argv[1]);
         if (!in) {
             std::fprintf(stderr, "cannot open %s\n", argv[1]);
-            return 1;
+            return finishRun(session, nullptr, 1);
         }
         trace = readTrace(in, &report);
     } else {
         auto prof = standardTraceProfiles()[0];   // rrc00.
         UpdateTraceGenerator gen(table, prof, 32, 43);
-        trace = gen.generate(300000);
+        trace = gen.generate(popts.updates);
     }
     std::printf("Table: %zu routes; trace: %zu updates\n",
                 table.size(), trace.size());
@@ -65,31 +165,133 @@ main(int argc, char **argv)
             std::printf("  line %zu: %s\n", lineno, reason.c_str());
     }
 
-    ChiselEngine engine(table);
-    RoutingTable truth = table;
+    ChiselConfig config;
+    std::unique_ptr<ChiselEngine> engine;
+    size_t start = 0;   // First trace index still to apply.
 
-    telemetry::TelemetrySession session(opts);
-    session.attach(engine);
+    if (popts.recover) {
+        persist::RecoveryOptions ropts;
+        ropts.journalPath = popts.journalPath;
+        ropts.snapshotPath = popts.snapshotPath;
+        ropts.config = config;
+        ropts.initialTable = table;
+        persist::RecoveryReport rec = persist::recoverEngine(ropts);
 
-    StopWatch watch;
-    size_t rejected = 0;
-    for (const auto &u : trace) {
-        UpdateOutcome out = engine.apply(u);
-        if (!out.ok()) {
-            ++rejected;   // Refused updates don't enter the truth.
-            continue;
+        std::printf("Recovery: source=%s fallbacks=%llu "
+                    "journal-records=%llu replayed=%llu last-seq=%llu "
+                    "torn-tail=%s bloomier-setups=%llu\n",
+                    persist::recoverySourceName(rec.source),
+                    static_cast<unsigned long long>(rec.fallbacks),
+                    static_cast<unsigned long long>(rec.journalRecords),
+                    static_cast<unsigned long long>(
+                        rec.recordsReplayed),
+                    static_cast<unsigned long long>(rec.lastSeq),
+                    rec.journalTornTail ? "yes" : "no",
+                    static_cast<unsigned long long>(
+                        rec.engine->bloomierSetups()));
+        if (!rec.snapshotError.empty())
+            std::printf("Recovery: snapshot unusable: %s\n",
+                        rec.snapshotError.c_str());
+        if (!rec.previousSnapshotError.empty())
+            std::printf("Recovery: previous snapshot unusable: %s\n",
+                        rec.previousSnapshotError.c_str());
+        std::printf("Recovery audit: %s (%llu missing, %llu "
+                    "mismatched, %llu phantom)\n",
+                    rec.auditPassed ? "PASS" : "FAIL",
+                    static_cast<unsigned long long>(rec.auditMissing),
+                    static_cast<unsigned long long>(
+                        rec.auditMismatched),
+                    static_cast<unsigned long long>(rec.auditPhantom));
+
+        engine = std::move(rec.engine);
+        session.attach(*engine);
+        if (session.enabled())
+            session.engineTelemetry()->recordRecovery(
+                rec.recordsReplayed, rec.snapshotLoads, rec.fallbacks);
+        if (!rec.auditPassed)
+            return finishRun(session, engine.get(), 2);
+        if (rec.lastSeq > trace.size()) {
+            std::fprintf(stderr,
+                         "journal is ahead of the trace (seq %llu > "
+                         "%zu updates)\n",
+                         static_cast<unsigned long long>(rec.lastSeq),
+                         trace.size());
+            return finishRun(session, engine.get(), 1);
         }
+        start = static_cast<size_t>(rec.lastSeq);
+        std::printf("Resuming trace at update %zu of %zu\n", start,
+                    trace.size());
+    } else {
+        engine = std::make_unique<ChiselEngine>(table, config);
+        session.attach(*engine);
+    }
+
+    // The truth table tracks what the engine *should* hold: the
+    // initial table advanced through every update that entered the
+    // engine — including, on a recovered run, the pre-crash portion
+    // replayed from the journal.
+    RoutingTable truth = table;
+    for (size_t i = 0; i < start; ++i) {
+        const Update &u = trace[i];
         if (u.kind == UpdateKind::Announce)
             truth.add(u.prefix, u.nextHop);
         else
             truth.remove(u.prefix);
     }
+
+    std::unique_ptr<persist::UpdateJournal> journal;
+    if (!popts.journalPath.empty())
+        journal = std::make_unique<persist::UpdateJournal>(
+            popts.journalPath, configFingerprint(config),
+            popts.fsyncEvery);
+
+    StopWatch watch;
+    size_t rejected = 0;
+    uint64_t applied = 0;
+    for (size_t i = start; i < trace.size(); ++i) {
+        const Update &u = trace[i];
+        uint64_t seq = 0;
+        if (journal)
+            seq = journal->append(u);   // Durable before applied.
+        UpdateOutcome out = engine->apply(u);
+        if (journal)
+            journal->appendOutcome(seq, out);
+        ++applied;
+        if (out.ok()) {
+            if (u.kind == UpdateKind::Announce)
+                truth.add(u.prefix, u.nextHop);
+            else
+                truth.remove(u.prefix);
+        } else {
+            ++rejected;   // Refused updates don't enter the truth.
+        }
+        if (popts.crashAfter != 0 && applied >= popts.crashAfter) {
+            // The crash drill: die the hard way, mid-stream, with no
+            // destructor or flush.  The journal's synced prefix is
+            // the only durable record.
+            std::printf("crash drill: SIGKILL after %llu updates\n",
+                        static_cast<unsigned long long>(applied));
+            std::fflush(stdout);
+            ::raise(SIGKILL);
+        }
+        if (popts.snapshotEvery != 0 &&
+            !popts.snapshotPath.empty() &&
+            applied % popts.snapshotEvery == 0) {
+            uint64_t covered = journal ? seq : i + 1;
+            persist::saveSnapshot(popts.snapshotPath, *engine,
+                                  covered);
+            if (journal)
+                journal->appendSnapshotMark(covered);
+        }
+    }
+    if (journal)
+        journal->sync();
     double secs = watch.seconds();
 
-    const auto &s = engine.updateStats();
+    const auto &s = engine->updateStats();
     std::printf("Applied in %.2f s: %.0f updates/sec (paper: "
                 "~276K/s host-class)\n",
-                secs, trace.size() / secs);
+                secs, applied / secs);
     std::printf("%-12s %10s %8s\n", "category", "count", "share");
     for (UpdateClass c : {UpdateClass::Withdraw, UpdateClass::RouteFlap,
                           UpdateClass::NextHopChange,
@@ -110,7 +312,7 @@ main(int argc, char **argv)
     size_t wrong = 0;
     for (const auto &k : keys) {
         auto a = oracle.lookup(k, 32);
-        auto b = engine.lookup(k);
+        auto b = engine->lookup(k);
         if (a.has_value() != b.found ||
             (a && a->nextHop != b.nextHop))
             ++wrong;
@@ -120,22 +322,22 @@ main(int argc, char **argv)
     // vice versa — a lost or phantom update fails the run.
     size_t lost = 0, phantom = 0;
     for (const auto &r : truth.routes()) {
-        auto nh = engine.find(r.prefix);
+        auto nh = engine->find(r.prefix);
         if (!nh || *nh != r.nextHop)
             ++lost;
     }
-    RoutingTable exported = engine.exportTable();
+    RoutingTable exported = engine->exportTable();
     for (const auto &r : exported.routes()) {
         auto nh = truth.find(r.prefix);
         if (!nh || *nh != r.nextHop)
             ++phantom;
     }
 
-    RobustnessCounters rc = engine.robustness();
+    RobustnessCounters rc = engine->robustness();
     std::printf("Post-replay oracle audit: %zu keys, %zu mismatches; "
                 "route count %zu vs truth %zu (%zu lost, %zu "
                 "phantom)\n",
-                keys.size(), wrong, engine.routeCount(),
+                keys.size(), wrong, engine->routeCount(),
                 truth.size(), lost, phantom);
     std::printf("Robustness: %llu rejected, %llu TCAM overflows, "
                 "%llu slow-path diversions (%zu resident), %llu "
@@ -144,17 +346,19 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(rc.rejectedUpdates),
                 static_cast<unsigned long long>(rc.tcamOverflows),
                 static_cast<unsigned long long>(rc.slowPathInserts),
-                engine.slowPathCount(),
+                engine->slowPathCount(),
                 static_cast<unsigned long long>(rc.slowPathDrains),
                 static_cast<unsigned long long>(rc.setupRetries),
                 static_cast<unsigned long long>(rc.parityRecoveries));
     if (rejected > 0)
         std::printf("Rejected updates during replay: %zu\n", rejected);
+    if (journal)
+        std::printf("Journal: %llu records written, last seq %llu\n",
+                    static_cast<unsigned long long>(
+                        journal->recordsWritten()),
+                    static_cast<unsigned long long>(
+                        journal->lastSeq()));
 
-    if (session.enabled()) {
-        session.engineTelemetry()->snapshot(engine);
-        metricsReport(session.registry()).print();
-        session.finish();
-    }
-    return (wrong == 0 && lost == 0 && phantom == 0) ? 0 : 1;
+    int code = (wrong == 0 && lost == 0 && phantom == 0) ? 0 : 1;
+    return finishRun(session, engine.get(), code);
 }

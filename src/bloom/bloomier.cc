@@ -8,6 +8,7 @@
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "fault/fault.hh"
+#include "persist/codec.hh"
 #include "telemetry/trace.hh"
 
 namespace chisel {
@@ -226,6 +227,7 @@ std::vector<std::pair<Key128, uint32_t>>
 BloomierFilter::setup(
     const std::vector<std::pair<Key128, uint32_t>> &entries)
 {
+    ++stats_.setups;
     clear();
     for (const auto &[key, code] : entries) {
         unsigned p = partitionOf(key);
@@ -253,9 +255,16 @@ BloomierFilter::rebuildPartition(
     Registry &reg = registry_[p];
     size_t base = static_cast<size_t>(p) * partitionSlots_;
 
-    // Local snapshot of the partition's entries.
+    // Local snapshot of the partition's entries, in canonical (key)
+    // order: the peel outcome must not depend on hash-map iteration
+    // order, or a rebuild replayed after snapshot restore could
+    // assign different slots than the original run.
     std::vector<std::pair<Key128, uint32_t>> entries(reg.begin(),
                                                      reg.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
     size_t n = entries.size();
 
     // Per-slot peeling state, local indices [0, partitionSlots_).
@@ -407,6 +416,78 @@ BloomierFilter::clear()
     for (auto &reg : registry_)
         reg.clear();
     size_ = 0;
+}
+
+void
+BloomierFilter::saveState(persist::Encoder &enc) const
+{
+    enc.u64(config_.seed);
+    enc.u64(slots_.size());
+    for (uint32_t s : slots_)
+        enc.u32(s);
+    enc.u64(size_);
+    // Canonical (key-sorted) order: the image of a restored filter
+    // must be byte-identical to the image it was restored from, so
+    // hash-map iteration order must not leak into the encoding.
+    std::vector<std::pair<Key128, uint32_t>> keys;
+    keys.reserve(size_);
+    for (const Registry &reg : registry_)
+        keys.insert(keys.end(), reg.begin(), reg.end());
+    std::sort(keys.begin(), keys.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    for (const auto &[key, code] : keys) {
+        enc.key(key);
+        enc.u32(code);
+    }
+    enc.u64(stats_.singletonInserts);
+    enc.u64(stats_.rebuilds);
+    enc.u64(stats_.spilledKeys);
+    enc.u64(stats_.erases);
+    enc.u64(stats_.reseeds);
+    enc.u64(stats_.setups);
+}
+
+void
+BloomierFilter::loadState(persist::Decoder &dec)
+{
+    uint64_t seed = dec.u64();
+    // reseed() rebuilds the hash family the slot contents were
+    // encoded under and clears every table; counters restored below.
+    reseed(seed);
+
+    if (dec.u64() != slots_.size())
+        throw persist::DecodeError("bloomier: slot count mismatch");
+    for (size_t i = 0; i < slots_.size(); ++i)
+        writeSlot(i, dec.u32());
+
+    uint64_t n = dec.count(20);   // Key128 (16) + code (4).
+    if (n > capacity_)
+        throw persist::DecodeError("bloomier: more keys than capacity");
+    for (uint64_t i = 0; i < n; ++i) {
+        Key128 key = dec.key();
+        uint32_t code = dec.u32();
+        if (code >= capacity_)
+            throw persist::DecodeError("bloomier: code out of range");
+        unsigned p = partitionOf(key);
+        auto [it, inserted] = registry_[p].emplace(key, code);
+        (void)it;
+        if (!inserted)
+            throw persist::DecodeError("bloomier: duplicate key");
+        size_t locs[8];
+        slotsOf(key, p, locs);
+        for (unsigned j = 0; j < config_.k; ++j)
+            ++counts_[locs[j]];
+    }
+    size_ = n;
+
+    stats_.singletonInserts = dec.u64();
+    stats_.rebuilds = dec.u64();
+    stats_.spilledKeys = dec.u64();
+    stats_.erases = dec.u64();
+    stats_.reseeds = dec.u64();
+    stats_.setups = dec.u64();
 }
 
 bool

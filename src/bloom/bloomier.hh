@@ -38,6 +38,8 @@
 
 namespace chisel {
 
+namespace persist { class Encoder; class Decoder; }
+
 /** Construction parameters for a Bloomier filter. */
 struct BloomierConfig
 {
@@ -99,6 +101,12 @@ class BloomierFilter
         uint64_t spilledKeys = 0;
         uint64_t erases = 0;
         uint64_t reseeds = 0;
+        /**
+         * Full setup() passes (bulk peeling over every partition) —
+         * the expensive cold-start event a snapshot restore avoids;
+         * warm restarts assert this stays flat (docs/persistence.md).
+         */
+        uint64_t setups = 0;
     };
 
     /**
@@ -216,6 +224,25 @@ class BloomierFilter
      * equals its registered code.  O(n).
      */
     bool selfCheck() const;
+
+    /**
+     * Serialize the filter: seed, the raw Index Table slot array
+     * (whose contents encode the peeling result and cannot be
+     * re-derived without re-running setup), the key registry and the
+     * operation counters.  Geometry (capacity, k, ratio, partitions)
+     * is not written — it is fixed by the constructor arguments, and
+     * loadState() requires the running instance to match.
+     */
+    void saveState(persist::Encoder &enc) const;
+
+    /**
+     * Restore from saveState() output: reseeds the hash family,
+     * installs the slot array, re-registers every key and recomputes
+     * occupancy counts and parity.  No peeling runs.  Throws
+     * persist::DecodeError on malformed input (wrong slot count,
+     * out-of-range code, duplicate key).
+     */
+    void loadState(persist::Decoder &dec);
 
   private:
     using Registry =

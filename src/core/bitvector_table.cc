@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.hh"
+#include "persist/codec.hh"
 #include "telemetry/trace.hh"
 
 namespace chisel {
@@ -116,6 +117,30 @@ uint64_t
 BitVectorTable::storageBits() const
 {
     return static_cast<uint64_t>(capacity_) * slotWidthBits();
+}
+
+void
+BitVectorTable::saveState(persist::Encoder &enc) const
+{
+    enc.u64(capacity_);
+    enc.u32(vectorBits_);
+    for (uint64_t w : words_)
+        enc.u64(w);
+    for (uint32_t p : pointers_)
+        enc.u32(p);
+}
+
+void
+BitVectorTable::loadState(persist::Decoder &dec)
+{
+    if (dec.u64() != capacity_ || dec.u32() != vectorBits_)
+        throw persist::DecodeError("bit-vector table: geometry mismatch");
+    for (uint64_t &w : words_)
+        w = dec.u64();
+    for (uint32_t &p : pointers_)
+        p = dec.u32();
+    for (uint32_t slot = 0; slot < capacity_; ++slot)
+        parity_[slot] = computeParity(slot);
 }
 
 } // namespace chisel

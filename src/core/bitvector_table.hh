@@ -22,6 +22,8 @@
 
 namespace chisel {
 
+namespace persist { class Encoder; class Decoder; }
+
 /**
  * Fixed-capacity table of 2^stride-bit vectors with result pointers.
  */
@@ -85,6 +87,12 @@ class BitVectorTable
 
     /** Total storage in bits. */
     uint64_t storageBits() const;
+
+    /** Serialize vector words and pointers (parity is recomputed). */
+    void saveState(persist::Encoder &enc) const;
+
+    /** Restore from saveState(); throws persist::DecodeError. */
+    void loadState(persist::Decoder &dec);
 
   private:
     /** Even parity over the slot's words and pointer. */

@@ -54,7 +54,8 @@ UpdateStats::incrementalFraction() const
 
 ChiselEngine::ChiselEngine(const RoutingTable &initial,
                            const ChiselConfig &config)
-    : config_(config), spill_(config.spillCapacity)
+    : config_(config), spill_(config.spillCapacity),
+      slowPath_(config.slowPathCapacity)
 {
     if (config_.keyWidth < 1 || config_.keyWidth > Key128::maxBits)
         fatalError("ChiselEngine key width must be in [1, 128]");
@@ -131,9 +132,21 @@ ChiselEngine::absorbDisplaced(std::vector<Route> &displaced,
         // software slow path rather than drop the route.
         ++out.tcamOverflows;
         ++robust_.tcamOverflows;
-        if (slowPath_.insert(r.prefix, r.nextHop)) {
+        switch (slowPath_.insert(r.prefix, r.nextHop)) {
+          case SlowPathMap::Insert::Inserted:
             ++out.slowPathInserts;
             ++robust_.slowPathInserts;
+            break;
+          case SlowPathMap::Insert::Updated:
+            break;
+          case SlowPathMap::Insert::Rejected:
+            // The slow path itself is full: the route is dropped and
+            // the outcome says so — the only lossy rung of the
+            // ladder, taken over unbounded control-plane growth.
+            ++out.slowPathRejections;
+            ++robust_.slowPathRejected;
+            warnOnce("software slow path full: routes dropped");
+            break;
         }
         // One advisory per process: repeated overflows during long
         // update replays would otherwise flood the log.
@@ -184,7 +197,7 @@ void
 ChiselEngine::drainSlowPath()
 {
     while (!slowPath_.empty() && !spill_.full()) {
-        Route r = slowPath_.entries().front();   // Longest first.
+        Route r = *slowPath_.longest();   // Longest first.
         if (!spill_.insert(r.prefix, r.nextHop))
             break;   // Injected overflow; retry at the next update.
         slowPath_.erase(r.prefix);
@@ -308,6 +321,12 @@ finalizeOutcome(UpdateOutcome &out)
 {
     if (out.status == UpdateStatus::Rejected)
         return;
+    if (out.slowPathRejections > 0) {
+        // Hard degradation: route(s) were dropped, not just diverted.
+        out.status = UpdateStatus::Degraded;
+        out.message = "software slow path full: route(s) dropped";
+        return;
+    }
     if (out.tcamOverflows > 0 || out.slowPathInserts > 0 ||
         out.parityRecoveries > 0) {
         out.status = UpdateStatus::Degraded;

@@ -39,6 +39,7 @@
 namespace chisel {
 
 namespace telemetry { class EngineTelemetry; }
+namespace persist { class Encoder; class Decoder; }
 
 /** Engine construction parameters (paper design points as defaults). */
 struct ChiselConfig
@@ -65,6 +66,14 @@ struct ChiselConfig
      */
     size_t spillCapacity = 32;
 
+    /**
+     * Software slow-path map capacity (0 = unbounded).  Routes
+     * arriving when the map is full are dropped with a hard-degraded
+     * outcome and counted (docs/robustness.md) — bounded memory
+     * beats silent unbounded growth under an update storm.
+     */
+    size_t slowPathCapacity = 65536;
+
     /** Sub-cell group capacity = observed groups x this headroom. */
     double capacityHeadroom = 2.0;
 
@@ -79,7 +88,27 @@ struct ChiselConfig
 
     /** Seed for every hash family in the engine. */
     uint64_t seed = 0xC415E1;
+
+    /**
+     * Snapshots embed the full config and restore refuses a mismatch
+     * (a snapshot laid out for one geometry must not be grafted onto
+     * another); field-wise equality is that check.
+     */
+    bool operator==(const ChiselConfig &other) const = default;
 };
+
+/** Serialize a config (snapshot headers; see docs/persistence.md). */
+void encodeConfig(persist::Encoder &enc, const ChiselConfig &config);
+
+/** Inverse of encodeConfig; throws persist::DecodeError. */
+ChiselConfig decodeConfig(persist::Decoder &dec);
+
+/**
+ * Stable fingerprint of a config — stamped into journal headers so a
+ * journal is only ever replayed against the geometry it was written
+ * under.
+ */
+uint64_t configFingerprint(const ChiselConfig &config);
 
 /** Outcome of an engine lookup. */
 struct LookupResult
@@ -114,6 +143,7 @@ struct RobustnessCounters
     uint64_t tcamOverflows = 0;     ///< Spill TCAM inserts refused.
     uint64_t slowPathInserts = 0;   ///< Routes diverted to software.
     uint64_t slowPathDrains = 0;    ///< Routes drained back to TCAM.
+    uint64_t slowPathRejected = 0;  ///< Routes dropped: slow path full.
     uint64_t setupRetries = 0;      ///< Index reseed-retry attempts.
     uint64_t parityDetected = 0;    ///< Lookups served soft.
     uint64_t parityRecoveries = 0;  ///< Cell recover-by-resetup runs.
@@ -268,6 +298,35 @@ class ChiselEngine
     bool selfCheck() const;
 
     /**
+     * Serialize the complete engine state — collapse plan, every
+     * sub-cell's Index/Filter/Bit-vector image and shadow groups, the
+     * shared Result Table, spill TCAM, slow-path map, default route,
+     * and all counters — so restoreState() reproduces this engine
+     * bit-for-bit without re-running any Bloomier setup.  The config
+     * is NOT included; the snapshot container stores it separately so
+     * a mismatch can be rejected before deep decoding begins
+     * (docs/persistence.md).
+     */
+    void saveState(persist::Encoder &enc) const;
+
+    /**
+     * Rebuild an engine from saveState() output.  @p config must be
+     * the config the state was saved under (the snapshot loader
+     * enforces this).  Throws persist::DecodeError on any malformed
+     * input; the decoder is bounds-checked throughout, so corrupt
+     * bytes can never produce out-of-range table writes.
+     */
+    static std::unique_ptr<ChiselEngine>
+    restoreState(const ChiselConfig &config, persist::Decoder &dec);
+
+    /**
+     * Full Bloomier setup passes run by this engine's cells since
+     * construction or restore — the "did we pay the cold-start cost"
+     * probe: a warm restart from a valid snapshot performs zero.
+     */
+    uint64_t bloomierSetups() const;
+
+    /**
      * Attach a telemetry binding (see telemetry/engine_telemetry.hh):
      * every subsequent lookup and update runs under an access-tracer
      * span feeding the binding's MetricRegistry.  Pass nullptr to
@@ -284,6 +343,12 @@ class ChiselEngine
     telemetry::EngineTelemetry *telemetry() const { return telemetry_; }
 
   private:
+    /** Tag type for the restoreState() shell constructor. */
+    struct RestoreTag {};
+
+    /** Shell engine for restoreState(): config set, tables empty. */
+    ChiselEngine(const ChiselConfig &config, RestoreTag);
+
     /** lookup() body; runs inside the telemetry span when attached. */
     LookupResult lookupImpl(const Key128 &key) const;
 

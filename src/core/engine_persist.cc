@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Engine-level persistence: config codec, config fingerprint, and the
+ * whole-engine saveState/restoreState pair (docs/persistence.md).
+ *
+ * Kept out of engine.cc so the hot-path translation unit does not
+ * grow serialization concerns.  Everything here routes through the
+ * bounds-checked persist::Decoder: corrupt snapshot bytes surface as
+ * DecodeError (recovery ladder input), never as undefined behaviour.
+ */
+
+#include <memory>
+
+#include "core/engine.hh"
+#include "persist/codec.hh"
+
+namespace chisel {
+
+void
+encodeConfig(persist::Encoder &enc, const ChiselConfig &config)
+{
+    enc.u32(config.keyWidth);
+    enc.u32(config.stride);
+    enc.u32(config.k);
+    enc.f64(config.ratio);
+    enc.u32(config.partitions);
+    enc.u64(config.spillCapacity);
+    enc.u64(config.slowPathCapacity);
+    enc.f64(config.capacityHeadroom);
+    enc.u64(config.minCellCapacity);
+    enc.boolean(config.coverAllLengths);
+    enc.boolean(config.retainDirtyGroups);
+    enc.u64(config.seed);
+}
+
+ChiselConfig
+decodeConfig(persist::Decoder &dec)
+{
+    ChiselConfig c;
+    c.keyWidth = dec.u32();
+    c.stride = dec.u32();
+    c.k = dec.u32();
+    c.ratio = dec.f64();
+    c.partitions = dec.u32();
+    c.spillCapacity = dec.u64();
+    c.slowPathCapacity = dec.u64();
+    c.capacityHeadroom = dec.f64();
+    c.minCellCapacity = dec.u64();
+    c.coverAllLengths = dec.boolean();
+    c.retainDirtyGroups = dec.boolean();
+    c.seed = dec.u64();
+    if (c.keyWidth < 1 || c.keyWidth > Key128::maxBits)
+        throw persist::DecodeError("config: key width out of range");
+    if (c.stride > 16)
+        throw persist::DecodeError("config: stride out of range");
+    if (c.k < 1 || c.k > 16)
+        throw persist::DecodeError("config: k out of range");
+    return c;
+}
+
+uint64_t
+configFingerprint(const ChiselConfig &config)
+{
+    persist::Encoder enc;
+    encodeConfig(enc, config);
+    uint64_t lo = persist::crc32(enc.buffer().data(), enc.size(), 0);
+    uint64_t hi =
+        persist::crc32(enc.buffer().data(), enc.size(), 0x9E3779B9u);
+    return (hi << 32) | lo;
+}
+
+namespace {
+
+void
+encodeCellConfig(persist::Encoder &enc, const SubCell::Config &cc)
+{
+    enc.u32(cc.range.base);
+    enc.u32(cc.range.top);
+    enc.boolean(cc.range.filler);
+    enc.u32(cc.stride);
+    enc.u64(cc.capacity);
+    enc.u32(cc.keyWidth);
+    enc.u32(cc.k);
+    enc.f64(cc.ratio);
+    enc.u32(cc.partitions);
+    enc.u32(cc.resultPointerBits);
+    enc.u64(cc.seed);
+    enc.u32(cc.setupRetries);
+    enc.boolean(cc.retainDirtyGroups);
+}
+
+SubCell::Config
+decodeCellConfig(persist::Decoder &dec)
+{
+    SubCell::Config cc;
+    cc.range.base = dec.u32();
+    cc.range.top = dec.u32();
+    cc.range.filler = dec.boolean();
+    cc.stride = dec.u32();
+    cc.capacity = dec.u64();
+    cc.keyWidth = dec.u32();
+    cc.k = dec.u32();
+    cc.ratio = dec.f64();
+    cc.partitions = dec.u32();
+    cc.resultPointerBits = dec.u32();
+    cc.seed = dec.u64();
+    cc.setupRetries = dec.u32();
+    cc.retainDirtyGroups = dec.boolean();
+    if (cc.range.base < 1 || cc.range.base > cc.range.top ||
+        cc.range.top > Key128::maxBits)
+        throw persist::DecodeError("cell config: bad length range");
+    if (cc.stride > 16)
+        throw persist::DecodeError("cell config: stride out of range");
+    if (cc.capacity == 0 || cc.capacity > (size_t(1) << 28))
+        throw persist::DecodeError("cell config: capacity out of range");
+    if (cc.k < 1 || cc.k > 16 || cc.partitions < 1 ||
+        cc.partitions > 4096)
+        throw persist::DecodeError("cell config: k/partitions invalid");
+    if (cc.ratio < 1.0 || cc.ratio > 64.0)
+        throw persist::DecodeError("cell config: ratio out of range");
+    if (cc.resultPointerBits < 1 || cc.resultPointerBits > 32)
+        throw persist::DecodeError("cell config: pointer bits invalid");
+    // Allocation bound: a valid image stores every filter entry,
+    // bit-vector word, and Index Table slot the geometry declares, so
+    // a capacity that cannot fit in the bytes still to be decoded is
+    // corruption.  Checked *before* the cell is constructed, so a
+    // fuzzed config cannot trigger a multi-gigabyte allocation
+    // (fuzz/fuzz_persist.cc).
+    uint64_t left = dec.remaining();
+    uint64_t vector_bytes = (uint64_t(cc.capacity) << cc.stride) / 8;
+    uint64_t slot_bytes =
+        static_cast<uint64_t>(double(cc.capacity) * cc.ratio) * 4;
+    if (cc.capacity > left || vector_bytes > 2 * left ||
+        slot_bytes > 4 * left)
+        throw persist::DecodeError(
+            "cell config: geometry exceeds image size");
+    return cc;
+}
+
+} // anonymous namespace
+
+ChiselEngine::ChiselEngine(const ChiselConfig &config, RestoreTag)
+    : config_(config), spill_(config.spillCapacity),
+      slowPath_(config.slowPathCapacity)
+{
+}
+
+void
+ChiselEngine::saveState(persist::Encoder &enc) const
+{
+    // Collapse plan.
+    enc.u64(plan_.cells.size());
+    for (const CellRange &r : plan_.cells) {
+        enc.u32(r.base);
+        enc.u32(r.top);
+        enc.boolean(r.filler);
+    }
+
+    // Shared Result Table before the cells: restore rebuilds it
+    // first, since cell result-block pointers index into it.
+    results_.saveState(enc);
+
+    // Cells: per-cell construction config (capacity and seeds are
+    // table-load dependent, not derivable from ChiselConfig alone)
+    // followed by the deep cell state.
+    enc.u64(cells_.size());
+    for (const auto &cell : cells_) {
+        encodeCellConfig(enc, cell->cellConfig());
+        cell->saveState(enc);
+    }
+
+    spill_.saveState(enc);
+    slowPath_.saveState(enc);
+
+    enc.boolean(defaultRoute_.has_value());
+    enc.u32(defaultRoute_.value_or(kNoRoute));
+
+    for (uint64_t c : updateStats_.counts)
+        enc.u64(c);
+
+    enc.u64(robust_.rejectedUpdates);
+    enc.u64(robust_.tcamOverflows);
+    enc.u64(robust_.slowPathInserts);
+    enc.u64(robust_.slowPathDrains);
+    enc.u64(robust_.slowPathRejected);
+    enc.u64(robust_.setupRetries);
+    enc.u64(robust_.parityDetected);
+    enc.u64(robust_.parityRecoveries);
+
+    enc.u64(access_.lookups);
+    enc.u64(access_.indexSegmentReads);
+    enc.u64(access_.filterReads);
+    enc.u64(access_.bitvectorReads);
+    enc.u64(access_.resultReads);
+}
+
+std::unique_ptr<ChiselEngine>
+ChiselEngine::restoreState(const ChiselConfig &config,
+                           persist::Decoder &dec)
+{
+    if (config.keyWidth < 1 || config.keyWidth > Key128::maxBits)
+        throw persist::DecodeError("restore: key width out of range");
+
+    auto engine = std::unique_ptr<ChiselEngine>(
+        new ChiselEngine(config, RestoreTag{}));
+
+    uint64_t plan_cells = dec.count(9);
+    if (plan_cells == 0 || plan_cells > Key128::maxBits)
+        throw persist::DecodeError("restore: implausible plan size");
+    unsigned prev_top = 0;
+    for (uint64_t i = 0; i < plan_cells; ++i) {
+        CellRange r;
+        r.base = dec.u32();
+        r.top = dec.u32();
+        r.filler = dec.boolean();
+        if (r.base < 1 || r.base > r.top || r.top > config.keyWidth)
+            throw persist::DecodeError("restore: bad plan range");
+        if (i > 0 && r.base <= prev_top)
+            throw persist::DecodeError("restore: plan ranges overlap");
+        prev_top = r.top;
+        engine->plan_.cells.push_back(r);
+    }
+
+    engine->results_.loadState(dec);
+
+    uint64_t cell_count = dec.count(64);
+    if (cell_count != plan_cells)
+        throw persist::DecodeError(
+            "restore: cell count does not match plan");
+    for (uint64_t i = 0; i < cell_count; ++i) {
+        SubCell::Config cc = decodeCellConfig(dec);
+        if (!(cc.range == engine->plan_.cells[i]))
+            throw persist::DecodeError(
+                "restore: cell range does not match plan");
+        auto cell = std::make_unique<SubCell>(cc, &engine->results_);
+        cell->loadState(dec);
+        engine->cells_.push_back(std::move(cell));
+    }
+
+    engine->spill_.loadState(dec);
+    engine->slowPath_.loadState(dec);
+
+    bool have_default = dec.boolean();
+    NextHop default_hop = dec.u32();
+    if (have_default)
+        engine->defaultRoute_ = default_hop;
+
+    for (uint64_t &c : engine->updateStats_.counts)
+        c = dec.u64();
+
+    engine->robust_.rejectedUpdates = dec.u64();
+    engine->robust_.tcamOverflows = dec.u64();
+    engine->robust_.slowPathInserts = dec.u64();
+    engine->robust_.slowPathDrains = dec.u64();
+    engine->robust_.slowPathRejected = dec.u64();
+    engine->robust_.setupRetries = dec.u64();
+    engine->robust_.parityDetected = dec.u64();
+    engine->robust_.parityRecoveries = dec.u64();
+
+    engine->access_.lookups = dec.u64();
+    engine->access_.indexSegmentReads = dec.u64();
+    engine->access_.filterReads = dec.u64();
+    engine->access_.bitvectorReads = dec.u64();
+    engine->access_.resultReads = dec.u64();
+
+    return engine;
+}
+
+uint64_t
+ChiselEngine::bloomierSetups() const
+{
+    uint64_t total = 0;
+    for (const auto &cell : cells_)
+        total += cell->indexStats().setups;
+    return total;
+}
+
+} // namespace chisel

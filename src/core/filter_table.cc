@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/logging.hh"
+#include "persist/codec.hh"
 #include "telemetry/trace.hh"
 
 namespace chisel {
@@ -98,6 +99,49 @@ uint64_t
 FilterTable::storageBits() const
 {
     return static_cast<uint64_t>(entries_.size()) * slotWidthBits();
+}
+
+void
+FilterTable::saveState(persist::Encoder &enc) const
+{
+    enc.u64(entries_.size());
+    for (const Entry &e : entries_) {
+        enc.key(e.key);
+        enc.boolean(e.valid);
+        enc.boolean(e.dirty);
+    }
+    enc.u64(freeList_.size());
+    for (uint32_t slot : freeList_)
+        enc.u32(slot);
+}
+
+void
+FilterTable::loadState(persist::Decoder &dec)
+{
+    if (dec.u64() != entries_.size())
+        throw persist::DecodeError("filter table: capacity mismatch");
+    used_ = 0;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        Entry &e = entries_[i];
+        e.key = dec.key();
+        e.valid = dec.boolean();
+        e.dirty = dec.boolean();
+        if (e.valid)
+            ++used_;
+        refreshParity(static_cast<uint32_t>(i));
+    }
+    uint64_t free_count = dec.count(4);
+    if (free_count > entries_.size())
+        throw persist::DecodeError("filter table: free list too long");
+    freeList_.clear();
+    std::vector<uint8_t> seen(entries_.size(), 0);
+    for (uint64_t i = 0; i < free_count; ++i) {
+        uint32_t slot = dec.u32();
+        if (slot >= entries_.size() || seen[slot])
+            throw persist::DecodeError("filter table: bad free slot");
+        seen[slot] = 1;
+        freeList_.push_back(slot);
+    }
 }
 
 } // namespace chisel

@@ -30,6 +30,8 @@
 
 namespace chisel {
 
+namespace persist { class Encoder; class Decoder; }
+
 /**
  * Fixed-capacity table of collapsed prefixes with a slot free-list.
  */
@@ -97,6 +99,16 @@ class FilterTable
 
     /** Total storage in bits. */
     uint64_t storageBits() const;
+
+    /**
+     * Serialize entries and the free list (its order determines
+     * which slot the next allocate() hands out, so it must survive a
+     * restart for determinism).  Parity is recomputed on load.
+     */
+    void saveState(persist::Encoder &enc) const;
+
+    /** Restore from saveState(); throws persist::DecodeError. */
+    void loadState(persist::Decoder &dec);
 
   private:
     struct Entry

@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "persist/codec.hh"
 #include "telemetry/trace.hh"
 
 namespace chisel {
@@ -79,6 +80,57 @@ ResultTable::parityOk(uint32_t addr) const
     panicIf(addr >= slots_.size(), "ResultTable parity out of range");
     return (popcount64(static_cast<uint64_t>(slots_[addr])) & 1u) ==
            parity_[addr];
+}
+
+void
+ResultTable::saveState(persist::Encoder &enc) const
+{
+    enc.u64(slots_.size());
+    for (NextHop h : slots_)
+        enc.u32(h);
+    enc.u64(freeLists_.size());
+    for (const auto &list : freeLists_) {
+        enc.u64(list.size());
+        for (uint32_t base : list)
+            enc.u32(base);
+    }
+    enc.u64(allocated_);
+    enc.u64(allocations_);
+    enc.u64(frees_);
+}
+
+void
+ResultTable::loadState(persist::Decoder &dec)
+{
+    uint64_t n = dec.count(4);
+    slots_.assign(n, kNoRoute);
+    parity_.assign(n, 0);
+    for (uint64_t i = 0; i < n; ++i) {
+        slots_[i] = dec.u32();
+        parity_[i] = static_cast<uint8_t>(
+            popcount64(static_cast<uint64_t>(slots_[i])) & 1u);
+    }
+    uint64_t classes = dec.count(8);
+    if (classes > 33)
+        throw persist::DecodeError("result table: too many size classes");
+    freeLists_.assign(classes, {});
+    for (uint64_t c = 0; c < classes; ++c) {
+        uint64_t blocks = dec.count(4);
+        freeLists_[c].reserve(blocks);
+        for (uint64_t b = 0; b < blocks; ++b) {
+            uint32_t base = dec.u32();
+            if (base >= n && n > 0)
+                throw persist::DecodeError(
+                    "result table: free block out of range");
+            freeLists_[c].push_back(base);
+        }
+    }
+    allocated_ = dec.u64();
+    allocations_ = dec.u64();
+    frees_ = dec.u64();
+    if (allocated_ > n)
+        throw persist::DecodeError(
+            "result table: allocation accounting exceeds high water");
 }
 
 void

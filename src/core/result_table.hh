@@ -24,6 +24,8 @@
 
 namespace chisel {
 
+namespace persist { class Encoder; class Decoder; }
+
 /**
  * Next-hop array with power-of-two block allocation.
  */
@@ -75,6 +77,16 @@ class ResultTable
 
     /** Frees performed. */
     uint64_t frees() const { return frees_; }
+
+    /**
+     * Serialize slots, free lists and allocator counters (parity is
+     * recomputed).  Free-list order matters: it decides which base
+     * the next allocate() of a class returns.
+     */
+    void saveState(persist::Encoder &enc) const;
+
+    /** Restore from saveState(); throws persist::DecodeError. */
+    void loadState(persist::Decoder &dec);
 
   private:
     std::vector<NextHop> slots_;

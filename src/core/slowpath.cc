@@ -2,56 +2,65 @@
 
 #include <algorithm>
 
+#include "persist/codec.hh"
+
 namespace chisel {
 
-bool
+SlowPathMap::Insert
 SlowPathMap::insert(const Prefix &prefix, NextHop next_hop)
 {
-    for (auto &e : entries_) {
-        if (e.prefix == prefix) {
-            e.nextHop = next_hop;
-            return false;
+    auto bit = buckets_.find(prefix.length());
+    if (bit != buckets_.end()) {
+        auto eit = bit->second.find(prefix);
+        if (eit != bit->second.end()) {
+            eit->second = next_hop;
+            return Insert::Updated;
         }
     }
-    auto it = std::find_if(entries_.begin(), entries_.end(),
-                           [&](const Route &e) {
-                               return e.prefix.length() < prefix.length();
-                           });
-    entries_.insert(it, Route{prefix, next_hop});
-    return true;
+    if (capacity_ != 0 && size_ >= capacity_) {
+        ++rejected_;
+        return Insert::Rejected;
+    }
+    buckets_[prefix.length()].emplace(prefix, next_hop);
+    ++size_;
+    return Insert::Inserted;
 }
 
 bool
 SlowPathMap::erase(const Prefix &prefix)
 {
-    auto it = std::find_if(entries_.begin(), entries_.end(),
-                           [&](const Route &e) {
-                               return e.prefix == prefix;
-                           });
-    if (it == entries_.end())
+    auto bit = buckets_.find(prefix.length());
+    if (bit == buckets_.end())
         return false;
-    entries_.erase(it);
+    if (bit->second.erase(prefix) == 0)
+        return false;
+    if (bit->second.empty())
+        buckets_.erase(bit);
+    --size_;
     return true;
 }
 
 bool
 SlowPathMap::setNextHop(const Prefix &prefix, NextHop next_hop)
 {
-    for (auto &e : entries_) {
-        if (e.prefix == prefix) {
-            e.nextHop = next_hop;
-            return true;
-        }
-    }
-    return false;
+    auto bit = buckets_.find(prefix.length());
+    if (bit == buckets_.end())
+        return false;
+    auto eit = bit->second.find(prefix);
+    if (eit == bit->second.end())
+        return false;
+    eit->second = next_hop;
+    return true;
 }
 
 std::optional<Route>
 SlowPathMap::lookup(const Key128 &key) const
 {
-    for (const auto &e : entries_) {
-        if (e.prefix.matches(key))
-            return e;
+    for (const auto &[len, bucket] : buckets_) {
+        Prefix candidate(key.masked(len), len);
+        auto it = bucket.find(candidate);
+        if (it != bucket.end())
+            return Route{it->first, it->second};
     }
     return std::nullopt;
 }
@@ -59,11 +68,78 @@ SlowPathMap::lookup(const Key128 &key) const
 std::optional<NextHop>
 SlowPathMap::find(const Prefix &prefix) const
 {
-    for (const auto &e : entries_) {
-        if (e.prefix == prefix)
-            return e.nextHop;
+    auto bit = buckets_.find(prefix.length());
+    if (bit == buckets_.end())
+        return std::nullopt;
+    auto eit = bit->second.find(prefix);
+    if (eit == bit->second.end())
+        return std::nullopt;
+    return eit->second;
+}
+
+std::optional<Route>
+SlowPathMap::longest() const
+{
+    if (buckets_.empty())
+        return std::nullopt;
+    const Bucket &bucket = buckets_.begin()->second;
+    auto it = bucket.begin();
+    return Route{it->first, it->second};
+}
+
+std::vector<Route>
+SlowPathMap::entries() const
+{
+    std::vector<Route> out;
+    out.reserve(size_);
+    for (const auto &[len, bucket] : buckets_) {
+        (void)len;
+        for (const auto &[p, nh] : bucket)
+            out.push_back(Route{p, nh});
     }
-    return std::nullopt;
+    return out;
+}
+
+void
+SlowPathMap::saveState(persist::Encoder &enc) const
+{
+    enc.u64(capacity_);
+    enc.u64(rejected_);
+    enc.u64(size_);
+    for (const auto &[len, bucket] : buckets_) {
+        (void)len;
+        // Canonical order within the (hashed) bucket, so a restored
+        // map re-serializes byte-identically.
+        std::vector<std::pair<Prefix, NextHop>> sorted(bucket.begin(),
+                                                       bucket.end());
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        for (const auto &[p, nh] : sorted) {
+            enc.prefix(p);
+            enc.u32(nh);
+        }
+    }
+}
+
+void
+SlowPathMap::loadState(persist::Decoder &dec)
+{
+    buckets_.clear();
+    size_ = 0;
+    capacity_ = dec.u64();
+    rejected_ = dec.u64();
+    uint64_t n = dec.count(21);   // Prefix (17) + next hop (4).
+    for (uint64_t i = 0; i < n; ++i) {
+        Prefix p = dec.prefix();
+        NextHop nh = dec.u32();
+        auto [it, inserted] = buckets_[p.length()].emplace(p, nh);
+        (void)it;
+        if (!inserted)
+            throw persist::DecodeError("slow path: duplicate prefix");
+        ++size_;
+    }
 }
 
 } // namespace chisel

@@ -10,6 +10,17 @@
  * lookup path consults last.  Entries migrate back into the TCAM as
  * capacity frees up (withdrawals, resetups).
  *
+ * The store is bounded and length-bucketed:
+ *
+ *  - a configurable capacity (ChiselConfig::slowPathCapacity) caps
+ *    resident entries; inserts past it are *rejected* and counted, and
+ *    the engine reports a hard-degraded UpdateOutcome — unbounded
+ *    growth under a pathological update storm would otherwise turn
+ *    the control plane into the failure;
+ *  - entries are indexed by prefix length (one hash map per populated
+ *    length), so insert/erase are O(1) and LPM lookup is one probe
+ *    per populated length instead of a scan over every entry.
+ *
  * This is deliberately *not* a Tcam: it models no hardware, carries
  * no trace hooks (a slow-path hit is a software detour, not a modeled
  * memory access) and hosts no fault-injection points (it is the
@@ -20,21 +31,37 @@
 #define CHISEL_CORE_SLOWPATH_HH
 
 #include <cstddef>
+#include <functional>
+#include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "route/table.hh"
 
 namespace chisel {
 
+namespace persist { class Encoder; class Decoder; }
+
 /**
- * Priority-ordered (decreasing prefix length) software route store.
+ * Bounded software route store, indexed by prefix length.
  */
 class SlowPathMap
 {
   public:
-    /** Insert or overwrite.  @return true if the prefix was new. */
-    bool insert(const Prefix &prefix, NextHop next_hop);
+    /** @param capacity Maximum resident entries (0 = unbounded). */
+    explicit SlowPathMap(size_t capacity = 0) : capacity_(capacity) {}
+
+    /** How an insert concluded. */
+    enum class Insert
+    {
+        Inserted,   ///< New entry stored.
+        Updated,    ///< Prefix already present; next hop overwritten.
+        Rejected,   ///< Store at capacity; the route was NOT stored.
+    };
+
+    /** Insert or overwrite; Rejected when full (counted). */
+    Insert insert(const Prefix &prefix, NextHop next_hop);
 
     /** Remove a prefix.  @return true if present. */
     bool erase(const Prefix &prefix);
@@ -42,20 +69,42 @@ class SlowPathMap
     /** Update the next hop of an existing entry. */
     bool setNextHop(const Prefix &prefix, NextHop next_hop);
 
-    /** Longest-prefix match. */
+    /** Longest-prefix match: one probe per populated length. */
     std::optional<Route> lookup(const Key128 &key) const;
 
     /** Exact-match search. */
     std::optional<NextHop> find(const Prefix &prefix) const;
 
-    size_t size() const { return entries_.size(); }
-    bool empty() const { return entries_.empty(); }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
 
-    /** All entries, longest prefix first (drain order). */
-    const std::vector<Route> &entries() const { return entries_; }
+    /** Configured capacity (0 = unbounded). */
+    size_t capacity() const { return capacity_; }
+
+    /** Inserts refused because the store was full. */
+    uint64_t rejected() const { return rejected_; }
+
+    /** The longest resident entry (drain order), if any. */
+    std::optional<Route> longest() const;
+
+    /** All entries, longest prefix first. */
+    std::vector<Route> entries() const;
+
+    /** Serialize contents and counters (docs/persistence.md). */
+    void saveState(persist::Encoder &enc) const;
+
+    /** Restore from saveState output; throws persist::DecodeError. */
+    void loadState(persist::Decoder &dec);
 
   private:
-    std::vector<Route> entries_;   ///< Sorted by decreasing length.
+    /** Buckets keyed by length, longest first (lookup/drain order). */
+    using Bucket = std::unordered_map<Prefix, NextHop, PrefixHasher>;
+    using BucketMap = std::map<unsigned, Bucket, std::greater<unsigned>>;
+
+    size_t capacity_;
+    size_t size_ = 0;
+    uint64_t rejected_ = 0;
+    BucketMap buckets_;
 };
 
 } // namespace chisel

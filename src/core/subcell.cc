@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "fault/fault.hh"
 #include "hash/mix.hh"
+#include "persist/codec.hh"
 
 namespace chisel {
 
@@ -532,6 +533,125 @@ SubCell::selfCheck() const
         }
     }
     return true;
+}
+
+void
+SubCell::saveState(persist::Encoder &enc) const
+{
+    index_.saveState(enc);
+    filter_.saveState(enc);
+    bitvec_.saveState(enc);
+
+    // Canonical (sorted) order for the hashed containers: a restored
+    // cell must re-serialize byte-identically to its source image.
+    std::vector<const Key128 *> ckeys;
+    ckeys.reserve(groups_.size());
+    for (const auto &[ckey, g] : groups_)
+        ckeys.push_back(&ckey);
+    std::sort(ckeys.begin(), ckeys.end(),
+              [](const Key128 *a, const Key128 *b) { return *a < *b; });
+
+    enc.u64(groups_.size());
+    for (const Key128 *ckey : ckeys) {
+        const Group &g = groups_.at(*ckey);
+        enc.key(*ckey);
+        enc.u32(g.slot);
+        enc.u32(g.resultBase);
+        enc.u32(g.resultSize);
+        const auto &members = g.shadow.members();
+        enc.u64(members.size());
+        for (const auto &[prefix, hop] : members) {
+            enc.prefix(prefix);
+            enc.u32(hop);
+        }
+    }
+
+    std::vector<Prefix> removed(recentlyRemoved_.begin(),
+                                recentlyRemoved_.end());
+    std::sort(removed.begin(), removed.end());
+    enc.u64(removed.size());
+    for (const Prefix &p : removed)
+        enc.prefix(p);
+
+    enc.u64(routes_);
+    enc.u64(dirtyCount_);
+    enc.u64(writes_.bitvectorWrites);
+    enc.u64(writes_.resultWrites);
+    enc.u64(writes_.filterWrites);
+    enc.u64(faults_.parityDetected);
+    enc.u64(faults_.parityRecoveries);
+    enc.u64(faults_.setupRetries);
+    enc.boolean(parityPending_);
+}
+
+void
+SubCell::loadState(persist::Decoder &dec)
+{
+    index_.loadState(dec);
+    filter_.loadState(dec);
+    bitvec_.loadState(dec);
+
+    groups_.clear();
+    uint64_t group_count = dec.count(32);
+    if (group_count > config_.capacity)
+        throw persist::DecodeError("subcell: group count over capacity");
+    for (uint64_t i = 0; i < group_count; ++i) {
+        Key128 ckey = dec.key();
+        uint32_t slot = dec.u32();
+        if (slot >= filter_.capacity() || !filter_.valid(slot))
+            throw persist::DecodeError("subcell: group slot invalid");
+        auto [it, inserted] = groups_.emplace(
+            ckey, Group(slot, config_.range.base, config_.stride));
+        if (!inserted)
+            throw persist::DecodeError("subcell: duplicate group key");
+        Group &g = it->second;
+        g.resultBase = dec.u32();
+        g.resultSize = dec.u32();
+        uint64_t members = dec.count(21);
+        for (uint64_t m = 0; m < members; ++m) {
+            Prefix prefix = dec.prefix();
+            NextHop hop = dec.u32();
+            if (!coversLength(prefix.length()) ||
+                collapsedKey(prefix) != ckey)
+                throw persist::DecodeError(
+                    "subcell: member outside its group");
+            if (!g.shadow.announce(prefix, hop))
+                throw persist::DecodeError("subcell: duplicate member");
+        }
+    }
+
+    recentlyRemoved_.clear();
+    uint64_t removed = dec.count(17);
+    for (uint64_t i = 0; i < removed; ++i) {
+        Prefix p = dec.prefix();
+        if (!coversLength(p.length()))
+            throw persist::DecodeError(
+                "subcell: flap-history prefix outside cell");
+        recentlyRemoved_.insert(p);
+    }
+
+    routes_ = dec.u64();
+    dirtyCount_ = dec.u64();
+    writes_.bitvectorWrites = dec.u64();
+    writes_.resultWrites = dec.u64();
+    writes_.filterWrites = dec.u64();
+    faults_.parityDetected = dec.u64();
+    faults_.parityRecoveries = dec.u64();
+    faults_.setupRetries = dec.u64();
+    parityPending_ = dec.boolean();
+
+    // Cross-check the derived counters against the reloaded groups:
+    // a corrupted-but-CRC-passing image must not leave the cell
+    // internally inconsistent.
+    size_t live_routes = 0;
+    size_t dirty = 0;
+    for (const auto &[ckey, g] : groups_) {
+        live_routes += g.shadow.memberCount();
+        if (filter_.dirty(g.slot))
+            ++dirty;
+    }
+    if (routes_ != live_routes || dirtyCount_ != dirty)
+        throw persist::DecodeError("subcell: counter cross-check failed");
 }
 
 } // namespace chisel

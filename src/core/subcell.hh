@@ -38,6 +38,7 @@
 namespace chisel {
 
 namespace fault { class FaultInjector; }
+namespace persist { class Encoder; class Decoder; }
 
 /**
  * How an update was applied — the categories of Figure 14.
@@ -159,6 +160,9 @@ class SubCell
     unsigned top() const { return config_.range.top; }
     size_t capacity() const { return config_.capacity; }
 
+    /** Construction parameters (snapshots re-create cells from them). */
+    const Config &cellConfig() const { return config_; }
+
     /** Index Table storage in bits. */
     uint64_t indexBits() const { return index_.storageBits(); }
 
@@ -249,6 +253,22 @@ class SubCell
      * retrievable through the hardware lookup path.
      */
     bool selfCheck() const;
+
+    /**
+     * Serialize the full cell state: Index/Filter/Bit-vector images,
+     * group map (slot, result block, shadow members, dirty flag),
+     * flap history and counters.  The shared Result Table is the
+     * engine's to save.  Geometry comes from Config and is validated,
+     * not duplicated.
+     */
+    void saveState(persist::Encoder &enc) const;
+
+    /**
+     * Restore from saveState(); throws persist::DecodeError on any
+     * malformed field.  The cell must be freshly constructed with the
+     * same Config used at save time.
+     */
+    void loadState(persist::Decoder &dec);
 
   private:
     /** Per-group state: the filter slot plus shadow members. */

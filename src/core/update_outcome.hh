@@ -66,6 +66,13 @@ struct UpdateOutcome
     /** Routes diverted to the software slow-path map. */
     uint32_t slowPathInserts = 0;
 
+    /**
+     * Routes the full slow-path map refused — the hard-degraded case:
+     * the route is dropped and the outcome says so (the only rung of
+     * the ladder that loses state; see docs/robustness.md).
+     */
+    uint32_t slowPathRejections = 0;
+
     /** Parity-error recoveries (cell resetups) this update performed. */
     uint32_t parityRecoveries = 0;
 

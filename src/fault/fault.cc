@@ -17,6 +17,8 @@ faultPointName(FaultPoint p)
       case FaultPoint::BitFlipFilter: return "bit_flip_filter";
       case FaultPoint::BitFlipBitVector: return "bit_flip_bitvector";
       case FaultPoint::BitFlipResult: return "bit_flip_result";
+      case FaultPoint::JournalTornWrite: return "journal_torn_write";
+      case FaultPoint::SnapshotCorrupt: return "snapshot_corrupt";
       case FaultPoint::kCount: break;
     }
     return "unknown";

@@ -82,6 +82,21 @@ enum class FaultPoint : uint8_t
     /** Soft error: flip one stored bit in a Result Table slot. */
     BitFlipResult,
 
+    /**
+     * Crash mid-append: the journal writes only a leading fragment of
+     * the current record and then behaves as if the process died —
+     * subsequent appends are swallowed (docs/persistence.md).
+     * Exercises torn-tail discard in the journal reader.
+     */
+    JournalTornWrite,
+
+    /**
+     * Flip one bit of a snapshot payload after its CRC was computed,
+     * so the image on disk is internally inconsistent.  Exercises the
+     * CRC gate and the fall-back-to-previous-snapshot ladder.
+     */
+    SnapshotCorrupt,
+
     kCount,
 };
 

@@ -1,0 +1,39 @@
+#include "persist/codec.hh"
+
+#include <array>
+
+namespace chisel::persist {
+
+namespace {
+
+/** The reflected CRC-32 table, computed once at first use. */
+const std::array<uint32_t, 256> &
+crcTable()
+{
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // anonymous namespace
+
+uint32_t
+crc32(const void *data, size_t len, uint32_t seed)
+{
+    const auto &table = crcTable();
+    const uint8_t *bytes = static_cast<const uint8_t *>(data);
+    uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < len; ++i)
+        c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace chisel::persist

@@ -1,0 +1,332 @@
+#include "persist/journal.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "fault/fault.hh"
+#include "persist/codec.hh"
+
+namespace chisel::persist {
+
+namespace {
+
+constexpr uint32_t kJournalMagic = 0x314A4843;   // "CHJ1"
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 4;   // magic ver fp crc
+constexpr size_t kRecordHeaderBytes = 4 + 4;     // length crc
+
+std::vector<uint8_t>
+encodeHeader(uint64_t fingerprint)
+{
+    Encoder enc;
+    enc.u32(kJournalMagic);
+    enc.u32(kJournalVersion);
+    enc.u64(fingerprint);
+    enc.u32(crc32(enc.buffer().data(), enc.size()));
+    return enc.buffer();
+}
+
+std::vector<uint8_t>
+encodeRecord(const JournalRecord &rec)
+{
+    Encoder enc;
+    enc.u8(static_cast<uint8_t>(rec.type));
+    enc.u64(rec.seq);
+    switch (rec.type) {
+      case JournalRecord::Type::Update:
+        enc.u8(static_cast<uint8_t>(rec.update.kind));
+        enc.prefix(rec.update.prefix);
+        enc.u32(rec.update.nextHop);
+        break;
+      case JournalRecord::Type::Outcome:
+        enc.u8(rec.cls);
+        enc.u8(rec.status);
+        enc.u32(rec.setupRetries);
+        enc.u32(rec.tcamOverflows);
+        enc.u32(rec.slowPathInserts);
+        enc.u32(rec.slowPathRejections);
+        enc.u32(rec.parityRecoveries);
+        break;
+      case JournalRecord::Type::SnapshotMark:
+        break;
+    }
+    return enc.buffer();
+}
+
+/** Decode one record payload; throws DecodeError on malformed bytes. */
+JournalRecord
+decodeRecord(const uint8_t *data, size_t size)
+{
+    Decoder dec(data, size);
+    JournalRecord rec;
+    uint8_t type = dec.u8();
+    if (type < 1 || type > 3)
+        throw DecodeError("journal record: unknown type");
+    rec.type = static_cast<JournalRecord::Type>(type);
+    rec.seq = dec.u64();
+    switch (rec.type) {
+      case JournalRecord::Type::Update: {
+        uint8_t kind = dec.u8();
+        if (kind > 1)
+            throw DecodeError("journal record: bad update kind");
+        rec.update.kind = static_cast<UpdateKind>(kind);
+        rec.update.prefix = dec.prefix();
+        rec.update.nextHop = dec.u32();
+        break;
+      }
+      case JournalRecord::Type::Outcome:
+        rec.cls = dec.u8();
+        rec.status = dec.u8();
+        if (rec.cls > 7 || rec.status > 2)
+            throw DecodeError("journal record: bad outcome enums");
+        rec.setupRetries = dec.u32();
+        rec.tcamOverflows = dec.u32();
+        rec.slowPathInserts = dec.u32();
+        rec.slowPathRejections = dec.u32();
+        rec.parityRecoveries = dec.u32();
+        break;
+      case JournalRecord::Type::SnapshotMark:
+        break;
+    }
+    if (!dec.atEnd())
+        throw DecodeError("journal record: trailing bytes");
+    return rec;
+}
+
+} // anonymous namespace
+
+JournalScan
+scanJournalBuffer(const uint8_t *data, size_t size,
+                  uint64_t expect_fingerprint)
+{
+    JournalScan scan;
+    if (size < kHeaderBytes) {
+        scan.error = "journal shorter than its header";
+        return scan;
+    }
+
+    Decoder hdr(data, size);
+    uint32_t magic = hdr.u32();
+    uint32_t version = hdr.u32();
+    uint64_t fingerprint = hdr.u64();
+    uint32_t stored_crc = hdr.u32();
+    if (magic != kJournalMagic) {
+        scan.error = "journal magic mismatch";
+        return scan;
+    }
+    if (crc32(data, kHeaderBytes - 4) != stored_crc) {
+        scan.error = "journal header CRC mismatch";
+        return scan;
+    }
+    if (version != kJournalVersion) {
+        scan.error = "journal version mismatch";
+        return scan;
+    }
+    scan.fingerprint = fingerprint;
+    if (expect_fingerprint != 0 && fingerprint != expect_fingerprint) {
+        scan.error = "journal written under a different config";
+        return scan;
+    }
+    scan.headerOk = true;
+    scan.validBytes = kHeaderBytes;
+
+    size_t pos = kHeaderBytes;
+    while (pos + kRecordHeaderBytes <= size) {
+        Decoder rh(data + pos, kRecordHeaderBytes);
+        uint32_t len = rh.u32();
+        uint32_t stored = rh.u32();
+        // An implausible length is corruption, not a record: stop.
+        if (len == 0 || len > (1u << 20))
+            break;
+        if (pos + kRecordHeaderBytes + len > size)
+            break;   // Partial final record (classic torn write).
+        const uint8_t *payload = data + pos + kRecordHeaderBytes;
+        if (crc32(payload, len) != stored)
+            break;   // Bit rot or a torn write inside the payload.
+        JournalRecord rec;
+        try {
+            rec = decodeRecord(payload, len);
+        } catch (const DecodeError &) {
+            break;   // CRC passed but structure is nonsense: stop.
+        }
+        scan.records.push_back(rec);
+        pos += kRecordHeaderBytes + len;
+        scan.validBytes = pos;
+        switch (rec.type) {
+          case JournalRecord::Type::Update:
+            if (rec.seq > scan.lastSeq)
+                scan.lastSeq = rec.seq;
+            break;
+          case JournalRecord::Type::Outcome:
+            if (rec.seq > scan.lastCommittedSeq)
+                scan.lastCommittedSeq = rec.seq;
+            break;
+          case JournalRecord::Type::SnapshotMark:
+            if (rec.seq > scan.lastSnapshotSeq)
+                scan.lastSnapshotSeq = rec.seq;
+            break;
+        }
+    }
+    scan.truncatedTail = scan.validBytes < size;
+    return scan;
+}
+
+JournalScan
+scanJournal(const std::string &path, uint64_t expect_fingerprint)
+{
+    JournalScan scan;
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        scan.error = "cannot open journal: " +
+                     std::string(std::strerror(errno));
+        return scan;
+    }
+    std::vector<uint8_t> bytes;
+    uint8_t chunk[65536];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + n);
+    std::fclose(f);
+    return scanJournalBuffer(bytes.data(), bytes.size(),
+                             expect_fingerprint);
+}
+
+UpdateJournal::UpdateJournal(const std::string &path,
+                             uint64_t config_fingerprint,
+                             size_t fsync_every)
+    : path_(path), fsyncEvery_(fsync_every)
+{
+    // Scan whatever is there: continue a valid journal, refuse a
+    // foreign one, and truncate a torn tail before appending.
+    JournalScan scan = scanJournal(path, config_fingerprint);
+    bool fresh = !scan.headerOk && scan.error.rfind("cannot open", 0) == 0;
+    if (!scan.headerOk && !fresh) {
+        // Present but unusable (empty counts as "shorter than
+        // header"): start over rather than append garbage to garbage.
+        if (scan.error != "journal shorter than its header")
+            fatalError("refusing to append to journal '" + path +
+                       "': " + scan.error);
+        fresh = true;
+    }
+
+    if (fresh) {
+        file_ = std::fopen(path.c_str(), "wb");
+        if (file_ == nullptr)
+            fatalError("cannot create journal '" + path + "': " +
+                       std::strerror(errno));
+        std::vector<uint8_t> header = encodeHeader(config_fingerprint);
+        if (std::fwrite(header.data(), 1, header.size(), file_) !=
+            header.size())
+            fatalError("journal header write failed");
+        sync();
+    } else {
+        if (scan.truncatedTail) {
+            if (::truncate(path.c_str(),
+                           static_cast<off_t>(scan.validBytes)) != 0)
+                fatalError("cannot truncate torn journal tail: " +
+                           std::string(std::strerror(errno)));
+        }
+        file_ = std::fopen(path.c_str(), "ab");
+        if (file_ == nullptr)
+            fatalError("cannot open journal '" + path + "': " +
+                       std::strerror(errno));
+        seq_ = scan.lastSeq;
+    }
+}
+
+UpdateJournal::~UpdateJournal()
+{
+    if (file_ != nullptr) {
+        std::fflush(file_);
+        std::fclose(file_);
+    }
+}
+
+void
+UpdateJournal::writeRecord(const std::vector<uint8_t> &payload)
+{
+    if (torn_)
+        return;   // "Crashed" by a previous torn write.
+
+    Encoder framed;
+    framed.u32(static_cast<uint32_t>(payload.size()));
+    framed.u32(crc32(payload.data(), payload.size()));
+    framed.bytes(payload.data(), payload.size());
+    const std::vector<uint8_t> &bytes = framed.buffer();
+
+    if (CHISEL_FAULT_FIRE(JournalTornWrite)) {
+        // Crash mid-append: a leading fragment reaches the disk, the
+        // rest never does, and neither does anything after it.
+        size_t fragment = bytes.size() / 2;
+        if (fragment == 0)
+            fragment = 1;
+        std::fwrite(bytes.data(), 1, fragment, file_);
+        std::fflush(file_);
+        torn_ = true;
+        return;
+    }
+
+    if (std::fwrite(bytes.data(), 1, bytes.size(), file_) !=
+        bytes.size())
+        fatalError("journal append failed: " +
+                   std::string(std::strerror(errno)));
+    ++written_;
+    ++sinceSync_;
+    if (fsyncEvery_ != 0 && sinceSync_ >= fsyncEvery_)
+        sync();
+    else
+        std::fflush(file_);
+}
+
+uint64_t
+UpdateJournal::append(const Update &update)
+{
+    JournalRecord rec;
+    rec.type = JournalRecord::Type::Update;
+    rec.seq = ++seq_;
+    rec.update = update;
+    writeRecord(encodeRecord(rec));
+    return rec.seq;
+}
+
+void
+UpdateJournal::appendOutcome(uint64_t seq, const UpdateOutcome &outcome)
+{
+    JournalRecord rec;
+    rec.type = JournalRecord::Type::Outcome;
+    rec.seq = seq;
+    rec.cls = static_cast<uint8_t>(outcome.cls);
+    rec.status = static_cast<uint8_t>(outcome.status);
+    rec.setupRetries = outcome.setupRetries;
+    rec.tcamOverflows = outcome.tcamOverflows;
+    rec.slowPathInserts = outcome.slowPathInserts;
+    rec.slowPathRejections = outcome.slowPathRejections;
+    rec.parityRecoveries = outcome.parityRecoveries;
+    writeRecord(encodeRecord(rec));
+}
+
+void
+UpdateJournal::appendSnapshotMark(uint64_t seq)
+{
+    JournalRecord rec;
+    rec.type = JournalRecord::Type::SnapshotMark;
+    rec.seq = seq;
+    writeRecord(encodeRecord(rec));
+}
+
+void
+UpdateJournal::sync()
+{
+    if (torn_)
+        return;
+    if (std::fflush(file_) != 0)
+        fatalError("journal fflush failed");
+    if (::fsync(fileno(file_)) != 0)
+        fatalError("journal fsync failed: " +
+                   std::string(std::strerror(errno)));
+    sinceSync_ = 0;
+}
+
+} // namespace chisel::persist

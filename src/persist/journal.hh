@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Write-ahead update journal (docs/persistence.md).
+ *
+ * Every announce/withdraw is appended — and fsync'd on a configurable
+ * batch boundary — *before* the engine mutates, so a crash at any
+ * instant loses at most the updates the sync policy admits losing.
+ * After the engine applies an update, a second record carries its
+ * structured UpdateOutcome; on recovery that record doubles as the
+ * commit marker ("this update was fully applied before the crash").
+ *
+ * On-disk layout:
+ *
+ *     header  := magic "CHJ1" | u32 version | u64 config fingerprint
+ *                | u32 CRC(previous fields)
+ *     record  := u32 payload length | u32 CRC(payload) | payload
+ *     payload := u8 type | u64 seq | type-specific fields
+ *
+ * The reader walks records until the first length/CRC violation and
+ * discards everything from there on (torn-tail rule): a crash mid
+ * append can only ever damage the final record, so the prefix that
+ * passes CRC is exactly the prefix that was durable.
+ */
+
+#ifndef CHISEL_PERSIST_JOURNAL_HH
+#define CHISEL_PERSIST_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/update_outcome.hh"
+#include "route/updates.hh"
+
+namespace chisel::persist {
+
+/** Journal format version (bumped on any layout change). */
+constexpr uint32_t kJournalVersion = 1;
+
+/** One decoded journal record. */
+struct JournalRecord
+{
+    enum class Type : uint8_t
+    {
+        Update = 1,        ///< An update, logged before it was applied.
+        Outcome = 2,       ///< Commit marker: the update's outcome.
+        SnapshotMark = 3,  ///< A snapshot covering seqs <= seq exists.
+    };
+
+    Type type = Type::Update;
+
+    /** Update sequence number (monotonic, assigned by the writer). */
+    uint64_t seq = 0;
+
+    /** Type::Update payload. */
+    Update update;
+
+    /** Type::Outcome payload (a flattened UpdateOutcome). */
+    uint8_t cls = 0;
+    uint8_t status = 0;
+    uint32_t setupRetries = 0;
+    uint32_t tcamOverflows = 0;
+    uint32_t slowPathInserts = 0;
+    uint32_t slowPathRejections = 0;
+    uint32_t parityRecoveries = 0;
+};
+
+/** Result of scanning a journal file or buffer. */
+struct JournalScan
+{
+    /** False if the header is missing/corrupt/mismatched. */
+    bool headerOk = false;
+
+    /** Why headerOk is false; empty otherwise. */
+    std::string error;
+
+    /** Config fingerprint stamped in the header. */
+    uint64_t fingerprint = 0;
+
+    /** Every record up to the first invalid one. */
+    std::vector<JournalRecord> records;
+
+    /** Bytes of the file that form the valid prefix. */
+    size_t validBytes = 0;
+
+    /** True if bytes past validBytes were discarded (torn tail). */
+    bool truncatedTail = false;
+
+    /** Highest Update-record seq in the valid prefix (0 if none). */
+    uint64_t lastSeq = 0;
+
+    /** Highest seq with an Outcome (commit) record (0 if none). */
+    uint64_t lastCommittedSeq = 0;
+
+    /** Highest SnapshotMark seq (0 if none). */
+    uint64_t lastSnapshotSeq = 0;
+};
+
+/**
+ * Append-side of the journal.  Not copyable; movable.
+ *
+ * I/O errors throw ChiselError (they mean the durability contract is
+ * already broken); format problems on open are reported through
+ * scanJournal, which open() runs first to find the valid prefix.
+ */
+class UpdateJournal
+{
+  public:
+    /**
+     * Open @p path for appending, creating it (with a header) if
+     * absent or empty.  An existing journal is scanned: its header
+     * must carry @p config_fingerprint, and a torn tail is truncated
+     * away so appends continue from the last valid record.
+     *
+     * @param fsync_every fsync after every Nth record (1 = every
+     *        record, the strict default; 0 = never, trusting the OS).
+     */
+    UpdateJournal(const std::string &path, uint64_t config_fingerprint,
+                  size_t fsync_every = 1);
+
+    ~UpdateJournal();
+
+    UpdateJournal(const UpdateJournal &) = delete;
+    UpdateJournal &operator=(const UpdateJournal &) = delete;
+
+    /**
+     * Log an update *before* applying it.  @return the sequence
+     * number assigned (monotonic from the scan's lastSeq + 1).
+     */
+    uint64_t append(const Update &update);
+
+    /** Log the outcome of applied seq @p seq (the commit marker). */
+    void appendOutcome(uint64_t seq, const UpdateOutcome &outcome);
+
+    /** Record that a snapshot covering seqs <= @p seq was written. */
+    void appendSnapshotMark(uint64_t seq);
+
+    /** Force an fsync now regardless of the batch policy. */
+    void sync();
+
+    /** Records appended by this writer (not counting preexisting). */
+    uint64_t recordsWritten() const { return written_; }
+
+    /** Sequence number of the last appended/preexisting update. */
+    uint64_t lastSeq() const { return seq_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void writeRecord(const std::vector<uint8_t> &payload);
+
+    std::string path_;
+    FILE *file_ = nullptr;
+    size_t fsyncEvery_;
+    size_t sinceSync_ = 0;
+    uint64_t seq_ = 0;
+    uint64_t written_ = 0;
+    /**
+     * JournalTornWrite fired: the current record was half-written and
+     * the "process" is considered dead — swallow all later appends.
+     */
+    bool torn_ = false;
+};
+
+/**
+ * Scan a journal file.  Never throws on malformed content — a corrupt
+ * journal is an expected recovery input, reported via the scan result.
+ * @p expect_fingerprint 0 accepts any fingerprint.
+ */
+JournalScan scanJournal(const std::string &path,
+                        uint64_t expect_fingerprint);
+
+/** scanJournal over an in-memory image (tests, fuzzing). */
+JournalScan scanJournalBuffer(const uint8_t *data, size_t size,
+                              uint64_t expect_fingerprint);
+
+} // namespace chisel::persist
+
+#endif // CHISEL_PERSIST_JOURNAL_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Crash recovery: snapshot + journal-tail replay with an adversarial
+ * fallback ladder (docs/persistence.md).
+ *
+ * The ladder, top rung first:
+ *
+ *   1. primary snapshot  + replay journal records with seq > covered
+ *   2. previous snapshot + replay the (longer) journal tail
+ *   3. cold setup from the initial table + replay the whole journal
+ *
+ * Each rung is taken only when every rung above it failed (missing
+ * file, CRC mismatch, version/config mismatch, malformed payload —
+ * all reported, none fatal).  The journal itself is scanned with the
+ * torn-tail rule: the valid record prefix is trusted, everything
+ * after the first length/CRC violation is discarded.
+ *
+ * After the engine is rebuilt, an optional route-by-route audit
+ * compares it against a reference table derived independently from
+ * the initial table plus the journal — the recovered engine must
+ * contain exactly the routes the durable history says it should.
+ */
+
+#ifndef CHISEL_PERSIST_RECOVERY_HH
+#define CHISEL_PERSIST_RECOVERY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/engine.hh"
+#include "persist/journal.hh"
+#include "persist/snapshot.hh"
+
+namespace chisel::persist {
+
+/** Inputs to recoverEngine(). */
+struct RecoveryOptions
+{
+    /** Journal path; empty disables replay (snapshot-only restart). */
+    std::string journalPath;
+
+    /** Snapshot path; empty disables rungs 1 and 2. */
+    std::string snapshotPath;
+
+    /** Config the recovered engine must run under. */
+    ChiselConfig config;
+
+    /**
+     * Routes the engine was originally built from, for the cold rung
+     * and the audit reference (the journal records only post-boot
+     * updates).  May be empty if the journal's first snapshot mark
+     * covers boot — i.e. a snapshot was taken right after setup.
+     */
+    RoutingTable initialTable;
+
+    /** Run the route-by-route audit after rebuilding. */
+    bool audit = true;
+};
+
+/** Which rung of the ladder produced the engine. */
+enum class RecoverySource
+{
+    Snapshot,          ///< Rung 1: the primary snapshot.
+    PreviousSnapshot,  ///< Rung 2: the rotated .prev image.
+    ColdSetup,         ///< Rung 3: full rebuild (Bloomier setups paid).
+};
+
+const char *recoverySourceName(RecoverySource s);
+
+/** Everything a recovery did and found. */
+struct RecoveryReport
+{
+    /** The rebuilt engine; never null on return (cold rung always
+     *  succeeds).  recoverEngine throws only on I/O-level surprises
+     *  outside the modelled failure set. */
+    std::unique_ptr<ChiselEngine> engine;
+
+    RecoverySource source = RecoverySource::ColdSetup;
+
+    /** Rungs that failed before one worked (0 = snapshot was good). */
+    uint64_t fallbacks = 0;
+
+    /** Snapshot images successfully restored (0 or 1). */
+    uint64_t snapshotLoads = 0;
+
+    /** Why rung 1 / rung 2 failed; empty when not attempted or ok. */
+    std::string snapshotError;
+    std::string previousSnapshotError;
+
+    /** Journal scan summary. */
+    bool journalHeaderOk = false;
+    std::string journalError;
+    uint64_t journalRecords = 0;
+    bool journalTornTail = false;
+
+    /** Update records re-applied to the engine. */
+    uint64_t recordsReplayed = 0;
+
+    /** Sequence number the engine is current through. */
+    uint64_t lastSeq = 0;
+
+    /** Audit outcome (meaningful when options.audit). */
+    bool auditRan = false;
+    bool auditPassed = false;
+    uint64_t auditMissing = 0;     ///< Reference routes absent.
+    uint64_t auditMismatched = 0;  ///< Present with the wrong next hop.
+    uint64_t auditPhantom = 0;     ///< Engine routes not in reference.
+};
+
+/**
+ * Run the recovery ladder.  See RecoveryOptions/RecoveryReport.
+ * Throws ChiselError only for unmodelled I/O failures (e.g. the
+ * journal exists but cannot be truncated).
+ */
+RecoveryReport recoverEngine(const RecoveryOptions &options);
+
+/**
+ * The audit alone: compare @p engine route-by-route against the
+ * reference derived from @p initial plus the update records of
+ * @p scan (applied in sequence order).  Fills the audit fields of
+ * @p report.
+ */
+void auditEngine(const ChiselEngine &engine,
+                 const RoutingTable &initial, const JournalScan &scan,
+                 RecoveryReport &report);
+
+} // namespace chisel::persist
+
+#endif // CHISEL_PERSIST_RECOVERY_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * CRC-checked engine snapshots (docs/persistence.md).
+ *
+ * A snapshot is a single binary image of the complete engine — every
+ * sub-cell's Index/Filter/Bit-vector tables, the shared Result Table,
+ * hash seeds, spill TCAM, slow-path map, dirty bits and counters — so
+ * a restart is loadSnapshot() + journal-tail replay, with zero full
+ * Bloomier setups.
+ *
+ * On-disk layout:
+ *
+ *     u32 magic "CHS1" | u32 version | u64 payload length
+ *     | u32 CRC(payload) | payload
+ *     payload := config | u64 lastSeq | engine state
+ *
+ * The config leads the payload so a snapshot written under a
+ * different geometry is rejected *before* any deep decoding begins.
+ *
+ * Writes are atomic: the image goes to "<path>.tmp", is fsync'd, and
+ * renamed over <path>; the previous snapshot is first rotated to
+ * "<path>.prev" so the recovery ladder always has a fallback if the
+ * fresh image turns out corrupt.
+ */
+
+#ifndef CHISEL_PERSIST_SNAPSHOT_HH
+#define CHISEL_PERSIST_SNAPSHOT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/engine.hh"
+
+namespace chisel::persist {
+
+/** Snapshot format version (bumped on any layout change). */
+constexpr uint32_t kSnapshotVersion = 1;
+
+/** Suffix of the rotated previous snapshot. */
+std::string previousSnapshotPath(const std::string &path);
+
+/**
+ * Write an atomic snapshot of @p engine to @p path, rotating any
+ * existing snapshot to previousSnapshotPath(path) first.
+ *
+ * @param last_seq The journal sequence number the image covers: a
+ *        recovery replays only records with seq > last_seq.
+ * @return Bytes written.  Throws ChiselError on I/O failure.
+ */
+size_t saveSnapshot(const std::string &path, const ChiselEngine &engine,
+                    uint64_t last_seq);
+
+/** Why a snapshot load concluded as it did. */
+enum class SnapshotLoadStatus
+{
+    Ok,               ///< Engine restored.
+    Missing,          ///< File absent/unreadable.
+    Corrupt,          ///< Bad magic, CRC, or malformed payload.
+    VersionMismatch,  ///< Written by a different format version.
+    ConfigMismatch,   ///< Written under a different ChiselConfig.
+};
+
+const char *snapshotLoadStatusName(SnapshotLoadStatus s);
+
+/** Result of loadSnapshot(). */
+struct SnapshotLoadResult
+{
+    SnapshotLoadStatus status = SnapshotLoadStatus::Missing;
+
+    /** Diagnostic detail for any non-Ok status. */
+    std::string error;
+
+    /** Journal seq the image covers (valid when status == Ok). */
+    uint64_t lastSeq = 0;
+
+    /** The restored engine (non-null iff status == Ok). */
+    std::unique_ptr<ChiselEngine> engine;
+};
+
+/**
+ * Load a snapshot.  Never throws on malformed content — corrupt
+ * images are an expected recovery input, reported via the status.
+ *
+ * @param expect When non-null, the config the caller is running
+ *        under; a snapshot written under any other config is refused
+ *        with ConfigMismatch.  When null, the embedded config is
+ *        accepted as-is.
+ */
+SnapshotLoadResult loadSnapshot(const std::string &path,
+                                const ChiselConfig *expect);
+
+/**
+ * loadSnapshot over an in-memory image (tests, fuzzing).
+ *
+ * @param enforce_crc The fuzz target disables the CRC gate so inputs
+ *        reach the structural decoder, which must then be memory-safe
+ *        on arbitrary bytes.
+ */
+SnapshotLoadResult loadSnapshotBuffer(const uint8_t *data, size_t size,
+                                      const ChiselConfig *expect,
+                                      bool enforce_crc = true);
+
+} // namespace chisel::persist
+
+#endif // CHISEL_PERSIST_SNAPSHOT_HH

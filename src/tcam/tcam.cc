@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fault/fault.hh"
+#include "persist/codec.hh"
 #include "telemetry/trace.hh"
 
 namespace chisel {
@@ -93,6 +94,42 @@ Tcam::lookup(const Key128 &key) const
             return e;
     }
     return std::nullopt;
+}
+
+void
+Tcam::saveState(persist::Encoder &enc) const
+{
+    enc.u64(entries_.size());
+    for (const Route &e : entries_) {
+        enc.prefix(e.prefix);
+        enc.u32(e.nextHop);
+    }
+}
+
+void
+Tcam::loadState(persist::Decoder &dec)
+{
+    uint64_t n = dec.count(21);
+    if (capacity_ != 0 && n > capacity_)
+        throw persist::DecodeError("tcam: entry count over capacity");
+    entries_.clear();
+    entries_.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        Prefix p = dec.prefix();
+        NextHop h = dec.u32();
+        if (!entries_.empty() &&
+            entries_.back().prefix.length() < p.length())
+            throw persist::DecodeError("tcam: priority order violated");
+        entries_.push_back(Route{p, h});
+    }
+    for (size_t i = 1; i < entries_.size(); ++i) {
+        // Order check above only catches cross-length inversions;
+        // duplicates share a length and need an explicit scan.
+        for (size_t j = 0; j < i; ++j) {
+            if (entries_[j].prefix == entries_[i].prefix)
+                throw persist::DecodeError("tcam: duplicate entry");
+        }
+    }
 }
 
 std::optional<NextHop>

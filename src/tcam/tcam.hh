@@ -24,6 +24,8 @@
 
 namespace chisel {
 
+namespace persist { class Encoder; class Decoder; }
+
 /**
  * A priority-ordered ternary CAM storing prefixes.
  */
@@ -62,6 +64,15 @@ class Tcam
     const std::vector<Route> &entries() const { return entries_; }
 
     void clear() { entries_.clear(); }
+
+    /** Serialize entries in priority order. */
+    void saveState(persist::Encoder &enc) const;
+
+    /**
+     * Restore from saveState(); throws persist::DecodeError (entry
+     * count over capacity, priority order violated, duplicates).
+     */
+    void loadState(persist::Decoder &dec);
 
   private:
     size_t capacity_;

@@ -42,10 +42,18 @@ EngineTelemetry::EngineTelemetry(MetricRegistry &registry,
           registry.counter(prefix + ".update.setup_retries_total")),
       slowPathDiversions_(registry.counter(
           prefix + ".update.slowpath_diversions_total")),
+      slowPathRejected_(registry.counter(
+          prefix + ".update.slowpath_rejected_total")),
       rejectedUpdates_(
           registry.counter(prefix + ".update.rejected_total")),
       parityRecoveries_(registry.counter(
-          prefix + ".fault.parity_recoveries_total"))
+          prefix + ".fault.parity_recoveries_total")),
+      recoveryReplayed_(registry.counter(
+          prefix + ".recovery.journal_records_replayed")),
+      recoverySnapshotLoads_(
+          registry.counter(prefix + ".recovery.snapshot_loads")),
+      recoveryFallbacks_(
+          registry.counter(prefix + ".recovery.fallbacks"))
 {
     for (size_t i = 0; i < kTableCount; ++i) {
         const char *table = tableName(static_cast<Table>(i));
@@ -80,6 +88,8 @@ EngineTelemetry::snapshot(const ChiselEngine &engine)
         .set(static_cast<double>(rc.slowPathInserts));
     registry_.gauge(prefix_ + ".robustness.slowpath_drains")
         .set(static_cast<double>(rc.slowPathDrains));
+    registry_.gauge(prefix_ + ".robustness.slowpath_rejected")
+        .set(static_cast<double>(rc.slowPathRejected));
     registry_.gauge(prefix_ + ".robustness.setup_retries")
         .set(static_cast<double>(rc.setupRetries));
     registry_.gauge(prefix_ + ".robustness.parity_detected")
@@ -120,6 +130,16 @@ EngineTelemetry::snapshot(const ChiselEngine &engine)
         registry_.gauge(base + ".index.spilled")
             .set(static_cast<double>(s.spilledKeys));
     }
+}
+
+void
+EngineTelemetry::recordRecovery(uint64_t journal_records_replayed,
+                                uint64_t snapshot_loads,
+                                uint64_t fallbacks)
+{
+    recoveryReplayed_.inc(journal_records_replayed);
+    recoverySnapshotLoads_.inc(snapshot_loads);
+    recoveryFallbacks_.inc(fallbacks);
 }
 
 // ---- LookupSpan ------------------------------------------------------------
@@ -192,6 +212,7 @@ UpdateSpan::finish(const UpdateOutcome &outcome)
     t_.tcamOverflows_.inc(outcome.tcamOverflows);
     t_.setupRetries_.inc(outcome.setupRetries);
     t_.slowPathDiversions_.inc(outcome.slowPathInserts);
+    t_.slowPathRejected_.inc(outcome.slowPathRejections);
     t_.parityRecoveries_.inc(outcome.parityRecoveries);
     if (outcome.status == UpdateStatus::Rejected)
         t_.rejectedUpdates_.inc();

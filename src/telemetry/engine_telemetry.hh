@@ -19,8 +19,16 @@
  *
  *   engine.update.tcam_overflow_total / .setup_retries_total
  *   engine.update.slowpath_diversions_total / .rejected_total
+ *   engine.update.slowpath_rejected_total   (hard-degraded drops)
  *   engine.fault.parity_recoveries_total
  *   engine.lookup.slowpath_hits
+ *
+ * Recovery events (docs/persistence.md) are recorded through
+ * recordRecovery() after a warm/cold restart:
+ *
+ *   engine.recovery.journal_records_replayed
+ *   engine.recovery.snapshot_loads
+ *   engine.recovery.fallbacks
  *
  * snapshot() additionally publishes point-in-time gauges
  * (tcam.spill.occupancy, engine.slowpath.occupancy, engine.routes,
@@ -78,6 +86,19 @@ class EngineTelemetry
     /** Publish instantaneous gauges for @p engine. */
     void snapshot(const ChiselEngine &engine);
 
+    /**
+     * Fold one recovery's tallies into the pre-registered
+     * engine.recovery.* counters (see persist/recovery.hh).
+     *
+     * @param journal_records_replayed Journal update records re-applied.
+     * @param snapshot_loads Snapshot images successfully restored
+     *        (0 or 1 per recovery).
+     * @param fallbacks Rungs of the recovery ladder that failed before
+     *        one worked (0 = primary snapshot was good).
+     */
+    void recordRecovery(uint64_t journal_records_replayed,
+                        uint64_t snapshot_loads, uint64_t fallbacks);
+
   private:
     friend class LookupSpan;
     friend class UpdateSpan;
@@ -106,8 +127,14 @@ class EngineTelemetry
     Counter &tcamOverflows_;
     Counter &setupRetries_;
     Counter &slowPathDiversions_;
+    Counter &slowPathRejected_;
     Counter &rejectedUpdates_;
     Counter &parityRecoveries_;
+
+    // Recovery events (see docs/persistence.md).
+    Counter &recoveryReplayed_;
+    Counter &recoverySnapshotLoads_;
+    Counter &recoveryFallbacks_;
 };
 
 /**

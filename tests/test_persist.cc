@@ -1,0 +1,770 @@
+/**
+ * @file
+ * Persistence tests (docs/persistence.md): the binary codec, the
+ * write-ahead journal's torn-tail discipline, CRC-checked snapshot
+ * save/restore, and the full recovery ladder — including a
+ * crash-at-every-record sweep that proves any prefix of the journal
+ * recovers to exactly the state the durable history describes, and a
+ * warm-restart check that the restored engine is bit-identical to the
+ * one that wrote the snapshot with zero new Bloomier setups.
+ *
+ * Every test uses fixed seeds and private files under the gtest temp
+ * directory; a failure replays exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "core/engine.hh"
+#include "fault/fault.hh"
+#include "persist/codec.hh"
+#include "persist/journal.hh"
+#include "persist/recovery.hh"
+#include "persist/snapshot.hh"
+#include "route/synth.hh"
+#include "route/updates.hh"
+#include "telemetry/engine_telemetry.hh"
+#include "telemetry/metrics.hh"
+#include "trie/binary_trie.hh"
+
+namespace chisel {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultPoint;
+using fault::ScopedInjector;
+using persist::Decoder;
+using persist::DecodeError;
+using persist::Encoder;
+using persist::JournalRecord;
+using persist::JournalScan;
+using persist::RecoveryOptions;
+using persist::RecoveryReport;
+using persist::RecoverySource;
+using persist::SnapshotLoadResult;
+using persist::SnapshotLoadStatus;
+using persist::UpdateJournal;
+
+/** Unique path under the gtest temp dir. */
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "chisel_persist_" + name;
+}
+
+void
+removeFile(const std::string &path)
+{
+    std::remove(path.c_str());
+}
+
+std::vector<uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Engine state as raw bytes — the strongest equality there is. */
+std::vector<uint8_t>
+stateBytes(const ChiselEngine &engine)
+{
+    Encoder enc;
+    engine.saveState(enc);
+    return enc.buffer();
+}
+
+// ---- codec -----------------------------------------------------------------
+
+TEST(PersistCodec, Crc32KnownAnswer)
+{
+    // The CRC-32 "check" value: crc of the ASCII digits 1-9.
+    EXPECT_EQ(persist::crc32("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(persist::crc32("", 0), 0u);
+}
+
+TEST(PersistCodec, RoundtripAndBoundsChecks)
+{
+    Encoder enc;
+    enc.u8(7);
+    enc.u32(0xDEADBEEF);
+    enc.u64(0x0123456789ABCDEFull);
+    enc.boolean(true);
+    enc.f64(3.5);
+    enc.key(Key128(0x1111, 0x2222));
+    enc.prefix(Prefix(Key128::fromIpv4(0x0A000000), 8));
+
+    Decoder dec(enc.buffer());
+    EXPECT_EQ(dec.u8(), 7u);
+    EXPECT_EQ(dec.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(dec.u64(), 0x0123456789ABCDEFull);
+    EXPECT_TRUE(dec.boolean());
+    EXPECT_EQ(dec.f64(), 3.5);
+    EXPECT_EQ(dec.key(), Key128(0x1111, 0x2222));
+    EXPECT_EQ(dec.prefix(), Prefix(Key128::fromIpv4(0x0A000000), 8));
+    EXPECT_TRUE(dec.atEnd());
+
+    // Reads past the end throw, never scan garbage.
+    EXPECT_THROW(dec.u8(), DecodeError);
+
+    // A count that promises more elements than bytes remain is
+    // refused before any allocation happens.
+    Encoder bad;
+    bad.u64(1u << 30);
+    Decoder bad_dec(bad.buffer());
+    EXPECT_THROW(bad_dec.count(8), DecodeError);
+
+    // A boolean byte that is neither 0 nor 1 is corruption.
+    Encoder not_bool;
+    not_bool.u8(2);
+    Decoder nb(not_bool.buffer());
+    EXPECT_THROW(nb.boolean(), DecodeError);
+
+    // A prefix with set bits beyond its length is corruption.
+    Encoder bad_prefix;
+    bad_prefix.key(Key128::fromIpv4(0x0A0000FF));
+    bad_prefix.u8(8);
+    Decoder bp(bad_prefix.buffer());
+    EXPECT_THROW(bp.prefix(), DecodeError);
+}
+
+// ---- engine state roundtrip ------------------------------------------------
+
+TEST(PersistEngine, StateRoundtripIsBitExactWithZeroSetups)
+{
+    RoutingTable table = generateScaledTable(1500, 32, 0x51AB);
+    ChiselEngine engine(table);
+
+    // Push the engine through real churn so the image carries dirty
+    // bits, flap history, allocator free lists and counters.
+    UpdateTraceGenerator gen(table, standardTraceProfiles()[0], 32,
+                             0x51AC);
+    for (const Update &u : gen.generate(300))
+        engine.apply(u);
+    ASSERT_TRUE(engine.selfCheck());
+
+    std::vector<uint8_t> image = stateBytes(engine);
+    uint64_t setups_before = engine.bloomierSetups();
+
+    Decoder dec(image.data(), image.size());
+    std::unique_ptr<ChiselEngine> restored =
+        ChiselEngine::restoreState(engine.config(), dec);
+    EXPECT_TRUE(dec.atEnd());
+
+    // Bit-exact: re-serializing the restored engine reproduces the
+    // original image, so every table, counter and free list survived.
+    EXPECT_EQ(stateBytes(*restored), image);
+    EXPECT_TRUE(restored->selfCheck());
+
+    // The whole point of a warm restart: no Bloomier setup ran.
+    EXPECT_EQ(restored->bloomierSetups(), setups_before);
+
+    // And it behaves identically.
+    std::vector<Key128> keys =
+        generateLookupKeys(engine.exportTable(), 2000, 32, 0.8, 0x51AD);
+    for (const Key128 &k : keys) {
+        LookupResult a = engine.lookup(k);
+        LookupResult b = restored->lookup(k);
+        ASSERT_EQ(a.found, b.found);
+        if (a.found) {
+            ASSERT_EQ(a.nextHop, b.nextHop);
+            ASSERT_EQ(a.matchedLength, b.matchedLength);
+        }
+    }
+}
+
+TEST(PersistEngine, RestoreRefusesTruncatedOrBitFlippedImages)
+{
+    RoutingTable table = generateScaledTable(400, 32, 0x52AB);
+    ChiselEngine engine(table);
+    std::vector<uint8_t> image = stateBytes(engine);
+
+    // Every truncation point of the first kilobyte (and a coarse
+    // sweep beyond) must throw DecodeError — never crash, never
+    // return a half-restored engine.
+    for (size_t cut = 0; cut < image.size();
+         cut += (cut < 1024 ? 17 : 4099)) {
+        Decoder dec(image.data(), cut);
+        EXPECT_THROW(ChiselEngine::restoreState(engine.config(), dec),
+                     DecodeError)
+            << "truncation at " << cut << " was accepted";
+    }
+}
+
+// ---- journal ---------------------------------------------------------------
+
+TEST(PersistJournal, AppendScanRoundtrip)
+{
+    std::string path = tempPath("journal_roundtrip");
+    removeFile(path);
+    ChiselConfig config;
+    uint64_t fp = configFingerprint(config);
+
+    {
+        UpdateJournal journal(path, fp);
+        Update u1{UpdateKind::Announce,
+                  Prefix(Key128::fromIpv4(0x0A000000), 8), 42};
+        Update u2{UpdateKind::Withdraw,
+                  Prefix(Key128::fromIpv4(0x0A000000), 8), kNoRoute};
+        EXPECT_EQ(journal.append(u1), 1u);
+        UpdateOutcome out;
+        out.status = UpdateStatus::Applied;
+        journal.appendOutcome(1, out);
+        EXPECT_EQ(journal.append(u2), 2u);
+        journal.appendOutcome(2, out);
+        journal.appendSnapshotMark(2);
+        journal.sync();
+    }
+
+    JournalScan scan = persist::scanJournal(path, fp);
+    ASSERT_TRUE(scan.headerOk) << scan.error;
+    EXPECT_FALSE(scan.truncatedTail);
+    ASSERT_EQ(scan.records.size(), 5u);
+    EXPECT_EQ(scan.lastSeq, 2u);
+    EXPECT_EQ(scan.lastCommittedSeq, 2u);
+    EXPECT_EQ(scan.lastSnapshotSeq, 2u);
+    EXPECT_EQ(scan.records[0].type, JournalRecord::Type::Update);
+    EXPECT_EQ(scan.records[0].update.kind, UpdateKind::Announce);
+    EXPECT_EQ(scan.records[0].update.nextHop, 42u);
+    EXPECT_EQ(scan.records[2].update.kind, UpdateKind::Withdraw);
+
+    // Reopening continues the sequence after the existing records.
+    {
+        UpdateJournal journal(path, fp);
+        EXPECT_EQ(journal.lastSeq(), 2u);
+        Update u3{UpdateKind::Announce,
+                  Prefix(Key128::fromIpv4(0x0B000000), 8), 7};
+        EXPECT_EQ(journal.append(u3), 3u);
+    }
+    scan = persist::scanJournal(path, fp);
+    EXPECT_EQ(scan.lastSeq, 3u);
+    removeFile(path);
+}
+
+TEST(PersistJournal, EmptyAndHeaderOnlyJournals)
+{
+    std::string path = tempPath("journal_empty");
+    removeFile(path);
+    ChiselConfig config;
+    uint64_t fp = configFingerprint(config);
+
+    // Absent file: not scannable.
+    JournalScan scan = persist::scanJournal(path, fp);
+    EXPECT_FALSE(scan.headerOk);
+
+    // A zero-byte file is re-initialized, not appended to.
+    writeFile(path, {});
+    {
+        UpdateJournal journal(path, fp);
+        EXPECT_EQ(journal.lastSeq(), 0u);
+    }
+
+    // Header-only journal: valid, zero records — the empty-journal
+    // recovery case.
+    scan = persist::scanJournal(path, fp);
+    ASSERT_TRUE(scan.headerOk) << scan.error;
+    EXPECT_TRUE(scan.records.empty());
+    EXPECT_FALSE(scan.truncatedTail);
+    EXPECT_EQ(scan.lastSeq, 0u);
+    removeFile(path);
+}
+
+TEST(PersistJournal, TornFinalRecordIsDiscardedExactly)
+{
+    std::string path = tempPath("journal_torn");
+    removeFile(path);
+    ChiselConfig config;
+    uint64_t fp = configFingerprint(config);
+
+    {
+        UpdateJournal journal(path, fp);
+        for (uint32_t i = 0; i < 10; ++i) {
+            Update u{UpdateKind::Announce,
+                     Prefix(Key128::fromIpv4(0x0A000000 + (i << 8)),
+                            24),
+                     NextHop(i)};
+            journal.append(u);
+        }
+    }
+    std::vector<uint8_t> full = readFile(path);
+    JournalScan intact = persist::scanJournal(path, fp);
+    ASSERT_EQ(intact.records.size(), 10u);
+
+    // Chop the file mid-final-record: exactly one record is lost.
+    writeFile(path, std::vector<uint8_t>(full.begin(),
+                                         full.end() - 5));
+    JournalScan torn = persist::scanJournal(path, fp);
+    ASSERT_TRUE(torn.headerOk);
+    EXPECT_TRUE(torn.truncatedTail);
+    EXPECT_EQ(torn.records.size(), 9u);
+    EXPECT_EQ(torn.lastSeq, 9u);
+
+    // A bit flip inside the final record's payload: same outcome via
+    // the CRC instead of the length check.
+    std::vector<uint8_t> flipped = full;
+    flipped[flipped.size() - 3] ^= 0x10;
+    writeFile(path, flipped);
+    JournalScan bitrot = persist::scanJournal(path, fp);
+    EXPECT_TRUE(bitrot.truncatedTail);
+    EXPECT_EQ(bitrot.records.size(), 9u);
+
+    // Reopening for append truncates the torn tail and continues
+    // from the last valid record.
+    {
+        UpdateJournal journal(path, fp);
+        EXPECT_EQ(journal.lastSeq(), 9u);
+    }
+    JournalScan healed = persist::scanJournal(path, fp);
+    EXPECT_FALSE(healed.truncatedTail);
+    EXPECT_EQ(healed.records.size(), 9u);
+    removeFile(path);
+}
+
+TEST(PersistJournal, RefusesForeignFingerprintAndBadHeader)
+{
+    std::string path = tempPath("journal_foreign");
+    removeFile(path);
+    ChiselConfig config;
+    ChiselConfig other;
+    other.stride = config.stride + 1;
+    ASSERT_NE(configFingerprint(config), configFingerprint(other));
+
+    {
+        UpdateJournal journal(path, configFingerprint(config));
+    }
+    JournalScan scan =
+        persist::scanJournal(path, configFingerprint(other));
+    EXPECT_FALSE(scan.headerOk);
+    EXPECT_NE(scan.error.find("different config"), std::string::npos);
+
+    // Appending under the wrong config must refuse, not corrupt.
+    EXPECT_THROW(UpdateJournal(path, configFingerprint(other)),
+                 ChiselError);
+
+    // A corrupted header is unusable regardless of fingerprint.
+    std::vector<uint8_t> bytes = readFile(path);
+    bytes[1] ^= 0xFF;
+    writeFile(path, bytes);
+    scan = persist::scanJournal(path, 0);
+    EXPECT_FALSE(scan.headerOk);
+    removeFile(path);
+}
+
+#if CHISEL_FAULT_INJECTION_ENABLED
+TEST(PersistJournal, InjectedTornWriteLeavesRecoverablePrefix)
+{
+    std::string path = tempPath("journal_fault_torn");
+    removeFile(path);
+    ChiselConfig config;
+    uint64_t fp = configFingerprint(config);
+
+    FaultInjector inj(91);
+    // Fire on the 6th append: 5 records land, the 6th tears, later
+    // appends vanish (the "process" is dead).
+    {
+        UpdateJournal journal(path, fp);
+        for (uint32_t i = 0; i < 5; ++i)
+            journal.append({UpdateKind::Announce,
+                            Prefix(Key128::fromIpv4(0x0A000000 +
+                                                    (i << 8)),
+                                   24),
+                            NextHop(i)});
+        inj.arm(FaultPoint::JournalTornWrite, 1.0, 1);
+        ScopedInjector scope(&inj);
+        for (uint32_t i = 5; i < 10; ++i)
+            journal.append({UpdateKind::Announce,
+                            Prefix(Key128::fromIpv4(0x0A000000 +
+                                                    (i << 8)),
+                                   24),
+                            NextHop(i)});
+    }
+    EXPECT_EQ(inj.fires(FaultPoint::JournalTornWrite), 1u);
+
+    JournalScan scan = persist::scanJournal(path, fp);
+    ASSERT_TRUE(scan.headerOk);
+    EXPECT_TRUE(scan.truncatedTail);
+    EXPECT_EQ(scan.records.size(), 5u);
+    EXPECT_EQ(scan.lastSeq, 5u);
+    removeFile(path);
+}
+#endif // CHISEL_FAULT_INJECTION_ENABLED
+
+// ---- snapshots -------------------------------------------------------------
+
+TEST(PersistSnapshot, FileRoundtripAndRotation)
+{
+    std::string path = tempPath("snapshot_roundtrip");
+    removeFile(path);
+    removeFile(persist::previousSnapshotPath(path));
+
+    RoutingTable table = generateScaledTable(800, 32, 0x53AB);
+    ChiselEngine engine(table);
+    ChiselConfig config = engine.config();
+
+    ASSERT_GT(persist::saveSnapshot(path, engine, 17), 0u);
+    SnapshotLoadResult load = persist::loadSnapshot(path, &config);
+    ASSERT_EQ(load.status, SnapshotLoadStatus::Ok) << load.error;
+    EXPECT_EQ(load.lastSeq, 17u);
+    EXPECT_EQ(stateBytes(*load.engine), stateBytes(engine));
+
+    // A second save rotates the first image to .prev.
+    engine.announce(Prefix(Key128::fromIpv4(0xC0A80000), 16), 9);
+    persist::saveSnapshot(path, engine, 18);
+    SnapshotLoadResult prev = persist::loadSnapshot(
+        persist::previousSnapshotPath(path), &config);
+    ASSERT_EQ(prev.status, SnapshotLoadStatus::Ok);
+    EXPECT_EQ(prev.lastSeq, 17u);
+    SnapshotLoadResult fresh = persist::loadSnapshot(path, &config);
+    ASSERT_EQ(fresh.status, SnapshotLoadStatus::Ok);
+    EXPECT_EQ(fresh.lastSeq, 18u);
+
+    removeFile(path);
+    removeFile(persist::previousSnapshotPath(path));
+}
+
+TEST(PersistSnapshot, RejectsVersionConfigAndCorruption)
+{
+    std::string path = tempPath("snapshot_reject");
+    removeFile(path);
+    removeFile(persist::previousSnapshotPath(path));
+
+    RoutingTable table = generateScaledTable(300, 32, 0x54AB);
+    ChiselEngine engine(table);
+    ChiselConfig config = engine.config();
+    persist::saveSnapshot(path, engine, 1);
+    std::vector<uint8_t> good = readFile(path);
+
+    // Missing file.
+    SnapshotLoadResult r =
+        persist::loadSnapshot(path + ".nope", &config);
+    EXPECT_EQ(r.status, SnapshotLoadStatus::Missing);
+
+    // Version mismatch (bytes 4..7 hold the format version).
+    std::vector<uint8_t> versioned = good;
+    versioned[4] ^= 0x01;
+    writeFile(path, versioned);
+    r = persist::loadSnapshot(path, &config);
+    EXPECT_EQ(r.status, SnapshotLoadStatus::VersionMismatch);
+
+    // Config mismatch: a snapshot from a different geometry must be
+    // refused before any deep decode.
+    writeFile(path, good);
+    ChiselConfig other = config;
+    other.stride = config.stride + 1;
+    r = persist::loadSnapshot(path, &other);
+    EXPECT_EQ(r.status, SnapshotLoadStatus::ConfigMismatch);
+
+    // Payload bit flip: the CRC gate catches it.
+    std::vector<uint8_t> corrupt = good;
+    corrupt[good.size() / 2] ^= 0x40;
+    writeFile(path, corrupt);
+    r = persist::loadSnapshot(path, &config);
+    EXPECT_EQ(r.status, SnapshotLoadStatus::Corrupt);
+
+    // Truncation mid-payload.
+    writeFile(path, std::vector<uint8_t>(good.begin(),
+                                         good.begin() +
+                                             good.size() / 2));
+    r = persist::loadSnapshot(path, &config);
+    EXPECT_EQ(r.status, SnapshotLoadStatus::Corrupt);
+
+    removeFile(path);
+    removeFile(persist::previousSnapshotPath(path));
+}
+
+// ---- recovery ladder -------------------------------------------------------
+
+/** A journaling "process": engine + WAL, updates logged before apply. */
+struct Process
+{
+    ChiselConfig config;
+    RoutingTable initial;
+    std::unique_ptr<ChiselEngine> engine;
+    std::unique_ptr<UpdateJournal> journal;
+
+    Process(const RoutingTable &table, const std::string &journal_path,
+            const ChiselConfig &cfg = {})
+        : config(cfg), initial(table)
+    {
+        engine = std::make_unique<ChiselEngine>(table, config);
+        journal = std::make_unique<UpdateJournal>(
+            journal_path, configFingerprint(config));
+    }
+
+    void
+    apply(const Update &u)
+    {
+        uint64_t seq = journal->append(u);   // WAL: log, then mutate.
+        UpdateOutcome out = engine->apply(u);
+        journal->appendOutcome(seq, out);
+    }
+
+    void
+    snapshot(const std::string &path)
+    {
+        persist::saveSnapshot(path, *engine, journal->lastSeq());
+        journal->appendSnapshotMark(journal->lastSeq());
+    }
+};
+
+TEST(PersistRecovery, WarmRestartIsExactWithZeroSetups)
+{
+    std::string jpath = tempPath("recover_warm.journal");
+    std::string spath = tempPath("recover_warm.snapshot");
+    removeFile(jpath);
+    removeFile(spath);
+    removeFile(persist::previousSnapshotPath(spath));
+
+    RoutingTable table = generateScaledTable(1000, 32, 0x61AB);
+    Process proc(table, jpath);
+    UpdateTraceGenerator gen(table, standardTraceProfiles()[0], 32,
+                             0x61AC);
+    for (const Update &u : gen.generate(100))
+        proc.apply(u);
+    proc.snapshot(spath);
+    for (const Update &u : gen.generate(100))
+        proc.apply(u);
+    // "Crash": the Process object simply stops here.
+
+    RecoveryOptions opts;
+    opts.journalPath = jpath;
+    opts.snapshotPath = spath;
+    opts.config = proc.config;
+    opts.initialTable = table;
+    RecoveryReport report = persist::recoverEngine(opts);
+
+    EXPECT_EQ(report.source, RecoverySource::Snapshot);
+    EXPECT_EQ(report.fallbacks, 0u);
+    EXPECT_EQ(report.snapshotLoads, 1u);
+    EXPECT_EQ(report.recordsReplayed, 100u);
+    EXPECT_EQ(report.lastSeq, 200u);
+    EXPECT_TRUE(report.auditRan);
+    EXPECT_TRUE(report.auditPassed)
+        << "missing=" << report.auditMissing
+        << " mismatched=" << report.auditMismatched
+        << " phantom=" << report.auditPhantom;
+
+    // The recovered engine is bit-identical to the pre-crash one —
+    // same tables, same counters, same free lists.
+    EXPECT_EQ(stateBytes(*report.engine), stateBytes(*proc.engine));
+
+    // Warm restart paid zero Bloomier setups beyond what the replayed
+    // updates themselves performed in the original run (the setup
+    // counters match exactly because the state is bit-identical).
+    EXPECT_EQ(report.engine->bloomierSetups(),
+              proc.engine->bloomierSetups());
+
+    removeFile(jpath);
+    removeFile(spath);
+    removeFile(persist::previousSnapshotPath(spath));
+}
+
+TEST(PersistRecovery, LadderFallsBackToPreviousThenCold)
+{
+    std::string jpath = tempPath("recover_ladder.journal");
+    std::string spath = tempPath("recover_ladder.snapshot");
+    removeFile(jpath);
+    removeFile(spath);
+    removeFile(persist::previousSnapshotPath(spath));
+
+    RoutingTable table = generateScaledTable(600, 32, 0x62AB);
+    Process proc(table, jpath);
+    UpdateTraceGenerator gen(table, standardTraceProfiles()[0], 32,
+                             0x62AC);
+    for (const Update &u : gen.generate(40))
+        proc.apply(u);
+    proc.snapshot(spath);                      // Good image -> .prev.
+    for (const Update &u : gen.generate(40))
+        proc.apply(u);
+    proc.snapshot(spath);                      // Will be corrupted.
+
+    // Corrupt the primary snapshot on disk.
+    std::vector<uint8_t> bytes = readFile(spath);
+    bytes[bytes.size() / 3] ^= 0x08;
+    writeFile(spath, bytes);
+
+    RecoveryOptions opts;
+    opts.journalPath = jpath;
+    opts.snapshotPath = spath;
+    opts.config = proc.config;
+    opts.initialTable = table;
+    RecoveryReport report = persist::recoverEngine(opts);
+
+    // Rung 2: the rotated previous snapshot, with a longer replay.
+    EXPECT_EQ(report.source, RecoverySource::PreviousSnapshot);
+    EXPECT_EQ(report.fallbacks, 1u);
+    EXPECT_EQ(report.recordsReplayed, 40u);
+    EXPECT_TRUE(report.auditPassed);
+    EXPECT_EQ(stateBytes(*report.engine), stateBytes(*proc.engine));
+
+    // Now corrupt the previous snapshot too: cold setup, full replay.
+    std::vector<uint8_t> prev_bytes =
+        readFile(persist::previousSnapshotPath(spath));
+    prev_bytes[prev_bytes.size() / 2] ^= 0x80;
+    writeFile(persist::previousSnapshotPath(spath), prev_bytes);
+
+    RecoveryReport cold = persist::recoverEngine(opts);
+    EXPECT_EQ(cold.source, RecoverySource::ColdSetup);
+    EXPECT_EQ(cold.fallbacks, 2u);
+    EXPECT_EQ(cold.recordsReplayed, 80u);
+    EXPECT_TRUE(cold.auditPassed)
+        << "missing=" << cold.auditMissing
+        << " mismatched=" << cold.auditMismatched
+        << " phantom=" << cold.auditPhantom;
+    // Cold recovery rebuilds the same *routes* even though internal
+    // layout (slot assignments) may differ from the crashed engine.
+    RoutingTable a = cold.engine->exportTable();
+    RoutingTable b = proc.engine->exportTable();
+    ASSERT_EQ(a.size(), b.size());
+    for (const Route &r : b.routes())
+        EXPECT_EQ(a.find(r.prefix), b.find(r.prefix));
+
+    removeFile(jpath);
+    removeFile(spath);
+    removeFile(persist::previousSnapshotPath(spath));
+}
+
+#if CHISEL_FAULT_INJECTION_ENABLED
+TEST(PersistRecovery, InjectedSnapshotCorruptionTriggersFallback)
+{
+    std::string jpath = tempPath("recover_inj.journal");
+    std::string spath = tempPath("recover_inj.snapshot");
+    removeFile(jpath);
+    removeFile(spath);
+    removeFile(persist::previousSnapshotPath(spath));
+
+    RoutingTable table = generateScaledTable(500, 32, 0x63AB);
+    Process proc(table, jpath);
+    UpdateTraceGenerator gen(table, standardTraceProfiles()[0], 32,
+                             0x63AC);
+    for (const Update &u : gen.generate(30))
+        proc.apply(u);
+    proc.snapshot(spath);   // Good image.
+    for (const Update &u : gen.generate(30))
+        proc.apply(u);
+
+    // The second snapshot is written with a post-CRC bit flip: the
+    // image on disk fails its own checksum.
+    FaultInjector inj(92);
+    inj.arm(FaultPoint::SnapshotCorrupt, 1.0, 1);
+    {
+        ScopedInjector scope(&inj);
+        proc.snapshot(spath);
+    }
+    ASSERT_EQ(inj.fires(FaultPoint::SnapshotCorrupt), 1u);
+
+    RecoveryOptions opts;
+    opts.journalPath = jpath;
+    opts.snapshotPath = spath;
+    opts.config = proc.config;
+    opts.initialTable = table;
+    RecoveryReport report = persist::recoverEngine(opts);
+
+    EXPECT_EQ(report.source, RecoverySource::PreviousSnapshot);
+    EXPECT_EQ(report.fallbacks, 1u);
+    EXPECT_NE(report.snapshotError.find("CRC"), std::string::npos);
+    EXPECT_TRUE(report.auditPassed);
+    EXPECT_EQ(stateBytes(*report.engine), stateBytes(*proc.engine));
+
+    removeFile(jpath);
+    removeFile(spath);
+    removeFile(persist::previousSnapshotPath(spath));
+}
+#endif // CHISEL_FAULT_INJECTION_ENABLED
+
+TEST(PersistRecovery, CrashAtEveryRecordSweep)
+{
+    std::string jpath = tempPath("recover_sweep.journal");
+    std::string live = jpath + ".live";
+    removeFile(jpath);
+    removeFile(live);
+
+    // A 200-update trace; after every single journaled update the
+    // journal is copied aside and recovered from scratch, so every
+    // possible crash instant (at record granularity) is exercised.
+    RoutingTable table = generateScaledTable(300, 32, 0x64AB);
+    ChiselConfig config;
+    Process proc(table, live, config);
+    UpdateTraceGenerator gen(table, standardTraceProfiles()[1], 32,
+                             0x64AC);
+    std::vector<Update> trace = gen.generate(200);
+
+    RecoveryOptions opts;
+    opts.journalPath = jpath;
+    opts.config = config;
+    opts.initialTable = table;
+    opts.audit = true;
+
+    // The reference evolves alongside; the oracle trie double-checks
+    // LPM behaviour (not just exact-match membership) at intervals.
+    RoutingTable reference = table;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        proc.apply(trace[i]);
+        if (trace[i].kind == UpdateKind::Announce)
+            reference.add(trace[i].prefix, trace[i].nextHop);
+        else
+            reference.remove(trace[i].prefix);
+
+        // "Crash now": recover from a copy of the journal as it is
+        // at this instant.
+        writeFile(jpath, readFile(live));
+        RecoveryReport report = persist::recoverEngine(opts);
+        ASSERT_EQ(report.source, RecoverySource::ColdSetup);
+        ASSERT_EQ(report.recordsReplayed, i + 1) << "at update " << i;
+        ASSERT_TRUE(report.auditPassed)
+            << "at update " << i << ": missing=" << report.auditMissing
+            << " mismatched=" << report.auditMismatched
+            << " phantom=" << report.auditPhantom;
+
+        if (i % 50 == 49) {
+            BinaryTrie oracle(reference);
+            std::vector<Key128> keys = generateLookupKeys(
+                reference, 500, 32, 0.9, 0x64AD + i);
+            for (const Key128 &k : keys) {
+                auto want = oracle.lookup(k);
+                LookupResult got = report.engine->lookup(k);
+                ASSERT_EQ(got.found, want.has_value());
+                if (want)
+                    ASSERT_EQ(got.nextHop, want->nextHop);
+            }
+        }
+    }
+
+    removeFile(jpath);
+    removeFile(live);
+}
+
+TEST(PersistRecovery, TelemetryCountersRecordRecovery)
+{
+    telemetry::MetricRegistry registry;
+    telemetry::EngineTelemetry telemetry(registry);
+    telemetry.recordRecovery(/*journal_records_replayed=*/120,
+                             /*snapshot_loads=*/1, /*fallbacks=*/2);
+    EXPECT_EQ(registry
+                  .counter("engine.recovery.journal_records_replayed")
+                  .value(),
+              120u);
+    EXPECT_EQ(registry.counter("engine.recovery.snapshot_loads")
+                  .value(),
+              1u);
+    EXPECT_EQ(registry.counter("engine.recovery.fallbacks").value(),
+              2u);
+}
+
+} // namespace
+} // namespace chisel

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * SlowPathMap tests: the bounded, length-bucketed software route
+ * store behind the last rung of the degradation ladder — capacity
+ * enforcement with rejection counting, LPM correctness through the
+ * length buckets, drain ordering, serialization, and the engine-level
+ * hard-degraded outcome when the store fills (docs/robustness.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/engine.hh"
+#include "core/slowpath.hh"
+#include "fault/fault.hh"
+#include "persist/codec.hh"
+#include "route/synth.hh"
+
+namespace chisel {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultPoint;
+using fault::ScopedInjector;
+
+Prefix
+v4(uint32_t addr, unsigned len)
+{
+    return Prefix(Key128::fromIpv4(addr), len);
+}
+
+TEST(SlowPathMap, InsertFindEraseAcrossLengths)
+{
+    SlowPathMap map;
+    EXPECT_EQ(map.insert(v4(0x0A000000, 8), 1),
+              SlowPathMap::Insert::Inserted);
+    EXPECT_EQ(map.insert(v4(0x0A010000, 16), 2),
+              SlowPathMap::Insert::Inserted);
+    EXPECT_EQ(map.insert(v4(0x0A010100, 24), 3),
+              SlowPathMap::Insert::Inserted);
+    EXPECT_EQ(map.size(), 3u);
+
+    EXPECT_EQ(*map.find(v4(0x0A010000, 16)), 2u);
+    EXPECT_FALSE(map.find(v4(0x0A010000, 17)));
+
+    // Re-announce overwrites in place.
+    EXPECT_EQ(map.insert(v4(0x0A010000, 16), 22),
+              SlowPathMap::Insert::Updated);
+    EXPECT_EQ(map.size(), 3u);
+    EXPECT_EQ(*map.find(v4(0x0A010000, 16)), 22u);
+
+    EXPECT_TRUE(map.erase(v4(0x0A010000, 16)));
+    EXPECT_FALSE(map.erase(v4(0x0A010000, 16)));
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(SlowPathMap, LookupIsLongestMatchAcrossBuckets)
+{
+    SlowPathMap map;
+    map.insert(v4(0x0A000000, 8), 10);
+    map.insert(v4(0x0A010000, 16), 16);
+    map.insert(v4(0x0A010200, 24), 24);
+
+    Key128 inside = Key128::fromIpv4(0x0A010203);
+    auto hit = map.lookup(inside);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit->nextHop, 24u);
+    EXPECT_EQ(hit->prefix.length(), 24u);
+
+    // One level up: misses the /24, hits the /16.
+    hit = map.lookup(Key128::fromIpv4(0x0A01FF00));
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit->nextHop, 16u);
+
+    // Outside everything.
+    EXPECT_FALSE(map.lookup(Key128::fromIpv4(0x0B000000)));
+
+    // longest() drains the most specific entry first.
+    ASSERT_TRUE(map.longest());
+    EXPECT_EQ(map.longest()->prefix.length(), 24u);
+
+    std::vector<Route> all = map.entries();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_GE(all.front().prefix.length(), all.back().prefix.length());
+}
+
+TEST(SlowPathMap, CapacityCapsResidencyAndCountsRejections)
+{
+    SlowPathMap map(2);
+    EXPECT_EQ(map.capacity(), 2u);
+    EXPECT_EQ(map.insert(v4(0x01000000, 8), 1),
+              SlowPathMap::Insert::Inserted);
+    EXPECT_EQ(map.insert(v4(0x02000000, 8), 2),
+              SlowPathMap::Insert::Inserted);
+
+    // Full: new prefixes bounce, and each bounce is counted.
+    EXPECT_EQ(map.insert(v4(0x03000000, 8), 3),
+              SlowPathMap::Insert::Rejected);
+    EXPECT_EQ(map.insert(v4(0x04000000, 8), 4),
+              SlowPathMap::Insert::Rejected);
+    EXPECT_EQ(map.size(), 2u);
+    EXPECT_EQ(map.rejected(), 2u);
+    EXPECT_FALSE(map.find(v4(0x03000000, 8)));
+
+    // Updating a resident prefix needs no free slot.
+    EXPECT_EQ(map.insert(v4(0x01000000, 8), 11),
+              SlowPathMap::Insert::Updated);
+    EXPECT_EQ(*map.find(v4(0x01000000, 8)), 11u);
+
+    // An erase frees a slot for the next insert.
+    EXPECT_TRUE(map.erase(v4(0x02000000, 8)));
+    EXPECT_EQ(map.insert(v4(0x03000000, 8), 3),
+              SlowPathMap::Insert::Inserted);
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(SlowPathMap, SaveLoadRoundtripPreservesEverything)
+{
+    SlowPathMap map(8);
+    map.insert(v4(0x0A000000, 8), 1);
+    map.insert(v4(0x0A010000, 16), 2);
+    for (int i = 0; i < 9; ++i)
+        map.insert(v4(0x20000000 + (i << 8), 24), NextHop(i));
+    uint64_t rejected = map.rejected();
+    ASSERT_GT(rejected, 0u);
+
+    persist::Encoder enc;
+    map.saveState(enc);
+
+    SlowPathMap restored(8);
+    persist::Decoder dec(enc.buffer());
+    restored.loadState(dec);
+    EXPECT_TRUE(dec.atEnd());
+
+    EXPECT_EQ(restored.size(), map.size());
+    EXPECT_EQ(restored.rejected(), rejected);
+    for (const Route &r : map.entries())
+        EXPECT_EQ(*restored.find(r.prefix), r.nextHop);
+
+    // Truncated input must throw, not crash.
+    persist::Decoder cut(enc.buffer().data(), enc.size() / 2);
+    SlowPathMap victim(8);
+    EXPECT_THROW(victim.loadState(cut), persist::DecodeError);
+}
+
+#if CHISEL_FAULT_INJECTION_ENABLED
+TEST(SlowPathEngine, FullStoreYieldsHardDegradedOutcome)
+{
+    RoutingTable table = generateScaledTable(2000, 32, 77);
+    ChiselConfig config;
+    config.slowPathCapacity = 1;
+    ChiselEngine engine(table, config);
+
+    FaultInjector inj(78);
+    // Displace aggressively and refuse every TCAM insert so routes
+    // pile into the 1-entry slow path; the second arrival must be
+    // dropped with a hard-degraded outcome.
+    inj.arm(FaultPoint::ForceNonSingleton, 1.0);
+    inj.arm(FaultPoint::BloomierSetupFail, 1.0);
+    inj.arm(FaultPoint::TcamOverflow, 1.0);
+    ScopedInjector scope(&inj);
+
+    bool saw_rejection = false;
+    Rng rng(79);
+    for (int i = 0; i < 40 && !saw_rejection; ++i) {
+        Prefix p(Key128::fromIpv4(static_cast<uint32_t>(rng.next64())),
+                 28);
+        UpdateOutcome out = engine.announce(p, NextHop(300 + i));
+        if (out.slowPathRejections > 0) {
+            saw_rejection = true;
+            EXPECT_EQ(out.status, UpdateStatus::Degraded);
+            EXPECT_NE(std::string(out.message).find("slow path"),
+                      std::string::npos);
+        }
+    }
+    ASSERT_TRUE(saw_rejection);
+    EXPECT_EQ(engine.slowPathCount(), 1u);
+    EXPECT_GT(engine.robustness().slowPathRejected, 0u);
+}
+#endif // CHISEL_FAULT_INJECTION_ENABLED
+
+} // namespace
+} // namespace chisel
