@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,8 +35,10 @@ levelFromEnv()
     return LogLevel::Info;
 }
 
-LogLevel g_level = levelFromEnv();
-LogSink g_sink = nullptr;
+// Atomics: tests flip the threshold or swap the sink while engine
+// threads log concurrently; plain globals would be a data race.
+std::atomic<LogLevel> g_level{levelFromEnv()};
+std::atomic<LogSink> g_sink{nullptr};
 
 void
 defaultSink(LogLevel level, const std::string &msg)
@@ -62,29 +65,29 @@ logLevelName(LogLevel level)
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogSink
 setLogSink(LogSink sink)
 {
-    LogSink prev = g_sink;
-    g_sink = sink;
-    return prev;
+    return g_sink.exchange(sink, std::memory_order_acq_rel);
 }
 
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    if (level < g_level || level == LogLevel::None)
+    if (level < g_level.load(std::memory_order_relaxed) ||
+        level == LogLevel::None)
         return;
-    (g_sink != nullptr ? g_sink : defaultSink)(level, msg);
+    LogSink sink = g_sink.load(std::memory_order_acquire);
+    (sink != nullptr ? sink : defaultSink)(level, msg);
 }
 
 void

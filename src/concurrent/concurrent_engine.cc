@@ -1,0 +1,363 @@
+#include "concurrent/concurrent_engine.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+#include "persist/snapshot.hh"
+
+namespace chisel::concurrent {
+
+ConcurrentChisel::ConcurrentChisel(const RoutingTable &initial,
+                                   const ChiselConfig &config,
+                                   const ConcurrentOptions &options)
+    : config_(config), options_(options),
+      queue_(options.updateQueueCapacity)
+{
+    // Both images are built from the same table with the same config
+    // and seed, so they are identical by construction; the update
+    // protocol keeps them that way.
+    images_[0].engine = std::make_unique<ChiselEngine>(initial, config);
+    images_[1].engine = std::make_unique<ChiselEngine>(initial, config);
+    live_.store(&images_[0], std::memory_order_release);
+
+    if (options_.controlThread)
+        controlThread_ = std::thread([this] { controlLoop(); });
+    if (options_.scrubInterval.count() > 0)
+        scrubThread_ = std::thread([this] { scrubLoop(); });
+}
+
+ConcurrentChisel::~ConcurrentChisel()
+{
+    stop_.store(true, std::memory_order_release);
+    if (controlThread_.joinable())
+        controlThread_.join();
+    if (scrubThread_.joinable())
+        scrubThread_.join();
+}
+
+// ---- Read side -------------------------------------------------------------
+
+LookupResult
+ConcurrentChisel::lookup(const Key128 &key) const
+{
+    EpochManager::ReadGuard guard(epochs_);
+    const Image *img = live_.load(std::memory_order_acquire);
+    return img->engine->lookup(key);
+}
+
+TaggedLookup
+ConcurrentChisel::lookupTagged(const Key128 &key) const
+{
+    EpochManager::ReadGuard guard(epochs_);
+    const Image *img = live_.load(std::memory_order_acquire);
+    TaggedLookup out;
+    // The generation was stamped before the image was published and
+    // never changes while the image is live, so this relaxed load is
+    // ordered by the acquire on the pointer.
+    out.generation = img->generation.load(std::memory_order_relaxed);
+    out.result = img->engine->lookup(key);
+    return out;
+}
+
+uint64_t
+ConcurrentChisel::generation() const
+{
+    const Image *img = live_.load(std::memory_order_acquire);
+    return img->generation.load(std::memory_order_relaxed);
+}
+
+// ---- Write side ------------------------------------------------------------
+
+ConcurrentChisel::Image &
+ConcurrentChisel::idleImage()
+{
+    Image *l = live_.load(std::memory_order_relaxed);
+    return l == &images_[0] ? images_[1] : images_[0];
+}
+
+const ConcurrentChisel::Image &
+ConcurrentChisel::idleImage() const
+{
+    const Image *l = live_.load(std::memory_order_relaxed);
+    return l == &images_[0] ? images_[1] : images_[0];
+}
+
+void
+ConcurrentChisel::publish(Image &image)
+{
+    live_.store(&image, std::memory_order_release);
+    // Grace period: every reader that might still be inside the old
+    // image finishes before the caller mutates it.
+    epochs_.synchronize();
+}
+
+UpdateOutcome
+ConcurrentChisel::applyLocked(const Update &update)
+{
+    Image &idle = idleImage();
+
+    // 1. Mutate the image no reader can see.
+    UpdateOutcome outcome = idle.engine->apply(update);
+    uint64_t gen =
+        updatesApplied_.fetch_add(1, std::memory_order_relaxed) + 1;
+    idle.generation.store(gen, std::memory_order_relaxed);
+
+    // 2. One atomic flip + grace period...
+    publish(idle);
+
+    // 3. ...then fold the same update into the retired image, keeping
+    // the pair in lockstep.  Fault injection is thread-local and
+    // polled once per apply, so an armed injector on this thread
+    // could fire on one image only and diverge the pair — the scrub
+    // pass reconverges them, and the stress tests arm injectors on
+    // non-writer threads only.
+    Image &retired = idleImage();
+    retired.engine->apply(update);
+    retired.generation.store(gen, std::memory_order_relaxed);
+
+    return outcome;
+}
+
+UpdateOutcome
+ConcurrentChisel::announce(const Prefix &prefix, NextHop next_hop)
+{
+    return apply(Update{UpdateKind::Announce, prefix, next_hop});
+}
+
+UpdateOutcome
+ConcurrentChisel::withdraw(const Prefix &prefix)
+{
+    return apply(Update{UpdateKind::Withdraw, prefix, kNoRoute});
+}
+
+UpdateOutcome
+ConcurrentChisel::apply(const Update &update)
+{
+    std::lock_guard<std::mutex> lock(writerMutex_);
+    return applyLocked(update);
+}
+
+// ---- Queued update path ----------------------------------------------------
+
+bool
+ConcurrentChisel::post(const Update &update)
+{
+    if (!options_.controlThread)
+        return false;
+    if (!queue_.push(update))
+        return false;
+    posted_.fetch_add(1, std::memory_order_release);
+    return true;
+}
+
+size_t
+ConcurrentChisel::pendingUpdates() const
+{
+    uint64_t posted = posted_.load(std::memory_order_acquire);
+    uint64_t drained = drained_.load(std::memory_order_acquire);
+    return static_cast<size_t>(posted - drained);
+}
+
+void
+ConcurrentChisel::flush()
+{
+    uint64_t target = posted_.load(std::memory_order_acquire);
+    while (drained_.load(std::memory_order_acquire) < target)
+        std::this_thread::yield();
+}
+
+void
+ConcurrentChisel::controlLoop()
+{
+    for (;;) {
+        std::optional<Update> update = queue_.pop();
+        if (!update) {
+            if (stop_.load(std::memory_order_acquire) && queue_.empty())
+                return;
+            // Idle: updates are bursty (BGP storms), so sleep rather
+            // than burn a core between bursts.
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(writerMutex_);
+            applyLocked(*update);
+        }
+        drained_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+// ---- Scrubbing -------------------------------------------------------------
+
+void
+ConcurrentChisel::scrubIdleLocked(ScrubReport &report)
+{
+    Image &idle = idleImage();
+    ScrubReport r = idle.engine->scrub();
+    report.wordsChecked += r.wordsChecked;
+    report.errorsFound += r.errorsFound;
+    report.cellsRecovered += r.cellsRecovered;
+}
+
+ScrubReport
+ConcurrentChisel::scrubNow()
+{
+    std::lock_guard<std::mutex> lock(writerMutex_);
+    ScrubReport report;
+
+    // Scrub the idle image, make it live, then scrub the other while
+    // *it* is idle — one flip covers both sides, and at no point does
+    // the scrubber touch a word a reader could be loading.
+    scrubIdleLocked(report);
+    Image &scrubbed = idleImage();
+    scrubbed.generation.store(
+        updatesApplied_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    publish(scrubbed);
+    scrubIdleLocked(report);
+
+    scrubPasses_.fetch_add(1, std::memory_order_relaxed);
+    return report;
+}
+
+uint64_t
+ConcurrentChisel::scrubPasses() const
+{
+    return scrubPasses_.load(std::memory_order_relaxed);
+}
+
+void
+ConcurrentChisel::scrubLoop()
+{
+    // Sleep in small slices so shutdown never waits a full interval.
+    const auto slice = std::chrono::milliseconds(1);
+    auto remaining = options_.scrubInterval;
+    while (!stop_.load(std::memory_order_acquire)) {
+        if (remaining.count() <= 0) {
+            scrubNow();
+            remaining = options_.scrubInterval;
+        }
+        std::this_thread::sleep_for(slice);
+        remaining -= slice;
+    }
+}
+
+// ---- Snapshots and rebuilds ------------------------------------------------
+
+size_t
+ConcurrentChisel::saveSnapshot(const std::string &path) const
+{
+    // The idle image equals the live one, so serializing it captures
+    // the current state while lookups proceed undisturbed; only the
+    // update path waits on the lock.
+    std::lock_guard<std::mutex> lock(writerMutex_);
+    const Image &idle = idleImage();
+    return persist::saveSnapshot(
+        path, *idle.engine,
+        updatesApplied_.load(std::memory_order_relaxed));
+}
+
+bool
+ConcurrentChisel::restoreFromSnapshot(const std::string &path)
+{
+    // Build both replacement engines before taking any reader-visible
+    // step; a bad snapshot leaves the serving state untouched.
+    persist::SnapshotLoadResult a = persist::loadSnapshot(path, &config_);
+    if (a.status != persist::SnapshotLoadStatus::Ok) {
+        warn("concurrent restore refused: " + a.error);
+        return false;
+    }
+    persist::SnapshotLoadResult b = persist::loadSnapshot(path, &config_);
+    if (b.status != persist::SnapshotLoadStatus::Ok) {
+        warn("concurrent restore refused: " + b.error);
+        return false;
+    }
+
+    std::lock_guard<std::mutex> lock(writerMutex_);
+    installPair(std::move(a.engine), std::move(b.engine));
+    return true;
+}
+
+void
+ConcurrentChisel::resetup()
+{
+    std::lock_guard<std::mutex> lock(writerMutex_);
+    RoutingTable table = idleImage().engine->exportTable();
+    auto a = std::make_unique<ChiselEngine>(table, config_);
+    auto b = std::make_unique<ChiselEngine>(table, config_);
+    installPair(std::move(a), std::move(b));
+}
+
+void
+ConcurrentChisel::installPair(std::unique_ptr<ChiselEngine> a,
+                              std::unique_ptr<ChiselEngine> b)
+{
+    uint64_t gen = updatesApplied_.load(std::memory_order_relaxed);
+
+    // Swap the new engine into the idle slot and flip to it: readers
+    // move from the old live image to the fresh one in one step.
+    Image &idle = idleImage();
+    idle.engine = std::move(a);
+    idle.generation.store(gen, std::memory_order_relaxed);
+    publish(idle);
+
+    // The grace period has passed: the retired image is unreferenced
+    // and its engine can be replaced outright.
+    Image &retired = idleImage();
+    retired.engine = std::move(b);
+    retired.generation.store(gen, std::memory_order_relaxed);
+}
+
+// ---- Introspection ---------------------------------------------------------
+
+size_t
+ConcurrentChisel::routeCount() const
+{
+    std::lock_guard<std::mutex> lock(writerMutex_);
+    return idleImage().engine->routeCount();
+}
+
+RobustnessCounters
+ConcurrentChisel::robustness() const
+{
+    std::lock_guard<std::mutex> lock(writerMutex_);
+    return idleImage().engine->robustness();
+}
+
+AccessCounters
+ConcurrentChisel::accessTotals() const
+{
+    AccessCounters total;
+    for (const Image &img : images_) {
+        const AccessCounters &c = img.engine->accessCounters();
+        total.lookups += c.lookups;
+        total.indexSegmentReads += c.indexSegmentReads;
+        total.filterReads += c.filterReads;
+        total.bitvectorReads += c.bitvectorReads;
+        total.resultReads += c.resultReads;
+    }
+    return total;
+}
+
+std::optional<NextHop>
+ConcurrentChisel::find(const Prefix &prefix) const
+{
+    std::lock_guard<std::mutex> lock(writerMutex_);
+    return idleImage().engine->find(prefix);
+}
+
+uint64_t
+ConcurrentChisel::updatesApplied() const
+{
+    return updatesApplied_.load(std::memory_order_relaxed);
+}
+
+bool
+ConcurrentChisel::selfCheck() const
+{
+    std::lock_guard<std::mutex> lock(writerMutex_);
+    return images_[0].engine->selfCheck() &&
+           images_[1].engine->selfCheck();
+}
+
+} // namespace chisel::concurrent

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * ConcurrentChisel: the Chisel engine under N reader threads and one
+ * logical writer, with no reader-visible stalls (docs/concurrency.md).
+ *
+ * The hardware pipeline the paper models serves lookups every cycle
+ * while the control processor rewrites tables; this wrapper gives the
+ * software model the same property.  It maintains two ChiselEngine
+ * images kept in lockstep and publishes one of them through a single
+ * atomic pointer:
+ *
+ *  - readers enter an epoch-protected critical section, load the live
+ *    pointer (acquire) and run the ordinary lookup path against an
+ *    image the writer is guaranteed not to touch.  Reader entry, the
+ *    lookup itself and exit perform no locks, no CAS, no retries —
+ *    lookups are wait-free;
+ *  - the writer applies each update to the *idle* image, stamps its
+ *    generation, flips the pointer (release), waits one epoch grace
+ *    period (all readers past the flip), then applies the same update
+ *    to the retired image so both stay identical.  Full rebuilds —
+ *    snapshot restore, resetup — construct a fresh image pair off to
+ *    the side and publish it with the same flip + grace protocol.
+ *
+ * Every published image carries a generation (the count of updates
+ * folded in), so a reader can tag each lookup with the exact table
+ * version that served it — the stress tests validate every tagged
+ * result against a trie oracle replayed to that generation.
+ *
+ * A bounded SPSC queue decouples the update producer (one BGP session
+ * feed) from the apply path: post() never blocks, and an internal
+ * control thread drains the queue in order.  A background scrubber
+ * thread walks the idle image's parity words on a configurable
+ * cadence, running recover-by-resetup off the reader critical path.
+ */
+
+#ifndef CHISEL_CONCURRENT_CONCURRENT_ENGINE_HH
+#define CHISEL_CONCURRENT_CONCURRENT_ENGINE_HH
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "concurrent/epoch.hh"
+#include "concurrent/spsc_queue.hh"
+#include "core/engine.hh"
+#include "route/updates.hh"
+
+namespace chisel::concurrent {
+
+/** A lookup result tagged with the generation that produced it. */
+struct TaggedLookup
+{
+    LookupResult result;
+
+    /** Updates folded into the image that served this lookup. */
+    uint64_t generation = 0;
+};
+
+/** Construction options for ConcurrentChisel. */
+struct ConcurrentOptions
+{
+    /** Capacity of the post() update queue (rounded up to 2^n). */
+    size_t updateQueueCapacity = 1024;
+
+    /**
+     * Start the control thread that drains post()ed updates.  Off,
+     * post() is unavailable and updates go through announce()/
+     * withdraw()/apply() directly.
+     */
+    bool controlThread = true;
+
+    /**
+     * Background scrub cadence; zero disables the scrubber thread.
+     * Each pass verifies every parity word of the idle image and
+     * recovers corrupted cells by resetup (docs/concurrency.md).
+     */
+    std::chrono::milliseconds scrubInterval{0};
+};
+
+/**
+ * Thread-safe facade over a pair of lockstep ChiselEngine images.
+ *
+ * Thread roles: any number of lookup threads; any number of threads
+ * may call the update entry points (serialized on an internal mutex);
+ * at most ONE thread may call post() (SPSC producer contract).
+ */
+class ConcurrentChisel
+{
+  public:
+    explicit ConcurrentChisel(const RoutingTable &initial,
+                              const ChiselConfig &config = {},
+                              const ConcurrentOptions &options = {});
+
+    /** Joins the control and scrubber threads; pending posts drain. */
+    ~ConcurrentChisel();
+
+    ConcurrentChisel(const ConcurrentChisel &) = delete;
+    ConcurrentChisel &operator=(const ConcurrentChisel &) = delete;
+
+    // ---- Read side (any thread, wait-free) -------------------------
+
+    /** Longest-prefix match against the live image. */
+    LookupResult lookup(const Key128 &key) const;
+
+    /** lookup() plus the generation of the image that served it. */
+    TaggedLookup lookupTagged(const Key128 &key) const;
+
+    /** Generation of the currently-live image. */
+    uint64_t generation() const;
+
+    // ---- Write side (any thread, serialized internally) ------------
+
+    /** BGP announce applied to both images; returns the live class. */
+    UpdateOutcome announce(const Prefix &prefix, NextHop next_hop);
+
+    /** BGP withdraw, likewise. */
+    UpdateOutcome withdraw(const Prefix &prefix);
+
+    /** Apply one trace update. */
+    UpdateOutcome apply(const Update &update);
+
+    // ---- Queued update path (single producer thread) ---------------
+
+    /**
+     * Enqueue an update for the control thread; false if the queue
+     * is full (back-pressure) or the control thread is disabled.
+     */
+    bool post(const Update &update);
+
+    /** Updates posted but not yet applied. */
+    size_t pendingUpdates() const;
+
+    /** Block until every update posted so far has been applied. */
+    void flush();
+
+    // ---- Scrubbing -------------------------------------------------
+
+    /**
+     * One synchronous scrub pass over BOTH images (each scrubbed
+     * while idle; the pass flips the live pointer once).  Also run
+     * periodically by the scrubber thread when enabled.
+     */
+    ScrubReport scrubNow();
+
+    /** Scrub passes completed (either path). */
+    uint64_t scrubPasses() const;
+
+    // ---- Snapshots and rebuilds ------------------------------------
+
+    /**
+     * Write a snapshot of the current state WITHOUT stalling readers:
+     * the idle image (identical to the live one) is serialized under
+     * the writer lock, so only updates wait.  @return bytes written.
+     */
+    size_t saveSnapshot(const std::string &path) const;
+
+    /**
+     * Replace the routing state from a snapshot.  The new image pair
+     * is built off to the side and published with one pointer flip;
+     * readers never observe a partially-loaded table.  @return false
+     * (state unchanged) if the snapshot does not load cleanly.
+     */
+    bool restoreFromSnapshot(const std::string &path);
+
+    /**
+     * Full resetup: rebuild both images from the current route set
+     * with capacities re-sized to the live load, publishing the new
+     * pair with one flip.  Readers see either the old table or the
+     * new one, never a construction site.
+     */
+    void resetup();
+
+    // ---- Introspection ---------------------------------------------
+
+    /** Routes currently stored. */
+    size_t routeCount() const;
+
+    /** Merged robustness counters (live image's view). */
+    RobustnessCounters robustness() const;
+
+    /**
+     * Access counters summed over both images — lookups land on
+     * whichever image was live, so the total is the sum.
+     */
+    AccessCounters accessTotals() const;
+
+    /** Exact-prefix query (serialized with updates). */
+    std::optional<NextHop> find(const Prefix &prefix) const;
+
+    /** Updates applied through this wrapper. */
+    uint64_t updatesApplied() const;
+
+    const ChiselConfig &config() const { return config_; }
+
+    /** Deep consistency check of both images (tests; takes the lock). */
+    bool selfCheck() const;
+
+  private:
+    /** One publishable engine image. */
+    struct Image
+    {
+        std::unique_ptr<ChiselEngine> engine;
+
+        /** Updates folded in; stamped before the image goes live. */
+        std::atomic<uint64_t> generation{0};
+    };
+
+    /** The image the live pointer does NOT currently reference. */
+    Image &idleImage();
+    const Image &idleImage() const;
+
+    /** Apply @p update to both images with the flip + grace protocol. */
+    UpdateOutcome applyLocked(const Update &update);
+
+    /** Flip the live pointer to @p image and wait out the readers. */
+    void publish(Image &image);
+
+    /** Install a freshly built engine pair (restore/resetup). */
+    void installPair(std::unique_ptr<ChiselEngine> a,
+                     std::unique_ptr<ChiselEngine> b);
+
+    /** Scrub the idle image once; caller holds writerMutex_. */
+    void scrubIdleLocked(ScrubReport &report);
+
+    void controlLoop();
+    void scrubLoop();
+
+    ChiselConfig config_;
+    ConcurrentOptions options_;
+
+    Image images_[2];
+    std::atomic<Image *> live_;
+
+    mutable EpochManager epochs_;
+
+    /** Serializes updates, scrubs, snapshots and rebuilds. */
+    mutable std::mutex writerMutex_;
+
+    /** Updates applied (== generation of the freshest image). */
+    std::atomic<uint64_t> updatesApplied_{0};
+    std::atomic<uint64_t> scrubPasses_{0};
+
+    SpscQueue<Update> queue_;
+    std::atomic<uint64_t> posted_{0};
+    std::atomic<uint64_t> drained_{0};
+    std::atomic<bool> stop_{false};
+    std::thread controlThread_;
+    std::thread scrubThread_;
+};
+
+} // namespace chisel::concurrent
+
+#endif // CHISEL_CONCURRENT_CONCURRENT_ENGINE_HH

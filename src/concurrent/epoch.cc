@@ -1,0 +1,81 @@
+#include "concurrent/epoch.hh"
+
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace chisel::concurrent {
+
+namespace {
+
+/** Process-wide source of manager ids (survives manager reuse at the
+ * same address, which a pointer-keyed thread cache would confuse). */
+std::atomic<uint64_t> g_nextManagerId{1};
+
+} // anonymous namespace
+
+EpochManager::EpochManager()
+    : id_(g_nextManagerId.fetch_add(1, std::memory_order_relaxed))
+{}
+
+size_t
+EpochManager::threadSlot()
+{
+    // One cached entry per thread: dataplane threads read one engine,
+    // so the common case is a single compare.  A small linear probe
+    // handles threads touching several managers.
+    struct Cached
+    {
+        uint64_t id = 0;
+        size_t slot = 0;
+    };
+    static constexpr size_t kCache = 8;
+    thread_local Cached cache[kCache];
+    thread_local size_t cached = 0;
+
+    for (size_t i = 0; i < cached; ++i) {
+        if (cache[i].id == id_)
+            return cache[i].slot;
+    }
+
+    size_t slot = nextSlot_.fetch_add(1, std::memory_order_relaxed);
+    panicIf(slot >= kMaxSlots,
+            "EpochManager: reader thread pool exhausted");
+    if (cached < kCache) {
+        cache[cached].id = id_;
+        cache[cached].slot = slot;
+        ++cached;
+    }
+    return slot;
+}
+
+void
+EpochManager::synchronize()
+{
+    // New grace period: readers entering from here stamp >= next.
+    uint64_t next = epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+
+    // Pairs with the seq_cst slot store in enter(): either the scan
+    // below sees a pre-bump reader's stamp (and waits it out), or
+    // that reader's payload loads see everything the caller published
+    // before this synchronize().
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+
+    size_t active = nextSlot_.load(std::memory_order_acquire);
+    if (active > kMaxSlots)
+        active = kMaxSlots;
+    for (size_t i = 0; i < active; ++i) {
+        unsigned spins = 0;
+        for (;;) {
+            uint64_t v = slots_[i].value.load(std::memory_order_acquire);
+            if (v == 0 || v >= next)
+                break;
+            // Reader critical sections are a handful of table reads;
+            // yield only if one is descheduled mid-section.
+            if (++spins > 64)
+                std::this_thread::yield();
+        }
+    }
+}
+
+} // namespace chisel::concurrent

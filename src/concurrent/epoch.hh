@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Epoch-based read protection and reclamation (docs/concurrency.md).
+ *
+ * ConcurrentChisel publishes whole engine images with a single atomic
+ * pointer flip; the retired image can only be reclaimed (or mutated,
+ * in the left/right scheme) once every reader that might still hold
+ * it has moved on.  EpochManager tracks that grace period:
+ *
+ *  - each reader thread owns one cache-line-padded slot.  Entering a
+ *    critical section stores the current global epoch into the slot;
+ *    leaving stores 0 (quiescent).  Both are single atomic stores —
+ *    readers never take a lock, never CAS, never spin: reader entry
+ *    and exit are wait-free;
+ *  - the writer calls synchronize(): it bumps the global epoch and
+ *    waits until every slot is quiescent or stamped with the new
+ *    epoch.  Any reader observed mid-section then provably entered
+ *    *after* the writer's preceding publications (the seq_cst fences
+ *    pair the reader's slot store with the writer's scan).
+ *
+ * The grace period is exactly "all readers past the flip": flip the
+ * pointer, synchronize(), and the old image is unreachable.
+ *
+ * Slots are a fixed pool (kMaxSlots).  A thread claims its slot on
+ * first use and keeps it for the thread's lifetime; the pool size
+ * bounds the *concurrent reader thread* count, far above any
+ * realistic dataplane core count.
+ */
+
+#ifndef CHISEL_CONCURRENT_EPOCH_HH
+#define CHISEL_CONCURRENT_EPOCH_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace chisel::concurrent {
+
+class EpochManager
+{
+  public:
+    /** Upper bound on distinct reader threads over a process life. */
+    static constexpr size_t kMaxSlots = 256;
+
+    EpochManager();
+
+    EpochManager(const EpochManager &) = delete;
+    EpochManager &operator=(const EpochManager &) = delete;
+
+    /**
+     * Enter a read-side critical section: stamps this thread's slot
+     * with the current epoch.  Must be paired with exit(); sections
+     * must not nest on one thread.  @return the slot index (passed
+     * back to exit()).
+     */
+    size_t
+    enter()
+    {
+        size_t slot = threadSlot();
+        // Publish "I am reading at epoch E" before any payload load.
+        // seq_cst pairs with the writer's fence in synchronize(): the
+        // writer either sees this store (and waits), or this thread's
+        // subsequent loads see everything published before the bump.
+        uint64_t e = epoch_.load(std::memory_order_relaxed);
+        slots_[slot].value.store(e, std::memory_order_seq_cst);
+        return slot;
+    }
+
+    /** Leave the read-side critical section entered at @p slot. */
+    void
+    exit(size_t slot)
+    {
+        // Release: orders every payload access inside the section
+        // before the quiescent mark the writer's scan acquires.
+        slots_[slot].value.store(0, std::memory_order_release);
+    }
+
+    /**
+     * Writer side: wait until every reader active at the time of the
+     * call has left its critical section.  On return, no reader holds
+     * a reference obtained before synchronize() began; objects made
+     * unreachable before the call are safe to mutate or destroy.
+     *
+     * Single caller at a time (the writer lock in ConcurrentChisel).
+     */
+    void synchronize();
+
+    /** Grace periods completed (diagnostics, tests). */
+    uint64_t
+    epoch() const
+    {
+        return epoch_.load(std::memory_order_relaxed);
+    }
+
+    /** RAII read-side section. */
+    class ReadGuard
+    {
+      public:
+        explicit ReadGuard(EpochManager &mgr)
+            : mgr_(mgr), slot_(mgr.enter())
+        {}
+
+        ~ReadGuard() { mgr_.exit(slot_); }
+
+        ReadGuard(const ReadGuard &) = delete;
+        ReadGuard &operator=(const ReadGuard &) = delete;
+
+      private:
+        EpochManager &mgr_;
+        size_t slot_;
+      };
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<uint64_t> value{0};
+    };
+
+    /** This thread's slot index in this manager (claimed on first use). */
+    size_t threadSlot();
+
+    std::atomic<uint64_t> epoch_{1};
+    std::atomic<size_t> nextSlot_{0};
+    uint64_t id_;   ///< Process-unique manager id for the slot cache.
+    Slot slots_[kMaxSlots];
+};
+
+} // namespace chisel::concurrent
+
+#endif // CHISEL_CONCURRENT_EPOCH_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Seqlock: optimistic reader / single-writer synchronization via an
+ * even/odd generation word (docs/concurrency.md).
+ *
+ * A SeqLock protects a small block of data that one writer mutates
+ * and many readers copy.  The writer bumps the sequence word to an
+ * odd value before mutating and back to even after; a reader samples
+ * the word, copies the data, and re-samples — a changed or odd word
+ * means the copy may be torn and the reader retries.  Readers never
+ * block the writer and the writer never blocks readers; reads are
+ * wait-free in practice (a retry only happens when a write overlapped
+ * the copy).
+ *
+ * ThreadSanitizer compatibility: a classic seqlock races by design —
+ * readers touch data mid-write and discard it.  TSan (correctly)
+ * reports those touches unless every protected access is atomic, so
+ * SeqLockGuarded stores its payload as an array of relaxed
+ * std::atomic<uint64_t> words and copies through them.  The payload
+ * type must be trivially copyable and is padded to whole words.
+ *
+ * Memory ordering follows the standard recipe (Boehm, "Can seqlocks
+ * get along with programming language memory models?", MSPC 2012):
+ *
+ *   writer:  seq.store(s+1, relaxed); fence(release);
+ *            ...relaxed payload stores...;
+ *            seq.store(s+2, release);
+ *   reader:  s1 = seq.load(acquire); if odd, retry;
+ *            ...relaxed payload loads...; fence(acquire);
+ *            s2 = seq.load(relaxed); if s1 != s2, retry.
+ */
+
+#ifndef CHISEL_CONCURRENT_SEQLOCK_HH
+#define CHISEL_CONCURRENT_SEQLOCK_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace chisel::concurrent {
+
+/**
+ * The bare sequence word, for callers that manage their own payload
+ * (which must then itself be accessed through atomics to stay
+ * TSan-clean).
+ */
+class SeqLock
+{
+  public:
+    /** Writer side: enter the mutation window (word goes odd). */
+    void
+    writeBegin()
+    {
+        uint32_t s = seq_.load(std::memory_order_relaxed);
+        seq_.store(s + 1, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_release);
+    }
+
+    /** Writer side: leave the mutation window (word goes even). */
+    void
+    writeEnd()
+    {
+        uint32_t s = seq_.load(std::memory_order_relaxed);
+        seq_.store(s + 1, std::memory_order_release);
+    }
+
+    /**
+     * Reader side: sample the word before copying.  An odd value
+     * means a write is in progress — spin until even.
+     */
+    uint32_t
+    readBegin() const
+    {
+        for (;;) {
+            uint32_t s = seq_.load(std::memory_order_acquire);
+            if ((s & 1u) == 0)
+                return s;
+        }
+    }
+
+    /**
+     * Reader side: true if the copy made since readBegin() returned
+     * @p start is consistent (no write overlapped it).
+     */
+    bool
+    readValidate(uint32_t start) const
+    {
+        std::atomic_thread_fence(std::memory_order_acquire);
+        return seq_.load(std::memory_order_relaxed) == start;
+    }
+
+    /** Current sequence value (diagnostics; even = quiescent). */
+    uint32_t
+    sequence() const
+    {
+        return seq_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint32_t> seq_{0};
+};
+
+/**
+ * A seqlock owning its payload: single-writer write(), many-reader
+ * read().  T must be trivially copyable.
+ */
+template <typename T>
+class SeqLockGuarded
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "seqlock payloads are copied bytewise");
+
+  public:
+    SeqLockGuarded() { storeWords(T{}); }
+
+    explicit SeqLockGuarded(const T &initial) { storeWords(initial); }
+
+    /** Writer side (one writer at a time). */
+    void
+    write(const T &value)
+    {
+        lock_.writeBegin();
+        storeWords(value);
+        lock_.writeEnd();
+    }
+
+    /** Reader side: returns a consistent copy, retrying torn reads. */
+    T
+    read() const
+    {
+        for (;;) {
+            uint32_t s = lock_.readBegin();
+            T out = loadWords();
+            if (lock_.readValidate(s))
+                return out;
+        }
+    }
+
+    /**
+     * Reader side, bounded: attempt one optimistic copy.  Returns
+     * false (leaving @p out untouched) if a write overlapped — for
+     * callers that prefer skipping to spinning.
+     */
+    bool
+    tryRead(T &out) const
+    {
+        uint32_t s = lock_.readBegin();
+        T copy = loadWords();
+        if (!lock_.readValidate(s))
+            return false;
+        out = copy;
+        return true;
+    }
+
+    /** Writes completed so far (diagnostics). */
+    uint32_t sequence() const { return lock_.sequence(); }
+
+  private:
+    static constexpr size_t kWords = (sizeof(T) + 7) / 8;
+
+    void
+    storeWords(const T &value)
+    {
+        uint64_t raw[kWords] = {};
+        std::memcpy(raw, &value, sizeof(T));
+        for (size_t i = 0; i < kWords; ++i)
+            words_[i].store(raw[i], std::memory_order_relaxed);
+    }
+
+    T
+    loadWords() const
+    {
+        uint64_t raw[kWords];
+        for (size_t i = 0; i < kWords; ++i)
+            raw[i] = words_[i].load(std::memory_order_relaxed);
+        T out;
+        std::memcpy(&out, raw, sizeof(T));
+        return out;
+    }
+
+    SeqLock lock_;
+    std::atomic<uint64_t> words_[kWords];
+};
+
+} // namespace chisel::concurrent
+
+#endif // CHISEL_CONCURRENT_SEQLOCK_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Bounded single-producer / single-consumer ring buffer.
+ *
+ * The control plane feeds announce/withdraw through this queue: a BGP
+ * session (producer) posts updates without blocking on the engine's
+ * write path, and the engine's control thread (consumer) drains them
+ * in order.  Bounded capacity gives natural back-pressure — a full
+ * queue rejects the post and the producer decides whether to retry,
+ * coalesce, or shed, rather than the queue growing without limit
+ * under an update storm (the same bounded-over-silent-growth policy
+ * as the slow-path map, docs/robustness.md).
+ *
+ * Lock-free and wait-free on both sides: one atomic load + one store
+ * per operation, with head/tail on separate cache lines.  Exactly one
+ * producer thread and one consumer thread; neither may be shared.
+ */
+
+#ifndef CHISEL_CONCURRENT_SPSC_QUEUE_HH
+#define CHISEL_CONCURRENT_SPSC_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace chisel::concurrent {
+
+template <typename T>
+class SpscQueue
+{
+  public:
+    /** @param capacity Maximum queued items (rounded up to 2^n). */
+    explicit SpscQueue(size_t capacity)
+    {
+        size_t cap = 2;
+        while (cap < capacity)
+            cap *= 2;
+        buffer_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    SpscQueue(const SpscQueue &) = delete;
+    SpscQueue &operator=(const SpscQueue &) = delete;
+
+    /** Producer: enqueue @p item; false if the queue is full. */
+    bool
+    push(const T &item)
+    {
+        size_t tail = tail_.load(std::memory_order_relaxed);
+        size_t head = headCache_;
+        if (tail - head > mask_) {
+            headCache_ = head = head_.load(std::memory_order_acquire);
+            if (tail - head > mask_)
+                return false;
+        }
+        buffer_[tail & mask_] = item;
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer: dequeue the oldest item, or nullopt when empty. */
+    std::optional<T>
+    pop()
+    {
+        size_t head = head_.load(std::memory_order_relaxed);
+        size_t tail = tailCache_;
+        if (head == tail) {
+            tailCache_ = tail = tail_.load(std::memory_order_acquire);
+            if (head == tail)
+                return std::nullopt;
+        }
+        T out = buffer_[head & mask_];
+        head_.store(head + 1, std::memory_order_release);
+        return out;
+    }
+
+    /** Items currently queued (approximate across threads). */
+    size_t
+    size() const
+    {
+        size_t tail = tail_.load(std::memory_order_acquire);
+        size_t head = head_.load(std::memory_order_acquire);
+        return tail - head;
+    }
+
+    bool empty() const { return size() == 0; }
+
+    /** Usable capacity. */
+    size_t capacity() const { return mask_ + 1; }
+
+  private:
+    std::vector<T> buffer_;
+    size_t mask_ = 0;
+
+    alignas(64) std::atomic<size_t> head_{0};
+    /** Consumer-private copy of tail_ (saves an acquire per pop). */
+    alignas(64) size_t tailCache_ = 0;
+    alignas(64) std::atomic<size_t> tail_{0};
+    /** Producer-private copy of head_ (saves an acquire per push). */
+    alignas(64) size_t headCache_ = 0;
+};
+
+} // namespace chisel::concurrent
+
+#endif // CHISEL_CONCURRENT_SPSC_QUEUE_HH

@@ -518,6 +518,39 @@ ChiselEngine::purgeDirty()
     return purged;
 }
 
+ScrubReport
+ChiselEngine::scrub()
+{
+    ScrubReport report;
+
+    // Result Table first: a bad word there does not name its owning
+    // cell, but recover-by-resetup rewrites every allocated result
+    // word from the shadow copy, so recovering all cells scrubs it.
+    bool resultsBad = false;
+    uint64_t high = results_.highWater();
+    report.wordsChecked += high;
+    for (uint32_t addr = 0; addr < high; ++addr) {
+        if (!results_.parityOk(addr)) {
+            ++report.errorsFound;
+            resultsBad = true;
+        }
+    }
+
+    UpdateOutcome out;
+    for (auto &cell : cells_) {
+        report.wordsChecked += cell->parityWordCount();
+        size_t bad = cell->verifyParity();
+        report.errorsFound += bad;
+        if (bad > 0 || resultsBad || cell->parityPending()) {
+            std::vector<Route> displaced;
+            cell->recoverParity(displaced);
+            absorbDisplaced(displaced, out);
+            ++report.cellsRecovered;
+        }
+    }
+    return report;
+}
+
 bool
 ChiselEngine::selfCheck() const
 {

@@ -26,6 +26,7 @@
 #include <optional>
 #include <vector>
 
+#include "concurrent/relaxed.hh"
 #include "core/collapse.hh"
 #include "core/result_table.hh"
 #include "core/slowpath.hh"
@@ -135,32 +136,35 @@ struct LookupResult
 
 /**
  * Engine-wide robustness counters (docs/robustness.md): how often
- * each rung of the degradation ladder was exercised.
+ * each rung of the degradation ladder was exercised.  Relaxed atomics
+ * so concurrent readers and stat exporters never race the writer.
  */
 struct RobustnessCounters
 {
-    uint64_t rejectedUpdates = 0;   ///< Malformed updates refused.
-    uint64_t tcamOverflows = 0;     ///< Spill TCAM inserts refused.
-    uint64_t slowPathInserts = 0;   ///< Routes diverted to software.
-    uint64_t slowPathDrains = 0;    ///< Routes drained back to TCAM.
-    uint64_t slowPathRejected = 0;  ///< Routes dropped: slow path full.
-    uint64_t setupRetries = 0;      ///< Index reseed-retry attempts.
-    uint64_t parityDetected = 0;    ///< Lookups served soft.
-    uint64_t parityRecoveries = 0;  ///< Cell recover-by-resetup runs.
+    concurrent::RelaxedU64 rejectedUpdates;  ///< Malformed updates refused.
+    concurrent::RelaxedU64 tcamOverflows;    ///< Spill TCAM inserts refused.
+    concurrent::RelaxedU64 slowPathInserts;  ///< Routes diverted to software.
+    concurrent::RelaxedU64 slowPathDrains;   ///< Routes drained back to TCAM.
+    concurrent::RelaxedU64 slowPathRejected; ///< Routes dropped: slow path full.
+    concurrent::RelaxedU64 setupRetries;     ///< Index reseed-retry attempts.
+    concurrent::RelaxedU64 parityDetected;   ///< Lookups served soft.
+    concurrent::RelaxedU64 parityRecoveries; ///< Cell recover-by-resetup runs.
 };
 
 /**
  * Memory-access counters accumulated across lookups — the measured
  * input to the power model (every sub-cell's tables are touched on
- * every lookup; the Result Table only on a hit).
+ * every lookup; the Result Table only on a hit).  Lookups run from
+ * any number of threads, so the tallies are relaxed atomics
+ * (docs/concurrency.md).
  */
 struct AccessCounters
 {
-    uint64_t lookups = 0;
-    uint64_t indexSegmentReads = 0;   ///< k per sub-cell per lookup.
-    uint64_t filterReads = 0;         ///< 1 per sub-cell per lookup.
-    uint64_t bitvectorReads = 0;      ///< 1 per sub-cell per lookup.
-    uint64_t resultReads = 0;         ///< 1 per hit (off-chip).
+    concurrent::RelaxedU64 lookups;
+    concurrent::RelaxedU64 indexSegmentReads; ///< k per sub-cell per lookup.
+    concurrent::RelaxedU64 filterReads;       ///< 1 per sub-cell per lookup.
+    concurrent::RelaxedU64 bitvectorReads;    ///< 1 per sub-cell per lookup.
+    concurrent::RelaxedU64 resultReads;       ///< 1 per hit (off-chip).
 
     uint64_t
     onChipTotal() const
@@ -169,10 +173,18 @@ struct AccessCounters
     }
 };
 
+/** Results of one background scrub pass (docs/concurrency.md). */
+struct ScrubReport
+{
+    uint64_t wordsChecked = 0;    ///< Parity words verified.
+    uint64_t errorsFound = 0;     ///< Words failing their check.
+    uint64_t cellsRecovered = 0;  ///< Cells run through resetup.
+};
+
 /** Counters over the Figure 14 update categories. */
 struct UpdateStats
 {
-    std::array<uint64_t, 8> counts{};
+    std::array<concurrent::RelaxedU64, 8> counts{};
 
     void
     record(UpdateClass c)
@@ -287,6 +299,17 @@ class ChiselEngine
 
     /** Purge dirty groups in every cell (a "resetup" housekeeping). */
     size_t purgeDirty();
+
+    /**
+     * One full scrub pass (docs/concurrency.md): verify every parity
+     * word in every sub-cell's Index/Filter/Bit-vector image and the
+     * shared Result Table, then run recover-by-resetup on any cell
+     * that failed — proactively, instead of waiting for a lookup to
+     * trip over the corruption.  Mutates on recovery, so callers must
+     * hold the same exclusion as announce()/withdraw() (the
+     * concurrent wrapper scrubs the idle instance only).
+     */
+    ScrubReport scrub();
 
     size_t cellCount() const { return cells_.size(); }
     const SubCell &cell(size_t i) const { return *cells_[i]; }

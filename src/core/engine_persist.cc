@@ -245,7 +245,7 @@ ChiselEngine::restoreState(const ChiselConfig &config,
     if (have_default)
         engine->defaultRoute_ = default_hop;
 
-    for (uint64_t &c : engine->updateStats_.counts)
+    for (auto &c : engine->updateStats_.counts)
         c = dec.u64();
 
     engine->robust_.rejectedUpdates = dec.u64();

@@ -259,6 +259,27 @@ SubCell::recoverParity(std::vector<Route> &displaced)
     }
 }
 
+size_t
+SubCell::verifyParity() const
+{
+    size_t bad = 0;
+    for (size_t s = 0; s < index_.slots(); ++s) {
+        if (!index_.parityOk(s))
+            ++bad;
+    }
+    for (uint32_t s = 0; s < config_.capacity; ++s) {
+        if (!filter_.parityOk(s))
+            ++bad;
+        if (!bitvec_.parityOk(s))
+            ++bad;
+    }
+    if (bad > 0) {
+        faults_.parityDetected += bad;
+        parityPending_ = true;
+    }
+    return bad;
+}
+
 void
 SubCell::corruptIndexBit(fault::FaultInjector &injector)
 {

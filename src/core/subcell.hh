@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bloom/bloomier.hh"
+#include "concurrent/relaxed.hh"
 #include "core/bitvector_table.hh"
 #include "core/collapse.hh"
 #include "core/filter_table.hh"
@@ -215,12 +216,16 @@ class SubCell
         return index_.partitionSlots();
     }
 
-    /** Robustness counters (soft errors, retries) since construction. */
+    /**
+     * Robustness counters (soft errors, retries) since construction.
+     * Relaxed atomics: concurrent lookups bump parityDetected from
+     * any reader thread (docs/concurrency.md).
+     */
     struct FaultCounters
     {
-        uint64_t parityDetected = 0;    ///< Lookups served soft.
-        uint64_t parityRecoveries = 0;  ///< recoverParity() runs.
-        uint64_t setupRetries = 0;      ///< Reseed-retry attempts.
+        concurrent::RelaxedU64 parityDetected;   ///< Lookups served soft.
+        concurrent::RelaxedU64 parityRecoveries; ///< recoverParity() runs.
+        concurrent::RelaxedU64 setupRetries;     ///< Reseed-retry attempts.
     };
 
     const FaultCounters &faultCounters() const { return faults_; }
@@ -230,6 +235,22 @@ class SubCell
      * recovery; the engine runs recoverParity() at its next update.
      */
     bool parityPending() const { return parityPending_; }
+
+    /**
+     * Walk every parity word of this cell's Index, Filter and
+     * Bit-vector images, flagging the cell for recovery if any check
+     * fails — the read side of the background scrubber
+     * (docs/concurrency.md).  Const: only counters and the pending
+     * flag (both atomic) change.  @return parity words that failed.
+     */
+    size_t verifyParity() const;
+
+    /** Parity words a verifyParity() pass checks. */
+    size_t
+    parityWordCount() const
+    {
+        return index_.slots() + 2 * config_.capacity;
+    }
 
     /**
      * Recover-by-resetup: re-derive every hardware word (Index,
@@ -330,7 +351,7 @@ class SubCell
     WriteCounters writes_;
     /** Mutable: lookups (const) detect soft errors and flag them. */
     mutable FaultCounters faults_;
-    mutable bool parityPending_ = false;
+    mutable concurrent::RelaxedFlag parityPending_;
 };
 
 } // namespace chisel

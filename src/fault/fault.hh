@@ -33,10 +33,12 @@
 #define CHISEL_FAULT_FAULT_HH
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
 #include "common/random.hh"
+#include "concurrent/relaxed.hh"
 
 #ifndef CHISEL_FAULT_INJECTION_ENABLED
 #define CHISEL_FAULT_INJECTION_ENABLED 1
@@ -107,17 +109,28 @@ constexpr size_t kFaultPointCount =
 const char *faultPointName(FaultPoint p);
 
 /**
- * Per-thread fault decision engine.
+ * Fault decision engine, shareable across threads.
  *
  * Each point is disarmed until arm()ed with a firing probability and
- * an optional budget of firings.  Decisions consume the injector's
- * private Rng in poll order, so a fixed seed plus a fixed workload
- * reproduces the exact same fault schedule.
+ * an optional budget of firings.  Decisions consume a PRNG in poll
+ * order, so a fixed seed plus a fixed workload reproduces the exact
+ * same fault schedule.
+ *
+ * Thread safety (docs/concurrency.md): one injector may be installed
+ * on several threads at once.  Each thread draws from its own PRNG
+ * stream, seeded `seed ^ (ordinal * golden_ratio)` where the ordinal
+ * counts the order in which threads first touched this injector —
+ * the first thread's stream is therefore byte-identical to the old
+ * single-threaded injector, and every thread's schedule is
+ * reproducible as long as the set of polling threads and their
+ * per-thread poll orders are (cross-thread interleaving never mixes
+ * streams).  Arm state and counters are atomics; polls and fires
+ * tally across all threads.
  */
 class FaultInjector
 {
   public:
-    explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+    explicit FaultInjector(uint64_t seed);
 
     /**
      * Arm @p point: each poll fires with probability @p probability;
@@ -128,9 +141,10 @@ class FaultInjector
     arm(FaultPoint point, double probability, uint64_t max_fires = 0)
     {
         State &s = state(point);
-        s.armed = true;
-        s.probability = probability;
+        s.probability.store(probability, std::memory_order_relaxed);
         s.maxFires = max_fires;
+        // Armed last: a poll that sees armed also sees the params.
+        s.armed.store(true, std::memory_order_release);
     }
 
     /** Disarm @p point (counters are retained). */
@@ -145,11 +159,13 @@ class FaultInjector
     {
         State &s = state(point);
         ++s.polls;
-        if (!s.armed)
+        if (!s.armed.load(std::memory_order_acquire))
             return false;
-        if (s.maxFires != 0 && s.fires >= s.maxFires)
+        uint64_t budget = s.maxFires;
+        if (budget != 0 && s.fires >= budget)
             return false;
-        if (!rng_.nextBool(s.probability))
+        if (!threadRng().nextBool(
+                s.probability.load(std::memory_order_relaxed)))
             return false;
         ++s.fires;
         return true;
@@ -159,7 +175,7 @@ class FaultInjector
      * Deterministic choice in [0, bound) for a firing fault's target
      * (which slot, which bit).  @p bound must be > 0.
      */
-    uint64_t draw(uint64_t bound) { return rng_.nextBelow(bound); }
+    uint64_t draw(uint64_t bound) { return threadRng().nextBelow(bound); }
 
     /** Polls of @p point so far (armed or not). */
     uint64_t polls(FaultPoint point) const
@@ -176,14 +192,17 @@ class FaultInjector
     /** Firings across all points. */
     uint64_t totalFires() const;
 
+    /** This thread's ordinal for this injector (0 = first toucher). */
+    uint64_t threadOrdinal();
+
   private:
     struct State
     {
-        bool armed = false;
-        double probability = 0.0;
-        uint64_t maxFires = 0;
-        uint64_t polls = 0;
-        uint64_t fires = 0;
+        concurrent::RelaxedFlag armed;
+        std::atomic<double> probability{0.0};
+        concurrent::RelaxedU64 maxFires;
+        concurrent::RelaxedU64 polls;
+        concurrent::RelaxedU64 fires;
     };
 
     State &state(FaultPoint p)
@@ -195,7 +214,12 @@ class FaultInjector
         return states_[static_cast<size_t>(p)];
     }
 
-    Rng rng_;
+    /** This thread's PRNG stream for this injector. */
+    Rng &threadRng();
+
+    uint64_t seed_;
+    uint64_t id_;   ///< Process-unique, keys the thread stream cache.
+    std::atomic<uint64_t> nextOrdinal_{0};
     std::array<State, kFaultPointCount> states_{};
 };
 

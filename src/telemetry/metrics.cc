@@ -32,51 +32,66 @@ Pow2Histogram::bucketUpperBound(size_t i)
 void
 Pow2Histogram::sample(uint64_t value)
 {
-    ++buckets_[bucketFor(value)];
-    ++count_;
-    sum_ += value;
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
+    buckets_[bucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    // CAS loops: concurrent samplers race to tighten the extrema and
+    // only ever make them more extreme, so losing a round is benign.
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !min_.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !max_.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
 }
 
 double
 Pow2Histogram::mean() const
 {
-    if (count_ == 0)
+    uint64_t n = count();
+    if (n == 0)
         return 0.0;
-    return static_cast<double>(sum_) / static_cast<double>(count_);
+    return static_cast<double>(sum()) / static_cast<double>(n);
 }
 
 uint64_t
 Pow2Histogram::quantile(double q) const
 {
-    if (count_ == 0)
+    uint64_t n = count();
+    if (n == 0)
         return 0;
+    uint64_t lo = min(), hi = max();
     if (q <= 0.0)
-        return min_;
+        return lo;
     if (q >= 1.0)
-        return max_;
+        return hi;
     // Smallest rank whose cumulative mass reaches q of the samples.
     uint64_t want = static_cast<uint64_t>(
-        std::ceil(q * static_cast<double>(count_)));
+        std::ceil(q * static_cast<double>(n)));
     want = std::max<uint64_t>(want, 1);
     uint64_t acc = 0;
     for (size_t i = 0; i < kBuckets; ++i) {
-        acc += buckets_[i];
+        acc += bucketCount(i);
         if (acc >= want)
-            return std::clamp(bucketUpperBound(i), min_, max_);
+            return std::clamp(bucketUpperBound(i), lo, hi);
     }
-    return max_;   // Unreachable: acc == count_ after the loop.
+    return hi;   // Reached only if a sampler raced the scan.
 }
 
 void
 Pow2Histogram::reset()
 {
-    buckets_.fill(0);
-    count_ = 0;
-    sum_ = 0;
-    min_ = std::numeric_limits<uint64_t>::max();
-    max_ = 0;
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<uint64_t>::max(),
+               std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
 }
 
 // ---- MetricRegistry --------------------------------------------------------

@@ -23,6 +23,7 @@
 #define CHISEL_TELEMETRY_METRICS_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
@@ -33,32 +34,59 @@
 
 namespace chisel::telemetry {
 
-/** Monotonically increasing event count. */
+/**
+ * Monotonically increasing event count.  Thread-safe: increments are
+ * relaxed atomic fetch-adds, so any thread may bump any counter;
+ * exporters read with acquire to observe values published before the
+ * snapshot began (docs/concurrency.md).
+ */
 class Counter
 {
   public:
-    void inc(uint64_t n = 1) { value_ += n; }
-    uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    void inc(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_acquire);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
 
   private:
-    uint64_t value_ = 0;
+    std::atomic<uint64_t> value_{0};
 };
 
-/** Last-written instantaneous value (occupancy, sizes, ratios). */
+/**
+ * Last-written instantaneous value (occupancy, sizes, ratios).
+ * Thread-safe: set/read are atomic (last writer wins).
+ */
 class Gauge
 {
   public:
-    void set(double v) { value_ = v; }
-    double value() const { return value_; }
-    void reset() { value_ = 0.0; }
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    double value() const
+    {
+        return value_.load(std::memory_order_acquire);
+    }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
   private:
-    double value_ = 0.0;
+    std::atomic<double> value_{0.0};
 };
 
 /**
  * Histogram with power-of-two buckets and quantile estimation.
+ * Thread-safe: sample() uses relaxed fetch-adds on the buckets and
+ * CAS loops for min/max, so concurrent samplers never lose counts.
+ * A snapshot taken while samplers run may see a sample in count()
+ * before its bucket (or vice versa) — each individual value is
+ * exact, the cross-field view settles once samplers pause, and
+ * quantiles clamp to [min, max] regardless.
  */
 class Pow2Histogram
 {
@@ -68,10 +96,26 @@ class Pow2Histogram
 
     void sample(uint64_t value);
 
-    uint64_t count() const { return count_; }
-    uint64_t sum() const { return sum_; }
-    uint64_t min() const { return count_ ? min_ : 0; }
-    uint64_t max() const { return count_ ? max_ : 0; }
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_acquire);
+    }
+
+    uint64_t sum() const
+    {
+        return sum_.load(std::memory_order_acquire);
+    }
+
+    uint64_t min() const
+    {
+        return count() ? min_.load(std::memory_order_acquire) : 0;
+    }
+
+    uint64_t max() const
+    {
+        return count() ? max_.load(std::memory_order_acquire) : 0;
+    }
+
     double mean() const;
 
     /** Bucket index a value lands in (0 for value 0). */
@@ -80,7 +124,10 @@ class Pow2Histogram
     /** Inclusive upper bound of bucket @p i. */
     static uint64_t bucketUpperBound(size_t i);
 
-    uint64_t bucketCount(size_t i) const { return buckets_[i]; }
+    uint64_t bucketCount(size_t i) const
+    {
+        return buckets_[i].load(std::memory_order_acquire);
+    }
 
     /**
      * Value v such that at least a fraction @p q of the samples are
@@ -93,11 +140,11 @@ class Pow2Histogram
     void reset();
 
   private:
-    std::array<uint64_t, kBuckets> buckets_{};
-    uint64_t count_ = 0;
-    uint64_t sum_ = 0;
-    uint64_t min_ = std::numeric_limits<uint64_t>::max();
-    uint64_t max_ = 0;
+    std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> min_{std::numeric_limits<uint64_t>::max()};
+    std::atomic<uint64_t> max_{0};
 };
 
 /**
