@@ -26,6 +26,14 @@
  *                           is the only durable record of those updates)
  *     --routes=<n>          synthetic table size (default 80000)
  *     --updates=<n>         synthetic trace length (default 300000)
+ *
+ * Robustness options (docs/robustness.md):
+ *     --flap-storm          synthesize a flap-storm trace: a Zipf-hot
+ *                           set of prefixes cycling announce/withdraw
+ *     --dirty-budget=<n>    per-cell dirty-group retention budget
+ *                           (decay-ordered eviction above it; 0 = off)
+ *     --purge-every=<n>     purgeDirty() every n applied updates,
+ *                           journaled as a Housekeeping record
  */
 
 #include <csignal>
@@ -36,6 +44,7 @@
 #include <memory>
 
 #include "core/engine.hh"
+#include "health/monitor.hh"
 #include "persist/journal.hh"
 #include "persist/recovery.hh"
 #include "persist/snapshot.hh"
@@ -61,6 +70,9 @@ struct ReplayOptions
     bool recover = false;
     size_t routes = 80000;
     size_t updates = 300000;
+    bool flapStorm = false;
+    uint64_t dirtyBudget = 0;
+    uint64_t purgeEvery = 0;      // 0 = never.
 
     /** Strip the persistence flags from @p argv, like
      *  TelemetryOptions::parse does for the telemetry ones. */
@@ -93,6 +105,12 @@ struct ReplayOptions
                 opts.routes = std::strtoull(v, nullptr, 10);
             else if (const char *v = value("--updates="))
                 opts.updates = std::strtoull(v, nullptr, 10);
+            else if (arg == "--flap-storm")
+                opts.flapStorm = true;
+            else if (const char *v = value("--dirty-budget="))
+                opts.dirtyBudget = std::strtoull(v, nullptr, 10);
+            else if (const char *v = value("--purge-every="))
+                opts.purgeEvery = std::strtoull(v, nullptr, 10);
             else
                 argv[out++] = argv[i];
         }
@@ -151,6 +169,7 @@ main(int argc, char **argv)
         trace = readTrace(in, &report);
     } else {
         auto prof = standardTraceProfiles()[0];   // rrc00.
+        prof.flapStorm = popts.flapStorm;
         UpdateTraceGenerator gen(table, prof, 32, 43);
         trace = gen.generate(popts.updates);
     }
@@ -166,6 +185,7 @@ main(int argc, char **argv)
     }
 
     ChiselConfig config;
+    config.dirtyBudgetPerCell = popts.dirtyBudget;
     std::unique_ptr<ChiselEngine> engine;
     size_t start = 0;   // First trace index still to apply.
 
@@ -245,6 +265,60 @@ main(int argc, char **argv)
             popts.journalPath, configFingerprint(config),
             popts.fsyncEvery);
 
+    auto journalPurge = [&] {
+        if (journal)
+            journal->appendHousekeeping(
+                persist::JournalRecord::HousekeepingKind::PurgeDirty);
+    };
+
+    // Health-state machine, sampled on a fixed update cadence.  The
+    // single-image replay executes the cheap rungs itself (purge,
+    // scrub) and reports the rebuild rungs as unavailable.
+    health::HealthMonitor hmon;
+    struct
+    {
+        uint64_t tcam = 0, retries = 0, parity = 0, rejectedSlow = 0;
+    } hbase;
+    size_t purged = 0;
+    auto sampleHealth = [&] {
+        health::HealthSignals sig;
+        RobustnessCounters hc = engine->robustness();
+        if (config.slowPathCapacity > 0)
+            sig.slowPathOccupancy =
+                double(engine->slowPathCount()) /
+                double(config.slowPathCapacity);
+        if (config.dirtyBudgetPerCell > 0)
+            sig.dirtyOccupancy =
+                double(engine->dirtyCount()) /
+                (double(config.dirtyBudgetPerCell) *
+                 double(engine->cellCount()));
+        sig.tcamOverflows = hc.tcamOverflows - hbase.tcam;
+        sig.setupRetries = hc.setupRetries - hbase.retries;
+        sig.parityRecoveries = hc.parityRecoveries - hbase.parity;
+        sig.slowPathRejected =
+            hc.slowPathRejected - hbase.rejectedSlow;
+        hbase = {hc.tcamOverflows, hc.setupRetries,
+                 hc.parityRecoveries, hc.slowPathRejected};
+        hmon.sample(sig);
+        health::RecoveryAction action = hmon.takeAction();
+        switch (action) {
+          case health::RecoveryAction::PurgeDirty:
+            purged += engine->purgeDirty();
+            journalPurge();
+            hmon.actionCompleted(action, true);
+            break;
+          case health::RecoveryAction::Scrub:
+            engine->scrub();
+            hmon.actionCompleted(action, true);
+            break;
+          case health::RecoveryAction::None:
+            break;
+          default:
+            hmon.actionCompleted(action, false);
+            break;
+        }
+    };
+
     StopWatch watch;
     size_t rejected = 0;
     uint64_t applied = 0;
@@ -283,6 +357,12 @@ main(int argc, char **argv)
             if (journal)
                 journal->appendSnapshotMark(covered);
         }
+        if (popts.purgeEvery != 0 && applied % popts.purgeEvery == 0) {
+            purged += engine->purgeDirty();
+            journalPurge();
+        }
+        if (applied % 1024 == 0)
+            sampleHealth();
     }
     if (journal)
         journal->sync();
@@ -350,6 +430,17 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(rc.slowPathDrains),
                 static_cast<unsigned long long>(rc.setupRetries),
                 static_cast<unsigned long long>(rc.parityRecoveries));
+    std::printf("Health: end state %s, %llu transitions, %llu "
+                "samples; dirty %zu now / %zu peak, %zu purged, "
+                "%llu budget-evicted, %llu suppressed flaps\n",
+                hmon.stateName(),
+                static_cast<unsigned long long>(hmon.transitions()),
+                static_cast<unsigned long long>(hmon.samples()),
+                engine->dirtyCount(), engine->dirtyPeak(), purged,
+                static_cast<unsigned long long>(rc.dirtyEvictions),
+                static_cast<unsigned long long>(rc.suppressedFlaps));
+    if (session.enabled())
+        hmon.publish(session.registry());
     if (rejected > 0)
         std::printf("Rejected updates during replay: %zu\n", rejected);
     if (journal)

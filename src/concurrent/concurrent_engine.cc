@@ -1,8 +1,10 @@
 #include "concurrent/concurrent_engine.hh"
 
+#include <optional>
 #include <utility>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "persist/snapshot.hh"
 
 namespace chisel::concurrent {
@@ -11,7 +13,9 @@ ConcurrentChisel::ConcurrentChisel(const RoutingTable &initial,
                                    const ChiselConfig &config,
                                    const ConcurrentOptions &options)
     : config_(config), options_(options),
-      queue_(options.updateQueueCapacity)
+      queue_(options.updateQueueCapacity),
+      admission_(options.admission, queue_.capacity()),
+      monitor_(options.health)
 {
     // Both images are built from the same table with the same config
     // and seed, so they are identical by construction; the update
@@ -94,6 +98,10 @@ ConcurrentChisel::publish(Image &image)
 UpdateOutcome
 ConcurrentChisel::applyLocked(const Update &update)
 {
+    // Watchdog stamp: a hang anywhere below trips the health monitor
+    // past its hysteresis straight into Quarantined.
+    monitor_.beginUpdate();
+
     Image &idle = idleImage();
 
     // 1. Mutate the image no reader can see.
@@ -115,6 +123,7 @@ ConcurrentChisel::applyLocked(const Update &update)
     retired.engine->apply(update);
     retired.generation.store(gen, std::memory_order_relaxed);
 
+    monitor_.endUpdate();
     return outcome;
 }
 
@@ -144,10 +153,41 @@ ConcurrentChisel::post(const Update &update)
 {
     if (!options_.controlThread)
         return false;
-    if (!queue_.push(update))
-        return false;
-    posted_.fetch_add(1, std::memory_order_release);
-    return true;
+
+    if (!admission_.enabled()) {
+        if (!queue_.push(update))
+            return false;
+        posted_.fetch_add(1, std::memory_order_release);
+        return true;
+    }
+
+    switch (admission_.offer(update, queue_.size())) {
+      case health::AdmissionDecision::Enqueue:
+        if (queue_.push(update))
+            posted_.fetch_add(1, std::memory_order_release);
+        else
+            admission_.stage(update);   // Raced to full: park it.
+        break;
+      case health::AdmissionDecision::Deferred:
+      case health::AdmissionDecision::Coalesced:
+        break;
+    }
+    pumpStaged(false);
+    return true;   // Admission never drops: queued or staged.
+}
+
+void
+ConcurrentChisel::pumpStaged(bool force)
+{
+    size_t depth = queue_.size();
+    size_t cap = queue_.capacity();
+    size_t room = depth < cap ? cap - depth : 0;
+    for (const Update &u : admission_.drain(depth, room, force)) {
+        if (queue_.push(u))
+            posted_.fetch_add(1, std::memory_order_release);
+        else
+            admission_.stage(u);   // Queue refilled under us: re-park.
+    }
 }
 
 size_t
@@ -161,6 +201,14 @@ ConcurrentChisel::pendingUpdates() const
 void
 ConcurrentChisel::flush()
 {
+    // Force the stage out first; the queue may not have room for all
+    // of it at once, so alternate pumping with waiting for the drain.
+    while (admission_.stagedCount() > 0) {
+        pumpStaged(true);
+        uint64_t target = posted_.load(std::memory_order_acquire);
+        while (drained_.load(std::memory_order_acquire) < target)
+            std::this_thread::yield();
+    }
     uint64_t target = posted_.load(std::memory_order_acquire);
     while (drained_.load(std::memory_order_acquire) < target)
         std::this_thread::yield();
@@ -169,6 +217,15 @@ ConcurrentChisel::flush()
 void
 ConcurrentChisel::controlLoop()
 {
+    // Chaos runs arm faults on the queued apply path only: the
+    // injector lives in this thread's slot, readers stay clean.
+    std::optional<fault::ScopedInjector> inject;
+    if (options_.controlFaultInjector != nullptr)
+        inject.emplace(options_.controlFaultInjector);
+
+    auto next_health =
+        std::chrono::steady_clock::now() + options_.healthInterval;
+
     for (;;) {
         std::optional<Update> update = queue_.pop();
         if (!update) {
@@ -177,13 +234,21 @@ ConcurrentChisel::controlLoop()
             // Idle: updates are bursty (BGP storms), so sleep rather
             // than burn a core between bursts.
             std::this_thread::sleep_for(std::chrono::microseconds(50));
-            continue;
+        } else {
+            {
+                std::lock_guard<std::mutex> lock(writerMutex_);
+                applyLocked(*update);
+            }
+            drained_.fetch_add(1, std::memory_order_release);
         }
-        {
-            std::lock_guard<std::mutex> lock(writerMutex_);
-            applyLocked(*update);
+
+        if (options_.healthMonitor) {
+            auto now = std::chrono::steady_clock::now();
+            if (now >= next_health) {
+                healthTick();
+                next_health = now + options_.healthInterval;
+            }
         }
-        drained_.fetch_add(1, std::memory_order_release);
     }
 }
 
@@ -240,6 +305,104 @@ ConcurrentChisel::scrubLoop()
         std::this_thread::sleep_for(slice);
         remaining -= slice;
     }
+}
+
+// ---- Health ----------------------------------------------------------------
+
+size_t
+ConcurrentChisel::purgeDirtyNow()
+{
+    std::lock_guard<std::mutex> lock(writerMutex_);
+
+    // Same choreography as scrubNow: mutate the idle image, flip,
+    // then mutate the other while it is idle — readers never observe
+    // a half-purged table.
+    Image &idle = idleImage();
+    size_t purged = idle.engine->purgeDirty();
+    idle.generation.store(updatesApplied_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    publish(idle);
+    idleImage().engine->purgeDirty();
+    return purged;
+}
+
+health::HealthSignals
+ConcurrentChisel::collectSignals()
+{
+    health::HealthSignals sig;
+    sig.queueOccupancy =
+        double(queue_.size()) / double(queue_.capacity());
+    sig.shedEvents = admission_.counters().shedEvents.load();
+    sig.watchdogExpired = monitor_.watchdogExpired();
+
+    RobustnessCounters r;
+    {
+        std::lock_guard<std::mutex> lock(writerMutex_);
+        const ChiselEngine &engine = *idleImage().engine;
+        r = engine.robustness();
+        if (config_.slowPathCapacity > 0)
+            sig.slowPathOccupancy = double(engine.slowPathCount()) /
+                                    double(config_.slowPathCapacity);
+        if (config_.dirtyBudgetPerCell > 0) {
+            double budget = double(config_.dirtyBudgetPerCell) *
+                            double(engine.cellCount());
+            sig.dirtyOccupancy = double(engine.dirtyCount()) / budget;
+        }
+    }
+
+    // Event signals are deltas since the previous sample; absolute
+    // shed count converts the same way.
+    uint64_t shed_now = sig.shedEvents;
+    sig.tcamOverflows = r.tcamOverflows - baseline_.tcamOverflows;
+    sig.setupRetries = r.setupRetries - baseline_.setupRetries;
+    sig.parityRecoveries =
+        r.parityRecoveries - baseline_.parityRecoveries;
+    sig.slowPathRejected =
+        r.slowPathRejected - baseline_.slowPathRejected;
+    sig.shedEvents = shed_now - baseline_.shedEvents;
+
+    baseline_.tcamOverflows = r.tcamOverflows;
+    baseline_.setupRetries = r.setupRetries;
+    baseline_.parityRecoveries = r.parityRecoveries;
+    baseline_.slowPathRejected = r.slowPathRejected;
+    baseline_.shedEvents = shed_now;
+    return sig;
+}
+
+bool
+ConcurrentChisel::executeAction(health::RecoveryAction action)
+{
+    switch (action) {
+      case health::RecoveryAction::None:
+        return true;
+      case health::RecoveryAction::PurgeDirty:
+        purgeDirtyNow();
+        return true;
+      case health::RecoveryAction::Scrub:
+        scrubNow();
+        return true;
+      case health::RecoveryAction::Resetup:
+        resetup();
+        return true;
+      case health::RecoveryAction::SnapshotRestore:
+        if (options_.recoverySnapshotPath.empty())
+            return false;   // No known-good image: rung unavailable.
+        return restoreFromSnapshot(options_.recoverySnapshotPath);
+      case health::RecoveryAction::kCount:
+        break;
+    }
+    return false;
+}
+
+health::HealthState
+ConcurrentChisel::healthTick()
+{
+    std::lock_guard<std::mutex> hlock(healthMutex_);
+    health::HealthState state = monitor_.sample(collectSignals());
+    health::RecoveryAction action = monitor_.takeAction();
+    if (action != health::RecoveryAction::None)
+        monitor_.actionCompleted(action, executeAction(action));
+    return state;
 }
 
 // ---- Snapshots and rebuilds ------------------------------------------------
@@ -322,6 +485,20 @@ ConcurrentChisel::robustness() const
 {
     std::lock_guard<std::mutex> lock(writerMutex_);
     return idleImage().engine->robustness();
+}
+
+size_t
+ConcurrentChisel::dirtyCount() const
+{
+    std::lock_guard<std::mutex> lock(writerMutex_);
+    return idleImage().engine->dirtyCount();
+}
+
+size_t
+ConcurrentChisel::dirtyPeak() const
+{
+    std::lock_guard<std::mutex> lock(writerMutex_);
+    return idleImage().engine->dirtyPeak();
 }
 
 AccessCounters

@@ -47,7 +47,11 @@
 #include "concurrent/epoch.hh"
 #include "concurrent/spsc_queue.hh"
 #include "core/engine.hh"
+#include "health/admission.hh"
+#include "health/monitor.hh"
 #include "route/updates.hh"
+
+namespace chisel::fault { class FaultInjector; }
 
 namespace chisel::concurrent {
 
@@ -79,6 +83,41 @@ struct ConcurrentOptions
      * recovers corrupted cells by resetup (docs/concurrency.md).
      */
     std::chrono::milliseconds scrubInterval{0};
+
+    /**
+     * Producer-side admission control on post(): token buckets per
+     * update class plus watermark-triggered coalescing shed
+     * (docs/robustness.md).  Disabled, post() keeps its original
+     * fail-on-full contract.
+     */
+    health::AdmissionOptions admission;
+
+    /**
+     * Run the health-state machine inside the control thread: sample
+     * signals every healthInterval and execute the recommended
+     * recovery actions automatically.  Requires controlThread.
+     */
+    bool healthMonitor = false;
+
+    /** Health thresholds and hysteresis depths. */
+    health::MonitorConfig health;
+
+    /** Health sampling cadence (when healthMonitor is on). */
+    std::chrono::milliseconds healthInterval{50};
+
+    /**
+     * Known-good snapshot backing the SnapshotRestore ladder rung;
+     * empty, that rung reports failure and the ladder re-escalates
+     * through Resetup.
+     */
+    std::string recoverySnapshotPath;
+
+    /**
+     * When non-null, installed thread-locally in the control thread,
+     * so chaos tests inject faults into the queued apply path without
+     * arming the reader threads.
+     */
+    fault::FaultInjector *controlFaultInjector = nullptr;
 };
 
 /**
@@ -128,14 +167,32 @@ class ConcurrentChisel
     /**
      * Enqueue an update for the control thread; false if the queue
      * is full (back-pressure) or the control thread is disabled.
+     * With admission control enabled the call never fails: an update
+     * that cannot be queued is staged (coalescing per prefix) and
+     * flushed when the queue drains below the low watermark.
      */
     bool post(const Update &update);
 
-    /** Updates posted but not yet applied. */
+    /** Updates posted but not yet applied (excludes the stage). */
     size_t pendingUpdates() const;
 
-    /** Block until every update posted so far has been applied. */
+    /**
+     * Block until every posted AND staged update has been applied.
+     * With admission enabled, must be called by the producer thread.
+     */
     void flush();
+
+    /** Updates parked in the admission stage (producer thread only). */
+    size_t stagedUpdates() const { return admission_.stagedCount(); }
+
+    /** True while admission shed mode is latched (producer thread). */
+    bool shedding() const { return admission_.shedding(); }
+
+    /** Shed/coalesce statistics (producer thread only). */
+    const health::AdmissionCounters &admissionCounters() const
+    {
+        return admission_.counters();
+    }
 
     // ---- Scrubbing -------------------------------------------------
 
@@ -148,6 +205,29 @@ class ConcurrentChisel
 
     /** Scrub passes completed (either path). */
     uint64_t scrubPasses() const;
+
+    // ---- Health ----------------------------------------------------
+
+    /**
+     * One synchronous purgeDirty() over both images (same flip +
+     * grace protocol as scrubNow, so readers never see a purge in
+     * progress).  @return dirty groups dismantled (live image).
+     */
+    size_t purgeDirtyNow();
+
+    /** Current health state (Healthy when the monitor never ran). */
+    health::HealthState healthState() const { return monitor_.state(); }
+
+    /** The state machine itself (counters, publish()). */
+    const health::HealthMonitor &monitor() const { return monitor_; }
+
+    /**
+     * Sample signals, step the state machine, and execute at most one
+     * recovery action.  Runs periodically on the control thread when
+     * options.healthMonitor is set; also callable directly (tests,
+     * chaos harness).  @return the state after the sample.
+     */
+    health::HealthState healthTick();
 
     // ---- Snapshots and rebuilds ------------------------------------
 
@@ -181,6 +261,12 @@ class ConcurrentChisel
 
     /** Merged robustness counters (live image's view). */
     RobustnessCounters robustness() const;
+
+    /** Dirty groups retained for flap damping (§4.4.1). */
+    size_t dirtyCount() const;
+
+    /** High-water mark of dirty retention since construction. */
+    size_t dirtyPeak() const;
 
     /**
      * Access counters summed over both images — lookups land on
@@ -226,6 +312,15 @@ class ConcurrentChisel
     /** Scrub the idle image once; caller holds writerMutex_. */
     void scrubIdleLocked(ScrubReport &report);
 
+    /** Move staged updates into the queue as room allows. */
+    void pumpStaged(bool force);
+
+    /** Gather one HealthSignals sample (takes writerMutex_). */
+    health::HealthSignals collectSignals();
+
+    /** Run one recovery action; @return success. */
+    bool executeAction(health::RecoveryAction action);
+
     void controlLoop();
     void scrubLoop();
 
@@ -250,6 +345,24 @@ class ConcurrentChisel
     std::atomic<bool> stop_{false};
     std::thread controlThread_;
     std::thread scrubThread_;
+
+    /** Producer-side admission filter (single producer thread). */
+    health::AdmissionController admission_;
+
+    health::HealthMonitor monitor_;
+
+    /** Serializes healthTick() callers (control thread + tests). */
+    mutable std::mutex healthMutex_;
+
+    /** Counter values at the previous sample (delta computation). */
+    struct SignalBaseline
+    {
+        uint64_t tcamOverflows = 0;
+        uint64_t setupRetries = 0;
+        uint64_t parityRecoveries = 0;
+        uint64_t slowPathRejected = 0;
+        uint64_t shedEvents = 0;
+    } baseline_;
 };
 
 } // namespace chisel::concurrent

@@ -109,6 +109,8 @@ ChiselEngine::ChiselEngine(const RoutingTable &initial,
         cc.partitions = static_cast<unsigned>(std::clamp<size_t>(
             cc.capacity / 2048, 1, config_.partitions));
         cc.retainDirtyGroups = config_.retainDirtyGroups;
+        cc.dirtyBudget = config_.dirtyBudgetPerCell;
+        cc.damping = config_.damping;
         cc.resultPointerBits =
             addressBits(4ull * std::max<size_t>(initial.size(), 1024));
         cc.seed = mix64(config_.seed + 0x9e3779b97f4a7c15ULL *
@@ -223,6 +225,9 @@ ChiselEngine::robustness() const
         r.setupRetries += f.setupRetries;
         r.parityDetected += f.parityDetected;
         r.parityRecoveries += f.parityRecoveries;
+        const auto &h = cell->healthCounters();
+        r.dirtyEvictions += h.dirtyEvictions;
+        r.suppressedFlaps += h.suppressedFlaps;
     }
     return r;
 }
@@ -516,6 +521,24 @@ ChiselEngine::purgeDirty()
     for (auto &cell : cells_)
         purged += cell->purgeDirty();
     return purged;
+}
+
+size_t
+ChiselEngine::dirtyCount() const
+{
+    size_t n = 0;
+    for (const auto &cell : cells_)
+        n += cell->dirtyCount();
+    return n;
+}
+
+size_t
+ChiselEngine::dirtyPeak() const
+{
+    size_t peak = 0;
+    for (const auto &cell : cells_)
+        peak = std::max(peak, cell->dirtyPeak());
+    return peak;
 }
 
 ScrubReport

@@ -87,6 +87,18 @@ struct ChiselConfig
     /** Dirty-bit route-flap retention (Section 4.4.1). */
     bool retainDirtyGroups = true;
 
+    /**
+     * Per-cell retention budget for dirty groups (0 = unbounded, the
+     * paper's behaviour).  With a budget set, a withdraw that would
+     * exceed it evicts the dirty group with the lowest decayed flap
+     * penalty, so dirtyCount() cannot grow without bound under a
+     * flap storm (docs/robustness.md).
+     */
+    size_t dirtyBudgetPerCell = 0;
+
+    /** Flap-damping parameters (src/health/damping.hh). */
+    health::DampingConfig damping;
+
     /** Seed for every hash family in the engine. */
     uint64_t seed = 0xC415E1;
 
@@ -149,6 +161,8 @@ struct RobustnessCounters
     concurrent::RelaxedU64 setupRetries;     ///< Index reseed-retry attempts.
     concurrent::RelaxedU64 parityDetected;   ///< Lookups served soft.
     concurrent::RelaxedU64 parityRecoveries; ///< Cell recover-by-resetup runs.
+    concurrent::RelaxedU64 dirtyEvictions;   ///< Dirty groups evicted by budget.
+    concurrent::RelaxedU64 suppressedFlaps;  ///< Flaps of damped groups.
 };
 
 /**
@@ -299,6 +313,12 @@ class ChiselEngine
 
     /** Purge dirty groups in every cell (a "resetup" housekeeping). */
     size_t purgeDirty();
+
+    /** Dirty groups currently retained across all cells. */
+    size_t dirtyCount() const;
+
+    /** High-water mark of per-cell dirty retention (max over cells). */
+    size_t dirtyPeak() const;
 
     /**
      * One full scrub pass (docs/concurrency.md): verify every parity

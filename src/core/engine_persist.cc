@@ -9,12 +9,46 @@
  * DecodeError (recovery ladder input), never as undefined behaviour.
  */
 
+#include <cmath>
 #include <memory>
 
 #include "core/engine.hh"
 #include "persist/codec.hh"
 
 namespace chisel {
+
+namespace {
+
+void
+encodeDamping(persist::Encoder &enc, const health::DampingConfig &d)
+{
+    enc.f64(d.penaltyPerFlap);
+    enc.f64(d.halfLifeTicks);
+    enc.f64(d.suppressThreshold);
+    enc.f64(d.reuseThreshold);
+    enc.u64(d.maxEntries);
+}
+
+health::DampingConfig
+decodeDamping(persist::Decoder &dec)
+{
+    health::DampingConfig d;
+    d.penaltyPerFlap = dec.f64();
+    d.halfLifeTicks = dec.f64();
+    d.suppressThreshold = dec.f64();
+    d.reuseThreshold = dec.f64();
+    d.maxEntries = dec.u64();
+    if (!std::isfinite(d.penaltyPerFlap) ||
+        !std::isfinite(d.halfLifeTicks) ||
+        !std::isfinite(d.suppressThreshold) ||
+        !std::isfinite(d.reuseThreshold) || d.penaltyPerFlap < 0.0 ||
+        d.halfLifeTicks < 0.0 ||
+        d.reuseThreshold > d.suppressThreshold)
+        throw persist::DecodeError("config: damping fields invalid");
+    return d;
+}
+
+} // anonymous namespace
 
 void
 encodeConfig(persist::Encoder &enc, const ChiselConfig &config)
@@ -30,6 +64,8 @@ encodeConfig(persist::Encoder &enc, const ChiselConfig &config)
     enc.u64(config.minCellCapacity);
     enc.boolean(config.coverAllLengths);
     enc.boolean(config.retainDirtyGroups);
+    enc.u64(config.dirtyBudgetPerCell);
+    encodeDamping(enc, config.damping);
     enc.u64(config.seed);
 }
 
@@ -48,6 +84,8 @@ decodeConfig(persist::Decoder &dec)
     c.minCellCapacity = dec.u64();
     c.coverAllLengths = dec.boolean();
     c.retainDirtyGroups = dec.boolean();
+    c.dirtyBudgetPerCell = dec.u64();
+    c.damping = decodeDamping(dec);
     c.seed = dec.u64();
     if (c.keyWidth < 1 || c.keyWidth > Key128::maxBits)
         throw persist::DecodeError("config: key width out of range");
@@ -87,6 +125,8 @@ encodeCellConfig(persist::Encoder &enc, const SubCell::Config &cc)
     enc.u64(cc.seed);
     enc.u32(cc.setupRetries);
     enc.boolean(cc.retainDirtyGroups);
+    enc.u64(cc.dirtyBudget);
+    encodeDamping(enc, cc.damping);
 }
 
 SubCell::Config
@@ -106,6 +146,8 @@ decodeCellConfig(persist::Decoder &dec)
     cc.seed = dec.u64();
     cc.setupRetries = dec.u32();
     cc.retainDirtyGroups = dec.boolean();
+    cc.dirtyBudget = dec.u64();
+    cc.damping = decodeDamping(dec);
     if (cc.range.base < 1 || cc.range.base > cc.range.top ||
         cc.range.top > Key128::maxBits)
         throw persist::DecodeError("cell config: bad length range");

@@ -34,7 +34,8 @@ SubCell::SubCell(const Config &config, ResultTable *results)
                             config.partitions, config.seed}),
       filter_(config.capacity,
               std::min(config.range.base, config.keyWidth)),
-      bitvec_(config.capacity, config.stride, config.resultPointerBits)
+      bitvec_(config.capacity, config.stride, config.resultPointerBits),
+      damper_(config.damping)
 {
     panicIf(results == nullptr, "SubCell requires a ResultTable");
     panicIf(config.range.base == 0,
@@ -219,6 +220,8 @@ SubCell::recoverParity(std::vector<Route> &displaced)
         if (g.shadow.empty()) {
             filter_.setDirty(g.slot, true);
             ++dirtyCount_;
+            if (dirtyCount_ > dirtyPeak_)
+                dirtyPeak_ = dirtyCount_;
         }
     }
     for (uint32_t s = 0; s < config_.capacity; ++s) {
@@ -400,6 +403,7 @@ SubCell::announce(const Prefix &prefix, NextHop next_hop,
     panicIf(!coversLength(prefix.length()),
             "SubCell::announce uncovered length");
     Key128 ckey = collapsedKey(prefix);
+    damper_.advance();
 
     auto it = groups_.find(ckey);
     if (it != groups_.end()) {
@@ -412,6 +416,12 @@ SubCell::announce(const Prefix &prefix, NextHop next_hop,
         } else if (was_dirty || recentlyRemoved_.contains(prefix)) {
             cls = UpdateClass::RouteFlap;
             recentlyRemoved_.erase(prefix);
+            // A flap restore is the second half of a flap cycle:
+            // charge the group's penalty counter (the withdraw
+            // charged the first half).
+            damper_.penalize(ckey);
+            if (damper_.suppressed(ckey))
+                ++health_.suppressedFlaps;
         } else {
             cls = UpdateClass::AddCollapsed;
         }
@@ -476,6 +486,7 @@ SubCell::withdraw(const Prefix &prefix)
     if (!coversLength(prefix.length()))
         return UpdateClass::NoOp;
     Key128 ckey = collapsedKey(prefix);
+    damper_.advance();
     auto it = groups_.find(ckey);
     if (it == groups_.end())
         return UpdateClass::NoOp;
@@ -492,8 +503,52 @@ SubCell::withdraw(const Prefix &prefix)
         dismantleGroup(ckey, nullptr);
         return UpdateClass::Withdraw;
     }
+    bool emptied = it->second.shadow.empty();
     refreshImage(ckey, it->second);
+    if (emptied) {
+        // The group just went dirty: charge its flap penalty and make
+        // room if the retention budget is exceeded.
+        damper_.penalize(ckey);
+        enforceDirtyBudget();
+    }
+    // Peak is stamped *after* enforcement, so with a budget set it is
+    // the guarantee "retention never exceeded the budget between
+    // updates", not a transient high-water mark mid-eviction.
+    if (dirtyCount_ > dirtyPeak_)
+        dirtyPeak_ = dirtyCount_;
     return UpdateClass::Withdraw;
+}
+
+void
+SubCell::enforceDirtyBudget()
+{
+    if (config_.dirtyBudget == 0)
+        return;
+    while (dirtyCount_ > config_.dirtyBudget) {
+        // Decay-ordered eviction: the dirty group with the lowest
+        // decayed penalty is the least likely to flap back, so its
+        // state is the cheapest to sacrifice.  Slot order breaks ties
+        // so the choice is deterministic under replay.
+        const Key128 *victim = nullptr;
+        double best = 0.0;
+        uint32_t best_slot = 0;
+        for (const auto &[ckey, g] : groups_) {
+            if (!filter_.dirty(g.slot))
+                continue;
+            double p = damper_.penalty(ckey);
+            if (victim == nullptr || p < best ||
+                (p == best && g.slot < best_slot)) {
+                victim = &ckey;
+                best = p;
+                best_slot = g.slot;
+            }
+        }
+        if (victim == nullptr)
+            break;   // Dirty bits and count disagree; scrub reconciles.
+        Key128 evict = *victim;
+        dismantleGroup(evict, nullptr);
+        ++health_.dirtyEvictions;
+    }
 }
 
 std::optional<NextHop>
@@ -520,13 +575,23 @@ SubCell::exportRoutes(std::vector<Route> &out) const
 size_t
 SubCell::purgeDirty()
 {
-    std::vector<Key128> dirty;
+    std::vector<std::pair<uint32_t, Key128>> dirty;
     for (const auto &[ckey, g] : groups_) {
         if (filter_.dirty(g.slot))
-            dirty.push_back(ckey);
+            dirty.emplace_back(g.slot, ckey);
     }
-    for (const auto &ckey : dirty)
+    // Slot order, not map order: dismantling releases Filter slots
+    // into the free list, and journal replay (docs/persistence.md)
+    // must reproduce that order byte-for-byte on an engine whose map
+    // was populated in a different insertion sequence.
+    std::sort(dirty.begin(), dirty.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    for (const auto &[slot, ckey] : dirty) {
+        (void)slot;
         dismantleGroup(ckey, nullptr);
+    }
     return dirty.size();
 }
 
@@ -603,6 +668,11 @@ SubCell::saveState(persist::Encoder &enc) const
     enc.u64(faults_.parityRecoveries);
     enc.u64(faults_.setupRetries);
     enc.boolean(parityPending_);
+
+    damper_.saveState(enc);
+    enc.u64(dirtyPeak_);
+    enc.u64(health_.dirtyEvictions);
+    enc.u64(health_.suppressedFlaps);
 }
 
 void
@@ -660,6 +730,13 @@ SubCell::loadState(persist::Decoder &dec)
     faults_.parityRecoveries = dec.u64();
     faults_.setupRetries = dec.u64();
     parityPending_ = dec.boolean();
+
+    damper_.loadState(dec);
+    dirtyPeak_ = dec.u64();
+    health_.dirtyEvictions = dec.u64();
+    health_.suppressedFlaps = dec.u64();
+    if (dirtyPeak_ < dirtyCount_)
+        throw persist::DecodeError("subcell: dirty peak below count");
 
     // Cross-check the derived counters against the reloaded groups:
     // a corrupted-but-CRC-passing image must not leave the cell

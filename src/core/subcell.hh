@@ -34,6 +34,7 @@
 #include "core/filter_table.hh"
 #include "core/result_table.hh"
 #include "core/shadow.hh"
+#include "health/damping.hh"
 #include "route/table.hh"
 
 namespace chisel {
@@ -91,6 +92,16 @@ class SubCell
          * quantifies what the dirty bit buys.
          */
         bool retainDirtyGroups = true;
+        /**
+         * Retention budget for dirty groups (0 = unbounded, the
+         * paper's behaviour).  When a withdraw would push dirtyCount()
+         * past the budget, the dirty group with the lowest decayed
+         * flap penalty is evicted — decay-ordered, so hot flappers
+         * keep their cheap-restore slots (docs/robustness.md).
+         */
+        size_t dirtyBudget = 0;
+        /** Flap-damping parameters feeding the eviction order. */
+        health::DampingConfig damping;
     };
 
     /** Result of a sub-cell probe. */
@@ -156,6 +167,12 @@ class SubCell
 
     /** Number of dirty groups currently retained. */
     size_t dirtyCount() const { return dirtyCount_; }
+
+    /** High-water mark of dirtyCount() since construction/restore. */
+    size_t dirtyPeak() const { return dirtyPeak_; }
+
+    /** The flap damper driving suppress/evict decisions (tests). */
+    const health::FlapDamper &damper() const { return damper_; }
 
     unsigned base() const { return config_.range.base; }
     unsigned top() const { return config_.range.top; }
@@ -229,6 +246,15 @@ class SubCell
     };
 
     const FaultCounters &faultCounters() const { return faults_; }
+
+    /** Overload-resilience counters (docs/robustness.md). */
+    struct HealthCounters
+    {
+        concurrent::RelaxedU64 dirtyEvictions;  ///< Budget evictions.
+        concurrent::RelaxedU64 suppressedFlaps; ///< Flaps of damped groups.
+    };
+
+    const HealthCounters &healthCounters() const { return health_; }
 
     /**
      * True if a lookup detected a parity error since the last
@@ -336,6 +362,12 @@ class SubCell
     void dismantleGroup(const Key128 &ckey,
                         std::vector<Route> *displaced);
 
+    /**
+     * Evict lowest-penalty dirty groups until dirtyCount() respects
+     * Config::dirtyBudget (no-op when the budget is 0).
+     */
+    void enforceDirtyBudget();
+
     /** Record a withdrawal for route-flap classification. */
     void noteRemoved(const Prefix &prefix);
 
@@ -348,6 +380,9 @@ class SubCell
     std::unordered_set<Prefix, PrefixHasher> recentlyRemoved_;
     size_t routes_ = 0;
     size_t dirtyCount_ = 0;
+    size_t dirtyPeak_ = 0;
+    health::FlapDamper damper_;
+    HealthCounters health_;
     WriteCounters writes_;
     /** Mutable: lookups (const) detect soft errors and flag them. */
     mutable FaultCounters faults_;

@@ -1,0 +1,126 @@
+#include "health/damping.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "persist/codec.hh"
+
+namespace chisel::health {
+
+double
+FlapDamper::decayed(const Entry &e) const
+{
+    if (config_.halfLifeTicks <= 0.0)
+        return e.penalty;
+    double dt = static_cast<double>(tick_ - e.stamp);
+    return e.penalty * std::exp2(-dt / config_.halfLifeTicks);
+}
+
+double
+FlapDamper::penalize(const Key128 &key)
+{
+    Entry &e = entries_[key];
+    e.penalty = decayed(e) + config_.penaltyPerFlap;
+    e.stamp = tick_;
+    // Hysteresis: rise across suppressThreshold to enter, fall below
+    // the (lower) reuseThreshold to leave.
+    e.suppressed = e.suppressed
+                       ? e.penalty > config_.reuseThreshold
+                       : e.penalty > config_.suppressThreshold;
+    if (entries_.size() > config_.maxEntries)
+        prune();
+    return e.penalty;
+}
+
+double
+FlapDamper::penalty(const Key128 &key) const
+{
+    auto it = entries_.find(key);
+    return it == entries_.end() ? 0.0 : decayed(it->second);
+}
+
+bool
+FlapDamper::suppressed(const Key128 &key) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return false;
+    double p = decayed(it->second);
+    return it->second.suppressed ? p > config_.reuseThreshold
+                                 : p > config_.suppressThreshold;
+}
+
+size_t
+FlapDamper::suppressedCount() const
+{
+    size_t n = 0;
+    for (const auto &[key, e] : entries_) {
+        (void)e;
+        if (suppressed(key))
+            ++n;
+    }
+    return n;
+}
+
+void
+FlapDamper::prune()
+{
+    // Sweep entries whose penalty has decayed below one unit — they
+    // carry no signal any more.  If everything is still hot the map
+    // may transiently exceed maxEntries; the next quiet period drains
+    // it (bounded by flap-event rate, not by route count).
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (decayed(it->second) < 1.0)
+            it = entries_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+FlapDamper::saveState(persist::Encoder &enc) const
+{
+    enc.u64(tick_);
+
+    std::vector<const Key128 *> keys;
+    keys.reserve(entries_.size());
+    for (const auto &[key, e] : entries_) {
+        (void)e;
+        keys.push_back(&key);
+    }
+    std::sort(keys.begin(), keys.end(),
+              [](const Key128 *a, const Key128 *b) { return *a < *b; });
+
+    enc.u64(entries_.size());
+    for (const Key128 *key : keys) {
+        const Entry &e = entries_.at(*key);
+        enc.key(*key);
+        enc.f64(e.penalty);
+        enc.u64(e.stamp);
+        enc.boolean(e.suppressed);
+    }
+}
+
+void
+FlapDamper::loadState(persist::Decoder &dec)
+{
+    tick_ = dec.u64();
+    entries_.clear();
+    uint64_t n = dec.count(26);
+    for (uint64_t i = 0; i < n; ++i) {
+        Key128 key = dec.key();
+        Entry e;
+        e.penalty = dec.f64();
+        e.stamp = dec.u64();
+        e.suppressed = dec.boolean();
+        if (!(e.penalty >= 0.0) || !std::isfinite(e.penalty))
+            throw persist::DecodeError("damper: penalty not finite");
+        if (e.stamp > tick_)
+            throw persist::DecodeError("damper: stamp after clock");
+        if (!entries_.emplace(key, e).second)
+            throw persist::DecodeError("damper: duplicate key");
+    }
+}
+
+} // namespace chisel::health

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Route-flap damping over the Section 4.4.1 dirty bits.
+ *
+ * The paper retains withdrawn groups "dirty" so a flap restores them
+ * with a handful of writes — but says nothing about how many dirty
+ * groups to keep.  Under a flap storm the retained set grows without
+ * bound and eventually starves the Filter free list, forcing the very
+ * purge-everything resetups the dirty bit exists to avoid.
+ *
+ * FlapDamper supplies the missing policy, borrowing the classic BGP
+ * route-flap-damping shape (RFC 2439): every flap of a collapsed
+ * group adds a fixed penalty to that group's counter, and the counter
+ * decays exponentially with a configurable half-life.  Crossing the
+ * suppress threshold marks the group as an active flapper; the state
+ * clears only when decay brings the penalty below the (lower) reuse
+ * threshold — hysteresis, so a group does not oscillate across one
+ * boundary.
+ *
+ * The twist relative to BGP: suppression here never drops updates
+ * (that would lose routes).  It inverts into a *retention priority*:
+ * when a dirty-group budget forces an eviction, the group with the
+ * LOWEST decayed penalty goes first — the least likely to flap back,
+ * so its dismantled state is the cheapest to re-create.  Hot flappers
+ * keep their dirty slots and keep enjoying cheap restores.
+ *
+ * Time is a logical tick (one per update applied to the owning cell),
+ * never a wall clock: replays of the same update stream reproduce the
+ * same penalties bit-for-bit, which snapshot/journal recovery relies
+ * on (docs/persistence.md).
+ */
+
+#ifndef CHISEL_HEALTH_DAMPING_HH
+#define CHISEL_HEALTH_DAMPING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/key128.hh"
+#include "hash/mix.hh"
+
+namespace chisel::persist { class Encoder; class Decoder; }
+
+namespace chisel::health {
+
+/** Damping parameters (defaults sized for per-update ticks). */
+struct DampingConfig
+{
+    /** Penalty added per flap event (withdraw or flap-restore). */
+    double penaltyPerFlap = 1000.0;
+
+    /** Ticks for a penalty to decay to half its value. */
+    double halfLifeTicks = 512.0;
+
+    /** Decayed penalty above which a group counts as suppressed. */
+    double suppressThreshold = 2500.0;
+
+    /** Suppression ends only once decay falls below this (lower). */
+    double reuseThreshold = 800.0;
+
+    /** Bounded memory: tracked groups above this are swept. */
+    size_t maxEntries = 1 << 16;
+
+    bool operator==(const DampingConfig &other) const = default;
+};
+
+/**
+ * Per-group exponential-decay flap penalties.  Single-writer (owned
+ * by one SubCell and driven from its update path); not thread-safe.
+ */
+class FlapDamper
+{
+  public:
+    explicit FlapDamper(const DampingConfig &config = {})
+        : config_(config)
+    {}
+
+    const DampingConfig &config() const { return config_; }
+
+    /** Advance the logical clock (one tick per update applied). */
+    void advance(uint64_t ticks = 1) { tick_ += ticks; }
+
+    uint64_t now() const { return tick_; }
+
+    /**
+     * Record one flap event for @p key: adds penaltyPerFlap on top of
+     * the decayed balance and re-evaluates the suppress/reuse
+     * hysteresis.  @return the new decayed penalty.
+     */
+    double penalize(const Key128 &key);
+
+    /** Decayed penalty of @p key at the current tick (0 if unknown). */
+    double penalty(const Key128 &key) const;
+
+    /**
+     * True if @p key is currently suppressed (penalty rose above the
+     * suppress threshold and has not yet decayed below reuse).
+     */
+    bool suppressed(const Key128 &key) const;
+
+    /** Groups currently suppressed (O(n) sweep; telemetry only). */
+    size_t suppressedCount() const;
+
+    /** Groups with a tracked penalty. */
+    size_t trackedCount() const { return entries_.size(); }
+
+    /** Drop @p key's history entirely. */
+    void erase(const Key128 &key) { entries_.erase(key); }
+
+    /** Forget everything (cell rebuilt from scratch). */
+    void clear() { entries_.clear(); }
+
+    /**
+     * Serialize tick + entries in canonical (sorted) order so a
+     * restored damper re-serializes byte-identically.
+     */
+    void saveState(persist::Encoder &enc) const;
+
+    /** Inverse of saveState(); throws persist::DecodeError. */
+    void loadState(persist::Decoder &dec);
+
+  private:
+    struct Entry
+    {
+        double penalty = 0.0;     ///< Value as of @c stamp.
+        uint64_t stamp = 0;       ///< Tick the penalty was computed at.
+        bool suppressed = false;  ///< Hysteresis state at last update.
+    };
+
+    /** @p e's penalty decayed from its stamp to the current tick. */
+    double decayed(const Entry &e) const;
+
+    /** Sweep entries whose penalty decayed to noise (bounded memory). */
+    void prune();
+
+    DampingConfig config_;
+    uint64_t tick_ = 0;
+    std::unordered_map<Key128, Entry, Key128Hasher> entries_;
+};
+
+} // namespace chisel::health
+
+#endif // CHISEL_HEALTH_DAMPING_HH

@@ -1,0 +1,256 @@
+#include "health/monitor.hh"
+
+#include "telemetry/metrics.hh"
+
+namespace chisel::health {
+
+const char *
+healthStateName(HealthState s)
+{
+    switch (s) {
+      case HealthState::Healthy: return "healthy";
+      case HealthState::Stressed: return "stressed";
+      case HealthState::Degraded: return "degraded";
+      case HealthState::Quarantined: return "quarantined";
+      case HealthState::Recovering: return "recovering";
+      case HealthState::kCount: break;
+    }
+    return "?";
+}
+
+const char *
+recoveryActionName(RecoveryAction a)
+{
+    switch (a) {
+      case RecoveryAction::None: return "none";
+      case RecoveryAction::PurgeDirty: return "purge_dirty";
+      case RecoveryAction::Scrub: return "scrub";
+      case RecoveryAction::Resetup: return "resetup";
+      case RecoveryAction::SnapshotRestore: return "snapshot_restore";
+      case RecoveryAction::kCount: break;
+    }
+    return "?";
+}
+
+// ---- Watchdog --------------------------------------------------------------
+
+void
+HealthMonitor::beginUpdate(Clock::time_point now)
+{
+    updateStartNs_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now.time_since_epoch())
+            .count(),
+        std::memory_order_release);
+}
+
+void
+HealthMonitor::endUpdate()
+{
+    updateStartNs_.store(0, std::memory_order_release);
+}
+
+bool
+HealthMonitor::watchdogExpired(Clock::time_point now) const
+{
+    int64_t start = updateStartNs_.load(std::memory_order_acquire);
+    if (start == 0)
+        return false;
+    int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now.time_since_epoch())
+            .count();
+    return now_ns - start >
+           std::chrono::duration_cast<std::chrono::nanoseconds>(
+               config_.updateDeadline)
+               .count();
+}
+
+// ---- Sampling --------------------------------------------------------------
+
+HealthMonitor::Severity
+HealthMonitor::classify(const HealthSignals &s) const
+{
+    // Hard losses and watchdog overruns are critical outright; the
+    // occupancy signals carry warn and critical thresholds; isolated
+    // fallback-tier events (overflow, retry, shed) only warn — they
+    // are the ladder working as designed.
+    if (s.watchdogExpired || s.slowPathRejected > 0 ||
+        s.parityRecoveries > 0 ||
+        s.queueOccupancy >= config_.queueCritical ||
+        s.slowPathOccupancy >= config_.slowPathCritical ||
+        s.dirtyOccupancy >= config_.dirtyCritical)
+        return Severity::Critical;
+    if (s.tcamOverflows > 0 || s.setupRetries > 0 ||
+        s.shedEvents > 0 ||
+        s.queueOccupancy >= config_.queueWarn ||
+        s.slowPathOccupancy >= config_.slowPathWarn ||
+        s.dirtyOccupancy >= config_.dirtyWarn)
+        return Severity::Warn;
+    return Severity::Ok;
+}
+
+void
+HealthMonitor::transition(HealthState to)
+{
+    state_.store(static_cast<uint8_t>(to), std::memory_order_release);
+    ++transitions_;
+    ++entered_[static_cast<size_t>(to)];
+    warnStreak_ = critStreak_ = okStreak_ = stateCrit_ = 0;
+
+    switch (to) {
+      case HealthState::Stressed:
+        pending_ = RecoveryAction::PurgeDirty;
+        break;
+      case HealthState::Degraded:
+        pending_ = RecoveryAction::Scrub;
+        break;
+      case HealthState::Quarantined:
+        pending_ = RecoveryAction::Resetup;
+        quarantineRung_ = 1;
+        break;
+      case HealthState::Healthy:
+      case HealthState::Recovering:
+        pending_ = RecoveryAction::None;
+        quarantineRung_ = 0;
+        break;
+      case HealthState::kCount:
+        break;
+    }
+}
+
+HealthState
+HealthMonitor::sample(const HealthSignals &signals)
+{
+    ++samples_;
+    if (signals.watchdogExpired)
+        ++watchdogTrips_;
+
+    Severity sev = classify(signals);
+    warnStreak_ = sev != Severity::Ok ? warnStreak_ + 1 : 0;
+    critStreak_ = sev == Severity::Critical ? critStreak_ + 1 : 0;
+    okStreak_ = sev == Severity::Ok ? okStreak_ + 1 : 0;
+    if (sev == Severity::Critical)
+        ++stateCrit_;
+
+    HealthState s = state();
+
+    // A watchdog overrun is unambiguous — the update path itself is
+    // wedged — so it bypasses the streak hysteresis.
+    if (signals.watchdogExpired && s != HealthState::Quarantined) {
+        transition(HealthState::Quarantined);
+        return state();
+    }
+
+    switch (s) {
+      case HealthState::Healthy:
+        if (critStreak_ >= config_.degradeAfter)
+            transition(HealthState::Degraded);
+        else if (warnStreak_ >= config_.stressAfter)
+            transition(HealthState::Stressed);
+        break;
+      case HealthState::Stressed:
+        if (critStreak_ >= config_.degradeAfter)
+            transition(HealthState::Degraded);
+        else if (okStreak_ >= 1)
+            transition(HealthState::Recovering);
+        break;
+      case HealthState::Degraded:
+        if (stateCrit_ >= config_.quarantineAfter)
+            transition(HealthState::Quarantined);
+        else if (okStreak_ >= 1)
+            transition(HealthState::Recovering);
+        break;
+      case HealthState::Quarantined:
+        if (okStreak_ >= 1) {
+            transition(HealthState::Recovering);
+        } else if (stateCrit_ >= config_.quarantineAfter) {
+            // Still critical after the last action: escalate to the
+            // next rung (resetup, then snapshot restore; the ladder
+            // then repeats from resetup rather than giving up).
+            stateCrit_ = 0;
+            pending_ = quarantineRung_ == 1
+                           ? RecoveryAction::SnapshotRestore
+                           : RecoveryAction::Resetup;
+            quarantineRung_ = quarantineRung_ == 1 ? 0 : 1;
+        }
+        break;
+      case HealthState::Recovering:
+        if (critStreak_ >= config_.degradeAfter)
+            transition(HealthState::Degraded);
+        else if (okStreak_ >= config_.recoverAfter)
+            transition(HealthState::Healthy);
+        break;
+      case HealthState::kCount:
+        break;
+    }
+    return state();
+}
+
+// ---- Recovery actions ------------------------------------------------------
+
+RecoveryAction
+HealthMonitor::takeAction()
+{
+    RecoveryAction a = pending_;
+    pending_ = RecoveryAction::None;
+    if (a != RecoveryAction::None)
+        ++actions_[static_cast<size_t>(a)];
+    return a;
+}
+
+void
+HealthMonitor::actionCompleted(RecoveryAction action, bool success)
+{
+    if (success || state() != HealthState::Quarantined)
+        return;
+    // A failed/skipped quarantine action arms the next rung at once
+    // rather than waiting out another critical streak.
+    if (action == RecoveryAction::Resetup && quarantineRung_ == 1) {
+        pending_ = RecoveryAction::SnapshotRestore;
+        quarantineRung_ = 0;
+    } else if (action == RecoveryAction::SnapshotRestore) {
+        pending_ = RecoveryAction::Resetup;
+        quarantineRung_ = 1;
+    }
+}
+
+// ---- Introspection ---------------------------------------------------------
+
+uint64_t
+HealthMonitor::entered(HealthState s) const
+{
+    return entered_[static_cast<size_t>(s)];
+}
+
+uint64_t
+HealthMonitor::actionsTaken(RecoveryAction a) const
+{
+    return actions_[static_cast<size_t>(a)];
+}
+
+void
+HealthMonitor::publish(telemetry::MetricRegistry &registry,
+                       const std::string &prefix) const
+{
+    registry.gauge(prefix + ".state")
+        .set(static_cast<double>(state_.load(std::memory_order_acquire)));
+    registry.gauge(prefix + ".transitions")
+        .set(static_cast<double>(transitions_));
+    registry.gauge(prefix + ".samples")
+        .set(static_cast<double>(samples_));
+    registry.gauge(prefix + ".watchdog_trips")
+        .set(static_cast<double>(watchdogTrips_));
+    for (size_t i = 0; i < kHealthStateCount; ++i) {
+        auto s = static_cast<HealthState>(i);
+        registry.gauge(prefix + ".entered." + healthStateName(s))
+            .set(static_cast<double>(entered_[i]));
+    }
+    for (size_t i = 1; i < kRecoveryActionCount; ++i) {
+        auto a = static_cast<RecoveryAction>(i);
+        registry.gauge(prefix + ".actions." + recoveryActionName(a))
+            .set(static_cast<double>(actions_[i]));
+    }
+}
+
+} // namespace chisel::health

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Self-healing health-state machine for the Chisel control plane.
+ *
+ * PRs 2–4 gave the engine the *mechanisms* of survival — degradation
+ * ladder, parity scrub, resetup, snapshot recovery — but left the
+ * decision of when to use them to the operator.  HealthMonitor closes
+ * the loop: it folds the existing telemetry signals (queue depth,
+ * slow-path occupancy, dirty-budget pressure, TCAM overflows, setup
+ * retries, parity recoveries, admission shedding, a watchdog on
+ * update application) into a five-state machine
+ *
+ *     Healthy -> Stressed -> Degraded -> Quarantined -> Recovering
+ *
+ * with hysteresis on every transition, and recommends recovery
+ * actions that escalate through the existing ladder:
+ *
+ *     state entered   action
+ *     Stressed        purge dirty groups (reclaim Filter slots)
+ *     Degraded        full parity scrub
+ *     Quarantined     resetup; if still quarantined, snapshot restore
+ *
+ * The monitor only *recommends*; the owner (ConcurrentChisel, or the
+ * chaos harness directly) executes actions under its own write
+ * exclusion and reports completion.  Sampling is explicit — callers
+ * feed a HealthSignals every tick — so tests drive the machine
+ * deterministically with synthetic signals.
+ *
+ * See docs/robustness.md for the state diagram and the full
+ * signal -> state -> action degradation matrix.
+ */
+
+#ifndef CHISEL_HEALTH_MONITOR_HH
+#define CHISEL_HEALTH_MONITOR_HH
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace chisel::telemetry { class MetricRegistry; }
+
+namespace chisel::health {
+
+/** The five health states (order = severity; kCount is a sentinel). */
+enum class HealthState : uint8_t
+{
+    Healthy,      ///< All signals nominal.
+    Stressed,     ///< Sustained warnings: pressure, no degradation.
+    Degraded,     ///< Critical signals: fallback tiers in active use.
+    Quarantined,  ///< Recovery actions in progress; feed suspect.
+    Recovering,   ///< Signals clean again; probation before Healthy.
+    kCount,
+};
+
+constexpr size_t kHealthStateCount =
+    static_cast<size_t>(HealthState::kCount);
+
+const char *healthStateName(HealthState s);
+
+/** Recovery actions, in escalation order (docs/robustness.md). */
+enum class RecoveryAction : uint8_t
+{
+    None,
+    PurgeDirty,       ///< ChiselEngine::purgeDirty on both images.
+    Scrub,            ///< Full parity scrub (ConcurrentChisel::scrubNow).
+    Resetup,          ///< Rebuild both images from the live route set.
+    SnapshotRestore,  ///< Last resort: reload a known-good snapshot.
+    kCount,
+};
+
+constexpr size_t kRecoveryActionCount =
+    static_cast<size_t>(RecoveryAction::kCount);
+
+const char *recoveryActionName(RecoveryAction a);
+
+/**
+ * One sampling period's worth of signals.  Occupancies are fractions
+ * in [0, 1]; event counts are DELTAS since the previous sample, so
+ * the monitor never has to remember absolute counter values.
+ */
+struct HealthSignals
+{
+    double queueOccupancy = 0.0;     ///< pending / queue capacity.
+    double slowPathOccupancy = 0.0;  ///< resident / slow-path capacity.
+    double dirtyOccupancy = 0.0;     ///< dirty groups / dirty budget.
+    uint64_t tcamOverflows = 0;      ///< Spill-TCAM refusals.
+    uint64_t setupRetries = 0;       ///< Index reseed retries.
+    uint64_t parityRecoveries = 0;   ///< Cells recovered from soft errors.
+    uint64_t slowPathRejected = 0;   ///< Hard route drops (always critical).
+    uint64_t shedEvents = 0;         ///< Admission shed-mode entries.
+    bool watchdogExpired = false;    ///< An update overran its deadline.
+};
+
+/** Thresholds and hysteresis depths. */
+struct MonitorConfig
+{
+    double queueWarn = 0.50;
+    double queueCritical = 0.95;
+    double slowPathWarn = 0.05;
+    double slowPathCritical = 0.50;
+    double dirtyWarn = 0.75;
+    double dirtyCritical = 0.99;
+
+    /** Consecutive warn-or-worse samples before Healthy -> Stressed. */
+    unsigned stressAfter = 2;
+    /** Consecutive critical samples before -> Degraded. */
+    unsigned degradeAfter = 2;
+    /** Further critical samples in Degraded before Quarantined. */
+    unsigned quarantineAfter = 3;
+    /** Consecutive clean samples before Recovering -> Healthy. */
+    unsigned recoverAfter = 3;
+
+    /** Watchdog: one update taking longer than this is critical. */
+    std::chrono::milliseconds updateDeadline{2000};
+};
+
+/**
+ * The state machine.  sample()/recommendedAction()/actionCompleted()
+ * must be externally serialized (ConcurrentChisel uses a dedicated
+ * mutex); beginUpdate()/endUpdate()/watchdogExpired() and all const
+ * accessors are lock-free and safe from any thread.
+ */
+class HealthMonitor
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    explicit HealthMonitor(const MonitorConfig &config = {})
+        : config_(config)
+    {}
+
+    const MonitorConfig &config() const { return config_; }
+
+    // ---- Watchdog (stamped around every update application) --------
+
+    void beginUpdate(Clock::time_point now = Clock::now());
+    void endUpdate();
+
+    /** True if an update has been in flight past the deadline. */
+    bool watchdogExpired(Clock::time_point now = Clock::now()) const;
+
+    // ---- Sampling --------------------------------------------------
+
+    /** Fold one signal sample in; @return the (possibly new) state. */
+    HealthState sample(const HealthSignals &signals);
+
+    HealthState
+    state() const
+    {
+        return static_cast<HealthState>(
+            state_.load(std::memory_order_acquire));
+    }
+
+    const char *stateName() const { return healthStateName(state()); }
+
+    // ---- Recovery actions ------------------------------------------
+
+    /**
+     * The pending recovery action, consumed: a second call returns
+     * None until the next transition (or escalation) arms another.
+     */
+    RecoveryAction takeAction();
+
+    /**
+     * Report an executed action.  A failed (or skipped) action in
+     * Quarantined re-arms the next rung of the ladder.
+     */
+    void actionCompleted(RecoveryAction action, bool success);
+
+    // ---- Introspection ---------------------------------------------
+
+    uint64_t transitions() const { return transitions_; }
+    uint64_t entered(HealthState s) const;
+    uint64_t actionsTaken(RecoveryAction a) const;
+    uint64_t watchdogExpirations() const { return watchdogTrips_; }
+    uint64_t samples() const { return samples_; }
+
+    /**
+     * Publish state + transition counters as gauges/counters under
+     * @p prefix (default "health") — the --metrics-json surface.
+     */
+    void publish(telemetry::MetricRegistry &registry,
+                 const std::string &prefix = "health") const;
+
+  private:
+    enum class Severity { Ok, Warn, Critical };
+
+    Severity classify(const HealthSignals &signals) const;
+    void transition(HealthState to);
+
+    MonitorConfig config_;
+
+    std::atomic<uint8_t> state_{
+        static_cast<uint8_t>(HealthState::Healthy)};
+
+    unsigned warnStreak_ = 0;   ///< Consecutive warn-or-worse samples.
+    unsigned critStreak_ = 0;   ///< Consecutive critical samples.
+    unsigned okStreak_ = 0;     ///< Consecutive clean samples.
+    unsigned stateCrit_ = 0;    ///< Critical samples in current state.
+
+    RecoveryAction pending_ = RecoveryAction::None;
+    /** Next Quarantined-ladder rung: 0 = Resetup, 1 = SnapshotRestore. */
+    unsigned quarantineRung_ = 0;
+
+    uint64_t samples_ = 0;
+    uint64_t transitions_ = 0;
+    std::array<uint64_t, kHealthStateCount> entered_{};
+    std::array<uint64_t, kRecoveryActionCount> actions_{};
+    uint64_t watchdogTrips_ = 0;
+
+    /** ns-since-epoch the in-flight update started; 0 = idle. */
+    std::atomic<int64_t> updateStartNs_{0};
+};
+
+} // namespace chisel::health
+
+#endif // CHISEL_HEALTH_MONITOR_HH

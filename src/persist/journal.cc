@@ -51,6 +51,9 @@ encodeRecord(const JournalRecord &rec)
         break;
       case JournalRecord::Type::SnapshotMark:
         break;
+      case JournalRecord::Type::Housekeeping:
+        enc.u8(static_cast<uint8_t>(rec.housekeeping));
+        break;
     }
     return enc.buffer();
 }
@@ -62,7 +65,7 @@ decodeRecord(const uint8_t *data, size_t size)
     Decoder dec(data, size);
     JournalRecord rec;
     uint8_t type = dec.u8();
-    if (type < 1 || type > 3)
+    if (type < 1 || type > 4)
         throw DecodeError("journal record: unknown type");
     rec.type = static_cast<JournalRecord::Type>(type);
     rec.seq = dec.u64();
@@ -89,6 +92,14 @@ decodeRecord(const uint8_t *data, size_t size)
         break;
       case JournalRecord::Type::SnapshotMark:
         break;
+      case JournalRecord::Type::Housekeeping: {
+        uint8_t kind = dec.u8();
+        if (kind != 1)
+            throw DecodeError("journal record: bad housekeeping kind");
+        rec.housekeeping =
+            static_cast<JournalRecord::HousekeepingKind>(kind);
+        break;
+      }
     }
     if (!dec.atEnd())
         throw DecodeError("journal record: trailing bytes");
@@ -166,6 +177,8 @@ scanJournalBuffer(const uint8_t *data, size_t size,
           case JournalRecord::Type::SnapshotMark:
             if (rec.seq > scan.lastSnapshotSeq)
                 scan.lastSnapshotSeq = rec.seq;
+            break;
+          case JournalRecord::Type::Housekeeping:
             break;
         }
     }
@@ -313,6 +326,16 @@ UpdateJournal::appendSnapshotMark(uint64_t seq)
     JournalRecord rec;
     rec.type = JournalRecord::Type::SnapshotMark;
     rec.seq = seq;
+    writeRecord(encodeRecord(rec));
+}
+
+void
+UpdateJournal::appendHousekeeping(JournalRecord::HousekeepingKind kind)
+{
+    JournalRecord rec;
+    rec.type = JournalRecord::Type::Housekeeping;
+    rec.seq = seq_;   // Stamped, not consumed: updates keep their seqs.
+    rec.housekeeping = kind;
     writeRecord(encodeRecord(rec));
 }
 

@@ -36,7 +36,7 @@
 namespace chisel::persist {
 
 /** Journal format version (bumped on any layout change). */
-constexpr uint32_t kJournalVersion = 1;
+constexpr uint32_t kJournalVersion = 2;
 
 /** One decoded journal record. */
 struct JournalRecord
@@ -46,6 +46,13 @@ struct JournalRecord
         Update = 1,        ///< An update, logged before it was applied.
         Outcome = 2,       ///< Commit marker: the update's outcome.
         SnapshotMark = 3,  ///< A snapshot covering seqs <= seq exists.
+        Housekeeping = 4,  ///< A maintenance operation (e.g. purge).
+    };
+
+    /** What a Housekeeping record did to the engine. */
+    enum class HousekeepingKind : uint8_t
+    {
+        PurgeDirty = 1,  ///< ChiselEngine::purgeDirty() was run.
     };
 
     Type type = Type::Update;
@@ -64,6 +71,9 @@ struct JournalRecord
     uint32_t slowPathInserts = 0;
     uint32_t slowPathRejections = 0;
     uint32_t parityRecoveries = 0;
+
+    /** Type::Housekeeping payload. */
+    HousekeepingKind housekeeping = HousekeepingKind::PurgeDirty;
 };
 
 /** Result of scanning a journal file or buffer. */
@@ -135,6 +145,15 @@ class UpdateJournal
 
     /** Record that a snapshot covering seqs <= @p seq was written. */
     void appendSnapshotMark(uint64_t seq);
+
+    /**
+     * Record a maintenance operation (e.g. a purgeDirty() sweep) that
+     * mutates engine state outside the announce/withdraw stream.  The
+     * record is stamped with the current lastSeq and does *not*
+     * consume an update sequence number: replay re-runs it in stream
+     * order between the surrounding updates.
+     */
+    void appendHousekeeping(JournalRecord::HousekeepingKind kind);
 
     /** Force an fsync now regardless of the batch policy. */
     void sync();

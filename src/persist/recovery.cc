@@ -18,23 +18,64 @@ recoverySourceName(RecoverySource s)
 namespace {
 
 /**
- * Replay the scan's update records with seq > @p from_seq into
- * @p engine, in journal (= sequence) order.  @return records applied.
+ * Replay the journal tail after @p from_seq into @p engine, in stream
+ * order.  The tail starts just past the record the recovered image
+ * covers: the last SnapshotMark stamped seq == from_seq when one
+ * exists, otherwise the last Update/Outcome with seq <= from_seq.
+ * Sequence numbers alone cannot place the cut, because Housekeeping
+ * records share the seq of the update they follow — a purge right
+ * after the snapshot and a purge right before it carry the same seq,
+ * and replaying the wrong one resurrects or destroys dirty groups.
+ * From the cut on, Update records with seq > from_seq are re-applied
+ * and Housekeeping records re-run, so maintenance mutations land
+ * between the same updates they originally did.  @return records
+ * applied (updates + housekeeping).
  */
 uint64_t
 replayTail(ChiselEngine &engine, const JournalScan &scan,
            uint64_t from_seq, uint64_t &last_seq)
 {
+    size_t start = 0;
+    for (size_t i = 0; i < scan.records.size(); ++i) {
+        const JournalRecord &rec = scan.records[i];
+        if (rec.type == JournalRecord::Type::SnapshotMark &&
+            rec.seq == from_seq)
+            start = i + 1;
+    }
+    if (start == 0 && from_seq > 0) {
+        // No mark for this image (e.g. the mark's append was torn):
+        // cut after the last record the image already accounts for.
+        for (size_t i = 0; i < scan.records.size(); ++i) {
+            const JournalRecord &rec = scan.records[i];
+            if ((rec.type == JournalRecord::Type::Update ||
+                 rec.type == JournalRecord::Type::Outcome) &&
+                rec.seq <= from_seq)
+                start = i + 1;
+        }
+    }
+
     uint64_t applied = 0;
-    for (const JournalRecord &rec : scan.records) {
-        if (rec.type != JournalRecord::Type::Update)
-            continue;
-        if (rec.seq <= from_seq)
-            continue;
-        engine.apply(rec.update);
-        ++applied;
-        if (rec.seq > last_seq)
-            last_seq = rec.seq;
+    for (size_t i = start; i < scan.records.size(); ++i) {
+        const JournalRecord &rec = scan.records[i];
+        switch (rec.type) {
+          case JournalRecord::Type::Update:
+            if (rec.seq <= from_seq)
+                break;
+            engine.apply(rec.update);
+            ++applied;
+            if (rec.seq > last_seq)
+                last_seq = rec.seq;
+            break;
+          case JournalRecord::Type::Housekeeping:
+            if (rec.housekeeping ==
+                JournalRecord::HousekeepingKind::PurgeDirty)
+                engine.purgeDirty();
+            ++applied;
+            break;
+          case JournalRecord::Type::Outcome:
+          case JournalRecord::Type::SnapshotMark:
+            break;
+        }
     }
     return applied;
 }

@@ -35,7 +35,7 @@
 namespace chisel::persist {
 
 /** Snapshot format version (bumped on any layout change). */
-constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kSnapshotVersion = 2;
 
 /** Suffix of the rotated previous snapshot. */
 std::string previousSnapshotPath(const std::string &path);

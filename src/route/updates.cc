@@ -1,6 +1,8 @@
 #include "route/updates.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace chisel {
 
@@ -56,6 +58,32 @@ UpdateTraceGenerator::UpdateTraceGenerator(const RoutingTable &table,
     index_.reserve(live_.size());
     for (size_t i = 0; i < live_.size(); ++i)
         index_[live_[i].prefix] = i;
+
+    if (profile_.flapStorm && !live_.empty()) {
+        // Hot set: a uniform sample without replacement (partial
+        // Fisher-Yates over an index array), so storm victims spread
+        // across the table's collapsed groups.
+        size_t n = std::min(profile_.stormHotSet, live_.size());
+        std::vector<size_t> idx(live_.size());
+        for (size_t i = 0; i < idx.size(); ++i)
+            idx[i] = i;
+        hot_.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+            size_t j = i + rng_.nextBelow(idx.size() - i);
+            std::swap(idx[i], idx[j]);
+            hot_.push_back(live_[idx[i]]);
+        }
+
+        // Zipf CDF over ranks: rank r flaps with weight (r+1)^-s.
+        hotCdf_.reserve(n);
+        double total = 0.0;
+        for (size_t r = 0; r < n; ++r) {
+            total += std::pow(double(r + 1), -profile_.stormZipf);
+            hotCdf_.push_back(total);
+        }
+        for (double &c : hotCdf_)
+            c /= total;
+    }
 }
 
 const Route &
@@ -174,7 +202,29 @@ UpdateTraceGenerator::makeNewPrefix()
 }
 
 Update
-UpdateTraceGenerator::next()
+UpdateTraceGenerator::makeStorm()
+{
+    // Zipf-ranked victim, toggled between present and withdrawn: the
+    // stream is a pure announce/withdraw cycle per hot prefix, which
+    // is exactly the pattern flap damping and admission coalescing
+    // are built to absorb.
+    double u = rng_.nextDouble();
+    size_t i = static_cast<size_t>(
+        std::lower_bound(hotCdf_.begin(), hotCdf_.end(), u) -
+        hotCdf_.begin());
+    if (i >= hot_.size())
+        i = hot_.size() - 1;
+    const Route &victim = hot_[i];
+    if (index_.contains(victim.prefix)) {
+        applyWithdraw(victim.prefix);
+        return Update{UpdateKind::Withdraw, victim.prefix, kNoRoute};
+    }
+    applyAnnounce(victim.prefix, victim.nextHop);
+    return Update{UpdateKind::Announce, victim.prefix, victim.nextHop};
+}
+
+Update
+UpdateTraceGenerator::makeMixed()
 {
     std::vector<double> weights = {
         live_.empty() ? 0.0 : profile_.withdraws,
@@ -188,6 +238,15 @@ UpdateTraceGenerator::next()
       case 2: return makeNextHopChange();
       default: return makeNewPrefix();
     }
+}
+
+Update
+UpdateTraceGenerator::next()
+{
+    if (profile_.flapStorm && !hot_.empty() &&
+        !rng_.nextBool(profile_.stormBackground))
+        return makeStorm();
+    return makeMixed();
 }
 
 std::vector<Update>

@@ -68,6 +68,22 @@ struct TraceProfile
 
     /** Number of distinct next-hop values used by announces. */
     unsigned nextHopCount = 64;
+
+    /**
+     * Flap-storm mode (docs/robustness.md): updates concentrate on a
+     * small hot set of prefixes cycling announce <-> withdraw, with
+     * per-prefix flap rates drawn from a Zipf distribution — a few
+     * prefixes flap furiously, a long tail flaps occasionally — the
+     * shape of a real BGP flap event.  The weights above then govern
+     * only the background slice.
+     */
+    bool flapStorm = false;
+    /** Hot-set size (clamped to the initial table size). */
+    size_t stormHotSet = 256;
+    /** Zipf exponent skewing flap rates across the hot set. */
+    double stormZipf = 1.1;
+    /** Fraction of updates drawn from the ordinary mix instead. */
+    double stormBackground = 0.05;
 };
 
 /**
@@ -109,6 +125,8 @@ class UpdateTraceGenerator
     Update makeFlap();
     Update makeNextHopChange();
     Update makeNewPrefix();
+    Update makeStorm();
+    Update makeMixed();
 
     /** Pick a present route uniformly at random. */
     const Route &randomRoute();
@@ -129,6 +147,10 @@ class UpdateTraceGenerator
 
     /** Recently withdrawn routes, eligible to flap back. */
     std::vector<Route> withdrawn_;
+
+    /** Flap-storm hot set (fixed at construction) and its Zipf CDF. */
+    std::vector<Route> hot_;
+    std::vector<double> hotCdf_;
 };
 
 } // namespace chisel

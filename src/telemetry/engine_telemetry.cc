@@ -98,6 +98,16 @@ EngineTelemetry::snapshot(const ChiselEngine &engine)
         .set(static_cast<double>(rc.parityRecoveries));
     registry_.gauge(prefix_ + ".robustness.rejected_updates")
         .set(static_cast<double>(rc.rejectedUpdates));
+    registry_.gauge(prefix_ + ".robustness.dirty_evictions")
+        .set(static_cast<double>(rc.dirtyEvictions));
+    registry_.gauge(prefix_ + ".robustness.suppressed_flaps")
+        .set(static_cast<double>(rc.suppressedFlaps));
+    registry_.gauge(prefix_ + ".dirty.groups")
+        .set(static_cast<double>(engine.dirtyCount()));
+    registry_.gauge(prefix_ + ".dirty.peak")
+        .set(static_cast<double>(engine.dirtyPeak()));
+    registry_.gauge(prefix_ + ".dirty.budget_per_cell")
+        .set(static_cast<double>(engine.config().dirtyBudgetPerCell));
     registry_.gauge(prefix_ + ".routes")
         .set(static_cast<double>(engine.routeCount()));
     registry_.gauge(prefix_ + ".cells")

@@ -574,6 +574,67 @@ TEST(PersistRecovery, WarmRestartIsExactWithZeroSetups)
     removeFile(persist::previousSnapshotPath(spath));
 }
 
+TEST(PersistRecovery, PurgeBetweenSnapshotAndCrashIsReplayed)
+{
+    // Regression: purgeDirty() is state the journal used to miss.  A
+    // purge after the snapshot left the snapshot holding dirty groups
+    // the process had dismantled; warm restart then resurrected them,
+    // and the restored engine diverged from the pre-crash one.  The
+    // Housekeeping journal record closes the gap — the tail replay
+    // re-runs the purge at the same point in the stream.
+    std::string jpath = tempPath("recover_purge.journal");
+    std::string spath = tempPath("recover_purge.snapshot");
+    removeFile(jpath);
+    removeFile(spath);
+    removeFile(persist::previousSnapshotPath(spath));
+
+    RoutingTable table = generateScaledTable(1000, 32, 0x61B0);
+    Process proc(table, jpath);
+    std::vector<Route> routes = table.routes();
+
+    // Build up dirty groups, snapshot them in place.
+    for (size_t i = 0; i < 60; ++i)
+        proc.apply(Update{UpdateKind::Withdraw, routes[i].prefix, 0});
+    proc.snapshot(spath);
+    ASSERT_GT(proc.engine->dirtyCount(), 0u);
+
+    // Purge AFTER the snapshot, journaled as housekeeping.
+    proc.engine->purgeDirty();
+    proc.journal->appendHousekeeping(
+        JournalRecord::HousekeepingKind::PurgeDirty);
+    ASSERT_EQ(proc.engine->dirtyCount(), 0u);
+
+    // More updates past the purge, some re-dirtying the cells.
+    for (size_t i = 60; i < 90; ++i)
+        proc.apply(Update{UpdateKind::Withdraw, routes[i].prefix, 0});
+    for (size_t i = 0; i < 20; ++i)
+        proc.apply(Update{UpdateKind::Announce, routes[i].prefix,
+                          routes[i].nextHop});
+    // "Crash".
+
+    RecoveryOptions opts;
+    opts.journalPath = jpath;
+    opts.snapshotPath = spath;
+    opts.config = proc.config;
+    opts.initialTable = table;
+    RecoveryReport report = persist::recoverEngine(opts);
+
+    EXPECT_EQ(report.source, RecoverySource::Snapshot);
+    EXPECT_TRUE(report.auditPassed)
+        << "missing=" << report.auditMissing
+        << " mismatched=" << report.auditMismatched
+        << " phantom=" << report.auditPhantom;
+
+    // Without the housekeeping replay these diverge: the restored
+    // engine keeps the 60 pre-snapshot dirty groups alive.
+    EXPECT_EQ(report.engine->dirtyCount(), proc.engine->dirtyCount());
+    EXPECT_EQ(stateBytes(*report.engine), stateBytes(*proc.engine));
+
+    removeFile(jpath);
+    removeFile(spath);
+    removeFile(persist::previousSnapshotPath(spath));
+}
+
 TEST(PersistRecovery, LadderFallsBackToPreviousThenCold)
 {
     std::string jpath = tempPath("recover_ladder.journal");
