@@ -126,7 +126,15 @@ int
 main(int argc, char **argv)
 {
     auto options = telemetry::TelemetryOptions::parse(argc, argv);
-    telemetry::MetricRegistry registry;
+    // The recorder flies on every run: a wedged or crashed bench
+    // leaves its last events in <prefix>.crash.json.
+    if (options.flightEvents == 0)
+        options.flightEvents = 4096;
+    telemetry::TelemetrySession session(options);
+    if (options.flightDumpPrefix.empty())
+        telemetry::FlightRecorder::installCrashHandler(
+            "bench_concurrent");
+    telemetry::MetricRegistry &registry = session.registry();
 
     const size_t table_size = 20000;
     const auto duration = std::chrono::milliseconds(400);
@@ -140,6 +148,7 @@ main(int argc, char **argv)
     ConcurrentOptions copts;
     copts.controlThread = false;
     ConcurrentChisel engine(table, {}, copts);
+    session.attachIntrospection(engine);
 
     Report report("Concurrent lookup throughput "
                   "(wait-free readers, one writer)",
@@ -258,7 +267,8 @@ main(int argc, char **argv)
                 cores < 4 ? "  (speedup needs >= 4 cores to show)"
                           : "");
 
-    if (!options.metricsJsonPath.empty())
-        registry.writeJsonFile(options.metricsJsonPath);
+    // Flushes the metrics JSON and flight dump, and stops the
+    // introspection server before the engines leave scope.
+    session.finish();
     return 0;
 }

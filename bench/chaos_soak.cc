@@ -63,6 +63,13 @@ int
 main(int argc, char **argv)
 {
     auto topts = telemetry::TelemetryOptions::parse(argc, argv);
+    // The chaos harness always flies with the recorder on: when a
+    // soak dies, the crash dump is the whole point of the exercise.
+    if (topts.flightEvents == 0)
+        topts.flightEvents = 4096;
+    telemetry::TelemetrySession session(topts);
+    if (topts.flightDumpPrefix.empty())
+        telemetry::FlightRecorder::installCrashHandler("chaos_soak");
 
     size_t n_updates = 10000;
     size_t n_routes = 5000;
@@ -131,6 +138,7 @@ main(int argc, char **argv)
     copts.controlFaultInjector = &inj;
 
     ConcurrentChisel engine(table, config, copts);
+    session.attachIntrospection(engine);
 
     // Reader threads run through storm, faults and recovery actions;
     // lookups are wait-free, so they never see a table mid-rebuild.
@@ -317,8 +325,8 @@ main(int argc, char **argv)
     check(inj.totalFires() > 0, "fault points actually fired");
 #endif
 
-    if (!topts.metricsJsonPath.empty()) {
-        telemetry::MetricRegistry registry;
+    if (session.enabled()) {
+        telemetry::MetricRegistry &registry = session.registry();
         registry.gauge("chaos.lost").set(double(lost));
         registry.gauge("chaos.phantom").set(double(phantom));
         registry.gauge("chaos.oracle_mismatches").set(double(wrong));
@@ -336,8 +344,10 @@ main(int argc, char **argv)
         registry.gauge("chaos.dirty.peak")
             .set(double(engine.dirtyPeak()));
         mon.publish(registry, "chaos.health");
-        registry.writeJsonFile(topts.metricsJsonPath);
     }
+    // Stops the introspection server and flushes every requested
+    // sink (metrics JSON, flight dump) before the verdict line.
+    session.finish();
 
     std::printf("chaos soak: %s (%zu failure%s)\n",
                 g_failures == 0 ? "PASS" : "FAIL", g_failures,

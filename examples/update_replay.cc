@@ -24,6 +24,10 @@
  *     --crash-after=<n>     raise SIGKILL after n applied updates
  *                           (crash-recovery drills; implies journaling
  *                           is the only durable record of those updates)
+ *     --abort-after=<n>     raise SIGABRT after n applied updates:
+ *                           unlike SIGKILL this runs the flight
+ *                           recorder's crash handler, dumping the last
+ *                           events to <prefix>.crash[.trace].json
  *     --routes=<n>          synthetic table size (default 80000)
  *     --updates=<n>         synthetic trace length (default 300000)
  *
@@ -67,6 +71,7 @@ struct ReplayOptions
     uint64_t snapshotEvery = 0;   // 0 = never.
     uint64_t fsyncEvery = 1;
     uint64_t crashAfter = 0;      // 0 = never.
+    uint64_t abortAfter = 0;      // 0 = never.
     bool recover = false;
     size_t routes = 80000;
     size_t updates = 300000;
@@ -99,6 +104,8 @@ struct ReplayOptions
                 opts.fsyncEvery = std::strtoull(v, nullptr, 10);
             else if (const char *v = value("--crash-after="))
                 opts.crashAfter = std::strtoull(v, nullptr, 10);
+            else if (const char *v = value("--abort-after="))
+                opts.abortAfter = std::strtoull(v, nullptr, 10);
             else if (arg == "--recover")
                 opts.recover = true;
             else if (const char *v = value("--routes="))
@@ -150,7 +157,14 @@ main(int argc, char **argv)
         telemetry::TelemetryOptions::parse(argc, argv);
     ReplayOptions popts = ReplayOptions::parse(argc, argv);
 
+    // The replay always flies with the recorder on, so the abort
+    // drill (and any real crash) has history to dump.
+    if (topts.flightEvents == 0)
+        topts.flightEvents = 4096;
     telemetry::TelemetrySession session(topts);
+    if (topts.flightDumpPrefix.empty())
+        telemetry::FlightRecorder::installCrashHandler(
+            "update_replay");
 
     RoutingTable table;
     std::vector<Update> trace;
@@ -347,6 +361,15 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(applied));
             std::fflush(stdout);
             ::raise(SIGKILL);
+        }
+        if (popts.abortAfter != 0 && applied >= popts.abortAfter) {
+            // The observable crash drill: SIGABRT runs the flight
+            // recorder's signal handler before dying, so the dump
+            // carries the updates leading up to this point.
+            std::printf("abort drill: SIGABRT after %llu updates\n",
+                        static_cast<unsigned long long>(applied));
+            std::fflush(stdout);
+            std::abort();
         }
         if (popts.snapshotEvery != 0 &&
             !popts.snapshotPath.empty() &&

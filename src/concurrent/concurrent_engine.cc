@@ -90,6 +90,10 @@ void
 ConcurrentChisel::publish(Image &image)
 {
     live_.store(&image, std::memory_order_release);
+    CHISEL_FLIGHT_EVENT(PublishFlip, 0,
+                        image.generation.load(
+                            std::memory_order_relaxed),
+                        0);
     // Grace period: every reader that might still be inside the old
     // image finishes before the caller mutates it.
     epochs_.synchronize();

@@ -310,11 +310,17 @@ ChiselEngine::lookupImpl(const Key128 &key) const
 UpdateOutcome
 ChiselEngine::announce(const Prefix &prefix, NextHop next_hop)
 {
-    if (telemetry_ == nullptr)
-        return announceImpl(prefix, next_hop);
-    telemetry::UpdateSpan span(*telemetry_);
-    UpdateOutcome out = announceImpl(prefix, next_hop);
-    span.finish(out);
+    UpdateOutcome out;
+    if (telemetry_ == nullptr) {
+        out = announceImpl(prefix, next_hop);
+    } else {
+        telemetry::UpdateSpan span(*telemetry_);
+        out = announceImpl(prefix, next_hop);
+        span.finish(out);
+    }
+    CHISEL_FLIGHT_EVENT(UpdateApply, out.status,
+                        static_cast<uint64_t>(out.cls),
+                        prefix.length());
     return out;
 }
 
@@ -405,11 +411,17 @@ ChiselEngine::announceImpl(const Prefix &prefix, NextHop next_hop)
 UpdateOutcome
 ChiselEngine::withdraw(const Prefix &prefix)
 {
-    if (telemetry_ == nullptr)
-        return withdrawImpl(prefix);
-    telemetry::UpdateSpan span(*telemetry_);
-    UpdateOutcome out = withdrawImpl(prefix);
-    span.finish(out);
+    UpdateOutcome out;
+    if (telemetry_ == nullptr) {
+        out = withdrawImpl(prefix);
+    } else {
+        telemetry::UpdateSpan span(*telemetry_);
+        out = withdrawImpl(prefix);
+        span.finish(out);
+    }
+    CHISEL_FLIGHT_EVENT(UpdateApply, out.status,
+                        static_cast<uint64_t>(out.cls),
+                        prefix.length());
     return out;
 }
 

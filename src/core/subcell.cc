@@ -203,6 +203,7 @@ SubCell::recoverParity(std::vector<Route> &displaced)
 {
     parityPending_ = false;
     ++faults_.parityRecoveries;
+    CHISEL_FLIGHT_EVENT(ParityRecovery, 0, faults_.parityRecoveries, 0);
 
     // Recover-by-resetup: every hardware word is re-derived from the
     // shadow copy.  Stage 1 — the Index (slot codes are preserved, so

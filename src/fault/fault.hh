@@ -38,6 +38,7 @@
 #include <cstdint>
 
 #include "common/random.hh"
+#include "telemetry/flight.hh"
 #include "concurrent/relaxed.hh"
 
 #ifndef CHISEL_FAULT_INJECTION_ENABLED
@@ -168,6 +169,7 @@ class FaultInjector
                 s.probability.load(std::memory_order_relaxed)))
             return false;
         ++s.fires;
+        CHISEL_FLIGHT_EVENT(FaultFired, point, s.fires, 0);
         return true;
     }
 

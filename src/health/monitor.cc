@@ -1,5 +1,6 @@
 #include "health/monitor.hh"
 
+#include "telemetry/flight.hh"
 #include "telemetry/metrics.hh"
 
 namespace chisel::health {
@@ -93,8 +94,11 @@ HealthMonitor::classify(const HealthSignals &s) const
 void
 HealthMonitor::transition(HealthState to)
 {
+    HealthState from = state();
     state_.store(static_cast<uint8_t>(to), std::memory_order_release);
     ++transitions_;
+    CHISEL_FLIGHT_EVENT(HealthTransition, to,
+                        static_cast<uint64_t>(from), transitions_);
     ++entered_[static_cast<size_t>(to)];
     warnStreak_ = critStreak_ = okStreak_ = stateCrit_ = 0;
 
@@ -202,6 +206,7 @@ HealthMonitor::takeAction()
 void
 HealthMonitor::actionCompleted(RecoveryAction action, bool success)
 {
+    CHISEL_FLIGHT_EVENT(RecoveryAction, action, success ? 1 : 0, 0);
     if (success || state() != HealthState::Quarantined)
         return;
     // A failed/skipped quarantine action arms the next rung at once

@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "fault/fault.hh"
 #include "persist/codec.hh"
+#include "telemetry/flight.hh"
 
 namespace chisel::persist {
 
@@ -301,6 +302,7 @@ UpdateJournal::append(const Update &update)
     rec.seq = ++seq_;
     rec.update = update;
     writeRecord(encodeRecord(rec));
+    CHISEL_FLIGHT_EVENT(JournalAppend, rec.type, rec.seq, 0);
     return rec.seq;
 }
 
@@ -318,6 +320,7 @@ UpdateJournal::appendOutcome(uint64_t seq, const UpdateOutcome &outcome)
     rec.slowPathRejections = outcome.slowPathRejections;
     rec.parityRecoveries = outcome.parityRecoveries;
     writeRecord(encodeRecord(rec));
+    CHISEL_FLIGHT_EVENT(JournalAppend, rec.type, rec.seq, 0);
 }
 
 void
@@ -327,6 +330,7 @@ UpdateJournal::appendSnapshotMark(uint64_t seq)
     rec.type = JournalRecord::Type::SnapshotMark;
     rec.seq = seq;
     writeRecord(encodeRecord(rec));
+    CHISEL_FLIGHT_EVENT(JournalAppend, rec.type, rec.seq, 0);
 }
 
 void
@@ -337,6 +341,7 @@ UpdateJournal::appendHousekeeping(JournalRecord::HousekeepingKind kind)
     rec.seq = seq_;   // Stamped, not consumed: updates keep their seqs.
     rec.housekeeping = kind;
     writeRecord(encodeRecord(rec));
+    CHISEL_FLIGHT_EVENT(JournalAppend, rec.type, rec.seq, 0);
 }
 
 void
@@ -350,6 +355,7 @@ UpdateJournal::sync()
         fatalError("journal fsync failed: " +
                    std::string(std::strerror(errno)));
     sinceSync_ = 0;
+    CHISEL_FLIGHT_EVENT(JournalSync, 0, seq_, 0);
 }
 
 } // namespace chisel::persist

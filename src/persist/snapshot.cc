@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "fault/fault.hh"
 #include "persist/codec.hh"
+#include "telemetry/flight.hh"
 
 namespace chisel::persist {
 
@@ -94,6 +95,7 @@ saveSnapshot(const std::string &path, const ChiselEngine &engine,
         fatalError("snapshot rename failed: " +
                    std::string(std::strerror(errno)));
     }
+    CHISEL_FLIGHT_EVENT(SnapshotSave, 0, last_seq, image.size());
     return image.size();
 }
 
@@ -173,6 +175,7 @@ loadSnapshot(const std::string &path, const ChiselConfig *expect)
         result.status = SnapshotLoadStatus::Missing;
         result.error = "cannot open snapshot '" + path + "': " +
                        std::strerror(errno);
+        CHISEL_FLIGHT_EVENT(SnapshotLoad, result.status, 0, 0);
         return result;
     }
     std::vector<uint8_t> bytes;
@@ -181,7 +184,9 @@ loadSnapshot(const std::string &path, const ChiselConfig *expect)
     while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0)
         bytes.insert(bytes.end(), chunk, chunk + n);
     std::fclose(f);
-    return loadSnapshotBuffer(bytes.data(), bytes.size(), expect);
+    result = loadSnapshotBuffer(bytes.data(), bytes.size(), expect);
+    CHISEL_FLIGHT_EVENT(SnapshotLoad, result.status, result.lastSeq, 0);
+    return result;
 }
 
 } // namespace chisel::persist

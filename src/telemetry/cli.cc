@@ -1,11 +1,33 @@
 #include "telemetry/cli.hh"
 
+#include <cstdlib>
 #include <cstring>
 
 #include "common/logging.hh"
 #include "core/engine.hh"
+#include "obs/introspect.hh"
 
 namespace chisel::telemetry {
+
+namespace {
+
+/** Digits-only parse of a flag value; @p fallback on anything else. */
+long
+parseLong(const char *value, long fallback)
+{
+    if (*value == '\0')
+        return fallback;
+    char *end = nullptr;
+    long parsed = std::strtol(value, &end, 10);
+    if (end == nullptr || *end != '\0' || parsed < 0) {
+        warn("ignoring non-numeric flag value '" +
+             std::string(value) + "'");
+        return fallback;
+    }
+    return parsed;
+}
+
+} // anonymous namespace
 
 TelemetryOptions
 TelemetryOptions::parse(int &argc, char **argv)
@@ -18,6 +40,16 @@ TelemetryOptions::parse(int &argc, char **argv)
             opts.metricsJsonPath = arg + 15;
         } else if (std::strncmp(arg, "--trace=", 8) == 0) {
             opts.tracePath = arg + 8;
+        } else if (std::strncmp(arg, "--flight-events=", 16) == 0) {
+            opts.flightEvents = static_cast<size_t>(
+                parseLong(arg + 16, long(opts.flightEvents)));
+        } else if (std::strncmp(arg, "--flight-dump=", 14) == 0) {
+            opts.flightDumpPrefix = arg + 14;
+        } else if (std::strncmp(arg, "--introspect-port=", 18) == 0) {
+            long port = parseLong(arg + 18, opts.introspectPort);
+            opts.introspectPort =
+                port <= 65535 ? static_cast<int>(port)
+                              : opts.introspectPort;
         } else {
             argv[out++] = argv[i];
         }
@@ -36,6 +68,36 @@ TelemetrySession::TelemetrySession(const TelemetryOptions &options)
         sink_ = std::make_unique<TraceSink>();
         engineTelemetry_->setTraceSink(sink_.get());
     }
+    if (options_.flightEnabled()) {
+        flight_ = std::make_unique<FlightRecorder>(
+            options_.flightEvents > 0 ? options_.flightEvents : 4096);
+        FlightRecorder::install(flight_.get());
+        if (!options_.flightDumpPrefix.empty())
+            FlightRecorder::installCrashHandler(
+                options_.flightDumpPrefix);
+    }
+    if (options_.introspectPort >= 0) {
+        server_ = std::make_unique<obs::IntrospectionServer>();
+        server_->attachRegistry(&registry_);
+        server_->attachFlight(flight_.get());
+        server_->start(static_cast<uint16_t>(options_.introspectPort));
+    }
+}
+
+TelemetrySession::~TelemetrySession()
+{
+    if (server_)
+        server_->stop();
+    if (flight_ && FlightRecorder::active() == flight_.get())
+        FlightRecorder::install(nullptr);
+}
+
+void
+TelemetrySession::attachIntrospection(
+    const concurrent::ConcurrentChisel &engine)
+{
+    if (server_)
+        server_->attachEngine(&engine);
 }
 
 void
@@ -74,6 +136,24 @@ TelemetrySession::finish()
         inform("access trace (" +
                std::to_string(sink_->events().size()) +
                " events) written to " + options_.tracePath);
+    }
+    if (server_)
+        server_->stop();
+    if (flight_) {
+        if (!options_.flightDumpPrefix.empty() &&
+            flight_->writeJsonFile(options_.flightDumpPrefix +
+                                   ".flight.json") &&
+            flight_->writeChromeTraceFile(options_.flightDumpPrefix +
+                                          ".flight.trace.json")) {
+            inform("flight dump (" +
+                   std::to_string(flight_->recorded()) +
+                   " events recorded) written to " +
+                   options_.flightDumpPrefix + ".flight[.trace].json");
+        }
+        // Uninstall so the atexit safety net doesn't dump again: a
+        // finished session has already flushed everything it owes.
+        if (FlightRecorder::active() == flight_.get())
+            FlightRecorder::install(nullptr);
     }
 }
 

@@ -3,12 +3,20 @@
  * Command-line wiring shared by the examples and bench harnesses:
  * parse (and strip) the telemetry flags every tool supports —
  *
- *     --metrics-json=<path>   write a MetricRegistry JSON snapshot
- *     --trace=<path>          write a Chrome trace_event JSON file
+ *     --metrics-json=<path>    write a MetricRegistry JSON snapshot
+ *     --trace=<path>           write a Chrome trace_event JSON file
+ *     --flight-events=<n>      keep the last n flight events per
+ *                              thread (installs a FlightRecorder)
+ *     --flight-dump=<prefix>   arm the crash/exit dump machinery and
+ *                              write <prefix>.flight[.trace].json on
+ *                              finish (implies a default recorder)
+ *     --introspect-port=<p>    serve /metrics /healthz /vars /flight
+ *                              on 127.0.0.1:<p> (0 = ephemeral port)
  *
  * — so harnesses keep their own positional arguments untouched.
- * TelemetrySession bundles the registry / engine-telemetry / sink
- * trio behind those options and writes the output files on finish().
+ * TelemetrySession bundles the registry / engine-telemetry / sink /
+ * flight-recorder / introspection-server set behind those options
+ * and writes the output files on finish().
  */
 
 #ifndef CHISEL_TELEMETRY_CLI_HH
@@ -18,12 +26,16 @@
 #include <string>
 
 #include "telemetry/engine_telemetry.hh"
+#include "telemetry/flight.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/trace.hh"
 
 namespace chisel {
 
 class ChiselEngine;
+
+namespace concurrent { class ConcurrentChisel; }
+namespace obs { class IntrospectionServer; }
 
 namespace telemetry {
 
@@ -33,15 +45,34 @@ struct TelemetryOptions
     std::string metricsJsonPath;   ///< Empty = no metrics export.
     std::string tracePath;         ///< Empty = no event trace.
 
+    /** Flight-ring capacity per thread; 0 = no recorder. */
+    size_t flightEvents = 0;
+
+    /** Crash/exit dump path prefix; empty = no dump files. */
+    std::string flightDumpPrefix;
+
+    /** Introspection port (0 = ephemeral); -1 = no server. */
+    int introspectPort = -1;
+
+    /** A flight recorder should be installed. */
+    bool
+    flightEnabled() const
+    {
+        return flightEvents > 0 || !flightDumpPrefix.empty();
+    }
+
     bool
     enabled() const
     {
-        return !metricsJsonPath.empty() || !tracePath.empty();
+        return !metricsJsonPath.empty() || !tracePath.empty() ||
+               flightEnabled() || introspectPort >= 0;
     }
 
     /**
-     * Extract --metrics-json= / --trace= from @p argv, compacting the
-     * remaining arguments in place and updating @p argc.
+     * Extract the telemetry flags from @p argv, compacting the
+     * remaining arguments in place and updating @p argc.  A repeated
+     * flag keeps its last value; a flag without '=' is not a
+     * telemetry flag and stays in argv.
      */
     static TelemetryOptions parse(int &argc, char **argv);
 };
@@ -55,8 +86,18 @@ class TelemetrySession
   public:
     explicit TelemetrySession(const TelemetryOptions &options);
 
+    /** Stops the introspection server, uninstalls the recorder. */
+    ~TelemetrySession();
+
     /** No-op when the session is disabled. */
     void attach(ChiselEngine &engine);
+
+    /**
+     * Expose @p engine through the introspection server's /healthz
+     * (no-op without --introspect-port).  The engine must outlive
+     * the session or be detached by stopping the server first.
+     */
+    void attachIntrospection(const concurrent::ConcurrentChisel &engine);
 
     bool enabled() const { return engineTelemetry_ != nullptr; }
 
@@ -66,6 +107,12 @@ class TelemetrySession
     {
         return engineTelemetry_.get();
     }
+
+    /** The installed flight recorder, or nullptr. */
+    FlightRecorder *flight() { return flight_.get(); }
+
+    /** The running introspection server, or nullptr. */
+    obs::IntrospectionServer *introspection() { return server_.get(); }
 
     /**
      * Snapshot gauges from the attached engine now and stop observing
@@ -86,6 +133,9 @@ class TelemetrySession
     MetricRegistry registry_;
     std::unique_ptr<EngineTelemetry> engineTelemetry_;
     std::unique_ptr<TraceSink> sink_;
+    std::unique_ptr<FlightRecorder> flight_;
+    /** Last member: destroyed first, before the sources it serves. */
+    std::unique_ptr<obs::IntrospectionServer> server_;
     ChiselEngine *engine_ = nullptr;
 };
 

@@ -1,0 +1,146 @@
+#include "telemetry/prometheus.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "telemetry/metrics.hh"
+
+namespace chisel::telemetry {
+
+namespace {
+
+bool
+isPrometheusChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+uint32_t
+fnv1a(const std::string &s)
+{
+    uint32_t h = 2166136261u;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 16777619u;
+    }
+    return h;
+}
+
+std::string
+hex8(uint32_t v)
+{
+    char buf[9];
+    std::snprintf(buf, sizeof(buf), "%08x", v);
+    return buf;
+}
+
+/** Shortest round-trip-ish double formatting (matches JSON export). */
+std::string
+formatDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // anonymous namespace
+
+std::string
+sanitizePrometheusName(const std::string &raw)
+{
+    if (raw.empty())
+        return "_";
+    std::string out;
+    out.reserve(raw.size() + 1);
+    if (raw[0] >= '0' && raw[0] <= '9')
+        out.push_back('_');
+    for (char c : raw)
+        out.push_back(isPrometheusChar(c) ? c : '_');
+    return out;
+}
+
+std::string
+escapePrometheusText(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string
+PrometheusNameMapper::assign(const std::string &raw)
+{
+    std::string name = sanitizePrometheusName(raw);
+    if (used_.insert(name).second)
+        return name;
+    // Collision: mangle with the raw spelling's hash, which differs
+    // for any two distinct raw names short of an FNV collision...
+    std::string mangled = name + "_" + hex8(fnv1a(raw));
+    // ...and a numeric tiebreak covers even that.
+    for (uint64_t i = 2; !used_.insert(mangled).second; ++i)
+        mangled = name + "_" + hex8(fnv1a(raw)) + "_" +
+                  std::to_string(i);
+    return mangled;
+}
+
+void
+writePrometheus(const MetricRegistry &registry, std::ostream &os)
+{
+    PrometheusNameMapper mapper;
+    for (const std::string &raw : registry.names()) {
+        std::string name = mapper.assign(raw);
+        std::string help = escapePrometheusText(raw);
+        if (const Counter *c = registry.findCounter(raw)) {
+            os << "# HELP " << name << " chisel counter \"" << help
+               << "\"\n";
+            os << "# TYPE " << name << " counter\n";
+            os << name << " " << c->value() << "\n";
+        } else if (const Gauge *g = registry.findGauge(raw)) {
+            os << "# HELP " << name << " chisel gauge \"" << help
+               << "\"\n";
+            os << "# TYPE " << name << " gauge\n";
+            os << name << " " << formatDouble(g->value()) << "\n";
+        } else if (const Pow2Histogram *h =
+                       registry.findHistogram(raw)) {
+            os << "# HELP " << name << " chisel histogram \"" << help
+               << "\"\n";
+            os << "# TYPE " << name << " histogram\n";
+            // Cumulative buckets over the range actually recorded;
+            // every bucket past bucketFor(max) would repeat count().
+            uint64_t count = h->count();
+            uint64_t cumulative = 0;
+            size_t last =
+                count ? Pow2Histogram::bucketFor(h->max()) : 0;
+            for (size_t i = 0; i <= last; ++i) {
+                cumulative += h->bucketCount(i);
+                os << name << "_bucket{le=\""
+                   << Pow2Histogram::bucketUpperBound(i) << "\"} "
+                   << cumulative << "\n";
+            }
+            os << name << "_bucket{le=\"+Inf\"} " << count << "\n";
+            os << name << "_sum " << h->sum() << "\n";
+            os << name << "_count " << count << "\n";
+        }
+    }
+}
+
+std::string
+toPrometheus(const MetricRegistry &registry)
+{
+    std::ostringstream os;
+    writePrometheus(registry, os);
+    return os.str();
+}
+
+} // namespace chisel::telemetry

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Prometheus text exposition (format 0.0.4) of a MetricRegistry.
+ *
+ * The registry's dot-separated names ("engine.lookup.accesses") are
+ * not legal Prometheus metric names, which must match
+ * [a-zA-Z_:][a-zA-Z0-9_:]*.  sanitizePrometheusName() maps every
+ * illegal character to '_'; because that mapping is lossy ("a.b" and
+ * "a_b" collide), PrometheusNameMapper assigns final exposition names
+ * collision-safely: the first raw name (in assignment order) keeps
+ * the plain sanitized form, later colliders get a stable FNV-1a
+ * suffix derived from their raw spelling.  writePrometheus() assigns
+ * in the registry's sorted-name order, so the mapping is
+ * deterministic across runs and processes.
+ *
+ * Counters and gauges expose their value directly; Pow2Histograms
+ * expose the standard cumulative _bucket{le="..."} series (one bucket
+ * per power of two actually reachable by the recorded range, plus
+ * +Inf), together with _sum and _count.
+ */
+
+#ifndef CHISEL_TELEMETRY_PROMETHEUS_HH
+#define CHISEL_TELEMETRY_PROMETHEUS_HH
+
+#include <iosfwd>
+#include <set>
+#include <string>
+
+namespace chisel::telemetry {
+
+class MetricRegistry;
+
+/**
+ * Map @p raw to the Prometheus name charset: every character outside
+ * [a-zA-Z0-9_:] becomes '_', and a leading digit is prefixed with
+ * '_'.  Empty input yields "_".  No collision handling — use
+ * PrometheusNameMapper when exposing a whole registry.
+ */
+std::string sanitizePrometheusName(const std::string &raw);
+
+/**
+ * Escape a HELP-text / label value for the text exposition format:
+ * backslash, double quote (label values only need it, escaping it in
+ * HELP is harmless), and newline.
+ */
+std::string escapePrometheusText(const std::string &raw);
+
+/**
+ * Collision-safe raw-name -> exposition-name assignment.  Call
+ * assign() once per raw name, in a deterministic order; equal raw
+ * names get equal results only if assigned once (the mapper does not
+ * memoize raw names — registries cannot contain duplicates).
+ */
+class PrometheusNameMapper
+{
+  public:
+    /**
+     * The exposition name for @p raw: its sanitized form if still
+     * unclaimed, otherwise the sanitized form plus "_" and the
+     * 8-hex-digit FNV-1a hash of the raw spelling (extended with a
+     * numeric tiebreak in the pathological double-collision case).
+     */
+    std::string assign(const std::string &raw);
+
+  private:
+    std::set<std::string> used_;
+};
+
+/** Write the registry as Prometheus text exposition format 0.0.4. */
+void writePrometheus(const MetricRegistry &registry, std::ostream &os);
+
+/** writePrometheus into a returned string. */
+std::string toPrometheus(const MetricRegistry &registry);
+
+} // namespace chisel::telemetry
+
+#endif // CHISEL_TELEMETRY_PROMETHEUS_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the telemetry command-line wiring: TelemetryOptions::parse
+ * flag extraction (recognized flags are stripped, positional arguments
+ * compact in order, a flag without '=' is left alone, repeated flags
+ * keep their last value, junk numeric values fall back to defaults)
+ * and the TelemetrySession recorder install/uninstall lifecycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "telemetry/cli.hh"
+#include "telemetry/flight.hh"
+
+namespace chisel {
+namespace {
+
+using telemetry::FlightRecorder;
+using telemetry::TelemetryOptions;
+using telemetry::TelemetrySession;
+
+/** Run TelemetryOptions::parse over a mutable copy of @p args. */
+struct ParseResult
+{
+    TelemetryOptions opts;
+    std::vector<std::string> rest;  ///< argv after compaction.
+};
+
+ParseResult
+parse(std::vector<std::string> args)
+{
+    args.insert(args.begin(), "prog");
+    std::vector<char *> argv;
+    argv.reserve(args.size());
+    for (auto &a : args)
+        argv.push_back(a.data());
+    int argc = static_cast<int>(argv.size());
+
+    ParseResult r;
+    r.opts = TelemetryOptions::parse(argc, argv.data());
+    for (int i = 1; i < argc; ++i)
+        r.rest.emplace_back(argv[i]);
+    return r;
+}
+
+// ---- Flag extraction -------------------------------------------------------
+
+TEST(TelemetryCli, DefaultsAreDisabled)
+{
+    ParseResult r = parse({});
+    EXPECT_FALSE(r.opts.enabled());
+    EXPECT_FALSE(r.opts.flightEnabled());
+    EXPECT_EQ(r.opts.flightEvents, 0u);
+    EXPECT_EQ(r.opts.introspectPort, -1);
+    EXPECT_TRUE(r.rest.empty());
+}
+
+TEST(TelemetryCli, StripsFlagsAndCompactsPositionals)
+{
+    ParseResult r = parse({"pos1", "--metrics-json=m.json", "pos2",
+                           "--trace=t.json", "--flight-events=64",
+                           "pos3"});
+    EXPECT_EQ(r.opts.metricsJsonPath, "m.json");
+    EXPECT_EQ(r.opts.tracePath, "t.json");
+    EXPECT_EQ(r.opts.flightEvents, 64u);
+    // Positional arguments survive, in order, with no holes.
+    ASSERT_EQ(r.rest.size(), 3u);
+    EXPECT_EQ(r.rest[0], "pos1");
+    EXPECT_EQ(r.rest[1], "pos2");
+    EXPECT_EQ(r.rest[2], "pos3");
+}
+
+TEST(TelemetryCli, FlagWithoutEqualsIsNotATelemetryFlag)
+{
+    // "--trace" (no '=') belongs to the harness, not to us.
+    ParseResult r = parse({"--metrics-json", "--trace",
+                           "--flight-events"});
+    EXPECT_FALSE(r.opts.enabled());
+    ASSERT_EQ(r.rest.size(), 3u);
+    EXPECT_EQ(r.rest[0], "--metrics-json");
+    EXPECT_EQ(r.rest[2], "--flight-events");
+}
+
+TEST(TelemetryCli, RepeatedFlagKeepsLastValue)
+{
+    ParseResult r = parse({"--metrics-json=first.json",
+                           "--metrics-json=second.json",
+                           "--flight-events=16",
+                           "--flight-events=128"});
+    EXPECT_EQ(r.opts.metricsJsonPath, "second.json");
+    EXPECT_EQ(r.opts.flightEvents, 128u);
+    EXPECT_TRUE(r.rest.empty());
+}
+
+TEST(TelemetryCli, FlightFlags)
+{
+    ParseResult r = parse({"--flight-events=256",
+                           "--flight-dump=run1"});
+    EXPECT_EQ(r.opts.flightEvents, 256u);
+    EXPECT_EQ(r.opts.flightDumpPrefix, "run1");
+    EXPECT_TRUE(r.opts.flightEnabled());
+    EXPECT_TRUE(r.opts.enabled());
+
+    // --flight-dump alone implies a recorder.
+    ParseResult dumpOnly = parse({"--flight-dump=run2"});
+    EXPECT_EQ(dumpOnly.opts.flightEvents, 0u);
+    EXPECT_TRUE(dumpOnly.opts.flightEnabled());
+}
+
+TEST(TelemetryCli, IntrospectPort)
+{
+    EXPECT_EQ(parse({"--introspect-port=0"}).opts.introspectPort, 0);
+    EXPECT_EQ(parse({"--introspect-port=8080"}).opts.introspectPort,
+              8080);
+    // Out-of-range and junk values keep the disabled default.
+    EXPECT_EQ(parse({"--introspect-port=99999"}).opts.introspectPort,
+              -1);
+    EXPECT_EQ(parse({"--introspect-port=http"}).opts.introspectPort,
+              -1);
+    EXPECT_EQ(parse({"--introspect-port=-1"}).opts.introspectPort, -1);
+}
+
+TEST(TelemetryCli, JunkNumericValueFallsBack)
+{
+    EXPECT_EQ(parse({"--flight-events=12x"}).opts.flightEvents, 0u);
+    EXPECT_EQ(parse({"--flight-events="}).opts.flightEvents, 0u);
+}
+
+// ---- Session lifecycle -----------------------------------------------------
+
+TEST(TelemetryCli, SessionInstallsAndFinishUninstallsRecorder)
+{
+    ASSERT_EQ(FlightRecorder::active(), nullptr);
+    {
+        TelemetryOptions opts;
+        opts.flightEvents = 64;
+        TelemetrySession session(opts);
+        ASSERT_TRUE(session.enabled());
+        ASSERT_NE(session.flight(), nullptr);
+        EXPECT_EQ(FlightRecorder::active(), session.flight());
+        session.finish();
+        // A finished session has flushed everything it owes; the
+        // atexit safety net must not dump it again.
+        EXPECT_EQ(FlightRecorder::active(), nullptr);
+    }
+    EXPECT_EQ(FlightRecorder::active(), nullptr);
+}
+
+TEST(TelemetryCli, SessionDestructorUninstallsWithoutFinish)
+{
+    ASSERT_EQ(FlightRecorder::active(), nullptr);
+    {
+        TelemetryOptions opts;
+        opts.flightEvents = 64;
+        TelemetrySession session(opts);
+        EXPECT_EQ(FlightRecorder::active(), session.flight());
+        // No finish(): the destructor must still uninstall.
+    }
+    EXPECT_EQ(FlightRecorder::active(), nullptr);
+}
+
+TEST(TelemetryCli, DisabledSessionHasNoRecorderOrServer)
+{
+    TelemetryOptions opts;
+    TelemetrySession session(opts);
+    EXPECT_FALSE(session.enabled());
+    EXPECT_EQ(session.flight(), nullptr);
+    EXPECT_EQ(session.introspection(), nullptr);
+    session.finish();  // Safe no-op.
+}
+
+} // anonymous namespace
+} // namespace chisel

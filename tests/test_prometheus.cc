@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the Prometheus text exposition of a MetricRegistry:
+ * name sanitization to [a-zA-Z_:][a-zA-Z0-9_:]*, collision-safe
+ * mangling when sanitization is lossy, HELP-text escaping, and the
+ * exposition document itself (HELP/TYPE lines, counter and gauge
+ * values, cumulative histogram buckets ending at +Inf == _count).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/prometheus.hh"
+
+namespace chisel {
+namespace {
+
+using telemetry::MetricRegistry;
+using telemetry::Pow2Histogram;
+using telemetry::PrometheusNameMapper;
+using telemetry::escapePrometheusText;
+using telemetry::sanitizePrometheusName;
+using telemetry::toPrometheus;
+
+/** True iff @p name matches [a-zA-Z_:][a-zA-Z0-9_:]*. */
+bool
+isLegalName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    auto legal = [](char c, bool first) {
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+            c == ':') {
+            return true;
+        }
+        return !first && std::isdigit(static_cast<unsigned char>(c));
+    };
+    for (size_t i = 0; i < name.size(); ++i) {
+        if (!legal(name[i], i == 0))
+            return false;
+    }
+    return true;
+}
+
+// ---- Sanitization ----------------------------------------------------------
+
+TEST(PrometheusName, MapsRegistryNamesToLegalCharset)
+{
+    EXPECT_EQ(sanitizePrometheusName("engine.lookup.accesses"),
+              "engine_lookup_accesses");
+    EXPECT_EQ(sanitizePrometheusName("already_legal:name"),
+              "already_legal:name");
+    EXPECT_EQ(sanitizePrometheusName("dash-and space"),
+              "dash_and_space");
+}
+
+TEST(PrometheusName, LeadingDigitGetsPrefixed)
+{
+    EXPECT_EQ(sanitizePrometheusName("4readers.rate"),
+              "_4readers_rate");
+    // Non-leading digits are fine as-is.
+    EXPECT_EQ(sanitizePrometheusName("p99"), "p99");
+}
+
+TEST(PrometheusName, EmptyBecomesUnderscore)
+{
+    EXPECT_EQ(sanitizePrometheusName(""), "_");
+}
+
+TEST(PrometheusName, EveryOutputIsLegal)
+{
+    const std::vector<std::string> nasty = {
+        "", "7", "a.b", "a b", "\n", "Ünïcode", "a--b..c",
+        "trailing.", ".leading", std::string(1, '\0'),
+    };
+    for (const auto &raw : nasty)
+        EXPECT_TRUE(isLegalName(sanitizePrometheusName(raw)))
+            << "raw input produced illegal name";
+}
+
+// ---- Collision-safe mapping ------------------------------------------------
+
+TEST(PrometheusMapper, FirstNameKeepsPlainForm)
+{
+    PrometheusNameMapper m;
+    EXPECT_EQ(m.assign("a.b"), "a_b");
+}
+
+TEST(PrometheusMapper, ColliderGetsStableSuffix)
+{
+    PrometheusNameMapper m;
+    std::string first = m.assign("a.b");
+    std::string second = m.assign("a_b");
+    EXPECT_EQ(first, "a_b");
+    EXPECT_NE(second, first);
+    EXPECT_TRUE(isLegalName(second));
+    // The suffix is derived from the raw spelling, so a fresh mapper
+    // assigning in the same order reproduces it exactly.
+    PrometheusNameMapper m2;
+    m2.assign("a.b");
+    EXPECT_EQ(m2.assign("a_b"), second);
+}
+
+TEST(PrometheusMapper, ThreeWayCollisionStaysDistinct)
+{
+    PrometheusNameMapper m;
+    std::string a = m.assign("x.y");
+    std::string b = m.assign("x_y");
+    std::string c = m.assign("x y");
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(b, c);
+    EXPECT_TRUE(isLegalName(a));
+    EXPECT_TRUE(isLegalName(b));
+    EXPECT_TRUE(isLegalName(c));
+}
+
+// ---- HELP/label escaping ---------------------------------------------------
+
+TEST(PrometheusEscape, EscapesBackslashQuoteNewline)
+{
+    EXPECT_EQ(escapePrometheusText("plain"), "plain");
+    EXPECT_EQ(escapePrometheusText("a\\b"), "a\\\\b");
+    EXPECT_EQ(escapePrometheusText("a\"b"), "a\\\"b");
+    EXPECT_EQ(escapePrometheusText("a\nb"), "a\\nb");
+}
+
+// ---- Exposition document ---------------------------------------------------
+
+TEST(PrometheusExposition, CountersAndGauges)
+{
+    MetricRegistry registry;
+    registry.counter("engine.updates.applied").inc(42);
+    registry.gauge("engine.load.factor").set(0.75);
+
+    std::string text = toPrometheus(registry);
+    EXPECT_NE(text.find("# HELP engine_updates_applied"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE engine_updates_applied counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("engine_updates_applied 42"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE engine_load_factor gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("engine_load_factor 0.75"),
+              std::string::npos);
+    // The HELP line carries the raw dotted name for traceability.
+    EXPECT_NE(text.find("\"engine.updates.applied\""),
+              std::string::npos);
+}
+
+TEST(PrometheusExposition, HistogramBucketsAreCumulative)
+{
+    MetricRegistry registry;
+    Pow2Histogram &h = registry.histogram("lookup.latency");
+    h.sample(1);
+    h.sample(2);
+    h.sample(100);
+
+    std::string text = toPrometheus(registry);
+    EXPECT_NE(text.find("# TYPE lookup_latency histogram"),
+              std::string::npos);
+    // +Inf bucket equals _count; _count equals the sample count.
+    EXPECT_NE(text.find("lookup_latency_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("lookup_latency_count 3"), std::string::npos);
+    EXPECT_NE(text.find("lookup_latency_sum 103"), std::string::npos);
+
+    // Cumulative pow2 buckets: le="1" holds the 1, le="3" already
+    // includes it alongside the 2, le="127" covers all three.
+    EXPECT_NE(text.find("lookup_latency_bucket{le=\"1\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("lookup_latency_bucket{le=\"3\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("lookup_latency_bucket{le=\"127\"} 3"),
+              std::string::npos);
+}
+
+TEST(PrometheusExposition, CollidingRegistryNamesStayDistinct)
+{
+    MetricRegistry registry;
+    registry.counter("a.b").inc(1);
+    registry.counter("a_b").inc(2);
+
+    std::string text = toPrometheus(registry);
+    // Both series appear and are not merged: the exposition must
+    // contain two distinct TYPE lines for counters.
+    size_t first = text.find("# TYPE a_b");
+    ASSERT_NE(first, std::string::npos);
+    size_t second = text.find("# TYPE a_b", first + 1);
+    EXPECT_NE(second, std::string::npos);
+}
+
+TEST(PrometheusExposition, EveryExposedNameIsLegal)
+{
+    MetricRegistry registry;
+    registry.counter("7.leading.digit").inc(1);
+    registry.gauge("sp ace").set(1.0);
+    registry.histogram("hy-phen").sample(4);
+
+    std::istringstream is(toPrometheus(registry));
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::string name = line.substr(0, line.find_first_of(" {"));
+        EXPECT_TRUE(isLegalName(name)) << "illegal series: " << line;
+    }
+}
+
+} // anonymous namespace
+} // namespace chisel

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Compare perf_driver BENCH_*.json documents and gate regressions.
+
+Usage:
+    bench_compare.py --baseline DIR --candidate DIR [options]
+    bench_compare.py --validate-only --candidate DIR
+
+Modes:
+    --validate-only   only schema-check the candidate documents
+    (default)         validate both sides, then compare each scenario
+
+Comparison rules (per scenario):
+    * config_fingerprint must match -- two documents with different
+      fingerprints measured different workloads, and comparing them
+      would be meaningless; this is a hard error, not a skip.
+    * ops_per_sec: candidate/baseline must be >= --threshold.
+    * p99_ns: candidate must be <= baseline / --threshold (latency may
+      grow by the reciprocal of the allowed throughput shrink).
+    * accesses_per_op: candidate must be <= baseline * --access-slack;
+      skipped when either side is 0 (tracing compiled out).
+
+Exit status: 0 all good, 1 validation failure or regression, 2 usage.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA = "chisel.bench.v1"
+SCENARIOS = ["lookup", "update", "concurrent"]
+
+REQUIRED_FIELDS = {
+    "schema": str,
+    "scenario": str,
+    "commit": str,
+    "config_fingerprint": str,
+    "quick": bool,
+    "table_size": int,
+    "ops": int,
+    "threads": int,
+    "ops_per_sec": (int, float),
+    "p50_ns": int,
+    "p95_ns": int,
+    "p99_ns": int,
+    "accesses_per_op": (int, float),
+}
+
+
+def fail(msg):
+    print(f"bench_compare: FAIL: {msg}")
+    return False
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: FAIL: cannot load {path}: {e}")
+        return None
+
+
+def validate(doc, path):
+    ok = True
+    for field, kind in REQUIRED_FIELDS.items():
+        if field not in doc:
+            ok = fail(f"{path}: missing field '{field}'")
+        elif not isinstance(doc[field], kind) or (
+            kind is int and isinstance(doc[field], bool)
+        ):
+            ok = fail(
+                f"{path}: field '{field}' has type "
+                f"{type(doc[field]).__name__}"
+            )
+    if doc.get("schema") not in (None, SCHEMA):
+        ok = fail(f"{path}: schema '{doc['schema']}' != '{SCHEMA}'")
+    if isinstance(doc.get("ops_per_sec"), (int, float)) and not (
+        doc["ops_per_sec"] > 0
+    ):
+        ok = fail(f"{path}: ops_per_sec must be > 0")
+    return ok
+
+
+def compare(scenario, base, cand, args):
+    ok = True
+    if base["config_fingerprint"] != cand["config_fingerprint"]:
+        return fail(
+            f"{scenario}: config fingerprint mismatch "
+            f"({base['config_fingerprint']} vs "
+            f"{cand['config_fingerprint']}) -- refusing to compare "
+            "different workloads"
+        )
+
+    ratio = cand["ops_per_sec"] / base["ops_per_sec"]
+    print(
+        f"bench_compare: {scenario:<10} ops/s "
+        f"{base['ops_per_sec']:14.0f} -> {cand['ops_per_sec']:14.0f} "
+        f"({ratio:6.2%})"
+    )
+    if ratio < args.threshold:
+        ok = fail(
+            f"{scenario}: throughput regressed to {ratio:.2%} of "
+            f"baseline (floor {args.threshold:.2%})"
+        )
+
+    if base["p99_ns"] > 0:
+        allowed = base["p99_ns"] / args.threshold
+        if cand["p99_ns"] > allowed:
+            ok = fail(
+                f"{scenario}: p99 regressed {base['p99_ns']} -> "
+                f"{cand['p99_ns']} ns (ceiling {allowed:.0f})"
+            )
+
+    if base["accesses_per_op"] > 0 and cand["accesses_per_op"] > 0:
+        ceiling = base["accesses_per_op"] * args.access_slack
+        if cand["accesses_per_op"] > ceiling:
+            ok = fail(
+                f"{scenario}: accesses/op regressed "
+                f"{base['accesses_per_op']:.2f} -> "
+                f"{cand['accesses_per_op']:.2f} "
+                f"(ceiling {ceiling:.2f})"
+            )
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument("--baseline", help="directory with baseline JSONs")
+    ap.add_argument(
+        "--candidate", required=True, help="directory with new JSONs"
+    )
+    ap.add_argument(
+        "--scenarios",
+        default=",".join(SCENARIOS),
+        help="comma-separated subset to check",
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.75,
+        help="minimum allowed candidate/baseline throughput ratio",
+    )
+    ap.add_argument(
+        "--access-slack",
+        type=float,
+        default=1.05,
+        help="maximum allowed accesses/op growth factor",
+    )
+    ap.add_argument(
+        "--validate-only",
+        action="store_true",
+        help="schema-check the candidate documents, no comparison",
+    )
+    args = ap.parse_args()
+
+    if not args.validate_only and not args.baseline:
+        ap.error("--baseline is required unless --validate-only")
+
+    scenarios = [s for s in args.scenarios.split(",") if s]
+    unknown = set(scenarios) - set(SCENARIOS)
+    if unknown:
+        ap.error(f"unknown scenario(s): {', '.join(sorted(unknown))}")
+
+    ok = True
+    for scenario in scenarios:
+        name = f"BENCH_{scenario}.json"
+        cand = load(os.path.join(args.candidate, name))
+        if cand is None or not validate(cand, name):
+            ok = False
+            continue
+        if args.validate_only:
+            print(f"bench_compare: {name}: schema OK")
+            continue
+        base = load(os.path.join(args.baseline, name))
+        if base is None or not validate(base, f"baseline/{name}"):
+            ok = False
+            continue
+        if not compare(scenario, base, cand, args):
+            ok = False
+
+    if ok:
+        print("bench_compare: OK")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
