@@ -126,6 +126,12 @@ int
 main(int argc, char **argv)
 {
     auto options = telemetry::TelemetryOptions::parse(argc, argv);
+    telemetry::FlagTable flags(
+        "bench_concurrent",
+        "Wait-free lookup throughput under live updates (fixed "
+        "workload; tune via the telemetry options only).");
+    if (!flags.parseStrict(argc, argv))
+        return flags.helpRequested() ? 0 : 2;
     // The recorder flies on every run: a wedged or crashed bench
     // leaves its last events in <prefix>.crash.json.
     if (options.flightEvents == 0)

@@ -74,15 +74,16 @@ main(int argc, char **argv)
     size_t n_updates = 10000;
     size_t n_routes = 5000;
     uint64_t seed = 0xC0A5;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg.rfind("--updates=", 0) == 0)
-            n_updates = std::strtoull(arg.c_str() + 10, nullptr, 10);
-        else if (arg.rfind("--routes=", 0) == 0)
-            n_routes = std::strtoull(arg.c_str() + 9, nullptr, 10);
-        else if (arg.rfind("--seed=", 0) == 0)
-            seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
-    }
+    telemetry::FlagTable flags(
+        "chaos_soak",
+        "Flap storm through a fault-injected concurrent engine with "
+        "a full recovery-ladder audit.");
+    flags.sizeFlag("updates", "flap-storm length (default 10000)",
+                   &n_updates)
+        .sizeFlag("routes", "table size (default 5000)", &n_routes)
+        .u64Flag("seed", "deterministic scenario seed", &seed);
+    if (!flags.parseStrict(argc, argv))
+        return flags.helpRequested() ? 0 : 2;
 
     std::printf("chaos soak: %zu routes, %zu-update flap storm, "
                 "seed %llu, fault injection %s\n",

@@ -9,6 +9,8 @@
  *
  * Without arguments a synthetic table and an rrc00-profile trace are
  * generated.  Trace format: "A prefix nexthop" / "W prefix" lines.
+ * Run with --help for the full option list; unknown --options exit
+ * nonzero (telemetry/cli.hh FlagTable).
  *
  * Telemetry options: --metrics-json=<path> (telemetry snapshot with
  * per-update write histograms), --trace=<path> (Chrome trace_event
@@ -79,50 +81,50 @@ struct ReplayOptions
     uint64_t dirtyBudget = 0;
     uint64_t purgeEvery = 0;      // 0 = never.
 
-    /** Strip the persistence flags from @p argv, like
-     *  TelemetryOptions::parse does for the telemetry ones. */
-    static ReplayOptions
-    parse(int &argc, char **argv)
+    /**
+     * Register every replay flag on @p flags.  Parsing is strict
+     * (telemetry/cli.hh FlagTable): an unknown --option or malformed
+     * value exits nonzero with the generated --help text.
+     */
+    void
+    registerFlags(telemetry::FlagTable &flags)
     {
-        ReplayOptions opts;
-        int out = 1;
-        for (int i = 1; i < argc; ++i) {
-            std::string arg = argv[i];
-            auto value = [&](const char *flag) -> const char * {
-                size_t n = std::strlen(flag);
-                return arg.compare(0, n, flag) == 0
-                           ? arg.c_str() + n
-                           : nullptr;
-            };
-            if (const char *v = value("--journal="))
-                opts.journalPath = v;
-            else if (const char *v = value("--snapshot="))
-                opts.snapshotPath = v;
-            else if (const char *v = value("--snapshot-every="))
-                opts.snapshotEvery = std::strtoull(v, nullptr, 10);
-            else if (const char *v = value("--fsync-every="))
-                opts.fsyncEvery = std::strtoull(v, nullptr, 10);
-            else if (const char *v = value("--crash-after="))
-                opts.crashAfter = std::strtoull(v, nullptr, 10);
-            else if (const char *v = value("--abort-after="))
-                opts.abortAfter = std::strtoull(v, nullptr, 10);
-            else if (arg == "--recover")
-                opts.recover = true;
-            else if (const char *v = value("--routes="))
-                opts.routes = std::strtoull(v, nullptr, 10);
-            else if (const char *v = value("--updates="))
-                opts.updates = std::strtoull(v, nullptr, 10);
-            else if (arg == "--flap-storm")
-                opts.flapStorm = true;
-            else if (const char *v = value("--dirty-budget="))
-                opts.dirtyBudget = std::strtoull(v, nullptr, 10);
-            else if (const char *v = value("--purge-every="))
-                opts.purgeEvery = std::strtoull(v, nullptr, 10);
-            else
-                argv[out++] = argv[i];
-        }
-        argc = out;
-        return opts;
+        flags.stringFlag("journal", "write-ahead journal path",
+                         &journalPath)
+            .stringFlag("snapshot", "snapshot image path",
+                        &snapshotPath)
+            .u64Flag("snapshot-every",
+                     "snapshot after every n applied updates "
+                     "(0 = never)",
+                     &snapshotEvery)
+            .u64Flag("fsync-every",
+                     "fsync the journal every n records (default 1)",
+                     &fsyncEvery)
+            .u64Flag("crash-after",
+                     "raise SIGKILL after n applied updates",
+                     &crashAfter)
+            .u64Flag("abort-after",
+                     "raise SIGABRT after n applied updates "
+                     "(runs the flight-recorder crash handler)",
+                     &abortAfter)
+            .boolFlag("recover",
+                      "recover from snapshot+journal, audit, then "
+                      "resume the trace",
+                      &recover)
+            .sizeFlag("routes", "synthetic table size (default 80000)",
+                      &routes)
+            .sizeFlag("updates",
+                      "synthetic trace length (default 300000)",
+                      &updates)
+            .boolFlag("flap-storm",
+                      "synthesize a flap-storm trace", &flapStorm)
+            .u64Flag("dirty-budget",
+                     "per-cell dirty-group retention budget (0 = off)",
+                     &dirtyBudget)
+            .u64Flag("purge-every",
+                     "purgeDirty() every n applied updates, journaled "
+                     "as Housekeeping (0 = never)",
+                     &purgeEvery);
     }
 };
 
@@ -155,7 +157,14 @@ main(int argc, char **argv)
 
     telemetry::TelemetryOptions topts =
         telemetry::TelemetryOptions::parse(argc, argv);
-    ReplayOptions popts = ReplayOptions::parse(argc, argv);
+    ReplayOptions popts;
+    telemetry::FlagTable flags(
+        "example_update_replay",
+        "Replay an update trace against a journaled Chisel engine "
+        "(positional: [trace.txt [table.txt]]).");
+    popts.registerFlags(flags);
+    if (!flags.parseStrict(argc, argv))
+        return flags.helpRequested() ? 0 : 2;
 
     // The replay always flies with the recorder on, so the abort
     // drill (and any real crash) has history to dump.
@@ -336,11 +345,30 @@ main(int argc, char **argv)
     StopWatch watch;
     size_t rejected = 0;
     uint64_t applied = 0;
+    bool degraded = false;
     for (size_t i = start; i < trace.size(); ++i) {
         const Update &u = trace[i];
         uint64_t seq = 0;
-        if (journal)
+        if (journal) {
             seq = journal->append(u);   // Durable before applied.
+            if (seq == 0) {
+                // The journal could not durably log this update: the
+                // durability contract is void, so the replay stops
+                // acknowledging — the update is neither applied nor
+                // added to the truth, exactly as a daemon must stop
+                // acking peers it can no longer survive a crash for.
+                degraded = true;
+                std::printf(
+                    "DEGRADED: journal I/O failure (%s) after seq "
+                    "%llu; stopped acknowledging at update %zu of "
+                    "%zu\n",
+                    journal->ioError().c_str(),
+                    static_cast<unsigned long long>(
+                        journal->lastSeq()),
+                    i, trace.size());
+                break;
+            }
+        }
         UpdateOutcome out = engine->apply(u);
         if (journal)
             journal->appendOutcome(seq, out);
@@ -466,12 +494,25 @@ main(int argc, char **argv)
         hmon.publish(session.registry());
     if (rejected > 0)
         std::printf("Rejected updates during replay: %zu\n", rejected);
-    if (journal)
-        std::printf("Journal: %llu records written, last seq %llu\n",
+    if (journal) {
+        std::printf("Journal: %llu records written, last seq %llu, "
+                    "%llu I/O errors (%s)\n",
                     static_cast<unsigned long long>(
                         journal->recordsWritten()),
                     static_cast<unsigned long long>(
-                        journal->lastSeq()));
+                        journal->lastSeq()),
+                    static_cast<unsigned long long>(
+                        journal->ioErrors()),
+                    journal->ioHealthy() ? "healthy" : "DEGRADED");
+        if (session.enabled())
+            session.registry()
+                .gauge("journal.io_errors")
+                .set(static_cast<double>(journal->ioErrors()));
+    }
+    if (degraded)
+        std::printf("Run ended Degraded: the journal refused further "
+                    "appends; unacknowledged trace tail was not "
+                    "applied\n");
 
     int code = (wrong == 0 && lost == 0 && phantom == 0) ? 0 : 1;
     return finishRun(session, engine.get(), code);

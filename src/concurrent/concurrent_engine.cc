@@ -392,6 +392,10 @@ ConcurrentChisel::executeAction(health::RecoveryAction action)
         if (options_.recoverySnapshotPath.empty())
             return false;   // No known-good image: rung unavailable.
         return restoreFromSnapshot(options_.recoverySnapshotPath);
+      case health::RecoveryAction::FailedOver:
+        // Recorded by Follower::promote(), never recommended by the
+        // monitor; there is nothing for the dead node to execute.
+        break;
       case health::RecoveryAction::kCount:
         break;
     }

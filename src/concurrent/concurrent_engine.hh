@@ -221,6 +221,9 @@ class ConcurrentChisel
     /** The state machine itself (counters, publish()). */
     const health::HealthMonitor &monitor() const { return monitor_; }
 
+    /** Mutable monitor access (promotion records a failover on it). */
+    health::HealthMonitor &monitor() { return monitor_; }
+
     /**
      * Sample signals, step the state machine, and execute at most one
      * recovery action.  Runs periodically on the control thread when

@@ -75,6 +75,7 @@ faultPointName(FaultPoint p)
       case FaultPoint::BitFlipResult: return "bit_flip_result";
       case FaultPoint::JournalTornWrite: return "journal_torn_write";
       case FaultPoint::SnapshotCorrupt: return "snapshot_corrupt";
+      case FaultPoint::JournalIoError: return "journal_io_error";
       case FaultPoint::kCount: break;
     }
     return "unknown";

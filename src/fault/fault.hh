@@ -100,6 +100,14 @@ enum class FaultPoint : uint8_t
      */
     SnapshotCorrupt,
 
+    /**
+     * The journal's backing store refuses a write (the ENOSPC model):
+     * no byte of the record lands, the journal latches ioFailed and
+     * refuses all later appends.  Exercises the stop-acknowledging
+     * degradation contract (docs/persistence.md).
+     */
+    JournalIoError,
+
     kCount,
 };
 

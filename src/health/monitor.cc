@@ -28,6 +28,7 @@ recoveryActionName(RecoveryAction a)
       case RecoveryAction::Scrub: return "scrub";
       case RecoveryAction::Resetup: return "resetup";
       case RecoveryAction::SnapshotRestore: return "snapshot_restore";
+      case RecoveryAction::FailedOver: return "failed_over";
       case RecoveryAction::kCount: break;
     }
     return "?";
@@ -218,6 +219,22 @@ HealthMonitor::actionCompleted(RecoveryAction action, bool success)
         pending_ = RecoveryAction::Resetup;
         quarantineRung_ = 1;
     }
+}
+
+void
+HealthMonitor::recordFailover()
+{
+    ++actions_[static_cast<size_t>(RecoveryAction::FailedOver)];
+    CHISEL_FLIGHT_EVENT(RecoveryAction, RecoveryAction::FailedOver, 1,
+                        0);
+    // A promoted standby serves immediately, but on probation: it
+    // must produce recoverAfter clean samples before claiming
+    // Healthy, exactly like a node leaving Quarantined.
+    if (state() != HealthState::Recovering)
+        transition(HealthState::Recovering);
+    // transition() arms no action for Recovering; clear anything a
+    // prior state left pending — the failover superseded it.
+    pending_ = RecoveryAction::None;
 }
 
 // ---- Introspection ---------------------------------------------------------

@@ -67,6 +67,11 @@ enum class RecoveryAction : uint8_t
     Scrub,            ///< Full parity scrub (ConcurrentChisel::scrubNow).
     Resetup,          ///< Rebuild both images from the live route set.
     SnapshotRestore,  ///< Last resort: reload a known-good snapshot.
+    FailedOver,       ///< The node itself was replaced: a warm standby
+                      ///< promoted to leader (src/replica/).  Recorded
+                      ///< by recordFailover(), never recommended by
+                      ///< the sampler — losing the node is not a
+                      ///< condition the local ladder can repair.
     kCount,
 };
 
@@ -168,6 +173,14 @@ class HealthMonitor
      * Quarantined re-arms the next rung of the ladder.
      */
     void actionCompleted(RecoveryAction action, bool success);
+
+    /**
+     * Record a warm-standby promotion (docs/replication.md): counts a
+     * FailedOver action, leaves a flight record, and moves the
+     * machine to Recovering — a freshly promoted leader serves, but
+     * on probation until recoverAfter clean samples pass.
+     */
+    void recordFailover();
 
     // ---- Introspection ---------------------------------------------
 

@@ -29,8 +29,10 @@ encodeHeader(uint64_t fingerprint)
     return enc.buffer();
 }
 
+} // anonymous namespace
+
 std::vector<uint8_t>
-encodeRecord(const JournalRecord &rec)
+encodeJournalRecord(const JournalRecord &rec)
 {
     Encoder enc;
     enc.u8(static_cast<uint8_t>(rec.type));
@@ -61,7 +63,7 @@ encodeRecord(const JournalRecord &rec)
 
 /** Decode one record payload; throws DecodeError on malformed bytes. */
 JournalRecord
-decodeRecord(const uint8_t *data, size_t size)
+decodeJournalRecord(const uint8_t *data, size_t size)
 {
     Decoder dec(data, size);
     JournalRecord rec;
@@ -106,8 +108,6 @@ decodeRecord(const uint8_t *data, size_t size)
         throw DecodeError("journal record: trailing bytes");
     return rec;
 }
-
-} // anonymous namespace
 
 JournalScan
 scanJournalBuffer(const uint8_t *data, size_t size,
@@ -159,7 +159,7 @@ scanJournalBuffer(const uint8_t *data, size_t size,
             break;   // Bit rot or a torn write inside the payload.
         JournalRecord rec;
         try {
-            rec = decodeRecord(payload, len);
+            rec = decodeJournalRecord(payload, len);
         } catch (const DecodeError &) {
             break;   // CRC passed but structure is nonsense: stop.
         }
@@ -259,10 +259,29 @@ UpdateJournal::~UpdateJournal()
 }
 
 void
+UpdateJournal::recordIoError(const std::string &what)
+{
+    // The durability contract is broken: latch the failure, count it,
+    // leave a flight record, and refuse every later append so the
+    // owner is forced to stop acknowledging (docs/persistence.md).
+    // Deliberately NOT fatal: the serving path keeps running; only
+    // the acknowledgement path degrades.
+    ++ioErrors_;
+    if (!ioFailed_) {
+        ioFailed_ = true;
+        ioError_ = what;
+        error("journal '" + path_ + "' degraded: " + what);
+    }
+    CHISEL_FLIGHT_EVENT(JournalIoError, 0, seq_, ioErrors_);
+}
+
+bool
 UpdateJournal::writeRecord(const std::vector<uint8_t> &payload)
 {
     if (torn_)
-        return;   // "Crashed" by a previous torn write.
+        return true;   // "Crashed" by a previous torn write.
+    if (ioFailed_)
+        return false;  // Durability already void; refuse loudly.
 
     Encoder framed;
     framed.u32(static_cast<uint32_t>(payload.size()));
@@ -279,19 +298,32 @@ UpdateJournal::writeRecord(const std::vector<uint8_t> &payload)
         std::fwrite(bytes.data(), 1, fragment, file_);
         std::fflush(file_);
         torn_ = true;
-        return;
+        return true;
+    }
+
+    if (CHISEL_FAULT_FIRE(JournalIoError)) {
+        // The modelled ENOSPC: the write is refused before any byte
+        // lands, so the on-disk prefix stays exactly the acked set.
+        recordIoError("injected write failure (ENOSPC model)");
+        return false;
     }
 
     if (std::fwrite(bytes.data(), 1, bytes.size(), file_) !=
-        bytes.size())
-        fatalError("journal append failed: " +
-                   std::string(std::strerror(errno)));
+        bytes.size()) {
+        recordIoError("append failed: " +
+                      std::string(std::strerror(errno)));
+        return false;
+    }
     ++written_;
     ++sinceSync_;
     if (fsyncEvery_ != 0 && sinceSync_ >= fsyncEvery_)
         sync();
-    else
-        std::fflush(file_);
+    else if (std::fflush(file_) != 0) {
+        recordIoError("flush failed: " +
+                      std::string(std::strerror(errno)));
+        return false;
+    }
+    return !ioFailed_;
 }
 
 uint64_t
@@ -299,9 +331,11 @@ UpdateJournal::append(const Update &update)
 {
     JournalRecord rec;
     rec.type = JournalRecord::Type::Update;
-    rec.seq = ++seq_;
+    rec.seq = seq_ + 1;
     rec.update = update;
-    writeRecord(encodeRecord(rec));
+    if (!writeRecord(encodeJournalRecord(rec)))
+        return 0;   // Not durable: the caller must not acknowledge.
+    seq_ = rec.seq;
     CHISEL_FLIGHT_EVENT(JournalAppend, rec.type, rec.seq, 0);
     return rec.seq;
 }
@@ -319,8 +353,8 @@ UpdateJournal::appendOutcome(uint64_t seq, const UpdateOutcome &outcome)
     rec.slowPathInserts = outcome.slowPathInserts;
     rec.slowPathRejections = outcome.slowPathRejections;
     rec.parityRecoveries = outcome.parityRecoveries;
-    writeRecord(encodeRecord(rec));
-    CHISEL_FLIGHT_EVENT(JournalAppend, rec.type, rec.seq, 0);
+    if (writeRecord(encodeJournalRecord(rec)))
+        CHISEL_FLIGHT_EVENT(JournalAppend, rec.type, rec.seq, 0);
 }
 
 void
@@ -329,8 +363,8 @@ UpdateJournal::appendSnapshotMark(uint64_t seq)
     JournalRecord rec;
     rec.type = JournalRecord::Type::SnapshotMark;
     rec.seq = seq;
-    writeRecord(encodeRecord(rec));
-    CHISEL_FLIGHT_EVENT(JournalAppend, rec.type, rec.seq, 0);
+    if (writeRecord(encodeJournalRecord(rec)))
+        CHISEL_FLIGHT_EVENT(JournalAppend, rec.type, rec.seq, 0);
 }
 
 void
@@ -340,20 +374,25 @@ UpdateJournal::appendHousekeeping(JournalRecord::HousekeepingKind kind)
     rec.type = JournalRecord::Type::Housekeeping;
     rec.seq = seq_;   // Stamped, not consumed: updates keep their seqs.
     rec.housekeeping = kind;
-    writeRecord(encodeRecord(rec));
-    CHISEL_FLIGHT_EVENT(JournalAppend, rec.type, rec.seq, 0);
+    if (writeRecord(encodeJournalRecord(rec)))
+        CHISEL_FLIGHT_EVENT(JournalAppend, rec.type, rec.seq, 0);
 }
 
 void
 UpdateJournal::sync()
 {
-    if (torn_)
+    if (torn_ || ioFailed_)
         return;
-    if (std::fflush(file_) != 0)
-        fatalError("journal fflush failed");
-    if (::fsync(fileno(file_)) != 0)
-        fatalError("journal fsync failed: " +
-                   std::string(std::strerror(errno)));
+    if (std::fflush(file_) != 0) {
+        recordIoError("fflush failed: " +
+                      std::string(std::strerror(errno)));
+        return;
+    }
+    if (::fsync(fileno(file_)) != 0) {
+        recordIoError("fsync failed: " +
+                      std::string(std::strerror(errno)));
+        return;
+    }
     sinceSync_ = 0;
     CHISEL_FLIGHT_EVENT(JournalSync, 0, seq_, 0);
 }

@@ -136,7 +136,13 @@ class UpdateJournal
 
     /**
      * Log an update *before* applying it.  @return the sequence
-     * number assigned (monotonic from the scan's lastSeq + 1).
+     * number assigned (monotonic from the scan's lastSeq + 1), or 0
+     * if the record could NOT be durably logged (a write/fsync
+     * failure, e.g. ENOSPC).  A zero return means the caller must
+     * not acknowledge or apply the update: the durable history ends
+     * at lastSeq(), and the journal refuses all further appends
+     * (ioHealthy() turns false) so the failure is structural, not
+     * silent (docs/persistence.md).
      */
     uint64_t append(const Update &update);
 
@@ -158,6 +164,20 @@ class UpdateJournal
     /** Force an fsync now regardless of the batch policy. */
     void sync();
 
+    /**
+     * False once any write/fsync has failed: the journal can no
+     * longer uphold its durability contract, every later append is
+     * refused, and the owner must stop acknowledging updates
+     * (surface the condition as a Degraded outcome upstream).
+     */
+    bool ioHealthy() const { return !ioFailed_; }
+
+    /** Write/fsync failures observed (the journal_io_errors counter). */
+    uint64_t ioErrors() const { return ioErrors_; }
+
+    /** Human-readable description of the first I/O failure. */
+    const std::string &ioError() const { return ioError_; }
+
     /** Records appended by this writer (not counting preexisting). */
     uint64_t recordsWritten() const { return written_; }
 
@@ -167,7 +187,11 @@ class UpdateJournal
     const std::string &path() const { return path_; }
 
   private:
-    void writeRecord(const std::vector<uint8_t> &payload);
+    /** @return false iff the record was refused by an I/O failure. */
+    bool writeRecord(const std::vector<uint8_t> &payload);
+
+    /** Latch an I/O failure: count, flight-record, refuse appends. */
+    void recordIoError(const std::string &what);
 
     std::string path_;
     FILE *file_ = nullptr;
@@ -180,7 +204,27 @@ class UpdateJournal
      * the "process" is considered dead — swallow all later appends.
      */
     bool torn_ = false;
+
+    /** A write/fsync failed; the durability contract is void. */
+    bool ioFailed_ = false;
+    uint64_t ioErrors_ = 0;
+    std::string ioError_;
 };
+
+/**
+ * Encode one journal record payload (the bytes a journal frame's CRC
+ * covers).  Shared with the replication layer (src/replica/), which
+ * ships the exact same payloads over a byte stream so the follower
+ * replays what the disk would have replayed.
+ */
+std::vector<uint8_t> encodeJournalRecord(const JournalRecord &rec);
+
+/**
+ * Decode one journal record payload; throws DecodeError on malformed
+ * bytes (the replication receiver treats that as a corrupt shipment
+ * and drops the connection).
+ */
+JournalRecord decodeJournalRecord(const uint8_t *data, size_t size);
 
 /**
  * Scan a journal file.  Never throws on malformed content — a corrupt

@@ -39,9 +39,8 @@ snapshotLoadStatusName(SnapshotLoadStatus s)
     return "?";
 }
 
-size_t
-saveSnapshot(const std::string &path, const ChiselEngine &engine,
-             uint64_t last_seq)
+std::vector<uint8_t>
+encodeSnapshotImage(const ChiselEngine &engine, uint64_t last_seq)
 {
     Encoder payload;
     encodeConfig(payload, engine.config());
@@ -68,6 +67,15 @@ saveSnapshot(const std::string &path, const ChiselEngine &engine,
     image.u64(payload.size());
     image.u32(payload_crc);
     image.bytes(payload.buffer().data(), payload.size());
+    return std::move(image.buffer());
+}
+
+size_t
+saveSnapshot(const std::string &path, const ChiselEngine &engine,
+             uint64_t last_seq)
+{
+    Encoder image;
+    image.buffer() = encodeSnapshotImage(engine, last_seq);
 
     // Atomic install: tmp + fsync + rename, with the old image
     // rotated aside first so recovery can fall back to it.

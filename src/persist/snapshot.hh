@@ -41,6 +41,17 @@ constexpr uint32_t kSnapshotVersion = 2;
 std::string previousSnapshotPath(const std::string &path);
 
 /**
+ * Serialize @p engine as a complete snapshot image (header + CRC'd
+ * payload) in memory — the exact bytes saveSnapshot would write.
+ * Shared with the replication layer (src/replica/), which ships
+ * images over the wire instead of through the filesystem.
+ *
+ * @param last_seq The journal sequence number the image covers.
+ */
+std::vector<uint8_t> encodeSnapshotImage(const ChiselEngine &engine,
+                                         uint64_t last_seq);
+
+/**
  * Write an atomic snapshot of @p engine to @p path, rotating any
  * existing snapshot to previousSnapshotPath(path) first.
  *

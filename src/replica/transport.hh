@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Byte-stream transports for journal shipping (docs/replication.md).
+ *
+ * The replication protocol (src/replica/wire.hh) runs over any
+ * ordered byte stream with drop semantics — it never assumes message
+ * boundaries, delivery guarantees, or survival of either endpoint.
+ * Two implementations cover every harness:
+ *
+ *  - PipeTransport: an in-process pair of bounded byte queues, for
+ *    deterministic tests.  Either end can be broken at an exact byte
+ *    offset (breakAfter), which is how the torn-ship and
+ *    mid-snapshot-kill scenarios are staged without processes.
+ *
+ *  - TCP loopback: TcpListener / tcpConnect, the same dependency-free
+ *    socket pattern as src/obs/introspect.cc, for the two-process
+ *    failover soak (bench/failover_soak.cc).
+ *
+ * Thread-safety: one thread per direction per endpoint (the shipper
+ * sends and polls acks from a single thread; the follower likewise).
+ * shutdown() may be called from any thread to unblock both.
+ */
+
+#ifndef CHISEL_REPLICA_TRANSPORT_HH
+#define CHISEL_REPLICA_TRANSPORT_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace chisel::replica {
+
+/** An ordered byte stream that can break at any instant. */
+class ByteStream
+{
+  public:
+    virtual ~ByteStream() = default;
+
+    /**
+     * Send @p len bytes.  @return false once the stream is broken —
+     * bytes already accepted may or may not have been delivered
+     * (exactly the guarantee a TCP send gives).
+     */
+    virtual bool send(const uint8_t *data, size_t len) = 0;
+
+    /**
+     * Receive up to @p len bytes, waiting at most @p timeout_ms.
+     * @return bytes read (> 0), 0 on timeout, -1 once the stream is
+     * broken and drained.
+     */
+    virtual int recv(uint8_t *data, size_t len, int timeout_ms) = 0;
+
+    /** Break the stream from this side; wakes blocked peers. */
+    virtual void shutdown() = 0;
+};
+
+/**
+ * One end of an in-process pipe pair.  Construction via makePipePair;
+ * both ends share the buffers, so either may outlive the other.
+ */
+class PipeTransport : public ByteStream
+{
+  public:
+    bool send(const uint8_t *data, size_t len) override;
+    int recv(uint8_t *data, size_t len, int timeout_ms) override;
+    void shutdown() override;
+
+    /**
+     * Break this end's *send* direction after @p bytes more bytes
+     * have been accepted: the prefix is delivered, the rest of that
+     * send (and everything after) is lost, and send() reports the
+     * break.  Models a peer dying mid-frame — the torn-ship case.
+     */
+    void breakAfter(size_t bytes);
+
+  private:
+    friend std::pair<std::shared_ptr<PipeTransport>,
+                     std::shared_ptr<PipeTransport>>
+    makePipePair(size_t capacity);
+
+    /** One direction: a bounded byte queue with close/break flags. */
+    struct Channel
+    {
+        std::mutex mutex;
+        std::condition_variable readable;
+        std::condition_variable writable;
+        std::deque<uint8_t> bytes;
+        size_t capacity = 1 << 20;
+        bool closed = false;        ///< No more bytes will arrive.
+        size_t breakAfter = SIZE_MAX;  ///< Sender bytes until break.
+    };
+
+    std::shared_ptr<Channel> out_;  ///< This end sends here.
+    std::shared_ptr<Channel> in_;   ///< This end receives from here.
+};
+
+/**
+ * A connected pipe pair: bytes sent on .first arrive at .second and
+ * vice versa.  @p capacity bounds each direction's in-flight bytes
+ * (senders block when full, like a socket buffer).
+ */
+std::pair<std::shared_ptr<PipeTransport>, std::shared_ptr<PipeTransport>>
+makePipePair(size_t capacity = 1 << 20);
+
+/** A broken-on-arrival stream (connection refused), for tests. */
+std::unique_ptr<ByteStream> makeBrokenStream();
+
+// ---- TCP loopback (the process-boundary transport) -------------------
+
+/** A ByteStream over a connected socket; owns the fd. */
+class TcpStream : public ByteStream
+{
+  public:
+    explicit TcpStream(int fd) : fd_(fd) {}
+    ~TcpStream() override;
+
+    bool send(const uint8_t *data, size_t len) override;
+    int recv(uint8_t *data, size_t len, int timeout_ms) override;
+    void shutdown() override;
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * A loopback listening socket (the follower side).  Same pattern as
+ * obs::IntrospectionServer: 127.0.0.1 binding, poll-based accept.
+ */
+class TcpListener
+{
+  public:
+    TcpListener() = default;
+    ~TcpListener();
+
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /** Bind 127.0.0.1:@p port (0 = ephemeral).  False on failure. */
+    bool listen(uint16_t port);
+
+    /** The bound port (resolves port 0); 0 when not listening. */
+    uint16_t port() const { return port_; }
+
+    /** Accept one connection, waiting at most @p timeout_ms. */
+    std::unique_ptr<ByteStream> accept(int timeout_ms);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    uint16_t port_ = 0;
+};
+
+/** Connect to 127.0.0.1:@p port; nullptr on refusal/timeout. */
+std::unique_ptr<ByteStream> tcpConnect(uint16_t port,
+                                       int timeout_ms = 1000);
+
+} // namespace chisel::replica
+
+#endif // CHISEL_REPLICA_TRANSPORT_HH

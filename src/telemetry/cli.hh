@@ -22,8 +22,11 @@
 #ifndef CHISEL_TELEMETRY_CLI_HH
 #define CHISEL_TELEMETRY_CLI_HH
 
+#include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "telemetry/engine_telemetry.hh"
 #include "telemetry/flight.hh"
@@ -38,6 +41,93 @@ namespace concurrent { class ConcurrentChisel; }
 namespace obs { class IntrospectionServer; }
 
 namespace telemetry {
+
+/**
+ * A declarative table of `--name=<value>` / `--name` options, shared
+ * by every bench/example binary so flag handling is uniform:
+ *
+ *  - strict mode (parseStrict): an unknown `--` option or a malformed
+ *    value prints an error plus the generated help and fails, so a
+ *    typo'd flag exits nonzero instead of silently running with
+ *    defaults; `--help`/`-h` prints the help and succeeds;
+ *  - lenient mode (stripKnown): registered flags are consumed and
+ *    everything else stays in argv — the TelemetryOptions::parse
+ *    behavior, for flag families layered by different owners.
+ *
+ * Positional (non `--`) arguments are never consumed by either mode.
+ */
+class FlagTable
+{
+  public:
+    /** Handler for a valued flag; @return false on a bad value. */
+    using ValueHandler = std::function<bool(const std::string &)>;
+
+    /**
+     * @param program argv[0]-style name for the usage line.
+     * @param summary One-line description printed atop the help.
+     */
+    FlagTable(std::string program, std::string summary);
+
+    /** Register `--name=<value_name>`; chainable. */
+    FlagTable &flag(const std::string &name,
+                    const std::string &value_name,
+                    const std::string &help, ValueHandler handler);
+
+    /** Register the valueless toggle `--name`; chainable. */
+    FlagTable &toggle(const std::string &name, const std::string &help,
+                      std::function<void()> handler);
+
+    // Typed conveniences over flag()/toggle().
+    FlagTable &u64Flag(const std::string &name, const std::string &help,
+                       uint64_t *target);
+    FlagTable &sizeFlag(const std::string &name,
+                        const std::string &help, size_t *target);
+    FlagTable &stringFlag(const std::string &name,
+                          const std::string &help, std::string *target);
+    FlagTable &boolFlag(const std::string &name, const std::string &help,
+                        bool *target);
+
+    /**
+     * Strict parse: consume every registered flag from @p argv
+     * (compacting it and updating @p argc).  @return false when the
+     * caller should exit — on an unknown `--` option or bad value
+     * (error + help on stderr; exit nonzero) and on `--help` (help
+     * on stdout; helpRequested() distinguishes, exit zero).
+     */
+    bool parseStrict(int &argc, char **argv);
+
+    /** True when parseStrict returned false because of `--help`. */
+    bool helpRequested() const { return helpRequested_; }
+
+    /**
+     * Lenient parse: consume registered flags, warn on (and keep
+     * previous values over) malformed ones, and leave every
+     * unrecognized argument in argv for the next owner.
+     */
+    void stripKnown(int &argc, char **argv);
+
+    /** Write the generated help text. */
+    void printHelp(std::FILE *out) const;
+
+  private:
+    struct Entry
+    {
+        std::string name;       ///< Without the leading "--".
+        std::string valueName;  ///< Empty for toggles.
+        std::string help;
+        ValueHandler handler;   ///< Toggles wrap theirs.
+    };
+
+    /** @return the entry for --name, or nullptr. */
+    const Entry *find(const std::string &name) const;
+
+    bool parse(int &argc, char **argv, bool strict);
+
+    std::string program_;
+    std::string summary_;
+    std::vector<Entry> entries_;
+    bool helpRequested_ = false;
+};
 
 /** Parsed telemetry flags. */
 struct TelemetryOptions

@@ -31,6 +31,11 @@ flightKindName(FlightKind k)
       case FlightKind::SnapshotSave: return "snapshot_save";
       case FlightKind::SnapshotLoad: return "snapshot_load";
       case FlightKind::ParityRecovery: return "parity_recovery";
+      case FlightKind::JournalIoError: return "journal_io_error";
+      case FlightKind::ReplicaShip: return "replica_ship";
+      case FlightKind::ReplicaApply: return "replica_apply";
+      case FlightKind::ReplicaPromote: return "replica_promote";
+      case FlightKind::ReplicaFence: return "replica_fence";
       case FlightKind::Custom: return "custom";
       case FlightKind::kCount: break;
     }

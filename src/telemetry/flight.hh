@@ -63,6 +63,11 @@ enum class FlightKind : uint8_t
     SnapshotSave,     ///< A snapshot was written (a = covered seq, b = bytes).
     SnapshotLoad,     ///< A snapshot load concluded (code = load status, a = covered seq).
     ParityRecovery,   ///< A sub-cell ran recover-by-resetup (a = recoveries so far).
+    JournalIoError,   ///< A journal write/fsync failed (a = last seq, b = errors so far).
+    ReplicaShip,      ///< A record/snapshot left the leader (code = frame type, a = seq, b = bytes).
+    ReplicaApply,     ///< The follower applied a shipped record (code = record type, a = seq).
+    ReplicaPromote,   ///< A follower promoted to leader (a = new epoch, b = records replayed).
+    ReplicaFence,     ///< A stale-epoch shipment was rejected (a = stale epoch, b = current epoch).
     Custom,           ///< Free-form (tests, embedders).
     kCount,
 };

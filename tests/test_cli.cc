@@ -5,6 +5,9 @@
  * compact in order, a flag without '=' is left alone, repeated flags
  * keep their last value, junk numeric values fall back to defaults)
  * and the TelemetrySession recorder install/uninstall lifecycle.
+ * Also covers the shared FlagTable: strict parsing (unknown options
+ * and malformed values fail with generated help; --help succeeds),
+ * lenient stripKnown layering, and typed flag conveniences.
  */
 
 #include <gtest/gtest.h>
@@ -41,6 +44,32 @@ parse(std::vector<std::string> args)
 
     ParseResult r;
     r.opts = TelemetryOptions::parse(argc, argv.data());
+    for (int i = 1; i < argc; ++i)
+        r.rest.emplace_back(argv[i]);
+    return r;
+}
+
+/** Run a caller-configured FlagTable strictly over @p args. */
+struct StrictResult
+{
+    bool ok = false;
+    bool help = false;
+    std::vector<std::string> rest;
+};
+
+StrictResult
+parseStrict(telemetry::FlagTable &table, std::vector<std::string> args)
+{
+    args.insert(args.begin(), "prog");
+    std::vector<char *> argv;
+    argv.reserve(args.size());
+    for (auto &a : args)
+        argv.push_back(a.data());
+    int argc = static_cast<int>(argv.size());
+
+    StrictResult r;
+    r.ok = table.parseStrict(argc, argv.data());
+    r.help = table.helpRequested();
     for (int i = 1; i < argc; ++i)
         r.rest.emplace_back(argv[i]);
     return r;
@@ -170,6 +199,112 @@ TEST(TelemetryCli, DisabledSessionHasNoRecorderOrServer)
     EXPECT_EQ(session.flight(), nullptr);
     EXPECT_EQ(session.introspection(), nullptr);
     session.finish();  // Safe no-op.
+}
+
+// ---- FlagTable: strict mode ------------------------------------------------
+
+TEST(FlagTable, StrictConsumesKnownFlagsAndKeepsPositionals)
+{
+    uint64_t seed = 0;
+    size_t routes = 5;
+    std::string path;
+    bool storm = false;
+    telemetry::FlagTable table("tool", "summary");
+    table.u64Flag("seed", "seed", &seed)
+        .sizeFlag("routes", "routes", &routes)
+        .stringFlag("journal", "journal", &path)
+        .boolFlag("flap-storm", "storm", &storm);
+
+    StrictResult r = parseStrict(
+        table, {"trace.txt", "--seed=42", "--routes=100",
+                "--journal=j.bin", "--flap-storm", "table.txt"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(r.help);
+    EXPECT_EQ(seed, 42u);
+    EXPECT_EQ(routes, 100u);
+    EXPECT_EQ(path, "j.bin");
+    EXPECT_TRUE(storm);
+    ASSERT_EQ(r.rest.size(), 2u);
+    EXPECT_EQ(r.rest[0], "trace.txt");
+    EXPECT_EQ(r.rest[1], "table.txt");
+}
+
+TEST(FlagTable, StrictRejectsUnknownOption)
+{
+    uint64_t seed = 0;
+    telemetry::FlagTable table("tool", "");
+    table.u64Flag("seed", "seed", &seed);
+
+    StrictResult r = parseStrict(table, {"--sede=42"});  // Typo.
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.help);  // An error, not a help request.
+}
+
+TEST(FlagTable, StrictRejectsMalformedValue)
+{
+    uint64_t n = 7;
+    telemetry::FlagTable table("tool", "");
+    table.u64Flag("n", "count", &n);
+
+    EXPECT_FALSE(parseStrict(table, {"--n=abc"}).ok);
+    EXPECT_FALSE(parseStrict(table, {"--n=-3"}).ok);
+    EXPECT_FALSE(parseStrict(table, {"--n"}).ok);  // Missing value.
+}
+
+TEST(FlagTable, StrictRejectsValueOnToggle)
+{
+    bool on = false;
+    telemetry::FlagTable table("tool", "");
+    table.boolFlag("toggle", "a toggle", &on);
+    EXPECT_FALSE(parseStrict(table, {"--toggle=yes"}).ok);
+    EXPECT_FALSE(on);
+}
+
+TEST(FlagTable, HelpSucceedsAndIsDistinguishable)
+{
+    telemetry::FlagTable table("tool", "");
+    StrictResult r = parseStrict(table, {"--help"});
+    EXPECT_FALSE(r.ok);      // Caller exits...
+    EXPECT_TRUE(r.help);     // ...with status zero.
+}
+
+// ---- FlagTable: lenient mode -----------------------------------------------
+
+TEST(FlagTable, LenientLeavesUnknownForNextOwner)
+{
+    uint64_t seed = 0;
+    telemetry::FlagTable table("tool", "");
+    table.u64Flag("seed", "seed", &seed);
+
+    std::vector<std::string> args = {"prog", "--seed=9",
+                                     "--other=zzz", "pos"};
+    std::vector<char *> argv;
+    for (auto &a : args)
+        argv.push_back(a.data());
+    int argc = static_cast<int>(argv.size());
+    table.stripKnown(argc, argv.data());
+
+    EXPECT_EQ(seed, 9u);
+    ASSERT_EQ(argc, 3);
+    EXPECT_EQ(std::string(argv[1]), "--other=zzz");
+    EXPECT_EQ(std::string(argv[2]), "pos");
+}
+
+TEST(FlagTable, LenientKeepsPreviousValueOnJunk)
+{
+    uint64_t n = 55;
+    telemetry::FlagTable table("tool", "");
+    table.u64Flag("n", "count", &n);
+
+    std::vector<std::string> args = {"prog", "--n=junk"};
+    std::vector<char *> argv;
+    for (auto &a : args)
+        argv.push_back(a.data());
+    int argc = static_cast<int>(argv.size());
+    table.stripKnown(argc, argv.data());
+
+    EXPECT_EQ(n, 55u);   // Junk warned about, default kept.
+    EXPECT_EQ(argc, 1);  // But the flag WAS ours: consumed.
 }
 
 } // anonymous namespace

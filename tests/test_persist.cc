@@ -810,6 +810,106 @@ TEST(PersistRecovery, CrashAtEveryRecordSweep)
     removeFile(live);
 }
 
+TEST(PersistRecovery, CrashAtEveryRecordSweepWithHousekeeping)
+{
+    std::string jpath = tempPath("recover_sweep_hk.journal");
+    std::string live = jpath + ".live";
+    removeFile(jpath);
+    removeFile(live);
+
+    // The v2 stream interleaves Housekeeping (PurgeDirty) records
+    // with updates; every crash instant — including immediately after
+    // each housekeeping record — must recover to a state whose purge
+    // history matches the writer's.
+    RoutingTable table = generateScaledTable(300, 32, 0x65AB);
+    ChiselConfig config;
+    Process proc(table, live, config);
+    UpdateTraceGenerator gen(table, standardTraceProfiles()[1], 32,
+                             0x65AC);
+    std::vector<Update> trace = gen.generate(120);
+
+    RecoveryOptions opts;
+    opts.journalPath = jpath;
+    opts.config = config;
+    opts.initialTable = table;
+    opts.audit = true;
+
+    size_t purges = 0;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        proc.apply(trace[i]);
+        if (i % 20 == 19) {
+            proc.engine->purgeDirty();
+            proc.journal->appendHousekeeping(
+                JournalRecord::HousekeepingKind::PurgeDirty);
+            ++purges;
+        }
+
+        writeFile(jpath, readFile(live));
+        RecoveryReport report = persist::recoverEngine(opts);
+        ASSERT_EQ(report.source, RecoverySource::ColdSetup);
+        ASSERT_TRUE(report.auditPassed)
+            << "at update " << i << ": missing=" << report.auditMissing
+            << " mismatched=" << report.auditMismatched
+            << " phantom=" << report.auditPhantom;
+        if (i % 20 == 19) {
+            // The crash landed right after a housekeeping record: the
+            // replayed purge must leave the same dirty population.
+            ASSERT_EQ(report.engine->dirtyCount(),
+                      proc.engine->dirtyCount())
+                << "after purge " << purges;
+        }
+    }
+    ASSERT_GE(purges, 6u);
+
+    removeFile(jpath);
+    removeFile(live);
+}
+
+#if CHISEL_FAULT_INJECTION_ENABLED
+TEST(PersistJournal, InjectedIoErrorLatchesAndKeepsValidPrefix)
+{
+    std::string jpath = tempPath("journal_ioerr.journal");
+    removeFile(jpath);
+
+    RoutingTable table = generateScaledTable(100, 32, 0x66AB);
+    std::vector<Route> routes = table.routes();
+    Update u{UpdateKind::Announce, routes[0].prefix,
+             routes[0].nextHop};
+
+    uint64_t fp = configFingerprint(ChiselConfig{});
+    {
+        UpdateJournal journal(jpath, fp);
+        ASSERT_TRUE(journal.ioHealthy());
+        ASSERT_EQ(journal.append(u), 1u);
+
+        // One injected ENOSPC-style failure: the append reports 0 and
+        // the journal latches unhealthy.
+        FaultInjector inj(41);
+        inj.arm(FaultPoint::JournalIoError, 1.0, 1);
+        {
+            ScopedInjector scope(&inj);
+            EXPECT_EQ(journal.append(u), 0u);
+        }
+        ASSERT_EQ(inj.fires(FaultPoint::JournalIoError), 1u);
+        EXPECT_FALSE(journal.ioHealthy());
+        EXPECT_GE(journal.ioErrors(), 1u);
+        EXPECT_FALSE(journal.ioError().empty());
+
+        // Latched even with the fault gone: a journal that lost a
+        // write refuses every later append so the owner stops acking.
+        EXPECT_EQ(journal.append(u), 0u);
+        EXPECT_EQ(journal.lastSeq(), 1u);
+    }
+
+    // The durable prefix from before the failure is intact.
+    JournalScan scan = persist::scanJournal(jpath, fp);
+    EXPECT_TRUE(scan.headerOk);
+    EXPECT_EQ(scan.lastSeq, 1u);
+
+    removeFile(jpath);
+}
+#endif // CHISEL_FAULT_INJECTION_ENABLED
+
 TEST(PersistRecovery, TelemetryCountersRecordRecovery)
 {
     telemetry::MetricRegistry registry;

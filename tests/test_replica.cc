@@ -1,0 +1,814 @@
+/**
+ * @file
+ * Tests for the warm-standby replication stack: wire-protocol framing
+ * (roundtrip, incremental feed, corruption/oversize poisoning),
+ * leader-to-follower shipping over pipes and loopback TCP, snapshot
+ * bootstrap after tail eviction, resume-from-sequence-number without
+ * duplicates, torn mid-snapshot transfers, fencing-epoch rejection of
+ * stale leaders, heartbeat silence detection, and promotion replay of
+ * a journal tail.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "concurrent/concurrent_engine.hh"
+#include "core/engine.hh"
+#include "fault/fault.hh"
+#include "health/monitor.hh"
+#include "persist/codec.hh"
+#include "persist/journal.hh"
+#include "persist/snapshot.hh"
+#include "replica/follower.hh"
+#include "replica/replication_log.hh"
+#include "replica/transport.hh"
+#include "replica/wire.hh"
+#include "route/synth.hh"
+#include "route/updates.hh"
+
+namespace chisel {
+namespace {
+
+using concurrent::ConcurrentChisel;
+using concurrent::ConcurrentOptions;
+using replica::ByteStream;
+using replica::Follower;
+using replica::FollowerOptions;
+using replica::Frame;
+using replica::FrameReader;
+using replica::FrameType;
+using replica::ReplicationLog;
+using replica::ReplicationOptions;
+
+// ---- Scenario helpers ------------------------------------------------
+
+RoutingTable
+smallTable(uint64_t seed = 0x9e1)
+{
+    return generateScaledTable(400, 32, seed);
+}
+
+std::vector<Update>
+smallTrace(const RoutingTable &table, size_t n, uint64_t seed = 0x9e2)
+{
+    UpdateTraceGenerator gen(table, TraceProfile{}, 32, seed);
+    return gen.generate(n);
+}
+
+RoutingTable
+advance(RoutingTable table, const std::vector<Update> &updates,
+        size_t count)
+{
+    for (size_t i = 0; i < count && i < updates.size(); ++i) {
+        if (updates[i].kind == UpdateKind::Announce)
+            table.add(updates[i].prefix, updates[i].nextHop);
+        else
+            table.remove(updates[i].prefix);
+    }
+    return table;
+}
+
+/** Every truth route served with the right hop, no extras. */
+::testing::AssertionResult
+matchesTruth(const ConcurrentChisel &engine, const RoutingTable &truth)
+{
+    for (const Route &r : truth.routes()) {
+        auto nh = engine.find(r.prefix);
+        if (!nh)
+            return ::testing::AssertionFailure()
+                   << "route lost: " << r.prefix.str();
+        if (*nh != r.nextHop)
+            return ::testing::AssertionFailure()
+                   << "wrong next hop for " << r.prefix.str();
+    }
+    if (engine.routeCount() != truth.size())
+        return ::testing::AssertionFailure()
+               << "route count " << engine.routeCount() << " vs truth "
+               << truth.size();
+    return ::testing::AssertionSuccess();
+}
+
+bool
+waitUntil(const std::function<bool()> &cond, int limit_ms = 5000)
+{
+    for (int waited = 0; waited < limit_ms; waited += 2) {
+        if (cond())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return cond();
+}
+
+/** unique_ptr facade over a shared pipe end, for TransportFactory. */
+class SharedEnd : public ByteStream
+{
+  public:
+    explicit SharedEnd(std::shared_ptr<ByteStream> s)
+        : s_(std::move(s))
+    {}
+    bool send(const uint8_t *d, size_t n) override
+    {
+        return s_->send(d, n);
+    }
+    int recv(uint8_t *d, size_t n, int t) override
+    {
+        return s_->recv(d, n, t);
+    }
+    void shutdown() override { s_->shutdown(); }
+
+  private:
+    std::shared_ptr<ByteStream> s_;
+};
+
+/** Hands out queued pipe ends, one per (re)connection attempt. */
+struct EndQueue
+{
+    std::mutex m;
+    std::deque<std::shared_ptr<ByteStream>> ends;
+
+    void push(std::shared_ptr<ByteStream> end)
+    {
+        std::lock_guard<std::mutex> lk(m);
+        ends.push_back(std::move(end));
+    }
+
+    std::unique_ptr<ByteStream> pop()
+    {
+        std::lock_guard<std::mutex> lk(m);
+        if (ends.empty())
+            return nullptr;
+        auto end = std::move(ends.front());
+        ends.pop_front();
+        return std::make_unique<SharedEnd>(std::move(end));
+    }
+};
+
+struct TempFile
+{
+    explicit TempFile(std::string p) : path(std::move(p))
+    {
+        std::remove(path.c_str());
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+// ---- Wire protocol ---------------------------------------------------
+
+TEST(ReplicaWire, RoundtripAllFrameTypes)
+{
+    persist::JournalRecord rec;
+    rec.type = persist::JournalRecord::Type::Update;
+    rec.seq = 42;
+    rec.update.kind = UpdateKind::Announce;
+    rec.update.prefix = Prefix(Key128::fromIpv4(0x0A000000u), 8);
+    rec.update.nextHop = NextHop(7);
+
+    std::vector<Frame> frames = {
+        replica::makeHello(3, 0xfeed, 10, 2),
+        replica::makeWelcome(4, 0xfeed, 99),
+        replica::makeRecord(4, persist::encodeJournalRecord(rec)),
+        replica::makeSnapshotBegin(4, 50, 1000),
+        replica::makeSnapshotChunk(4, 16,
+                                   persist::encodeJournalRecord(rec)
+                                       .data(),
+                                   8),
+        replica::makeSnapshotEnd(4, 0xdeadbeef),
+        replica::makeHeartbeat(4, 123),
+        replica::makeAck(2, 88),
+        replica::makeFenced(5, 6),
+    };
+
+    FrameReader reader;
+    for (const Frame &f : frames) {
+        std::vector<uint8_t> wire = replica::encodeFrame(f);
+        reader.feed(wire.data(), wire.size());
+    }
+    Frame out;
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out.type, FrameType::Hello);
+    EXPECT_EQ(out.epoch, 3u);
+    EXPECT_EQ(out.fingerprint, 0xfeedu);
+    EXPECT_EQ(out.lastAppliedSeq, 10u);
+    EXPECT_EQ(out.maxEpochSeen, 2u);
+
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out.type, FrameType::Welcome);
+    EXPECT_EQ(out.lastSeq, 99u);
+
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out.type, FrameType::Record);
+    persist::JournalRecord back = persist::decodeJournalRecord(
+        out.payload.data(), out.payload.size());
+    EXPECT_EQ(back.seq, 42u);
+    EXPECT_EQ(back.update.nextHop, NextHop(7));
+
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out.type, FrameType::SnapshotBegin);
+    EXPECT_EQ(out.coveredSeq, 50u);
+    EXPECT_EQ(out.totalBytes, 1000u);
+
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out.type, FrameType::SnapshotChunk);
+    EXPECT_EQ(out.offset, 16u);
+    EXPECT_EQ(out.payload.size(), 8u);
+
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out.type, FrameType::SnapshotEnd);
+    EXPECT_EQ(out.imageCrc, 0xdeadbeefu);
+
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out.type, FrameType::Heartbeat);
+    EXPECT_EQ(out.lastSeq, 123u);
+
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out.type, FrameType::Ack);
+    EXPECT_EQ(out.appliedSeq, 88u);
+
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out.type, FrameType::Fenced);
+    EXPECT_EQ(out.currentEpoch, 6u);
+
+    EXPECT_FALSE(reader.next(out));
+    EXPECT_FALSE(reader.bad());
+    EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(ReplicaWire, IncrementalFeedByteAtATime)
+{
+    std::vector<uint8_t> wire =
+        replica::encodeFrame(replica::makeHeartbeat(9, 77));
+    FrameReader reader;
+    Frame out;
+    for (size_t i = 0; i + 1 < wire.size(); ++i) {
+        reader.feed(&wire[i], 1);
+        EXPECT_FALSE(reader.next(out));
+    }
+    reader.feed(&wire[wire.size() - 1], 1);
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out.type, FrameType::Heartbeat);
+    EXPECT_EQ(out.epoch, 9u);
+    EXPECT_EQ(out.lastSeq, 77u);
+}
+
+TEST(ReplicaWire, CorruptPayloadPoisonsReader)
+{
+    std::vector<uint8_t> wire =
+        replica::encodeFrame(replica::makeAck(1, 5));
+    wire[wire.size() - 1] ^= 0x40;  // Flip a payload bit: CRC fails.
+    FrameReader reader;
+    reader.feed(wire.data(), wire.size());
+    Frame out;
+    EXPECT_FALSE(reader.next(out));
+    EXPECT_TRUE(reader.bad());
+    EXPECT_FALSE(reader.error().empty());
+
+    // Poisoned forever: fresh valid bytes do not resurrect it.
+    std::vector<uint8_t> good =
+        replica::encodeFrame(replica::makeAck(1, 6));
+    reader.feed(good.data(), good.size());
+    EXPECT_FALSE(reader.next(out));
+}
+
+TEST(ReplicaWire, OversizedLengthPoisonsReader)
+{
+    uint8_t header[8] = {0};
+    uint32_t huge = replica::kMaxFramePayload + 1;
+    std::memcpy(header, &huge, sizeof(huge));
+    FrameReader reader;
+    reader.feed(header, sizeof(header));
+    Frame out;
+    EXPECT_FALSE(reader.next(out));
+    EXPECT_TRUE(reader.bad());
+}
+
+// ---- End-to-end shipping ---------------------------------------------
+
+TEST(Replica, ShipsRecordsOverLoopbackTcp)
+{
+    TempFile journal("test_replica_tcp.journal");
+    RoutingTable table = smallTable();
+    std::vector<Update> updates = smallTrace(table, 200);
+    ChiselConfig config;
+    uint64_t fp = configFingerprint(config);
+
+    ConcurrentOptions copts;
+    copts.controlThread = false;
+    ConcurrentChisel standby(table, config, copts);
+    replica::TcpListener listener;
+    ASSERT_TRUE(listener.listen(0));
+    Follower follower(standby, fp,
+                      {.spoolPath = journal.path + ".spool"});
+    follower.start(listener);
+
+    ReplicationOptions ropts;
+    ropts.heartbeatMs = 10;
+    ReplicationLog rlog(journal.path, fp, 1, ropts);
+    uint16_t port = listener.port();
+    rlog.start([port] { return replica::tcpConnect(port, 500); },
+               nullptr);
+
+    uint64_t last = 0;
+    for (const Update &u : updates) {
+        last = rlog.append(u);
+        ASSERT_NE(last, 0u);
+    }
+    EXPECT_TRUE(waitUntil(
+        [&] { return follower.lastAppliedSeq() == last; }));
+    EXPECT_TRUE(waitUntil([&] { return follower.caughtUp(); }));
+
+    rlog.stop();
+    follower.stop();
+
+    EXPECT_TRUE(matchesTruth(
+        standby, advance(table, updates, updates.size())));
+    replica::ReplicationStats ls = rlog.stats();
+    EXPECT_GE(ls.recordsShipped, updates.size());
+    EXPECT_EQ(ls.lastSeq, last);
+    EXPECT_FALSE(ls.fenced);
+    replica::FollowerStats fs = follower.stats();
+    EXPECT_EQ(fs.recordsApplied, updates.size());
+    EXPECT_EQ(fs.duplicatesSkipped, 0u);
+    std::remove((journal.path + ".spool").c_str());
+}
+
+TEST(Replica, SnapshotBootstrapAfterTailEviction)
+{
+    TempFile journal("test_replica_boot.journal");
+    RoutingTable table = smallTable(0xb001);
+    std::vector<Update> updates = smallTrace(table, 120, 0xb002);
+    ChiselConfig config;
+    uint64_t fp = configFingerprint(config);
+
+    // A tail far smaller than the backlog: by the time the follower
+    // first connects, its resume point (0) has been evicted and the
+    // leader must ship a snapshot.
+    ReplicationOptions ropts;
+    ropts.tailCapacity = 8;
+    ropts.heartbeatMs = 10;
+    ReplicationLog rlog(journal.path, fp, 1, ropts);
+
+    uint64_t last = 0;
+    for (const Update &u : updates) {
+        last = rlog.append(u);
+        ASSERT_NE(last, 0u);
+    }
+
+    // The provider images a sidecar engine that has the whole history
+    // applied — exactly what ConcurrentChisel::saveSnapshot would
+    // produce on the leader.
+    ChiselEngine sidecar(advance(table, updates, updates.size()),
+                         config);
+    uint64_t covered_at = last;
+    auto provider = [&](uint64_t &covered) {
+        covered = covered_at;
+        return persist::encodeSnapshotImage(sidecar, covered_at);
+    };
+
+    ConcurrentOptions copts;
+    copts.controlThread = false;
+    ConcurrentChisel standby(table, config, copts);
+    replica::TcpListener listener;
+    ASSERT_TRUE(listener.listen(0));
+    Follower follower(standby, fp,
+                      {.spoolPath = journal.path + ".spool"});
+    follower.start(listener);
+
+    uint16_t port = listener.port();
+    rlog.start([port] { return replica::tcpConnect(port, 500); },
+               provider);
+
+    EXPECT_TRUE(waitUntil(
+        [&] { return follower.lastAppliedSeq() == last; }));
+    rlog.stop();
+    follower.stop();
+
+    replica::FollowerStats fs = follower.stats();
+    EXPECT_EQ(fs.snapshotsInstalled, 1u);
+    // Catch-up was the image plus at most the retained tail — never a
+    // genesis replay.
+    EXPECT_LE(fs.recordsApplied, ropts.tailCapacity);
+    EXPECT_TRUE(matchesTruth(
+        standby, advance(table, updates, updates.size())));
+    EXPECT_GE(rlog.stats().snapshotsShipped, 1u);
+    std::remove((journal.path + ".spool").c_str());
+}
+
+TEST(Replica, ResumesFromSequenceWithoutDuplicates)
+{
+    TempFile journal("test_replica_resume.journal");
+    RoutingTable table = smallTable(0x4e5);
+    std::vector<Update> updates = smallTrace(table, 120, 0x4e6);
+    ChiselConfig config;
+    uint64_t fp = configFingerprint(config);
+
+    ConcurrentOptions copts;
+    copts.controlThread = false;
+    ConcurrentChisel standby(table, config, copts);
+    Follower follower(standby, fp,
+                      {.spoolPath = journal.path + ".spool"});
+
+    EndQueue ends;
+    auto pair1 = replica::makePipePair();
+    ends.push(pair1.first);
+    std::thread serve1(
+        [&follower, end = pair1.second] {
+            follower.handleConnection(*end);
+        });
+
+    ReplicationOptions ropts;
+    ropts.heartbeatMs = 10;
+    ropts.backoffMinMs = 5;
+    ReplicationLog rlog(journal.path, fp, 1, ropts);
+    rlog.start([&ends] { return ends.pop(); }, nullptr);
+
+    uint64_t last = 0;
+    for (size_t i = 0; i < 60; ++i) {
+        last = rlog.append(updates[i]);
+        ASSERT_NE(last, 0u);
+    }
+    ASSERT_TRUE(waitUntil(
+        [&] { return follower.lastAppliedSeq() == last; }));
+
+    // Drop the connection mid-stream; the shipper backs off, gets the
+    // second pipe, and must resume at exactly seq 61.
+    pair1.second->shutdown();
+    serve1.join();
+
+    auto pair2 = replica::makePipePair();
+    ends.push(pair2.first);
+    std::thread serve2(
+        [&follower, end = pair2.second] {
+            follower.handleConnection(*end);
+        });
+
+    for (size_t i = 60; i < updates.size(); ++i) {
+        last = rlog.append(updates[i]);
+        ASSERT_NE(last, 0u);
+    }
+    EXPECT_TRUE(waitUntil(
+        [&] { return follower.lastAppliedSeq() == last; }));
+
+    rlog.stop();
+    pair2.second->shutdown();
+    serve2.join();
+
+    replica::FollowerStats fs = follower.stats();
+    EXPECT_EQ(fs.recordsApplied, updates.size());
+    EXPECT_EQ(fs.duplicatesSkipped, 0u);
+    EXPECT_EQ(fs.snapshotsInstalled, 0u);
+    EXPECT_EQ(fs.connectionsServed, 2u);
+    EXPECT_TRUE(matchesTruth(
+        standby, advance(table, updates, updates.size())));
+    EXPECT_GE(rlog.stats().reconnects, 2u);
+    std::remove((journal.path + ".spool").c_str());
+}
+
+// ---- Torn snapshot transfers -----------------------------------------
+
+/** Drive one hand-rolled leader handshake; @return the Hello. */
+Frame
+shakeHands(ByteStream &leader_end, FrameReader &reader,
+           uint64_t leader_epoch, uint64_t fp, uint64_t last_seq)
+{
+    Frame hello;
+    EXPECT_TRUE(replica::readFrame(leader_end, reader, hello, 2000));
+    EXPECT_EQ(hello.type, FrameType::Hello);
+    EXPECT_TRUE(replica::sendFrame(
+        leader_end, replica::makeWelcome(leader_epoch, fp, last_seq)));
+    return hello;
+}
+
+TEST(Replica, TornSnapshotDiscardedThenRecovered)
+{
+    TempFile spool("test_replica_torn.spool");
+    RoutingTable table = smallTable(0x70a);
+    std::vector<Update> updates = smallTrace(table, 40, 0x70b);
+    ChiselConfig config;
+    uint64_t fp = configFingerprint(config);
+
+    ConcurrentOptions copts;
+    copts.controlThread = false;
+    ConcurrentChisel standby(table, config, copts);
+    Follower follower(standby, fp, {.spoolPath = spool.path});
+
+    RoutingTable full = advance(table, updates, updates.size());
+    ChiselEngine sidecar(full, config);
+    std::vector<uint8_t> image =
+        persist::encodeSnapshotImage(sidecar, 40);
+
+    // Connection 1: die mid-chunk.  The partial transfer must be
+    // discarded — nothing installed, sequence position untouched.
+    {
+        auto [leader_end, follower_end] = replica::makePipePair();
+        std::thread serve([&follower, end = follower_end] {
+            follower.handleConnection(*end);
+        });
+        FrameReader reader;
+        shakeHands(*leader_end, reader, 1, fp, 40);
+        ASSERT_TRUE(replica::sendFrame(
+            *leader_end,
+            replica::makeSnapshotBegin(1, 40, image.size())));
+        ASSERT_TRUE(replica::sendFrame(
+            *leader_end,
+            replica::makeSnapshotChunk(1, 0, image.data(),
+                                       image.size() / 2)));
+        leader_end->shutdown();
+        serve.join();
+    }
+    replica::FollowerStats fs = follower.stats();
+    EXPECT_EQ(fs.snapshotsInstalled, 0u);
+    EXPECT_GE(fs.snapshotsDiscarded, 1u);
+    EXPECT_EQ(follower.lastAppliedSeq(), 0u);
+
+    // Connection 2: the retry completes and installs.
+    {
+        auto [leader_end, follower_end] = replica::makePipePair();
+        std::thread serve([&follower, end = follower_end] {
+            follower.handleConnection(*end);
+        });
+        FrameReader reader;
+        shakeHands(*leader_end, reader, 1, fp, 40);
+        ASSERT_TRUE(replica::sendFrame(
+            *leader_end,
+            replica::makeSnapshotBegin(1, 40, image.size())));
+        size_t half = image.size() / 2;
+        ASSERT_TRUE(replica::sendFrame(
+            *leader_end,
+            replica::makeSnapshotChunk(1, 0, image.data(), half)));
+        ASSERT_TRUE(replica::sendFrame(
+            *leader_end,
+            replica::makeSnapshotChunk(1, half, image.data() + half,
+                                       image.size() - half)));
+        ASSERT_TRUE(replica::sendFrame(
+            *leader_end,
+            replica::makeSnapshotEnd(
+                1, persist::crc32(image.data(), image.size()))));
+        Frame ack;
+        ASSERT_TRUE(replica::readFrame(*leader_end, reader, ack, 2000));
+        EXPECT_EQ(ack.type, FrameType::Ack);
+        EXPECT_EQ(ack.appliedSeq, 40u);
+        leader_end->shutdown();
+        serve.join();
+    }
+    EXPECT_EQ(follower.stats().snapshotsInstalled, 1u);
+    EXPECT_EQ(follower.lastAppliedSeq(), 40u);
+    EXPECT_TRUE(matchesTruth(standby, full));
+}
+
+TEST(Replica, CorruptSnapshotCrcDiscarded)
+{
+    TempFile spool("test_replica_badcrc.spool");
+    RoutingTable table = smallTable(0xbadc);
+    ChiselConfig config;
+    uint64_t fp = configFingerprint(config);
+
+    ConcurrentOptions copts;
+    copts.controlThread = false;
+    ConcurrentChisel standby(table, config, copts);
+    Follower follower(standby, fp, {.spoolPath = spool.path});
+
+    ChiselEngine sidecar(table, config);
+    std::vector<uint8_t> image =
+        persist::encodeSnapshotImage(sidecar, 10);
+
+    auto [leader_end, follower_end] = replica::makePipePair();
+    std::thread serve([&follower, end = follower_end] {
+        follower.handleConnection(*end);
+    });
+    FrameReader reader;
+    shakeHands(*leader_end, reader, 1, fp, 10);
+    ASSERT_TRUE(replica::sendFrame(
+        *leader_end, replica::makeSnapshotBegin(1, 10, image.size())));
+    ASSERT_TRUE(replica::sendFrame(
+        *leader_end,
+        replica::makeSnapshotChunk(1, 0, image.data(), image.size())));
+    // Whole-image CRC off by one: the follower must refuse and drop.
+    ASSERT_TRUE(replica::sendFrame(
+        *leader_end,
+        replica::makeSnapshotEnd(
+            1, persist::crc32(image.data(), image.size()) ^ 1)));
+    serve.join();
+    leader_end->shutdown();
+
+    EXPECT_EQ(follower.stats().snapshotsInstalled, 0u);
+    EXPECT_GE(follower.stats().snapshotsDiscarded, 1u);
+    EXPECT_EQ(follower.lastAppliedSeq(), 0u);
+}
+
+// ---- Fencing ---------------------------------------------------------
+
+TEST(Replica, PromotedFollowerFencesStaleEpoch)
+{
+    TempFile spool("test_replica_fence.spool");
+    RoutingTable table = smallTable(0xfe0);
+    std::vector<Update> updates = smallTrace(table, 4, 0xfe1);
+    ChiselConfig config;
+    uint64_t fp = configFingerprint(config);
+
+    ConcurrentOptions copts;
+    copts.controlThread = false;
+    ConcurrentChisel standby(table, config, copts);
+    Follower follower(standby, fp, {.spoolPath = spool.path});
+
+    replica::PromotionReport promo = follower.promote();
+    EXPECT_EQ(promo.epoch, 1u);
+    EXPECT_TRUE(follower.promoted());
+    EXPECT_TRUE(follower.caughtUp());  // A leader serves by definition.
+
+    // The old leader's epoch (1) is now stale: Welcome is answered
+    // with Fenced and the connection is dropped.
+    {
+        auto [leader_end, follower_end] = replica::makePipePair();
+        std::thread serve([&follower, end = follower_end] {
+            follower.handleConnection(*end);
+        });
+        FrameReader reader;
+        Frame hello;
+        ASSERT_TRUE(
+            replica::readFrame(*leader_end, reader, hello, 2000));
+        EXPECT_EQ(hello.maxEpochSeen, 1u);
+        ASSERT_TRUE(replica::sendFrame(
+            *leader_end, replica::makeWelcome(1, fp, 50)));
+        Frame fencedReply;
+        ASSERT_TRUE(replica::readFrame(*leader_end, reader,
+                                       fencedReply, 2000));
+        EXPECT_EQ(fencedReply.type, FrameType::Fenced);
+        EXPECT_EQ(fencedReply.currentEpoch, 2u);
+        serve.join();
+        leader_end->shutdown();
+    }
+    EXPECT_EQ(follower.stats().fenceRejects, 1u);
+    EXPECT_EQ(follower.lastAppliedSeq(), 0u);
+
+    // A legitimate successor (epoch 2 = promoted + 1) is accepted and
+    // its records apply.
+    {
+        auto [leader_end, follower_end] = replica::makePipePair();
+        std::thread serve([&follower, end = follower_end] {
+            follower.handleConnection(*end);
+        });
+        FrameReader reader;
+        shakeHands(*leader_end, reader, 2, fp, 1);
+        persist::JournalRecord rec;
+        rec.type = persist::JournalRecord::Type::Update;
+        rec.seq = 1;
+        rec.update = updates[0];
+        ASSERT_TRUE(replica::sendFrame(
+            *leader_end,
+            replica::makeRecord(2,
+                                persist::encodeJournalRecord(rec))));
+        EXPECT_TRUE(waitUntil(
+            [&] { return follower.lastAppliedSeq() == 1u; }));
+        leader_end->shutdown();
+        serve.join();
+    }
+    EXPECT_EQ(follower.stats().fenceRejects, 1u);
+}
+
+TEST(Replica, StaleLeaderLatchesFenceEndToEnd)
+{
+    TempFile journal("test_replica_stale.journal");
+    TempFile spool("test_replica_stale.spool");
+    RoutingTable table = smallTable(0x51a);
+    ChiselConfig config;
+    uint64_t fp = configFingerprint(config);
+
+    ConcurrentOptions copts;
+    copts.controlThread = false;
+    ConcurrentChisel standby(table, config, copts);
+    replica::TcpListener listener;
+    ASSERT_TRUE(listener.listen(0));
+    Follower follower(standby, fp, {.spoolPath = spool.path});
+    follower.promote();
+    follower.start(listener);
+
+    ReplicationOptions ropts;
+    ropts.epoch = 1;  // The dead leader's epoch: stale by now.
+    ropts.backoffMinMs = 5;
+    ReplicationLog stale(journal.path, fp, 1, ropts);
+    uint16_t port = listener.port();
+    stale.start([port] { return replica::tcpConnect(port, 500); },
+                nullptr);
+
+    EXPECT_TRUE(waitUntil([&] { return stale.fenced(); }));
+    stale.stop();
+    follower.stop();
+    EXPECT_TRUE(stale.stats().fenced);
+}
+
+// ---- Heartbeats ------------------------------------------------------
+
+TEST(Replica, HeartbeatSilenceDetection)
+{
+    TempFile spool("test_replica_hb.spool");
+    RoutingTable table = smallTable(0x4b0);
+    ChiselConfig config;
+    uint64_t fp = configFingerprint(config);
+
+    ConcurrentOptions copts;
+    copts.controlThread = false;
+    ConcurrentChisel standby(table, config, copts);
+    FollowerOptions fo;
+    fo.heartbeatTimeoutMs = 60;
+    fo.spoolPath = spool.path;
+    Follower follower(standby, fp, fo);
+
+    EXPECT_FALSE(follower.leaderSilent());  // Never connected.
+
+    auto [leader_end, follower_end] = replica::makePipePair();
+    std::thread serve([&follower, end = follower_end] {
+        follower.handleConnection(*end);
+    });
+    FrameReader reader;
+    shakeHands(*leader_end, reader, 1, fp, 0);
+    ASSERT_TRUE(replica::sendFrame(*leader_end,
+                                   replica::makeHeartbeat(1, 0)));
+    EXPECT_TRUE(waitUntil([&] { return follower.connected(); }));
+    EXPECT_FALSE(follower.leaderSilent());
+
+    // Silence (the leader is wedged, not disconnected): after the
+    // timeout the follower reports it, which is the promotion trigger.
+    EXPECT_TRUE(waitUntil([&] { return follower.leaderSilent(); },
+                          2000));
+
+    leader_end->shutdown();
+    serve.join();
+}
+
+// ---- Promotion replay ------------------------------------------------
+
+TEST(Replica, PromotionReplaysJournalTail)
+{
+    TempFile journal("test_replica_promote.journal");
+    TempFile spool("test_replica_promote.spool");
+    RoutingTable table = smallTable(0x9f0);
+    std::vector<Update> updates = smallTrace(table, 20, 0x9f1);
+    ChiselConfig config;
+    uint64_t fp = configFingerprint(config);
+
+    {
+        persist::UpdateJournal j(journal.path, fp);
+        for (const Update &u : updates)
+            ASSERT_NE(j.append(u), 0u);
+    }
+
+    ConcurrentOptions copts;
+    copts.controlThread = false;
+    ConcurrentChisel standby(table, config, copts);
+    Follower follower(standby, fp, {.spoolPath = spool.path});
+
+    replica::PromotionReport promo = follower.promote(journal.path);
+    EXPECT_EQ(promo.epoch, 1u);
+    EXPECT_EQ(promo.replayedRecords, updates.size());
+    EXPECT_EQ(promo.lastAppliedSeq, uint64_t(updates.size()));
+    EXPECT_EQ(follower.lastAppliedSeq(), uint64_t(updates.size()));
+    EXPECT_TRUE(matchesTruth(
+        standby, advance(table, updates, updates.size())));
+    EXPECT_GE(standby.monitor().actionsTaken(
+                  health::RecoveryAction::FailedOver),
+              1u);
+}
+
+#if CHISEL_FAULT_INJECTION_ENABLED
+TEST(Replica, JournalIoErrorStopsShippingAndAcking)
+{
+    TempFile journal("test_replica_ioerr.journal");
+    RoutingTable table = smallTable(0x10e);
+    std::vector<Update> updates = smallTrace(table, 4, 0x10f);
+    ChiselConfig config;
+    uint64_t fp = configFingerprint(config);
+
+    ReplicationLog rlog(journal.path, fp, 1, {});
+    ASSERT_TRUE(rlog.durable());
+    ASSERT_NE(rlog.append(updates[0]), 0u);
+
+    fault::FaultInjector inj(7);
+    inj.arm(fault::FaultPoint::JournalIoError, 1.0, 1);
+    {
+        fault::ScopedInjector scope(&inj);
+        EXPECT_EQ(rlog.append(updates[1]), 0u);
+    }
+    // Latched: even with the fault disarmed, a journal that lost a
+    // write refuses every later append — the leader stops acking.
+    EXPECT_EQ(rlog.append(updates[2]), 0u);
+    EXPECT_FALSE(rlog.durable());
+    EXPECT_GE(rlog.ioErrors(), 1u);
+    EXPECT_GE(rlog.stats().journalIoErrors, 1u);
+    EXPECT_EQ(rlog.lastSeq(), 1u);
+}
+#endif
+
+} // anonymous namespace
+} // namespace chisel

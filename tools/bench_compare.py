@@ -4,10 +4,20 @@
 Usage:
     bench_compare.py --baseline DIR --candidate DIR [options]
     bench_compare.py --validate-only --candidate DIR
+    bench_compare.py --self-test
 
 Modes:
     --validate-only   only schema-check the candidate documents
+    --self-test       run the embedded unit tests and exit
     (default)         validate both sides, then compare each scenario
+
+Schema policy: chisel.bench.v1 is additive.  Documents may carry
+fields beyond REQUIRED_FIELDS (newer producers report more gauges,
+e.g. the "replication" family emitted when a bench runs with a warm
+standby attached).  Known additive families are type-checked when
+present; unrecognized extras are warned about but never fail
+validation, so a baseline captured before a gauge existed still
+compares against a candidate that reports it.
 
 Comparison rules (per scenario):
     * config_fingerprint must match -- two documents with different
@@ -46,6 +56,24 @@ REQUIRED_FIELDS = {
     "accesses_per_op": (int, float),
 }
 
+# Known additive families: absent is fine, but when present the
+# family must be an object whose listed gauges (if reported) are
+# numeric.  "replication" mirrors the ReplicationLog / Follower
+# telemetry gauges (docs/replication.md).
+OPTIONAL_FAMILIES = {
+    "replication": [
+        "records_shipped",
+        "snapshots_shipped",
+        "bytes_shipped",
+        "reconnects",
+        "lag_records",
+        "epoch",
+        "fence_rejects",
+        "records_applied",
+        "snapshots_installed",
+    ],
+}
+
 
 def fail(msg):
     print(f"bench_compare: FAIL: {msg}")
@@ -79,6 +107,41 @@ def validate(doc, path):
         doc["ops_per_sec"] > 0
     ):
         ok = fail(f"{path}: ops_per_sec must be > 0")
+
+    for family, gauges in OPTIONAL_FAMILIES.items():
+        if family not in doc:
+            continue
+        block = doc[family]
+        if not isinstance(block, dict):
+            ok = fail(
+                f"{path}: additive family '{family}' must be an "
+                f"object, got {type(block).__name__}"
+            )
+            continue
+        for gauge, value in block.items():
+            if gauge not in gauges:
+                print(
+                    f"bench_compare: note: {path}: unrecognized "
+                    f"'{family}.{gauge}' (additive, tolerated)"
+                )
+            elif not isinstance(value, (int, float)) or isinstance(
+                value, bool
+            ):
+                ok = fail(
+                    f"{path}: gauge '{family}.{gauge}' must be "
+                    f"numeric, got {type(value).__name__}"
+                )
+
+    extras = (
+        set(doc) - set(REQUIRED_FIELDS) - set(OPTIONAL_FAMILIES)
+    )
+    for field in sorted(extras):
+        # Additive schema: tolerate, but say so -- a typo'd required
+        # field shows up here right next to its "missing" failure.
+        print(
+            f"bench_compare: note: {path}: extra field "
+            f"'{field}' (additive, tolerated)"
+        )
     return ok
 
 
@@ -124,15 +187,118 @@ def compare(scenario, base, cand, args):
     return ok
 
 
+def self_test():
+    """Embedded unit tests for the schema/compare rules.  @return 0/1."""
+    import copy
+
+    base_doc = {
+        "schema": SCHEMA,
+        "scenario": "concurrent",
+        "commit": "deadbeef",
+        "config_fingerprint": "14da8d1c",
+        "quick": True,
+        "table_size": 5000,
+        "ops": 400000,
+        "threads": 3,
+        "ops_per_sec": 1_000_000.0,
+        "p50_ns": 1000,
+        "p95_ns": 2000,
+        "p99_ns": 4000,
+        "accesses_per_op": 0,
+    }
+
+    class Args:
+        threshold = 0.75
+        access_slack = 1.05
+
+    failures = []
+
+    def check(name, got, want):
+        tag = "ok" if got == want else "FAIL"
+        print(f"self-test: {tag:<4} {name}")
+        if got != want:
+            failures.append(name)
+
+    doc = copy.deepcopy(base_doc)
+    check("valid doc validates", validate(doc, "t"), True)
+
+    doc = copy.deepcopy(base_doc)
+    doc["brand_new_scalar"] = 7
+    check("additive scalar tolerated", validate(doc, "t"), True)
+
+    doc = copy.deepcopy(base_doc)
+    doc["replication"] = {
+        "records_shipped": 1200,
+        "lag_records": 3,
+        "epoch": 2,
+        "fence_rejects": 0,
+    }
+    check("replication gauges tolerated", validate(doc, "t"), True)
+
+    doc = copy.deepcopy(base_doc)
+    doc["replication"] = {"brand_new_gauge": 1}
+    check("unknown replication gauge tolerated",
+          validate(doc, "t"), True)
+
+    doc = copy.deepcopy(base_doc)
+    doc["replication"] = {"lag_records": "three"}
+    check("non-numeric gauge rejected", validate(doc, "t"), False)
+
+    doc = copy.deepcopy(base_doc)
+    doc["replication"] = [1, 2]
+    check("non-object family rejected", validate(doc, "t"), False)
+
+    doc = copy.deepcopy(base_doc)
+    del doc["p99_ns"]
+    check("missing required field rejected", validate(doc, "t"), False)
+
+    doc = copy.deepcopy(base_doc)
+    doc["ops"] = True
+    check("bool-as-int rejected", validate(doc, "t"), False)
+
+    doc = copy.deepcopy(base_doc)
+    doc["ops_per_sec"] = 0
+    check("zero throughput rejected", validate(doc, "t"), False)
+
+    good = copy.deepcopy(base_doc)
+    check("identical docs compare clean",
+          compare("t", base_doc, good, Args), True)
+
+    slow = copy.deepcopy(base_doc)
+    slow["ops_per_sec"] = base_doc["ops_per_sec"] * 0.5
+    check("10x-ish regression caught",
+          compare("t", base_doc, slow, Args), False)
+
+    lat = copy.deepcopy(base_doc)
+    lat["p99_ns"] = base_doc["p99_ns"] * 10
+    check("p99 regression caught",
+          compare("t", base_doc, lat, Args), False)
+
+    other = copy.deepcopy(base_doc)
+    other["config_fingerprint"] = "ffffffff"
+    check("fingerprint mismatch refused",
+          compare("t", base_doc, other, Args), False)
+
+    richer = copy.deepcopy(base_doc)
+    richer["replication"] = {"records_shipped": 5}
+    check("candidate with extra family compares vs bare baseline",
+          validate(richer, "t") and compare("t", base_doc, richer, Args),
+          True)
+
+    if failures:
+        print(f"bench_compare: self-test FAILED: {failures}")
+        return 1
+    print("bench_compare: self-test OK")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     ap.add_argument("--baseline", help="directory with baseline JSONs")
-    ap.add_argument(
-        "--candidate", required=True, help="directory with new JSONs"
-    )
+    ap.add_argument("--candidate", help="directory with new JSONs")
     ap.add_argument(
         "--scenarios",
         default=",".join(SCENARIOS),
@@ -155,8 +321,17 @@ def main():
         action="store_true",
         help="schema-check the candidate documents, no comparison",
     )
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the embedded unit tests and exit",
+    )
     args = ap.parse_args()
 
+    if args.self_test:
+        return self_test()
+    if not args.candidate:
+        ap.error("--candidate is required unless --self-test")
     if not args.validate_only and not args.baseline:
         ap.error("--baseline is required unless --validate-only")
 
