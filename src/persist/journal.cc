@@ -247,6 +247,7 @@ UpdateJournal::UpdateJournal(const std::string &path,
             fatalError("cannot open journal '" + path + "': " +
                        std::strerror(errno));
         seq_ = scan.lastSeq;
+        durableSeq_ = scan.lastSeq;  // The scanned prefix is on disk.
     }
 }
 
@@ -270,13 +271,22 @@ UpdateJournal::recordIoError(const std::string &what)
     if (!ioFailed_) {
         ioFailed_ = true;
         ioError_ = what;
-        error("journal '" + path_ + "' degraded: " + what);
+        if (seq_ > durableSeq_) {
+            // Batched-fsync exposure: these seqs were acknowledged
+            // (written + flushed) but never reached a successful
+            // fsync, so the owner must treat them as possibly lost.
+            ioError_ += "; seqs " + std::to_string(durableSeq_ + 1) +
+                        ".." + std::to_string(seq_) +
+                        " were acknowledged but may not be durable";
+        }
+        error("journal '" + path_ + "' degraded: " + ioError_);
     }
     CHISEL_FLIGHT_EVENT(JournalIoError, 0, seq_, ioErrors_);
 }
 
 bool
-UpdateJournal::writeRecord(const std::vector<uint8_t> &payload)
+UpdateJournal::writeRecord(const std::vector<uint8_t> &payload,
+                           uint64_t seq_after)
 {
     if (torn_)
         return true;   // "Crashed" by a previous torn write.
@@ -317,7 +327,7 @@ UpdateJournal::writeRecord(const std::vector<uint8_t> &payload)
     ++written_;
     ++sinceSync_;
     if (fsyncEvery_ != 0 && sinceSync_ >= fsyncEvery_)
-        sync();
+        syncTo(seq_after);
     else if (std::fflush(file_) != 0) {
         recordIoError("flush failed: " +
                       std::string(std::strerror(errno)));
@@ -333,7 +343,7 @@ UpdateJournal::append(const Update &update)
     rec.type = JournalRecord::Type::Update;
     rec.seq = seq_ + 1;
     rec.update = update;
-    if (!writeRecord(encodeJournalRecord(rec)))
+    if (!writeRecord(encodeJournalRecord(rec), rec.seq))
         return 0;   // Not durable: the caller must not acknowledge.
     seq_ = rec.seq;
     CHISEL_FLIGHT_EVENT(JournalAppend, rec.type, rec.seq, 0);
@@ -353,7 +363,7 @@ UpdateJournal::appendOutcome(uint64_t seq, const UpdateOutcome &outcome)
     rec.slowPathInserts = outcome.slowPathInserts;
     rec.slowPathRejections = outcome.slowPathRejections;
     rec.parityRecoveries = outcome.parityRecoveries;
-    if (writeRecord(encodeJournalRecord(rec)))
+    if (writeRecord(encodeJournalRecord(rec), seq_))
         CHISEL_FLIGHT_EVENT(JournalAppend, rec.type, rec.seq, 0);
 }
 
@@ -363,7 +373,7 @@ UpdateJournal::appendSnapshotMark(uint64_t seq)
     JournalRecord rec;
     rec.type = JournalRecord::Type::SnapshotMark;
     rec.seq = seq;
-    if (writeRecord(encodeJournalRecord(rec)))
+    if (writeRecord(encodeJournalRecord(rec), seq_))
         CHISEL_FLIGHT_EVENT(JournalAppend, rec.type, rec.seq, 0);
 }
 
@@ -374,15 +384,27 @@ UpdateJournal::appendHousekeeping(JournalRecord::HousekeepingKind kind)
     rec.type = JournalRecord::Type::Housekeeping;
     rec.seq = seq_;   // Stamped, not consumed: updates keep their seqs.
     rec.housekeeping = kind;
-    if (writeRecord(encodeJournalRecord(rec)))
+    if (writeRecord(encodeJournalRecord(rec), seq_))
         CHISEL_FLIGHT_EVENT(JournalAppend, rec.type, rec.seq, 0);
 }
 
 void
 UpdateJournal::sync()
 {
+    syncTo(seq_);
+}
+
+void
+UpdateJournal::syncTo(uint64_t head)
+{
     if (torn_ || ioFailed_)
         return;
+    if (CHISEL_FAULT_FIRE(JournalIoError)) {
+        // The modelled batch-fsync failure: everything flushed since
+        // the last successful sync was acked but is now suspect.
+        recordIoError("injected fsync failure (batch-sync model)");
+        return;
+    }
     if (std::fflush(file_) != 0) {
         recordIoError("fflush failed: " +
                       std::string(std::strerror(errno)));
@@ -394,7 +416,8 @@ UpdateJournal::sync()
         return;
     }
     sinceSync_ = 0;
-    CHISEL_FLIGHT_EVENT(JournalSync, 0, seq_, 0);
+    durableSeq_ = head;
+    CHISEL_FLIGHT_EVENT(JournalSync, 0, head, 0);
 }
 
 } // namespace chisel::persist

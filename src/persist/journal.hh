@@ -184,11 +184,32 @@ class UpdateJournal
     /** Sequence number of the last appended/preexisting update. */
     uint64_t lastSeq() const { return seq_; }
 
+    /**
+     * Highest update seq covered by a successful fsync.  Equal to
+     * lastSeq() under the strict policy (fsync_every = 1); with a
+     * batched policy, seqs in (lastDurableSeq(), lastSeq()] have been
+     * written and flushed but not yet synced — if the batch fsync
+     * then fails, exactly those seqs were acknowledged without being
+     * durable, and recordIoError reports that window so owners can
+     * un-ack or alert on the exposure.
+     */
+    uint64_t lastDurableSeq() const { return durableSeq_; }
+
     const std::string &path() const { return path_; }
 
   private:
-    /** @return false iff the record was refused by an I/O failure. */
-    bool writeRecord(const std::vector<uint8_t> &payload);
+    /**
+     * @return false iff the record was refused by an I/O failure.
+     * @p seq_after is the journal head once this record is durable
+     * (the record's own seq for updates, the current head otherwise);
+     * a batch-boundary fsync inside the write advances the durable
+     * head to exactly that.
+     */
+    bool writeRecord(const std::vector<uint8_t> &payload,
+                     uint64_t seq_after);
+
+    /** sync() targeting @p head as the durable seq on success. */
+    void syncTo(uint64_t head);
 
     /** Latch an I/O failure: count, flight-record, refuse appends. */
     void recordIoError(const std::string &what);
@@ -198,6 +219,7 @@ class UpdateJournal
     size_t fsyncEvery_;
     size_t sinceSync_ = 0;
     uint64_t seq_ = 0;
+    uint64_t durableSeq_ = 0;
     uint64_t written_ = 0;
     /**
      * JournalTornWrite fired: the current record was half-written and

@@ -228,8 +228,10 @@ Follower::handleFrame(ByteStream &stream, const Frame &frame,
                                           std::memory_order_relaxed);
             return false;
         }
-        installSnapshot(xfer);
+        bool installed = installSnapshot(xfer);
         xfer = SnapshotTransfer{};
+        if (!installed)
+            return false;  // No base installed: never ack past it.
         since_ack = 0;
         sendFrame(stream,
                   makeAck(maxEpochSeen_.load(
@@ -310,16 +312,17 @@ Follower::applyRecord(const persist::JournalRecord &rec)
     return false;
 }
 
-void
+bool
 Follower::installSnapshot(SnapshotTransfer &xfer)
 {
     std::lock_guard<std::mutex> lock(applyMutex_);
     if (xfer.coveredSeq <=
         lastApplied_.load(std::memory_order_acquire)) {
         // We are already past this image (a resume raced a snapshot
-        // decision); installing it would rewind the engine.
+        // decision); installing it would rewind the engine.  The
+        // session may continue: our state covers the image.
         snapshotsDiscarded_.fetch_add(1, std::memory_order_relaxed);
-        return;
+        return true;
     }
     // Spool to disk and install through the engine's pointer-flip
     // restore; a partial/corrupt image never got this far (CRC).
@@ -327,7 +330,8 @@ Follower::installSnapshot(SnapshotTransfer &xfer)
     if (f == nullptr) {
         warn("replica: cannot spool snapshot to '" +
              options_.spoolPath + "'");
-        return;
+        snapshotsDiscarded_.fetch_add(1, std::memory_order_relaxed);
+        return false;
     }
     bool wrote = std::fwrite(xfer.image.data(), 1, xfer.image.size(),
                              f) == xfer.image.size();
@@ -335,12 +339,13 @@ Follower::installSnapshot(SnapshotTransfer &xfer)
     if (!wrote || !engine_.restoreFromSnapshot(options_.spoolPath)) {
         warn("replica: shipped snapshot failed to install");
         snapshotsDiscarded_.fetch_add(1, std::memory_order_relaxed);
-        return;
+        return false;
     }
     lastApplied_.store(xfer.coveredSeq, std::memory_order_release);
     snapshotsInstalled_.fetch_add(1, std::memory_order_relaxed);
     CHISEL_FLIGHT_EVENT(ReplicaApply, FrameType::SnapshotEnd,
                         xfer.coveredSeq, xfer.image.size());
+    return true;
 }
 
 void

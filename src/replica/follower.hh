@@ -222,7 +222,16 @@ class Follower
                      SnapshotTransfer &xfer, uint64_t &since_ack);
 
     bool applyRecord(const persist::JournalRecord &rec);
-    void installSnapshot(SnapshotTransfer &xfer);
+
+    /**
+     * Install a fully transferred, CRC-valid image.  @return false
+     * when installation failed (spool or restore I/O) — the caller
+     * must drop the connection rather than ack and apply later
+     * records onto an engine missing the snapshot base.  The benign
+     * already-past-this-image race reports true (state is consistent,
+     * just ahead).
+     */
+    bool installSnapshot(SnapshotTransfer &xfer);
     void noteEpoch(uint64_t epoch);
 
     /** Epoch a leader must present; anything lower is fenced. */

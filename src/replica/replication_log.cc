@@ -19,7 +19,13 @@ ReplicationLog::ReplicationLog(const std::string &path,
                                const ReplicationOptions &options)
     : journal_(path, config_fingerprint, fsync_every),
       options_(options), fingerprint_(config_fingerprint)
-{}
+{
+    // A reopened journal recovers history (lastSeq > 0) that was never
+    // enqueued in the ship tail.  Treat everything up to the recovered
+    // head as evicted, so a follower resuming from below it takes the
+    // snapshot path instead of silently skipping pre-restart records.
+    evictedThroughSeq_ = journal_.lastSeq();
+}
 
 ReplicationLog::~ReplicationLog()
 {
@@ -133,6 +139,13 @@ ReplicationLog::lastSeq() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return journal_.lastSeq();
+}
+
+uint64_t
+ReplicationLog::lastDurableSeq() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return journal_.lastDurableSeq();
 }
 
 // ---- Shipping --------------------------------------------------------
@@ -318,10 +331,13 @@ ReplicationLog::serveConnection(ByteStream &stream,
         needSnapshot = resumeSeq < evictedThroughSeq_;
     }
     if (needSnapshot) {
+        // Snapshot-unavailable is a backoff-eligible failure: the
+        // session cannot proceed, and returning handshook would reset
+        // the backoff into a tight reconnect/re-image loop.
         if (!snapshots) {
             warn("replication: follower needs snapshot catch-up but "
                  "no snapshot provider is configured");
-            return true;  // Handshake worked; session cannot proceed.
+            return false;
         }
         uint64_t covered = 0;
         std::vector<uint8_t> image;
@@ -334,8 +350,11 @@ ReplicationLog::serveConnection(ByteStream &stream,
             consistent = !image.empty() &&
                          covered >= evictedThroughSeq_;
         }
-        if (!consistent)
-            return true;
+        if (!consistent) {
+            warn("replication: snapshot provider could not produce a "
+                 "consistent image for catch-up; backing off");
+            return false;
+        }
         if (!sendFrame(stream,
                        makeSnapshotBegin(options_.epoch, covered,
                                          image.size()),
@@ -448,6 +467,7 @@ ReplicationLog::stats() const
     {
         std::lock_guard<std::mutex> lock(mutex_);
         s.lastSeq = journal_.lastSeq();
+        s.lastDurableSeq = journal_.lastDurableSeq();
         s.journalIoErrors = journal_.ioErrors();
     }
     s.lastAckedSeq = lastAckedSeq_.load(std::memory_order_relaxed);
@@ -476,6 +496,7 @@ ReplicationLog::publish(telemetry::MetricRegistry &registry,
     };
     set("epoch", s.epoch);
     set("last_seq", s.lastSeq);
+    set("last_durable_seq", s.lastDurableSeq);
     set("last_acked_seq", s.lastAckedSeq);
     set("lag_records", s.lagRecords);
     set("records_shipped", s.recordsShipped);

@@ -99,7 +99,8 @@ struct ReplicationOptions
 struct ReplicationStats
 {
     uint64_t epoch = 0;
-    uint64_t lastSeq = 0;         ///< Journal head (durable).
+    uint64_t lastSeq = 0;         ///< Journal head (acknowledged).
+    uint64_t lastDurableSeq = 0;  ///< Journal head covered by fsync.
     uint64_t lastAckedSeq = 0;    ///< Follower-confirmed applied seq.
     uint64_t lagRecords = 0;      ///< lastSeq - lastAckedSeq.
     uint64_t recordsShipped = 0;
@@ -148,6 +149,9 @@ class ReplicationLog
     bool durable() const;
     uint64_t ioErrors() const;
     uint64_t lastSeq() const;
+
+    /** See UpdateJournal::lastDurableSeq — the fsync-covered head. */
+    uint64_t lastDurableSeq() const;
 
     // ---- Shipping ---------------------------------------------------
 

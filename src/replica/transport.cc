@@ -136,15 +136,23 @@ makeBrokenStream()
 
 TcpStream::~TcpStream()
 {
-    shutdown();
+    // Close exactly once, on the owning thread: by the time the
+    // owner destroys the stream it has published activeStream_ =
+    // nullptr, so no foreign shutdown() can still reach this object.
+    int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0)
+        ::close(fd);
 }
 
 bool
 TcpStream::send(const uint8_t *data, size_t len)
 {
+    int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0)
+        return false;
     size_t sent = 0;
     while (sent < len) {
-        ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+        ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -158,15 +166,18 @@ TcpStream::send(const uint8_t *data, size_t len)
 int
 TcpStream::recv(uint8_t *data, size_t len, int timeout_ms)
 {
+    int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0)
+        return -1;
     struct pollfd pfd = {};
-    pfd.fd = fd_;
+    pfd.fd = fd;
     pfd.events = POLLIN;
     int ready = ::poll(&pfd, 1, timeout_ms);
     if (ready == 0)
         return 0;
     if (ready < 0)
         return errno == EINTR ? 0 : -1;
-    ssize_t n = ::recv(fd_, data, len, 0);
+    ssize_t n = ::recv(fd, data, len, 0);
     if (n == 0)
         return -1;  // Orderly close.
     if (n < 0)
@@ -177,11 +188,13 @@ TcpStream::recv(uint8_t *data, size_t len, int timeout_ms)
 void
 TcpStream::shutdown()
 {
-    if (fd_ >= 0) {
-        ::shutdown(fd_, SHUT_RDWR);
-        ::close(fd_);
-        fd_ = -1;
-    }
+    // Foreign-thread safe: half-close only.  A concurrent send()/
+    // recv() blocked on this fd wakes with EOF/EPIPE; the fd stays
+    // valid (not closed, not reusable) until the destructor runs on
+    // the owning thread.
+    int fd = fd_.load(std::memory_order_acquire);
+    if (fd >= 0)
+        ::shutdown(fd, SHUT_RDWR);
 }
 
 TcpListener::~TcpListener()

@@ -24,6 +24,7 @@
 #ifndef CHISEL_REPLICA_TRANSPORT_HH
 #define CHISEL_REPLICA_TRANSPORT_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -110,7 +111,15 @@ std::unique_ptr<ByteStream> makeBrokenStream();
 
 // ---- TCP loopback (the process-boundary transport) -------------------
 
-/** A ByteStream over a connected socket; owns the fd. */
+/**
+ * A ByteStream over a connected socket; owns the fd.
+ *
+ * shutdown() may be called from a foreign thread while the owning
+ * thread is blocked in send()/recv(): it only half-closes the socket
+ * (::shutdown), which wakes the blocked call.  The fd itself is
+ * closed exactly once, by the destructor on the owning thread, so a
+ * foreign shutdown can never race a close into fd reuse.
+ */
 class TcpStream : public ByteStream
 {
   public:
@@ -122,7 +131,7 @@ class TcpStream : public ByteStream
     void shutdown() override;
 
   private:
-    int fd_ = -1;
+    std::atomic<int> fd_{-1};
 };
 
 /**

@@ -865,7 +865,69 @@ TEST(PersistRecovery, CrashAtEveryRecordSweepWithHousekeeping)
     removeFile(live);
 }
 
+TEST(PersistJournal, BatchedFsyncTracksLastDurableSeq)
+{
+    std::string jpath = tempPath("journal_durable.journal");
+    removeFile(jpath);
+    uint64_t fp = configFingerprint(ChiselConfig{});
+    Update u{UpdateKind::Announce,
+             Prefix(Key128::fromIpv4(0x0A000000), 8), 42};
+
+    {
+        // A batch policy that never auto-syncs: the durable head
+        // trails the acknowledged head until an explicit sync().
+        UpdateJournal journal(jpath, fp, /*fsync_every=*/100);
+        EXPECT_EQ(journal.lastDurableSeq(), 0u);
+        for (int i = 0; i < 3; ++i)
+            ASSERT_NE(journal.append(u), 0u);
+        EXPECT_EQ(journal.lastSeq(), 3u);
+        EXPECT_EQ(journal.lastDurableSeq(), 0u);
+        journal.sync();
+        EXPECT_EQ(journal.lastDurableSeq(), 3u);
+        ASSERT_NE(journal.append(u), 0u);
+        EXPECT_EQ(journal.lastDurableSeq(), 3u);
+    }
+
+    // Reopening seeds the durable head from the scanned prefix: the
+    // recovered history is on disk by definition.
+    UpdateJournal reopened(jpath, fp, /*fsync_every=*/100);
+    EXPECT_EQ(reopened.lastSeq(), 4u);
+    EXPECT_EQ(reopened.lastDurableSeq(), 4u);
+    removeFile(jpath);
+}
+
 #if CHISEL_FAULT_INJECTION_ENABLED
+TEST(PersistJournal, FailedBatchSyncReportsExposureWindow)
+{
+    std::string jpath = tempPath("journal_exposure.journal");
+    removeFile(jpath);
+    uint64_t fp = configFingerprint(ChiselConfig{});
+    Update u{UpdateKind::Announce,
+             Prefix(Key128::fromIpv4(0x0A000000), 8), 42};
+
+    UpdateJournal journal(jpath, fp, /*fsync_every=*/100);
+    for (int i = 0; i < 3; ++i)
+        ASSERT_NE(journal.append(u), 0u);
+    journal.sync();
+    for (int i = 0; i < 2; ++i)
+        ASSERT_NE(journal.append(u), 0u);
+
+    // The batch fsync fails: seqs 4..5 were acknowledged after their
+    // per-record flush but never reached a successful sync — the
+    // latched error must name exactly that window.
+    FaultInjector inj(43);
+    inj.arm(FaultPoint::JournalIoError, 1.0, 1);
+    {
+        ScopedInjector scope(&inj);
+        journal.sync();
+    }
+    EXPECT_FALSE(journal.ioHealthy());
+    EXPECT_EQ(journal.lastDurableSeq(), 3u);
+    EXPECT_NE(journal.ioError().find("seqs 4..5"), std::string::npos)
+        << journal.ioError();
+    removeFile(jpath);
+}
+
 TEST(PersistJournal, InjectedIoErrorLatchesAndKeepsValidPrefix)
 {
     std::string jpath = tempPath("journal_ioerr.journal");

@@ -405,6 +405,107 @@ TEST(Replica, SnapshotBootstrapAfterTailEviction)
     std::remove((journal.path + ".spool").c_str());
 }
 
+TEST(Replica, LeaderRestartForcesSnapshotCatchup)
+{
+    TempFile journal("test_replica_restart.journal");
+    RoutingTable table = smallTable(0x5ee);
+    std::vector<Update> updates = smallTrace(table, 60, 0x5ef);
+    ChiselConfig config;
+    uint64_t fp = configFingerprint(config);
+
+    // First leader life: durably log history that is never shipped.
+    {
+        ReplicationLog first(journal.path, fp, 1, {});
+        for (size_t i = 0; i < 40; ++i)
+            ASSERT_NE(first.append(updates[i]), 0u);
+    }
+
+    // The restarted leader recovers seq 40, but none of that history
+    // is in its ship tail — a follower resuming from 0 must take the
+    // snapshot path, not silently skip the pre-restart records.
+    ReplicationOptions ropts;
+    ropts.heartbeatMs = 10;
+    ropts.backoffMinMs = 5;
+    ReplicationLog rlog(journal.path, fp, 1, ropts);
+
+    ChiselEngine sidecar(advance(table, updates, 40), config);
+    auto provider = [&](uint64_t &covered) {
+        covered = 40;
+        return persist::encodeSnapshotImage(sidecar, 40);
+    };
+
+    ConcurrentOptions copts;
+    copts.controlThread = false;
+    ConcurrentChisel standby(table, config, copts);
+    replica::TcpListener listener;
+    ASSERT_TRUE(listener.listen(0));
+    Follower follower(standby, fp,
+                      {.spoolPath = journal.path + ".spool"});
+    follower.start(listener);
+    uint16_t port = listener.port();
+    rlog.start([port] { return replica::tcpConnect(port, 500); },
+               provider);
+
+    uint64_t last = 0;
+    for (size_t i = 40; i < updates.size(); ++i) {
+        last = rlog.append(updates[i]);
+        ASSERT_NE(last, 0u);
+    }
+    EXPECT_TRUE(waitUntil(
+        [&] { return follower.lastAppliedSeq() == last; }));
+    rlog.stop();
+    follower.stop();
+
+    EXPECT_GE(follower.stats().snapshotsInstalled, 1u);
+    EXPECT_TRUE(matchesTruth(
+        standby, advance(table, updates, updates.size())));
+    std::remove((journal.path + ".spool").c_str());
+}
+
+TEST(Replica, SnapshotUnavailableBacksOffInsteadOfTightLooping)
+{
+    TempFile journal("test_replica_noprov.journal");
+    RoutingTable table = smallTable(0x0ff);
+    std::vector<Update> updates = smallTrace(table, 30, 0x100);
+    ChiselConfig config;
+    uint64_t fp = configFingerprint(config);
+
+    // Evict the whole backlog so catch-up needs a snapshot, then
+    // start shipping with no provider: each handshake must count as
+    // a backoff-eligible failure, not a backoff-resetting success.
+    ReplicationOptions ropts;
+    ropts.tailCapacity = 4;
+    ropts.heartbeatMs = 10;
+    ropts.backoffMinMs = 5;
+    ReplicationLog rlog(journal.path, fp, 1, ropts);
+    for (const Update &u : updates)
+        ASSERT_NE(rlog.append(u), 0u);
+
+    ConcurrentOptions copts;
+    copts.controlThread = false;
+    ConcurrentChisel standby(table, config, copts);
+    replica::TcpListener listener;
+    ASSERT_TRUE(listener.listen(0));
+    Follower follower(standby, fp,
+                      {.spoolPath = journal.path + ".spool"});
+    follower.start(listener);
+    uint16_t port = listener.port();
+    rlog.start([port] { return replica::tcpConnect(port, 500); },
+               nullptr);
+
+    EXPECT_TRUE(waitUntil([&] {
+        replica::ReplicationStats s = rlog.stats();
+        return s.reconnects >= 1 && s.connectFailures >= 2;
+    }));
+    rlog.stop();
+    follower.stop();
+
+    replica::ReplicationStats ls = rlog.stats();
+    EXPECT_EQ(ls.snapshotsShipped, 0u);
+    EXPECT_EQ(ls.recordsShipped, 0u);
+    EXPECT_EQ(follower.lastAppliedSeq(), 0u);
+}
+
 TEST(Replica, ResumesFromSequenceWithoutDuplicates)
 {
     TempFile journal("test_replica_resume.journal");
@@ -565,6 +666,53 @@ TEST(Replica, TornSnapshotDiscardedThenRecovered)
     EXPECT_EQ(follower.stats().snapshotsInstalled, 1u);
     EXPECT_EQ(follower.lastAppliedSeq(), 40u);
     EXPECT_TRUE(matchesTruth(standby, full));
+}
+
+TEST(Replica, SnapshotInstallFailureDropsConnectionWithoutAck)
+{
+    RoutingTable table = smallTable(0x5b0);
+    ChiselConfig config;
+    uint64_t fp = configFingerprint(config);
+
+    ConcurrentOptions copts;
+    copts.controlThread = false;
+    ConcurrentChisel standby(table, config, copts);
+    // An unwritable spool: installation must fail after a valid
+    // transfer, and the follower must drop the connection instead of
+    // acking records onto an engine missing the snapshot base.
+    Follower follower(
+        standby, fp,
+        {.spoolPath = "/nonexistent_replica_dir/spool.chs"});
+
+    ChiselEngine sidecar(table, config);
+    std::vector<uint8_t> image =
+        persist::encodeSnapshotImage(sidecar, 25);
+
+    auto [leader_end, follower_end] = replica::makePipePair();
+    std::thread serve([&follower, end = follower_end] {
+        follower.handleConnection(*end);
+    });
+    FrameReader reader;
+    shakeHands(*leader_end, reader, 1, fp, 25);
+    ASSERT_TRUE(replica::sendFrame(
+        *leader_end, replica::makeSnapshotBegin(1, 25, image.size())));
+    ASSERT_TRUE(replica::sendFrame(
+        *leader_end,
+        replica::makeSnapshotChunk(1, 0, image.data(), image.size())));
+    ASSERT_TRUE(replica::sendFrame(
+        *leader_end,
+        replica::makeSnapshotEnd(
+            1, persist::crc32(image.data(), image.size()))));
+    // The follower drops the connection on its own — no Ack arrives.
+    serve.join();
+    Frame ack;
+    EXPECT_FALSE(replica::readFrame(*leader_end, reader, ack, 100));
+    leader_end->shutdown();
+
+    replica::FollowerStats fs = follower.stats();
+    EXPECT_EQ(fs.snapshotsInstalled, 0u);
+    EXPECT_GE(fs.snapshotsDiscarded, 1u);
+    EXPECT_EQ(follower.lastAppliedSeq(), 0u);
 }
 
 TEST(Replica, CorruptSnapshotCrcDiscarded)
