@@ -13,6 +13,7 @@
  *   example_chisel_tool replay     <table.txt> <trace.txt> [journal]
  *   example_chisel_tool snapshot   <table.txt> <image>
  *   example_chisel_tool recover    <table.txt> <journal|-> [image]
+ *   example_chisel_tool journal-dump <journal>
  */
 
 #include <cstdio>
@@ -45,7 +46,8 @@ usage()
         "  chisel_tool lookup    <table.txt> <queries>\n"
         "  chisel_tool replay    <table.txt> <trace.txt> [journal]\n"
         "  chisel_tool snapshot  <table.txt> <image>\n"
-        "  chisel_tool recover   <table.txt> <journal|-> [image]\n");
+        "  chisel_tool recover   <table.txt> <journal|-> [image]\n"
+        "  chisel_tool journal-dump <journal>\n");
     return 2;
 }
 
@@ -258,6 +260,79 @@ recoverCmd(int argc, char **argv)
     return rec.auditPassed ? 0 : 1;
 }
 
+int
+journalDump(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    // Fingerprint 0 skips the identity check: a dump tool inspects
+    // whatever is on disk, it does not enforce whose journal it is.
+    persist::JournalScan scan = persist::scanJournal(argv[2], 0);
+    if (!scan.headerOk) {
+        std::fprintf(stderr, "unreadable journal: %s\n",
+                     scan.error.c_str());
+        return 1;
+    }
+    std::printf("journal %s: fingerprint=%016llx records=%zu "
+                "last-seq=%llu torn-tail=%s\n",
+                argv[2],
+                static_cast<unsigned long long>(scan.fingerprint),
+                scan.records.size(),
+                static_cast<unsigned long long>(scan.lastSeq),
+                scan.truncatedTail ? "yes" : "no");
+    for (const persist::JournalRecord &rec : scan.records) {
+        unsigned long long seq = rec.seq;
+        switch (rec.type) {
+          case persist::JournalRecord::Type::Update: {
+            const char *kind =
+                rec.update.kind == UpdateKind::Announce ? "announce"
+                : rec.update.kind == UpdateKind::Expire ? "expire"
+                                                        : "withdraw";
+            if (rec.update.kind == UpdateKind::Announce)
+                std::printf("%8llu  update     %-8s %s -> %u ttl=%u\n",
+                            seq, kind, rec.update.prefix.str().c_str(),
+                            rec.update.nextHop, rec.update.ttlMs);
+            else
+                std::printf("%8llu  update     %-8s %s\n", seq, kind,
+                            rec.update.prefix.str().c_str());
+            break;
+          }
+          case persist::JournalRecord::Type::Outcome:
+            std::printf("%8llu  outcome    %s status=%u retries=%u "
+                        "overflows=%u slowpath=%u/%u parity=%u\n",
+                        seq,
+                        updateClassName(
+                            static_cast<UpdateClass>(rec.cls)),
+                        rec.status, rec.setupRetries,
+                        rec.tcamOverflows, rec.slowPathInserts,
+                        rec.slowPathRejections, rec.parityRecoveries);
+            break;
+          case persist::JournalRecord::Type::SnapshotMark:
+            std::printf("%8llu  snapshot-mark\n", seq);
+            break;
+          case persist::JournalRecord::Type::Housekeeping:
+            std::printf("%8llu  housekeep  %s\n", seq,
+                        rec.housekeeping ==
+                                persist::JournalRecord::
+                                    HousekeepingKind::PurgeDirty
+                            ? "purge-dirty"
+                            : "?");
+            break;
+          case persist::JournalRecord::Type::ResizeMark:
+            std::printf("%8llu  resize-mark spill=%zu slowpath=%zu "
+                        "min-cell=%zu dirty-budget=%zu ttl-default=%llu\n",
+                        seq, rec.resizeConfig.spillCapacity,
+                        rec.resizeConfig.slowPathCapacity,
+                        rec.resizeConfig.minCellCapacity,
+                        rec.resizeConfig.dirtyBudgetPerCell,
+                        static_cast<unsigned long long>(
+                            rec.resizeConfig.defaultTtlMs));
+            break;
+        }
+    }
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -279,5 +354,7 @@ main(int argc, char **argv)
         return snapshotCmd(argc, argv);
     if (std::strcmp(argv[1], "recover") == 0)
         return recoverCmd(argc, argv);
+    if (std::strcmp(argv[1], "journal-dump") == 0)
+        return journalDump(argc, argv);
     return usage();
 }

@@ -429,7 +429,7 @@ main(int argc, char **argv)
                           UpdateClass::AddCollapsed,
                           UpdateClass::SingletonInsert,
                           UpdateClass::Resetup, UpdateClass::Spill,
-                          UpdateClass::NoOp}) {
+                          UpdateClass::NoOp, UpdateClass::Expire}) {
         std::printf("%-12s %10llu %7.3f%%\n", updateClassName(c),
                     static_cast<unsigned long long>(s.count(c)),
                     100.0 * s.fraction(c));

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "core/resize.hh"
 #include "fault/fault.hh"
 #include "persist/snapshot.hh"
 
@@ -17,6 +18,7 @@ ConcurrentChisel::ConcurrentChisel(const RoutingTable &initial,
       admission_(options.admission, queue_.capacity()),
       monitor_(options.health)
 {
+    ttlEpoch_ = std::chrono::steady_clock::now();
     // Both images are built from the same table with the same config
     // and seed, so they are identical by construction; the update
     // protocol keeps them that way.
@@ -106,6 +108,24 @@ ConcurrentChisel::applyLocked(const Update &update)
     // past its hysteresis straight into Quarantined.
     monitor_.beginUpdate();
 
+    // Journal first, under the same lock that orders applies: the
+    // journal stream and the image mutations agree on order by
+    // construction, for posted updates and GC Expires alike.  A
+    // refused append (seq 0) rejects the update outright — state must
+    // never run ahead of its durability record.
+    uint64_t seq = 0;
+    if (options_.onJournalUpdate) {
+        seq = options_.onJournalUpdate(update);
+        if (seq == 0) {
+            monitor_.endUpdate();
+            UpdateOutcome refused;
+            refused.cls = UpdateClass::NoOp;
+            refused.status = UpdateStatus::Rejected;
+            refused.message = "journal refused the append";
+            return refused;
+        }
+    }
+
     Image &idle = idleImage();
 
     // 1. Mutate the image no reader can see.
@@ -127,14 +147,18 @@ ConcurrentChisel::applyLocked(const Update &update)
     retired.engine->apply(update);
     retired.generation.store(gen, std::memory_order_relaxed);
 
+    if (options_.onJournalOutcome && seq != 0)
+        options_.onJournalOutcome(seq, outcome);
+
     monitor_.endUpdate();
     return outcome;
 }
 
 UpdateOutcome
-ConcurrentChisel::announce(const Prefix &prefix, NextHop next_hop)
+ConcurrentChisel::announce(const Prefix &prefix, NextHop next_hop,
+                           uint32_t ttl_ms)
 {
-    return apply(Update{UpdateKind::Announce, prefix, next_hop});
+    return apply(Update{UpdateKind::Announce, prefix, next_hop, ttl_ms});
 }
 
 UpdateOutcome
@@ -229,6 +253,8 @@ ConcurrentChisel::controlLoop()
 
     auto next_health =
         std::chrono::steady_clock::now() + options_.healthInterval;
+    auto next_gc =
+        std::chrono::steady_clock::now() + options_.gcInterval;
 
     for (;;) {
         std::optional<Update> update = queue_.pop();
@@ -253,7 +279,136 @@ ConcurrentChisel::controlLoop()
                 next_health = now + options_.healthInterval;
             }
         }
+        if (options_.gcInterval.count() > 0) {
+            auto now = std::chrono::steady_clock::now();
+            if (now >= next_gc) {
+                gcTick();
+                next_gc = now + options_.gcInterval;
+            }
+        }
     }
+}
+
+// ---- TTL expiry ------------------------------------------------------------
+
+uint64_t
+ConcurrentChisel::ttlNowMs() const
+{
+    if (!options_.ttlWallClock)
+        return ttlManualMs_.load(std::memory_order_acquire);
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - ttlEpoch_)
+            .count());
+}
+
+void
+ConcurrentChisel::advanceTtlClock(uint64_t ms)
+{
+    ttlManualMs_.fetch_add(ms, std::memory_order_acq_rel);
+}
+
+size_t
+ConcurrentChisel::gcTick(size_t max_batch)
+{
+    if (max_batch == 0)
+        max_batch = options_.gcBatch;
+
+    std::lock_guard<std::mutex> lock(writerMutex_);
+
+    // Move both images' TTL clocks forward so deadlines armed by the
+    // next announce use current time, then harvest what is due.  The
+    // idle image is a faithful replica of the live one, so its index
+    // answers for both.
+    uint64_t now = ttlNowMs();
+    images_[0].engine->setTtlClock(now);
+    images_[1].engine->setTtlClock(now);
+
+    std::vector<Prefix> due;
+    idleImage().engine->collectExpired(max_batch, due);
+
+    // Each expiry is a first-class update: journaled via the hooks,
+    // counted in its own class, published with the standard flip —
+    // warm restarts, audits and replica followers all see GC as part
+    // of the ordinary update stream.
+    size_t retired = 0;
+    for (const Prefix &p : due) {
+        UpdateOutcome out =
+            applyLocked(Update{UpdateKind::Expire, p, kNoRoute});
+        if (out.ok())
+            ++retired;
+    }
+    if (retired > 0) {
+        expired_.fetch_add(retired, std::memory_order_relaxed);
+        CHISEL_FLIGHT_EVENT(TtlExpire, 0, retired,
+                            idleImage().engine->ttlArmed());
+    }
+    return retired;
+}
+
+// ---- Live resize -----------------------------------------------------------
+
+bool
+ConcurrentChisel::resizeLocked(const ChiselConfig &grown)
+{
+    // Build the replacement pair entirely off the serving path; the
+    // only reader-visible step is the one pointer flip inside
+    // installPair().  Slow-path residents of the old images drain
+    // back into the grown tables during construction.
+    const ChiselEngine &current = *idleImage().engine;
+    RoutingTable table = current.exportTable();
+    size_t resident_before = current.slowPathCount();
+
+    auto a = std::make_unique<ChiselEngine>(table, grown);
+    auto b = std::make_unique<ChiselEngine>(table, grown);
+    a->adoptTtl(current);
+    b->adoptTtl(current);
+
+    size_t drained = resident_before > a->slowPathCount()
+                         ? resident_before - a->slowPathCount()
+                         : 0;
+
+    installPair(std::move(a), std::move(b));
+    config_ = grown;
+
+    uint64_t count =
+        resizes_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (drained > 0)
+        slowPathDrained_.fetch_add(drained,
+                                   std::memory_order_relaxed);
+    if (options_.onResize)
+        options_.onResize(
+            grown, updatesApplied_.load(std::memory_order_relaxed));
+    CHISEL_FLIGHT_EVENT(ResizePublish, 0, count, drained);
+    return true;
+}
+
+bool
+ConcurrentChisel::resizeNow()
+{
+    std::lock_guard<std::mutex> lock(writerMutex_);
+    const ChiselEngine &engine = *idleImage().engine;
+    ResizeLoad load;
+    load.routeCount = engine.routeCount();
+    load.spillCount = engine.spillCount();
+    load.slowPathCount = engine.slowPathCount();
+    ChiselConfig grown = planResize(config_, load);
+    if (grown == config_)
+        return false;   // Already at (or beyond) the planned size.
+    return resizeLocked(grown);
+}
+
+bool
+ConcurrentChisel::resizeTo(const ChiselConfig &target)
+{
+    std::lock_guard<std::mutex> lock(writerMutex_);
+    if (config_ == target)
+        return true;    // Follower already adopted this mark.
+    if (!elasticCompatible(config_, target)) {
+        warn("resizeTo refused: target changes the geometry kernel");
+        return false;
+    }
+    return resizeLocked(target);
 }
 
 // ---- Scrubbing -------------------------------------------------------------
@@ -347,6 +502,9 @@ ConcurrentChisel::collectSignals()
         if (config_.slowPathCapacity > 0)
             sig.slowPathOccupancy = double(engine.slowPathCount()) /
                                     double(config_.slowPathCapacity);
+        if (config_.spillCapacity > 0)
+            sig.spillOccupancy = double(engine.spillCount()) /
+                                 double(config_.spillCapacity);
         if (config_.dirtyBudgetPerCell > 0) {
             double budget = double(config_.dirtyBudgetPerCell) *
                             double(engine.cellCount());
@@ -392,6 +550,8 @@ ConcurrentChisel::executeAction(health::RecoveryAction action)
         if (options_.recoverySnapshotPath.empty())
             return false;   // No known-good image: rung unavailable.
         return restoreFromSnapshot(options_.recoverySnapshotPath);
+      case health::RecoveryAction::Resize:
+        return resizeNow();
       case health::RecoveryAction::FailedOver:
         // Recorded by Follower::promote(), never recommended by the
         // monitor; there is nothing for the dead node to execute.
@@ -432,19 +592,25 @@ bool
 ConcurrentChisel::restoreFromSnapshot(const std::string &path)
 {
     // Build both replacement engines before taking any reader-visible
-    // step; a bad snapshot leaves the serving state untouched.
-    persist::SnapshotLoadResult a = persist::loadSnapshot(path, &config_);
+    // step; a bad snapshot leaves the serving state untouched.  A
+    // snapshot written after a live resize differs from config_ only
+    // in elastic capacities — accept it and adopt its plan, exactly
+    // as a warm restart does.
+    persist::SnapshotLoadResult a =
+        persist::loadSnapshot(path, &config_, /*allow_elastic=*/true);
     if (a.status != persist::SnapshotLoadStatus::Ok) {
         warn("concurrent restore refused: " + a.error);
         return false;
     }
-    persist::SnapshotLoadResult b = persist::loadSnapshot(path, &config_);
+    persist::SnapshotLoadResult b =
+        persist::loadSnapshot(path, &config_, /*allow_elastic=*/true);
     if (b.status != persist::SnapshotLoadStatus::Ok) {
         warn("concurrent restore refused: " + b.error);
         return false;
     }
 
     std::lock_guard<std::mutex> lock(writerMutex_);
+    config_ = a.engine->config();
     installPair(std::move(a.engine), std::move(b.engine));
     return true;
 }
@@ -453,9 +619,14 @@ void
 ConcurrentChisel::resetup()
 {
     std::lock_guard<std::mutex> lock(writerMutex_);
-    RoutingTable table = idleImage().engine->exportTable();
+    const ChiselEngine &current = *idleImage().engine;
+    RoutingTable table = current.exportTable();
     auto a = std::make_unique<ChiselEngine>(table, config_);
     auto b = std::make_unique<ChiselEngine>(table, config_);
+    // A resetup is repair, not lifecycle: armed TTL deadlines carry
+    // over unchanged so a rebuilt route still expires on schedule.
+    a->adoptTtl(current);
+    b->adoptTtl(current);
     installPair(std::move(a), std::move(b));
 }
 

@@ -38,11 +38,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "concurrent/epoch.hh"
 #include "concurrent/spsc_queue.hh"
@@ -118,6 +120,43 @@ struct ConcurrentOptions
      * arming the reader threads.
      */
     fault::FaultInjector *controlFaultInjector = nullptr;
+
+    /**
+     * TTL garbage-collection cadence for the control thread; zero
+     * disables background GC (gcTick() remains callable directly).
+     * Each pass retires at most gcBatch expired entries, each as a
+     * first-class Expire update through the ordinary apply path —
+     * journal-visible, replication-visible, flip-published.
+     */
+    std::chrono::milliseconds gcInterval{0};
+
+    /** Max entries retired per GC pass (bounds writer-lock hold). */
+    size_t gcBatch = 256;
+
+    /**
+     * Drive the TTL clock from wall time (steady clock since
+     * construction).  Off, the clock only moves via advanceTtlClock()
+     * — deterministic tests pick exactly when entries expire.
+     */
+    bool ttlWallClock = true;
+
+    /**
+     * Journal hooks, called INSIDE the writer lock in apply order, so
+     * the journal sees posted updates and GC-generated Expires in
+     * exactly the order the images did — there is no window where an
+     * update is applied but a concurrent resize journals first.
+     *
+     * onJournalUpdate runs before the update touches either image and
+     * returns the assigned sequence number; returning 0 REJECTS the
+     * update (nothing is applied — a journal that cannot append must
+     * not let state run ahead of it).  onJournalOutcome runs after
+     * both images applied, with that sequence and the live outcome.
+     * onResize runs after a resize is published, with the grown
+     * config and the generation it covers.
+     */
+    std::function<uint64_t(const Update &)> onJournalUpdate;
+    std::function<void(uint64_t, const UpdateOutcome &)> onJournalOutcome;
+    std::function<void(const ChiselConfig &, uint64_t)> onResize;
 };
 
 /**
@@ -153,8 +192,13 @@ class ConcurrentChisel
 
     // ---- Write side (any thread, serialized internally) ------------
 
-    /** BGP announce applied to both images; returns the live class. */
-    UpdateOutcome announce(const Prefix &prefix, NextHop next_hop);
+    /**
+     * BGP announce applied to both images; returns the live class.
+     * @param ttl_ms Per-route TTL override: 0 uses the config default,
+     *        kTtlNever pins the route against expiry.
+     */
+    UpdateOutcome announce(const Prefix &prefix, NextHop next_hop,
+                           uint32_t ttl_ms = 0);
 
     /** BGP withdraw, likewise. */
     UpdateOutcome withdraw(const Prefix &prefix);
@@ -231,6 +275,62 @@ class ConcurrentChisel
      * chaos harness).  @return the state after the sample.
      */
     health::HealthState healthTick();
+
+    // ---- TTL expiry ------------------------------------------------
+
+    /**
+     * One garbage-collection pass: advance the TTL clock, collect up
+     * to @p max_batch expired prefixes (0 = options.gcBatch) and
+     * retire each as an Expire update through the normal apply path —
+     * journaled, counted, flip-published like any withdraw.  Runs
+     * periodically on the control thread when options.gcInterval > 0.
+     * @return entries expired this pass.
+     */
+    size_t gcTick(size_t max_batch = 0);
+
+    /**
+     * Advance the logical TTL clock by @p ms (ttlWallClock == false).
+     * The next gcTick() observes the new time.
+     */
+    void advanceTtlClock(uint64_t ms);
+
+    /** Entries retired by TTL expiry since construction. */
+    uint64_t expired() const
+    {
+        return expired_.load(std::memory_order_relaxed);
+    }
+
+    // ---- Live resize -----------------------------------------------
+
+    /**
+     * Capacity-driven live resize: re-plan a grown config from the
+     * current load (core/resize.hh), rebuild both images from the
+     * route set off the serving path, and publish with one pointer
+     * flip — lookups stay wait-free throughout, and slow-path
+     * residents drain back into the grown tables.  @return false
+     * (no-op) when the plan does not grow the engine.
+     */
+    bool resizeNow();
+
+    /**
+     * Adopt @p target as the new capacity plan (replica follower
+     * tracking a leader's ResizeMark).  Idempotent when the engine
+     * already runs @p target; refused (false) when @p target is not
+     * elastic-compatible with the current geometry.
+     */
+    bool resizeTo(const ChiselConfig &target);
+
+    /** Live resizes published since construction. */
+    uint64_t resizes() const
+    {
+        return resizes_.load(std::memory_order_relaxed);
+    }
+
+    /** Slow-path residents drained back by rebuilds/resizes. */
+    uint64_t slowPathDrained() const
+    {
+        return slowPathDrained_.load(std::memory_order_relaxed);
+    }
 
     // ---- Snapshots and rebuilds ------------------------------------
 
@@ -324,6 +424,12 @@ class ConcurrentChisel
     /** Run one recovery action; @return success. */
     bool executeAction(health::RecoveryAction action);
 
+    /** Current TTL time in ms (wall or manual clock). */
+    uint64_t ttlNowMs() const;
+
+    /** resizeNow/resizeTo body; caller holds writerMutex_. */
+    bool resizeLocked(const ChiselConfig &grown);
+
     void controlLoop();
     void scrubLoop();
 
@@ -341,6 +447,15 @@ class ConcurrentChisel
     /** Updates applied (== generation of the freshest image). */
     std::atomic<uint64_t> updatesApplied_{0};
     std::atomic<uint64_t> scrubPasses_{0};
+    std::atomic<uint64_t> expired_{0};
+    std::atomic<uint64_t> resizes_{0};
+    std::atomic<uint64_t> slowPathDrained_{0};
+
+    /** Epoch of the wall TTL clock (ttlWallClock). */
+    std::chrono::steady_clock::time_point ttlEpoch_;
+
+    /** Manual TTL clock in ms (ttlWallClock == false). */
+    std::atomic<uint64_t> ttlManualMs_{0};
 
     SpscQueue<Update> queue_;
     std::atomic<uint64_t> posted_{0};

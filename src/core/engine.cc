@@ -198,12 +198,18 @@ ChiselEngine::applyInjectedFaults()
 void
 ChiselEngine::drainSlowPath()
 {
+    uint64_t drained = 0;
     while (!slowPath_.empty() && !spill_.full()) {
         Route r = *slowPath_.longest();   // Longest first.
         if (!spill_.insert(r.prefix, r.nextHop))
             break;   // Injected overflow; retry at the next update.
         slowPath_.erase(r.prefix);
         ++robust_.slowPathDrains;
+        ++drained;
+    }
+    if (drained > 0) {
+        CHISEL_FLIGHT_EVENT(SlowPathDrain, 0, drained,
+                            slowPath_.size());
     }
 }
 
@@ -308,7 +314,8 @@ ChiselEngine::lookupImpl(const Key128 &key) const
 }
 
 UpdateOutcome
-ChiselEngine::announce(const Prefix &prefix, NextHop next_hop)
+ChiselEngine::announce(const Prefix &prefix, NextHop next_hop,
+                       uint32_t ttl_ms)
 {
     UpdateOutcome out;
     if (telemetry_ == nullptr) {
@@ -318,10 +325,35 @@ ChiselEngine::announce(const Prefix &prefix, NextHop next_hop)
         out = announceImpl(prefix, next_hop);
         span.finish(out);
     }
+    if (out.status != UpdateStatus::Rejected && prefix.length() > 0)
+        armTtl(prefix, ttl_ms);
     CHISEL_FLIGHT_EVENT(UpdateApply, out.status,
                         static_cast<uint64_t>(out.cls),
                         prefix.length());
     return out;
+}
+
+void
+ChiselEngine::armTtl(const Prefix &prefix, uint32_t ttl_ms)
+{
+    uint64_t ttl = ttl_ms != 0 ? ttl_ms : config_.defaultTtlMs;
+    if (ttl_ms == kTtlNever || ttl == 0)
+        ttl_.disarm(prefix);
+    else
+        ttl_.arm(prefix, ttlClockMs_ + ttl);
+}
+
+void
+ChiselEngine::setTtlClock(uint64_t now_ms)
+{
+    if (now_ms > ttlClockMs_)
+        ttlClockMs_ = now_ms;
+}
+
+size_t
+ChiselEngine::collectExpired(size_t max, std::vector<Prefix> &out) const
+{
+    return ttl_.collectExpired(ttlClockMs_, max, out);
 }
 
 namespace {
@@ -413,10 +445,10 @@ ChiselEngine::withdraw(const Prefix &prefix)
 {
     UpdateOutcome out;
     if (telemetry_ == nullptr) {
-        out = withdrawImpl(prefix);
+        out = withdrawImpl(prefix, false);
     } else {
         telemetry::UpdateSpan span(*telemetry_);
-        out = withdrawImpl(prefix);
+        out = withdrawImpl(prefix, false);
         span.finish(out);
     }
     CHISEL_FLIGHT_EVENT(UpdateApply, out.status,
@@ -426,7 +458,24 @@ ChiselEngine::withdraw(const Prefix &prefix)
 }
 
 UpdateOutcome
-ChiselEngine::withdrawImpl(const Prefix &prefix)
+ChiselEngine::expire(const Prefix &prefix)
+{
+    UpdateOutcome out;
+    if (telemetry_ == nullptr) {
+        out = withdrawImpl(prefix, true);
+    } else {
+        telemetry::UpdateSpan span(*telemetry_);
+        out = withdrawImpl(prefix, true);
+        span.finish(out);
+    }
+    CHISEL_FLIGHT_EVENT(TtlExpire, out.status,
+                        static_cast<uint64_t>(out.cls),
+                        prefix.length());
+    return out;
+}
+
+UpdateOutcome
+ChiselEngine::withdrawImpl(const Prefix &prefix, bool expiry)
 {
     UpdateOutcome out;
     out.cls = UpdateClass::NoOp;
@@ -444,7 +493,8 @@ ChiselEngine::withdrawImpl(const Prefix &prefix)
     }
 
     if (spill_.erase(prefix) || slowPath_.erase(prefix)) {
-        out.cls = UpdateClass::Withdraw;
+        out.cls = expiry ? UpdateClass::Expire : UpdateClass::Withdraw;
+        ttl_.disarm(prefix);
         updateStats_.record(out.cls);
         drainSlowPath();
         finalizeOutcome(out);
@@ -454,6 +504,9 @@ ChiselEngine::withdrawImpl(const Prefix &prefix)
     int c = plan_.cellFor(prefix.length());
     if (c >= 0)
         out.cls = cells_[c]->withdraw(prefix);
+    if (expiry && out.cls == UpdateClass::Withdraw)
+        out.cls = UpdateClass::Expire;
+    ttl_.disarm(prefix);
     updateStats_.record(out.cls);
     drainSlowPath();
     finalizeOutcome(out);
@@ -464,7 +517,9 @@ UpdateOutcome
 ChiselEngine::apply(const Update &update)
 {
     if (update.kind == UpdateKind::Announce)
-        return announce(update.prefix, update.nextHop);
+        return announce(update.prefix, update.nextHop, update.ttlMs);
+    if (update.kind == UpdateKind::Expire)
+        return expire(update.prefix);
     return withdraw(update.prefix);
 }
 

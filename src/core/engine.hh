@@ -32,6 +32,7 @@
 #include "core/slowpath.hh"
 #include "core/storage_model.hh"
 #include "core/subcell.hh"
+#include "core/ttl.hh"
 #include "core/update_outcome.hh"
 #include "route/table.hh"
 #include "route/updates.hh"
@@ -101,6 +102,15 @@ struct ChiselConfig
 
     /** Seed for every hash family in the engine. */
     uint64_t seed = 0xC415E1;
+
+    /**
+     * Default TTL armed on every announce, milliseconds (0 = routes
+     * never expire).  Per-update overrides: Update::ttlMs replaces
+     * the default; kTtlNever pins the route even when a default is
+     * set.  Expiry is lazy — the GC tick retires deadline-overrun
+     * routes as journal-visible Expire updates (docs/robustness.md).
+     */
+    uint64_t defaultTtlMs = 0;
 
     /**
      * Snapshots embed the full config and restore refuses a mismatch
@@ -198,7 +208,7 @@ struct ScrubReport
 /** Counters over the Figure 14 update categories. */
 struct UpdateStats
 {
-    std::array<concurrent::RelaxedU64, 8> counts{};
+    std::array<concurrent::RelaxedU64, kUpdateClassCount> counts{};
 
     void
     record(UpdateClass c)
@@ -253,14 +263,63 @@ class ChiselEngine
      * recovery) or rejected.  The update path never half-applies: a
      * route ends up in a cell, the TCAM, the slow path — or the
      * outcome says Rejected.
+     *
+     * @param ttl_ms TTL override, milliseconds: 0 uses the config's
+     *        defaultTtlMs; kTtlNever pins the route against expiry.
+     *        A deadline (if any) is armed on the engine's logical TTL
+     *        clock whenever the announce is not rejected.
      */
-    UpdateOutcome announce(const Prefix &prefix, NextHop next_hop);
+    UpdateOutcome announce(const Prefix &prefix, NextHop next_hop,
+                           uint32_t ttl_ms = 0);
 
     /** BGP withdraw(p, l) (Section 4.4.1). */
     UpdateOutcome withdraw(const Prefix &prefix);
 
+    /**
+     * Retire @p prefix because its TTL deadline passed: the withdraw
+     * flow, classified UpdateClass::Expire instead of Withdraw so
+     * stats, journal replay and replication distinguish GC from peer
+     * withdraws.  Expiring an absent prefix is a NoOp.
+     */
+    UpdateOutcome expire(const Prefix &prefix);
+
     /** Apply one trace update. */
     UpdateOutcome apply(const Update &update);
+
+    /**
+     * Advance the logical TTL clock to @p now_ms (monotonic: earlier
+     * values are ignored).  Owned by whoever drives expiry — the
+     * concurrent wrapper's GC tick in production, tests by hand.
+     */
+    void setTtlClock(uint64_t now_ms);
+
+    /** Current logical TTL clock, milliseconds. */
+    uint64_t ttlClock() const { return ttlClockMs_; }
+
+    /**
+     * Append up to @p max prefixes whose deadline is at or before the
+     * current TTL clock to @p out; @return the number appended.  The
+     * caller retires each through expire().
+     */
+    size_t collectExpired(size_t max, std::vector<Prefix> &out) const;
+
+    /** Prefixes currently carrying a TTL deadline. */
+    size_t ttlArmed() const { return ttl_.size(); }
+
+    /** The TTL deadline index (resize rebuilds copy it across). */
+    const TtlIndex &ttlIndex() const { return ttl_; }
+
+    /**
+     * Adopt @p other's TTL deadlines and clock verbatim — used when a
+     * rebuild (resize, resetup) constructs a fresh engine from an
+     * exported table, which cannot carry deadlines by itself.
+     */
+    void
+    adoptTtl(const ChiselEngine &other)
+    {
+        ttl_ = other.ttl_;
+        ttlClockMs_ = other.ttlClockMs_;
+    }
 
     /** Exact-prefix query across cells, TCAM and default register. */
     std::optional<NextHop> find(const Prefix &prefix) const;
@@ -397,7 +456,15 @@ class ChiselEngine
 
     /** announce()/withdraw() bodies, likewise. */
     UpdateOutcome announceImpl(const Prefix &prefix, NextHop next_hop);
-    UpdateOutcome withdrawImpl(const Prefix &prefix);
+
+    /**
+     * withdraw()/expire() body.  @p expiry re-stamps a successful
+     * removal as UpdateClass::Expire.
+     */
+    UpdateOutcome withdrawImpl(const Prefix &prefix, bool expiry);
+
+    /** Arm/clear the TTL deadline after a non-rejected announce. */
+    void armTtl(const Prefix &prefix, uint32_t ttl_ms);
 
     /**
      * Move displaced routes into the spillover TCAM; on overflow,
@@ -425,6 +492,8 @@ class ChiselEngine
     Tcam spill_;
     SlowPathMap slowPath_;
     std::optional<NextHop> defaultRoute_;
+    TtlIndex ttl_;
+    uint64_t ttlClockMs_ = 0;
     UpdateStats updateStats_;
     RobustnessCounters robust_;
     mutable AccessCounters access_;

@@ -67,6 +67,7 @@ encodeConfig(persist::Encoder &enc, const ChiselConfig &config)
     enc.u64(config.dirtyBudgetPerCell);
     encodeDamping(enc, config.damping);
     enc.u64(config.seed);
+    enc.u64(config.defaultTtlMs);
 }
 
 ChiselConfig
@@ -87,6 +88,7 @@ decodeConfig(persist::Decoder &dec)
     c.dirtyBudgetPerCell = dec.u64();
     c.damping = decodeDamping(dec);
     c.seed = dec.u64();
+    c.defaultTtlMs = dec.u64();
     if (c.keyWidth < 1 || c.keyWidth > Key128::maxBits)
         throw persist::DecodeError("config: key width out of range");
     if (c.stride > 16)
@@ -234,6 +236,12 @@ ChiselEngine::saveState(persist::Encoder &enc) const
     enc.u64(access_.filterReads);
     enc.u64(access_.bitvectorReads);
     enc.u64(access_.resultReads);
+
+    // TTL lifecycle state: deadlines survive a warm restart so a
+    // route's expiry is decided by its original announce, not by
+    // when the process happened to restart.
+    enc.u64(ttlClockMs_);
+    ttl_.saveState(enc);
 }
 
 std::unique_ptr<ChiselEngine>
@@ -304,6 +312,9 @@ ChiselEngine::restoreState(const ChiselConfig &config,
     engine->access_.filterReads = dec.u64();
     engine->access_.bitvectorReads = dec.u64();
     engine->access_.resultReads = dec.u64();
+
+    engine->ttlClockMs_ = dec.u64();
+    engine->ttl_.loadState(dec);
 
     return engine;
 }

@@ -1,0 +1,70 @@
+#include "core/resize.hh"
+
+#include <algorithm>
+
+namespace chisel {
+
+namespace {
+
+/** Overwrite the elastic fields of @p c with canonical values. */
+void
+clearElastic(ChiselConfig &c)
+{
+    c.spillCapacity = 0;
+    c.slowPathCapacity = 0;
+    c.capacityHeadroom = 0.0;
+    c.minCellCapacity = 0;
+    c.dirtyBudgetPerCell = 0;
+    c.defaultTtlMs = 0;
+}
+
+} // namespace
+
+bool
+elasticCompatible(const ChiselConfig &a, const ChiselConfig &b)
+{
+    ChiselConfig ka = a;
+    ChiselConfig kb = b;
+    clearElastic(ka);
+    clearElastic(kb);
+    return ka == kb;
+}
+
+uint64_t
+elasticFingerprint(const ChiselConfig &config)
+{
+    ChiselConfig kernel = config;
+    clearElastic(kernel);
+    return configFingerprint(kernel);
+}
+
+ChiselConfig
+planResize(const ChiselConfig &current, const ResizeLoad &load)
+{
+    ChiselConfig grown = current;
+
+    // The spill TCAM must at minimum absorb everything currently
+    // overflowed (spill + slow path) with slack, so the rebuilt
+    // engine's slow path starts drained.
+    grown.spillCapacity =
+        std::max(current.spillCapacity * 2,
+                 static_cast<size_t>(load.spillCount +
+                                     load.slowPathCount + 8));
+
+    if (current.slowPathCapacity > 0)
+        grown.slowPathCapacity = current.slowPathCapacity * 2;
+
+    // Per-cell provisioning: the rebuild sizes each cell from its
+    // actual route count times capacityHeadroom, so the floor is what
+    // guards small cells against post-resize growth.
+    grown.minCellCapacity =
+        std::max<size_t>(std::max(current.minCellCapacity * 2, size_t{64}),
+                         load.routeCount / 4);
+
+    if (current.dirtyBudgetPerCell > 0)
+        grown.dirtyBudgetPerCell = current.dirtyBudgetPerCell * 2;
+
+    return grown;
+}
+
+} // namespace chisel

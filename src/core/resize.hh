@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Capacity-driven resize planning (docs/robustness.md).
+ *
+ * A ChiselConfig splits into a *geometry kernel* — key width, stride,
+ * k, partitioning, damping, seed — that determines how keys hash and
+ * collapse, and *elastic* capacity fields — spill TCAM size, slow-path
+ * bound, per-cell headroom — that only bound how much the tables hold.
+ * A live resize changes elastic fields exclusively: the grown engine
+ * is a faithful re-plan of the same routing state with more room, so a
+ * snapshot or journal written before the resize is still meaningful
+ * after it.  elasticFingerprint() hashes the kernel alone and is the
+ * identity that survives a resize; configFingerprint() (engine.hh)
+ * remains the strict full-config identity.
+ */
+
+#ifndef CHISEL_CORE_RESIZE_HH
+#define CHISEL_CORE_RESIZE_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/engine.hh"
+
+namespace chisel {
+
+/** Occupancy the resize planner sizes the grown engine against. */
+struct ResizeLoad
+{
+    size_t routeCount = 0;     ///< Total routes served.
+    size_t spillCount = 0;     ///< Entries in the spill TCAM.
+    size_t slowPathCount = 0;  ///< Entries pinned in the slow path.
+};
+
+/**
+ * True iff @p a and @p b share the same geometry kernel — i.e. one
+ * could have been produced from the other by a live resize.  Elastic
+ * fields (spillCapacity, slowPathCapacity, capacityHeadroom,
+ * minCellCapacity, dirtyBudgetPerCell, defaultTtlMs) are ignored.
+ */
+bool elasticCompatible(const ChiselConfig &a, const ChiselConfig &b);
+
+/**
+ * Fingerprint over the geometry kernel only: stable across live
+ * resizes.  Journals and replication sessions that must survive a
+ * capacity change stamp this instead of configFingerprint().
+ */
+uint64_t elasticFingerprint(const ChiselConfig &config);
+
+/**
+ * Plan a grown configuration for @p current under @p load: elastic
+ * capacities roughly double, scaled up further if the observed
+ * occupancy already exceeds what doubling would provide.  Returns a
+ * config elasticCompatible with @p current; returns @p current
+ * unchanged only if no field can grow (slow-path unbounded and all
+ * capacities already dwarf the load).
+ */
+ChiselConfig planResize(const ChiselConfig &current,
+                        const ResizeLoad &load);
+
+} // namespace chisel
+
+#endif // CHISEL_CORE_RESIZE_HH

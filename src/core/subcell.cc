@@ -22,6 +22,7 @@ updateClassName(UpdateClass c)
       case UpdateClass::Resetup: return "Resetups";
       case UpdateClass::Spill: return "Spills";
       case UpdateClass::NoOp: return "No-ops";
+      case UpdateClass::Expire: return "Expires";
     }
     return "?";
 }

@@ -56,7 +56,11 @@ enum class UpdateClass : uint8_t
     Resetup,         ///< New group forcing a partition re-setup.
     Spill,           ///< Handled by the spillover TCAM.
     NoOp,            ///< Withdraw of an absent prefix, etc.
+    Expire,          ///< TTL garbage collection retired the prefix.
 };
+
+/** Number of UpdateClass values (sizes stats/telemetry arrays). */
+constexpr size_t kUpdateClassCount = 9;
 
 /** Human-readable category name. */
 const char *updateClassName(UpdateClass c);

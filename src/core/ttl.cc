@@ -1,0 +1,72 @@
+#include "core/ttl.hh"
+
+#include "persist/codec.hh"
+
+namespace chisel {
+
+void
+TtlIndex::arm(const Prefix &prefix, uint64_t deadline_ms)
+{
+    deadlines_[prefix] = deadline_ms;
+}
+
+void
+TtlIndex::disarm(const Prefix &prefix)
+{
+    deadlines_.erase(prefix);
+}
+
+bool
+TtlIndex::armed(const Prefix &prefix) const
+{
+    return deadlines_.find(prefix) != deadlines_.end();
+}
+
+uint64_t
+TtlIndex::deadline(const Prefix &prefix) const
+{
+    auto it = deadlines_.find(prefix);
+    return it == deadlines_.end() ? 0 : it->second;
+}
+
+size_t
+TtlIndex::collectExpired(uint64_t now_ms, size_t max,
+                         std::vector<Prefix> &out) const
+{
+    size_t n = 0;
+    for (const auto &[prefix, deadline] : deadlines_) {
+        if (n >= max)
+            break;
+        if (deadline <= now_ms) {
+            out.push_back(prefix);
+            ++n;
+        }
+    }
+    return n;
+}
+
+void
+TtlIndex::saveState(persist::Encoder &enc) const
+{
+    enc.u64(deadlines_.size());
+    for (const auto &[prefix, deadline] : deadlines_) {
+        enc.prefix(prefix);
+        enc.u64(deadline);
+    }
+}
+
+void
+TtlIndex::loadState(persist::Decoder &dec)
+{
+    deadlines_.clear();
+    // prefix (17 bytes) + u64 deadline per entry.
+    uint64_t n = dec.count(25);
+    deadlines_.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        Prefix p = dec.prefix();
+        uint64_t deadline = dec.u64();
+        deadlines_[p] = deadline;
+    }
+}
+
+} // namespace chisel

@@ -28,6 +28,7 @@ recoveryActionName(RecoveryAction a)
       case RecoveryAction::Scrub: return "scrub";
       case RecoveryAction::Resetup: return "resetup";
       case RecoveryAction::SnapshotRestore: return "snapshot_restore";
+      case RecoveryAction::Resize: return "resize";
       case RecoveryAction::FailedOver: return "failed_over";
       case RecoveryAction::kCount: break;
     }
@@ -81,12 +82,14 @@ HealthMonitor::classify(const HealthSignals &s) const
         s.parityRecoveries > 0 ||
         s.queueOccupancy >= config_.queueCritical ||
         s.slowPathOccupancy >= config_.slowPathCritical ||
+        s.spillOccupancy >= config_.spillCritical ||
         s.dirtyOccupancy >= config_.dirtyCritical)
         return Severity::Critical;
     if (s.tcamOverflows > 0 || s.setupRetries > 0 ||
         s.shedEvents > 0 ||
         s.queueOccupancy >= config_.queueWarn ||
         s.slowPathOccupancy >= config_.slowPathWarn ||
+        s.spillOccupancy >= config_.spillWarn ||
         s.dirtyOccupancy >= config_.dirtyWarn)
         return Severity::Warn;
     return Severity::Ok;
@@ -189,6 +192,27 @@ HealthMonitor::sample(const HealthSignals &signals)
       case HealthState::kCount:
         break;
     }
+
+    // Capacity pressure runs orthogonally to the severity ladder: the
+    // tables being *full* (spill/slow-path residency, setup-retry
+    // exhaustion) is growth, which no scrub or purge relieves.  After
+    // resizeAfter consecutive pressure samples a Resize is armed,
+    // overriding whatever rung the ladder chose — growing the engine
+    // also clears the symptoms the ladder was reacting to.
+    bool capacity_pressure =
+        signals.spillOccupancy >= config_.spillWarn ||
+        signals.slowPathOccupancy >= config_.slowPathWarn ||
+        signals.setupRetries > 0;
+    capacityStreak_ = capacity_pressure ? capacityStreak_ + 1 : 0;
+    if (capacityCooldown_ > 0) {
+        --capacityCooldown_;
+    } else if (config_.resizeAfter > 0 &&
+               capacityStreak_ >= config_.resizeAfter) {
+        capacityStreak_ = 0;
+        capacityCooldown_ = config_.resizeCooldown;
+        pending_ = RecoveryAction::Resize;
+    }
+
     return state();
 }
 

@@ -67,6 +67,12 @@ enum class RecoveryAction : uint8_t
     Scrub,            ///< Full parity scrub (ConcurrentChisel::scrubNow).
     Resetup,          ///< Rebuild both images from the live route set.
     SnapshotRestore,  ///< Last resort: reload a known-good snapshot.
+    Resize,           ///< Capacity pressure: re-plan a grown engine
+                      ///< off the serving path and pointer-flip it in
+                      ///< (ConcurrentChisel::resizeNow).  Armed by the
+                      ///< capacity streak, orthogonally to the state
+                      ///< ladder — pressure is growth, not corruption,
+                      ///< so no amount of scrubbing relieves it.
     FailedOver,       ///< The node itself was replaced: a warm standby
                       ///< promoted to leader (src/replica/).  Recorded
                       ///< by recordFailover(), never recommended by
@@ -89,6 +95,7 @@ struct HealthSignals
 {
     double queueOccupancy = 0.0;     ///< pending / queue capacity.
     double slowPathOccupancy = 0.0;  ///< resident / slow-path capacity.
+    double spillOccupancy = 0.0;     ///< spill TCAM used / capacity.
     double dirtyOccupancy = 0.0;     ///< dirty groups / dirty budget.
     uint64_t tcamOverflows = 0;      ///< Spill-TCAM refusals.
     uint64_t setupRetries = 0;       ///< Index reseed retries.
@@ -105,6 +112,8 @@ struct MonitorConfig
     double queueCritical = 0.95;
     double slowPathWarn = 0.05;
     double slowPathCritical = 0.50;
+    double spillWarn = 0.80;
+    double spillCritical = 0.98;
     double dirtyWarn = 0.75;
     double dirtyCritical = 0.99;
 
@@ -116,6 +125,22 @@ struct MonitorConfig
     unsigned quarantineAfter = 3;
     /** Consecutive clean samples before Recovering -> Healthy. */
     unsigned recoverAfter = 3;
+
+    /**
+     * Consecutive capacity-pressure samples (spill/slow-path
+     * occupancy past warn, or setup retries) before a Resize is
+     * armed.  0 disables capacity-driven resizes.
+     */
+    unsigned resizeAfter = 3;
+
+    /**
+     * Samples after arming a Resize during which another cannot arm.
+     * A resize is a full rebuild: its own setup retries (and the lag
+     * before occupancy reflects the grown capacity) would otherwise
+     * read as fresh pressure and thrash the engine through
+     * back-to-back rebuilds.
+     */
+    unsigned resizeCooldown = 25;
 
     /** Watchdog: one update taking longer than this is critical. */
     std::chrono::milliseconds updateDeadline{2000};
@@ -212,6 +237,11 @@ class HealthMonitor
     unsigned critStreak_ = 0;   ///< Consecutive critical samples.
     unsigned okStreak_ = 0;     ///< Consecutive clean samples.
     unsigned stateCrit_ = 0;    ///< Critical samples in current state.
+    /** Consecutive capacity-pressure samples (survives transitions:
+     * growth pressure does not reset because the ladder moved). */
+    unsigned capacityStreak_ = 0;
+    /** Samples left before capacity pressure may arm again. */
+    unsigned capacityCooldown_ = 0;
 
     RecoveryAction pending_ = RecoveryAction::None;
     /** Next Quarantined-ladder rung: 0 = Resetup, 1 = SnapshotRestore. */

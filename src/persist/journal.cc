@@ -42,6 +42,7 @@ encodeJournalRecord(const JournalRecord &rec)
         enc.u8(static_cast<uint8_t>(rec.update.kind));
         enc.prefix(rec.update.prefix);
         enc.u32(rec.update.nextHop);
+        enc.u32(rec.update.ttlMs);
         break;
       case JournalRecord::Type::Outcome:
         enc.u8(rec.cls);
@@ -57,6 +58,9 @@ encodeJournalRecord(const JournalRecord &rec)
       case JournalRecord::Type::Housekeeping:
         enc.u8(static_cast<uint8_t>(rec.housekeeping));
         break;
+      case JournalRecord::Type::ResizeMark:
+        encodeConfig(enc, rec.resizeConfig);
+        break;
     }
     return enc.buffer();
 }
@@ -68,24 +72,25 @@ decodeJournalRecord(const uint8_t *data, size_t size)
     Decoder dec(data, size);
     JournalRecord rec;
     uint8_t type = dec.u8();
-    if (type < 1 || type > 4)
+    if (type < 1 || type > 5)
         throw DecodeError("journal record: unknown type");
     rec.type = static_cast<JournalRecord::Type>(type);
     rec.seq = dec.u64();
     switch (rec.type) {
       case JournalRecord::Type::Update: {
         uint8_t kind = dec.u8();
-        if (kind > 1)
+        if (kind > 2)
             throw DecodeError("journal record: bad update kind");
         rec.update.kind = static_cast<UpdateKind>(kind);
         rec.update.prefix = dec.prefix();
         rec.update.nextHop = dec.u32();
+        rec.update.ttlMs = dec.u32();
         break;
       }
       case JournalRecord::Type::Outcome:
         rec.cls = dec.u8();
         rec.status = dec.u8();
-        if (rec.cls > 7 || rec.status > 2)
+        if (rec.cls >= kUpdateClassCount || rec.status > 2)
             throw DecodeError("journal record: bad outcome enums");
         rec.setupRetries = dec.u32();
         rec.tcamOverflows = dec.u32();
@@ -103,6 +108,9 @@ decodeJournalRecord(const uint8_t *data, size_t size)
             static_cast<JournalRecord::HousekeepingKind>(kind);
         break;
       }
+      case JournalRecord::Type::ResizeMark:
+        rec.resizeConfig = decodeConfig(dec);
+        break;
     }
     if (!dec.atEnd())
         throw DecodeError("journal record: trailing bytes");
@@ -180,6 +188,7 @@ scanJournalBuffer(const uint8_t *data, size_t size,
                 scan.lastSnapshotSeq = rec.seq;
             break;
           case JournalRecord::Type::Housekeeping:
+          case JournalRecord::Type::ResizeMark:
             break;
         }
     }
@@ -384,6 +393,17 @@ UpdateJournal::appendHousekeeping(JournalRecord::HousekeepingKind kind)
     rec.type = JournalRecord::Type::Housekeeping;
     rec.seq = seq_;   // Stamped, not consumed: updates keep their seqs.
     rec.housekeeping = kind;
+    if (writeRecord(encodeJournalRecord(rec), seq_))
+        CHISEL_FLIGHT_EVENT(JournalAppend, rec.type, rec.seq, 0);
+}
+
+void
+UpdateJournal::appendResizeMark(const ChiselConfig &config)
+{
+    JournalRecord rec;
+    rec.type = JournalRecord::Type::ResizeMark;
+    rec.seq = seq_;   // Stamped, not consumed, like housekeeping.
+    rec.resizeConfig = config;
     if (writeRecord(encodeJournalRecord(rec), seq_))
         CHISEL_FLIGHT_EVENT(JournalAppend, rec.type, rec.seq, 0);
 }

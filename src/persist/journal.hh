@@ -30,13 +30,14 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.hh"
 #include "core/update_outcome.hh"
 #include "route/updates.hh"
 
 namespace chisel::persist {
 
 /** Journal format version (bumped on any layout change). */
-constexpr uint32_t kJournalVersion = 2;
+constexpr uint32_t kJournalVersion = 3;
 
 /** One decoded journal record. */
 struct JournalRecord
@@ -47,6 +48,8 @@ struct JournalRecord
         Outcome = 2,       ///< Commit marker: the update's outcome.
         SnapshotMark = 3,  ///< A snapshot covering seqs <= seq exists.
         Housekeeping = 4,  ///< A maintenance operation (e.g. purge).
+        ResizeMark = 5,    ///< A live resize republished the engine
+                           ///  under the embedded (grown) config.
     };
 
     /** What a Housekeeping record did to the engine. */
@@ -74,6 +77,14 @@ struct JournalRecord
 
     /** Type::Housekeeping payload. */
     HousekeepingKind housekeeping = HousekeepingKind::PurgeDirty;
+
+    /**
+     * Type::ResizeMark payload: the full configuration the engine was
+     * republished under.  Replay rebuilds its engine with this config
+     * at the mark's stream position, so state after the mark (and any
+     * snapshot fingerprinted with it) stays meaningful.
+     */
+    ChiselConfig resizeConfig;
 };
 
 /** Result of scanning a journal file or buffer. */
@@ -160,6 +171,14 @@ class UpdateJournal
      * order between the surrounding updates.
      */
     void appendHousekeeping(JournalRecord::HousekeepingKind kind);
+
+    /**
+     * Record a live resize: the engine was republished under
+     * @p config.  Stamped with the current lastSeq like housekeeping
+     * records — replay re-runs the rebuild at the same stream
+     * position between the surrounding updates.
+     */
+    void appendResizeMark(const ChiselConfig &config);
 
     /** Force an fsync now regardless of the batch policy. */
     void sync();

@@ -1,6 +1,7 @@
 #include "persist/recovery.hh"
 
 #include "common/logging.hh"
+#include "core/resize.hh"
 
 namespace chisel::persist {
 
@@ -28,12 +29,17 @@ namespace {
  * and replaying the wrong one resurrects or destroys dirty groups.
  * From the cut on, Update records with seq > from_seq are re-applied
  * and Housekeeping records re-run, so maintenance mutations land
- * between the same updates they originally did.  @return records
- * applied (updates + housekeeping).
+ * between the same updates they originally did.  A ResizeMark past
+ * the cut re-runs the live rebuild: @p engine is replaced by one
+ * re-planned under the marked config (hence the unique_ptr) — a no-op
+ * when the recovered image already carries that config, which is how
+ * a mark racing the snapshot rotation stays idempotent.  @return
+ * records applied (updates + housekeeping + resizes).
  */
 uint64_t
-replayTail(ChiselEngine &engine, const JournalScan &scan,
-           uint64_t from_seq, uint64_t &last_seq)
+replayTail(std::unique_ptr<ChiselEngine> &engine,
+           const JournalScan &scan, uint64_t from_seq,
+           uint64_t &last_seq)
 {
     size_t start = 0;
     for (size_t i = 0; i < scan.records.size(); ++i) {
@@ -61,7 +67,7 @@ replayTail(ChiselEngine &engine, const JournalScan &scan,
           case JournalRecord::Type::Update:
             if (rec.seq <= from_seq)
                 break;
-            engine.apply(rec.update);
+            engine->apply(rec.update);
             ++applied;
             if (rec.seq > last_seq)
                 last_seq = rec.seq;
@@ -69,8 +75,20 @@ replayTail(ChiselEngine &engine, const JournalScan &scan,
           case JournalRecord::Type::Housekeeping:
             if (rec.housekeeping ==
                 JournalRecord::HousekeepingKind::PurgeDirty)
-                engine.purgeDirty();
+                engine->purgeDirty();
             ++applied;
+            break;
+          case JournalRecord::Type::ResizeMark:
+            if (elasticCompatible(engine->config(),
+                                  rec.resizeConfig) &&
+                !(engine->config() == rec.resizeConfig)) {
+                RoutingTable table = engine->exportTable();
+                auto grown = std::make_unique<ChiselEngine>(
+                    table, rec.resizeConfig);
+                grown->adoptTtl(*engine);
+                engine = std::move(grown);
+                ++applied;
+            }
             break;
           case JournalRecord::Type::Outcome:
           case JournalRecord::Type::SnapshotMark:
@@ -125,11 +143,19 @@ recoverEngine(const RecoveryOptions &options)
 {
     RecoveryReport report;
 
-    // The journal first: every rung needs its valid prefix.
+    // The journal first: every rung needs its valid prefix.  Accept
+    // either the strict config fingerprint or the elastic (geometry
+    // kernel) one — a journal that lived through a live resize is
+    // stamped with the latter and is still this engine's history.
     JournalScan scan;
     if (!options.journalPath.empty()) {
-        scan = scanJournal(options.journalPath,
-                           configFingerprint(options.config));
+        scan = scanJournal(options.journalPath, 0);
+        if (scan.headerOk &&
+            scan.fingerprint != configFingerprint(options.config) &&
+            scan.fingerprint != elasticFingerprint(options.config)) {
+            scan.headerOk = false;
+            scan.error = "journal written under a different config";
+        }
         report.journalHeaderOk = scan.headerOk;
         report.journalError = scan.error;
         report.journalRecords = scan.records.size();
@@ -146,7 +172,8 @@ recoverEngine(const RecoveryOptions &options)
     // Rungs 1 and 2: snapshot, then its rotated predecessor.
     if (!options.snapshotPath.empty()) {
         SnapshotLoadResult primary =
-            loadSnapshot(options.snapshotPath, &options.config);
+            loadSnapshot(options.snapshotPath, &options.config,
+                         /*allow_elastic=*/true);
         if (primary.status == SnapshotLoadStatus::Ok) {
             report.engine = std::move(primary.engine);
             report.source = RecoverySource::Snapshot;
@@ -157,7 +184,7 @@ recoverEngine(const RecoveryOptions &options)
             ++report.fallbacks;
             SnapshotLoadResult previous = loadSnapshot(
                 previousSnapshotPath(options.snapshotPath),
-                &options.config);
+                &options.config, /*allow_elastic=*/true);
             if (previous.status == SnapshotLoadStatus::Ok) {
                 report.engine = std::move(previous.engine);
                 report.source = RecoverySource::PreviousSnapshot;
@@ -179,7 +206,7 @@ recoverEngine(const RecoveryOptions &options)
     }
 
     report.recordsReplayed =
-        replayTail(*report.engine, scan, report.lastSeq,
+        replayTail(report.engine, scan, report.lastSeq,
                    report.lastSeq);
 
     if (options.audit)

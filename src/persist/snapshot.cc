@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "core/resize.hh"
 #include "fault/fault.hh"
 #include "persist/codec.hh"
 #include "telemetry/flight.hh"
@@ -109,7 +110,8 @@ saveSnapshot(const std::string &path, const ChiselEngine &engine,
 
 SnapshotLoadResult
 loadSnapshotBuffer(const uint8_t *data, size_t size,
-                   const ChiselConfig *expect, bool enforce_crc)
+                   const ChiselConfig *expect, bool enforce_crc,
+                   bool allow_elastic)
 {
     SnapshotLoadResult result;
     if (size < kHeaderBytes) {
@@ -153,7 +155,10 @@ loadSnapshotBuffer(const uint8_t *data, size_t size,
         // Config first: geometry mismatch is decided before a single
         // table byte is decoded.
         ChiselConfig embedded = decodeConfig(dec);
-        if (expect != nullptr && !(embedded == *expect)) {
+        bool accepted =
+            expect == nullptr || embedded == *expect ||
+            (allow_elastic && elasticCompatible(embedded, *expect));
+        if (!accepted) {
             result.status = SnapshotLoadStatus::ConfigMismatch;
             result.error =
                 "snapshot written under a different config";
@@ -175,7 +180,8 @@ loadSnapshotBuffer(const uint8_t *data, size_t size,
 }
 
 SnapshotLoadResult
-loadSnapshot(const std::string &path, const ChiselConfig *expect)
+loadSnapshot(const std::string &path, const ChiselConfig *expect,
+             bool allow_elastic)
 {
     SnapshotLoadResult result;
     FILE *f = std::fopen(path.c_str(), "rb");
@@ -192,7 +198,8 @@ loadSnapshot(const std::string &path, const ChiselConfig *expect)
     while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0)
         bytes.insert(bytes.end(), chunk, chunk + n);
     std::fclose(f);
-    result = loadSnapshotBuffer(bytes.data(), bytes.size(), expect);
+    result = loadSnapshotBuffer(bytes.data(), bytes.size(), expect,
+                                true, allow_elastic);
     CHISEL_FLIGHT_EVENT(SnapshotLoad, result.status, result.lastSeq, 0);
     return result;
 }

@@ -35,7 +35,7 @@
 namespace chisel::persist {
 
 /** Snapshot format version (bumped on any layout change). */
-constexpr uint32_t kSnapshotVersion = 2;
+constexpr uint32_t kSnapshotVersion = 3;
 
 /** Suffix of the rotated previous snapshot. */
 std::string previousSnapshotPath(const std::string &path);
@@ -97,9 +97,16 @@ struct SnapshotLoadResult
  *        under; a snapshot written under any other config is refused
  *        with ConfigMismatch.  When null, the embedded config is
  *        accepted as-is.
+ * @param allow_elastic Accept an embedded config that differs from
+ *        @p expect only in elastic capacity fields (core/resize.hh):
+ *        a snapshot written after a live resize is still the same
+ *        geometry, so a caller booting with the pre-resize config may
+ *        adopt it.  The restored engine carries the embedded config —
+ *        callers adopt it via engine->config().
  */
 SnapshotLoadResult loadSnapshot(const std::string &path,
-                                const ChiselConfig *expect);
+                                const ChiselConfig *expect,
+                                bool allow_elastic = false);
 
 /**
  * loadSnapshot over an in-memory image (tests, fuzzing).
@@ -110,7 +117,8 @@ SnapshotLoadResult loadSnapshot(const std::string &path,
  */
 SnapshotLoadResult loadSnapshotBuffer(const uint8_t *data, size_t size,
                                       const ChiselConfig *expect,
-                                      bool enforce_crc = true);
+                                      bool enforce_crc = true,
+                                      bool allow_elastic = false);
 
 } // namespace chisel::persist
 

@@ -302,6 +302,21 @@ Follower::applyRecord(const persist::JournalRecord &rec)
         recordsApplied_.fetch_add(1, std::memory_order_relaxed);
         CHISEL_FLIGHT_EVENT(ReplicaApply, rec.type, rec.seq, 0);
         return true;
+      case persist::JournalRecord::Type::ResizeMark:
+        // Stamped like Housekeeping; a duplicate on resume is a
+        // no-op anyway (resizeTo is idempotent on a matching config).
+        if (rec.seq < applied) {
+            duplicatesSkipped_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        // Re-plan at the same point in the stream the leader did, so
+        // both sides' spill/slow-path admission decisions agree from
+        // here on.  An incompatible mark (geometry change) is refused
+        // by resizeTo and logged; the stream continues.
+        engine_.resizeTo(rec.resizeConfig);
+        recordsApplied_.fetch_add(1, std::memory_order_relaxed);
+        CHISEL_FLIGHT_EVENT(ReplicaApply, rec.type, rec.seq, 0);
+        return true;
       case persist::JournalRecord::Type::Outcome:
       case persist::JournalRecord::Type::SnapshotMark:
         // Commit markers and snapshot anchors carry no engine state;
@@ -417,8 +432,19 @@ Follower::promote(const std::string &journal_path)
                     ++report.replayedRecords;
                 } else if (rec.type == persist::JournalRecord::Type::
                                            Housekeeping &&
-                           rec.seq > applied) {
+                           rec.seq >= applied) {
+                    // Stamped with the preceding update's seq, not
+                    // sequenced — an exact-seq match means the mark
+                    // sits right at our replicated position and has
+                    // not been applied yet.  Re-applying is benign.
                     engine_.purgeDirtyNow();
+                    ++report.replayedRecords;
+                } else if (rec.type == persist::JournalRecord::Type::
+                                           ResizeMark &&
+                           rec.seq >= applied) {
+                    // Same stamping rule; resizeTo is idempotent on a
+                    // matching config, so a duplicate is a no-op.
+                    engine_.resizeTo(rec.resizeConfig);
                     ++report.replayedRecords;
                 }
             }

@@ -114,6 +114,21 @@ ReplicationLog::appendHousekeeping(
 }
 
 void
+ReplicationLog::appendResizeMark(const ChiselConfig &config)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t stamp = journal_.lastSeq();
+    journal_.appendResizeMark(config);
+    if (!journal_.ioHealthy())
+        return;
+    persist::JournalRecord rec;
+    rec.type = persist::JournalRecord::Type::ResizeMark;
+    rec.seq = stamp;
+    rec.resizeConfig = config;
+    enqueue(rec);
+}
+
+void
 ReplicationLog::sync()
 {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -143,6 +143,14 @@ class ReplicationLog
     void appendOutcome(uint64_t seq, const UpdateOutcome &outcome);
     void appendSnapshotMark(uint64_t seq);
     void appendHousekeeping(persist::JournalRecord::HousekeepingKind kind);
+
+    /**
+     * Durably log a live-resize mark carrying the grown config, and
+     * ship it so the follower re-plans its engine at the same point
+     * in the update stream the leader did.
+     */
+    void appendResizeMark(const ChiselConfig &config);
+
     void sync();
 
     /** See UpdateJournal::ioHealthy — false means stop acking. */

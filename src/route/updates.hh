@@ -25,15 +25,34 @@
 
 namespace chisel {
 
-/** The two BGP update operations (Section 4.4). */
-enum class UpdateKind : uint8_t { Announce, Withdraw };
+/**
+ * The BGP update operations (Section 4.4) plus Expire: a TTL garbage
+ * collection retiring a deadline-overrun prefix.  Expire is emitted by
+ * the engine's own GC, never by a peer, but it flows through the same
+ * journal/replication stream as a withdraw so every consumer — warm
+ * restart replay, audits, a replica follower — sees GC identically
+ * (docs/robustness.md).
+ */
+enum class UpdateKind : uint8_t { Announce, Withdraw, Expire };
 
-/** One update: announce(p, l, h) or withdraw(p, l). */
+/**
+ * Per-announce TTL sentinel: the route never expires, even when the
+ * engine's Config::defaultTtlMs would otherwise arm a deadline.
+ */
+constexpr uint32_t kTtlNever = 0xFFFFFFFFu;
+
+/** One update: announce(p, l, h), withdraw(p, l), or expire(p, l). */
 struct Update
 {
     UpdateKind kind = UpdateKind::Announce;
     Prefix prefix;
     NextHop nextHop = kNoRoute;   ///< Meaningful for announces only.
+
+    /**
+     * Announce-only TTL override, milliseconds: 0 defers to the
+     * engine's Config::defaultTtlMs; kTtlNever pins the route.
+     */
+    uint32_t ttlMs = 0;
 
     bool operator==(const Update &other) const = default;
 };

@@ -5,6 +5,10 @@
 
 namespace chisel::telemetry {
 
+static_assert(kUpdateClassCountMirror == kUpdateClassCount,
+              "telemetry class-counter array out of sync with "
+              "UpdateClass (core/subcell.hh)");
+
 const char *
 updateClassSlug(UpdateClass c)
 {
@@ -17,6 +21,7 @@ updateClassSlug(UpdateClass c)
       case UpdateClass::Resetup: return "resetup";
       case UpdateClass::Spill: return "spill";
       case UpdateClass::NoOp: return "noop";
+      case UpdateClass::Expire: return "expire";
     }
     return "unknown";
 }
@@ -64,7 +69,7 @@ EngineTelemetry::EngineTelemetry(MetricRegistry &registry,
     }
     // Pre-register every update category so exports always carry the
     // full Figure-14 breakdown, including zero rows.
-    for (int c = 0; c < 8; ++c) {
+    for (size_t c = 0; c < kUpdateClassCount; ++c) {
         updateClassCounters_[c] = &registry.counter(
             prefix + ".update.class." +
             updateClassSlug(static_cast<UpdateClass>(c)));
@@ -88,6 +93,10 @@ EngineTelemetry::snapshot(const ChiselEngine &engine)
         .set(static_cast<double>(rc.slowPathInserts));
     registry_.gauge(prefix_ + ".robustness.slowpath_drains")
         .set(static_cast<double>(rc.slowPathDrains));
+    registry_.gauge(prefix_ + ".robustness.slowpath_drained")
+        .set(static_cast<double>(rc.slowPathDrains));
+    registry_.gauge(prefix_ + ".ttl.armed")
+        .set(static_cast<double>(engine.ttlArmed()));
     registry_.gauge(prefix_ + ".robustness.slowpath_rejected")
         .set(static_cast<double>(rc.slowPathRejected));
     registry_.gauge(prefix_ + ".robustness.setup_retries")

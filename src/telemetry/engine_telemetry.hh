@@ -53,6 +53,12 @@ struct LookupResult;
 struct UpdateOutcome;
 enum class UpdateClass : uint8_t;
 
+/** Mirrors kUpdateClassCount (core/subcell.hh), which this header
+ * cannot include without dragging the core into every telemetry user;
+ * a static_assert in engine_telemetry.cc keeps the two in lock-step.
+ */
+inline constexpr size_t kUpdateClassCountMirror = 9;
+
 namespace telemetry {
 
 /** Dot-name-safe slug for an update category ("route_flap", ...). */
@@ -121,7 +127,7 @@ class EngineTelemetry
     Counter &updates_;
     Pow2Histogram &updateWrites_;
     std::array<Pow2Histogram *, kTableCount> updateTableWrites_;
-    std::array<Counter *, 8> updateClassCounters_;
+    std::array<Counter *, kUpdateClassCountMirror> updateClassCounters_;
 
     // Robustness events (see docs/robustness.md).
     Counter &tcamOverflows_;

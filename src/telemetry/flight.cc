@@ -36,6 +36,9 @@ flightKindName(FlightKind k)
       case FlightKind::ReplicaApply: return "replica_apply";
       case FlightKind::ReplicaPromote: return "replica_promote";
       case FlightKind::ReplicaFence: return "replica_fence";
+      case FlightKind::SlowPathDrain: return "slowpath_drain";
+      case FlightKind::TtlExpire: return "ttl_expire";
+      case FlightKind::ResizePublish: return "resize_publish";
       case FlightKind::Custom: return "custom";
       case FlightKind::kCount: break;
     }

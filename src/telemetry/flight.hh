@@ -68,6 +68,9 @@ enum class FlightKind : uint8_t
     ReplicaApply,     ///< The follower applied a shipped record (code = record type, a = seq).
     ReplicaPromote,   ///< A follower promoted to leader (a = new epoch, b = records replayed).
     ReplicaFence,     ///< A stale-epoch shipment was rejected (a = stale epoch, b = current epoch).
+    SlowPathDrain,    ///< Slow-path routes drained back to the TCAM (a = drained, b = remaining).
+    TtlExpire,        ///< A TTL deadline retired route(s) (code = status, a = class/batch, b = length).
+    ResizePublish,    ///< A grown engine pair was published (a = resizes so far, b = slow path drained).
     Custom,           ///< Free-form (tests, embedders).
     kCount,
 };

@@ -414,6 +414,62 @@ TEST(HealthMonitor, WatchdogBypassesHysteresis)
         t0 + std::chrono::milliseconds(1000)));
 }
 
+TEST(HealthMonitor, CapacityPressureArmsResizeAfterStreak)
+{
+    MonitorConfig cfg;
+    cfg.resizeAfter = 3;
+    HealthMonitor mon(cfg);
+
+    HealthSignals pressure;
+    pressure.spillOccupancy = 0.9;   // >= spillWarn, < spillCritical.
+
+    // Two pressure samples: the severity ladder reaches Stressed
+    // (and arms PurgeDirty), but the capacity streak is still short.
+    mon.sample(pressure);
+    mon.sample(pressure);
+    EXPECT_EQ(mon.takeAction(), RecoveryAction::PurgeDirty);
+
+    // A quiet sample resets the capacity streak — pressure must be
+    // *sustained*, not merely frequent.
+    mon.sample(quiet());
+    mon.sample(pressure);
+    mon.sample(pressure);
+    EXPECT_NE(mon.takeAction(), RecoveryAction::Resize);
+
+    // Third consecutive pressure sample arms the Resize, overriding
+    // whatever rung the severity ladder chose.
+    mon.sample(pressure);
+    EXPECT_EQ(mon.takeAction(), RecoveryAction::Resize);
+    EXPECT_EQ(mon.takeAction(), RecoveryAction::None);   // Consumed.
+}
+
+TEST(HealthMonitor, ResizeCooldownSuppressesImmediateRearm)
+{
+    MonitorConfig cfg;
+    cfg.resizeAfter = 3;
+    cfg.resizeCooldown = 4;
+    HealthMonitor mon(cfg);
+
+    HealthSignals pressure;
+    pressure.setupRetries = 1;   // Capacity pressure via retry signal.
+
+    for (int i = 0; i < 3; ++i)
+        mon.sample(pressure);
+    EXPECT_EQ(mon.takeAction(), RecoveryAction::Resize);
+
+    // The rebuild's own turbulence (setup retries, stale occupancy)
+    // keeps the pressure signal hot; the cooldown keeps those samples
+    // from arming a second rebuild on top of the first.
+    for (int i = 0; i < 4; ++i) {
+        mon.sample(pressure);
+        EXPECT_NE(mon.takeAction(), RecoveryAction::Resize);
+    }
+
+    // Cooldown spent and pressure still sustained: re-arm.
+    mon.sample(pressure);
+    EXPECT_EQ(mon.takeAction(), RecoveryAction::Resize);
+}
+
 // ---- Engine dirty-retention budget -----------------------------------------
 
 TEST(DirtyBudget, EvictionBoundsRetention)

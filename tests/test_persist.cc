@@ -22,6 +22,7 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "core/engine.hh"
+#include "core/resize.hh"
 #include "fault/fault.hh"
 #include "persist/codec.hh"
 #include "persist/journal.hh"
@@ -971,6 +972,216 @@ TEST(PersistJournal, InjectedIoErrorLatchesAndKeepsValidPrefix)
     removeFile(jpath);
 }
 #endif // CHISEL_FAULT_INJECTION_ENABLED
+
+// ---- lifecycle records (TTL, Expire, ResizeMark) ---------------------------
+
+TEST(PersistJournal, ExpireTtlAndResizeMarkRoundtrip)
+{
+    std::string path = tempPath("journal_lifecycle");
+    removeFile(path);
+
+    ChiselConfig config;
+    uint64_t fp = elasticFingerprint(config);
+    ChiselConfig grown = config;
+    grown.spillCapacity *= 4;
+    grown.minCellCapacity *= 2;
+    grown.defaultTtlMs = 900;
+
+    {
+        UpdateJournal journal(path, fp);
+        Update a;
+        a.kind = UpdateKind::Announce;
+        a.prefix = Prefix(Key128::fromIpv4(0x0A000000), 24);
+        a.nextHop = 7;
+        a.ttlMs = 1234;
+        EXPECT_EQ(journal.append(a), 1u);
+
+        // A ResizeMark stamps the current position without consuming
+        // a sequence number — it is an annotation, not an update.
+        journal.appendResizeMark(grown);
+
+        Update e;
+        e.kind = UpdateKind::Expire;
+        e.prefix = a.prefix;
+        e.nextHop = kNoRoute;
+        EXPECT_EQ(journal.append(e), 2u);
+        journal.sync();
+    }
+
+    JournalScan scan = persist::scanJournal(path, fp);
+    ASSERT_TRUE(scan.headerOk) << scan.error;
+    ASSERT_EQ(scan.records.size(), 3u);
+    EXPECT_EQ(scan.lastSeq, 2u);
+
+    EXPECT_EQ(scan.records[0].type, JournalRecord::Type::Update);
+    EXPECT_EQ(scan.records[0].update.kind, UpdateKind::Announce);
+    EXPECT_EQ(scan.records[0].update.ttlMs, 1234u);
+
+    EXPECT_EQ(scan.records[1].type, JournalRecord::Type::ResizeMark);
+    EXPECT_EQ(scan.records[1].seq, 1u);
+    EXPECT_TRUE(scan.records[1].resizeConfig == grown);
+
+    EXPECT_EQ(scan.records[2].type, JournalRecord::Type::Update);
+    EXPECT_EQ(scan.records[2].update.kind, UpdateKind::Expire);
+    EXPECT_EQ(scan.records[2].update.prefix,
+              Prefix(Key128::fromIpv4(0x0A000000), 24));
+
+    removeFile(path);
+}
+
+TEST(PersistRecovery, VersionMismatchFallsThroughPrevToCold)
+{
+    // A node upgraded across a snapshot format bump must reject the
+    // old image *cleanly* — flagged as a version mismatch, never
+    // decoded as garbage — and walk the ladder: .prev next, cold
+    // setup plus full replay last.
+    std::string jpath = tempPath("recover_version.journal");
+    std::string spath = tempPath("recover_version.snapshot");
+    removeFile(jpath);
+    removeFile(spath);
+    removeFile(persist::previousSnapshotPath(spath));
+
+    RoutingTable table = generateScaledTable(400, 32, 0x71AB);
+    Process proc(table, jpath);
+    UpdateTraceGenerator gen(table, standardTraceProfiles()[0], 32,
+                             0x71AC);
+    for (const Update &u : gen.generate(30))
+        proc.apply(u);
+    proc.snapshot(spath);                      // Rotates to .prev later.
+    for (const Update &u : gen.generate(30))
+        proc.apply(u);
+    proc.snapshot(spath);
+
+    // Stamp a foreign format version into the primary image (bytes
+    // 4..7; the version predates the CRC so this is not corruption —
+    // it must be identified as a version mismatch).
+    std::vector<uint8_t> bytes = readFile(spath);
+    bytes[4] ^= 0x01;
+    writeFile(spath, bytes);
+
+    RecoveryOptions opts;
+    opts.journalPath = jpath;
+    opts.snapshotPath = spath;
+    opts.config = proc.config;
+    opts.initialTable = table;
+    RecoveryReport report = persist::recoverEngine(opts);
+
+    EXPECT_EQ(report.source, RecoverySource::PreviousSnapshot);
+    EXPECT_EQ(report.fallbacks, 1u);
+    EXPECT_NE(report.snapshotError.find("version"), std::string::npos)
+        << report.snapshotError;
+    EXPECT_TRUE(report.auditPassed);
+    EXPECT_EQ(stateBytes(*report.engine), stateBytes(*proc.engine));
+
+    // Old-version .prev too: the ladder bottoms out at cold setup
+    // and the journal alone rebuilds the full route set.
+    std::vector<uint8_t> prev_bytes =
+        readFile(persist::previousSnapshotPath(spath));
+    prev_bytes[4] ^= 0x01;
+    writeFile(persist::previousSnapshotPath(spath), prev_bytes);
+
+    RecoveryReport cold = persist::recoverEngine(opts);
+    EXPECT_EQ(cold.source, RecoverySource::ColdSetup);
+    EXPECT_EQ(cold.fallbacks, 2u);
+    EXPECT_EQ(cold.recordsReplayed, 60u);
+    EXPECT_TRUE(cold.auditPassed)
+        << "missing=" << cold.auditMissing
+        << " mismatched=" << cold.auditMismatched
+        << " phantom=" << cold.auditPhantom;
+
+    removeFile(jpath);
+    removeFile(spath);
+    removeFile(persist::previousSnapshotPath(spath));
+}
+
+TEST(PersistRecovery, ReplayCrossesExpireAndResizeMark)
+{
+    // Warm restart across the full lifecycle: announces arming TTLs,
+    // journal-visible Expires, and a mid-stream live resize.  The
+    // journal is stamped with the elastic fingerprint, so it remains
+    // this engine's history on both sides of the mark, and replay
+    // must re-plan its engine at the mark to end under the grown
+    // config.
+    std::string jpath = tempPath("recover_lifecycle.journal");
+    removeFile(jpath);
+
+    RoutingTable table = generateScaledTable(300, 32, 0x72AB);
+    ChiselConfig config;
+    config.minCellCapacity = 64;
+    config.spillCapacity = 8;
+    config.defaultTtlMs = 500;
+
+    auto engine = std::make_unique<ChiselEngine>(table, config);
+    UpdateJournal journal(jpath, elasticFingerprint(config));
+
+    auto apply = [&](const Update &u) {
+        uint64_t seq = journal.append(u);
+        UpdateOutcome out = engine->apply(u);
+        journal.appendOutcome(seq, out);
+    };
+
+    UpdateTraceGenerator gen(table, standardTraceProfiles()[0], 32,
+                             0x72AC);
+    for (const Update &u : gen.generate(40))
+        apply(u);
+
+    // GC retires everything already due at t=600.
+    engine->setTtlClock(600);
+    std::vector<Prefix> due;
+    engine->collectExpired(1u << 20, due);
+    ASSERT_GT(due.size(), 0u);
+    for (const Prefix &p : due) {
+        Update e;
+        e.kind = UpdateKind::Expire;
+        e.prefix = p;
+        e.nextHop = kNoRoute;
+        apply(e);
+    }
+
+    // Live resize: re-plan under a grown config, mark the journal.
+    ResizeLoad load;
+    load.routeCount = engine->routeCount();
+    load.spillCount = engine->spillCount();
+    load.slowPathCount = engine->slowPathCount();
+    ChiselConfig grown = planResize(config, load);
+    ASSERT_TRUE(elasticCompatible(config, grown));
+    auto regrown =
+        std::make_unique<ChiselEngine>(engine->exportTable(), grown);
+    regrown->adoptTtl(*engine);
+    engine = std::move(regrown);
+    journal.appendResizeMark(grown);
+
+    for (const Update &u : gen.generate(40))
+        apply(u);
+    journal.sync();
+
+    RecoveryOptions opts;
+    opts.journalPath = jpath;
+    opts.config = config;   // Pre-resize: the mark carries the rest.
+    opts.initialTable = table;
+    RecoveryReport report = persist::recoverEngine(opts);
+
+    EXPECT_EQ(report.source, RecoverySource::ColdSetup);
+    EXPECT_TRUE(report.journalHeaderOk) << report.journalError;
+    EXPECT_TRUE(report.auditRan);
+    EXPECT_TRUE(report.auditPassed)
+        << "missing=" << report.auditMissing
+        << " mismatched=" << report.auditMismatched
+        << " phantom=" << report.auditPhantom;
+    EXPECT_TRUE(report.engine->config() == grown);
+
+    // Every expired route is gone, every survivor serves.
+    RoutingTable a = report.engine->exportTable();
+    RoutingTable b = engine->exportTable();
+    ASSERT_EQ(a.size(), b.size());
+    for (const Route &r : b.routes())
+        EXPECT_EQ(a.find(r.prefix), b.find(r.prefix));
+    for (const Prefix &p : due)
+        if (!b.contains(p))
+            EXPECT_FALSE(report.engine->find(p).has_value());
+
+    removeFile(jpath);
+}
 
 TEST(PersistRecovery, TelemetryCountersRecordRecovery)
 {

@@ -25,6 +25,7 @@
 
 #include "concurrent/concurrent_engine.hh"
 #include "core/engine.hh"
+#include "core/resize.hh"
 #include "fault/fault.hh"
 #include "health/monitor.hh"
 #include "persist/codec.hh"
@@ -927,6 +928,130 @@ TEST(Replica, PromotionReplaysJournalTail)
     EXPECT_GE(standby.monitor().actionsTaken(
                   health::RecoveryAction::FailedOver),
               1u);
+}
+
+TEST(Replica, FollowerTracksExpiryAndResizeMark)
+{
+    // The full lifecycle over the wire: the leader journals churn,
+    // GC-style Expire updates, then a live resize (ResizeMark) and
+    // post-resize traffic.  The standby must land on the identical
+    // route set AND the grown config — otherwise the next failover
+    // promotes a leader that re-inherits the capacity pressure the
+    // old one just grew out of.
+    TempFile journal("test_replica_lifecycle.journal");
+    RoutingTable table = smallTable(0x77a);
+    std::vector<Update> updates = smallTrace(table, 80, 0x77b);
+    ChiselConfig config;
+    config.minCellCapacity = 64;
+    // The elastic fingerprint is the session identity: it survives
+    // the resize, unlike configFingerprint.
+    uint64_t fp = elasticFingerprint(config);
+
+    ConcurrentOptions copts;
+    copts.controlThread = false;
+    ConcurrentChisel standby(table, config, copts);
+    replica::TcpListener listener;
+    ASSERT_TRUE(listener.listen(0));
+    Follower follower(standby, fp,
+                      {.spoolPath = journal.path + ".spool"});
+    follower.start(listener);
+
+    ReplicationOptions ropts;
+    ropts.heartbeatMs = 10;
+    ReplicationLog rlog(journal.path, fp, 1, ropts);
+    uint16_t port = listener.port();
+    rlog.start([port] { return replica::tcpConnect(port, 500); },
+               nullptr);
+
+    RoutingTable truth = advance(table, updates, updates.size());
+    uint64_t last = 0;
+    for (const Update &u : updates) {
+        last = rlog.append(u);
+        ASSERT_NE(last, 0u);
+    }
+
+    // Leader-side GC: deadlines are decided once, on the leader, and
+    // ship as first-class Expire records — the follower needs no
+    // synchronized clock.
+    std::vector<Prefix> victims;
+    for (const Route &r : truth.routes()) {
+        victims.push_back(r.prefix);
+        if (victims.size() == 5)
+            break;
+    }
+    for (const Prefix &p : victims) {
+        Update e;
+        e.kind = UpdateKind::Expire;
+        e.prefix = p;
+        e.nextHop = kNoRoute;
+        last = rlog.append(e);
+        ASSERT_NE(last, 0u);
+        truth.remove(p);
+    }
+
+    // Live resize on the leader, then post-resize traffic.
+    ChiselConfig grown = config;
+    grown.spillCapacity *= 4;
+    grown.minCellCapacity *= 2;
+    rlog.appendResizeMark(grown);
+    for (uint32_t i = 0; i < 10; ++i) {
+        Update a;
+        a.kind = UpdateKind::Announce;
+        a.prefix = Prefix(Key128::fromIpv4(0xDF000000 + (i << 8)), 24);
+        a.nextHop = 0xAA00 + i;
+        last = rlog.append(a);
+        ASSERT_NE(last, 0u);
+        truth.add(a.prefix, a.nextHop);
+    }
+
+    EXPECT_TRUE(waitUntil(
+        [&] { return follower.lastAppliedSeq() == last; }));
+    rlog.stop();
+    follower.stop();
+
+    // The standby tracked every Expire and adopted the grown config.
+    EXPECT_TRUE(matchesTruth(standby, truth));
+    for (const Prefix &p : victims)
+        EXPECT_FALSE(standby.find(p).has_value());
+    EXPECT_EQ(standby.resizes(), 1u);
+    EXPECT_TRUE(standby.config() == grown);
+    EXPECT_EQ(follower.stats().duplicatesSkipped, 0u);
+    std::remove((journal.path + ".spool").c_str());
+}
+
+TEST(Replica, PromotionReplaysResizeMark)
+{
+    // A standby promoted from a cold journal (no live session) must
+    // also honor a ResizeMark during replay — the journal tail is the
+    // same history the wire would have shipped.
+    TempFile journal("test_replica_promote_resize.journal");
+    TempFile spool("test_replica_promote_resize.spool");
+    RoutingTable table = smallTable(0x88a);
+    std::vector<Update> updates = smallTrace(table, 20, 0x88b);
+    ChiselConfig config;
+    config.minCellCapacity = 64;
+    uint64_t fp = elasticFingerprint(config);
+
+    ChiselConfig grown = config;
+    grown.spillCapacity *= 2;
+    {
+        persist::UpdateJournal j(journal.path, fp);
+        for (const Update &u : updates)
+            ASSERT_NE(j.append(u), 0u);
+        j.appendResizeMark(grown);
+    }
+
+    ConcurrentOptions copts;
+    copts.controlThread = false;
+    ConcurrentChisel standby(table, config, copts);
+    Follower follower(standby, fp, {.spoolPath = spool.path});
+
+    replica::PromotionReport promo = follower.promote(journal.path);
+    EXPECT_EQ(promo.lastAppliedSeq, uint64_t(updates.size()));
+    EXPECT_TRUE(matchesTruth(
+        standby, advance(table, updates, updates.size())));
+    EXPECT_EQ(standby.resizes(), 1u);
+    EXPECT_TRUE(standby.config() == grown);
 }
 
 #if CHISEL_FAULT_INJECTION_ENABLED
