@@ -1,0 +1,770 @@
+/**
+ * @file
+ * Service soak: a two-process kill/restart drill for the RPC front
+ * end (docs/service.md).
+ *
+ * The driver re-execs itself as a --role=server child: a
+ * ChiselService on a fixed loopback port, recovered from the shared
+ * journal + drain snapshot, with every connection-level fault point
+ * armed (stalled peers, partial writes, mid-frame resets, accept
+ * storms).  N client threads storm announces, withdraws, and lookups
+ * through ServiceClient — deadlines, retries, reconnects — while the
+ * driver SIGKILLs the server mid-storm and warm-restarts it on the
+ * same port, repeatedly.  The final cycle ends with SIGTERM instead,
+ * so the graceful drain (flush + final snapshot) is on the audited
+ * path too.
+ *
+ * Clients record every update the server ACKED (an ack promises the
+ * record was fsync-durable).  The audit then insists:
+ *
+ *  - zero lost acks: every acked (update, seq) is present, verbatim,
+ *    in the journal's valid prefix — no ack ever outran the disk;
+ *  - zero phantoms: every journal record matches an update some
+ *    client actually sent, and the recovered engine serves exactly
+ *    the journal-replay truth (binary-trie oracle on a key sample);
+ *  - the shed path works: under an induced Degraded window the
+ *    server answers a structured Overloaded within the client's
+ *    deadline (and while merely Stressed, lookups still serve).
+ *
+ * A chisel.service.v1 JSON artifact reports the counts; exit status
+ * is nonzero on any violation so CI runs this binary directly.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/clock.hh"
+#include "common/random.hh"
+#include "concurrent/concurrent_engine.hh"
+#include "fault/fault.hh"
+#include "net/client.hh"
+#include "net/server.hh"
+#include "net/socket.hh"
+#include "persist/journal.hh"
+#include "persist/recovery.hh"
+#include "route/prefix.hh"
+#include "route/table.hh"
+#include "route/updates.hh"
+#include "telemetry/cli.hh"
+#include "telemetry/json.hh"
+#include "telemetry/metrics.hh"
+#include "trie/binary_trie.hh"
+
+namespace {
+
+using namespace chisel;
+using concurrent::ConcurrentChisel;
+using concurrent::ConcurrentOptions;
+
+size_t g_failures = 0;
+
+void
+check(bool ok, const char *what)
+{
+    std::printf("  %-52s %s\n", what, ok ? "ok" : "FAIL");
+    if (!ok)
+        ++g_failures;
+}
+
+/** All knobs; the server child re-parses the same table. */
+struct SoakOptions
+{
+    std::string role = "driver";
+    uint64_t port = 0;             ///< Server: fixed port to bind.
+    std::string journal = "service_soak.journal";
+    std::string snapshot = "service_soak.snapshot";
+    std::string portFile = "service_soak.port";
+    std::string json = "service_soak.json";
+    size_t clients = 4;
+    size_t cycles = 3;             ///< cycles-1 SIGKILLs, 1 SIGTERM.
+    uint64_t killAfter = 250;      ///< Acked updates per cycle.
+    uint64_t seed = 0x5eac;
+    uint64_t induceDegradedMs = 0; ///< Server: induced shed window.
+};
+
+/** Driver and every server incarnation must agree on the config. */
+ChiselConfig
+soakConfig()
+{
+    return ChiselConfig{};
+}
+
+// ---- Server child ----------------------------------------------------
+
+net::ChiselService *g_soakService = nullptr;
+
+extern "C" void
+soakOnTerm(int)
+{
+    if (g_soakService != nullptr)
+        g_soakService->requestDrain();  // Async-signal-safe.
+}
+
+int
+serverMain(const SoakOptions &o)
+{
+    ChiselConfig config = soakConfig();
+    uint64_t fingerprint = configFingerprint(config);
+
+    // Warm restart: whatever the previous incarnation made durable
+    // (drain snapshot if the last exit was graceful, then the journal
+    // tail) is the new starting state.
+    persist::RecoveryOptions ropts;
+    ropts.journalPath = o.journal;
+    ropts.snapshotPath = o.snapshot;
+    ropts.config = config;
+    ropts.audit = false;
+    persist::RecoveryReport rec = persist::recoverEngine(ropts);
+    RoutingTable table = rec.engine->exportTable();
+    std::printf("server: recovered %zu routes (last-seq %llu)\n",
+                table.size(),
+                static_cast<unsigned long long>(rec.lastSeq));
+
+    ConcurrentOptions copts;
+    copts.controlThread = false;
+    ConcurrentChisel engine(table, config, copts);
+
+    persist::UpdateJournal journal(o.journal, fingerprint);
+
+    // Every connection-level fault point armed: the storm runs on a
+    // deliberately hostile transport.
+    fault::FaultInjector inj(o.seed + 7);
+    inj.arm(fault::FaultPoint::NetPartialWrite, 0.25);
+    inj.arm(fault::FaultPoint::NetStalledPeer, 0.05);
+    inj.arm(fault::FaultPoint::NetMidFrameReset, 0.01);
+    inj.arm(fault::FaultPoint::NetAcceptStorm, 0.25, 8);
+
+    net::ServiceOptions sopts;
+    sopts.port = static_cast<uint16_t>(o.port);
+    sopts.maxOutputBytes = 64 * 1024;  // Small: backpressure is live.
+    sopts.idleTimeoutMs = 5000;
+    sopts.writeStallMs = 800;
+    sopts.drainDeadlineMs = 2000;
+    sopts.drainSnapshotPath = o.snapshot;
+    sopts.faultInjector = &inj;
+
+    net::ChiselService service(engine, &journal, sopts);
+    g_soakService = &service;
+    ::signal(SIGTERM, soakOnTerm);
+
+    // The port may linger briefly from the SIGKILLed predecessor.
+    bool up = false;
+    for (int i = 0; i < 50 && !up; ++i) {
+        up = service.start();
+        if (!up)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+    }
+    if (!up) {
+        std::fprintf(stderr, "server: cannot bind port %llu\n",
+                     static_cast<unsigned long long>(o.port));
+        return 3;
+    }
+
+    if (o.induceDegradedMs > 0)
+        service.induceHealth(health::HealthState::Degraded,
+                             static_cast<int>(o.induceDegradedMs));
+
+    // Port-file handshake: written only once the service is live, via
+    // rename so the driver never reads a half-written file.
+    std::string tmp = o.portFile + ".tmp";
+    if (std::FILE *f = std::fopen(tmp.c_str(), "w")) {
+        std::fprintf(f, "%u\n", service.port());
+        std::fclose(f);
+        std::rename(tmp.c_str(), o.portFile.c_str());
+    }
+
+    while (service.running())
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    service.stop();
+
+    net::ServiceStats st = service.stats();
+    std::printf("server: %llu requests, %llu acked, %llu unacked, "
+                "%llu overloaded, drain %s\n",
+                static_cast<unsigned long long>(st.requests),
+                static_cast<unsigned long long>(st.acked),
+                static_cast<unsigned long long>(st.unacked),
+                static_cast<unsigned long long>(st.overloaded),
+                st.drained ? "flushed" : "incomplete");
+    return st.drained ? 0 : 4;
+}
+
+// ---- Driver ----------------------------------------------------------
+
+pid_t
+spawnServer(const SoakOptions &o, uint16_t port)
+{
+    char exe[4096];
+    ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    if (n <= 0)
+        return -1;
+    exe[n] = '\0';
+
+    std::vector<std::string> args = {
+        exe,
+        "--role=server",
+        "--port=" + std::to_string(port),
+        "--journal=" + o.journal,
+        "--snapshot=" + o.snapshot,
+        "--port-file=" + o.portFile,
+        "--seed=" + std::to_string(o.seed),
+    };
+    std::vector<char *> argv;
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid == 0) {
+        ::execv(exe, argv.data());
+        _exit(127);
+    }
+    return pid;
+}
+
+/** Poll @p cond up to @p limit_ms; @return ms waited, or -1. */
+int64_t
+waitFor(const std::function<bool()> &cond, int64_t limit_ms)
+{
+    uint64_t t0 = monotonicNowNs();
+    while (!cond()) {
+        if (int64_t((monotonicNowNs() - t0) / 1000000) > limit_ms)
+            return -1;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return int64_t((monotonicNowNs() - t0) / 1000000);
+}
+
+bool
+portFileReady(const SoakOptions &o, uint16_t expect)
+{
+    std::FILE *f = std::fopen(o.portFile.c_str(), "r");
+    if (f == nullptr)
+        return false;
+    unsigned port = 0;
+    bool got = std::fscanf(f, "%u", &port) == 1;
+    std::fclose(f);
+    return got && port == expect;
+}
+
+/** Structural identity of an update, for the phantom-record check. */
+std::string
+updateIdent(const Update &u)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%u|%016llx%016llx/%u|%u",
+                  unsigned(u.kind),
+                  static_cast<unsigned long long>(u.prefix.bits().hi()),
+                  static_cast<unsigned long long>(u.prefix.bits().lo()),
+                  u.prefix.length(), unsigned(u.nextHop));
+    return buf;
+}
+
+/** An update the server acked, with the seq the ack promised. */
+struct AckedRec
+{
+    Update update;
+    uint64_t seq = 0;
+};
+
+/** Everything one client thread saw; merged by the audit. */
+struct ClientLog
+{
+    std::vector<Update> attempted;   ///< Every update put on the wire.
+    std::vector<AckedRec> acked;
+    uint64_t lookupsOk = 0;
+    net::ClientStats stats;
+};
+
+/**
+ * One storm thread: a deterministic mix of announce/withdraw batches
+ * and lookups over its own /24 space (thread spaces are disjoint, so
+ * replay order across threads cannot change any one prefix's owner).
+ */
+void
+clientThread(const SoakOptions &o, uint16_t port, size_t idx,
+             std::atomic<bool> &stop, std::atomic<uint64_t> &ackedTotal,
+             ClientLog &log)
+{
+    net::ClientOptions copts;
+    copts.port = port;
+    copts.requestTimeoutMs = 600;
+    copts.recvTimeoutMs = 100;
+    copts.maxAttempts = 3;
+    copts.backoffBaseMs = 5;
+    copts.backoffMaxMs = 60;
+    copts.seed = o.seed + 101 * idx;
+    net::ServiceClient client(copts);
+
+    Rng rng(o.seed + 977 * idx + 13);
+    auto prefixAt = [&](uint64_t x) {
+        uint32_t addr = (10u << 24) | (uint32_t(idx & 0xff) << 16) |
+                        (uint32_t(x & 63) << 8);
+        return Prefix(Key128::fromIpv4(addr), 24);
+    };
+
+    while (!stop.load(std::memory_order_acquire)) {
+        uint64_t roll = rng.nextBelow(10);
+        if (roll < 6) {
+            size_t n = 1 + rng.nextBelow(4);
+            std::vector<Update> batch;
+            for (size_t i = 0; i < n; ++i) {
+                Update u;
+                u.prefix = prefixAt(rng.next64());
+                if (rng.nextBelow(10) < 8) {
+                    u.kind = UpdateKind::Announce;
+                    u.nextHop = 1 + uint32_t(rng.nextBelow(1000));
+                } else {
+                    u.kind = UpdateKind::Withdraw;
+                }
+                batch.push_back(u);
+                log.attempted.push_back(u);
+            }
+            net::UpdateCallResult res = client.update(batch);
+            if (res.status == net::CallStatus::Ok) {
+                for (size_t i = 0; i < batch.size(); ++i) {
+                    if (!res.acks[i].acked)
+                        continue;
+                    log.acked.push_back({batch[i], res.acks[i].seq});
+                    ackedTotal.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        } else if (roll < 9) {
+            size_t n = 1 + rng.nextBelow(8);
+            std::vector<Key128> keys;
+            for (size_t i = 0; i < n; ++i) {
+                uint32_t addr = (10u << 24) |
+                                (uint32_t(idx & 0xff) << 16) |
+                                uint32_t(rng.nextBelow(1u << 16));
+                keys.push_back(Key128::fromIpv4(addr));
+            }
+            if (client.lookup(keys).status == net::CallStatus::Ok)
+                ++log.lookupsOk;
+        } else {
+            client.ping();
+        }
+    }
+    log.stats = client.stats();
+}
+
+/**
+ * The shed demo of the acceptance bar, run in-process so the health
+ * window is exact: a Degraded server answers Overloaded within the
+ * client's deadline (never queues, never goes dark), and a merely
+ * Stressed server sheds updates while still serving lookups.
+ */
+struct ShedDemo
+{
+    bool degradedOverloaded = false;
+    bool withinDeadline = false;
+    bool stressedUpdateShed = false;
+    bool stressedLookupOk = false;
+    int64_t elapsedMs = 0;
+};
+
+ShedDemo
+runShedDemo(const SoakOptions &o)
+{
+    ShedDemo demo;
+
+    RoutingTable table;
+    table.add(Prefix::fromCidr("10.0.0.0/8"), 1);
+    ConcurrentOptions copts;
+    copts.controlThread = false;
+    ConcurrentChisel engine(table, soakConfig(), copts);
+
+    net::ChiselService service(engine, nullptr, {});
+    if (!service.start())
+        return demo;
+
+    net::ClientOptions cl;
+    cl.port = service.port();
+    cl.requestTimeoutMs = 300;
+    cl.maxAttempts = 2;
+    cl.backoffBaseMs = 5;
+    cl.backoffMaxMs = 20;
+    cl.seed = o.seed;
+    net::ServiceClient client(cl);
+
+    std::vector<Key128> key = {Key128::fromIpv4(0x0A010203u)};
+    Update announce;
+    announce.prefix = Prefix::fromCidr("10.9.0.0/16");
+    announce.nextHop = 9;
+
+    // Degraded: everything fails fast with a structured status.
+    service.induceHealth(health::HealthState::Degraded, 5000);
+    uint64_t t0 = monotonicNowNs();
+    net::LookupCallResult shed = client.lookup(key);
+    demo.elapsedMs = int64_t((monotonicNowNs() - t0) / 1000000);
+    demo.degradedOverloaded =
+        shed.status == net::CallStatus::Overloaded;
+    demo.withinDeadline = demo.elapsedMs <= cl.requestTimeoutMs;
+
+    // Stressed: updates shed, lookups still serve.
+    service.induceHealth(health::HealthState::Stressed, 5000);
+    demo.stressedUpdateShed = client.update({announce}).status ==
+                              net::CallStatus::Overloaded;
+    net::LookupCallResult ok = client.lookup(key);
+    demo.stressedLookupOk = ok.status == net::CallStatus::Ok &&
+                            ok.results.size() == 1 &&
+                            ok.results[0].found &&
+                            ok.results[0].nextHop == 1;
+
+    service.stop();
+    return demo;
+}
+
+int
+driverMain(const SoakOptions &o, telemetry::TelemetrySession &session)
+{
+    std::remove(o.journal.c_str());
+    std::remove(o.snapshot.c_str());
+    std::remove(o.portFile.c_str());
+
+    ChiselConfig config = soakConfig();
+    uint64_t fingerprint = configFingerprint(config);
+
+    std::printf("shed demo: induced Degraded/Stressed windows\n");
+    ShedDemo demo = runShedDemo(o);
+    check(demo.degradedOverloaded,
+          "degraded server answers structured Overloaded");
+    check(demo.withinDeadline,
+          "overloaded reply lands within the request deadline");
+    check(demo.stressedUpdateShed,
+          "stressed server sheds updates first");
+    check(demo.stressedLookupOk,
+          "stressed server still serves lookups");
+
+    // A kernel-chosen free port, reused by every server incarnation
+    // so clients ride through restarts with plain reconnects.
+    uint16_t port = 0;
+    {
+        int fd = net::listenLoopback(0, 1, &port);
+        if (fd < 0) {
+            std::printf("cannot probe for a free port\n");
+            return 1;
+        }
+        net::closeFd(fd);
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> ackedTotal{0};
+    std::vector<ClientLog> logs(o.clients);
+    std::vector<std::thread> threads;
+
+    size_t kills = 0;
+    bool spawnsOk = true;
+    bool drainExitOk = false;
+    std::vector<uint64_t> ackedPerCycle;
+
+    pid_t server = -1;
+    for (size_t cycle = 0; cycle < o.cycles; ++cycle) {
+        std::remove(o.portFile.c_str());
+        server = spawnServer(o, port);
+        if (server <= 0) {
+            std::printf("cannot spawn the server child\n");
+            return 1;
+        }
+        if (waitFor([&] { return portFileReady(o, port); }, 10000) <
+            0) {
+            spawnsOk = false;
+            std::printf("cycle %zu: server never came up\n", cycle);
+            ::kill(server, SIGKILL);
+            ::waitpid(server, nullptr, 0);
+            break;
+        }
+        std::printf("cycle %zu: server pid %d on port %u\n", cycle,
+                    server, port);
+
+        if (threads.empty())
+            for (size_t i = 0; i < o.clients; ++i)
+                threads.emplace_back(clientThread, std::cref(o), port,
+                                     i, std::ref(stop),
+                                     std::ref(ackedTotal),
+                                     std::ref(logs[i]));
+
+        uint64_t target = ackedTotal.load() + o.killAfter;
+        int64_t waited = waitFor(
+            [&] { return ackedTotal.load() >= target; }, 30000);
+        ackedPerCycle.push_back(ackedTotal.load());
+        if (waited < 0)
+            std::printf("cycle %zu: ack storm stalled (have %llu)\n",
+                        cycle,
+                        static_cast<unsigned long long>(
+                            ackedTotal.load()));
+
+        if (cycle + 1 < o.cycles) {
+            // Mid-storm SIGKILL: clients are in flight right now.
+            ::kill(server, SIGKILL);
+            ::waitpid(server, nullptr, 0);
+            ++kills;
+            std::printf("cycle %zu: SIGKILLed the server\n", cycle);
+        } else {
+            // Final cycle: quiesce the storm, then drain gracefully.
+            stop.store(true, std::memory_order_release);
+            for (std::thread &t : threads)
+                t.join();
+            ::kill(server, SIGTERM);
+            int status = 0;
+            ::waitpid(server, &status, 0);
+            drainExitOk =
+                WIFEXITED(status) && WEXITSTATUS(status) == 0;
+            std::printf("cycle %zu: SIGTERM drain exit %d\n", cycle,
+                        WIFEXITED(status) ? WEXITSTATUS(status)
+                                          : -1);
+        }
+    }
+    if (!threads.empty() && !stop.load()) {
+        stop.store(true, std::memory_order_release);
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    check(spawnsOk, "every server incarnation came up");
+    check(kills >= 2, "at least two SIGKILL + warm-restart cycles");
+    check(drainExitOk, "final SIGTERM drain flushed and exited 0");
+
+    // ---- Audit: acked promises vs the journal's valid prefix --------
+    persist::JournalScan scan =
+        persist::scanJournal(o.journal, fingerprint);
+    check(scan.headerOk, "journal header survives the kill storm");
+
+    std::unordered_map<uint64_t, const persist::JournalRecord *>
+        bySeq;
+    std::unordered_set<std::string> sent;
+    for (const persist::JournalRecord &rec : scan.records)
+        if (rec.type == persist::JournalRecord::Type::Update)
+            bySeq.emplace(rec.seq, &rec);
+    size_t attempted = 0;
+    for (const ClientLog &log : logs) {
+        attempted += log.attempted.size();
+        for (const Update &u : log.attempted)
+            sent.insert(updateIdent(u));
+    }
+
+    size_t ackedCount = 0, ackedLost = 0, ackedMismatched = 0;
+    for (const ClientLog &log : logs) {
+        for (const AckedRec &ar : log.acked) {
+            ++ackedCount;
+            auto it = bySeq.find(ar.seq);
+            if (it == bySeq.end())
+                ++ackedLost;
+            else if (!(it->second->update == ar.update))
+                ++ackedMismatched;
+        }
+    }
+    size_t phantomRecords = 0;
+    for (const auto &[seq, rec] : bySeq)
+        if (sent.find(updateIdent(rec->update)) == sent.end())
+            ++phantomRecords;
+
+    check(ackedCount > 0, "the storm produced acked updates");
+    check(ackedLost == 0, "zero acked-but-lost updates");
+    check(ackedMismatched == 0, "every acked seq matches its update");
+    check(phantomRecords == 0, "zero phantom journal records");
+
+    // ---- Audit: recovered state == journal-replay truth -------------
+    persist::RecoveryOptions ropts;
+    ropts.journalPath = o.journal;
+    ropts.snapshotPath = o.snapshot;
+    ropts.config = config;
+    ropts.audit = false;
+    persist::RecoveryReport rec = persist::recoverEngine(ropts);
+
+    RoutingTable truth;
+    for (const persist::JournalRecord &r : scan.records) {
+        if (r.type != persist::JournalRecord::Type::Update)
+            continue;
+        if (r.update.kind == UpdateKind::Announce)
+            truth.add(r.update.prefix, r.update.nextHop);
+        else
+            truth.remove(r.update.prefix);
+    }
+
+    size_t lostRoutes = 0;
+    for (const Route &r : truth.routes()) {
+        auto hop = rec.engine->find(r.prefix);
+        if (!hop.has_value() || *hop != r.nextHop)
+            ++lostRoutes;
+    }
+    size_t recovered = rec.engine->routeCount();
+    size_t phantomRoutes =
+        recovered > truth.size() ? recovered - truth.size() : 0;
+
+    BinaryTrie oracle(truth);
+    Rng rng(o.seed + 42);
+    size_t oracleWrong = 0;
+    for (size_t i = 0; i < 4096; ++i) {
+        uint32_t addr = (10u << 24) |
+                        (uint32_t(rng.nextBelow(o.clients)) << 16) |
+                        uint32_t(rng.nextBelow(1u << 16));
+        Key128 key = Key128::fromIpv4(addr);
+        auto want = oracle.lookup(key, 32);
+        LookupResult got = rec.engine->lookup(key);
+        bool same = want.has_value()
+                        ? got.found && got.nextHop == want->nextHop
+                        : !got.found;
+        if (!same)
+            ++oracleWrong;
+    }
+
+    check(lostRoutes == 0, "recovered engine serves the full truth");
+    check(phantomRoutes == 0, "recovered engine has no phantom routes");
+    check(oracleWrong == 0, "binary-trie oracle agrees on key sample");
+
+    net::ClientStats cs;
+    uint64_t lookupsOk = 0;
+    for (const ClientLog &log : logs) {
+        cs.calls += log.stats.calls;
+        cs.retries += log.stats.retries;
+        cs.reconnects += log.stats.reconnects;
+        cs.timeouts += log.stats.timeouts;
+        cs.overloaded += log.stats.overloaded;
+        cs.draining += log.stats.draining;
+        lookupsOk += log.lookupsOk;
+    }
+    std::printf("storm: %llu calls, %zu updates attempted, %zu acked, "
+                "%llu lookups ok, %llu retries, %llu reconnects\n",
+                static_cast<unsigned long long>(cs.calls), attempted,
+                ackedCount,
+                static_cast<unsigned long long>(lookupsOk),
+                static_cast<unsigned long long>(cs.retries),
+                static_cast<unsigned long long>(cs.reconnects));
+
+    if (session.enabled()) {
+        telemetry::MetricRegistry &reg = session.registry();
+        reg.gauge("service.soak.acked").set(double(ackedCount));
+        reg.gauge("service.soak.acked_lost").set(double(ackedLost));
+        reg.gauge("service.soak.phantom_records")
+            .set(double(phantomRecords));
+        reg.gauge("service.soak.kills").set(double(kills));
+        reg.gauge("service.soak.retries").set(double(cs.retries));
+        reg.gauge("service.soak.reconnects")
+            .set(double(cs.reconnects));
+        reg.gauge("service.soak.shed_demo_ms")
+            .set(double(demo.elapsedMs));
+    }
+
+    // ---- chisel.service.v1 artifact ---------------------------------
+    std::ostringstream os;
+    {
+        telemetry::JsonWriter w(os, true);
+        w.beginObject();
+        w.member("schema", "chisel.service.v1");
+        w.member("cycles", uint64_t(o.cycles));
+        w.member("kills", uint64_t(kills));
+        w.member("clients", uint64_t(o.clients));
+        w.member("calls", cs.calls);
+        w.member("updates_attempted", uint64_t(attempted));
+        w.member("acked", uint64_t(ackedCount));
+        w.member("acked_lost", uint64_t(ackedLost));
+        w.member("acked_mismatched", uint64_t(ackedMismatched));
+        w.member("phantom_records", uint64_t(phantomRecords));
+        w.member("journal_last_seq", scan.lastSeq);
+        w.member("truth_routes", uint64_t(truth.size()));
+        w.member("recovered_routes", uint64_t(recovered));
+        w.member("lost_routes", uint64_t(lostRoutes));
+        w.member("phantom_routes", uint64_t(phantomRoutes));
+        w.member("oracle_mismatches", uint64_t(oracleWrong));
+        w.member("lookups_ok", lookupsOk);
+        w.member("client_retries", cs.retries);
+        w.member("client_reconnects", cs.reconnects);
+        w.member("client_timeouts", cs.timeouts);
+        w.member("overloaded_replies", cs.overloaded);
+        w.member("draining_replies", cs.draining);
+        w.member("drain_exit_ok", drainExitOk);
+        w.member("shed_demo_overloaded", demo.degradedOverloaded);
+        w.member("shed_demo_within_deadline", demo.withinDeadline);
+        w.member("shed_demo_ms", uint64_t(demo.elapsedMs));
+        w.member("stressed_update_shed", demo.stressedUpdateShed);
+        w.member("stressed_lookup_ok", demo.stressedLookupOk);
+        w.endObject();
+    }
+    if (std::FILE *f = std::fopen(o.json.c_str(), "w")) {
+        std::fputs(os.str().c_str(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("service report written to %s\n", o.json.c_str());
+    }
+
+    std::remove(o.journal.c_str());
+    std::remove(o.snapshot.c_str());
+    std::remove(o.portFile.c_str());
+
+    std::printf("service soak: %s (%zu failure%s)\n",
+                g_failures == 0 ? "PASS" : "FAIL", g_failures,
+                g_failures == 1 ? "" : "s");
+    return g_failures == 0 ? 0 : 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    auto topts = telemetry::TelemetryOptions::parse(argc, argv);
+
+    SoakOptions o;
+    telemetry::FlagTable flags(
+        "service_soak",
+        "RPC service kill/restart drill: fault-armed client storm, "
+        "SIGKILL + warm restart, durable-ack audit.");
+    flags.stringFlag("role", "driver (default) or server (internal: "
+                             "the re-exec'd serving child)",
+                     &o.role)
+        .u64Flag("port", "server only: the fixed port to bind",
+                 &o.port)
+        .stringFlag("journal", "update journal path (shared with the "
+                               "driver's audit)",
+                    &o.journal)
+        .stringFlag("snapshot", "graceful-drain snapshot path",
+                    &o.snapshot)
+        .stringFlag("port-file", "server-up handshake file",
+                    &o.portFile)
+        .stringFlag("json", "chisel.service.v1 report path", &o.json)
+        .sizeFlag("clients", "storm threads (default 4)", &o.clients)
+        .sizeFlag("cycles", "server incarnations; all but the last "
+                            "die by SIGKILL (default 3)",
+                  &o.cycles)
+        .u64Flag("kill-after", "acked updates per cycle before the "
+                               "kill (default 250)",
+                 &o.killAfter)
+        .u64Flag("seed", "deterministic scenario seed", &o.seed)
+        .u64Flag("induce-degraded-ms", "server only: induced Degraded "
+                                       "window after start",
+                 &o.induceDegradedMs);
+    if (!flags.parseStrict(argc, argv))
+        return flags.helpRequested() ? 0 : 2;
+
+    if (o.role == "server")
+        return serverMain(o);
+    if (o.role != "driver") {
+        std::fprintf(stderr, "service_soak: unknown --role '%s'\n",
+                     o.role.c_str());
+        return 2;
+    }
+    if (o.cycles < 2) {
+        std::fprintf(stderr,
+                     "service_soak: --cycles must be >= 2\n");
+        return 2;
+    }
+
+    telemetry::TelemetrySession session(topts);
+    int rc = driverMain(o, session);
+    session.finish();
+    return rc;
+}

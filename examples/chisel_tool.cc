@@ -14,15 +14,29 @@
  *   example_chisel_tool snapshot   <table.txt> <image>
  *   example_chisel_tool recover    <table.txt> <journal|-> [image]
  *   example_chisel_tool journal-dump <journal>
+ *
+ * RPC service subcommands (docs/service.md; strict --flag parsing):
+ *   example_chisel_tool serve    --port=N [--table=f] [--journal=f] ...
+ *   example_chisel_tool lookup   --port=N --key=ADDR [--key=ADDR ...]
+ *   example_chisel_tool announce --port=N --prefix=CIDR --next-hop=N
+ *   example_chisel_tool withdraw --port=N --prefix=CIDR
+ * (`lookup` with positional arguments stays the local benchmark.)
  */
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <thread>
 
+#include "concurrent/concurrent_engine.hh"
 #include "core/engine.hh"
+#include "health/monitor.hh"
+#include "net/client.hh"
+#include "net/server.hh"
 #include "persist/journal.hh"
 #include "persist/recovery.hh"
 #include "persist/snapshot.hh"
@@ -30,6 +44,7 @@
 #include "route/synth.hh"
 #include "route/updates.hh"
 #include "sim/stats.hh"
+#include "telemetry/cli.hh"
 
 namespace {
 
@@ -47,7 +62,12 @@ usage()
         "  chisel_tool replay    <table.txt> <trace.txt> [journal]\n"
         "  chisel_tool snapshot  <table.txt> <image>\n"
         "  chisel_tool recover   <table.txt> <journal|-> [image]\n"
-        "  chisel_tool journal-dump <journal>\n");
+        "  chisel_tool journal-dump <journal>\n"
+        "service subcommands (--help on each for flags):\n"
+        "  chisel_tool serve    --port=N [--table=f] [--journal=f]\n"
+        "  chisel_tool lookup   --port=N --key=ADDR [--key=ADDR ...]\n"
+        "  chisel_tool announce --port=N --prefix=CIDR --next-hop=N\n"
+        "  chisel_tool withdraw --port=N --prefix=CIDR\n");
     return 2;
 }
 
@@ -333,6 +353,308 @@ journalDump(int argc, char **argv)
     return 0;
 }
 
+// ---- RPC service subcommands (docs/service.md) -----------------------
+
+net::ChiselService *g_serveService = nullptr;
+
+extern "C" void
+serveSignal(int)
+{
+    // Async-signal-safe: requestDrain is an atomic store plus one
+    // write(2) to the service's self-pipe.
+    if (g_serveService != nullptr)
+        g_serveService->requestDrain();
+}
+
+int
+serveCmd(int argc, char **argv)
+{
+    std::string tablePath, journalPath, snapshotPath, portFile;
+    uint64_t port = 0, induceDegradedMs = 0;
+    net::ServiceOptions sopts;
+    uint64_t maxConnections = sopts.maxConnections;
+    uint64_t maxOutputBytes = sopts.maxOutputBytes;
+    uint64_t idleTimeoutMs = sopts.idleTimeoutMs;
+    uint64_t writeStallMs = sopts.writeStallMs;
+    uint64_t drainDeadlineMs = sopts.drainDeadlineMs;
+
+    telemetry::FlagTable flags(
+        "chisel_tool serve",
+        "Serve lookup/update RPCs until SIGTERM drains gracefully");
+    flags.u64Flag("port", "loopback port to bind (0 = ephemeral)",
+                  &port)
+        .stringFlag("table", "initial routing table file", &tablePath)
+        .stringFlag("journal",
+                    "journal path: recover from it, then append "
+                    "(the durable-ack gate)",
+                    &journalPath)
+        .stringFlag("snapshot",
+                    "snapshot path: recovery input and drain output",
+                    &snapshotPath)
+        .stringFlag("port-file",
+                    "write the bound port here once listening",
+                    &portFile)
+        .u64Flag("max-connections", "refuse connections past this",
+                 &maxConnections)
+        .u64Flag("max-output-bytes",
+                 "per-connection reply-queue bound (backpressure)",
+                 &maxOutputBytes)
+        .u64Flag("idle-timeout-ms", "drop idle connections after this",
+                 &idleTimeoutMs)
+        .u64Flag("write-stall-ms",
+                 "drop connections whose writes make no progress",
+                 &writeStallMs)
+        .u64Flag("drain-deadline-ms", "graceful-drain flush budget",
+                 &drainDeadlineMs)
+        .u64Flag("induce-degraded-ms",
+                 "shed demo: serve this long with Degraded induced",
+                 &induceDegradedMs);
+    // Telemetry flags (--metrics-json, --introspect-port, ...) are
+    // stripped leniently first; the rest must parse strictly.
+    telemetry::TelemetryOptions topts =
+        telemetry::TelemetryOptions::parse(argc, argv);
+    if (!flags.parseStrict(argc, argv))
+        return flags.helpRequested() ? 0 : 2;
+
+    // Boot state: recover when any durable input is named, else the
+    // table file, else empty.
+    RoutingTable table;
+    ChiselConfig config;
+    if (!journalPath.empty() || !snapshotPath.empty()) {
+        persist::RecoveryOptions ropts;
+        ropts.journalPath = journalPath;
+        ropts.snapshotPath = snapshotPath;
+        if (!tablePath.empty())
+            ropts.initialTable = readTableFile(tablePath);
+        ropts.config = configFor(ropts.initialTable);
+        persist::RecoveryReport rec = persist::recoverEngine(ropts);
+        std::printf("recovered %zu routes (source=%s, last-seq=%llu)\n",
+                    rec.engine->routeCount(),
+                    persist::recoverySourceName(rec.source),
+                    static_cast<unsigned long long>(rec.lastSeq));
+        table = rec.engine->exportTable();
+        config = rec.engine->config();
+    } else if (!tablePath.empty()) {
+        table = readTableFile(tablePath);
+        config = configFor(table);
+    }
+
+    std::unique_ptr<persist::UpdateJournal> journal;
+    if (!journalPath.empty())
+        journal = std::make_unique<persist::UpdateJournal>(
+            journalPath, configFingerprint(config));
+
+    telemetry::TelemetrySession session(topts);
+    concurrent::ConcurrentChisel engine(table, config);
+
+    sopts.port = static_cast<uint16_t>(port);
+    sopts.maxConnections = maxConnections;
+    sopts.maxOutputBytes = maxOutputBytes;
+    sopts.idleTimeoutMs = static_cast<int>(idleTimeoutMs);
+    sopts.writeStallMs = static_cast<int>(writeStallMs);
+    sopts.drainDeadlineMs = static_cast<int>(drainDeadlineMs);
+    sopts.drainSnapshotPath = snapshotPath;
+    if (session.enabled())
+        sopts.metrics = &session.registry();
+    session.attachIntrospection(engine);
+    net::ChiselService service(engine, journal.get(), sopts);
+    if (!service.start())
+        return 1;
+    if (induceDegradedMs > 0)
+        service.induceHealth(health::HealthState::Degraded,
+                             static_cast<int>(induceDegradedMs));
+    if (!portFile.empty()) {
+        std::ofstream pf(portFile);
+        pf << service.port() << "\n";
+    }
+
+    g_serveService = &service;
+    std::signal(SIGTERM, serveSignal);
+    std::signal(SIGINT, serveSignal);
+    std::printf("serving %zu routes on 127.0.0.1:%u "
+                "(SIGTERM drains)\n",
+                engine.routeCount(), service.port());
+    std::fflush(stdout);
+
+    while (service.running())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    g_serveService = nullptr;
+    service.stop();
+
+    net::ServiceStats s = service.stats();
+    std::printf("served %llu requests (%llu lookup keys, %llu updates "
+                "applied, %llu acked, %llu unacked, %llu shed, "
+                "%llu bad)\n",
+                static_cast<unsigned long long>(s.requests),
+                static_cast<unsigned long long>(s.lookupKeys),
+                static_cast<unsigned long long>(s.updatesApplied),
+                static_cast<unsigned long long>(s.acked),
+                static_cast<unsigned long long>(s.unacked),
+                static_cast<unsigned long long>(s.shedUpdates),
+                static_cast<unsigned long long>(s.badRequests));
+    std::printf("drain %s\n", s.drained ? "flushed every reply"
+                                        : "hit its deadline");
+    session.finish();
+    return 0;
+}
+
+/** Parse an address (or CIDR) into a lookup key. */
+bool
+parseKeyToken(const std::string &token, Key128 &key)
+{
+    try {
+        std::string cidr = token;
+        if (cidr.find('/') == std::string::npos)
+            cidr += cidr.find(':') != std::string::npos ? "/128"
+                                                        : "/32";
+        Prefix p = cidr.find(':') != std::string::npos
+                       ? Prefix::fromCidr6(cidr)
+                       : Prefix::fromCidr(cidr);
+        key = p.bits();
+        return true;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bad key %s: %s\n", token.c_str(),
+                     e.what());
+        return false;
+    }
+}
+
+bool
+parsePrefixFlag(const std::string &token, Prefix &prefix)
+{
+    try {
+        prefix = token.find(':') != std::string::npos
+                     ? Prefix::fromCidr6(token)
+                     : Prefix::fromCidr(token);
+        return true;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bad prefix %s: %s\n", token.c_str(),
+                     e.what());
+        return false;
+    }
+}
+
+void
+registerClientFlags(telemetry::FlagTable &flags, uint64_t *port,
+                    uint64_t *timeout_ms, uint64_t *attempts)
+{
+    flags.u64Flag("port", "loopback port of the service", port)
+        .u64Flag("timeout-ms", "whole-call deadline spanning retries",
+                 timeout_ms)
+        .u64Flag("attempts", "attempts per call (1 = no retry)",
+                 attempts);
+}
+
+net::ClientOptions
+clientOptionsFrom(uint64_t port, uint64_t timeout_ms,
+                  uint64_t attempts)
+{
+    net::ClientOptions copts;
+    copts.port = static_cast<uint16_t>(port);
+    copts.requestTimeoutMs = static_cast<int>(timeout_ms);
+    copts.maxAttempts = static_cast<int>(attempts);
+    return copts;
+}
+
+int
+rpcLookup(int argc, char **argv)
+{
+    uint64_t port = 0, timeoutMs = 1000, attempts = 4;
+    std::vector<Key128> keys;
+    std::vector<std::string> tokens;
+    telemetry::FlagTable flags(
+        "chisel_tool lookup",
+        "Batched lookup RPC against a running serve instance");
+    registerClientFlags(flags, &port, &timeoutMs, &attempts);
+    flags.flag("key", "ADDR",
+               "address (or CIDR) to look up; repeatable",
+               [&](const std::string &v) {
+                   Key128 k;
+                   if (!parseKeyToken(v, k))
+                       return false;
+                   keys.push_back(k);
+                   tokens.push_back(v);
+                   return true;
+               });
+    if (!flags.parseStrict(argc, argv))
+        return flags.helpRequested() ? 0 : 2;
+    if (keys.empty() || port == 0) {
+        std::fprintf(stderr, "need --port and at least one --key\n");
+        return 2;
+    }
+
+    net::ServiceClient client(
+        clientOptionsFrom(port, timeoutMs, attempts));
+    net::LookupCallResult r = client.lookup(keys);
+    if (r.status != net::CallStatus::Ok) {
+        std::fprintf(stderr, "lookup failed: %s\n",
+                     net::callStatusName(r.status));
+        return 1;
+    }
+    for (size_t i = 0; i < r.results.size(); ++i) {
+        const net::WireLookup &w = r.results[i];
+        if (w.found)
+            std::printf("%s -> next-hop %u (matched /%u)\n",
+                        tokens[i].c_str(), w.nextHop,
+                        w.matchedLength);
+        else
+            std::printf("%s -> no route\n", tokens[i].c_str());
+    }
+    std::printf("generation %llu\n",
+                static_cast<unsigned long long>(r.generation));
+    return 0;
+}
+
+int
+rpcUpdate(int argc, char **argv, UpdateKind kind)
+{
+    const bool announce = kind == UpdateKind::Announce;
+    uint64_t port = 0, timeoutMs = 1000, attempts = 4;
+    uint64_t nextHop = 0, ttlMs = 0;
+    std::string prefixToken;
+    telemetry::FlagTable flags(
+        announce ? "chisel_tool announce" : "chisel_tool withdraw",
+        announce ? "Announce a route through the RPC service"
+                 : "Withdraw a route through the RPC service");
+    registerClientFlags(flags, &port, &timeoutMs, &attempts);
+    flags.stringFlag("prefix", "CIDR prefix", &prefixToken);
+    if (announce)
+        flags.u64Flag("next-hop", "next hop id", &nextHop)
+            .u64Flag("ttl-ms", "route TTL (0 = config default)",
+                     &ttlMs);
+    if (!flags.parseStrict(argc, argv))
+        return flags.helpRequested() ? 0 : 2;
+    if (prefixToken.empty() || port == 0) {
+        std::fprintf(stderr, "need --port and --prefix\n");
+        return 2;
+    }
+
+    Update u;
+    u.kind = kind;
+    if (!parsePrefixFlag(prefixToken, u.prefix))
+        return 2;
+    u.nextHop = static_cast<NextHop>(nextHop);
+    u.ttlMs = static_cast<uint32_t>(ttlMs);
+
+    net::ServiceClient client(
+        clientOptionsFrom(port, timeoutMs, attempts));
+    net::UpdateCallResult r = client.update({u});
+    if (r.status != net::CallStatus::Ok) {
+        std::fprintf(stderr, "%s failed: %s\n",
+                     announce ? "announce" : "withdraw",
+                     net::callStatusName(r.status));
+        return 1;
+    }
+    const net::WireAck &a = r.acks.at(0);
+    std::printf("%s %s: %s (seq %llu, durable through %llu)\n",
+                announce ? "announce" : "withdraw",
+                prefixToken.c_str(),
+                a.acked ? "acked durable" : "NOT acked",
+                static_cast<unsigned long long>(a.seq),
+                static_cast<unsigned long long>(r.durableSeq));
+    return a.acked ? 0 : 1;
+}
+
 } // anonymous namespace
 
 int
@@ -346,8 +668,19 @@ main(int argc, char **argv)
         return genTrace(argc, argv);
     if (std::strcmp(argv[1], "info") == 0)
         return info(argc, argv);
-    if (std::strcmp(argv[1], "lookup") == 0)
+    if (std::strcmp(argv[1], "lookup") == 0) {
+        // Flag-style arguments select the RPC client; positional
+        // arguments keep the historic local benchmark.
+        if (argc > 2 && std::strncmp(argv[2], "--", 2) == 0)
+            return rpcLookup(argc, argv);
         return lookupBench(argc, argv);
+    }
+    if (std::strcmp(argv[1], "serve") == 0)
+        return serveCmd(argc, argv);
+    if (std::strcmp(argv[1], "announce") == 0)
+        return rpcUpdate(argc, argv, UpdateKind::Announce);
+    if (std::strcmp(argv[1], "withdraw") == 0)
+        return rpcUpdate(argc, argv, UpdateKind::Withdraw);
     if (std::strcmp(argv[1], "replay") == 0)
         return replay(argc, argv);
     if (std::strcmp(argv[1], "snapshot") == 0)

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Fuzz target for the RPC request decoder (src/net/rpc.hh): the
+ * server-side MessageReader is the first code to touch bytes from an
+ * untrusted network peer, so every malformed stream — torn frames,
+ * tampered lengths, corrupt CRCs, truncated batches, trailing bytes,
+ * giant claimed counts — must come back as a clean poison, never as
+ * undefined behaviour or unbounded allocation.
+ *
+ * Two builds from this one source:
+ *
+ *   - With CHISEL_HAVE_LIBFUZZER (clang -fsanitize=fuzzer): a
+ *     standard LLVMFuzzerTestOneInput entry point.
+ *
+ *   - Without it: a self-driving regression harness replaying seeded
+ *     structure-aware mutations through the same TestOneInput body.
+ *     This is what the sanitizer CI leg runs — no libFuzzer runtime
+ *     required.
+ *
+ * Usage (fallback driver):
+ *     fuzz_wire [--iterations=N] [--seed=S] [file...]
+ * Any file arguments are replayed first (crash reproducers).
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "net/rpc.hh"
+#include "route/updates.hh"
+
+namespace {
+
+using namespace chisel;
+
+/** The body both builds share: chunk-feed @p data to the reader. */
+void
+testOneInput(const uint8_t *data, size_t size)
+{
+    net::MessageReader reader;
+
+    // Derive a chunking rhythm from the head of the input, so the
+    // corpus explores chunk boundaries as well as content.
+    size_t rhythm = 1;
+    if (size > 0)
+        rhythm = 1 + (size_t(data[0]) |
+                      (size > 1 ? size_t(data[1]) << 4 : 0)) % 257;
+
+    size_t fed = 0;
+    net::RpcMessage msg;
+    while (fed < size) {
+        size_t chunk = std::min(rhythm, size - fed);
+        reader.feed(data + fed, chunk);
+        fed += chunk;
+        while (reader.next(msg)) {
+            // A decoded message must respect the batch invariants the
+            // server relies on without re-checking.
+            if (msg.keys.size() > net::kMaxRpcBatch ||
+                msg.updates.size() > net::kMaxRpcBatch ||
+                msg.lookups.size() > net::kMaxRpcBatch ||
+                msg.acks.size() > net::kMaxRpcBatch)
+                std::abort();
+        }
+        if (reader.bad()) {
+            // Poison is permanent: further bytes — even a valid
+            // frame — must be swallowed without yielding a message.
+            reader.feed(data + fed, size - fed);
+            std::vector<uint8_t> good =
+                net::encodeMessage(net::makePing(1));
+            reader.feed(good.data(), good.size());
+            net::RpcMessage after;
+            if (reader.next(after))
+                std::abort();  // next() after poison is a bug.
+            break;
+        }
+    }
+}
+
+} // anonymous namespace
+
+#if CHISEL_HAVE_LIBFUZZER
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    testOneInput(data, size);
+    return 0;
+}
+
+#else // fallback driver: seeded structure-aware mutations
+
+namespace {
+
+std::vector<uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+}
+
+void
+appendMessage(std::vector<uint8_t> &stream, const net::RpcMessage &msg)
+{
+    std::vector<uint8_t> wire = net::encodeMessage(msg);
+    stream.insert(stream.end(), wire.begin(), wire.end());
+}
+
+/** Valid seed: one message of every type, in pipeline order. */
+void
+buildSeeds(std::vector<std::vector<uint8_t>> &seeds)
+{
+    std::vector<Key128> keys;
+    for (uint32_t i = 0; i < 5; ++i)
+        keys.push_back(Key128::fromIpv4(0x0A000000u + i));
+
+    std::vector<Update> updates;
+    Update a;
+    a.kind = UpdateKind::Announce;
+    a.prefix = Prefix(Key128::fromIpv4(0xC0A80000u), 16);
+    a.nextHop = 7;
+    updates.push_back(a);
+    Update w;
+    w.kind = UpdateKind::Withdraw;
+    w.prefix = Prefix(Key128::fromIpv4(0x0A000000u), 8);
+    updates.push_back(w);
+
+    std::vector<net::WireLookup> lookups(3);
+    lookups[0].found = true;
+    lookups[0].nextHop = 42;
+    lookups[0].matchedLength = 24;
+
+    std::vector<net::WireAck> acks(2);
+    acks[0].acked = true;
+    acks[0].seq = 11;
+
+    std::vector<uint8_t> stream;
+    appendMessage(stream, net::makeLookupRequest(1, keys));
+    appendMessage(stream, net::makeLookupReply(1, 9, lookups));
+    appendMessage(stream, net::makeUpdateRequest(2, updates));
+    appendMessage(stream, net::makeUpdateReply(2, 11, acks));
+    appendMessage(stream, net::makePing(3));
+    appendMessage(stream, net::makePong(3, 1, false, 9, 1234));
+    appendMessage(stream,
+                  net::makeStatus(4, net::StatusCode::Overloaded, 50));
+    seeds.push_back(stream);
+
+    // A lone update request, so truncations land inside the batch
+    // decode more often.
+    std::vector<uint8_t> one;
+    appendMessage(one, net::makeUpdateRequest(5, updates));
+    seeds.push_back(one);
+}
+
+std::vector<uint8_t>
+mutate(const std::vector<std::vector<uint8_t>> &seeds, Rng &rng)
+{
+    const std::vector<uint8_t> &base =
+        seeds[rng.next64() % seeds.size()];
+    std::vector<uint8_t> out;
+
+    switch (rng.next64() % 6) {
+      case 0:   // Truncate (mid-frame connection reset).
+        out.assign(base.begin(),
+                   base.begin() +
+                       (base.empty() ? 0 : rng.next64() % base.size()));
+        break;
+      case 1: { // Bit flips.
+        out = base;
+        size_t flips = 1 + rng.next64() % 8;
+        for (size_t i = 0; i < flips && !out.empty(); ++i)
+            out[rng.next64() % out.size()] ^=
+                uint8_t(1u << (rng.next64() % 8));
+        break;
+      }
+      case 2: { // Splice two seeds (reconnect mid-frame).
+        const std::vector<uint8_t> &other =
+            seeds[rng.next64() % seeds.size()];
+        size_t a = base.empty() ? 0 : rng.next64() % base.size();
+        size_t b = other.empty() ? 0 : rng.next64() % other.size();
+        out.assign(base.begin(), base.begin() + a);
+        out.insert(out.end(), other.begin() + b, other.end());
+        break;
+      }
+      case 3: { // Random buffer, valid-ish length.
+        out.resize(rng.next64() % 512);
+        for (uint8_t &byte : out)
+            byte = uint8_t(rng.next64());
+        break;
+      }
+      case 4: { // Tamper with a length or batch-count field.
+        out = base;
+        if (out.size() >= 4) {
+            uint32_t val = rng.next64() % 2 == 0
+                               ? uint32_t(rng.next64())
+                               : uint32_t(rng.next64() % 16);
+            // Offset 0 is the frame length; offset 17 is the batch
+            // count of a LookupRequest/UpdateRequest payload.
+            size_t at = rng.next64() % 2 == 0 ? 0 : 17;
+            if (at + sizeof(val) <= out.size())
+                std::memcpy(out.data() + at, &val, sizeof(val));
+        }
+        break;
+      }
+      default: { // Overwrite a random run with random bytes.
+        out = base;
+        if (!out.empty()) {
+            size_t at = rng.next64() % out.size();
+            size_t run = 1 + rng.next64() % 64;
+            for (size_t i = at; i < out.size() && i < at + run; ++i)
+                out[i] = uint8_t(rng.next64());
+        }
+        break;
+      }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t iterations = 20000;
+    uint64_t seed = 1;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--iterations=", 13) == 0)
+            iterations = std::strtoull(argv[i] + 13, nullptr, 10);
+        else if (std::strncmp(argv[i], "--seed=", 7) == 0)
+            seed = std::strtoull(argv[i] + 7, nullptr, 10);
+        else
+            files.push_back(argv[i]);
+    }
+
+    // Reproducers first.
+    for (const std::string &path : files) {
+        std::vector<uint8_t> bytes = readFile(path);
+        std::printf("replaying %s (%zu bytes)\n", path.c_str(),
+                    bytes.size());
+        testOneInput(bytes.data(), bytes.size());
+    }
+
+    std::vector<std::vector<uint8_t>> seeds;
+    buildSeeds(seeds);
+    // The unmutated seeds must of course parse cleanly too.
+    for (const auto &s : seeds)
+        testOneInput(s.data(), s.size());
+
+    Rng rng(seed);
+    for (size_t i = 0; i < iterations; ++i) {
+        std::vector<uint8_t> input = mutate(seeds, rng);
+        testOneInput(input.data(), input.size());
+    }
+    std::printf("fuzz_wire: %zu mutations ok (seed %llu)\n",
+                iterations, static_cast<unsigned long long>(seed));
+    return 0;
+}
+
+#endif // CHISEL_HAVE_LIBFUZZER

@@ -76,6 +76,10 @@ faultPointName(FaultPoint p)
       case FaultPoint::JournalTornWrite: return "journal_torn_write";
       case FaultPoint::SnapshotCorrupt: return "snapshot_corrupt";
       case FaultPoint::JournalIoError: return "journal_io_error";
+      case FaultPoint::NetStalledPeer: return "net_stalled_peer";
+      case FaultPoint::NetPartialWrite: return "net_partial_write";
+      case FaultPoint::NetMidFrameReset: return "net_mid_frame_reset";
+      case FaultPoint::NetAcceptStorm: return "net_accept_storm";
       case FaultPoint::kCount: break;
     }
     return "unknown";

@@ -108,6 +108,35 @@ enum class FaultPoint : uint8_t
      */
     JournalIoError,
 
+    /**
+     * The RPC service stops draining one connection's output queue
+     * this poll round, as if the peer's receive window were stuck at
+     * zero (the stalled-peer model).  Exercises the bounded output
+     * queue and the write-stall disconnect (docs/service.md).
+     */
+    NetStalledPeer,
+
+    /**
+     * The RPC service writes only a prefix of the bytes it meant to
+     * send this round, leaving the rest queued — a short write under
+     * socket-buffer pressure.  Exercises partial-write resumption.
+     */
+    NetPartialWrite,
+
+    /**
+     * The RPC service hard-closes a connection after writing part of
+     * a frame, so the client's reader sees a truncated frame at the
+     * reset.  Exercises client-side poison-and-reconnect.
+     */
+    NetMidFrameReset,
+
+    /**
+     * An accepted connection is closed immediately, before any byte
+     * is served (the accept-storm / overload-refusal model).
+     * Exercises client connect-retry with backoff.
+     */
+    NetAcceptStorm,
+
     kCount,
 };
 

@@ -57,6 +57,22 @@ AdmissionController::takeToken(UpdateKind kind)
     return true;
 }
 
+bool
+AdmissionController::tryAdmit(UpdateKind kind, Clock::time_point now)
+{
+    if (!options_.enabled) {
+        ++counters_.admitted;
+        return true;
+    }
+    refill(now);
+    if (!takeToken(kind)) {
+        ++counters_.deferred;
+        return false;
+    }
+    ++counters_.admitted;
+    return true;
+}
+
 void
 AdmissionController::stage(const Update &update)
 {

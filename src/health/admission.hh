@@ -121,6 +121,18 @@ class AdmissionController
                             Clock::time_point now = Clock::now());
 
     /**
+     * Fail-fast admission probe for callers with no staging buffer —
+     * the RPC front end (src/net/server.hh), which must answer
+     * Overloaded *now* rather than park an update it has already
+     * promised a reply for.  Refills the buckets and takes one token
+     * for @p kind; @return false when the class is out of tokens
+     * (counted as a deferral).  Watermarks do not apply: the caller
+     * has no queue, only buckets.  Same single-caller contract as
+     * offer().
+     */
+    bool tryAdmit(UpdateKind kind, Clock::time_point now = Clock::now());
+
+    /**
      * Park @p update unconditionally (coalescing with any staged
      * entry for the same prefix) — the escape hatch for a push that
      * raced the queue to full.

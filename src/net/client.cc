@@ -1,0 +1,268 @@
+#include "net/client.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/clock.hh"
+#include "net/socket.hh"
+
+namespace chisel::net {
+
+namespace {
+
+constexpr uint64_t kMsNs = 1000000ull;
+
+} // anonymous namespace
+
+const char *
+callStatusName(CallStatus s)
+{
+    switch (s) {
+      case CallStatus::Ok: return "ok";
+      case CallStatus::Overloaded: return "overloaded";
+      case CallStatus::Draining: return "draining";
+      case CallStatus::Timeout: return "timeout";
+      case CallStatus::Disconnected: return "disconnected";
+      case CallStatus::BadReply: return "bad_reply";
+      case CallStatus::Rejected: return "rejected";
+    }
+    return "?";
+}
+
+ServiceClient::ServiceClient(const ClientOptions &options)
+    : options_(options), rng_(options.seed)
+{}
+
+ServiceClient::~ServiceClient()
+{
+    disconnect();
+}
+
+void
+ServiceClient::disconnect()
+{
+    if (fd_ >= 0) {
+        closeFd(fd_);
+        fd_ = -1;
+    }
+    // The stream restarts clean after a reconnect: any half-received
+    // reply dies with the old reader, so ids can never cross streams.
+    reader_ = MessageReader();
+}
+
+bool
+ServiceClient::ensureConnected()
+{
+    if (fd_ >= 0)
+        return true;
+    fd_ = connectLoopback(options_.port);
+    if (fd_ < 0)
+        return false;
+    ++stats_.reconnects;
+    return true;
+}
+
+void
+ServiceClient::backoff(int attempt, uint64_t server_hint_ms,
+                       uint64_t deadline_ns)
+{
+    // Exponential with full jitter; a server retry-after hint sets
+    // the floor of the window instead of replacing it.
+    uint64_t cap = static_cast<uint64_t>(options_.backoffMaxMs);
+    uint64_t window = static_cast<uint64_t>(options_.backoffBaseMs)
+                      << std::min(attempt, 16);
+    window = std::min(window, cap);
+    uint64_t delay_ms = window > 0 ? rng_.nextBelow(window + 1) : 0;
+    delay_ms = std::max(delay_ms, server_hint_ms);
+    delay_ms = std::min(delay_ms, cap);
+
+    uint64_t now = monotonicNowNs();
+    if (now >= deadline_ns)
+        return;
+    uint64_t budget_ms = (deadline_ns - now) / kMsNs;
+    delay_ms = std::min(delay_ms, budget_ms);
+    if (delay_ms > 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay_ms));
+}
+
+CallStatus
+ServiceClient::awaitReply(uint64_t request_id, MsgType expected_reply,
+                          uint64_t deadline_ns, RpcMessage &reply)
+{
+    while (true) {
+        RpcMessage msg;
+        while (reader_.next(msg)) {
+            if (msg.id != request_id) {
+                // A leftover reply from a request this stream never
+                // made — only possible if framing went wrong.
+                disconnect();
+                return CallStatus::BadReply;
+            }
+            if (msg.type == MsgType::Status) {
+                switch (static_cast<StatusCode>(msg.statusCode)) {
+                  case StatusCode::Overloaded:
+                    reply = msg;
+                    return CallStatus::Overloaded;
+                  case StatusCode::Draining:
+                    reply = msg;
+                    return CallStatus::Draining;
+                  case StatusCode::BadRequest:
+                    return CallStatus::Rejected;
+                }
+                disconnect();
+                return CallStatus::BadReply;
+            }
+            if (msg.type != expected_reply) {
+                disconnect();
+                return CallStatus::BadReply;
+            }
+            reply = std::move(msg);
+            return CallStatus::Ok;
+        }
+        if (reader_.bad()) {
+            disconnect();
+            return CallStatus::Disconnected;
+        }
+
+        uint64_t now = monotonicNowNs();
+        if (now >= deadline_ns) {
+            // The deadline fired with a reply possibly still in
+            // flight.  Keeping the stream would desynchronise ids, so
+            // the connection goes too.
+            disconnect();
+            return CallStatus::Timeout;
+        }
+        int wait_ms = static_cast<int>(std::min<uint64_t>(
+            (deadline_ns - now) / kMsNs + 1,
+            static_cast<uint64_t>(options_.recvTimeoutMs)));
+        uint8_t buf[4096];
+        int n = recvSome(fd_, buf, sizeof(buf), wait_ms);
+        if (n > 0)
+            reader_.feed(buf, static_cast<size_t>(n));
+        else if (n < 0) {
+            disconnect();
+            return CallStatus::Disconnected;
+        }
+        // n == 0: poll timeout; loop re-checks the deadline.
+    }
+}
+
+CallStatus
+ServiceClient::call(const RpcMessage &request, MsgType expected_reply,
+                    RpcMessage &reply)
+{
+    ++stats_.calls;
+    uint64_t deadline_ns =
+        monotonicNowNs() +
+        static_cast<uint64_t>(options_.requestTimeoutMs) * kMsNs;
+    CallStatus last = CallStatus::Timeout;
+
+    for (int attempt = 0; attempt < options_.maxAttempts; ++attempt) {
+        if (monotonicNowNs() >= deadline_ns) {
+            ++stats_.timeouts;
+            return CallStatus::Timeout;
+        }
+        if (attempt > 0)
+            ++stats_.retries;
+        if (!ensureConnected()) {
+            last = CallStatus::Disconnected;
+            backoff(attempt, 0, deadline_ns);
+            continue;
+        }
+
+        RpcMessage req = request;
+        req.id = nextId_++;
+        std::vector<uint8_t> wire = encodeMessage(req);
+        if (!sendAll(fd_, wire.data(), wire.size())) {
+            disconnect();
+            last = CallStatus::Disconnected;
+            backoff(attempt, 0, deadline_ns);
+            continue;
+        }
+
+        last = awaitReply(req.id, expected_reply, deadline_ns, reply);
+        switch (last) {
+          case CallStatus::Ok:
+          case CallStatus::Rejected:
+          case CallStatus::BadReply:
+            return last;  // Retrying cannot change these.
+          case CallStatus::Timeout:
+            ++stats_.timeouts;
+            return last;  // The deadline is gone; no retry budget.
+          case CallStatus::Overloaded:
+            ++stats_.overloaded;
+            backoff(attempt, reply.retryAfterMs, deadline_ns);
+            break;
+          case CallStatus::Draining:
+            ++stats_.draining;
+            // A draining server never un-drains; reconnect to find
+            // its successor after the restart.
+            disconnect();
+            backoff(attempt, reply.retryAfterMs, deadline_ns);
+            break;
+          case CallStatus::Disconnected:
+            backoff(attempt, 0, deadline_ns);
+            break;
+        }
+    }
+    if (monotonicNowNs() >= deadline_ns &&
+        last != CallStatus::Overloaded && last != CallStatus::Draining)
+        last = CallStatus::Timeout;
+    return last;
+}
+
+LookupCallResult
+ServiceClient::lookup(const std::vector<Key128> &keys)
+{
+    LookupCallResult out;
+    RpcMessage reply;
+    out.status = call(makeLookupRequest(0, keys),
+                      MsgType::LookupReply, reply);
+    if (out.status != CallStatus::Ok)
+        return out;
+    if (reply.lookups.size() != keys.size()) {
+        disconnect();
+        out.status = CallStatus::BadReply;
+        return out;
+    }
+    out.generation = reply.generation;
+    out.results = std::move(reply.lookups);
+    return out;
+}
+
+UpdateCallResult
+ServiceClient::update(const std::vector<Update> &updates)
+{
+    UpdateCallResult out;
+    RpcMessage reply;
+    out.status = call(makeUpdateRequest(0, updates),
+                      MsgType::UpdateReply, reply);
+    if (out.status != CallStatus::Ok)
+        return out;
+    if (reply.acks.size() != updates.size()) {
+        disconnect();
+        out.status = CallStatus::BadReply;
+        return out;
+    }
+    out.durableSeq = reply.durableSeq;
+    out.acks = std::move(reply.acks);
+    return out;
+}
+
+PingCallResult
+ServiceClient::ping()
+{
+    PingCallResult out;
+    RpcMessage reply;
+    out.status = call(makePing(0), MsgType::Pong, reply);
+    if (out.status != CallStatus::Ok)
+        return out;
+    out.health = reply.health;
+    out.draining = reply.draining;
+    out.generation = reply.generation;
+    out.routes = reply.routes;
+    return out;
+}
+
+} // namespace chisel::net

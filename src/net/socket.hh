@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared loopback-socket plumbing (docs/service.md).
+ *
+ * Three subsystems talk TCP on 127.0.0.1 — the introspection endpoint
+ * (src/obs/introspect.cc), the replication transport
+ * (src/replica/transport.cc) and the RPC service (src/net/server.cc)
+ * — and before this header each carried its own copy of the same
+ * dozen lines of socket/bind/listen/poll boilerplate.  These helpers
+ * are that boilerplate, written once:
+ *
+ *  - listener setup with SO_REUSEADDR, loopback-only binding and
+ *    ephemeral-port resolution via getsockname;
+ *  - poll-gated accept and connect;
+ *  - sendAll / recvSome with the ByteStream return convention
+ *    (> 0 bytes, 0 timeout, -1 closed or failed) used everywhere a
+ *    deadline loop sits above a socket.
+ *
+ * Everything here is dependency-free POSIX; errors are reported
+ * through return values (never exceptions) because every caller has
+ * its own recovery policy — drop the connection, retry, or warn and
+ * serve without the endpoint.
+ */
+
+#ifndef CHISEL_NET_SOCKET_HH
+#define CHISEL_NET_SOCKET_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace chisel::net {
+
+/**
+ * Create a loopback listening socket bound to 127.0.0.1:@p port
+ * (0 = kernel-chosen ephemeral port) with SO_REUSEADDR.
+ *
+ * @param backlog listen(2) backlog.
+ * @param resolved_port When non-null receives the actually bound
+ *        port (resolves port 0 via getsockname).
+ * @return the listening fd, or -1 on any failure (errno is left for
+ *         the caller's diagnostics).
+ */
+int listenLoopback(uint16_t port, int backlog,
+                   uint16_t *resolved_port = nullptr);
+
+/**
+ * Accept one connection from @p listen_fd, waiting at most
+ * @p timeout_ms in poll.  TCP_NODELAY is set on the accepted socket
+ * when @p nodelay (RPC and replication frames are latency-bound;
+ * plain HTTP does not care but does not mind).
+ *
+ * @return the connected fd, or -1 on timeout or error.
+ */
+int acceptOn(int listen_fd, int timeout_ms, bool nodelay = true);
+
+/**
+ * Connect to 127.0.0.1:@p port with TCP_NODELAY.  Loopback connects
+ * complete or fail immediately, so @p timeout_ms only bounds the
+ * rare in-kernel stall.  @return the fd, or -1 on refusal/failure.
+ */
+int connectLoopback(uint16_t port, int timeout_ms = 1000);
+
+/** Switch @p fd in or out of O_NONBLOCK.  @return success. */
+bool setNonBlocking(int fd, bool nonblocking = true);
+
+/** Set TCP_NODELAY on @p fd.  @return success. */
+bool setNoDelay(int fd);
+
+/**
+ * Poll @p fd for readability.  @return 1 when readable, 0 on
+ * timeout, -1 on poll failure (EINTR reads as a timeout: callers sit
+ * in deadline loops and simply come back).
+ */
+int pollIn(int fd, int timeout_ms);
+
+/**
+ * Blocking send of the whole buffer (EINTR retried, SIGPIPE
+ * suppressed via MSG_NOSIGNAL).  @return false once the peer is
+ * gone; bytes already accepted may or may not have been delivered —
+ * exactly the guarantee TCP gives.
+ */
+bool sendAll(int fd, const void *data, size_t len);
+
+/**
+ * Receive up to @p len bytes, waiting at most @p timeout_ms for the
+ * first byte.  @return bytes read (> 0), 0 on timeout, -1 once the
+ * peer closed or the socket failed — the ByteStream convention.
+ */
+int recvSome(int fd, void *data, size_t len, int timeout_ms);
+
+/** close(2) if @p fd is valid; tolerates -1. */
+void closeFd(int fd);
+
+} // namespace chisel::net
+
+#endif // CHISEL_NET_SOCKET_HH

@@ -4,13 +4,10 @@
 #include <cstring>
 #include <sstream>
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "net/socket.hh"
 #include "concurrent/concurrent_engine.hh"
 #include "health/monitor.hh"
 #include "replica/follower.hh"
@@ -69,20 +66,6 @@ parseCountParam(const std::string &query, size_t fallback)
     return fallback;
 }
 
-void
-writeAll(int fd, const std::string &data)
-{
-    const char *p = data.data();
-    size_t n = data.size();
-    while (n > 0) {
-        ssize_t w = ::write(fd, p, n);
-        if (w <= 0)
-            return;
-        p += w;
-        n -= static_cast<size_t>(w);
-    }
-}
-
 } // anonymous namespace
 
 IntrospectionServer::~IntrospectionServer()
@@ -98,35 +81,13 @@ IntrospectionServer::start(uint16_t port)
              std::to_string(port_));
         return false;
     }
-    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    int fd = net::listenLoopback(port, 16, &port_);
     if (fd < 0) {
-        warn("introspection: socket() failed: " +
-             std::string(std::strerror(errno)));
-        return false;
-    }
-    int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-    sockaddr_in addr;
-    std::memset(&addr, 0, sizeof(addr));
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
-    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) != 0 ||
-        ::listen(fd, 16) != 0) {
-        warn("introspection: cannot bind 127.0.0.1:" +
+        warn("introspection: cannot listen on 127.0.0.1:" +
              std::to_string(port) + ": " +
              std::string(std::strerror(errno)));
-        ::close(fd);
         return false;
     }
-    socklen_t len = sizeof(addr);
-    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
-                      &len) == 0)
-        port_ = ntohs(addr.sin_port);
-    else
-        port_ = port;
 
     stopRequested_.store(false, std::memory_order_release);
     listenFd_ = fd;
@@ -153,15 +114,11 @@ void
 IntrospectionServer::serveLoop()
 {
     while (!stopRequested_.load(std::memory_order_acquire)) {
-        pollfd pfd{listenFd_, POLLIN, 0};
-        int ready = ::poll(&pfd, 1, 100);
-        if (ready <= 0)
-            continue;
-        int conn = ::accept(listenFd_, nullptr, nullptr);
+        int conn = net::acceptOn(listenFd_, 100, /*nodelay=*/false);
         if (conn < 0)
             continue;
         serveConnection(conn);
-        ::close(conn);
+        net::closeFd(conn);
     }
 }
 
@@ -175,10 +132,7 @@ IntrospectionServer::serveConnection(int fd)
     char buf[1024];
     while (request.size() < kMaxRequestBytes &&
            request.find("\r\n") == std::string::npos) {
-        pollfd pfd{fd, POLLIN, 0};
-        if (::poll(&pfd, 1, 500) <= 0)
-            break;
-        ssize_t r = ::read(fd, buf, sizeof(buf));
+        int r = net::recvSome(fd, buf, sizeof(buf), 500);
         if (r <= 0)
             break;
         request.append(buf, static_cast<size_t>(r));
@@ -198,7 +152,8 @@ IntrospectionServer::serveConnection(int fd)
         << "Content-Length: " << res.body.size() << "\r\n"
         << "Connection: close\r\n\r\n"
         << res.body;
-    writeAll(fd, out.str());
+    std::string reply = out.str();
+    net::sendAll(fd, reply.data(), reply.size());
 }
 
 IntrospectResponse

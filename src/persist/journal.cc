@@ -414,6 +414,19 @@ UpdateJournal::sync()
     syncTo(seq_);
 }
 
+bool
+UpdateJournal::ensureDurable(uint64_t seq)
+{
+    if (torn_ || ioFailed_)
+        return false;
+    if (durableSeq_ >= seq)
+        return true;
+    if (seq > seq_)
+        return false;   // Never appended; nothing to make durable.
+    syncTo(seq_);
+    return !ioFailed_ && durableSeq_ >= seq;
+}
+
 void
 UpdateJournal::syncTo(uint64_t head)
 {

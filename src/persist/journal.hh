@@ -184,6 +184,19 @@ class UpdateJournal
     void sync();
 
     /**
+     * Make sure every record up to @p seq is fsync-covered before
+     * acknowledging it: a no-op when lastDurableSeq() already covers
+     * @p seq, one sync() otherwise.  @return true iff @p seq is
+     * durable afterwards — false means the caller must NOT ack (the
+     * sync failed, or the journal was already unhealthy).  This is
+     * the ack gate of the RPC service (docs/service.md): under a
+     * batched fsync policy it narrows the acked-but-lost window to
+     * exactly zero without forcing fsync_every = 1 on the whole
+     * stream.
+     */
+    bool ensureDurable(uint64_t seq);
+
+    /**
      * False once any write/fsync has failed: the journal can no
      * longer uphold its durability contract, every later append is
      * refused, and the owner must stop acknowledging updates

@@ -1,16 +1,12 @@
 #include "replica/transport.hh"
 
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
-#include <cstring>
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "net/socket.hh"
 
 namespace chisel::replica {
 
@@ -147,42 +143,14 @@ TcpStream::~TcpStream()
 bool
 TcpStream::send(const uint8_t *data, size_t len)
 {
-    int fd = fd_.load(std::memory_order_acquire);
-    if (fd < 0)
-        return false;
-    size_t sent = 0;
-    while (sent < len) {
-        ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        sent += static_cast<size_t>(n);
-    }
-    return true;
+    return net::sendAll(fd_.load(std::memory_order_acquire), data, len);
 }
 
 int
 TcpStream::recv(uint8_t *data, size_t len, int timeout_ms)
 {
-    int fd = fd_.load(std::memory_order_acquire);
-    if (fd < 0)
-        return -1;
-    struct pollfd pfd = {};
-    pfd.fd = fd;
-    pfd.events = POLLIN;
-    int ready = ::poll(&pfd, 1, timeout_ms);
-    if (ready == 0)
-        return 0;
-    if (ready < 0)
-        return errno == EINTR ? 0 : -1;
-    ssize_t n = ::recv(fd, data, len, 0);
-    if (n == 0)
-        return -1;  // Orderly close.
-    if (n < 0)
-        return errno == EINTR ? 0 : -1;
-    return static_cast<int>(n);
+    return net::recvSome(fd_.load(std::memory_order_acquire), data,
+                         len, timeout_ms);
 }
 
 void
@@ -206,45 +174,20 @@ bool
 TcpListener::listen(uint16_t port)
 {
     close();
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0)
-        return false;
-    int one = 1;
-    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-    struct sockaddr_in addr = {};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
-    if (::bind(fd_, reinterpret_cast<struct sockaddr *>(&addr),
-               sizeof(addr)) != 0 ||
-        ::listen(fd_, 4) != 0) {
-        close();
+    fd_ = net::listenLoopback(port, 4, &port_);
+    if (fd_ < 0) {
+        port_ = 0;
         return false;
     }
-
-    socklen_t len = sizeof(addr);
-    if (::getsockname(fd_, reinterpret_cast<struct sockaddr *>(&addr),
-                      &len) == 0)
-        port_ = ntohs(addr.sin_port);
     return true;
 }
 
 std::unique_ptr<ByteStream>
 TcpListener::accept(int timeout_ms)
 {
-    if (fd_ < 0)
-        return nullptr;
-    struct pollfd pfd = {};
-    pfd.fd = fd_;
-    pfd.events = POLLIN;
-    if (::poll(&pfd, 1, timeout_ms) <= 0)
-        return nullptr;
-    int client = ::accept(fd_, nullptr, nullptr);
+    int client = net::acceptOn(fd_, timeout_ms);
     if (client < 0)
         return nullptr;
-    int one = 1;
-    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     return std::make_unique<TcpStream>(client);
 }
 
@@ -261,27 +204,9 @@ TcpListener::close()
 std::unique_ptr<ByteStream>
 tcpConnect(uint16_t port, int timeout_ms)
 {
-    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    int fd = net::connectLoopback(port, timeout_ms);
     if (fd < 0)
         return nullptr;
-
-    struct sockaddr_in addr = {};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
-
-    // Loopback connects complete immediately or fail immediately; a
-    // blocking connect with the default timeout is fine, but honor
-    // timeout_ms for robustness via SO_RCVTIMEO-style poll after a
-    // nonblocking attempt would be overkill here.
-    (void)timeout_ms;
-    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        ::close(fd);
-        return nullptr;
-    }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     return std::make_unique<TcpStream>(fd);
 }
 

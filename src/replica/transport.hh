@@ -12,9 +12,9 @@
  *    offset (breakAfter), which is how the torn-ship and
  *    mid-snapshot-kill scenarios are staged without processes.
  *
- *  - TCP loopback: TcpListener / tcpConnect, the same dependency-free
- *    socket pattern as src/obs/introspect.cc, for the two-process
- *    failover soak (bench/failover_soak.cc).
+ *  - TCP loopback: TcpListener / tcpConnect over the shared socket
+ *    helpers (src/net/socket.hh), for the two-process failover soak
+ *    (bench/failover_soak.cc).
  *
  * Thread-safety: one thread per direction per endpoint (the shipper
  * sends and polls acks from a single thread; the follower likewise).
@@ -135,8 +135,8 @@ class TcpStream : public ByteStream
 };
 
 /**
- * A loopback listening socket (the follower side).  Same pattern as
- * obs::IntrospectionServer: 127.0.0.1 binding, poll-based accept.
+ * A loopback listening socket (the follower side): 127.0.0.1 binding
+ * and poll-based accept via net::listenLoopback / net::acceptOn.
  */
 class TcpListener
 {

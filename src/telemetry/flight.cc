@@ -39,6 +39,10 @@ flightKindName(FlightKind k)
       case FlightKind::SlowPathDrain: return "slowpath_drain";
       case FlightKind::TtlExpire: return "ttl_expire";
       case FlightKind::ResizePublish: return "resize_publish";
+      case FlightKind::NetConnection: return "net_connection";
+      case FlightKind::NetRequest: return "net_request";
+      case FlightKind::NetShed: return "net_shed";
+      case FlightKind::NetDrain: return "net_drain";
       case FlightKind::Custom: return "custom";
       case FlightKind::kCount: break;
     }

@@ -71,6 +71,10 @@ enum class FlightKind : uint8_t
     SlowPathDrain,    ///< Slow-path routes drained back to the TCAM (a = drained, b = remaining).
     TtlExpire,        ///< A TTL deadline retired route(s) (code = status, a = class/batch, b = length).
     ResizePublish,    ///< A grown engine pair was published (a = resizes so far, b = slow path drained).
+    NetConnection,    ///< RPC connection opened/closed (code = DisconnectReason, 0 = accept; a = conn id, b = active conns).
+    NetRequest,       ///< One RPC served (code = message type, a = conn id, b = batch size).
+    NetShed,          ///< A request was answered Overloaded (code = health state, a = conn id, b = message type).
+    NetDrain,         ///< Graceful drain progressed (code = phase: 0 begin, 1 flushed, 2 done; a = conns, b = queued bytes).
     Custom,           ///< Free-form (tests, embedders).
     kCount,
 };

@@ -72,6 +72,24 @@ OPTIONAL_FAMILIES = {
         "records_applied",
         "snapshots_installed",
     ],
+    # RPC service gauges (docs/service.md): the serving-side wear
+    # counters plus the kill/restart soak's audit numbers.
+    "service": [
+        "requests",
+        "acked",
+        "unacked",
+        "overloaded",
+        "shed_updates",
+        "backpressure_pauses",
+        "idle_disconnects",
+        "stall_disconnects",
+        "retries",
+        "reconnects",
+        "kills",
+        "acked_lost",
+        "phantom_records",
+        "shed_demo_ms",
+    ],
 }
 
 
