@@ -588,6 +588,19 @@ ConcurrentChisel::saveSnapshot(const std::string &path) const
         updatesApplied_.load(std::memory_order_relaxed));
 }
 
+size_t
+ConcurrentChisel::saveSnapshot(
+    const std::string &path,
+    const std::function<uint64_t()> &last_seq) const
+{
+    std::lock_guard<std::mutex> lock(writerMutex_);
+    const Image &idle = idleImage();
+    uint64_t seq = last_seq
+                       ? last_seq()
+                       : updatesApplied_.load(std::memory_order_relaxed);
+    return persist::saveSnapshot(path, *idle.engine, seq);
+}
+
 bool
 ConcurrentChisel::restoreFromSnapshot(const std::string &path)
 {

@@ -342,6 +342,17 @@ class ConcurrentChisel
     size_t saveSnapshot(const std::string &path) const;
 
     /**
+     * saveSnapshot() stamping the image with @p last_seq() instead of
+     * the update count.  The provider runs UNDER the writer lock:
+     * journal hooks fire inside the same lock, so a provider reading
+     * the journal's lastSeq() gets a value that matches the
+     * serialized state exactly — the sharded persistence lane uses
+     * this to make snapshot coverage agree with its journal tail.
+     */
+    size_t saveSnapshot(const std::string &path,
+                        const std::function<uint64_t()> &last_seq) const;
+
+    /**
      * Replace the routing state from a snapshot.  The new image pair
      * is built off to the side and published with one pointer flip;
      * readers never observe a partially-loaded table.  @return false

@@ -1,6 +1,7 @@
 #include "concurrent/epoch.hh"
 
 #include <thread>
+#include <unordered_map>
 
 #include "common/logging.hh"
 
@@ -12,40 +13,160 @@ namespace {
  * same address, which a pointer-keyed thread cache would confuse). */
 std::atomic<uint64_t> g_nextManagerId{1};
 
+/**
+ * Live-manager registry: id -> manager.  Exiting threads use it to
+ * hand their slots back to managers that still exist, and the
+ * thread cache uses it to prune entries for destroyed managers.  All
+ * access is under the registry lock; a manager is only released to a
+ * thread while the lock pins it (the manager's destructor removes
+ * the entry under the same lock before the object dies).
+ */
+std::mutex g_registryMutex;
+std::unordered_map<uint64_t, EpochManager *> &
+registry()
+{
+    // Leaked on purpose: thread-exit destructors may run after static
+    // destruction begins, and a leaked map is valid forever.
+    static auto *map = new std::unordered_map<uint64_t, EpochManager *>;
+    return *map;
+}
+
+} // anonymous namespace
+
+/**
+ * Per-thread cache of (manager id -> claimed slot).  Grows with the
+ * number of managers this thread reads — a sharded dataplane is one
+ * manager per shard, so a driver thread probing every shard holds one
+ * entry each.  On thread exit the destructor returns every slot whose
+ * manager is still alive, so the per-manager pool is bounded by peak
+ * concurrent readers rather than cumulative thread count.
+ */
+struct ThreadSlotCache
+{
+    struct Entry
+    {
+        uint64_t id;
+        size_t slot;
+    };
+
+    std::vector<Entry> entries;
+
+    size_t
+    find(uint64_t id) const
+    {
+        for (size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].id == id)
+                return i;
+        }
+        return entries.size();
+    }
+
+    /** Drop entries whose manager no longer exists (their slots died
+     * with the manager).  Called on the claim slow path only, and
+     * only once the cache is large enough for staleness to matter. */
+    void
+    prune()
+    {
+        std::lock_guard<std::mutex> lock(g_registryMutex);
+        auto &live = registry();
+        size_t kept = 0;
+        for (size_t i = 0; i < entries.size(); ++i) {
+            if (live.count(entries[i].id))
+                entries[kept++] = entries[i];
+        }
+        entries.resize(kept);
+    }
+
+    ~ThreadSlotCache()
+    {
+        std::lock_guard<std::mutex> lock(g_registryMutex);
+        auto &live = registry();
+        for (const Entry &e : entries) {
+            auto it = live.find(e.id);
+            if (it != live.end())
+                it->second->releaseSlot(e.slot);
+        }
+    }
+};
+
+namespace {
+
+ThreadSlotCache &
+threadCache()
+{
+    thread_local ThreadSlotCache cache;
+    return cache;
+}
+
+/** Cache size past which a claim first tries pruning dead managers. */
+constexpr size_t kPruneThreshold = 64;
+
 } // anonymous namespace
 
 EpochManager::EpochManager()
     : id_(g_nextManagerId.fetch_add(1, std::memory_order_relaxed))
-{}
+{
+    std::lock_guard<std::mutex> lock(g_registryMutex);
+    registry().emplace(id_, this);
+}
+
+EpochManager::~EpochManager()
+{
+    std::lock_guard<std::mutex> lock(g_registryMutex);
+    registry().erase(id_);
+}
+
+size_t
+EpochManager::claimSlot()
+{
+    {
+        std::lock_guard<std::mutex> lock(freeMutex_);
+        if (!freeSlots_.empty()) {
+            size_t slot = freeSlots_.back();
+            freeSlots_.pop_back();
+            return slot;
+        }
+    }
+    size_t slot = nextSlot_.fetch_add(1, std::memory_order_relaxed);
+    panicIf(slot >= kMaxSlots,
+            "EpochManager: reader thread pool exhausted");
+    return slot;
+}
+
+void
+EpochManager::releaseSlot(size_t slot)
+{
+    // The releasing thread is outside any critical section (exit()
+    // stored 0), so the slot is quiescent and a future claimant can
+    // stamp it without confusing a writer's scan.
+    std::lock_guard<std::mutex> lock(freeMutex_);
+    freeSlots_.push_back(slot);
+}
+
+size_t
+EpochManager::freeSlotCount() const
+{
+    std::lock_guard<std::mutex> lock(freeMutex_);
+    return freeSlots_.size();
+}
 
 size_t
 EpochManager::threadSlot()
 {
-    // One cached entry per thread: dataplane threads read one engine,
-    // so the common case is a single compare.  A small linear probe
-    // handles threads touching several managers.
-    struct Cached
-    {
-        uint64_t id = 0;
-        size_t slot = 0;
-    };
-    static constexpr size_t kCache = 8;
-    thread_local Cached cache[kCache];
-    thread_local size_t cached = 0;
+    ThreadSlotCache &cache = threadCache();
+    size_t i = cache.find(id_);
+    if (i < cache.entries.size())
+        return cache.entries[i].slot;
 
-    for (size_t i = 0; i < cached; ++i) {
-        if (cache[i].id == id_)
-            return cache[i].slot;
+    if (cache.entries.size() >= kPruneThreshold) {
+        cache.prune();
+        i = cache.find(id_);
+        if (i < cache.entries.size())
+            return cache.entries[i].slot;
     }
 
-    size_t slot = nextSlot_.fetch_add(1, std::memory_order_relaxed);
-    panicIf(slot >= kMaxSlots,
-            "EpochManager: reader thread pool exhausted");
-    if (cached < kCache) {
-        cache[cached].id = id_;
-        cache[cached].slot = slot;
-        ++cached;
-    }
+    size_t slot = claimSlot();
+    cache.entries.push_back({id_, slot});
     return slot;
 }
 

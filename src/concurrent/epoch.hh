@@ -21,10 +21,17 @@
  * The grace period is exactly "all readers past the flip": flip the
  * pointer, synchronize(), and the old image is unreachable.
  *
- * Slots are a fixed pool (kMaxSlots).  A thread claims its slot on
- * first use and keeps it for the thread's lifetime; the pool size
- * bounds the *concurrent reader thread* count, far above any
- * realistic dataplane core count.
+ * Slots are a fixed pool (kMaxSlots) per manager, bounding the
+ * *concurrent* reader thread count — far above any realistic core
+ * count.  A thread claims its slot in a manager on first use and the
+ * claim is cached thread-locally; when the thread exits, its slots
+ * are returned to each still-live manager's free list, so the pool
+ * survives any number of short-lived reader threads.  The cache
+ * itself grows with the number of managers a thread touches (a
+ * sharded dataplane runs one manager per shard), so a thread reading
+ * sixteen shards holds exactly sixteen slots — the fixed-size cache
+ * of earlier revisions silently re-claimed a fresh slot per uncached
+ * enter() and exhausted the pool.
  */
 
 #ifndef CHISEL_CONCURRENT_EPOCH_HH
@@ -32,16 +39,19 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 namespace chisel::concurrent {
 
 class EpochManager
 {
   public:
-    /** Upper bound on distinct reader threads over a process life. */
+    /** Upper bound on concurrent reader threads per manager. */
     static constexpr size_t kMaxSlots = 256;
 
     EpochManager();
+    ~EpochManager();
 
     EpochManager(const EpochManager &) = delete;
     EpochManager &operator=(const EpochManager &) = delete;
@@ -91,6 +101,21 @@ class EpochManager
         return epoch_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Highest slot index ever claimed + 1 (diagnostics, tests).  With
+     * slot recycling this stays at the peak *concurrent* reader
+     * count, not the cumulative thread count.
+     */
+    size_t
+    slotHighWater() const
+    {
+        size_t n = nextSlot_.load(std::memory_order_relaxed);
+        return n > kMaxSlots ? kMaxSlots : n;
+    }
+
+    /** Released slots awaiting reuse (diagnostics, tests). */
+    size_t freeSlotCount() const;
+
     /** RAII read-side section. */
     class ReadGuard
     {
@@ -118,9 +143,24 @@ class EpochManager
     /** This thread's slot index in this manager (claimed on first use). */
     size_t threadSlot();
 
+    /** Claim a slot: recycle a released one, else extend the pool. */
+    size_t claimSlot();
+
+    /** Return a quiescent slot to the free list (thread exit). */
+    void releaseSlot(size_t slot);
+
+    friend struct ThreadSlotCache;
+
     std::atomic<uint64_t> epoch_{1};
     std::atomic<size_t> nextSlot_{0};
     uint64_t id_;   ///< Process-unique manager id for the slot cache.
+
+    /** Slots released by exited threads, available for reclaim.  The
+     * lock sits on the claim/release slow path only — enter()/exit()
+     * never touch it. */
+    mutable std::mutex freeMutex_;
+    std::vector<size_t> freeSlots_;
+
     Slot slots_[kMaxSlots];
 };
 

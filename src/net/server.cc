@@ -16,6 +16,7 @@
 #include "fault/fault.hh"
 #include "net/socket.hh"
 #include "persist/journal.hh"
+#include "shard/sharded.hh"
 #include "telemetry/flight.hh"
 #include "telemetry/metrics.hh"
 
@@ -40,10 +41,20 @@ msToNs(int ms)
 ChiselService::ChiselService(concurrent::ConcurrentChisel &engine,
                              persist::UpdateJournal *journal,
                              const ServiceOptions &options)
-    : engine_(engine), journal_(journal), options_(options),
+    : engine_(&engine), sharded_(nullptr), journal_(journal),
+      options_(options),
       // The service has no queue to watermark; capacity 16 only seeds
       // sane (unused) defaults for the tryAdmit-only controller.
       admission_(options.admission, 16)
+{}
+
+ChiselService::ChiselService(shard::ShardedChisel &sharded,
+                             const ServiceOptions &options)
+    // No service-level journal: the sharded layer's per-shard hooks
+    // append inside each shard's writer lock, and the ack gate reads
+    // each shard's durable head instead (serveShardedUpdate).
+    : engine_(nullptr), sharded_(&sharded), journal_(nullptr),
+      options_(options), admission_(options.admission, 16)
 {}
 
 ChiselService::~ChiselService()
@@ -136,7 +147,26 @@ ChiselService::effectiveHealth() const
         monotonicNowNs() <
             inducedUntilNs_.load(std::memory_order_relaxed))
         return static_cast<health::HealthState>(induced);
-    return engine_.healthState();
+    // Sharded: the whole-plane view is majority-ruled — one sick
+    // shard must not shed its siblings' traffic (per-shard shedding
+    // happens at the serve sites).
+    if (sharded_ != nullptr)
+        return sharded_->aggregateHealth();
+    return engine_->healthState();
+}
+
+uint64_t
+ChiselService::engineGeneration() const
+{
+    return sharded_ != nullptr ? sharded_->generation()
+                               : engine_->generation();
+}
+
+size_t
+ChiselService::engineRouteCount() const
+{
+    return sharded_ != nullptr ? sharded_->routeCount()
+                               : engine_->routeCount();
 }
 
 ServiceStats
@@ -238,6 +268,8 @@ ChiselService::serveLoop()
             m.gauge("service.stall_disconnects")
                 .set(double(
                     stallDisconnects_.load(std::memory_order_relaxed)));
+            if (sharded_ != nullptr)
+                sharded_->publish(m);
         }
     }
 
@@ -474,8 +506,8 @@ ChiselService::dispatch(Conn &conn, RpcMessage &msg)
             makePong(msg.id,
                      static_cast<uint8_t>(effectiveHealth()),
                      drainRequested_.load(std::memory_order_acquire),
-                     engine_.generation(),
-                     engine_.routeCount()));
+                     engineGeneration(),
+                     engineRouteCount()));
         return;
       default:
         // A reply type from a client is well-framed nonsense.
@@ -504,11 +536,27 @@ ChiselService::serveLookup(const RpcMessage &req)
         badRequests_.fetch_add(1, std::memory_order_relaxed);
         return makeStatus(req.id, StatusCode::BadRequest, 0);
     }
+    if (sharded_ != nullptr) {
+        // Per-shard containment: fail fast only when a targeted
+        // shard is sick — requests whose keys all land on healthy
+        // shards serve even while a sibling is quarantined.
+        for (const Key128 &key : req.keys) {
+            size_t s = sharded_->shardOf(key);
+            if (!sharded_->shardServing(s)) {
+                overloaded_.fetch_add(1, std::memory_order_relaxed);
+                CHISEL_FLIGHT_EVENT(NetShed, sharded_->shardHealth(s),
+                                    req.id, MsgType::LookupRequest);
+                return makeStatus(req.id, StatusCode::Overloaded,
+                                  options_.retryAfterMs);
+            }
+        }
+    }
     std::vector<WireLookup> results;
     results.reserve(req.keys.size());
-    uint64_t generation = engine_.generation();
+    uint64_t generation = engineGeneration();
     for (const Key128 &key : req.keys) {
-        LookupResult r = engine_.lookup(key);
+        LookupResult r = sharded_ != nullptr ? sharded_->lookup(key)
+                                             : engine_->lookup(key);
         WireLookup w;
         w.found = r.found;
         w.nextHop = r.nextHop;
@@ -556,6 +604,8 @@ ChiselService::serveUpdate(const RpcMessage &req)
             return makeStatus(req.id, StatusCode::BadRequest, 0);
         }
     }
+    if (sharded_ != nullptr)
+        return serveShardedUpdate(req);
     for (const Update &u : req.updates) {
         if (!admission_.tryAdmit(u.kind)) {
             overloaded_.fetch_add(1, std::memory_order_relaxed);
@@ -584,7 +634,7 @@ ChiselService::serveUpdate(const RpcMessage &req)
             }
             maxSeq = a.seq;
         }
-        UpdateOutcome outcome = engine_.apply(u);
+        UpdateOutcome outcome = engine_->apply(u);
         updatesApplied_.fetch_add(1, std::memory_order_relaxed);
         a.status = static_cast<uint8_t>(outcome.status);
         a.cls = static_cast<uint8_t>(outcome.cls);
@@ -611,6 +661,96 @@ ChiselService::serveUpdate(const RpcMessage &req)
             unacked_.fetch_add(1, std::memory_order_relaxed);
     }
     return makeUpdateReply(req.id, durableSeq, std::move(acks));
+}
+
+RpcMessage
+ChiselService::serveShardedUpdate(const RpcMessage &req)
+{
+    // Per-shard shedding matrix: refuse the request when ANY update
+    // targets a shard that isn't accepting writes (Stressed sheds
+    // writes while reads still serve; Degraded/Quarantined refuse
+    // everything; a broadcast needs every shard writable).  Updates
+    // bound only for healthy shards sail through a sibling's
+    // quarantine untouched.
+    for (const Update &u : req.updates) {
+        size_t target = sharded_->shardOf(u.prefix);
+        size_t lo = target == shard::ShardedChisel::kBroadcast
+                        ? 0
+                        : target;
+        size_t hi = target == shard::ShardedChisel::kBroadcast
+                        ? sharded_->shards()
+                        : target + 1;
+        for (size_t s = lo; s < hi; ++s) {
+            health::HealthState h = sharded_->shardHealth(s);
+            if (h != health::HealthState::Healthy &&
+                h != health::HealthState::Recovering) {
+                overloaded_.fetch_add(1, std::memory_order_relaxed);
+                shedUpdates_.fetch_add(req.updates.size(),
+                                       std::memory_order_relaxed);
+                CHISEL_FLIGHT_EVENT(NetShed, h, req.id,
+                                    MsgType::UpdateRequest);
+                return makeStatus(req.id, StatusCode::Overloaded,
+                                  options_.retryAfterMs);
+            }
+        }
+    }
+    for (const Update &u : req.updates) {
+        if (!admission_.tryAdmit(u.kind)) {
+            overloaded_.fetch_add(1, std::memory_order_relaxed);
+            shedUpdates_.fetch_add(req.updates.size(),
+                                   std::memory_order_relaxed);
+            CHISEL_FLIGHT_EVENT(NetShed, health::HealthState::Healthy,
+                                req.id, MsgType::UpdateRequest);
+            return makeStatus(req.id, StatusCode::Overloaded,
+                              options_.retryAfterMs);
+        }
+    }
+
+    // Apply through the sharded facade: each shard's journal hook
+    // assigns its seq inside that shard's writer lock.  Remember the
+    // high-water seq per touched shard for one batched fsync each.
+    std::vector<WireAck> acks;
+    acks.reserve(req.updates.size());
+    std::vector<std::vector<shard::ShardedChisel::ShardSeq>> parts;
+    parts.reserve(req.updates.size());
+    std::vector<uint64_t> maxSeq(sharded_->shards(), 0);
+    for (const Update &u : req.updates) {
+        shard::ShardedChisel::ApplyResult r = sharded_->apply(u);
+        updatesApplied_.fetch_add(1, std::memory_order_relaxed);
+        WireAck a;
+        a.seq = r.seq;
+        a.status = static_cast<uint8_t>(r.outcome.status);
+        a.cls = static_cast<uint8_t>(r.outcome.cls);
+        acks.push_back(a);
+        for (const auto &p : r.parts)
+            if (p.seq > maxSeq[p.shard])
+                maxSeq[p.shard] = p.seq;
+        parts.push_back(std::move(r.parts));
+    }
+
+    // The ack gate, per shard: one fsync per touched shard, then ack
+    // exactly the updates whose every (shard, seq) part the owning
+    // shard's durable head covers.
+    std::vector<uint64_t> durable(sharded_->shards(), 0);
+    uint64_t replyDurable = 0;
+    for (size_t s = 0; s < sharded_->shards(); ++s) {
+        if (maxSeq[s] != 0)
+            sharded_->ensureDurable(s, maxSeq[s]);
+        durable[s] = sharded_->lastDurableSeq(s);
+        if (maxSeq[s] != 0 && durable[s] > replyDurable)
+            replyDurable = durable[s];
+    }
+    for (size_t i = 0; i < acks.size(); ++i) {
+        bool covered = !parts[i].empty();
+        for (const auto &p : parts[i])
+            covered = covered && p.seq != 0 && p.seq <= durable[p.shard];
+        acks[i].acked = covered;
+        if (covered)
+            acked_.fetch_add(1, std::memory_order_relaxed);
+        else
+            unacked_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return makeUpdateReply(req.id, replyDurable, std::move(acks));
 }
 
 // ---- Graceful drain --------------------------------------------------
@@ -685,9 +825,14 @@ ChiselService::drainLoop()
     CHISEL_FLIGHT_EVENT(NetDrain, 1, conns_.size(), 0);
 
     // Phase 2: the final snapshot — the durable state a warm restart
-    // resumes from without replaying the whole journal.
-    if (!options_.drainSnapshotPath.empty()) {
-        engine_.saveSnapshot(options_.drainSnapshotPath);
+    // resumes from without replaying the whole journal.  Sharded
+    // planes snapshot every shard into its own lane (each stamped
+    // with its journal seq and marked); the drainSnapshotPath knob is
+    // the single-engine form.
+    if (sharded_ != nullptr) {
+        sharded_->saveSnapshots();
+    } else if (!options_.drainSnapshotPath.empty()) {
+        engine_->saveSnapshot(options_.drainSnapshotPath);
         if (journal_ != nullptr)
             journal_->appendSnapshotMark(journal_->lastSeq());
     }

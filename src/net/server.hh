@@ -41,6 +41,12 @@
  *    finishes requests already received, flushes every queued reply
  *    under drainDeadlineMs, optionally writes a final snapshot, and
  *    exits the loop.
+ *  - Shard-aware shedding (the ShardedChisel constructor;
+ *    docs/sharding.md): the health matrix above is evaluated against
+ *    the TARGET shard of each request, so one Quarantined shard
+ *    fails fast for its keyspace slice only while siblings serve;
+ *    the whole-plane matrix trips only when a majority of shards are
+ *    sick, and acks gate on the owning shard's durable head.
  *
  * Threading: one serving thread owns every connection; start() /
  * stop() / stats() may be called from any thread; requestDrain() from
@@ -67,6 +73,7 @@
 namespace chisel::concurrent { class ConcurrentChisel; }
 namespace chisel::persist { class UpdateJournal; }
 namespace chisel::fault { class FaultInjector; }
+namespace chisel::shard { class ShardedChisel; }
 namespace chisel::telemetry { class MetricRegistry; }
 
 namespace chisel::net {
@@ -168,6 +175,21 @@ class ChiselService
                   persist::UpdateJournal *journal,
                   const ServiceOptions &options = {});
 
+    /**
+     * Shard-aware service (docs/sharding.md): lookups and updates
+     * route through @p sharded, the shedding matrix consults the
+     * TARGET shard's health per request (one quarantined shard fails
+     * fast for its slice only; requests touching healthy shards keep
+     * serving), and the whole-plane matrix trips only past the
+     * majority-sick threshold.  Durability is per shard: the sharded
+     * layer's journal hooks append inside each shard's writer lock,
+     * and an update is acked only once ITS shard's durable head
+     * covers it (every shard, for a broadcast) — so do not pass a
+     * journal here; ShardedChisel owns them.
+     */
+    ChiselService(shard::ShardedChisel &sharded,
+                  const ServiceOptions &options = {});
+
     /** stop()s if still running. */
     ~ChiselService();
 
@@ -256,8 +278,16 @@ class ChiselService
 
     RpcMessage serveLookup(const RpcMessage &req);
     RpcMessage serveUpdate(const RpcMessage &req);
+    RpcMessage serveShardedUpdate(const RpcMessage &req);
 
-    concurrent::ConcurrentChisel &engine_;
+    /** Plane-wide generation (sharded: summed over shards). */
+    uint64_t engineGeneration() const;
+    /** Plane-wide route count (sharded: summed over shards). */
+    size_t engineRouteCount() const;
+
+    /** Exactly one of these is non-null. */
+    concurrent::ConcurrentChisel *engine_;
+    shard::ShardedChisel *sharded_;
     persist::UpdateJournal *journal_;
     ServiceOptions options_;
 

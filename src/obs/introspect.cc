@@ -11,6 +11,7 @@
 #include "concurrent/concurrent_engine.hh"
 #include "health/monitor.hh"
 #include "replica/follower.hh"
+#include "shard/sharded.hh"
 #include "telemetry/flight.hh"
 #include "telemetry/json.hh"
 #include "telemetry/metrics.hh"
@@ -213,11 +214,45 @@ IntrospectionServer::healthz() const
 {
     const concurrent::ConcurrentChisel *engine =
         engine_.load(std::memory_order_acquire);
+    const shard::ShardedChisel *sharded =
+        sharded_.load(std::memory_order_acquire);
     std::ostringstream os;
     telemetry::JsonWriter w(os, true);
     w.beginObject();
     int status = 200;
-    if (engine == nullptr) {
+    if (sharded != nullptr) {
+        // Containment rule: a single sick shard sheds only its own
+        // keyspace slice (at the RPC layer), so the node-level probe
+        // goes red only when a majority of shards are sick and the
+        // node as a whole can no longer do useful work.
+        bool majority = sharded->majoritySick();
+        status = majority ? 503 : 200;
+        w.member("state",
+                 health::healthStateName(sharded->aggregateHealth()));
+        w.member("attached", true);
+        w.member("serving", !majority);
+        w.member("shard_count", uint64_t(sharded->shards()));
+        w.member("sick_shards", uint64_t(sharded->sickShards()));
+        w.member("routes", uint64_t(sharded->routeCount()));
+        w.key("shards");
+        w.beginArray();
+        for (size_t i = 0; i < sharded->shards(); ++i) {
+            shard::ShardStatus st = sharded->status(i);
+            w.beginObject();
+            w.member("shard", uint64_t(i));
+            w.member("state", health::healthStateName(st.state));
+            w.member("induced", st.induced);
+            w.member("serving", st.serving);
+            w.member("routes", uint64_t(st.routes));
+            w.member("generation", st.generation);
+            w.member("pending_updates", uint64_t(st.pendingUpdates));
+            w.member("updates_applied", st.updatesApplied);
+            w.member("quarantine_entries", st.quarantineEntries);
+            w.member("last_seq", st.lastSeq);
+            w.endObject();
+        }
+        w.endArray();
+    } else if (engine == nullptr) {
         w.member("state", "unknown");
         w.member("attached", false);
     } else {

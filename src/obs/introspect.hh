@@ -12,7 +12,11 @@
  *                status degrades with the engine (200 while the
  *                state is Healthy/Stressed/Recovering, 503 once
  *                Degraded or Quarantined) so a plain HTTP check
- *                doubles as the liveness probe
+ *                doubles as the liveness probe.  With a sharded
+ *                dataplane attached the body adds a per-shard
+ *                breakdown and the status follows the containment
+ *                rule: 503 only when a majority of shards are sick
+ *                (docs/sharding.md)
  *     /vars      MetricRegistry JSON snapshot (same schema as
  *                --metrics-json)
  *     /flight    recent flight-recorder events, JSON; ?n=<count>
@@ -45,6 +49,7 @@ class FlightRecorder;
 
 namespace chisel::concurrent { class ConcurrentChisel; }
 namespace chisel::replica { class Follower; }
+namespace chisel::shard { class ShardedChisel; }
 
 namespace chisel::obs {
 
@@ -95,6 +100,20 @@ class IntrospectionServer
         follower_.store(follower, std::memory_order_release);
     }
 
+    /**
+     * Expose a sharded dataplane through /healthz: adds a "shards"
+     * array with one entry per shard (state, serving, routes,
+     * generation, quarantine entries) and replaces the single-engine
+     * status rule with the containment rule — the HTTP status is 503
+     * only when a MAJORITY of shards are sick.  One quarantined shard
+     * keeps the probe green; its keyspace slice sheds at the RPC
+     * layer instead of the whole node being drained.
+     */
+    void attachShards(const shard::ShardedChisel *sharded)
+    {
+        sharded_.store(sharded, std::memory_order_release);
+    }
+
     // ---- Serving -----------------------------------------------------
 
     /**
@@ -136,6 +155,7 @@ class IntrospectionServer
     std::atomic<const telemetry::FlightRecorder *> flight_{nullptr};
     std::atomic<const concurrent::ConcurrentChisel *> engine_{nullptr};
     std::atomic<const replica::Follower *> follower_{nullptr};
+    std::atomic<const shard::ShardedChisel *> sharded_{nullptr};
 
     int listenFd_ = -1;
     uint16_t port_ = 0;

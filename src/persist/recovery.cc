@@ -150,9 +150,17 @@ recoverEngine(const RecoveryOptions &options)
     JournalScan scan;
     if (!options.journalPath.empty()) {
         scan = scanJournal(options.journalPath, 0);
-        if (scan.headerOk &&
-            scan.fingerprint != configFingerprint(options.config) &&
-            scan.fingerprint != elasticFingerprint(options.config)) {
+        if (scan.headerOk && options.expectFingerprint != 0) {
+            // Caller pinned an exact identity (e.g. a per-shard
+            // fingerprint binding the keyspace slice).
+            if (scan.fingerprint != options.expectFingerprint) {
+                scan.headerOk = false;
+                scan.error = "journal written under a different "
+                             "identity";
+            }
+        } else if (scan.headerOk &&
+                   scan.fingerprint != configFingerprint(options.config) &&
+                   scan.fingerprint != elasticFingerprint(options.config)) {
             scan.headerOk = false;
             scan.error = "journal written under a different config";
         }

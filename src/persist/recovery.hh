@@ -56,6 +56,16 @@ struct RecoveryOptions
 
     /** Run the route-by-route audit after rebuilding. */
     bool audit = true;
+
+    /**
+     * Exact journal fingerprint to accept; 0 keeps the default rule
+     * (the config's strict or elastic fingerprint).  The sharded
+     * persistence layout stamps each shard's journal with a
+     * fingerprint that also binds the shard identity
+     * (shard::shardJournalFingerprint), so a journal can never be
+     * replayed into the wrong keyspace slice.
+     */
+    uint64_t expectFingerprint = 0;
 };
 
 /** Which rung of the ladder produced the engine. */

@@ -1,0 +1,21 @@
+#include "shard/partition.hh"
+
+#include "common/logging.hh"
+
+namespace chisel::shard {
+
+ShardSelector::ShardSelector(size_t shards, unsigned partition_bits,
+                             uint64_t seed)
+    : shards_(shards), bits_(partition_bits), seed_(seed),
+      hash_(32, seed)
+{
+    if (shards_ == 0)
+        fatalError("ShardSelector: shard count must be >= 1");
+    if (bits_ == 0 || bits_ > 64)
+        fatalError("ShardSelector: partition bits must be in 1..64");
+    if (shards_ > (1u << (bits_ < 31 ? bits_ : 31)))
+        warn("ShardSelector: more shards than partition buckets; "
+             "some shards will own no keys");
+}
+
+} // namespace chisel::shard

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Front-end keyspace partitioning for the sharded dataplane
+ * (docs/sharding.md).
+ *
+ * ShardSelector maps every lookup key — and every route prefix — to
+ * one of N engine shards using an H3 hash over the key's top
+ * *partition bits* (the paper's d-way partitioning lifted from
+ * sub-tables to whole engines, RSS-style).  The map is a pure
+ * function of (shard count, partition bits, seed): deterministic
+ * across restarts, identical in every process that opens the same
+ * sharded persist directory, and independent of table contents.
+ *
+ * Prefixes at least as long as the partition width land on exactly
+ * the shard that serves every key under them (a key and a prefix
+ * covering it share their top partition bits, and the hash reads
+ * nothing else).  Shorter prefixes cover keys in *multiple* shards;
+ * shardOf() returns kBroadcast for them and ShardedChisel installs
+ * the route in every shard, so any single-shard lookup still finds
+ * the correct longest match.
+ */
+
+#ifndef CHISEL_SHARD_PARTITION_HH
+#define CHISEL_SHARD_PARTITION_HH
+
+#include <cstdint>
+
+#include "hash/h3.hh"
+#include "route/prefix.hh"
+
+namespace chisel::shard {
+
+class ShardSelector
+{
+  public:
+    /** shardOf(prefix) result for prefixes shorter than the
+     * partition width: the route belongs to every shard. */
+    static constexpr size_t kBroadcast = ~static_cast<size_t>(0);
+
+    /** Default H3 seed; a config constant, never randomized — the
+     * key-to-shard map must survive restarts byte-for-byte. */
+    static constexpr uint64_t kDefaultSeed = 0x5EEDC4153E17ULL;
+
+    /**
+     * @param shards          Shard count (>= 1).
+     * @param partition_bits  Key bits hashed to pick a shard (1..64).
+     *        Prefixes shorter than this broadcast to all shards, so
+     *        keep it at or below the table's shortest common prefix
+     *        length (8 suits IPv4 DFZ tables: nothing shorter than a
+     *        /8 carries real traffic).
+     * @param seed            H3 seed (fixed per deployment).
+     */
+    explicit ShardSelector(size_t shards, unsigned partition_bits = 8,
+                           uint64_t seed = kDefaultSeed);
+
+    /** The shard serving @p key. */
+    size_t
+    shardOf(const Key128 &key) const
+    {
+        // Hash the top partition bits only (masked for determinism:
+        // H3 ignores bits past len, but the mask makes key/prefix
+        // agreement explicit), then map the 32-bit hash onto
+        // [0, shards) multiplicatively — no modulo bias, and stable
+        // for a fixed shard count.
+        uint64_t h = hash_.hash(key.masked(bits_), bits_);
+        return static_cast<size_t>((h * static_cast<uint64_t>(shards_))
+                                   >> 32);
+    }
+
+    /** The shard owning @p prefix, or kBroadcast if it spans all. */
+    size_t
+    shardOf(const Prefix &prefix) const
+    {
+        if (prefix.length() < bits_)
+            return kBroadcast;
+        return shardOf(prefix.bits());
+    }
+
+    /** True if @p prefix must be installed in every shard. */
+    bool
+    broadcasts(const Prefix &prefix) const
+    {
+        return prefix.length() < bits_;
+    }
+
+    size_t shards() const { return shards_; }
+    unsigned partitionBits() const { return bits_; }
+    uint64_t seed() const { return seed_; }
+
+  private:
+    size_t shards_;
+    unsigned bits_;
+    uint64_t seed_;
+    H3Hash hash_;
+};
+
+} // namespace chisel::shard
+
+#endif // CHISEL_SHARD_PARTITION_HH

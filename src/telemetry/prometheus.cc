@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <cstdio>
+#include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
 
 #include "telemetry/metrics.hh"
@@ -44,6 +46,27 @@ formatDouble(double v)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
+}
+
+/**
+ * Split a registry name carrying an embedded label block
+ * ("shard.routes{shard=\"3\"}") into base and block.  @return true
+ * when a block was found; @p labels keeps the surrounding braces.
+ * A name without a trailing '}' — or with '{' nowhere or first — is
+ * a plain unlabeled series.
+ */
+bool
+splitLabels(const std::string &raw, std::string &base,
+            std::string &labels)
+{
+    if (raw.size() < 3 || raw.back() != '}')
+        return false;
+    size_t open = raw.find('{');
+    if (open == std::string::npos || open == 0)
+        return false;
+    base = raw.substr(0, open);
+    labels = raw.substr(open);
+    return true;
 }
 
 } // anonymous namespace
@@ -98,24 +121,49 @@ void
 writePrometheus(const MetricRegistry &registry, std::ostream &os)
 {
     PrometheusNameMapper mapper;
+    // Labeled series share their base's exposition name and HELP/TYPE
+    // header; names() iterates sorted, so a base's variants arrive
+    // adjacent and the memo only grows by distinct bases.
+    std::map<std::string, std::string> baseNames;
+    std::set<std::string> announced;
     for (const std::string &raw : registry.names()) {
-        std::string name = mapper.assign(raw);
-        std::string help = escapePrometheusText(raw);
+        std::string base = raw;
+        std::string labels;
+        splitLabels(raw, base, labels);
+        auto it = baseNames.find(base);
+        if (it == baseNames.end())
+            it = baseNames.emplace(base, mapper.assign(base)).first;
+        const std::string &name = it->second;
+        bool first = announced.insert(base).second;
+        std::string help = escapePrometheusText(base);
         if (const Counter *c = registry.findCounter(raw)) {
-            os << "# HELP " << name << " chisel counter \"" << help
-               << "\"\n";
-            os << "# TYPE " << name << " counter\n";
-            os << name << " " << c->value() << "\n";
+            if (first) {
+                os << "# HELP " << name << " chisel counter \""
+                   << help << "\"\n";
+                os << "# TYPE " << name << " counter\n";
+            }
+            os << name << labels << " " << c->value() << "\n";
         } else if (const Gauge *g = registry.findGauge(raw)) {
-            os << "# HELP " << name << " chisel gauge \"" << help
-               << "\"\n";
-            os << "# TYPE " << name << " gauge\n";
-            os << name << " " << formatDouble(g->value()) << "\n";
+            if (first) {
+                os << "# HELP " << name << " chisel gauge \"" << help
+                   << "\"\n";
+                os << "# TYPE " << name << " gauge\n";
+            }
+            os << name << labels << " " << formatDouble(g->value())
+               << "\n";
         } else if (const Pow2Histogram *h =
                        registry.findHistogram(raw)) {
-            os << "# HELP " << name << " chisel histogram \"" << help
-               << "\"\n";
-            os << "# TYPE " << name << " histogram\n";
+            if (first) {
+                os << "# HELP " << name << " chisel histogram \""
+                   << help << "\"\n";
+                os << "# TYPE " << name << " histogram\n";
+            }
+            // The le label joins the embedded block inside one brace
+            // pair (Prometheus rejects a second block).
+            std::string inner =
+                labels.empty()
+                    ? std::string()
+                    : labels.substr(1, labels.size() - 2) + ",";
             // Cumulative buckets over the range actually recorded;
             // every bucket past bucketFor(max) would repeat count().
             uint64_t count = h->count();
@@ -124,13 +172,14 @@ writePrometheus(const MetricRegistry &registry, std::ostream &os)
                 count ? Pow2Histogram::bucketFor(h->max()) : 0;
             for (size_t i = 0; i <= last; ++i) {
                 cumulative += h->bucketCount(i);
-                os << name << "_bucket{le=\""
+                os << name << "_bucket{" << inner << "le=\""
                    << Pow2Histogram::bucketUpperBound(i) << "\"} "
                    << cumulative << "\n";
             }
-            os << name << "_bucket{le=\"+Inf\"} " << count << "\n";
-            os << name << "_sum " << h->sum() << "\n";
-            os << name << "_count " << count << "\n";
+            os << name << "_bucket{" << inner << "le=\"+Inf\"} "
+               << count << "\n";
+            os << name << "_sum" << labels << " " << h->sum() << "\n";
+            os << name << "_count" << labels << " " << count << "\n";
         }
     }
 }

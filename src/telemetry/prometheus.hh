@@ -17,6 +17,16 @@
  * expose the standard cumulative _bucket{le="..."} series (one bucket
  * per power of two actually reachable by the recorded range, plus
  * +Inf), together with _sum and _count.
+ *
+ * Embedded labels: the registry itself has no label concept, so
+ * multi-instance publishers (the sharded dataplane's per-shard
+ * gauges) embed a label block in the registry name —
+ * "shard.routes{shard=\"3\"}".  writePrometheus() recognises a name
+ * whose tail is a balanced {...} block, sanitizes only the base, and
+ * re-emits the block verbatim as Prometheus labels; all series
+ * sharing a base share one exposition name and one HELP/TYPE header.
+ * Publishers are responsible for the block being valid label syntax
+ * (values quoted and escaped).
  */
 
 #ifndef CHISEL_TELEMETRY_PROMETHEUS_HH

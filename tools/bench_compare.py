@@ -90,7 +90,40 @@ OPTIONAL_FAMILIES = {
         "phantom_records",
         "shed_demo_ms",
     ],
+    # Sharded dataplane gauges (docs/sharding.md): the shard soak's
+    # per-shard route counts, quarantine transitions and audit
+    # numbers.  Entries ending in "*" are prefix wildcards --
+    # "routes_shard_*" matches "routes_shard_0", "routes_shard_1",
+    # ... for any shard count; every match is type-checked exactly
+    # like a listed gauge.
+    "shard": [
+        "shards",
+        "partition_bits",
+        "routes",
+        "kills",
+        "force_quarantines",
+        "quarantine_transitions",
+        "lost",
+        "phantom",
+        "oracle_mismatches",
+        "detect_ms",
+        "recover_ms",
+        "healthy_p99_us",
+        "routes_shard_*",
+        "quarantine_shard_*",
+    ],
 }
+
+
+def gauge_known(gauge, gauges):
+    """Is @p gauge listed, either literally or via a '*' wildcard?"""
+    for known in gauges:
+        if known.endswith("*"):
+            if gauge.startswith(known[:-1]):
+                return True
+        elif gauge == known:
+            return True
+    return False
 
 
 def fail(msg):
@@ -137,7 +170,7 @@ def validate(doc, path):
             )
             continue
         for gauge, value in block.items():
-            if gauge not in gauges:
+            if not gauge_known(gauge, gauges):
                 print(
                     f"bench_compare: note: {path}: unrecognized "
                     f"'{family}.{gauge}' (additive, tolerated)"
@@ -265,6 +298,28 @@ def self_test():
     doc = copy.deepcopy(base_doc)
     doc["replication"] = [1, 2]
     check("non-object family rejected", validate(doc, "t"), False)
+
+    doc = copy.deepcopy(base_doc)
+    doc["shard"] = {
+        "shards": 4,
+        "kills": 2,
+        "lost": 0,
+        "phantom": 0,
+        "routes_shard_0": 1200,
+        "routes_shard_3": 1180,
+        "quarantine_shard_1": 1,
+    }
+    check("shard gauges incl. wildcards tolerated",
+          validate(doc, "t"), True)
+
+    doc = copy.deepcopy(base_doc)
+    doc["shard"] = {"routes_shard_2": "many"}
+    check("non-numeric wildcard gauge rejected",
+          validate(doc, "t"), False)
+
+    doc = copy.deepcopy(base_doc)
+    doc["shard"] = {"brand_new_gauge": 1}
+    check("unknown shard gauge tolerated", validate(doc, "t"), True)
 
     doc = copy.deepcopy(base_doc)
     del doc["p99_ns"]
